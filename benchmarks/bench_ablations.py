@@ -1,0 +1,121 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Killing definitions** (Section 4): the naive propagation with no
+  kills / generation-kill only / dominated-kill — the paper argues kills
+  shrink both propagation and the dominance scans.
+* **Abstraction** (Section 4, "Abstracting Paths"): the whole point of
+  Red/Blue abstractions is to propagate O(|N|)-sized facts instead of
+  paths; compared here as Figure-8-with-abstractions (the real
+  algorithm) vs. concrete-path propagation with identical kill policy.
+* **Witness tracking**: carrying the full witness path is claimed free —
+  measured as table construction with and without it.
+* **Eager vs lazy** driving order at full demand.
+"""
+
+import pytest
+
+from repro.baselines.path_propagation import NaivePathLookup
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import nonvirtual_diamond_ladder, random_hierarchy
+
+
+def workload():
+    return random_hierarchy(
+        30,
+        seed=5,
+        max_bases=2,
+        virtual_probability=0.35,
+        member_names=("m", "f"),
+        member_probability=0.5,
+    )
+
+
+KILL_VARIANTS = {
+    "no-kills": dict(kill_on_generation=False, kill_dominated=False),
+    "generation-kill": dict(kill_on_generation=True, kill_dominated=False),
+    "dominated-kill": dict(kill_on_generation=True, kill_dominated=True),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(KILL_VARIANTS))
+def test_kill_policy_ablation(benchmark, variant):
+    graph = workload()
+    options = KILL_VARIANTS[variant]
+
+    def run():
+        engine = NaivePathLookup(graph, **options)
+        for member in graph.member_names():
+            engine.reaching_definitions(member)
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["paths_propagated"] = engine.paths_propagated
+
+
+def test_kills_strictly_reduce_propagation():
+    graph = nonvirtual_diamond_ladder(6)
+    counts = {}
+    for variant, options in KILL_VARIANTS.items():
+        engine = NaivePathLookup(graph, **options)
+        engine.reaching_definitions("m")
+        counts[variant] = engine.paths_propagated
+    assert counts["dominated-kill"] <= counts["generation-kill"]
+    assert counts["generation-kill"] <= counts["no-kills"]
+
+
+def test_abstraction_vs_concrete_paths(benchmark):
+    """The core ablation: Figure 8's abstraction propagation vs the best
+    concrete-path variant on the same hierarchy."""
+    graph = workload()
+
+    def figure8():
+        return build_lookup_table(graph)
+
+    table = benchmark(figure8)
+    # The concrete-path engine does strictly more propagation work.
+    concrete = NaivePathLookup(graph, kill_dominated=True)
+    for member in graph.member_names():
+        concrete.reaching_definitions(member)
+    assert table.stats.red_propagations + table.stats.blue_propagations <= (
+        concrete.paths_propagated
+    )
+
+
+@pytest.mark.parametrize("witnesses", [True, False], ids=["with", "without"])
+def test_witness_tracking_ablation(benchmark, witnesses):
+    """Section 4's claim that carrying the witness path is free (at most
+    one red definition crosses each edge)."""
+    graph = workload()
+    table = benchmark(build_lookup_table, graph, track_witnesses=witnesses)
+    assert table.stats.entries_computed > 0
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+def test_witness_tracking_does_not_change_algorithmic_work():
+    graph = workload()
+    with_witnesses = build_lookup_table(graph, track_witnesses=True)
+    without = build_lookup_table(graph, track_witnesses=False)
+    assert with_witnesses.stats.total_work() == without.stats.total_work()
+
+
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+def test_driving_order_ablation(benchmark, mode):
+    graph = workload()
+    queries = [
+        (class_name, member)
+        for class_name in graph.classes
+        for member in graph.member_names()
+    ]
+
+    if mode == "eager":
+        def run():
+            table = build_lookup_table(graph)
+            return [table.lookup(c, m) for c, m in queries]
+    else:
+        def run():
+            lazy = LazyMemberLookup(graph)
+            return [lazy.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    assert len(results) == len(queries)

@@ -1,0 +1,58 @@
+"""Experiment "§5 claim C": constructing the whole lookup table costs
+O((|M| + |N|) * (|N| + |E|)) on unambiguous programs and
+O(|M| * |N| * (|N| + |E|)) in general — i.e. roughly linear in the
+number of member names |M| once the hierarchy is fixed.
+"""
+
+import pytest
+
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import random_hierarchy
+
+MEMBER_COUNTS = [1, 4, 16, 64]
+
+
+def practice_like(n_members: int):
+    """A fixed mid-sized layered DAG with a varying member vocabulary."""
+    return random_hierarchy(
+        60,
+        seed=2024,
+        max_bases=3,
+        virtual_probability=0.3,
+        member_names=tuple(f"m{i}" for i in range(n_members)),
+        member_probability=0.5,
+    )
+
+
+@pytest.mark.parametrize("n_members", MEMBER_COUNTS)
+def test_member_vocabulary_sweep(benchmark, n_members):
+    graph = practice_like(n_members)
+    table = benchmark(build_lookup_table, graph)
+    assert table.stats.entries_computed > 0
+    benchmark.extra_info["members"] = n_members
+    benchmark.extra_info["entries"] = table.stats.entries_computed
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+def test_work_roughly_linear_in_member_count():
+    """Doubling |M| must not blow work up super-linearly: work per
+    member name stays within a constant band across a 64x |M| range."""
+    per_member = []
+    for n_members in MEMBER_COUNTS:
+        graph = practice_like(n_members)
+        table = build_lookup_table(graph)
+        per_member.append(table.stats.total_work() / n_members)
+    # Normalised work may *fall* as members multiply (fewer classes see
+    # each name) but must not rise more than ~2x.
+    assert max(per_member) <= 2.5 * per_member[-1], per_member
+
+
+def test_tabulated_queries_are_constant_time():
+    graph = practice_like(16)
+    table = build_lookup_table(graph)
+    before = table.stats.total_work()
+    for class_name in graph.classes:
+        for member in graph.member_names():
+            table.lookup(class_name, member)
+    # Querying performs no further algorithmic work.
+    assert table.stats.total_work() == before

@@ -1,0 +1,179 @@
+"""Experiments "§7.1 claim E" and "§7.2": on practice-like hierarchies
+(no exponential subobject blow-up) the paper expects its algorithm to
+"perform as well or better" than subobject-graph lookups; the Eiffel-
+style topological-number shortcut is faster still but only valid on
+unambiguous programs.
+
+All engines answer the full query set of the same workloads; the
+assertions pin agreement, the timings give the comparison.
+"""
+
+import pytest
+
+from repro.baselines.gxx import gxx_lookup_fixed
+from repro.baselines.path_propagation import NaivePathLookup
+from repro.baselines.topo_number import TopoNumberLookup
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.subobjects.reference import ReferenceLookup
+from repro.workloads.generators import random_hierarchy
+from repro.workloads.paper_figures import iostream_like
+
+
+def practice_like():
+    """A 40-class layered DAG with moderate multiple and virtual
+    inheritance — the 'class hierarchies that arise in practice' the
+    paper speaks of."""
+    return random_hierarchy(
+        40,
+        seed=7,
+        max_bases=2,
+        virtual_probability=0.4,
+        member_names=("m", "f", "g", "h"),
+        member_probability=0.4,
+    )
+
+
+def all_queries(graph):
+    return [
+        (class_name, member)
+        for class_name in graph.classes
+        for member in graph.member_names()
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = practice_like()
+    return graph, all_queries(graph)
+
+
+def test_efficient_table(benchmark, workload):
+    graph, queries = workload
+
+    def run():
+        table = build_lookup_table(graph)
+        return [table.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    assert len(results) == len(queries)
+
+
+def test_lazy_engine(benchmark, workload):
+    graph, queries = workload
+
+    def run():
+        lazy = LazyMemberLookup(graph)
+        return [lazy.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    assert len(results) == len(queries)
+
+
+def test_reference_subobject_lookup(benchmark, workload):
+    graph, queries = workload
+
+    def run():
+        reference = ReferenceLookup(graph)
+        return [reference.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    assert len(results) == len(queries)
+
+
+def test_gxx_style_walk(benchmark, workload):
+    graph, queries = workload
+    results = benchmark(
+        lambda: [gxx_lookup_fixed(graph, c, m) for c, m in queries]
+    )
+    assert len(results) == len(queries)
+
+
+def test_naive_path_propagation(benchmark, workload):
+    graph, queries = workload
+
+    def run():
+        naive = NaivePathLookup(graph, kill_dominated=True)
+        return [naive.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    assert len(results) == len(queries)
+
+
+def test_topo_number_shortcut(benchmark, workload):
+    """Section 7.2: valid only where lookups are unambiguous, so it only
+    answers that subset — the speed is the point."""
+    graph, queries = workload
+    table = build_lookup_table(graph)
+    valid = [
+        (c, m) for c, m in queries if not table.lookup(c, m).is_ambiguous
+    ]
+
+    def run():
+        engine = TopoNumberLookup(graph)
+        return [engine.lookup(c, m) for c, m in valid]
+
+    results = benchmark(run)
+    assert len(results) == len(valid)
+
+
+def test_all_engines_agree_on_workload(workload):
+    graph, queries = workload
+    table = build_lookup_table(graph)
+    lazy = LazyMemberLookup(graph)
+    reference = ReferenceLookup(graph)
+    for class_name, member in queries:
+        expected = reference.lookup(class_name, member)
+        for got in (
+            table.lookup(class_name, member),
+            lazy.lookup(class_name, member),
+            gxx_lookup_fixed(graph, class_name, member),
+        ):
+            assert got.status == expected.status
+            if expected.is_unique:
+                assert got.declaring_class == expected.declaring_class
+
+
+def test_iostream_hierarchy(benchmark):
+    graph = iostream_like()
+    queries = all_queries(graph)
+
+    def run():
+        table = build_lookup_table(graph)
+        return [table.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    unique = sum(1 for r in results if r.is_unique)
+    assert unique > 0
+
+
+def test_gui_toolkit_hierarchy(benchmark):
+    """The hand-modelled practice-like workload (33 classes, virtual
+    mixins, one deliberate diamond): the closing comparison of §7.1 on
+    a realistic shape."""
+    from repro.workloads.realworld import gui_toolkit
+
+    graph = gui_toolkit()
+    queries = all_queries(graph)
+
+    def run():
+        table = build_lookup_table(graph)
+        return [table.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    ambiguous = sum(1 for r in results if r.is_ambiguous)
+    assert 0 < ambiguous < len(results) // 4
+
+
+def test_gui_toolkit_reference(benchmark):
+    from repro.workloads.realworld import gui_toolkit
+
+    graph = gui_toolkit()
+    queries = all_queries(graph)
+
+    def run():
+        reference = ReferenceLookup(graph)
+        return [reference.lookup(c, m) for c, m in queries]
+
+    results = benchmark(run)
+    assert len(results) == len(queries)

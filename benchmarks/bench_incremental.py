@@ -1,0 +1,109 @@
+"""Extension benchmark: incremental lookup under hierarchy growth.
+
+A compiler interleaves declarations with lookups.  This bench replays a
+random hierarchy declaration-by-declaration with a lookup burst after
+every class, comparing (a) rebuilding the eager table each time, (b) a
+fresh lazy engine each time, and (c) the incremental engine with cache
+invalidation.
+"""
+
+import pytest
+
+from repro.core.incremental import IncrementalLookupEngine
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import random_hierarchy
+
+MEMBERS = ("m", "f")
+
+
+def script(n_classes: int):
+    """The declaration/query script derived from a random hierarchy."""
+    graph = random_hierarchy(
+        n_classes,
+        seed=31,
+        max_bases=2,
+        virtual_probability=0.3,
+        member_names=MEMBERS,
+        member_probability=0.5,
+    )
+    steps = []
+    for name in graph.classes:
+        edges = [
+            (e.base, e.derived, e.virtual) for e in graph.direct_bases(name)
+        ]
+        members = list(graph.declared_members(name).values())
+        steps.append((name, members, edges))
+    return steps
+
+
+def run_with_rebuild(steps, engine_factory):
+    from repro.hierarchy.graph import ClassHierarchyGraph
+
+    graph = ClassHierarchyGraph()
+    answers = 0
+    for name, members, edges in steps:
+        graph.add_class(name, members)
+        for base, derived, virtual in edges:
+            graph.add_edge(base, derived, virtual=virtual)
+        engine = engine_factory(graph)
+        for declared in graph.classes:
+            for member in MEMBERS:
+                engine.lookup(declared, member)
+                answers += 1
+    return answers
+
+
+def run_incremental(steps):
+    engine = IncrementalLookupEngine()
+    answers = 0
+    for name, members, edges in steps:
+        engine.add_class(name, members)
+        for base, derived, virtual in edges:
+            engine.add_edge(base, derived, virtual=virtual)
+        for declared in engine.graph.classes:
+            for member in MEMBERS:
+                engine.lookup(declared, member)
+                answers += 1
+    return answers
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_rebuild_eager_each_step(benchmark, n):
+    steps = script(n)
+    answers = benchmark(run_with_rebuild, steps, build_lookup_table)
+    benchmark.extra_info["answers"] = answers
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_fresh_lazy_each_step(benchmark, n):
+    steps = script(n)
+    answers = benchmark(run_with_rebuild, steps, LazyMemberLookup)
+    benchmark.extra_info["answers"] = answers
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_incremental_engine(benchmark, n):
+    steps = script(n)
+    answers = benchmark(run_incremental, steps)
+    benchmark.extra_info["answers"] = answers
+
+
+def test_incremental_results_match_rebuild():
+    steps = script(40)
+    engine = IncrementalLookupEngine()
+    for name, members, edges in steps:
+        engine.add_class(name, members)
+        for base, derived, virtual in edges:
+            engine.add_edge(base, derived, virtual=virtual)
+        for declared in engine.graph.classes:
+            for member in MEMBERS:
+                engine.lookup(declared, member)
+    table = build_lookup_table(engine.graph)
+    for declared in engine.graph.classes:
+        for member in MEMBERS:
+            left = engine.lookup(declared, member)
+            right = table.lookup(declared, member)
+            assert left.status == right.status
+            if right.is_unique:
+                assert left.declaring_class == right.declaring_class

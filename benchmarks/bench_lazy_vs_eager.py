@@ -1,0 +1,69 @@
+"""Experiment "§5 lazy note": the memoising lazy variant computes only
+the entries a query transitively demands, without worsening the
+complexity when everything is demanded.
+"""
+
+import pytest
+
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import chain, random_hierarchy
+
+DEMAND_FRACTIONS = [0.05, 0.25, 1.0]
+
+
+def workload():
+    return random_hierarchy(
+        120,
+        seed=99,
+        max_bases=2,
+        virtual_probability=0.3,
+        member_names=("m", "f", "g"),
+        member_probability=0.4,
+    )
+
+
+@pytest.mark.parametrize("fraction", DEMAND_FRACTIONS)
+def test_lazy_at_demand_fraction(benchmark, fraction):
+    graph = workload()
+    queries = [
+        (class_name, member)
+        for class_name in graph.classes
+        for member in graph.member_names()
+    ]
+    demanded = queries[: max(1, int(len(queries) * fraction))]
+
+    def run():
+        lazy = LazyMemberLookup(graph)
+        for class_name, member in demanded:
+            lazy.lookup(class_name, member)
+        return lazy
+
+    lazy = benchmark(run)
+    benchmark.extra_info["demanded"] = len(demanded)
+    benchmark.extra_info["entries_computed"] = lazy.entries_computed()
+
+
+def test_eager_full_table(benchmark):
+    graph = workload()
+    table = benchmark(build_lookup_table, graph)
+    benchmark.extra_info["entries_computed"] = table.stats.entries_computed
+
+
+def test_lazy_never_computes_more_entries_than_eager():
+    graph = workload()
+    eager = build_lookup_table(graph)
+    lazy = LazyMemberLookup(graph)
+    for class_name in graph.classes:
+        for member in graph.member_names():
+            lazy.lookup(class_name, member)
+    # The lazy cache also holds "not visible" entries, so compare
+    # algorithmic propagation work instead of raw cache size.
+    assert lazy.stats.total_work() <= eager.stats.total_work()
+
+
+def test_sparse_demand_computes_sparse_entries():
+    graph = chain(300, member_every=300)
+    lazy = LazyMemberLookup(graph)
+    lazy.lookup("C25", "m")
+    assert lazy.entries_computed() == 26

@@ -1,0 +1,75 @@
+"""Experiment "§5 claim B": the general worst case is
+O(|N| * (|N| + |E|)) per member — ambiguous programs propagate blue sets
+whose size grows with |N|, and every subsequent edge re-unions them.
+
+Workloads: ``blue_heavy_hierarchy`` (width pairwise-distinct blue
+abstractions dragged through a tail — the regime the bound describes),
+plus the ambiguous fan and ladder for timing.  The analytic assertions
+confirm (i) the work per graph-size unit *grows* with |N| here, unlike
+the unambiguous claim-A regime, and (ii) it still respects the quadratic
+envelope — polynomial, never exponential.
+"""
+
+import pytest
+
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import (
+    ambiguous_fan,
+    blue_heavy_hierarchy,
+    deep_ambiguous_ladder,
+)
+
+
+@pytest.mark.parametrize("size", [4, 8, 16, 32])
+def test_blue_heavy_scaling(benchmark, size):
+    graph = blue_heavy_hierarchy(size, size)
+    table = benchmark(build_lookup_table, graph)
+    result = table.lookup(f"T{size - 1}", "m")
+    assert result.is_ambiguous
+    assert len(result.blue_abstractions) == size
+    benchmark.extra_info["classes"] = len(graph)
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+@pytest.mark.parametrize("k", [4, 8, 16, 32])
+def test_ladder_with_tail_scaling(benchmark, k):
+    graph = deep_ambiguous_ladder(k)
+    table = benchmark(build_lookup_table, graph)
+    assert table.lookup(f"T{k - 1}", "m").is_ambiguous
+    benchmark.extra_info["classes"] = len(graph)
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+@pytest.mark.parametrize("width", [8, 32, 128])
+def test_fan_scaling(benchmark, width):
+    graph = ambiguous_fan(width)
+    table = benchmark(build_lookup_table, graph)
+    result = table.lookup("Join", "m")
+    assert result.is_ambiguous
+    assert len(result.candidates) == width
+
+
+def test_blue_work_grows_superlinearly():
+    """Work per (|N| + |E|) unit grows with the blue-set width — the
+    signature of the O(|N| * (|N| + |E|)) regime."""
+    ratios = []
+    for size in (4, 16, 32):
+        graph = blue_heavy_hierarchy(size, size)
+        table = build_lookup_table(graph)
+        units = len(graph) + graph.edge_count()
+        ratios.append(table.stats.total_work() / units)
+    assert ratios[0] < ratios[1] < ratios[2], ratios
+    assert ratios[2] > 3 * ratios[0], ratios
+
+
+def test_still_polynomial_not_exponential():
+    """Even in the worst-case regime the work counter stays within the
+    quadratic envelope |N| * (|N| + |E|) — no exponential blow-up."""
+    for size in (4, 8, 16):
+        for graph in (
+            deep_ambiguous_ladder(size),
+            blue_heavy_hierarchy(size, size),
+        ):
+            table = build_lookup_table(graph)
+            envelope = len(graph) * (len(graph) + graph.edge_count())
+            assert table.stats.total_work() <= envelope

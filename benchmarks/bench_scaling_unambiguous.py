@@ -1,0 +1,69 @@
+"""Experiment "§5 claim A": a single lookup (and the per-member sweep)
+is O(|N| + |E|) when no lookup is ambiguous.
+
+The benchmark times full-table construction over unambiguous families of
+increasing size; the assertions check the *operation counters* grow
+linearly in |N| + |E| (within slack), which is the complexity claim
+itself, independent of machine noise.
+"""
+
+import pytest
+
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import (
+    binary_tree,
+    chain,
+    virtual_diamond_ladder,
+    wide_unambiguous,
+)
+
+CHAIN_SIZES = [16, 64, 256, 1024]
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_chain_scaling(benchmark, n):
+    graph = chain(n, member_every=8)
+    table = benchmark(build_lookup_table, graph)
+    assert table.ambiguous_queries() == ()
+    benchmark.extra_info["classes"] = n
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+@pytest.mark.parametrize("depth", [4, 6, 8, 10])
+def test_tree_scaling(benchmark, depth):
+    graph = binary_tree(depth)
+    table = benchmark(build_lookup_table, graph)
+    assert table.ambiguous_queries() == ()
+    benchmark.extra_info["classes"] = len(graph)
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+@pytest.mark.parametrize("width", [8, 32, 128])
+def test_virtual_fan_scaling(benchmark, width):
+    graph = wide_unambiguous(width)
+    table = benchmark(build_lookup_table, graph)
+    result = table.lookup("Join", "m")
+    assert result.is_unique and result.declaring_class == "R"
+
+
+def test_work_counter_grows_linearly():
+    """The analytic check: on chains, total work per (|N| + |E|) unit is
+    bounded by a constant across a 64x size range."""
+    ratios = []
+    for n in CHAIN_SIZES:
+        graph = chain(n, member_every=8)
+        table = build_lookup_table(graph)
+        size = len(graph) + graph.edge_count()
+        ratios.append(table.stats.total_work() / size)
+    assert max(ratios) <= 2 * min(ratios) + 1e-9, ratios
+
+
+def test_virtual_ladder_linear_despite_sharing():
+    ratios = []
+    for k in (4, 8, 16, 32):
+        graph = virtual_diamond_ladder(k)
+        table = build_lookup_table(graph)
+        size = len(graph) + graph.edge_count()
+        ratios.append(table.stats.total_work() / size)
+        assert not table.lookup(f"J{k}", "m").is_ambiguous
+    assert max(ratios) <= 2 * min(ratios) + 1e-9, ratios

@@ -1,0 +1,83 @@
+"""Experiment "§7.1 claim D": subobject-graph algorithms are worst-case
+exponential in the CHG size; the paper's algorithm is linear-to-
+quadratic.  On the non-virtual diamond ladder the subobject count is
+2^(k+2) - 3 while the CHG has 3k + 1 classes — this benchmark measures
+both sides of the gap and pins the crossover.
+"""
+
+import pytest
+
+from repro.baselines.gxx import GxxStats, gxx_lookup_fixed
+from repro.core.lookup import build_lookup_table
+from repro.subobjects.graph import subobject_count
+from repro.subobjects.reference import ReferenceLookup
+from repro.workloads.generators import (
+    nonvirtual_diamond_ladder,
+    virtual_diamond_ladder,
+)
+
+LADDER_DEPTHS = [2, 4, 6, 8]
+
+
+@pytest.mark.parametrize("k", LADDER_DEPTHS)
+def test_chg_algorithm_on_ladder(benchmark, k):
+    graph = nonvirtual_diamond_ladder(k)
+    table = benchmark(build_lookup_table, graph)
+    assert table.lookup(f"J{k}", "m").is_ambiguous
+    benchmark.extra_info["classes"] = len(graph)
+    benchmark.extra_info["subobjects"] = 2 ** (k + 2) - 3
+    benchmark.extra_info["total_work"] = table.stats.total_work()
+
+
+@pytest.mark.parametrize("k", LADDER_DEPTHS)
+def test_subobject_walk_on_ladder(benchmark, k):
+    """The corrected g++-style walk (a faithful executable of the
+    Rossie-Friedman definition) visits every one of the 2^(k+2) - 3
+    subobjects."""
+    graph = nonvirtual_diamond_ladder(k)
+    apex = f"J{k}"
+
+    def walk():
+        stats = GxxStats()
+        result = gxx_lookup_fixed(graph, apex, "m", stats=stats)
+        return result, stats
+
+    result, stats = benchmark(walk)
+    assert result.is_ambiguous
+    assert stats.subobjects_visited == 2 ** (k + 2) - 3
+    benchmark.extra_info["subobjects_visited"] = stats.subobjects_visited
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_reference_lookup_on_ladder(benchmark, k):
+    graph = nonvirtual_diamond_ladder(k)
+    reference = ReferenceLookup(graph)
+    result = benchmark(reference.lookup, f"J{k}", "m")
+    assert result.is_ambiguous
+
+
+def test_exponential_vs_linear_growth():
+    """The analytic gap: subobject counts double per rung while the
+    CHG algorithm's work grows by a constant increment."""
+    subobject_counts = []
+    chg_work = []
+    for k in LADDER_DEPTHS:
+        graph = nonvirtual_diamond_ladder(k)
+        subobject_counts.append(subobject_count(graph, f"J{k}"))
+        table = build_lookup_table(graph)
+        chg_work.append(table.stats.total_work())
+    # Subobjects: ratio between consecutive rung pairs approaches 4
+    # (two rungs apart) -- exponential.
+    assert subobject_counts[-1] / subobject_counts[-2] > 3.5
+    # CHG work: the same step grows it by far less than 2x at the tail.
+    assert chg_work[-1] / chg_work[-2] < 2.0
+
+
+def test_virtual_ladder_no_blowup_anywhere():
+    """With virtual joins both worlds are small: the subobject graph is
+    linear too, and the lookup is unambiguous."""
+    k = 8
+    graph = virtual_diamond_ladder(k)
+    assert subobject_count(graph, f"J{k}") == len(graph)
+    table = build_lookup_table(graph)
+    assert table.lookup(f"J{k}", "m").declaring_class == "R"

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The whole toolchain on one translation unit.
+
+Plays the part of a compiler front end: parse C++ → diagnose → build the
+lookup table → lint → lay out objects and vtables → analyse call sites →
+slice to what the program uses → emit the reduced source, then prove the
+reduced program still resolves every access identically.
+
+Run:  python examples/compiler_pipeline.py
+"""
+
+from repro.analysis.cha import analyze_call_targets
+from repro.analysis.lint import LintSeverity, lint_hierarchy
+from repro.analysis.metrics import compute_metrics
+from repro.core import build_lookup_table
+from repro.frontend import analyze
+from repro.layout import build_vtables
+from repro.slicing import slice_hierarchy
+from repro.workloads.emit_cpp import emit_cpp_with_queries
+
+TRANSLATION_UNIT = """
+// A small document/editor framework.
+class Object { public: void hash(); };
+class Observable { public: void notify(); void subscribe(); };
+class Document : Object { public: virtual void render(); void save(); };
+class TextDocument : Document, virtual Observable {
+public:
+  virtual void render();
+  int length;
+};
+class Spreadsheet : Document, virtual Observable {
+public:
+  virtual void render();
+};
+class HybridDoc : TextDocument, Spreadsheet {};   // two Document copies!
+class Report : TextDocument { public: void paginate(); };
+
+main() {
+  Report r;
+  r.render();
+  r.notify();
+  r.save();
+}
+"""
+
+
+def main() -> None:
+    # 1. Front end.
+    program = analyze(TRANSLATION_UNIT)
+    hierarchy = program.hierarchy
+    print("== diagnostics ==")
+    for diagnostic in program.diagnostics or []:
+        print(diagnostic.render(program.source))
+    if not len(program.diagnostics):
+        print("(clean)")
+    print()
+
+    # 2. Metrics and lint.
+    print("== metrics ==")
+    print(compute_metrics(hierarchy).render())
+    print()
+    print("== lint ==")
+    for finding in lint_hierarchy(hierarchy):
+        if finding.severity is not LintSeverity.INFO:
+            print(f"  {finding}")
+    print()
+
+    # 3. Resolutions the program performs.
+    print("== member accesses ==")
+    for resolved in program.resolutions:
+        print(f"  {resolved.result}")
+    print()
+
+    # 4. Code generation artefacts.
+    print("== vtables of Report ==")
+    print(build_vtables(hierarchy, "Report").render())
+    print()
+    print("== devirtualisation of r.render() ==")
+    print(analyze_call_targets(hierarchy, "Report", "render").render())
+    print()
+
+    # 5. Slice to what the program actually uses, re-emit, re-check.
+    criteria = [
+        (resolved.class_name, resolved.access.member)
+        for resolved in program.resolutions
+        if resolved.class_name
+    ]
+    sliced = slice_hierarchy(hierarchy, criteria)
+    print("== slice ==")
+    removed = sorted(set(hierarchy.classes) - sliced.kept_classes)
+    print(f"  removed classes: {removed}")
+    reduced_source = emit_cpp_with_queries(sliced.hierarchy, criteria)
+    reparsed = analyze(reduced_source)
+    table_before = build_lookup_table(hierarchy)
+    table_after = build_lookup_table(reparsed.hierarchy)
+    agreement = all(
+        table_before.lookup(c, m).declaring_class
+        == table_after.lookup(c, m).declaring_class
+        for c, m in criteria
+    )
+    print(f"  re-emitted + re-analysed: resolutions preserved = {agreement}")
+
+
+if __name__ == "__main__":
+    main()

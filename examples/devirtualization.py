@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Devirtualisation by class hierarchy analysis.
+
+The lookup table answers, for every complete type, where a virtual call
+dispatches (its final overrider).  Sweeping that over all types
+substitutable at a call site yields the classic CHA optimisation: calls
+with a single possible target become direct calls.  The vtable builder
+shows the unoptimised dispatch structure the calls would otherwise use.
+
+Run:  python examples/devirtualization.py
+"""
+
+from repro.analysis.cha import analyze_call_targets, devirtualizable_calls
+from repro.frontend import analyze_or_raise
+from repro.layout import build_vtables
+
+PROGRAM = """
+class Stream {
+public:
+  virtual void write();
+  virtual void flush();
+  virtual void close();
+};
+class BufferedStream : Stream {
+public:
+  virtual void write();
+  virtual void flush();
+};
+class FileStream : BufferedStream {
+public:
+  virtual void close();
+};
+class SocketStream : BufferedStream {
+public:
+  virtual void write();
+};
+"""
+
+
+def main() -> None:
+    hierarchy = analyze_or_raise(PROGRAM).hierarchy
+    print(hierarchy.summary())
+    print()
+
+    print("=== call-site analyses ===")
+    for static_type, member in (
+        ("Stream", "write"),
+        ("Stream", "flush"),
+        ("BufferedStream", "flush"),
+        ("FileStream", "write"),
+    ):
+        print(analyze_call_targets(hierarchy, static_type, member).render())
+        print()
+
+    print("=== every monomorphic call site in the program ===")
+    for analysis in devirtualizable_calls(hierarchy):
+        print(
+            f"  {analysis.static_type}::{analysis.member} -> "
+            f"{analysis.devirtualized_target}::{analysis.member}"
+        )
+    print()
+
+    print("=== the vtables a non-optimising compiler would emit ===")
+    print(build_vtables(hierarchy, "FileStream").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Hierarchy evolution: incremental lookup and lookup-impact diffing.
+
+Simulates a refactoring session on a widget library: the hierarchy is
+grown declaration by declaration through the incremental engine (as a
+compiler would see it), then a refactor is applied and the lookup-impact
+diff reports exactly which call targets changed.
+
+Run:  python examples/hierarchy_evolution.py
+"""
+
+from repro.analysis.diff import diff_hierarchies, render_diff
+from repro.core.incremental import IncrementalLookupEngine
+from repro.frontend import analyze_or_raise
+
+VERSION_1 = """
+class Object { public: void hash(); };
+class Paintable { public: void paint(); };
+class Widget : Object { public: void resize(); };
+class Button : Widget, Paintable {};
+class IconButton : Button {};
+"""
+
+# The refactor: Widget gains its own paint() (an override point) and
+# Button's bases swap to virtual inheritance of Paintable.
+VERSION_2 = """
+class Object { public: void hash(); };
+class Paintable { public: void paint(); };
+class Widget : Object { public: void resize(); void paint(); };
+class Button : Widget, virtual Paintable {};
+class IconButton : Button {};
+"""
+
+
+def grow_incrementally() -> None:
+    print("=== growing version 1 declaration-by-declaration ===")
+    engine = IncrementalLookupEngine()
+    engine.add_class("Object", ["hash"])
+    engine.add_class("Paintable", ["paint"])
+    engine.add_class("Widget")
+    engine.add_edge("Object", "Widget")
+    engine.add_member("Widget", "resize")
+    print(f"  so far: {engine.lookup('Widget', 'hash')}")
+
+    engine.add_class("Button")
+    engine.add_edge("Widget", "Button")
+    engine.add_edge("Paintable", "Button")
+    print(f"  after Button: {engine.lookup('Button', 'paint')}")
+
+    engine.add_class("IconButton")
+    engine.add_edge("Button", "IconButton")
+    print(f"  after IconButton: {engine.lookup('IconButton', 'paint')}")
+    print(
+        f"  mutations: {engine.stats.mutations}, "
+        f"cache invalidations: {engine.stats.entries_invalidated}"
+    )
+    print()
+
+
+def diff_versions() -> None:
+    print("=== lookup-impact of the refactor ===")
+    before = analyze_or_raise(VERSION_1).hierarchy
+    after = analyze_or_raise(VERSION_2).hierarchy
+    changes = diff_hierarchies(before, after)
+    print(render_diff(changes))
+
+
+def main() -> None:
+    grow_incrementally()
+    diff_versions()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Class hierarchy slicing driven by lookup (the Tip et al. application).
+
+Given the set of member accesses a program actually performs, the slicer
+keeps only the classes and members that can influence those lookups —
+and the results provably do not change.
+
+Run:  python examples/hierarchy_slicing.py
+"""
+
+from repro import build_lookup_table
+from repro.frontend import analyze
+from repro.slicing import slice_hierarchy
+
+PROGRAM = """
+class Object { public: void hash(); void print(); };
+class Serializable { public: void save(); void load(); };
+class Widget : Object { public: void draw(); int width; };
+class Skin { public: void draw(); };
+class Button : Widget, virtual Serializable { public: void click(); };
+class Checkbox : Widget, virtual Serializable {};
+class FancyButton : Button { public: void shine(); };
+class Audit { public: void log(); };
+class Logger : Audit {};
+
+main() {
+  FancyButton fb;
+  fb.draw();
+  fb.save();
+}
+"""
+
+
+def main() -> None:
+    program = analyze(PROGRAM)
+    hierarchy = program.hierarchy
+    print("original hierarchy:")
+    print(hierarchy.summary())
+    print()
+
+    criteria = [
+        (resolved.class_name, resolved.access.member)
+        for resolved in program.resolutions
+        if resolved.class_name is not None
+    ]
+    print(f"slice criteria (the program's member accesses): {criteria}")
+    print()
+
+    result = slice_hierarchy(hierarchy, criteria)
+    print("sliced hierarchy:")
+    print(result.hierarchy.summary())
+    print()
+    removed = sorted(set(hierarchy.classes) - result.kept_classes)
+    print(f"classes removed: {removed}")
+    print(f"reduction: {result.reduction(hierarchy):.0%} of classes dropped")
+    print()
+
+    original_table = build_lookup_table(hierarchy)
+    sliced_table = build_lookup_table(result.hierarchy)
+    print("criterion lookups, before vs after:")
+    for class_name, member in criteria:
+        print(f"  before: {original_table.lookup(class_name, member)}")
+        print(f"  after : {sliced_table.lookup(class_name, member)}")
+
+
+if __name__ == "__main__":
+    main()

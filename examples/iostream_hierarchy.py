@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""A realistic workload: the classic iostream virtual diamond.
+
+Shows the compiler-facing applications built on the lookup table:
+object layout, dispatch tables (the paper's "constructing
+virtual-function tables"), access checking, and the Rossie-Friedman
+dyn/stat staging.
+
+Run:  python examples/iostream_hierarchy.py
+"""
+
+from repro import HierarchyBuilder, Member, build_lookup_table
+from repro.access import AccessChecker
+from repro.hierarchy import Access, MemberKind
+from repro.layout import build_dispatch_table, compute_layout
+from repro.subobjects import RossieFriedmanLookup, SubobjectGraph
+
+
+def fn(name, access=Access.PUBLIC):
+    return Member(name, kind=MemberKind.FUNCTION, access=access)
+
+
+def data(name, access=Access.PROTECTED):
+    return Member(name, access=access)
+
+
+def build_iostreams():
+    return (
+        HierarchyBuilder()
+        .cls("ios_base", members=[fn("flags"), data("fmtfl")])
+        .cls(
+            "ios",
+            bases=["ios_base"],
+            members=[fn("rdstate"), fn("clear"), data("state")],
+        )
+        .cls(
+            "istream",
+            virtual_bases=["ios"],
+            members=[fn("get"), fn("read"), data("gcount_")],
+        )
+        .cls(
+            "ostream",
+            virtual_bases=["ios"],
+            members=[fn("put"), fn("write")],
+        )
+        .cls("iostream", bases=["istream", "ostream"])
+        .cls(
+            "fstream",
+            bases=["iostream"],
+            members=[fn("open"), fn("close"), data("fd", Access.PRIVATE)],
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    hierarchy = build_iostreams()
+    print(hierarchy.summary())
+    print()
+
+    table = build_lookup_table(hierarchy)
+    print("=== lookups through the shared virtual base ===")
+    for member in ("rdstate", "flags", "get", "put"):
+        print(f"  {table.lookup('fstream', member)}")
+    print()
+
+    print("=== object layout of fstream ===")
+    layout = compute_layout(hierarchy, "fstream")
+    print(layout.render())
+    print()
+
+    print("=== dispatch table of iostream ===")
+    dispatch = build_dispatch_table(hierarchy, "iostream")
+    print(dispatch.render())
+    print()
+
+    print("=== access checking (post-lookup, as the paper specifies) ===")
+    checker = AccessChecker(hierarchy)
+    for member, context in (
+        ("rdstate", None),
+        ("state", None),
+        ("state", "fstream"),
+        ("fd", "fstream"),
+    ):
+        where = context or "non-member code"
+        print(f"  {member} from {where}: {checker.check('fstream', member, context=context)}")
+    print()
+
+    print("=== Rossie-Friedman dyn/stat staging ===")
+    rf = RossieFriedmanLookup(hierarchy)
+    subobjects = SubobjectGraph(hierarchy, "fstream")
+    ios_subobject = subobjects.of_class("ios")[0]
+    print(f"  subobject: {ios_subobject}")
+    print(f"  dyn(clear)  -> {rf.dyn('clear', ios_subobject)}")
+    istream_subobject = subobjects.of_class("istream")[0]
+    print(f"  stat(rdstate) from {istream_subobject} -> "
+          f"{rf.stat('rdstate', istream_subobject)}")
+
+
+if __name__ == "__main__":
+    main()

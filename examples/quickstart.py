@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: build a hierarchy, run member lookups, read the answers.
+
+This walks the paper's Figures 1 and 2: the same five-class program with
+non-virtual vs. virtual inheritance, where the change flips ``lookup(E,
+m)`` from ambiguous to well-defined.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HierarchyBuilder, build_lookup_table
+from repro.diagnostics import explain_lookup
+
+
+def build_nonvirtual_version():
+    """Figure 1: class E : C, D with plain inheritance everywhere."""
+    return (
+        HierarchyBuilder()
+        .cls("A", members=["m"])
+        .cls("B", bases=["A"])
+        .cls("C", bases=["B"])
+        .cls("D", bases=["B"], members=["m"])
+        .cls("E", bases=["C", "D"])
+        .build()
+    )
+
+
+def build_virtual_version():
+    """Figure 2: C and D now inherit B virtually."""
+    return (
+        HierarchyBuilder()
+        .cls("A", members=["m"])
+        .cls("B", bases=["A"])
+        .cls("C", virtual_bases=["B"])
+        .cls("D", virtual_bases=["B"], members=["m"])
+        .cls("E", bases=["C", "D"])
+        .build()
+    )
+
+
+def main() -> None:
+    print("=== non-virtual inheritance (paper, Figure 1) ===")
+    nonvirtual = build_nonvirtual_version()
+    table = build_lookup_table(nonvirtual)
+    result = table.lookup("E", "m")
+    print(result)
+    print()
+    print(explain_lookup(nonvirtual, "E", "m"))
+    print()
+
+    print("=== virtual inheritance (paper, Figure 2) ===")
+    virtual = build_virtual_version()
+    table = build_lookup_table(virtual)
+    result = table.lookup("E", "m")
+    print(result)
+    print(f"  declaring class: {result.declaring_class}")
+    print(f"  witness path:    {result.witness}")
+    print(f"  subobject:       {result.subobject}")
+    print()
+
+    print("=== the whole lookup table of the virtual version ===")
+    for class_name in virtual.classes:
+        for member in table.visible_members(class_name):
+            print(f"  {table.lookup(class_name, member)}")
+
+
+if __name__ == "__main__":
+    main()

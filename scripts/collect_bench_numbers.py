@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate the measured numbers behind EXPERIMENTS.md.
+
+Runs the benchmark suite with ``--benchmark-json`` and prints a compact
+per-benchmark summary (median, ops, extra_info counters) grouped by
+bench file, so the tables in EXPERIMENTS.md can be refreshed after a
+change.
+
+Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from collections import defaultdict
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def human(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds:8.2f} s "
+
+
+def main() -> int:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(ROOT / "benchmarks"),
+        "--benchmark-only",
+        "-q",
+        f"--benchmark-json={json_path}",
+        *sys.argv[1:],
+    ]
+    completed = subprocess.run(command, cwd=ROOT)
+    if completed.returncode != 0:
+        return completed.returncode
+
+    data = json.loads(Path(json_path).read_text())
+    by_file: dict[str, list] = defaultdict(list)
+    for bench in data["benchmarks"]:
+        file_name = bench["fullname"].split("::")[0].split("/")[-1]
+        by_file[file_name].append(bench)
+
+    for file_name in sorted(by_file):
+        print(f"\n== {file_name} ==")
+        for bench in sorted(by_file[file_name], key=lambda b: b["name"]):
+            median = bench["stats"]["median"]
+            extras = bench.get("extra_info") or {}
+            extra_text = (
+                "  [" + ", ".join(f"{k}={v}" for k, v in extras.items()) + "]"
+                if extras
+                else ""
+            )
+            print(f"  {bench['name']:<55} {human(median)}{extra_text}")
+    print(f"\n(raw JSON: {json_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

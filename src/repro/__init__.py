@@ -1,0 +1,78 @@
+"""repro — a reproduction of "A Member Lookup Algorithm for C++".
+
+G. Ramalingam and Harini Srinivasan, PLDI 1997.
+
+The package implements the paper's formalism for C++ multiple inheritance
+(paths over the class hierarchy graph, subobjects as path-equivalence
+classes, the dominance partial order) and its efficient member lookup
+algorithm, together with the reference Rossie-Friedman semantics, the
+baselines the paper compares against, and the extensions it sketches.
+
+Quickstart::
+
+    from repro import HierarchyBuilder, build_lookup_table
+
+    g = (HierarchyBuilder()
+         .cls("A", members=["m"])
+         .cls("B", bases=["A"])
+         .cls("C", virtual_bases=["B"])
+         .cls("D", virtual_bases=["B"], members=["m"])
+         .cls("E", bases=["C", "D"])
+         .build())
+
+    table = build_lookup_table(g)
+    print(table.lookup("E", "m"))   # resolves to D::m
+"""
+
+from repro.core import (
+    OMEGA,
+    LazyMemberLookup,
+    LookupResult,
+    LookupStatus,
+    MemberLookupTable,
+    Path,
+    StaticAwareLookupTable,
+    build_lookup_table,
+    lookup,
+    path_in,
+)
+from repro.errors import HierarchyError, ReproError
+from repro.hierarchy import (
+    Access,
+    ClassHierarchyGraph,
+    HierarchyBuilder,
+    Member,
+    MemberKind,
+    hierarchy_from_spec,
+    topological_order,
+    virtual_bases,
+)
+from repro.subobjects import ReferenceLookup, SubobjectGraph, reference_lookup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OMEGA",
+    "Access",
+    "ClassHierarchyGraph",
+    "HierarchyBuilder",
+    "HierarchyError",
+    "LazyMemberLookup",
+    "LookupResult",
+    "LookupStatus",
+    "Member",
+    "MemberKind",
+    "MemberLookupTable",
+    "Path",
+    "ReferenceLookup",
+    "ReproError",
+    "StaticAwareLookupTable",
+    "SubobjectGraph",
+    "build_lookup_table",
+    "hierarchy_from_spec",
+    "lookup",
+    "path_in",
+    "reference_lookup",
+    "topological_order",
+    "virtual_bases",
+]

@@ -1,0 +1,12 @@
+"""Access-rights computation applied after lookup (paper, Section 6)."""
+
+from repro.access.paths import BestPathAccessChecker, best_path_access
+from repro.access.rules import AccessChecker, AccessDecision, effective_access
+
+__all__ = [
+    "AccessChecker",
+    "AccessDecision",
+    "BestPathAccessChecker",
+    "best_path_access",
+    "effective_access",
+]

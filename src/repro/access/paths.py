@@ -1,0 +1,153 @@
+"""Best-path accessibility (the C++ [class.paths] refinement).
+
+C++ does not check access along the particular path name lookup happened
+to walk: *"If a name can be reached by several paths, the access is that
+of the path that gives most access."*  With virtual inheritance the same
+subobject genuinely is reachable along several paths of different
+access — e.g. a virtual base inherited privately on one arm and publicly
+on another — so this matters.
+
+:func:`best_path_access` computes, for every subobject of a complete
+type, the most permissive inheritance-path access by dynamic programming
+over the (polynomial-per-type) subobject containment DAG: the access of
+a path is the most *restrictive* edge on it, and across paths the most
+*permissive* wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.access.rules import AccessDecision
+from repro.core.equivalence import SubobjectKey
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Access
+from repro.subobjects.graph import SubobjectGraph
+
+_PERMISSIVENESS = {Access.PUBLIC: 2, Access.PROTECTED: 1, Access.PRIVATE: 0}
+
+
+def _most_permissive(a: Access, b: Access) -> Access:
+    return a if _PERMISSIVENESS[a] >= _PERMISSIVENESS[b] else b
+
+
+def best_path_access(
+    graph: ClassHierarchyGraph, complete_type: str
+) -> dict[SubobjectKey, Access]:
+    """For each subobject of ``complete_type``, the most permissive
+    access over all inheritance paths from the complete object to it.
+
+    The whole-object subobject is PUBLIC by definition; each containment
+    step caps a path's access at the inheritance edge's specifier.
+    Processing in BFS order is not sufficient on its own (a better path
+    may be discovered later), so we iterate to a fixpoint — the DAG is
+    small per type and values only ever improve, so this terminates
+    quickly.
+    """
+    subobjects = SubobjectGraph(graph, complete_type)
+    best: dict[SubobjectKey, Access] = {
+        subobjects.root().key: Access.PUBLIC
+    }
+    changed = True
+    while changed:
+        changed = False
+        for container in subobjects.subobjects():
+            container_access = best.get(container.key)
+            if container_access is None:
+                continue
+            holder = container.class_name
+            for child in subobjects.base_subobjects(container.key):
+                # Which edge(s) of the CHG realise this containment?
+                edge = _containment_edge(graph, holder, child)
+                via = container_access.most_restrictive(edge)
+                previous = best.get(child.key)
+                if previous is None or _most_permissive(previous, via) != previous:
+                    best[child.key] = (
+                        via
+                        if previous is None
+                        else _most_permissive(previous, via)
+                    )
+                    changed = True
+    return best
+
+
+def _containment_edge(graph, holder, child) -> Access:
+    """The access of the direct-inheritance edge realising a containment
+    step; when several direct edges could (duplicate shared virtual
+    bases), take the most permissive."""
+    access: Optional[Access] = None
+    for edge in graph.direct_bases(holder):
+        if edge.base == child.class_name:
+            access = (
+                edge.access
+                if access is None
+                else _most_permissive(access, edge.access)
+            )
+    assert access is not None  # containment edges mirror CHG edges
+    return access
+
+
+class BestPathAccessChecker:
+    """Access checking under the [class.paths] most-access rule."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        self._graph = graph
+        self._table = StaticAwareLookupTable(graph)
+        self._best: dict[str, dict[SubobjectKey, Access]] = {}
+
+    def check(
+        self,
+        class_name: str,
+        member: str,
+        *,
+        context: Optional[str] = None,
+    ) -> AccessDecision:
+        result = self._table.lookup(class_name, member)
+        if not result.is_unique or result.witness is None:
+            return AccessDecision(
+                result=result,
+                effective=None,
+                accessible=False,
+                reason=f"lookup is {result.status}",
+            )
+        declared = self._graph.member(result.declaring_class, member).access
+        if declared is Access.PRIVATE and result.declaring_class != class_name:
+            # Private members never propagate along any path; only the
+            # declaring class itself may touch them.
+            allowed = context == result.declaring_class
+            return AccessDecision(
+                result=result,
+                effective=None,
+                accessible=allowed,
+                reason=f"private to {result.declaring_class!r}",
+            )
+        path_access = self._best_for(class_name)[result.subobject]
+        effective = declared.most_restrictive(path_access)
+        accessible, reason = self._judge(effective, class_name, context)
+        return AccessDecision(
+            result=result,
+            effective=effective,
+            accessible=accessible,
+            reason=reason,
+        )
+
+    def _best_for(self, complete_type: str) -> dict[SubobjectKey, Access]:
+        if complete_type not in self._best:
+            self._best[complete_type] = best_path_access(
+                self._graph, complete_type
+            )
+        return self._best[complete_type]
+
+    def _judge(self, effective, class_name, context):
+        if effective is Access.PUBLIC:
+            return True, "public along the best path"
+        if context is None:
+            return False, f"{effective} member accessed from non-member code"
+        if context == class_name:
+            return True, f"{effective} member accessed from its own class"
+        if effective is Access.PROTECTED and self._graph.is_base_of(
+            class_name, context
+        ):
+            return True, "protected member accessed from a derived class"
+        return False, f"{effective} member accessed from unrelated {context!r}"

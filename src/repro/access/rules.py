@@ -1,0 +1,121 @@
+"""Access rights, applied after lookup (paper, Section 6).
+
+    "The access rights do not affect the member lookup process in any
+    way; they are applied only after a successful member lookup to
+    determine if that particular member access is legal."
+
+The companion report [8] was never published, so this module implements
+the straightforward composition the paper alludes to, as a documented
+model of the C++ rules (friendship and using-declarations are out of
+scope):
+
+* The member starts with its declared access in the declaring class.
+* Along each inheritance edge of the witness path, a private member stops
+  being accessible in the derived class at all; otherwise its access is
+  capped by the access of the inheritance (public inheritance preserves,
+  protected inheritance caps at protected, private inheritance caps at
+  private).
+* The final effective access is interpreted relative to the context:
+  public is accessible anywhere; protected within the class or its
+  derived classes; private within the class itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.paths import Path
+from repro.core.results import LookupResult
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Access
+
+
+def effective_access(
+    graph: ClassHierarchyGraph, witness: Path, declared: Access
+) -> Optional[Access]:
+    """Fold the member's access along the witness path; ``None`` means the
+    member is not accessible in the most derived class at all (it was
+    private somewhere strictly below the top of the path)."""
+    current = declared
+    for base, derived, _virtual in witness.edges():
+        if current is Access.PRIVATE:
+            return None
+        edge = graph.edge(base, derived)
+        current = current.most_restrictive(edge.access)
+    return current
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The outcome of an access check: the lookup result, the effective
+    access of the member in the queried class, and the verdict."""
+
+    result: LookupResult
+    effective: Optional[Access]
+    accessible: bool
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "accessible" if self.accessible else "inaccessible"
+        return f"{self.result.qualified_name()}: {verdict} ({self.reason})"
+
+
+class AccessChecker:
+    """Answers "may code in context X access C::m?" questions."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        self._graph = graph
+        self._table = StaticAwareLookupTable(graph)
+
+    def check(
+        self,
+        class_name: str,
+        member: str,
+        *,
+        context: Optional[str] = None,
+    ) -> AccessDecision:
+        """Look up ``member`` in ``class_name`` and decide accessibility
+        from ``context`` (a class name, or ``None`` for non-member
+        code)."""
+        result = self._table.lookup(class_name, member)
+        if not result.is_unique:
+            return AccessDecision(
+                result=result,
+                effective=None,
+                accessible=False,
+                reason=f"lookup is {result.status}",
+            )
+        declared = self._graph.member(result.declaring_class, member).access
+        assert result.witness is not None
+        effective = effective_access(self._graph, result.witness, declared)
+        if effective is None:
+            return AccessDecision(
+                result=result,
+                effective=None,
+                accessible=False,
+                reason="hidden by private inheritance below the access point",
+            )
+        accessible, reason = self._judge(effective, class_name, context)
+        return AccessDecision(
+            result=result,
+            effective=effective,
+            accessible=accessible,
+            reason=reason,
+        )
+
+    def _judge(
+        self, effective: Access, class_name: str, context: Optional[str]
+    ) -> tuple[bool, str]:
+        if effective is Access.PUBLIC:
+            return True, "public"
+        if context is None:
+            return False, f"{effective} member accessed from non-member code"
+        if context == class_name:
+            return True, f"{effective} member accessed from its own class"
+        if effective is Access.PROTECTED and (
+            self._graph.is_base_of(class_name, context)
+        ):
+            return True, "protected member accessed from a derived class"
+        return False, f"{effective} member accessed from unrelated {context!r}"

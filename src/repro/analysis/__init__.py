@@ -1,0 +1,43 @@
+"""Dataflow framing of member lookup (paper, Section 4)."""
+
+from repro.analysis.cha import (
+    CallTargetAnalysis,
+    analyze_call_targets,
+    devirtualizable_calls,
+)
+from repro.analysis.dataflow import ForwardDataflowProblem, solve_forward
+from repro.analysis.diff import (
+    ChangeKind,
+    LookupChange,
+    diff_hierarchies,
+    render_diff,
+)
+from repro.analysis.lookup_as_dataflow import DataflowLookup
+from repro.analysis.lint import (
+    LintFinding,
+    LintRule,
+    LintSeverity,
+    lint_hierarchy,
+    render_findings,
+)
+from repro.analysis.metrics import HierarchyMetrics, compute_metrics
+
+__all__ = [
+    "CallTargetAnalysis",
+    "ChangeKind",
+    "DataflowLookup",
+    "ForwardDataflowProblem",
+    "HierarchyMetrics",
+    "LintFinding",
+    "LintRule",
+    "LintSeverity",
+    "LookupChange",
+    "compute_metrics",
+    "analyze_call_targets",
+    "devirtualizable_calls",
+    "diff_hierarchies",
+    "lint_hierarchy",
+    "render_diff",
+    "render_findings",
+    "solve_forward",
+]

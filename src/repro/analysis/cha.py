@@ -1,0 +1,126 @@
+"""Class Hierarchy Analysis: devirtualisation from the lookup table.
+
+The classic optimisation client of member lookup (Dean, Grove & Chambers
+style): a virtual call ``p->m()`` through a pointer of static type ``B``
+can dispatch to ``lookup(T, m)`` for any complete type ``T`` that is
+``B`` or derives from it.  Collecting those final overriders over the
+whole hierarchy answers:
+
+* which declarations are *possible targets* of the call site;
+* whether the call is **monomorphic** (one possible target) and can be
+  devirtualised to a direct call;
+* which complete types would make the call *ill-formed* (ambiguous
+  final overrider) if constructed and used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.lookup import MemberLookupTable, build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+@dataclass(frozen=True)
+class CallTargetAnalysis:
+    """The possible dispatch behaviour of ``static_type::member`` calls."""
+
+    static_type: str
+    member: str
+    #: declaring class -> the complete types dispatching to it
+    targets: dict[str, tuple[str, ...]]
+    #: complete types where the final overrider is ambiguous
+    ambiguous_in: tuple[str, ...]
+    #: complete types where the member is not visible at all (possible
+    #: only when it is absent in static_type itself)
+    invisible_in: tuple[str, ...]
+
+    @property
+    def possible_declarations(self) -> tuple[str, ...]:
+        return tuple(sorted(self.targets))
+
+    @property
+    def is_monomorphic(self) -> bool:
+        """True when every well-formed dispatch lands in one declaration
+        — the devirtualisation condition."""
+        return len(self.targets) == 1 and not self.ambiguous_in
+
+    @property
+    def devirtualized_target(self) -> Optional[str]:
+        if not self.is_monomorphic:
+            return None
+        (declaration,) = self.targets
+        return declaration
+
+    def render(self) -> str:
+        lines = [
+            f"call analysis for {self.static_type}::{self.member}:",
+        ]
+        for declaration in sorted(self.targets):
+            types = ", ".join(self.targets[declaration])
+            lines.append(
+                f"  -> {declaration}::{self.member}   (from {types})"
+            )
+        if self.ambiguous_in:
+            lines.append(
+                "  !! ambiguous final overrider in: "
+                + ", ".join(self.ambiguous_in)
+            )
+        if self.is_monomorphic:
+            lines.append(
+                f"  monomorphic: devirtualise to "
+                f"{self.devirtualized_target}::{self.member}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_call_targets(
+    graph: ClassHierarchyGraph,
+    static_type: str,
+    member: str,
+    *,
+    table: Optional[MemberLookupTable] = None,
+) -> CallTargetAnalysis:
+    """Analyse every complete type substitutable for ``static_type``."""
+    graph.direct_bases(static_type)  # validates the name
+    table = table if table is not None else build_lookup_table(graph)
+
+    targets: dict[str, list[str]] = {}
+    ambiguous: list[str] = []
+    invisible: list[str] = []
+    complete_types = [static_type] + sorted(graph.descendants(static_type))
+    for complete in complete_types:
+        result = table.lookup(complete, member)
+        if result.is_unique:
+            targets.setdefault(result.declaring_class, []).append(complete)
+        elif result.is_ambiguous:
+            ambiguous.append(complete)
+        else:
+            invisible.append(complete)
+    return CallTargetAnalysis(
+        static_type=static_type,
+        member=member,
+        targets={k: tuple(v) for k, v in targets.items()},
+        ambiguous_in=tuple(ambiguous),
+        invisible_in=tuple(invisible),
+    )
+
+
+def devirtualizable_calls(
+    graph: ClassHierarchyGraph,
+    *,
+    table: Optional[MemberLookupTable] = None,
+) -> list[CallTargetAnalysis]:
+    """All (class, member) call sites in the program that CHA proves
+    monomorphic."""
+    table = table if table is not None else build_lookup_table(graph)
+    results = []
+    for class_name in graph.classes:
+        for member in table.visible_members(class_name):
+            analysis = analyze_call_targets(
+                graph, class_name, member, table=table
+            )
+            if analysis.is_monomorphic:
+                results.append(analysis)
+    return results

@@ -1,0 +1,63 @@
+"""A small forward dataflow engine over DAGs.
+
+Section 4 of the paper observes that member lookup is a
+"pseudo-meet-over-all-paths" dataflow problem: the pseudo-meet is
+``most-dominant``, the transfer function on an edge is path extension,
+and Lemma 3 shows the transfer distributes over the meet — so propagating
+the meet of the reaching definitions (instead of all of them) is sound.
+
+This module provides the generic machinery: a problem supplies per-node
+generated facts, a per-edge transfer, and a meet that combines the
+transferred facts arriving at a node.  Because class hierarchies are
+DAGs, one pass in topological order reaches the fixpoint.  The member
+lookup instance lives in :mod:`repro.analysis.lookup_as_dataflow`; the
+engine itself is problem-agnostic (the tests exercise it on
+reachability and longest-path instances as well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, TypeVar
+
+from repro.hierarchy.graph import ClassHierarchyGraph, Inheritance
+from repro.hierarchy.topo import topological_order
+
+Value = TypeVar("Value")
+
+
+@dataclass(frozen=True)
+class ForwardDataflowProblem(Generic[Value]):
+    """A forward problem over the CHG.
+
+    ``generate(node, incoming)`` produces the node's out-value from the
+    met in-value (``None`` when no fact has arrived); ``transfer(edge,
+    value)`` pushes a value across one inheritance edge; ``meet(node,
+    values)`` combines the values arriving over the node's in-edges.
+    """
+
+    generate: Callable[[str, Optional[Value]], Optional[Value]]
+    transfer: Callable[[Inheritance, Value], Value]
+    meet: Callable[[str, list[Value]], Value]
+
+
+def solve_forward(
+    graph: ClassHierarchyGraph, problem: ForwardDataflowProblem[Value]
+) -> dict[str, Optional[Value]]:
+    """Solve the problem with one topological-order pass.
+
+    Returns the out-value of every node.  On a DAG this is the (unique)
+    fixpoint; with a distributive transfer it coincides with the
+    meet-over-all-paths solution — the property Lemma 3 establishes for
+    member lookup.
+    """
+    out: dict[str, Optional[Value]] = {}
+    for node in topological_order(graph):
+        arriving = []
+        for edge in graph.direct_bases(node):
+            base_value = out[edge.base]
+            if base_value is not None:
+                arriving.append(problem.transfer(edge, base_value))
+        met = problem.meet(node, arriving) if arriving else None
+        out[node] = problem.generate(node, met)
+    return out

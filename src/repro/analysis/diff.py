@@ -1,0 +1,111 @@
+"""Lookup-impact analysis between two versions of a hierarchy.
+
+Refactoring a class hierarchy (adding an override, changing a base to
+virtual, removing a class) can silently change which member a call site
+binds to, or flip a lookup between resolved and ambiguous.  This module
+diffs the full lookup tables of two hierarchies and reports every
+``(class, member)`` whose resolution changed — the hierarchy-evolution
+analysis the lookup table makes cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.lookup import build_lookup_table
+from repro.core.results import LookupResult
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+class ChangeKind(enum.Enum):
+    """How a lookup entry differs between two hierarchy versions."""
+
+    REBOUND = "rebound"  # unique before and after, different declaration
+    BECAME_AMBIGUOUS = "became-ambiguous"
+    BECAME_UNIQUE = "became-unique"
+    APPEARED = "appeared"  # member not visible before, visible now
+    DISAPPEARED = "disappeared"
+    CLASS_ADDED = "class-added"
+    CLASS_REMOVED = "class-removed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LookupChange:
+    class_name: str
+    member: str | None  # None for class-level changes
+    kind: ChangeKind
+    before: LookupResult | None = None
+    after: LookupResult | None = None
+
+    def __str__(self) -> str:
+        if self.member is None:
+            return f"{self.kind}: {self.class_name}"
+        head = f"{self.kind}: {self.class_name}::{self.member}"
+        if self.kind is ChangeKind.REBOUND:
+            return (
+                f"{head}  {self.before.qualified_name()} -> "
+                f"{self.after.qualified_name()}"
+            )
+        return head
+
+
+def diff_hierarchies(
+    before: ClassHierarchyGraph, after: ClassHierarchyGraph
+) -> list[LookupChange]:
+    """All lookup-visible differences between two hierarchy versions.
+
+    Classes present in both are compared entry by entry over the union
+    of both member vocabularies; added/removed classes are reported as
+    such without per-member noise.
+    """
+    changes: list[LookupChange] = []
+    before_classes = set(before.classes)
+    after_classes = set(after.classes)
+    for name in sorted(after_classes - before_classes):
+        changes.append(LookupChange(name, None, ChangeKind.CLASS_ADDED))
+    for name in sorted(before_classes - after_classes):
+        changes.append(LookupChange(name, None, ChangeKind.CLASS_REMOVED))
+
+    shared = sorted(before_classes & after_classes)
+    members = sorted(set(before.member_names()) | set(after.member_names()))
+    old_table = build_lookup_table(before)
+    new_table = build_lookup_table(after)
+    for class_name in shared:
+        for member in members:
+            old = old_table.lookup(class_name, member)
+            new = new_table.lookup(class_name, member)
+            kind = _classify(old, new)
+            if kind is not None:
+                changes.append(
+                    LookupChange(class_name, member, kind, old, new)
+                )
+    return changes
+
+
+def _classify(
+    old: LookupResult, new: LookupResult
+) -> ChangeKind | None:
+    if old.is_not_found and not new.is_not_found:
+        return ChangeKind.APPEARED
+    if not old.is_not_found and new.is_not_found:
+        return ChangeKind.DISAPPEARED
+    if old.is_unique and new.is_unique:
+        if old.declaring_class != new.declaring_class:
+            return ChangeKind.REBOUND
+        return None
+    if old.is_unique and new.is_ambiguous:
+        return ChangeKind.BECAME_AMBIGUOUS
+    if old.is_ambiguous and new.is_unique:
+        return ChangeKind.BECAME_UNIQUE
+    return None
+
+
+def render_diff(changes: list[LookupChange]) -> str:
+    """One line per change, or a no-changes notice."""
+    if not changes:
+        return "no lookup-visible changes"
+    return "\n".join(str(change) for change in changes)

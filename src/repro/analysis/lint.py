@@ -1,0 +1,217 @@
+"""A hierarchy linter built on the lookup table.
+
+Rules (each independently toggleable):
+
+* ``ambiguous-member`` — some class's lookup of a member is ⊥: any use
+  would be a compile error.  Error severity.
+* ``duplicated-base`` — an ambiguity whose candidates are a *single*
+  class: the classic non-virtual diamond duplicating one base's members
+  (the paper's Figure 1); suggests virtual inheritance.  Error severity,
+  reported instead of the generic ambiguity.
+* ``name-shadowing`` — a class declares a member whose name a base
+  class also declares (and it is not a using-declaration re-exposing
+  it): usually intentional overriding, occasionally an accident.
+  Warning severity.
+* ``hidden-everywhere`` — a declaration that no *derived* class can
+  reach through lookup: every derived class's lookup of the name
+  resolves elsewhere or is ambiguous.  Informational.
+* ``gxx-fragile`` — a well-defined lookup that the g++ 2.7.2.1
+  traversal (Section 7.1) misreports as ambiguous: historically
+  non-portable code, and a live demonstration of the paper's Figure 9.
+  Warning severity; skipped when the subobject graphs would be huge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.baselines.gxx import gxx_lookup
+from repro.core.lookup import build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.graph import subobject_count
+
+
+class LintRule(enum.Enum):
+    """The individually toggleable lint rules (see module docstring)."""
+
+    AMBIGUOUS_MEMBER = "ambiguous-member"
+    DUPLICATED_BASE = "duplicated-base"
+    NAME_SHADOWING = "name-shadowing"
+    HIDDEN_EVERYWHERE = "hidden-everywhere"
+    GXX_FRAGILE = "gxx-fragile"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class LintSeverity(enum.Enum):
+    """How serious a finding is: error / warning / info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    rule: LintRule
+    severity: LintSeverity
+    class_name: str
+    member: Optional[str]
+    message: str
+
+    def __str__(self) -> str:
+        where = (
+            f"{self.class_name}::{self.member}"
+            if self.member
+            else self.class_name
+        )
+        return f"{self.severity}: [{self.rule}] {where}: {self.message}"
+
+
+DEFAULT_RULES = frozenset(LintRule)
+
+#: gxx-fragile materialises subobject graphs; skip classes above this.
+_GXX_SUBOBJECT_LIMIT = 512
+
+
+def lint_hierarchy(
+    graph: ClassHierarchyGraph,
+    *,
+    rules: Iterable[LintRule] = DEFAULT_RULES,
+) -> list[LintFinding]:
+    """Run the enabled rules over the hierarchy."""
+    graph.validate()
+    enabled = frozenset(rules)
+    table = build_lookup_table(graph)
+    findings: list[LintFinding] = []
+
+    if enabled & {LintRule.AMBIGUOUS_MEMBER, LintRule.DUPLICATED_BASE}:
+        findings.extend(_ambiguity_findings(graph, table, enabled))
+    if LintRule.NAME_SHADOWING in enabled:
+        findings.extend(_shadowing_findings(graph))
+    if LintRule.HIDDEN_EVERYWHERE in enabled:
+        findings.extend(_hidden_findings(graph, table))
+    if LintRule.GXX_FRAGILE in enabled:
+        findings.extend(_gxx_findings(graph, table))
+    return findings
+
+
+def render_findings(findings: list[LintFinding]) -> str:
+    """One line per finding, or a clean bill of health."""
+    if not findings:
+        return "no findings"
+    return "\n".join(str(finding) for finding in findings)
+
+
+# ----------------------------------------------------------------------
+
+
+def _ambiguity_findings(graph, table, enabled):
+    for (class_name, member), _entry in sorted(table.all_entries().items()):
+        result = table.lookup(class_name, member)
+        if not result.is_ambiguous:
+            continue
+        if len(result.candidates) == 1:
+            if LintRule.DUPLICATED_BASE in enabled:
+                (origin,) = result.candidates
+                yield LintFinding(
+                    rule=LintRule.DUPLICATED_BASE,
+                    severity=LintSeverity.ERROR,
+                    class_name=class_name,
+                    member=member,
+                    message=(
+                        f"ambiguous between multiple subobject copies of "
+                        f"{origin!r}; consider inheriting {origin!r} "
+                        "virtually"
+                    ),
+                )
+        elif LintRule.AMBIGUOUS_MEMBER in enabled:
+            candidates = ", ".join(
+                f"{c}::{member}" for c in result.candidates
+            )
+            yield LintFinding(
+                rule=LintRule.AMBIGUOUS_MEMBER,
+                severity=LintSeverity.ERROR,
+                class_name=class_name,
+                member=member,
+                message=f"any use is ambiguous (candidates: {candidates})",
+            )
+
+
+def _shadowing_findings(graph):
+    declarations = sorted(
+        graph.iter_class_members(), key=lambda cm: (cm[0], cm[1].name)
+    )
+    for class_name, member in declarations:
+        if member.using_from is not None:
+            continue
+        shadowed = sorted(
+            base
+            for base in graph.ancestors(class_name)
+            if graph.declares(base, member.name)
+        )
+        if shadowed:
+            yield LintFinding(
+                rule=LintRule.NAME_SHADOWING,
+                severity=LintSeverity.WARNING,
+                class_name=class_name,
+                member=member.name,
+                message=(
+                    "hides the inherited declaration(s) in "
+                    + ", ".join(shadowed)
+                ),
+            )
+
+
+def _hidden_findings(graph, table):
+    declarations = sorted(
+        graph.iter_class_members(), key=lambda cm: (cm[0], cm[1].name)
+    )
+    for class_name, member in declarations:
+        descendants = graph.descendants(class_name)
+        if not descendants:
+            continue
+        reachable = any(
+            (result := table.lookup(derived, member.name)).is_unique
+            and result.declaring_class == class_name
+            for derived in descendants
+        )
+        if not reachable:
+            yield LintFinding(
+                rule=LintRule.HIDDEN_EVERYWHERE,
+                severity=LintSeverity.INFO,
+                class_name=class_name,
+                member=member.name,
+                message=(
+                    "no derived class resolves this name here (hidden or "
+                    "ambiguous in every derivation)"
+                ),
+            )
+
+
+def _gxx_findings(graph, table):
+    for (class_name, member), _entry in sorted(table.all_entries().items()):
+        result = table.lookup(class_name, member)
+        if not result.is_unique:
+            continue
+        if subobject_count(graph, class_name) > _GXX_SUBOBJECT_LIMIT:
+            continue
+        buggy = gxx_lookup(graph, class_name, member)
+        if buggy.is_ambiguous:
+            yield LintFinding(
+                rule=LintRule.GXX_FRAGILE,
+                severity=LintSeverity.WARNING,
+                class_name=class_name,
+                member=member,
+                message=(
+                    "well-defined, but breadth-first compilers "
+                    "(g++ 2.7.2.1 and kin) misreport it as ambiguous "
+                    "(the paper's Figure 9 pattern)"
+                ),
+            )

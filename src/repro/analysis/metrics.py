@@ -1,0 +1,96 @@
+"""Structural metrics of a class hierarchy.
+
+The quantities that drive the lookup algorithm's cost model: |N|, |E|,
+depth, fan-in, the virtual-edge fraction, subobject growth, and how many
+lookups are ambiguous.  Used by the benchmark reports and handy for
+characterising hierarchies extracted from real code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lookup import build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+from repro.subobjects.graph import subobject_count
+
+
+@dataclass(frozen=True)
+class HierarchyMetrics:
+    classes: int
+    edges: int
+    virtual_edges: int
+    roots: int
+    leaves: int
+    max_depth: int
+    max_fan_in: int  # the largest number of direct bases
+    member_names: int
+    declarations: int
+    lookup_entries: int
+    ambiguous_entries: int
+    max_subobjects: int  # over all complete types
+
+    @property
+    def virtual_fraction(self) -> float:
+        return self.virtual_edges / self.edges if self.edges else 0.0
+
+    @property
+    def ambiguity_rate(self) -> float:
+        if self.lookup_entries == 0:
+            return 0.0
+        return self.ambiguous_entries / self.lookup_entries
+
+    @property
+    def subobject_blowup(self) -> float:
+        """max subobject count relative to |N| — 1.0 means no duplication."""
+        return self.max_subobjects / self.classes if self.classes else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"classes: {self.classes}   edges: {self.edges} "
+                f"({self.virtual_edges} virtual, "
+                f"{self.virtual_fraction:.0%})",
+                f"roots: {self.roots}   leaves: {self.leaves}   "
+                f"max depth: {self.max_depth}   max fan-in: {self.max_fan_in}",
+                f"member names: {self.member_names}   "
+                f"declarations: {self.declarations}",
+                f"lookup entries: {self.lookup_entries}   "
+                f"ambiguous: {self.ambiguous_entries} "
+                f"({self.ambiguity_rate:.0%})",
+                f"max subobjects of one object: {self.max_subobjects} "
+                f"({self.subobject_blowup:.1f}x classes)",
+            ]
+        )
+
+
+def compute_metrics(graph: ClassHierarchyGraph) -> HierarchyMetrics:
+    """Measure a hierarchy (builds its lookup table and subobject counts,
+    so intended for analysis, not hot paths)."""
+    graph.validate()
+    depth: dict[str, int] = {}
+    for name in topological_order(graph):
+        bases = graph.direct_bases(name)
+        depth[name] = 1 + max((depth[e.base] for e in bases), default=-1)
+
+    table = build_lookup_table(graph)
+    declarations = sum(1 for _ in graph.iter_class_members())
+    return HierarchyMetrics(
+        classes=len(graph),
+        edges=graph.edge_count(),
+        virtual_edges=sum(1 for e in graph.edges if e.virtual),
+        roots=len(graph.roots()),
+        leaves=len(graph.leaves()),
+        max_depth=max(depth.values(), default=0),
+        max_fan_in=max(
+            (len(graph.direct_bases(n)) for n in graph.classes), default=0
+        ),
+        member_names=len(graph.member_names()),
+        declarations=declarations,
+        lookup_entries=table.stats.entries_computed,
+        ambiguous_entries=len(table.ambiguous_queries()),
+        max_subobjects=max(
+            (subobject_count(graph, n) for n in graph.classes), default=0
+        ),
+    )

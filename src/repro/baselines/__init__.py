@@ -1,0 +1,23 @@
+"""Baseline lookup algorithms the paper compares against (Section 7)."""
+
+from repro.baselines.c3_mro import C3Lookup, InconsistentMROError, c3_linearization
+from repro.baselines.eiffel import EiffelHierarchy, Feature
+from repro.baselines.gxx import GxxStats, gxx_lookup, gxx_lookup_fixed
+from repro.baselines.path_propagation import NaivePathLookup, naive_lookup
+from repro.baselines.self_lookup import SelfStyleLookup
+from repro.baselines.topo_number import TopoNumberLookup
+
+__all__ = [
+    "C3Lookup",
+    "EiffelHierarchy",
+    "Feature",
+    "GxxStats",
+    "InconsistentMROError",
+    "NaivePathLookup",
+    "SelfStyleLookup",
+    "TopoNumberLookup",
+    "c3_linearization",
+    "gxx_lookup",
+    "gxx_lookup_fixed",
+    "naive_lookup",
+]

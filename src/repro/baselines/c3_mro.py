@@ -1,0 +1,107 @@
+"""C3 linearisation lookup — the Python/Dylan answer to the same problem.
+
+Languages without C++'s subobject model solve member lookup by
+*linearising* the hierarchy: C3 produces a single method resolution
+order per class and lookup scans it for the first declaration.  Included
+as a modern point of comparison with the paper's dominance semantics:
+
+* C3 never reports the paper's kind of ambiguity — a C++-ambiguous
+  lookup (Figure 1) silently resolves to whichever class linearises
+  first;
+* instead it can *reject whole hierarchies* whose base orders cannot be
+  linearised monotonically (Python's "MRO conflict" TypeError), which
+  C++ accepts happily.
+
+The tests exhibit both divergences against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import (
+    LookupResult,
+    not_found_result,
+    unique_result,
+)
+from repro.errors import ReproError
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+class InconsistentMROError(ReproError):
+    """The class's bases cannot be linearised (C3 merge failure)."""
+
+
+def c3_linearization(
+    graph: ClassHierarchyGraph, class_name: str
+) -> tuple[str, ...]:
+    """The C3 MRO of a class: ``L(C) = C + merge(L(B1)..L(Bn), [B1..Bn])``.
+
+    Virtual and non-virtual edges are treated alike (linearising
+    languages have no such distinction).
+    """
+    graph.direct_bases(class_name)
+    cache: dict[str, tuple[str, ...]] = {}
+
+    def linearize(name: str) -> tuple[str, ...]:
+        if name in cache:
+            return cache[name]
+        bases = graph.direct_base_names(name)
+        sequences = [list(linearize(base)) for base in bases]
+        sequences.append(list(bases))
+        cache[name] = (name,) + tuple(_merge(name, sequences))
+        return cache[name]
+
+    return linearize(class_name)
+
+
+def _merge(class_name: str, sequences: list[list[str]]) -> list[str]:
+    result: list[str] = []
+    sequences = [seq for seq in sequences if seq]
+    while sequences:
+        for sequence in sequences:
+            head = sequence[0]
+            in_a_tail = any(head in other[1:] for other in sequences)
+            if not in_a_tail:
+                break
+        else:
+            raise InconsistentMROError(
+                f"cannot create a consistent MRO for {class_name!r}: "
+                f"heads {[seq[0] for seq in sequences]!r} all appear in tails"
+            )
+        result.append(head)
+        sequences = [
+            [entry for entry in sequence if entry != head]
+            for sequence in sequences
+        ]
+        sequences = [seq for seq in sequences if seq]
+    return result
+
+
+class C3Lookup:
+    """Member lookup by MRO scan, Python-style."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        graph.validate()
+        self._graph = graph
+        self._mros: dict[str, tuple[str, ...]] = {}
+
+    def mro(self, class_name: str) -> tuple[str, ...]:
+        if class_name not in self._mros:
+            self._mros[class_name] = c3_linearization(
+                self._graph, class_name
+            )
+        return self._mros[class_name]
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        """The first declaration along the MRO wins; never ambiguous
+        (but :class:`InconsistentMROError` may propagate from the
+        linearisation itself)."""
+        for candidate in self.mro(class_name):
+            if self._graph.declares(candidate, member):
+                return unique_result(
+                    class_name,
+                    member,
+                    declaring_class=candidate,
+                    least_virtual=None,
+                    witness=None,
+                )
+        return not_found_result(class_name, member)

@@ -1,0 +1,119 @@
+"""Eiffel-style feature lookup with renaming (paper, Section 7.2).
+
+    "Attali et al. present a semantics and algorithm for lookup in
+    Eiffel, another language with multiple inheritance.  Member lookup
+    in Eiffel is complicated by the presence of a feature called
+    renaming, that allows a derived class to rename an inherited member.
+    The Attali et al. algorithm, however, assumes that the input program
+    is statically well typed — in particular, they assume that none of
+    the lookups in the source program is ambiguous."
+
+This module implements that model as a point of comparison: classes own
+*features*; inheritance clauses may carry ``rename old -> new`` maps;
+flattening propagates features under their (possibly renamed) final
+names; and — exactly as the paper highlights — the algorithm *assumes*
+well-typedness: an actual name clash between distinct origin features
+raises :class:`AmbiguousLookupDetected` instead of being resolved by any
+dominance rule.  Repeated inheritance of the *same* origin feature under
+one name is shared (Eiffel's sharing rule), mirroring what C++ achieves
+only with virtual bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import (
+    AmbiguousLookupDetected,
+    DuplicateClassError,
+    UnknownClassError,
+)
+
+
+@dataclass(frozen=True)
+class Feature:
+    """An origin-stamped feature: (class that introduced it, original
+    name).  Renaming changes the name a feature is *known by*, never its
+    origin."""
+
+    origin_class: str
+    origin_name: str
+
+    def __str__(self) -> str:
+        return f"{self.origin_class}.{self.origin_name}"
+
+
+@dataclass
+class _EiffelClass:
+    name: str
+    declared: list[str]
+    parents: list[tuple[str, dict[str, str]]] = field(default_factory=list)
+
+
+class EiffelHierarchy:
+    """Classes with rename-carrying inheritance clauses and flattened
+    feature tables."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, _EiffelClass] = {}
+        self._flat: dict[str, dict[str, Feature]] = {}
+
+    def add_class(
+        self,
+        name: str,
+        *,
+        features: tuple[str, ...] = (),
+        parents: tuple[tuple[str, Mapping[str, str]], ...] = (),
+    ) -> None:
+        """Declare a class; ``parents`` pairs a parent name with its
+        rename map (``{old_name: new_name}``).  Parents must already be
+        declared, and the class is flattened immediately so clashes are
+        reported at declaration (Eiffel is statically checked)."""
+        if name in self._classes:
+            raise DuplicateClassError(name)
+        for parent_name, _renames in parents:
+            if parent_name not in self._classes:
+                raise UnknownClassError(parent_name)
+        record = _EiffelClass(
+            name=name,
+            declared=list(features),
+            parents=[(p, dict(r)) for p, r in parents],
+        )
+        # Flatten BEFORE registering: a clash must leave the hierarchy
+        # unchanged so the caller can retry with a rename clause.
+        flattened = self._flatten(record)
+        self._classes[name] = record
+        self._flat[name] = flattened
+
+    def _flatten(self, record: _EiffelClass) -> dict[str, Feature]:
+        table: dict[str, Feature] = {}
+        for parent_name, renames in record.parents:
+            for known_as, feature in self._flat[parent_name].items():
+                final_name = renames.get(known_as, known_as)
+                existing = table.get(final_name)
+                if existing is not None and existing != feature:
+                    raise AmbiguousLookupDetected(
+                        f"class {record.name!r}: name {final_name!r} would "
+                        f"denote both {existing} and {feature}; Eiffel "
+                        "requires a rename clause here"
+                    )
+                table[final_name] = feature
+        for name in record.declared:
+            # A local declaration is a redefinition if the name is
+            # inherited, otherwise an introduction; either way the class
+            # becomes the origin.
+            table[name] = Feature(origin_class=record.name, origin_name=name)
+        return table
+
+    def features(self, class_name: str) -> dict[str, Feature]:
+        if class_name not in self._flat:
+            raise UnknownClassError(class_name)
+        return dict(self._flat[class_name])
+
+    def lookup(self, class_name: str, name: str) -> Optional[Feature]:
+        """Resolve ``name`` in ``class_name``'s flattened table; ``None``
+        if absent.  Never ambiguous — clashes were rejected at
+        declaration time, the well-typedness assumption the paper points
+        out."""
+        return self.features(class_name).get(name)

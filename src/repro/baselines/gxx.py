@@ -1,0 +1,138 @@
+"""The g++ 2.7.2.1 member lookup, as described in Section 7.1 — bug
+included.
+
+    "The lookup algorithm in g++ is based on a breadth-first traversal of
+    the subobject graph. [...] If neither definition dominates the other
+    one, the algorithm reports ambiguity and quits."
+
+That early bail-out is unsound: a breadth-first scan can meet two
+incomparable definitions ``d1, d2`` before a later definition ``d3`` that
+dominates both.  The paper's Figure 9 exhibits exactly this, and
+:func:`gxx_lookup` reproduces the wrong answer there (while
+:class:`~repro.core.lookup.MemberLookupTable` resolves it correctly).
+
+A repaired variant, :func:`gxx_lookup_fixed`, completes the scan and
+keeps the full set of incomparable candidates — still exponential-time in
+the worst case, but correct; it is used in benchmarks as the "direct
+implementation of the Rossie-Friedman definition".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.graph import Subobject, SubobjectGraph
+from repro.subobjects.poset import SubobjectPoset
+
+
+@dataclass
+class GxxStats:
+    subobjects_visited: int = 0
+    dominance_checks: int = 0
+
+
+def gxx_lookup(
+    graph: ClassHierarchyGraph,
+    class_name: str,
+    member: str,
+    *,
+    stats: GxxStats | None = None,
+) -> LookupResult:
+    """Faithful reimplementation of the g++ 2.7.2.1 strategy.
+
+    Returns what *that compiler* would answer — which is wrong on
+    hierarchies like the paper's Figure 9 (reports ambiguity for a
+    well-defined lookup).
+    """
+    subobject_graph = SubobjectGraph(graph, class_name)
+    poset = SubobjectPoset(subobject_graph)
+    stats = stats if stats is not None else GxxStats()
+
+    best: Subobject | None = None
+    for subobject in subobject_graph.bfs_order():
+        stats.subobjects_visited += 1
+        if not graph.declares(subobject.class_name, member):
+            continue
+        if best is None:
+            best = subobject
+            continue
+        stats.dominance_checks += 2
+        if poset.dominates(subobject.key, best.key):
+            best = subobject
+        elif poset.dominates(best.key, subobject.key):
+            continue
+        else:
+            # The unsound early exit: report ambiguity immediately.
+            return ambiguous_result(
+                class_name,
+                member,
+                candidates=tuple(
+                    sorted({best.class_name, subobject.class_name})
+                ),
+            )
+    if best is None:
+        return not_found_result(class_name, member)
+    return unique_result(
+        class_name,
+        member,
+        declaring_class=best.class_name,
+        least_virtual=best.representative.least_virtual(),
+        witness=best.representative,
+    )
+
+
+def gxx_lookup_fixed(
+    graph: ClassHierarchyGraph,
+    class_name: str,
+    member: str,
+    *,
+    stats: GxxStats | None = None,
+) -> LookupResult:
+    """The repaired breadth-first lookup: maintain the set of pairwise
+    incomparable candidates over the whole traversal and declare
+    ambiguity only at the end.  Correct, but still walks the (possibly
+    exponential) subobject graph."""
+    subobject_graph = SubobjectGraph(graph, class_name)
+    poset = SubobjectPoset(subobject_graph)
+    stats = stats if stats is not None else GxxStats()
+
+    frontier: list[Subobject] = []
+    for subobject in subobject_graph.bfs_order():
+        stats.subobjects_visited += 1
+        if not graph.declares(subobject.class_name, member):
+            continue
+        dominated = False
+        survivors = []
+        for candidate in frontier:
+            stats.dominance_checks += 2
+            if poset.dominates(candidate.key, subobject.key):
+                dominated = True
+                survivors.append(candidate)
+            elif not poset.dominates(subobject.key, candidate.key):
+                survivors.append(candidate)
+        if not dominated:
+            survivors.append(subobject)
+        frontier = survivors
+    if not frontier:
+        return not_found_result(class_name, member)
+    if len(frontier) > 1:
+        return ambiguous_result(
+            class_name,
+            member,
+            candidates=tuple(sorted({s.class_name for s in frontier})),
+        )
+    winner = frontier[0]
+    return unique_result(
+        class_name,
+        member,
+        declaring_class=winner.class_name,
+        least_virtual=winner.representative.least_virtual(),
+        witness=winner.representative,
+    )

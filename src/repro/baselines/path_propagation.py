@@ -1,0 +1,193 @@
+"""The naive two-phase algorithm of Section 4 — propagation of *concrete*
+paths.
+
+Phase 1 ("the propagation phase") computes ``DefnsPath(C, m)`` for every
+class ``C`` by seeding every generated definition ``A::m`` and pushing
+definitions along all outgoing edges of their ``mdc`` until a fixpoint.
+Phase 2 scans each reaching-definition set for a most-dominant element.
+
+The paper presents this as the "simple, but inefficient" starting point:
+the number of propagated paths can be exponential in the CHG.  Two
+refinements are offered as options so benchmarks can measure their
+effect:
+
+* ``kill_on_generation`` — a generated definition ``X::m`` kills every
+  other definition reaching ``X`` (the reaching-definitions-style kill).
+* ``kill_dominated`` — the stronger interleaved kill justified by
+  Corollary 1: any definition dominated by another reaching definition is
+  dropped before propagation (this is the kill that has no analogue in
+  classical reaching definitions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.dominance import dominates_paths, most_dominant
+from repro.core.paths import Path
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+from repro.subobjects.graph import SubobjectGraph
+from repro.subobjects.poset import SubobjectPoset
+from repro.core.equivalence import subobject_key
+
+
+class NaivePathLookup:
+    """Member lookup by explicit path propagation (Section 4).
+
+    Dominance between concrete paths is decided on the materialised
+    subobject poset of the queried class (reachability), which matches
+    Definition 5 — see :func:`repro.core.dominance.dominates_paths` for
+    the literal form and the tests for their agreement.
+    """
+
+    def __init__(
+        self,
+        graph: ClassHierarchyGraph,
+        *,
+        kill_on_generation: bool = True,
+        kill_dominated: bool = False,
+    ) -> None:
+        graph.validate()
+        self._graph = graph
+        self._kill_on_generation = kill_on_generation
+        self._kill_dominated = kill_dominated
+        self._posets: dict[str, SubobjectPoset] = {}
+        self._reaching: dict[str, dict[str, list[Path]]] = {}
+        self._outgoing: dict[str, dict[str, list[Path]]] = {}
+        self.paths_propagated = 0
+
+    # ------------------------------------------------------------------
+
+    def reaching_definitions(self, member: str) -> dict[str, list[Path]]:
+        """Phase 1 for one member: the definitions of ``member`` reaching
+        each class (after any configured killing)."""
+        cache = self._reaching.get(member)
+        if cache is not None:
+            return cache
+
+        graph = self._graph
+        reaching: dict[str, list[Path]] = {name: [] for name in graph.classes}
+        outgoing_map: dict[str, list[Path]] = {}
+        for class_name in topological_order(graph):
+            incoming = reaching[class_name]
+            if graph.declares(class_name, member):
+                generated = Path.trivial(class_name)
+                if self._kill_on_generation:
+                    outgoing = [generated]
+                else:
+                    outgoing = incoming + [generated]
+                reaching[class_name] = incoming + [generated]
+            elif self._kill_dominated and len(incoming) > 1:
+                outgoing = self._drop_dominated(class_name, incoming)
+            else:
+                outgoing = incoming
+            outgoing_map[class_name] = outgoing
+            for edge in graph.direct_derived(class_name):
+                for path in outgoing:
+                    self.paths_propagated += 1
+                    reaching[edge.derived].append(
+                        path.extend(edge.derived, virtual=edge.virtual)
+                    )
+        self._reaching[member] = reaching
+        self._outgoing[member] = outgoing_map
+        return reaching
+
+    def outgoing_definitions(self, member: str) -> dict[str, list[Path]]:
+        """The definitions each node propagates along its outgoing edges
+        — the reaching set minus whatever the kill policy dropped.  Used
+        by the Figure 4/5 trace renderer."""
+        self.reaching_definitions(member)
+        return self._outgoing[member]
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        """Phase 2: find the most-dominant reaching definition."""
+        self._graph.direct_bases(class_name)
+        reaching = self.reaching_definitions(member)[class_name]
+        if not reaching:
+            return not_found_result(class_name, member)
+        winner = most_dominant(
+            reaching, lambda a, b: self._dominates(class_name, a, b)
+        )
+        if winner is None:
+            return ambiguous_result(
+                class_name,
+                member,
+                candidates=tuple(sorted({p.ldc for p in reaching})),
+            )
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=winner.ldc,
+            least_virtual=winner.least_virtual(),
+            witness=winner,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _poset(self, complete_type: str) -> SubobjectPoset:
+        if complete_type not in self._posets:
+            self._posets[complete_type] = SubobjectPoset(
+                SubobjectGraph(self._graph, complete_type)
+            )
+        return self._posets[complete_type]
+
+    def _dominates(self, complete_type: str, a: Path, b: Path) -> bool:
+        poset = self._poset(complete_type)
+        return poset.dominates(subobject_key(a), subobject_key(b))
+
+    def _drop_dominated(
+        self, class_name: str, definitions: list[Path]
+    ) -> list[Path]:
+        """Corollary 1: killing a dominated definition cannot change any
+        downstream most-dominant result."""
+        survivors = []
+        for i, path in enumerate(definitions):
+            strictly_dominated = any(
+                j != i
+                and self._dominates(class_name, other, path)
+                and not self._dominates(class_name, path, other)
+                for j, other in enumerate(definitions)
+            )
+            if not strictly_dominated:
+                survivors.append(path)
+        return survivors
+
+
+def naive_lookup(
+    graph: ClassHierarchyGraph,
+    class_name: str,
+    member: str,
+    *,
+    dominance: Callable[[ClassHierarchyGraph, Path, Path], bool] = dominates_paths,
+) -> LookupResult:
+    """A fully definitional one-shot lookup: enumerate ``DefnsPath(C, m)``
+    directly and select a most-dominant element with the *literal*
+    Definition 5 dominance (path-suffix search).  The slowest correct
+    implementation in the library; used as a cross-check in tests.
+    """
+    from repro.core.enumeration import defns_paths
+
+    candidates = defns_paths(graph, class_name, member)
+    if not candidates:
+        return not_found_result(class_name, member)
+    winner = most_dominant(candidates, lambda a, b: dominance(graph, a, b))
+    if winner is None:
+        return ambiguous_result(
+            class_name,
+            member,
+            candidates=tuple(sorted({p.ldc for p in candidates})),
+        )
+    return unique_result(
+        class_name,
+        member,
+        declaring_class=winner.ldc,
+        least_virtual=winner.least_virtual(),
+        witness=winner,
+    )

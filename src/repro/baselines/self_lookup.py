@@ -1,0 +1,78 @@
+"""Self-style member lookup (paper, Section 7.2).
+
+    "A member name m is unambiguous in a given object iff exactly one
+    definition of m is visible in that object.  (A member m in a base
+    object is said to be visible in a derived object iff there exists an
+    inheritance path between the two objects that does not contain any
+    other object with a member called m.)"
+
+Self has no dominance rule and no virtual/non-virtual distinction, so
+its semantics on a C++ hierarchy genuinely *differs* from C++ lookup:
+on the paper's Figure 9, C++ resolves ``lookup(E, m)`` to ``C::m`` via
+dominance through the shared virtual bases, while the Self rule sees the
+three visible definitions ``A::m``, ``B::m``, ``C::m`` and reports
+ambiguity.  The tests exhibit both the agreements and this divergence.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+
+
+class SelfStyleLookup:
+    """Visibility-based lookup: a declaration is visible unless shadowed
+    on *every* path by an intervening declaration of the same name."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        graph.validate()
+        self._graph = graph
+        # visible[C][m]: declaring classes of m visible in C.
+        self._visible: dict[str, dict[str, frozenset[str]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        graph = self._graph
+        for class_name in topological_order(graph):
+            merged: dict[str, set[str]] = {}
+            for edge in graph.direct_bases(class_name):
+                for member, declarers in self._visible[edge.base].items():
+                    merged.setdefault(member, set()).update(declarers)
+            for member in graph.declared_members(class_name):
+                # A local declaration shadows everything inherited.
+                merged[member] = {class_name}
+            self._visible[class_name] = {
+                member: frozenset(declarers)
+                for member, declarers in merged.items()
+            }
+
+    def visible_definitions(
+        self, class_name: str, member: str
+    ) -> frozenset[str]:
+        """The declaring classes of ``member`` visible in ``class_name``
+        under the Self rule."""
+        self._graph.direct_bases(class_name)
+        return self._visible[class_name].get(member, frozenset())
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        visible = self.visible_definitions(class_name, member)
+        if not visible:
+            return not_found_result(class_name, member)
+        if len(visible) > 1:
+            return ambiguous_result(
+                class_name, member, candidates=tuple(sorted(visible))
+            )
+        (declarer,) = visible
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=declarer,
+            least_virtual=None,
+            witness=None,
+        )

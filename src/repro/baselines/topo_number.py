@@ -1,0 +1,85 @@
+"""The Eiffel-style "assume unambiguous" lookup (paper, Section 7.2).
+
+    "If one assumes that a particular lookup is unambiguous, then the
+    lookup can be done very simply as follows.  Associate each class X
+    with a topological number top-sort(X) [...].  Then, from the set of
+    definitions that reach a class X, one simply selects the one for
+    which top-sort(ldc) is maximum as the most dominant definition."
+
+This baseline is only *valid* on programs without ambiguous lookups (the
+assumption Attali et al. make for Eiffel).  By default it trusts the
+assumption blindly — and silently returns a wrong answer on ambiguous
+lookups, which the tests demonstrate.  With ``verify=True`` it
+cross-checks against the real algorithm and raises
+:class:`AmbiguousLookupDetected` when the assumption is violated.
+"""
+
+from __future__ import annotations
+
+from repro.core.lookup import MemberLookupTable
+from repro.core.results import (
+    LookupResult,
+    not_found_result,
+    unique_result,
+)
+from repro.errors import AmbiguousLookupDetected
+from repro.core.paths import OMEGA
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_numbers, topological_order
+
+
+class TopoNumberLookup:
+    """Maximum-topological-number lookup over reaching definition classes.
+
+    The set of classes whose definitions of ``m`` reach ``C`` is exactly
+    the declarers of ``m`` among ``C`` and its base classes; of these the
+    one with the greatest topological number is selected.
+    """
+
+    def __init__(
+        self, graph: ClassHierarchyGraph, *, verify: bool = False
+    ) -> None:
+        graph.validate()
+        self._graph = graph
+        self._numbers = topological_numbers(graph)
+        self._verifier = MemberLookupTable(graph) if verify else None
+        # declarers[C][m]: classes declaring m among C's reflexive bases.
+        self._declarers: dict[str, dict[str, list[str]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        graph = self._graph
+        for class_name in topological_order(graph):
+            merged: dict[str, list[str]] = {}
+            for member in graph.declared_members(class_name):
+                merged[member] = [class_name]
+            for edge in graph.direct_bases(class_name):
+                for member, declarers in self._declarers[edge.base].items():
+                    bucket = merged.setdefault(member, [])
+                    for declarer in declarers:
+                        if declarer not in bucket:
+                            bucket.append(declarer)
+            self._declarers[class_name] = merged
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        self._graph.direct_bases(class_name)
+        declarers = self._declarers[class_name].get(member)
+        if not declarers:
+            return not_found_result(class_name, member)
+        if self._verifier is not None:
+            checked = self._verifier.lookup(class_name, member)
+            if checked.is_ambiguous:
+                raise AmbiguousLookupDetected(
+                    f"lookup({class_name}, {member}) is ambiguous; the "
+                    "topological-number shortcut is not applicable"
+                )
+        winner = max(declarers, key=self._numbers.__getitem__)
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=winner,
+            # The shortcut does not track paths; the abstraction component
+            # is only meaningful for the trivial self-definition.
+            least_virtual=OMEGA if winner == class_name else None,
+            witness=None,
+        )

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+``python -m repro <command> <file> ...`` analyses a hierarchy given
+either as C++ source (parsed by :mod:`repro.frontend`) or as a
+``repro-chg`` JSON dump (see :mod:`repro.hierarchy.serialize`), and
+answers lookup queries, prints tables, explains resolutions, slices, or
+exports DOT drawings.
+
+Commands:
+
+* ``check``    parse + analyse, print diagnostics (exit 1 on errors)
+* ``lookup``   resolve one ``Class::member`` query
+* ``table``    print the whole lookup table
+* ``explain``  step-by-step dominance explanation of one query
+* ``metrics``  structural metrics of the hierarchy
+* ``dot``      DOT export of the CHG or of one class's subobject graph
+* ``slice``    slice the hierarchy for a set of queries
+* ``trace``    Figure 4-7 style propagation trace for one member
+* ``diff``     lookup-impact diff between two hierarchy versions
+* ``lint``     hierarchy lint: ambiguities, shadowing, fragile patterns
+* ``targets``  class-hierarchy analysis of a call site (devirtualisation)
+* ``vtables``  per-subobject vtables of one complete type
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.lookup import build_lookup_table
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.diagnostics.dot import chg_to_dot, subobject_graph_to_dot
+from repro.diagnostics.explain import explain_lookup
+from repro.diagnostics.trace import render_abstract_trace, render_concrete_trace
+from repro.analysis.diff import diff_hierarchies, render_diff
+from repro.analysis.cha import analyze_call_targets
+from repro.analysis.lint import LintSeverity, lint_hierarchy, render_findings
+from repro.errors import ReproError
+from repro.frontend.errors import ParseError
+from repro.frontend.sema import analyze
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.analysis.metrics import compute_metrics
+from repro.hierarchy.serialize import dumps as hierarchy_dumps
+from repro.hierarchy.serialize import loads as hierarchy_loads
+from repro.layout.vtable import build_vtables
+from repro.slicing.slicer import slice_hierarchy
+from repro.subobjects.graph import SubobjectGraph
+
+
+def _load_hierarchy(path: str) -> tuple[ClassHierarchyGraph, list[str]]:
+    """Load a hierarchy from C++ source or a JSON dump; returns the graph
+    and any diagnostics rendered as strings."""
+    text = Path(path).read_text()
+    if path.endswith(".json") or text.lstrip().startswith("{"):
+        return hierarchy_loads(text), []
+    program = analyze(text)
+    rendered = [d.render(text) for d in program.diagnostics]
+    return program.hierarchy, rendered
+
+
+def _parse_query(query: str) -> tuple[str, str]:
+    if "::" not in query:
+        raise argparse.ArgumentTypeError(
+            f"query must look like Class::member, got {query!r}"
+        )
+    class_name, _, member = query.partition("::")
+    return class_name, member
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Member lookup for C++ hierarchies "
+        "(Ramalingam & Srinivasan, PLDI 1997).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="analyse and print diagnostics")
+    check.add_argument("file")
+
+    lookup = commands.add_parser("lookup", help="resolve Class::member")
+    lookup.add_argument("file")
+    lookup.add_argument("query", type=_parse_query, help="Class::member")
+    lookup.add_argument(
+        "--no-static-rule",
+        action="store_true",
+        help="ignore the static-member dominance relaxation",
+    )
+
+    table = commands.add_parser("table", help="print the whole lookup table")
+    table.add_argument("file")
+    table.add_argument(
+        "--ambiguous-only", action="store_true", help="only ⊥ entries"
+    )
+
+    explain = commands.add_parser(
+        "explain", help="explain the dominance reasoning for one query"
+    )
+    explain.add_argument("file")
+    explain.add_argument("query", type=_parse_query, help="Class::member")
+
+    metrics = commands.add_parser("metrics", help="hierarchy metrics")
+    metrics.add_argument("file")
+
+    dot = commands.add_parser("dot", help="DOT export")
+    dot.add_argument("file")
+    dot.add_argument(
+        "--subobjects",
+        metavar="CLASS",
+        help="draw CLASS's subobject graph instead of the CHG",
+    )
+
+    slice_cmd = commands.add_parser(
+        "slice", help="slice the hierarchy for the given queries"
+    )
+    slice_cmd.add_argument("file")
+    slice_cmd.add_argument(
+        "queries", nargs="+", type=_parse_query, metavar="Class::member"
+    )
+    slice_cmd.add_argument(
+        "--json", action="store_true", help="emit the slice as JSON"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="propagation trace for one member (Figures 4-7 style)"
+    )
+    trace.add_argument("file")
+    trace.add_argument("member")
+    trace.add_argument(
+        "--concrete",
+        action="store_true",
+        help="show concrete reaching definitions instead of abstractions",
+    )
+
+    diff = commands.add_parser(
+        "diff", help="lookup-impact diff between two hierarchy versions"
+    )
+    diff.add_argument("before")
+    diff.add_argument("after")
+
+    lint = commands.add_parser(
+        "lint", help="lint the hierarchy for lookup hazards"
+    )
+    lint.add_argument("file")
+    lint.add_argument(
+        "--errors-only", action="store_true", help="suppress warnings/info"
+    )
+
+    targets = commands.add_parser(
+        "targets",
+        help="possible dispatch targets of Class::member calls (CHA)",
+    )
+    targets.add_argument("file")
+    targets.add_argument("query", type=_parse_query, help="Class::member")
+
+    vtables = commands.add_parser(
+        "vtables", help="vtables (final overriders + this adjustments)"
+    )
+    vtables.add_argument("file")
+    vtables.add_argument("class_name", metavar="CLASS")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ReproError, ParseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "check":
+        text = Path(args.file).read_text()
+        if text.lstrip().startswith("{"):
+            hierarchy_loads(text)
+            print("hierarchy dump OK")
+            return 0
+        program = analyze(text)
+        for diagnostic in program.diagnostics:
+            print(diagnostic.render(text))
+        errors = len(program.errors())
+        print(
+            f"{len(program.hierarchy)} classes, "
+            f"{len(program.resolutions)} member accesses, "
+            f"{errors} error(s)"
+        )
+        return 1 if errors else 0
+
+    if args.command == "diff":
+        before, _ = _load_hierarchy(args.before)
+        after, _ = _load_hierarchy(args.after)
+        changes = diff_hierarchies(before, after)
+        print(render_diff(changes))
+        return 1 if changes else 0
+
+    graph, diagnostics = _load_hierarchy(args.file)
+    for line in diagnostics:
+        print(line, file=sys.stderr)
+
+    if args.command == "lookup":
+        class_name, member = args.query
+        if args.no_static_rule:
+            result = build_lookup_table(graph).lookup(class_name, member)
+        else:
+            result = StaticAwareLookupTable(graph).lookup(class_name, member)
+        print(result)
+        return 0 if result.is_unique else 1
+
+    if args.command == "table":
+        table = build_lookup_table(graph)
+        for class_name in graph.classes:
+            for member in table.visible_members(class_name):
+                result = table.lookup(class_name, member)
+                if args.ambiguous_only and not result.is_ambiguous:
+                    continue
+                print(result)
+        return 0
+
+    if args.command == "explain":
+        class_name, member = args.query
+        print(explain_lookup(graph, class_name, member))
+        return 0
+
+    if args.command == "metrics":
+        print(compute_metrics(graph).render())
+        return 0
+
+    if args.command == "dot":
+        if args.subobjects:
+            print(subobject_graph_to_dot(SubobjectGraph(graph, args.subobjects)))
+        else:
+            print(chg_to_dot(graph))
+        return 0
+
+    if args.command == "slice":
+        result = slice_hierarchy(graph, args.queries)
+        if args.json:
+            print(hierarchy_dumps(result.hierarchy))
+        else:
+            print(result.hierarchy.summary())
+            removed = sorted(set(graph.classes) - result.kept_classes)
+            print(f"removed: {', '.join(removed) if removed else '(nothing)'}")
+        return 0
+
+    if args.command == "lint":
+        findings = lint_hierarchy(graph)
+        if args.errors_only:
+            findings = [
+                f for f in findings if f.severity is LintSeverity.ERROR
+            ]
+        print(render_findings(findings))
+        has_errors = any(
+            f.severity is LintSeverity.ERROR for f in findings
+        )
+        return 1 if has_errors else 0
+
+    if args.command == "vtables":
+        print(build_vtables(graph, args.class_name).render())
+        return 0
+
+    if args.command == "targets":
+        class_name, member = args.query
+        analysis = analyze_call_targets(graph, class_name, member)
+        print(analysis.render())
+        return 0
+
+    if args.command == "trace":
+        if args.concrete:
+            print(render_concrete_trace(graph, args.member))
+        else:
+            print(render_abstract_trace(graph, args.member))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

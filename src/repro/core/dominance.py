@@ -1,0 +1,129 @@
+"""Hiding and dominance on paths and on path abstractions.
+
+Paper, Definition 5: a path ``a`` *hides* a path ``b`` iff ``a`` is a
+suffix of ``b``; ``a`` *dominates* ``b`` iff ``a`` hides some ``b' ≈ b``.
+Dominance lifts to ≈-classes (Lemma 1 / Definition 6) and is a partial
+order on them (Lemma 2).
+
+Two implementations are provided:
+
+* :func:`dominates_paths` — the definition, executed literally by
+  enumerating the witness paths ``d`` with ``b' = d . a``.  Exponential in
+  the worst case; it is the specification against which everything else is
+  property-tested.
+* :func:`abstract_dominates` — Lemma 4's constant-time test on *red*
+  abstractions ``(ldc, leastVirtual)`` given the precomputed virtual-base
+  relation.  This is what the efficient algorithm uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence, TypeVar
+
+from repro.core.enumeration import iter_paths_between
+from repro.core.paths import OMEGA, Abstraction, Path
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+T = TypeVar("T")
+
+
+def hides(a: Path, b: Path) -> bool:
+    """Definition 5: ``a`` hides ``b`` iff ``a`` is a suffix of ``b``."""
+    return a.is_suffix_of(b)
+
+
+def dominates_paths(graph: ClassHierarchyGraph, a: Path, b: Path) -> bool:
+    """Definition 5 (second half), executed literally.
+
+    ``a`` dominates ``b`` iff ``a`` hides some ``b' ≈ b``; every such
+    ``b'`` has the form ``d . a`` where ``d`` runs from ``ldc(b)`` to
+    ``ldc(a)``, and ``b' ≈ b`` reduces to ``fixed(d . a) == fixed(b)``
+    (the mdc ends agree by construction).
+    """
+    if a.mdc != b.mdc:
+        return False
+    target_fixed = b.fixed()
+    for d in iter_paths_between(graph, b.ldc, a.ldc):
+        if d.concat(a).fixed() == target_fixed:
+            return True
+    return False
+
+
+def abstract_dominates(
+    virtual_bases: Mapping[str, frozenset[str]],
+    red: tuple[str, Abstraction],
+    other: tuple[str, Abstraction],
+) -> bool:
+    """Lemma 4's test on abstractions.
+
+    ``red = (L1, V1)`` must abstract a *red* definition; ``other =
+    (L2, V2)`` may abstract any definition reaching the same class along a
+    different edge.  Then the red definition dominates the other iff
+    either ``V2`` is a virtual base of ``L1``, or ``V1 == V2 != Ω``.
+    """
+    l1, v1 = red
+    _, v2 = other
+    if isinstance(v2, str) and v2 in virtual_bases[l1]:
+        return True
+    return v1 is not OMEGA and v1 == v2
+
+
+def most_dominant(
+    items: Sequence[T], dominates: Callable[[T, T], bool]
+) -> Optional[T]:
+    """Definition 8 generalised: the unique element dominating all others,
+    or ``None`` (the paper's ⊥) if no such element exists.
+
+    Works for any reflexive ``dominates`` relation; when the relation is a
+    partial order the result, if present, is the maximum element.
+    """
+    if not items:
+        return None
+    candidate = items[0]
+    for item in items[1:]:
+        if not dominates(candidate, item):
+            candidate = item
+    # One linear pass suffices to *find* a maximum if one exists, but the
+    # candidate must be verified against every element because dominance
+    # is only a partial order.
+    for item in items:
+        if not dominates(candidate, item):
+            return None
+    return candidate
+
+
+def maximal_set(
+    items: Sequence[T], dominates: Callable[[T, T], bool]
+) -> list[T]:
+    """Definition 16: elements not strictly dominated by any other element.
+
+    ``maximal(A) = { u in A | no u' in A with u' != u and u' dominates u }``.
+    """
+    result = []
+    for i, u in enumerate(items):
+        strictly_dominated = any(
+            j != i and u2 != u and dominates(u2, u)
+            for j, u2 in enumerate(items)
+        )
+        if not strictly_dominated:
+            result.append(u)
+    return result
+
+
+def is_partial_order(
+    items: Iterable[T], dominates: Callable[[T, T], bool]
+) -> bool:
+    """Check reflexivity, antisymmetry and transitivity of ``dominates``
+    restricted to ``items`` (used to test Lemma 2)."""
+    elems = list(items)
+    for a in elems:
+        if not dominates(a, a):
+            return False
+    for a in elems:
+        for b in elems:
+            if a != b and dominates(a, b) and dominates(b, a):
+                return False
+            for c in elems:
+                if dominates(a, b) and dominates(b, c) and not dominates(a, c):
+                    return False
+    return True

@@ -1,0 +1,68 @@
+"""Exhaustive path enumeration over a CHG.
+
+These generators are the *specification-level* tools: the number of paths
+into a class can be exponential in the size of the hierarchy (this is the
+very blow-up the paper's algorithm avoids), so they are used only by the
+naive baselines, the reference semantics, and tests on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.paths import Path
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+def iter_paths_to(graph: ClassHierarchyGraph, target: str) -> Iterator[Path]:
+    """All paths in the graph whose ``mdc`` is ``target``, including the
+    trivial path.  Paths are produced in depth-first order over base
+    edges, shortest (trivial) first along each branch.
+    """
+    graph.direct_bases(target)  # raises UnknownClassError early
+
+    def walk(suffix: Path) -> Iterator[Path]:
+        yield suffix
+        for edge in graph.direct_bases(suffix.ldc):
+            prefix = Path.edge(edge.base, edge.derived, virtual=edge.virtual)
+            yield from walk(prefix.concat(suffix))
+
+    yield from walk(Path.trivial(target))
+
+
+def iter_paths_between(
+    graph: ClassHierarchyGraph, source: str, target: str
+) -> Iterator[Path]:
+    """All paths from ``source`` to ``target`` (the trivial path if they
+    are equal)."""
+    graph.direct_bases(source)
+    for path in iter_paths_to(graph, target):
+        if path.ldc == source:
+            yield path
+
+
+def count_paths_to(graph: ClassHierarchyGraph, target: str) -> int:
+    """Number of paths ending at ``target``, computed without enumeration
+    (linear in the graph): ``count(X) = 1 + sum over direct bases``."""
+    cache: dict[str, int] = {}
+
+    def count(node: str) -> int:
+        if node not in cache:
+            cache[node] = 1 + sum(
+                count(e.base) for e in graph.direct_bases(node)
+            )
+        return cache[node]
+
+    return count(target)
+
+
+def defns_paths(
+    graph: ClassHierarchyGraph, class_name: str, member: str
+) -> list[Path]:
+    """``DefnsPath(C, m)`` (Definition 10): all paths ``a`` with
+    ``mdc(a) == C`` and ``m`` declared in ``ldc(a)``."""
+    return [
+        path
+        for path in iter_paths_to(graph, class_name)
+        if graph.declares(path.ldc, member)
+    ]

@@ -1,0 +1,63 @@
+"""The ≈ equivalence on paths and its classes — i.e. subobject names.
+
+Paper, Definition 3: ``a ≈ b`` iff ``fixed(a) == fixed(b)`` and
+``mdc(a) == mdc(b)``.  Two paths identify the same subobject within an
+object of class ``mdc`` exactly when they are ≈-equivalent; the
+equivalence classes therefore *name* subobjects (and Theorem 1 states the
+resulting poset is isomorphic to the Rossie-Friedman subobject poset).
+
+Since ``fixed`` determines ``ldc``, an equivalence class is fully
+described by the pair ``(fixed path, mdc)`` — the canonical
+:class:`SubobjectKey` used throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.paths import Path
+
+
+@dataclass(frozen=True)
+class SubobjectKey:
+    """Canonical name of a ≈-equivalence class: ``(fixed(a), mdc(a))``.
+
+    ``fixed_nodes`` lists the classes of the fixed prefix; its edges are
+    all non-virtual by construction, so the node sequence suffices.
+    """
+
+    fixed_nodes: tuple[str, ...]
+    complete: str  # the mdc: the class whose complete object contains us
+
+    @property
+    def ldc(self) -> str:
+        """The class of the subobject itself."""
+        return self.fixed_nodes[0]
+
+    @property
+    def mdc(self) -> str:
+        """Definition 4: ``mdc([a]) = mdc(a)``."""
+        return self.complete
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for subobjects reached through a virtual first edge — the
+        shared virtual-base subobjects.  The whole-object subobject of the
+        complete class is *not* virtual (its fixed prefix reaches mdc)."""
+        return self.fixed_nodes[-1] != self.complete
+
+    def __str__(self) -> str:
+        body = "".join(self.fixed_nodes)
+        if self.is_virtual:
+            return f"[{body}...{self.complete}]"
+        return f"[{body}]"
+
+
+def subobject_key(path: Path) -> SubobjectKey:
+    """The ≈-class of a path, canonically."""
+    return SubobjectKey(fixed_nodes=path.fixed().nodes, complete=path.mdc)
+
+
+def equivalent(a: Path, b: Path) -> bool:
+    """Definition 3, verbatim."""
+    return a.fixed() == b.fixed() and a.mdc == b.mdc

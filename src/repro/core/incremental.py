@@ -1,0 +1,119 @@
+"""Incremental member lookup under hierarchy growth.
+
+Compilers see class hierarchies *grow* — one declaration at a time — and
+re-tabulating all lookups after each declaration wastes the work the
+paper's algorithm saves.  This engine extends the memoised lazy lookup
+with precise cache invalidation:
+
+* adding a class invalidates nothing (no entries exist for it yet);
+* adding a member ``m`` to class ``X`` invalidates exactly the entries
+  ``(D, m)`` for ``X`` and its transitive derived classes — no other
+  member name's resolution can change;
+* adding an edge ``B -> D`` invalidates every entry of ``D`` and its
+  transitive derived classes, and refreshes the virtual-base closure
+  (both the reachable definitions and the Lemma 4 dominance test may
+  change for those classes, and only for those).
+
+Because C++ requires bases to be complete before use, declarations only
+ever extend the graph downward, so entries of unaffected classes remain
+valid — the property the invalidation rules above rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.lazy import LazyMemberLookup
+from repro.errors import CycleError
+from repro.core.results import LookupResult
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Access, Member
+from repro.hierarchy.virtual_bases import virtual_bases
+
+
+@dataclass
+class IncrementalStats:
+    mutations: int = 0
+    entries_invalidated: int = 0
+
+
+class IncrementalLookupEngine:
+    """A growable hierarchy with always-consistent member lookup."""
+
+    def __init__(self, graph: Optional[ClassHierarchyGraph] = None) -> None:
+        self._graph = graph if graph is not None else ClassHierarchyGraph()
+        self._graph.validate()
+        self._lazy = LazyMemberLookup(self._graph)
+        self.stats = IncrementalStats()
+
+    @property
+    def graph(self) -> ClassHierarchyGraph:
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        return self._lazy.lookup(class_name, member)
+
+    def cached_entries(self) -> int:
+        return self._lazy.entries_computed()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def add_class(
+        self,
+        name: str,
+        members: Iterable[Member | str] = (),
+        *,
+        is_struct: bool = False,
+    ) -> None:
+        self._graph.add_class(name, members, is_struct=is_struct)
+        self.stats.mutations += 1
+        # A brand-new class has no cached entries and cannot influence
+        # existing ones (nothing derives from it yet).
+
+    def add_member(self, class_name: str, member: Member | str) -> None:
+        self._graph.add_member(class_name, member)
+        self.stats.mutations += 1
+        name = member.name if isinstance(member, Member) else member
+        affected = {class_name} | set(self._graph.descendants(class_name))
+        self._evict(
+            key
+            for key in self._cache_keys()
+            if key[1] == name and key[0] in affected
+        )
+
+    def add_edge(
+        self,
+        base: str,
+        derived: str,
+        *,
+        virtual: bool = False,
+        access: Access = Access.PUBLIC,
+    ) -> None:
+        if base == derived or self._graph.is_base_of(derived, base):
+            raise CycleError((base, derived, base))
+        self._graph.add_edge(base, derived, virtual=virtual, access=access)
+        self.stats.mutations += 1
+        affected = {derived} | set(self._graph.descendants(derived))
+        self._evict(
+            key for key in self._cache_keys() if key[0] in affected
+        )
+        # The virtual-base closure of the affected classes changed.
+        self._lazy._virtual_bases = virtual_bases(self._graph)
+
+    # ------------------------------------------------------------------
+
+    def _cache_keys(self) -> list[tuple[str, str]]:
+        return list(self._lazy._cache)
+
+    def _evict(self, keys: Iterable[tuple[str, str]]) -> None:
+        for key in keys:
+            if key in self._lazy._cache:
+                del self._lazy._cache[key]
+                self.stats.entries_invalidated += 1

@@ -1,0 +1,175 @@
+"""Memoised lazy member lookup (paper, Section 5).
+
+    "It is easy enough to modify the algorithm into a memoising lazy
+    algorithm that does not compute table entries that are unnecessary: a
+    request for lookup[C,m] will recursively invoke lookup[B,m] for every
+    direct base class B of C if necessary; as long as the algorithm
+    caches or memoizes the results of every lookup performed, this will
+    not worsen the complexity of the algorithm."
+
+The entry computation is *identical* to the eager engine's; only the
+driving order differs (demand-driven recursion instead of a topological
+sweep).  The recursion terminates because the CHG is acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.lookup import BlueEntry, LookupStats, RedEntry, TableEntry
+from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.virtual_bases import virtual_bases
+
+
+class LazyMemberLookup:
+    """Demand-driven member lookup with memoisation.
+
+    Produces exactly the same results as
+    :class:`~repro.core.lookup.MemberLookupTable`, computing only the
+    entries transitively demanded by the queries actually asked.
+    """
+
+    def __init__(
+        self, graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+    ) -> None:
+        graph.validate()
+        self._graph = graph
+        self._track_witnesses = track_witnesses
+        self._virtual_bases = virtual_bases(graph)
+        # None is a meaningful cached value: "m not visible in C".
+        self._cache: dict[tuple[str, str], Optional[TableEntry]] = {}
+        self.stats = LookupStats()
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        self._graph.direct_bases(class_name)  # validate the class name
+        entry = self._entry(class_name, member)
+        if entry is None:
+            return not_found_result(class_name, member)
+        if isinstance(entry, RedEntry):
+            return unique_result(
+                class_name,
+                member,
+                declaring_class=entry.ldc,
+                least_virtual=entry.least_virtual,
+                witness=entry.witness,
+            )
+        return ambiguous_result(
+            class_name,
+            member,
+            blue_abstractions=entry.abstractions,
+            candidates=tuple(sorted(entry.candidate_ldcs)),
+        )
+
+    def entries_computed(self) -> int:
+        """Number of memoised entries, counting "not visible" results."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+
+    def _entry(self, class_name: str, member: str) -> Optional[TableEntry]:
+        key = (class_name, member)
+        if key in self._cache:
+            return self._cache[key]
+        # Iterative demand-driven resolution (hierarchies can be deeper
+        # than the Python recursion limit): expand uncached bases first,
+        # then compute the node from its now-cached bases.
+        stack: list[tuple[str, bool]] = [(class_name, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if (node, member) in self._cache:
+                continue
+            if expanded:
+                self.stats.entries_computed += 1
+                self._cache[(node, member)] = self._compute(node, member)
+            else:
+                stack.append((node, True))
+                for edge in self._graph.direct_bases(node):
+                    if (edge.base, member) not in self._cache:
+                        stack.append((edge.base, False))
+        return self._cache[key]
+
+    def _compute(self, class_name: str, member: str) -> Optional[TableEntry]:
+        graph = self._graph
+        if graph.declares(class_name, member):
+            witness = (
+                Path.trivial(class_name) if self._track_witnesses else None
+            )
+            return RedEntry(class_name, OMEGA, witness)
+
+        to_be_dominated: set[Abstraction] = set()
+        blue_ldcs: set[str] = set()
+        candidate: Optional[RedEntry] = None
+        found_any = False
+
+        for edge in graph.direct_bases(class_name):
+            # Base entries are guaranteed cached by the driver in _entry.
+            sub_entry = self._cache[(edge.base, member)]
+            if sub_entry is None:
+                continue
+            found_any = True
+            if isinstance(sub_entry, RedEntry):
+                self.stats.red_propagations += 1
+                incoming = RedEntry(
+                    ldc=sub_entry.ldc,
+                    least_virtual=extend_abstraction(
+                        sub_entry.least_virtual, edge.base, virtual=edge.virtual
+                    ),
+                    witness=(
+                        sub_entry.witness.extend(
+                            class_name, virtual=edge.virtual
+                        )
+                        if sub_entry.witness is not None
+                        else None
+                    ),
+                )
+                if candidate is None:
+                    candidate = incoming
+                elif self._dominates(incoming.pair, candidate.pair):
+                    candidate = incoming
+                elif not self._dominates(candidate.pair, incoming.pair):
+                    to_be_dominated.add(candidate.least_virtual)
+                    to_be_dominated.add(incoming.least_virtual)
+                    blue_ldcs.add(candidate.ldc)
+                    blue_ldcs.add(incoming.ldc)
+                    candidate = None
+            else:
+                for abstraction in sub_entry.abstractions:
+                    self.stats.blue_propagations += 1
+                    to_be_dominated.add(
+                        extend_abstraction(
+                            abstraction, edge.base, virtual=edge.virtual
+                        )
+                    )
+                blue_ldcs |= sub_entry.candidate_ldcs
+
+        if not found_any:
+            return None
+        if candidate is None:
+            return BlueEntry(frozenset(to_be_dominated), frozenset(blue_ldcs))
+        surviving = {
+            abstraction
+            for abstraction in to_be_dominated
+            if not self._dominates(candidate.pair, (candidate.ldc, abstraction))
+        }
+        if not surviving:
+            return candidate
+        surviving.add(candidate.least_virtual)
+        blue_ldcs.add(candidate.ldc)
+        return BlueEntry(frozenset(surviving), frozenset(blue_ldcs))
+
+    def _dominates(
+        self, red: tuple[str, Abstraction], other: tuple[str, Abstraction]
+    ) -> bool:
+        self.stats.dominance_checks += 1
+        l1, v1 = red
+        _, v2 = other
+        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
+            return True
+        return v1 is not OMEGA and v1 == v2

@@ -1,0 +1,288 @@
+"""The member lookup algorithm — the paper's Figure 8.
+
+This is the primary contribution of the paper: a propagation over the CHG
+in topological order that tabulates ``lookup[C, m]`` for every class ``C``
+and member name ``m``, manipulating *abstractions* of paths instead of the
+(possibly exponentially many) paths themselves.
+
+* A **red** table entry ``Red (L, V)`` means the lookup is unambiguous and
+  resolved to a definition with ``ldc = L`` and ``leastVirtual = V``.
+* A **blue** entry ``Blue S`` means the lookup is ambiguous; ``S`` is the
+  set of ``leastVirtual`` abstractions of the definitions that must still
+  be dominated by any would-be winner further down the hierarchy.
+
+Blue definitions must be propagated even though they can never win
+(Section 4 explains why: a blue definition can *disqualify* a red one —
+see ``lookup(H, bar)`` in the paper's Figure 5/7).
+
+Dominance between abstractions is Lemma 4's constant-time test::
+
+    (L1, V1) dominates (L2, V2)  iff  V2 in virtual-bases[L1]
+                                      or V1 == V2 != Ω
+
+Complexity (Section 5): ``O(|M| * |N| * (|N| + |E|))`` to build the whole
+table, dropping to ``O((|M| + |N|) * (|N| + |E|))`` when no entry is
+ambiguous; a built table answers each query in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+from repro.hierarchy.virtual_bases import virtual_bases
+
+
+@dataclass(frozen=True)
+class RedEntry:
+    """An unambiguous table entry: the abstraction ``(ldc, leastVirtual)``
+    of the dominant definition, plus (optionally) a concrete witness path
+    — the paper notes the witness can be carried for free since at most
+    one red definition crosses any edge."""
+
+    ldc: str
+    least_virtual: Abstraction
+    witness: Optional[Path] = None
+
+    @property
+    def pair(self) -> tuple[str, Abstraction]:
+        return (self.ldc, self.least_virtual)
+
+    def __str__(self) -> str:
+        return f"Red ({self.ldc}, {self.least_virtual})"
+
+
+@dataclass(frozen=True)
+class BlueEntry:
+    """An ambiguous table entry: the propagated blue abstraction set, plus
+    the declaring classes of the conflicting definitions (carried only for
+    diagnostics; the algorithm itself never reads ``candidate_ldcs``)."""
+
+    abstractions: frozenset[Abstraction]
+    candidate_ldcs: frozenset[str] = frozenset()
+
+    def __str__(self) -> str:
+        body = ", ".join(sorted(map(str, self.abstractions), key=str))
+        return f"Blue {{{body}}}"
+
+
+TableEntry = Union[RedEntry, BlueEntry]
+
+
+@dataclass
+class LookupStats:
+    """Operation counters, used by the benchmarks to exhibit the paper's
+    complexity claims independently of wall-clock noise."""
+
+    classes_visited: int = 0
+    entries_computed: int = 0
+    red_propagations: int = 0
+    blue_propagations: int = 0
+    dominance_checks: int = 0
+
+    def total_work(self) -> int:
+        return (
+            self.red_propagations
+            + self.blue_propagations
+            + self.dominance_checks
+        )
+
+
+class MemberLookupTable:
+    """Eagerly tabulated member lookup over a class hierarchy graph.
+
+    Building the table runs the Figure 8 algorithm once; afterwards
+    :meth:`lookup` answers any query in constant time.
+    """
+
+    def __init__(
+        self, graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+    ) -> None:
+        graph.validate()
+        self._graph = graph
+        self._track_witnesses = track_witnesses
+        self._virtual_bases = virtual_bases(graph)
+        self._order = topological_order(graph)
+        self._visible: dict[str, dict[str, None]] = {}
+        self._table: dict[tuple[str, str], TableEntry] = {}
+        self.stats = LookupStats()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> ClassHierarchyGraph:
+        return self._graph
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        """``lookup(C, m)`` per Definition 9, answered from the table."""
+        self._graph.direct_bases(class_name)  # validate the class name
+        entry = self._table.get((class_name, member))
+        if entry is None:
+            return not_found_result(class_name, member)
+        if isinstance(entry, RedEntry):
+            return unique_result(
+                class_name,
+                member,
+                declaring_class=entry.ldc,
+                least_virtual=entry.least_virtual,
+                witness=entry.witness,
+            )
+        return ambiguous_result(
+            class_name,
+            member,
+            blue_abstractions=entry.abstractions,
+            candidates=tuple(sorted(entry.candidate_ldcs)),
+        )
+
+    def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
+        """The raw Red/Blue table entry (``None`` if ``m`` is not a member
+        of any subobject of ``C``) — matches the paper's Figures 6-7."""
+        return self._table.get((class_name, member))
+
+    def visible_members(self, class_name: str) -> tuple[str, ...]:
+        """``Members[C]``: names declared in ``C`` or inherited from any
+        base, in the deterministic order the algorithm produced them."""
+        return tuple(self._visible[class_name])
+
+    def all_entries(self) -> Mapping[tuple[str, str], TableEntry]:
+        return dict(self._table)
+
+    def ambiguous_queries(self) -> tuple[tuple[str, str], ...]:
+        """All ``(class, member)`` pairs whose lookup is ambiguous."""
+        return tuple(
+            key
+            for key, entry in self._table.items()
+            if isinstance(entry, BlueEntry)
+        )
+
+    # ------------------------------------------------------------------
+    # The Figure 8 algorithm
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        graph = self._graph
+        for class_name in self._order:
+            self.stats.classes_visited += 1
+            # Lines [6]-[9]: Members[C] := M[C] ∪ ⋃ Members[X].
+            visible: dict[str, None] = dict.fromkeys(
+                graph.declared_members(class_name)
+            )
+            for edge in graph.direct_bases(class_name):
+                visible.update(self._visible[edge.base])
+            self._visible[class_name] = visible
+
+            for member in visible:
+                self.stats.entries_computed += 1
+                self._table[(class_name, member)] = self._compute_entry(
+                    class_name, member
+                )
+
+    def _compute_entry(self, class_name: str, member: str) -> TableEntry:
+        graph = self._graph
+        # Lines [11]-[12]: a generated definition C::m hides everything.
+        if graph.declares(class_name, member):
+            witness = (
+                Path.trivial(class_name) if self._track_witnesses else None
+            )
+            return RedEntry(class_name, OMEGA, witness)
+
+        # Lines [13]-[33]: fold the entries of the direct bases.
+        to_be_dominated: set[Abstraction] = set()
+        blue_ldcs: set[str] = set()
+        candidate: Optional[RedEntry] = None
+
+        for edge in graph.direct_bases(class_name):
+            base = edge.base
+            if member not in self._visible[base]:
+                continue
+            sub_entry = self._table[(base, member)]
+            if isinstance(sub_entry, RedEntry):
+                self.stats.red_propagations += 1
+                incoming = RedEntry(
+                    ldc=sub_entry.ldc,
+                    least_virtual=extend_abstraction(
+                        sub_entry.least_virtual, base, virtual=edge.virtual
+                    ),
+                    witness=(
+                        sub_entry.witness.extend(
+                            class_name, virtual=edge.virtual
+                        )
+                        if sub_entry.witness is not None
+                        else None
+                    ),
+                )
+                if candidate is None:
+                    candidate = incoming
+                elif self._dominates(incoming.pair, candidate.pair):
+                    candidate = incoming
+                elif not self._dominates(candidate.pair, incoming.pair):
+                    # Neither dominates: both become blue for now.
+                    to_be_dominated.add(candidate.least_virtual)
+                    to_be_dominated.add(incoming.least_virtual)
+                    blue_ldcs.add(candidate.ldc)
+                    blue_ldcs.add(incoming.ldc)
+                    candidate = None
+            else:
+                # Lines [29]-[31]: blue definitions propagate through ⋄.
+                for abstraction in sub_entry.abstractions:
+                    self.stats.blue_propagations += 1
+                    to_be_dominated.add(
+                        extend_abstraction(
+                            abstraction, base, virtual=edge.virtual
+                        )
+                    )
+                blue_ldcs |= sub_entry.candidate_ldcs
+
+        # Lines [34]-[44]: resolve candidate against the blue set.
+        if candidate is None:
+            return BlueEntry(frozenset(to_be_dominated), frozenset(blue_ldcs))
+        surviving = {
+            abstraction
+            for abstraction in to_be_dominated
+            if not self._dominates(candidate.pair, (candidate.ldc, abstraction))
+        }
+        if not surviving:
+            return candidate
+        surviving.add(candidate.least_virtual)
+        blue_ldcs.add(candidate.ldc)
+        return BlueEntry(frozenset(surviving), frozenset(blue_ldcs))
+
+    def _dominates(
+        self, red: tuple[str, Abstraction], other: tuple[str, Abstraction]
+    ) -> bool:
+        """Lines [1]-[3]: Lemma 4's test using the precomputed
+        virtual-base relation."""
+        self.stats.dominance_checks += 1
+        l1, v1 = red
+        _, v2 = other
+        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
+            return True
+        return v1 is not OMEGA and v1 == v2
+
+
+def build_lookup_table(
+    graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+) -> MemberLookupTable:
+    """Run the paper's ``doLookup()`` and return the filled table."""
+    return MemberLookupTable(graph, track_witnesses=track_witnesses)
+
+
+def lookup(
+    graph: ClassHierarchyGraph, class_name: str, member: str
+) -> LookupResult:
+    """One-shot convenience wrapper: build the table and answer a single
+    query.  For repeated queries, build the table once or use the lazy
+    engine (:mod:`repro.core.lazy`)."""
+    return build_lookup_table(graph).lookup(class_name, member)

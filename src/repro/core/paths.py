@@ -1,0 +1,260 @@
+"""Paths in the class hierarchy graph (paper, Definitions 1-5, 13-15).
+
+A path runs from its *least derived class* ``ldc`` (the most-base end) to
+its *most derived class* ``mdc``; each step is an inheritance edge tagged
+virtual or non-virtual.  The paper's key functions on paths:
+
+* ``fixed(a)`` — the longest prefix of ``a`` containing no virtual edge
+  (Definition 2).
+* ``a . b``   — path concatenation (written ``concat`` here), defined when
+  ``mdc(a) == ldc(b)``.
+* ``hides``   — ``a`` hides ``b`` iff ``a`` is a suffix of ``b``
+  (Definition 5).
+* ``leastVirtual(a)`` — ``mdc(fixed(a))`` if ``a`` contains a virtual edge,
+  else the special symbol Ω (Definitions 13-14).
+* ``x ⋄ e``   — the abstraction of path extension (Definition 15), which
+  satisfies ``leastVirtual(a . e) == leastVirtual(a) ⋄ e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import InvalidPathError
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+class _OmegaType:
+    """The symbol Ω: 'this path contains no virtual edge'.
+
+    A singleton distinct from every class name (Definition 13 requires a
+    symbol not in ``N``).
+    """
+
+    _instance: "_OmegaType | None" = None
+
+    def __new__(cls) -> "_OmegaType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Ω"
+
+    def __reduce__(self):
+        return (_OmegaType, ())
+
+
+OMEGA = _OmegaType()
+
+#: A path abstraction value: a class name or Ω.
+Abstraction = Union[str, _OmegaType]
+
+
+@dataclass(frozen=True)
+class Path:
+    """An immutable path in a CHG.
+
+    ``nodes`` lists the classes from ``ldc`` to ``mdc``; ``virtuals[i]``
+    tells whether the edge ``nodes[i] -> nodes[i+1]`` is virtual.  A
+    trivial path (single node, no edges) is permitted and denotes the
+    "whole object" subobject of that class.
+    """
+
+    nodes: tuple[str, ...]
+    virtuals: tuple[bool, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise InvalidPathError("a path must contain at least one node")
+        if len(self.virtuals) != len(self.nodes) - 1:
+            raise InvalidPathError(
+                f"path of {len(self.nodes)} nodes needs "
+                f"{len(self.nodes) - 1} edge flags, got {len(self.virtuals)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def trivial(node: str) -> "Path":
+        """The empty-edge path consisting of a single class."""
+        return Path(nodes=(node,))
+
+    @staticmethod
+    def edge(base: str, derived: str, *, virtual: bool = False) -> "Path":
+        """A single-edge path ``base -> derived``."""
+        return Path(nodes=(base, derived), virtuals=(virtual,))
+
+    # ------------------------------------------------------------------
+    # The paper's accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def ldc(self) -> str:
+        """Least derived class: the source of the path (Definition 1)."""
+        return self.nodes[0]
+
+    @property
+    def mdc(self) -> str:
+        """Most derived class: the target of the path (Definition 1)."""
+        return self.nodes[-1]
+
+    @property
+    def is_trivial(self) -> bool:
+        return len(self.nodes) == 1
+
+    def __len__(self) -> int:
+        """Number of edges in the path."""
+        return len(self.virtuals)
+
+    def edges(self) -> Iterator[tuple[str, str, bool]]:
+        """Yield ``(base, derived, virtual)`` triples along the path."""
+        for i, virtual in enumerate(self.virtuals):
+            yield self.nodes[i], self.nodes[i + 1], virtual
+
+    # ------------------------------------------------------------------
+    # Concatenation, prefixes and suffixes
+    # ------------------------------------------------------------------
+
+    def concat(self, other: "Path") -> "Path":
+        """The paper's ``a . b``; requires ``mdc(a) == ldc(b)``."""
+        if self.mdc != other.ldc:
+            raise InvalidPathError(
+                f"cannot concatenate: mdc({self}) = {self.mdc!r} but "
+                f"ldc({other}) = {other.ldc!r}"
+            )
+        return Path(
+            nodes=self.nodes + other.nodes[1:],
+            virtuals=self.virtuals + other.virtuals,
+        )
+
+    def extend(self, derived: str, *, virtual: bool = False) -> "Path":
+        """Append one edge ``mdc -> derived``."""
+        return Path(
+            nodes=self.nodes + (derived,), virtuals=self.virtuals + (virtual,)
+        )
+
+    def prefix(self, edge_count: int) -> "Path":
+        """The prefix with the given number of edges."""
+        if not 0 <= edge_count <= len(self):
+            raise InvalidPathError(f"no prefix with {edge_count} edges in {self}")
+        return Path(
+            nodes=self.nodes[: edge_count + 1], virtuals=self.virtuals[:edge_count]
+        )
+
+    def suffix(self, edge_count: int) -> "Path":
+        """The suffix with the given number of edges."""
+        if not 0 <= edge_count <= len(self):
+            raise InvalidPathError(f"no suffix with {edge_count} edges in {self}")
+        if edge_count == 0:
+            return Path.trivial(self.mdc)
+        return Path(
+            nodes=self.nodes[-(edge_count + 1):],
+            virtuals=self.virtuals[-edge_count:],
+        )
+
+    def prefixes(self) -> Iterator["Path"]:
+        """All prefixes, shortest first (a path is a prefix of itself)."""
+        for k in range(len(self) + 1):
+            yield self.prefix(k)
+
+    def suffixes(self) -> Iterator["Path"]:
+        """All suffixes, shortest first (a path is a suffix of itself)."""
+        for k in range(len(self) + 1):
+            yield self.suffix(k)
+
+    def is_prefix_of(self, other: "Path") -> bool:
+        k = len(self)
+        return k <= len(other) and other.prefix(k) == self
+
+    def is_suffix_of(self, other: "Path") -> bool:
+        k = len(self)
+        return k <= len(other) and other.suffix(k) == self
+
+    # ------------------------------------------------------------------
+    # fixed / virtual-path machinery (Definitions 2, 13, 14)
+    # ------------------------------------------------------------------
+
+    def fixed(self) -> "Path":
+        """The longest prefix containing no virtual edge (Definition 2)."""
+        k = 0
+        while k < len(self.virtuals) and not self.virtuals[k]:
+            k += 1
+        return self.prefix(k)
+
+    @property
+    def is_virtual_path(self) -> bool:
+        """Definition 13: a v-path contains at least one virtual edge."""
+        return any(self.virtuals)
+
+    def least_virtual(self) -> Abstraction:
+        """Definition 14: ``mdc(fixed(p))`` for a v-path, else Ω."""
+        if not self.is_virtual_path:
+            return OMEGA
+        return self.fixed().mdc
+
+    # ------------------------------------------------------------------
+    # Validation and display
+    # ------------------------------------------------------------------
+
+    def check_in(self, graph: ClassHierarchyGraph) -> "Path":
+        """Verify every step of the path is an edge of ``graph`` with the
+        claimed virtuality; return ``self`` for chaining."""
+        if self.ldc not in graph:
+            raise InvalidPathError(f"{self.ldc!r} is not a class of the graph")
+        for base, derived, virtual in self.edges():
+            if not graph.has_edge(base, derived):
+                raise InvalidPathError(f"no edge {base!r} -> {derived!r} in graph")
+            if graph.edge(base, derived).virtual != virtual:
+                raise InvalidPathError(
+                    f"edge {base!r} -> {derived!r} virtuality mismatch"
+                )
+        return self
+
+    def __str__(self) -> str:
+        if self.is_trivial:
+            return self.nodes[0]
+        parts = [self.nodes[0]]
+        for i, virtual in enumerate(self.virtuals):
+            parts.append("~" if virtual else "")
+            parts.append(self.nodes[i + 1])
+        return "".join(parts)
+
+
+def path_in(graph: ClassHierarchyGraph, *nodes: str) -> Path:
+    """Build a path through the listed classes, reading each edge's
+    virtuality off the graph.
+
+    >>> # path_in(g, "A", "B", "D") builds A -> B -> D
+    """
+    if not nodes:
+        raise InvalidPathError("at least one class name is required")
+    if nodes[0] not in graph:
+        raise InvalidPathError(f"{nodes[0]!r} is not a class of the graph")
+    virtuals = []
+    for base, derived in zip(nodes, nodes[1:]):
+        if not graph.has_edge(base, derived):
+            raise InvalidPathError(f"no edge {base!r} -> {derived!r} in graph")
+        virtuals.append(graph.edge(base, derived).virtual)
+    return Path(nodes=tuple(nodes), virtuals=tuple(virtuals))
+
+
+def extend_abstraction(
+    value: Abstraction, base: str, *, virtual: bool
+) -> Abstraction:
+    """The ⋄ operator (Definition 15)::
+
+        X ⋄ (B -> D) =  X  if X != Ω
+                        B  if the edge B -> D is virtual
+                        Ω  otherwise
+
+    It abstracts path extension: for every path ``p`` ending at ``B``,
+    ``leastVirtual(p . (B -> D)) == extend_abstraction(leastVirtual(p), B,
+    virtual=is_virtual(B -> D))``.
+    """
+    if value is not OMEGA:
+        return value
+    return base if virtual else OMEGA

@@ -1,0 +1,135 @@
+"""Lookup results shared by every engine in the library.
+
+The efficient algorithm's table entries are ``Red (L, V)`` (unambiguous;
+``L = ldc`` of the winning definition, ``V = leastVirtual`` of it) or
+``Blue S`` (ambiguous; ``S`` abstracts the definitions that created the
+ambiguity).  On top of these we expose a single user-facing
+:class:`LookupResult` that also covers the "member not found" case and can
+carry a full witness path (the paper notes, end of Section 4, that
+carrying the path costs nothing because at most one red definition crosses
+each edge — compilers need it for code generation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.equivalence import SubobjectKey, subobject_key
+from repro.core.paths import Abstraction, Path
+
+
+class LookupStatus(enum.Enum):
+    """Outcome of ``lookup(C, m)``."""
+
+    UNIQUE = "unique"  # resolves to exactly one dominant definition
+    AMBIGUOUS = "ambiguous"  # Defns(C, m) has no most-dominant element (⊥)
+    NOT_FOUND = "not-found"  # m is not a member of any subobject of C
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """The answer to a single member lookup query.
+
+    For a ``UNIQUE`` result, ``declaring_class`` is the ``ldc`` of the
+    dominant definition, ``least_virtual`` its abstraction component, and
+    ``witness`` (if the engine tracks paths) a concrete representative
+    path of the resolved subobject.  For an ``AMBIGUOUS`` result,
+    ``blue_abstractions`` holds the propagated blue set and
+    ``candidates`` (when available) lists conflicting declaring classes.
+    """
+
+    class_name: str
+    member: str
+    status: LookupStatus
+    declaring_class: Optional[str] = None
+    least_virtual: Optional[Abstraction] = None
+    witness: Optional[Path] = None
+    blue_abstractions: frozenset[Abstraction] = field(default_factory=frozenset)
+    candidates: tuple[str, ...] = ()
+
+    @property
+    def is_unique(self) -> bool:
+        return self.status is LookupStatus.UNIQUE
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return self.status is LookupStatus.AMBIGUOUS
+
+    @property
+    def is_not_found(self) -> bool:
+        return self.status is LookupStatus.NOT_FOUND
+
+    @property
+    def subobject(self) -> Optional[SubobjectKey]:
+        """The subobject the lookup resolved to, when a witness path is
+        available."""
+        if self.witness is None:
+            return None
+        return subobject_key(self.witness)
+
+    def qualified_name(self) -> str:
+        """``L::m`` for unique results; a diagnostic tag otherwise."""
+        if self.is_unique:
+            return f"{self.declaring_class}::{self.member}"
+        return f"<{self.status}>::{self.member}"
+
+    def __str__(self) -> str:
+        if self.is_unique:
+            via = f" via {self.witness}" if self.witness is not None else ""
+            return (
+                f"lookup({self.class_name}, {self.member}) = "
+                f"{self.qualified_name()}{via}"
+            )
+        if self.is_ambiguous:
+            who = ", ".join(self.candidates) or "multiple subobjects"
+            return (
+                f"lookup({self.class_name}, {self.member}) = ⊥ "
+                f"(ambiguous between {who})"
+            )
+        return f"lookup({self.class_name}, {self.member}) = not found"
+
+
+def unique_result(
+    class_name: str,
+    member: str,
+    declaring_class: str,
+    least_virtual: Abstraction,
+    witness: Optional[Path] = None,
+) -> LookupResult:
+    """A UNIQUE result (the lookup resolved to one dominant definition)."""
+    return LookupResult(
+        class_name=class_name,
+        member=member,
+        status=LookupStatus.UNIQUE,
+        declaring_class=declaring_class,
+        least_virtual=least_virtual,
+        witness=witness,
+    )
+
+
+def ambiguous_result(
+    class_name: str,
+    member: str,
+    blue_abstractions: frozenset[Abstraction] = frozenset(),
+    candidates: tuple[str, ...] = (),
+) -> LookupResult:
+    """An AMBIGUOUS result (the paper's ⊥)."""
+    return LookupResult(
+        class_name=class_name,
+        member=member,
+        status=LookupStatus.AMBIGUOUS,
+        blue_abstractions=blue_abstractions,
+        candidates=candidates,
+    )
+
+
+def not_found_result(class_name: str, member: str) -> LookupResult:
+    """A NOT_FOUND result (no subobject declares the member)."""
+    return LookupResult(
+        class_name=class_name, member=member, status=LookupStatus.NOT_FOUND
+    )

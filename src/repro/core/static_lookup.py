@@ -1,0 +1,185 @@
+"""Member lookup with the static-member rule (paper, Section 6).
+
+C++ relaxes the dominance requirement for static members (and for nested
+type names and enumerators, which behave like static members): Definition
+17 declares ``lookup(C, m)`` well-defined when the *maximal* set of
+``Defns(C, m)`` either is a singleton, or consists of subobjects that all
+share the same ``ldc`` in which ``m`` is static — because then every
+maximal "candidate" refers to the one entity.
+
+The paper's adaptation: the ``dominates`` function gains the member name
+as an argument and a third clause::
+
+    (L1, V1) dominates_m (L2, V2)  iff  V2 in virtual-bases[L1]
+                                        or V1 == V2 != Ω
+                                        or (L1 == L2 and m is static in L1)
+
+Deviation documented in DESIGN.md: the paper keeps blue abstractions as
+bare ``leastVirtual`` values; the third clause, however, needs the
+``ldc`` of the dominated definition, so this engine enriches blue
+abstractions to ``(ldc, leastVirtual)`` pairs.  The asymptotic complexity
+is unchanged (the blue sets still hold at most one entry per
+class-squared pair and in practice per class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+from repro.hierarchy.virtual_bases import virtual_bases
+
+
+@dataclass(frozen=True)
+class StaticRedEntry:
+    ldc: str
+    least_virtual: Abstraction
+    witness: Optional[Path] = None
+
+    @property
+    def pair(self) -> tuple[str, Abstraction]:
+        return (self.ldc, self.least_virtual)
+
+
+@dataclass(frozen=True)
+class StaticBlueEntry:
+    """Blue abstractions enriched to ``(ldc, leastVirtual)`` pairs."""
+
+    pairs: frozenset[tuple[str, Abstraction]]
+
+
+StaticEntry = Union[StaticRedEntry, StaticBlueEntry]
+
+
+class StaticAwareLookupTable:
+    """Member lookup honouring the static-member dominance rule."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        graph.validate()
+        self._graph = graph
+        self._virtual_bases = virtual_bases(graph)
+        self._visible: dict[str, dict[str, None]] = {}
+        self._table: dict[tuple[str, str], StaticEntry] = {}
+        self._build()
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        self._graph.direct_bases(class_name)
+        entry = self._table.get((class_name, member))
+        if entry is None:
+            return not_found_result(class_name, member)
+        if isinstance(entry, StaticRedEntry):
+            return unique_result(
+                class_name,
+                member,
+                declaring_class=entry.ldc,
+                least_virtual=entry.least_virtual,
+                witness=entry.witness,
+            )
+        return ambiguous_result(
+            class_name,
+            member,
+            blue_abstractions=frozenset(v for _, v in entry.pairs),
+            candidates=tuple(sorted({ldc for ldc, _ in entry.pairs})),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _behaves_as_static(self, class_name: str, member: str) -> bool:
+        if not self._graph.declares(class_name, member):
+            return False
+        return self._graph.member(class_name, member).behaves_as_static
+
+    def _dominates(
+        self,
+        member: str,
+        red: tuple[str, Abstraction],
+        other: tuple[str, Abstraction],
+    ) -> bool:
+        l1, v1 = red
+        l2, v2 = other
+        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
+            return True
+        if v1 is not OMEGA and v1 == v2:
+            return True
+        return l1 == l2 and self._behaves_as_static(l1, member)
+
+    def _build(self) -> None:
+        graph = self._graph
+        for class_name in topological_order(graph):
+            visible: dict[str, None] = dict.fromkeys(
+                graph.declared_members(class_name)
+            )
+            for edge in graph.direct_bases(class_name):
+                visible.update(self._visible[edge.base])
+            self._visible[class_name] = visible
+            for member in visible:
+                self._table[(class_name, member)] = self._compute(
+                    class_name, member
+                )
+
+    def _compute(self, class_name: str, member: str) -> StaticEntry:
+        graph = self._graph
+        if graph.declares(class_name, member):
+            return StaticRedEntry(class_name, OMEGA, Path.trivial(class_name))
+
+        to_be_dominated: set[tuple[str, Abstraction]] = set()
+        candidate: Optional[StaticRedEntry] = None
+
+        for edge in graph.direct_bases(class_name):
+            base = edge.base
+            if member not in self._visible[base]:
+                continue
+            sub_entry = self._table[(base, member)]
+            if isinstance(sub_entry, StaticRedEntry):
+                incoming = StaticRedEntry(
+                    ldc=sub_entry.ldc,
+                    least_virtual=extend_abstraction(
+                        sub_entry.least_virtual, base, virtual=edge.virtual
+                    ),
+                    witness=(
+                        sub_entry.witness.extend(
+                            class_name, virtual=edge.virtual
+                        )
+                        if sub_entry.witness is not None
+                        else None
+                    ),
+                )
+                if candidate is None:
+                    candidate = incoming
+                elif self._dominates(member, incoming.pair, candidate.pair):
+                    candidate = incoming
+                elif not self._dominates(member, candidate.pair, incoming.pair):
+                    to_be_dominated.add(candidate.pair)
+                    to_be_dominated.add(incoming.pair)
+                    candidate = None
+            else:
+                for ldc, abstraction in sub_entry.pairs:
+                    to_be_dominated.add(
+                        (
+                            ldc,
+                            extend_abstraction(
+                                abstraction, base, virtual=edge.virtual
+                            ),
+                        )
+                    )
+
+        if candidate is None:
+            return StaticBlueEntry(frozenset(to_be_dominated))
+        surviving = {
+            pair
+            for pair in to_be_dominated
+            if not self._dominates(member, candidate.pair, pair)
+        }
+        if not surviving:
+            return candidate
+        surviving.add(candidate.pair)
+        return StaticBlueEntry(frozenset(surviving))

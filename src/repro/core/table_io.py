@@ -1,0 +1,155 @@
+"""Serialisation of computed lookup tables.
+
+A compiler front end computes the lookup table once per hierarchy and
+wants to reuse it across runs (the precompiled-header pattern).  This
+module dumps a :class:`~repro.core.lookup.MemberLookupTable` to a
+versioned JSON document and reloads it as a read-only
+:class:`FrozenLookupTable` that answers queries without re-running the
+algorithm — including the witness paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.core.lookup import BlueEntry, MemberLookupTable, RedEntry, TableEntry
+from repro.core.paths import OMEGA, Abstraction, Path
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.errors import ReproError
+
+TABLE_FORMAT_VERSION = 1
+
+_OMEGA_TAG = "Ω!"  # distinct from any plausible class name
+
+
+class TableSerializationError(ReproError):
+    """The JSON document is not a valid lookup-table dump."""
+
+
+def _encode_abstraction(value: Abstraction) -> str:
+    return _OMEGA_TAG if value is OMEGA else value
+
+
+def _decode_abstraction(value: str) -> Abstraction:
+    return OMEGA if value == _OMEGA_TAG else value
+
+
+def table_to_dict(table: MemberLookupTable) -> dict[str, Any]:
+    entries = []
+    for (class_name, member), entry in table.all_entries().items():
+        record: dict[str, Any] = {"class": class_name, "member": member}
+        if isinstance(entry, RedEntry):
+            record["red"] = {
+                "ldc": entry.ldc,
+                "lv": _encode_abstraction(entry.least_virtual),
+            }
+            if entry.witness is not None:
+                record["red"]["witness"] = {
+                    "nodes": list(entry.witness.nodes),
+                    "virtuals": list(entry.witness.virtuals),
+                }
+        else:
+            record["blue"] = {
+                "abstractions": sorted(
+                    _encode_abstraction(a) for a in entry.abstractions
+                ),
+                "candidates": sorted(entry.candidate_ldcs),
+            }
+        entries.append(record)
+    return {
+        "format": "repro-lookup-table",
+        "version": TABLE_FORMAT_VERSION,
+        "entries": entries,
+    }
+
+
+def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
+    if (
+        not isinstance(data, Mapping)
+        or data.get("format") != "repro-lookup-table"
+    ):
+        raise TableSerializationError("not a repro-lookup-table document")
+    if data.get("version") != TABLE_FORMAT_VERSION:
+        raise TableSerializationError(
+            f"unsupported version {data.get('version')!r}"
+        )
+    entries: dict[tuple[str, str], TableEntry] = {}
+    try:
+        for record in data["entries"]:
+            key = (record["class"], record["member"])
+            if "red" in record:
+                red = record["red"]
+                witness = None
+                if "witness" in red:
+                    witness = Path(
+                        nodes=tuple(red["witness"]["nodes"]),
+                        virtuals=tuple(
+                            bool(v) for v in red["witness"]["virtuals"]
+                        ),
+                    )
+                entries[key] = RedEntry(
+                    ldc=red["ldc"],
+                    least_virtual=_decode_abstraction(red["lv"]),
+                    witness=witness,
+                )
+            else:
+                blue = record["blue"]
+                entries[key] = BlueEntry(
+                    abstractions=frozenset(
+                        _decode_abstraction(a) for a in blue["abstractions"]
+                    ),
+                    candidate_ldcs=frozenset(blue["candidates"]),
+                )
+    except (KeyError, TypeError) as exc:
+        raise TableSerializationError(f"malformed table document: {exc}") from exc
+    return FrozenLookupTable(entries)
+
+
+def dumps(table: MemberLookupTable, *, indent: Optional[int] = None) -> str:
+    return json.dumps(table_to_dict(table), indent=indent)
+
+
+def loads(text: str) -> "FrozenLookupTable":
+    try:
+        return table_from_dict(json.loads(text))
+    except json.JSONDecodeError as exc:
+        raise TableSerializationError(f"invalid JSON: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FrozenLookupTable:
+    """A reloaded table: answers queries from stored entries only."""
+
+    entries: Mapping[tuple[str, str], TableEntry]
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        entry = self.entries.get((class_name, member))
+        if entry is None:
+            return not_found_result(class_name, member)
+        if isinstance(entry, RedEntry):
+            return unique_result(
+                class_name,
+                member,
+                declaring_class=entry.ldc,
+                least_virtual=entry.least_virtual,
+                witness=entry.witness,
+            )
+        return ambiguous_result(
+            class_name,
+            member,
+            blue_abstractions=entry.abstractions,
+            candidates=tuple(sorted(entry.candidate_ldcs)),
+        )
+
+    def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
+        return self.entries.get((class_name, member))
+
+    def __len__(self) -> int:
+        return len(self.entries)

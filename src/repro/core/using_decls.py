@@ -1,0 +1,97 @@
+"""Using-declarations and lookup (a C++ feature the formalism absorbs).
+
+``using Base::m;`` inside class ``X`` introduces the name ``m`` into
+``X``'s scope: for member lookup it behaves *exactly like a declaration
+in X* (it hides base-class ``m``'s and participates in dominance as
+``X::m``), while denoting the entity declared in ``Base``.  The paper's
+algorithm therefore needs no modification — the using-declaration is a
+generated definition at ``X`` — and only the final answer must be
+redirected to the underlying entity, which is what
+:func:`lookup_through_using` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.results import LookupResult
+from repro.errors import HierarchyError
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+@dataclass(frozen=True)
+class UnderlyingEntity:
+    """Where a lookup answer ultimately lands after following
+    using-declaration redirections."""
+
+    declaring_class: str
+    member: str
+    via: tuple[str, ...]  # the chain of classes whose using-decls we crossed
+
+    def qualified_name(self) -> str:
+        return f"{self.declaring_class}::{self.member}"
+
+
+def follow_using(
+    graph: ClassHierarchyGraph, class_name: str, member: str
+) -> UnderlyingEntity:
+    """Resolve the chain ``X::m -> using A::m -> using B::m -> ...`` to
+    the real declaration.  Cycles are impossible in a valid hierarchy
+    (a using-declaration must name a *base* class's member), but the
+    walk guards against malformed graphs anyway."""
+    via: list[str] = []
+    current = class_name
+    seen = {current}
+    while True:
+        declared = graph.member(current, member)
+        if declared.using_from is None:
+            return UnderlyingEntity(
+                declaring_class=current, member=member, via=tuple(via)
+            )
+        target = declared.using_from
+        if target not in graph or target in seen:
+            raise HierarchyError(
+                f"using-declaration {current}::{member} names "
+                f"{target!r}, which is invalid here"
+            )
+        via.append(current)
+        seen.add(target)
+        current = target
+
+
+def lookup_through_using(
+    graph: ClassHierarchyGraph, result: LookupResult
+) -> Optional[UnderlyingEntity]:
+    """The underlying entity of a UNIQUE lookup result, following any
+    using-declaration redirections; ``None`` for non-unique results."""
+    if not result.is_unique or result.declaring_class is None:
+        return None
+    return follow_using(graph, result.declaring_class, result.member)
+
+
+def validate_using_declarations(graph: ClassHierarchyGraph) -> list[str]:
+    """Check every using-declaration names a member actually inherited
+    from a base class; returns human-readable problems (empty = valid)."""
+    problems = []
+    for class_name, member in graph.iter_class_members():
+        if member.using_from is None:
+            continue
+        target = member.using_from
+        if target not in graph:
+            problems.append(
+                f"{class_name}::{member.name}: unknown class {target!r}"
+            )
+            continue
+        if not graph.is_base_of(target, class_name):
+            problems.append(
+                f"{class_name}::{member.name}: {target!r} is not a base "
+                f"of {class_name!r}"
+            )
+            continue
+        if not graph.declares(target, member.name):
+            problems.append(
+                f"{class_name}::{member.name}: {target!r} declares no "
+                f"member {member.name!r}"
+            )
+    return problems

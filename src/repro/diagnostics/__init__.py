@@ -1,0 +1,21 @@
+"""Explanations and graph exports."""
+
+from repro.diagnostics.dot import chg_to_dot, subobject_graph_to_dot
+from repro.diagnostics.explain import ambiguity_message, explain_lookup
+from repro.diagnostics.trace import (
+    render_abstract_trace,
+    render_concrete_trace,
+    trace_abstract,
+    trace_concrete,
+)
+
+__all__ = [
+    "ambiguity_message",
+    "chg_to_dot",
+    "explain_lookup",
+    "render_abstract_trace",
+    "render_concrete_trace",
+    "subobject_graph_to_dot",
+    "trace_abstract",
+    "trace_concrete",
+]

@@ -1,0 +1,58 @@
+"""Graphviz DOT export of hierarchies and subobject graphs.
+
+Renders the paper's two graph kinds the way its figures draw them: solid
+edges for non-virtual inheritance, dashed edges for virtual inheritance
+(Figures 1(b)/2(b)), and the duplicated-node subobject graphs (Figures
+1(c)/2(c)).
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.graph import SubobjectGraph
+
+
+def _quote(text: str) -> str:
+    # Escape quotes only: labels legitimately contain DOT escapes such
+    # as the literal two-character sequence \n for line breaks.
+    escaped = text.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def chg_to_dot(
+    graph: ClassHierarchyGraph, *, name: str = "hierarchy"
+) -> str:
+    """The class hierarchy graph in DOT, members listed in each node."""
+    lines = [f"digraph {name} {{", "  rankdir=BT;", "  node [shape=box];"]
+    for class_name in graph.classes:
+        members = ", ".join(
+            str(m) for m in graph.declared_members(class_name).values()
+        )
+        label = class_name if not members else f"{class_name}\\n{members}"
+        lines.append(f"  {_quote(class_name)} [label={_quote(label)}];")
+    for edge in graph.edges:
+        style = ' [style=dashed, label="virtual"]' if edge.virtual else ""
+        lines.append(
+            f"  {_quote(edge.base)} -> {_quote(edge.derived)}{style};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def subobject_graph_to_dot(
+    graph: SubobjectGraph, *, name: str = "subobjects"
+) -> str:
+    """The subobject graph of one complete type in DOT form."""
+    lines = [f"digraph {name} {{", "  rankdir=BT;", "  node [shape=ellipse];"]
+    for subobject in graph.subobjects():
+        shape = ' style="dashed"' if subobject.is_virtual else ""
+        lines.append(
+            f"  {_quote(str(subobject.key))} "
+            f"[label={_quote(str(subobject.key))}{shape}];"
+        )
+    for base, container in graph.edges():
+        lines.append(
+            f"  {_quote(str(base.key))} -> {_quote(str(container.key))};"
+        )
+    lines.append("}")
+    return "\n".join(lines)

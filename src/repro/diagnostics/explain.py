@@ -1,0 +1,77 @@
+"""Human-readable explanations of lookup outcomes.
+
+Produces compiler-style messages — including the candidate list a
+compiler prints for ambiguous accesses — plus a step-by-step account of
+the dominance reasoning, built from the reference subobject semantics
+(exact maximal sets) and the efficient table (the resolution itself).
+"""
+
+from __future__ import annotations
+
+from repro.core.lookup import build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.reference import ReferenceLookup, defns
+
+
+def explain_lookup(
+    graph: ClassHierarchyGraph, class_name: str, member: str
+) -> str:
+    """A multi-line explanation of ``lookup(class_name, member)``."""
+    table = build_lookup_table(graph)
+    reference = ReferenceLookup(graph)
+    result = table.lookup(class_name, member)
+    poset = reference.poset(class_name)
+    candidates = defns(poset.subobject_graph, member)
+
+    lines = [f"lookup({class_name}, {member}):"]
+    if not candidates:
+        lines.append(
+            f"  no subobject of {class_name} declares {member!r}"
+            " -> not found"
+        )
+        return "\n".join(lines)
+
+    lines.append(
+        f"  Defns({class_name}, {member}) has {len(candidates)} "
+        f"subobject(s):"
+    )
+    for subobject in candidates:
+        lines.append(f"    {subobject.key}  declares {subobject.class_name}::{member}")
+
+    if result.is_unique:
+        winner = result.subobject
+        lines.append(
+            f"  {winner} dominates every other definition -> resolves to "
+            f"{result.qualified_name()}"
+        )
+        lines.append(f"  witness path: {result.witness}")
+    else:
+        maximal = poset.maximal(list(candidates))
+        lines.append("  no definition dominates all others; maximal set:")
+        for subobject in maximal:
+            lines.append(f"    {subobject.key}  ({subobject.class_name}::{member})")
+        lines.append("  -> the lookup is ambiguous")
+    return "\n".join(lines)
+
+
+def ambiguity_message(
+    graph: ClassHierarchyGraph, class_name: str, member: str
+) -> str:
+    """A single g++-style error message for an ambiguous access, with the
+    exact candidate set (computed from the reference maximal set)."""
+    reference = ReferenceLookup(graph)
+    result = reference.lookup(class_name, member)
+    if not result.is_ambiguous:
+        raise ValueError(
+            f"lookup({class_name}, {member}) is {result.status}, "
+            "not ambiguous"
+        )
+    lines = [
+        f"error: request for member '{member}' is ambiguous in "
+        f"'{class_name}'"
+    ]
+    lines.extend(
+        f"note: candidates are: {candidate}::{member}"
+        for candidate in result.candidates
+    )
+    return "\n".join(lines)

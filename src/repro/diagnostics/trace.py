@@ -1,0 +1,158 @@
+"""Propagation traces — the paper's Figures 4-7, regenerated.
+
+Figures 4 and 5 annotate each node of the Figure 3 hierarchy with the
+*concrete definitions* of one member reaching it, crossing out the
+killed ones and printing the most-dominant one in bold.  Figures 6 and 7
+show the same propagation at the *abstraction* level: the Red/Blue value
+arriving at and produced by each node.
+
+:func:`trace_concrete` and :func:`trace_abstract` compute these
+per-node annotations; their renderers produce a deterministic text form
+(``*`` marks the most-dominant definition, ``[killed]`` the crossed-out
+ones) that the golden tests pin against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.path_propagation import NaivePathLookup
+from repro.core.lookup import (
+    BlueEntry,
+    MemberLookupTable,
+    RedEntry,
+    build_lookup_table,
+)
+from repro.core.paths import Path
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+
+
+@dataclass(frozen=True)
+class ConcreteNodeTrace:
+    """One node of a Figure 4/5-style drawing."""
+
+    class_name: str
+    reaching: tuple[Path, ...]
+    killed: tuple[Path, ...]  # reaching definitions not propagated out
+    most_dominant: Path | None
+
+    def render(self) -> str:
+        parts = []
+        for path in self.reaching:
+            text = f"{path}::"
+            if self.most_dominant is not None and path == self.most_dominant:
+                parts.append(f"*{text}")
+            elif path in self.killed:
+                parts.append(f"{text}[killed]")
+            else:
+                parts.append(text)
+        return f"{self.class_name}: " + "  ".join(parts) if parts else (
+            f"{self.class_name}: (none)"
+        )
+
+
+def trace_concrete(
+    graph: ClassHierarchyGraph, member: str
+) -> dict[str, ConcreteNodeTrace]:
+    """Per-node reaching definitions with kill and dominance annotations
+    (Figures 4-5).  Exactly the paper's optimised propagation: a
+    definition is "killed at node X" when it reaches X but is not
+    propagated out of X (hidden by a generated definition or dominated
+    by another reaching definition)."""
+    engine = NaivePathLookup(
+        graph, kill_on_generation=True, kill_dominated=True
+    )
+    reaching_map = engine.reaching_definitions(member)
+    outgoing_map = engine.outgoing_definitions(member)
+
+    traces = {}
+    for class_name in topological_order(graph):
+        reaching = tuple(reaching_map[class_name])
+        surviving = {str(p) for p in outgoing_map[class_name]}
+        killed = tuple(p for p in reaching if str(p) not in surviving)
+        result = engine.lookup(class_name, member)
+        winner = result.witness if result.is_unique else None
+        traces[class_name] = ConcreteNodeTrace(
+            class_name=class_name,
+            reaching=reaching,
+            killed=killed,
+            most_dominant=winner,
+        )
+    return traces
+
+
+def render_concrete_trace(
+    graph: ClassHierarchyGraph, member: str
+) -> str:
+    """The whole Figure 4/5-style annotation as text, in topological
+    order."""
+    traces = trace_concrete(graph, member)
+    lines = [f"propagation of definitions of {member}:"]
+    lines.extend(
+        "  " + traces[name].render() for name in topological_order(graph)
+    )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AbstractNodeTrace:
+    """One node of a Figure 6/7-style drawing: what arrives on each
+    incoming edge and the table entry the node produces."""
+
+    class_name: str
+    incoming: tuple[str, ...]  # rendered per-edge arrivals
+    produced: str  # rendered Red/Blue entry, '' if member invisible
+
+    def render(self) -> str:
+        if not self.produced:
+            return f"{self.class_name}: -"
+        if not self.incoming:
+            return f"{self.class_name}: => {self.produced}"
+        arrivals = ", ".join(self.incoming)
+        return f"{self.class_name}: {arrivals} => {self.produced}"
+
+
+def _render_entry(entry: RedEntry | BlueEntry) -> str:
+    if isinstance(entry, RedEntry):
+        return f"red ({entry.ldc}, {entry.least_virtual})"
+    body = ", ".join(sorted(map(str, entry.abstractions)))
+    return f"blue {{{body}}}"
+
+
+def trace_abstract(
+    graph: ClassHierarchyGraph,
+    member: str,
+    *,
+    table: MemberLookupTable | None = None,
+) -> dict[str, AbstractNodeTrace]:
+    """Per-node abstraction arrivals and results (Figures 6-7)."""
+    table = table if table is not None else build_lookup_table(graph)
+    traces = {}
+    for class_name in topological_order(graph):
+        entry = table.entry(class_name, member)
+        if entry is None:
+            traces[class_name] = AbstractNodeTrace(class_name, (), "")
+            continue
+        incoming = []
+        if not graph.declares(class_name, member):
+            for edge in graph.direct_bases(class_name):
+                base_entry = table.entry(edge.base, member)
+                if base_entry is not None:
+                    incoming.append(_render_entry(base_entry))
+        traces[class_name] = AbstractNodeTrace(
+            class_name=class_name,
+            incoming=tuple(incoming),
+            produced=_render_entry(entry),
+        )
+    return traces
+
+
+def render_abstract_trace(graph: ClassHierarchyGraph, member: str) -> str:
+    """The whole Figure 6/7-style annotation as text."""
+    traces = trace_abstract(graph, member)
+    lines = [f"propagation of abstractions for {member}:"]
+    lines.extend(
+        "  " + traces[name].render() for name in topological_order(graph)
+    )
+    return "\n".join(lines)

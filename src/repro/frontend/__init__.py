@@ -1,0 +1,55 @@
+"""A frontend for the class-hierarchy subset of C++."""
+
+from repro.frontend.cpp_ast import (
+    AccessOp,
+    BaseSpecifier,
+    ClassDecl,
+    FunctionDef,
+    MemberAccess,
+    MemberDecl,
+    TranslationUnit,
+    VarDecl,
+)
+from repro.frontend.errors import (
+    Diagnostic,
+    DiagnosticBag,
+    ParseError,
+    SemanticError,
+    Severity,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import Parser, parse
+from repro.frontend.sema import (
+    Program,
+    ResolvedAccess,
+    analyze,
+    analyze_or_raise,
+)
+from repro.frontend.source import SourceLocation, caret_snippet
+
+__all__ = [
+    "AccessOp",
+    "BaseSpecifier",
+    "ClassDecl",
+    "Diagnostic",
+    "DiagnosticBag",
+    "FunctionDef",
+    "MemberAccess",
+    "MemberDecl",
+    "ParseError",
+    "Parser",
+    "Program",
+    "ResolvedAccess",
+    "SemanticError",
+    "Severity",
+    "SourceLocation",
+    "Token",
+    "TokenKind",
+    "TranslationUnit",
+    "VarDecl",
+    "analyze",
+    "analyze_or_raise",
+    "caret_snippet",
+    "parse",
+    "tokenize",
+]

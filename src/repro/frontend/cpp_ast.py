@@ -1,0 +1,113 @@
+"""Abstract syntax for the C++ subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.frontend.source import SourceLocation
+from repro.hierarchy.members import Access, MemberKind
+
+
+@dataclass(frozen=True)
+class BaseSpecifier:
+    """One entry of a base-clause: ``[virtual] [access] Name``."""
+
+    name: str
+    virtual: bool
+    access: Access
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class MemberDecl:
+    """A member declaration inside a class body.
+
+    ``using_from`` is set for using-declarations (``using Base::name;``);
+    the member's kind and staticness are then resolved by sema from the
+    named base's declaration.
+    """
+
+    name: str
+    kind: MemberKind
+    is_static: bool
+    access: Access
+    type_text: str
+    location: SourceLocation
+    using_from: "str | None" = None
+
+
+@dataclass
+class ClassDecl:
+    """``class``/``struct`` declaration with bases, members and nested
+    classes."""
+
+    name: str
+    is_struct: bool
+    bases: list[BaseSpecifier]
+    members: list[MemberDecl]
+    nested: list["ClassDecl"]
+    location: SourceLocation
+
+    @property
+    def default_access(self) -> Access:
+        return Access.PUBLIC if self.is_struct else Access.PRIVATE
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``Type x;`` or ``Type *p;`` — in a function body or at file scope."""
+
+    name: str
+    type_name: str
+    is_pointer: bool
+    location: SourceLocation
+
+
+class AccessOp(enum.Enum):
+    """The operator of a member access expression."""
+
+    DOT = "."
+    ARROW = "->"
+    SCOPE = "::"
+
+
+@dataclass(frozen=True)
+class MemberAccess:
+    """A member access expression: ``x.m``, ``p->m``, ``T::m`` or the
+    qualified forms ``x.Base::m`` / ``p->Base::m`` (``qualifier`` set)."""
+
+    object_name: str  # variable name, or type name for '::'
+    member: str
+    op: AccessOp
+    location: SourceLocation
+    qualifier: "str | None" = None
+
+
+@dataclass
+class FunctionDef:
+    """A (free) function definition; only the declarations and member
+    accesses inside the body are retained."""
+
+    name: str
+    location: SourceLocation
+    variables: list[VarDecl] = field(default_factory=list)
+    accesses: list[MemberAccess] = field(default_factory=list)
+
+
+TopLevel = Union[ClassDecl, FunctionDef, VarDecl]
+
+
+@dataclass
+class TranslationUnit:
+    declarations: list[TopLevel] = field(default_factory=list)
+
+    def classes(self) -> list[ClassDecl]:
+        return [d for d in self.declarations if isinstance(d, ClassDecl)]
+
+    def functions(self) -> list[FunctionDef]:
+        return [d for d in self.declarations if isinstance(d, FunctionDef)]
+
+    def file_scope_variables(self) -> list[VarDecl]:
+        return [d for d in self.declarations if isinstance(d, VarDecl)]

@@ -1,0 +1,89 @@
+"""Diagnostics for the C++ frontend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import FrontendError
+from repro.frontend.source import SourceLocation, caret_snippet
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, compiler-style."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One compiler message, renderable with a caret snippet."""
+
+    severity: Severity
+    message: str
+    location: SourceLocation
+
+    def render(self, source: str | None = None) -> str:
+        head = f"{self.location}: {self.severity}: {self.message}"
+        if source is None:
+            return head
+        snippet = caret_snippet(source, self.location)
+        return f"{head}\n{snippet}" if snippet else head
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class ParseError(FrontendError):
+    """A syntax error, raised immediately by the parser."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"{location}: error: {message}")
+        self.diagnostic = Diagnostic(Severity.ERROR, message, location)
+
+
+class SemanticError(FrontendError):
+    """Raised by ``analyze_or_raise`` when semantic errors were found."""
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        summary = "; ".join(str(d) for d in diagnostics[:3])
+        if len(diagnostics) > 3:
+            summary += f" (+{len(diagnostics) - 3} more)"
+        super().__init__(summary)
+        self.diagnostics = diagnostics
+
+
+@dataclass
+class DiagnosticBag:
+    """Accumulates diagnostics during semantic analysis."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def error(self, message: str, location: SourceLocation) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, location))
+
+    def warning(self, message: str, location: SourceLocation) -> None:
+        self.diagnostics.append(
+            Diagnostic(Severity.WARNING, message, location)
+        )
+
+    def note(self, message: str, location: SourceLocation) -> None:
+        self.diagnostics.append(Diagnostic(Severity.NOTE, message, location))
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

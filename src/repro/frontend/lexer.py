@@ -1,0 +1,169 @@
+"""A lexer for the class-hierarchy subset of C++.
+
+Covers everything the paper's example programs use: class/struct
+declarations with virtual and access-qualified bases, member
+declarations (data, functions, statics, typedefs, enums, nested
+classes), and simple function bodies with member-access expressions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.frontend.errors import ParseError
+from repro.frontend.source import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    PUNCT = "punctuation"
+    EOF = "end of file"
+
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "struct",
+        "virtual",
+        "public",
+        "protected",
+        "private",
+        "static",
+        "typedef",
+        "enum",
+        "const",
+        "void",
+        "int",
+        "bool",
+        "char",
+        "float",
+        "double",
+        "long",
+        "short",
+        "signed",
+        "unsigned",
+        "using",
+        "return",
+    }
+)
+
+# Multi-character punctuators must be listed longest-first.
+PUNCTUATORS = (
+    "::",
+    "->",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ":",
+    ",",
+    ".",
+    "=",
+    "*",
+    "&",
+    "<",
+    ">",
+    "+",
+    "-",
+    "/",
+    "~",
+    "!",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<eof>"
+        return self.text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a whole source buffer; raises :class:`ParseError` on an
+    unrecognised character or an unterminated block comment."""
+    return list(iter_tokens(source))
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    offset = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def location() -> SourceLocation:
+        return SourceLocation(line=line, column=column, offset=offset)
+
+    def advance(count: int) -> None:
+        nonlocal offset, line, column
+        for _ in range(count):
+            if offset < length and source[offset] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            offset += 1
+
+    while offset < length:
+        char = source[offset]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", offset):
+            end = source.find("\n", offset)
+            advance((end if end != -1 else length) - offset)
+            continue
+        if source.startswith("/*", offset):
+            end = source.find("*/", offset + 2)
+            if end == -1:
+                raise ParseError("unterminated block comment", location())
+            advance(end + 2 - offset)
+            continue
+        if char.isalpha() or char == "_":
+            start = offset
+            start_loc = location()
+            while offset < length and (
+                source[offset].isalnum() or source[offset] == "_"
+            ):
+                advance(1)
+            text = source[start:offset]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, start_loc)
+            continue
+        if char.isdigit():
+            start = offset
+            start_loc = location()
+            while offset < length and (
+                source[offset].isalnum() or source[offset] == "."
+            ):
+                advance(1)
+            yield Token(TokenKind.NUMBER, source[start:offset], start_loc)
+            continue
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, offset):
+                start_loc = location()
+                advance(len(punct))
+                yield Token(TokenKind.PUNCT, punct, start_loc)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", location())
+    yield Token(TokenKind.EOF, "", location())

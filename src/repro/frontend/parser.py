@@ -1,0 +1,504 @@
+"""Recursive-descent parser for the class-hierarchy subset of C++.
+
+The subset covers the paper's example programs and typical hierarchy
+headers: class/struct definitions with (virtual, access-qualified) bases;
+data members, member functions (bodies skipped), static members,
+typedefs, in-class enums, nested classes, constructors/destructors; and
+free functions whose bodies are scanned for variable declarations and
+member-access expressions (``e.m``, ``p->m()``, ``T::m``).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.cpp_ast import (
+    AccessOp,
+    BaseSpecifier,
+    ClassDecl,
+    FunctionDef,
+    MemberAccess,
+    MemberDecl,
+    TranslationUnit,
+    VarDecl,
+)
+from repro.frontend.errors import ParseError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.hierarchy.members import Access, MemberKind
+
+_TYPE_KEYWORDS = frozenset(
+    {
+        "void",
+        "int",
+        "bool",
+        "char",
+        "float",
+        "double",
+        "long",
+        "short",
+        "signed",
+        "unsigned",
+        "const",
+    }
+)
+
+_ACCESS_KEYWORDS = {
+    "public": Access.PUBLIC,
+    "protected": Access.PROTECTED,
+    "private": Access.PRIVATE,
+}
+
+
+class Parser:
+    """Single-use recursive-descent parser over a token buffer."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._current.is_punct(text):
+            raise ParseError(
+                f"expected {text!r}, found {self._current!r:.40}",
+                self._current.location,
+            )
+        return self._advance()
+
+    def _expect_ident(self, what: str) -> Token:
+        if self._current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected {what}, found '{self._current}'",
+                self._current.location,
+            )
+        return self._advance()
+
+    def _skip_balanced(self, open_text: str, close_text: str) -> None:
+        """Skip past a balanced pair whose opener is the current token."""
+        self._expect_punct(open_text)
+        depth = 1
+        while depth > 0:
+            token = self._advance()
+            if token.kind is TokenKind.EOF:
+                raise ParseError(
+                    f"unbalanced {open_text!r}", token.location
+                )
+            if token.is_punct(open_text):
+                depth += 1
+            elif token.is_punct(close_text):
+                depth -= 1
+
+    def _skip_to_semicolon(self) -> None:
+        while not self._current.is_punct(";"):
+            if self._current.kind is TokenKind.EOF:
+                return
+            if self._current.is_punct("{"):
+                self._skip_balanced("{", "}")
+                continue
+            self._advance()
+        self._advance()
+
+    # ------------------------------------------------------------------
+    # Translation unit
+    # ------------------------------------------------------------------
+
+    def parse(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self._current.kind is not TokenKind.EOF:
+            declaration = self._parse_top_level()
+            if declaration is not None:
+                unit.declarations.append(declaration)
+        return unit
+
+    def _parse_top_level(self):
+        token = self._current
+        if token.is_keyword("class", "struct"):
+            if self._peek(2).is_punct(";"):
+                # Forward declaration: class A;  -- no definition, skip.
+                self._advance()
+                self._expect_ident("class name")
+                self._expect_punct(";")
+                return None
+            return self._parse_class()
+        if token.is_punct(";"):
+            self._advance()
+            return None
+        return self._parse_function_or_variable()
+
+    # ------------------------------------------------------------------
+    # Classes
+    # ------------------------------------------------------------------
+
+    def _parse_class(self) -> ClassDecl:
+        keyword = self._advance()
+        is_struct = keyword.text == "struct"
+        name = self._expect_ident("class name")
+        decl = ClassDecl(
+            name=name.text,
+            is_struct=is_struct,
+            bases=[],
+            members=[],
+            nested=[],
+            location=keyword.location,
+        )
+        if self._current.is_punct(":"):
+            self._advance()
+            decl.bases.append(self._parse_base_specifier(is_struct))
+            while self._current.is_punct(","):
+                self._advance()
+                decl.bases.append(self._parse_base_specifier(is_struct))
+        self._expect_punct("{")
+        self._parse_member_sequence(decl)
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return decl
+
+    def _parse_base_specifier(self, is_struct: bool) -> BaseSpecifier:
+        location = self._current.location
+        virtual = False
+        access = Access.PUBLIC if is_struct else Access.PRIVATE
+        # 'virtual' and the access specifier may come in either order.
+        while True:
+            if self._current.is_keyword("virtual"):
+                virtual = True
+                self._advance()
+            elif self._current.is_keyword(*_ACCESS_KEYWORDS):
+                access = _ACCESS_KEYWORDS[self._advance().text]
+            else:
+                break
+        name = self._expect_ident("base class name")
+        return BaseSpecifier(
+            name=name.text, virtual=virtual, access=access, location=location
+        )
+
+    def _parse_member_sequence(self, decl: ClassDecl) -> None:
+        access = decl.default_access
+        while not self._current.is_punct("}"):
+            token = self._current
+            if token.kind is TokenKind.EOF:
+                raise ParseError(
+                    f"unterminated body of {decl.name!r}", token.location
+                )
+            if token.is_keyword(*_ACCESS_KEYWORDS) and self._peek().is_punct(
+                ":"
+            ):
+                access = _ACCESS_KEYWORDS[self._advance().text]
+                self._advance()  # ':'
+                continue
+            if token.is_keyword("typedef"):
+                decl.members.append(self._parse_typedef(access))
+                continue
+            if token.is_keyword("using"):
+                decl.members.append(self._parse_using(access))
+                continue
+            if token.is_keyword("enum"):
+                decl.members.extend(self._parse_enum(access))
+                continue
+            if token.is_keyword("class", "struct"):
+                nested = self._parse_class()
+                decl.nested.append(nested)
+                decl.members.append(
+                    MemberDecl(
+                        name=nested.name,
+                        kind=MemberKind.TYPE,
+                        is_static=False,
+                        access=access,
+                        type_text="class",
+                        location=nested.location,
+                    )
+                )
+                continue
+            if token.is_punct("~") or (
+                token.kind is TokenKind.IDENT
+                and token.text == decl.name
+                and self._peek().is_punct("(")
+            ):
+                self._skip_special_member()
+                continue
+            decl.members.extend(self._parse_member_declaration(access))
+
+    def _parse_typedef(self, access: Access) -> MemberDecl:
+        keyword = self._advance()
+        type_text = self._parse_type_text()
+        name = self._expect_ident("typedef name")
+        self._skip_to_semicolon()
+        return MemberDecl(
+            name=name.text,
+            kind=MemberKind.TYPE,
+            is_static=False,
+            access=access,
+            type_text=type_text,
+            location=keyword.location,
+        )
+
+    def _parse_using(self, access: Access) -> MemberDecl:
+        keyword = self._advance()
+        base = self._expect_ident("base class name")
+        self._expect_punct("::")
+        name = self._expect_ident("member name")
+        self._skip_to_semicolon()
+        return MemberDecl(
+            name=name.text,
+            kind=MemberKind.DATA,  # refined by sema from the base's decl
+            is_static=False,
+            access=access,
+            type_text="",
+            location=keyword.location,
+            using_from=base.text,
+        )
+
+    def _parse_enum(self, access: Access) -> list[MemberDecl]:
+        keyword = self._advance()
+        members: list[MemberDecl] = []
+        enum_name = None
+        if self._current.kind is TokenKind.IDENT:
+            enum_name = self._advance()
+            members.append(
+                MemberDecl(
+                    name=enum_name.text,
+                    kind=MemberKind.TYPE,
+                    is_static=False,
+                    access=access,
+                    type_text="enum",
+                    location=enum_name.location,
+                )
+            )
+        self._expect_punct("{")
+        while not self._current.is_punct("}"):
+            enumerator = self._expect_ident("enumerator name")
+            members.append(
+                MemberDecl(
+                    name=enumerator.text,
+                    kind=MemberKind.ENUMERATOR,
+                    is_static=False,
+                    access=access,
+                    type_text=enum_name.text if enum_name else "enum",
+                    location=enumerator.location,
+                )
+            )
+            if self._current.is_punct("="):
+                self._advance()
+                while not self._current.is_punct(",", "}"):
+                    self._advance()
+            if self._current.is_punct(","):
+                self._advance()
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return members
+
+    def _skip_special_member(self) -> None:
+        """Skip a constructor or destructor declaration/definition."""
+        if self._current.is_punct("~"):
+            self._advance()
+            self._expect_ident("destructor name")
+        else:
+            self._advance()  # the class-name token
+        self._skip_balanced("(", ")")
+        if self._current.is_punct("{"):
+            self._skip_balanced("{", "}")
+            if self._current.is_punct(";"):
+                self._advance()
+        else:
+            self._skip_to_semicolon()
+
+    def _parse_member_declaration(self, access: Access) -> list[MemberDecl]:
+        location = self._current.location
+        is_static = False
+        # 'virtual' on a member function is irrelevant to lookup (paper,
+        # Section 2); it is consumed and dropped.
+        while self._current.is_keyword("static", "virtual"):
+            if self._current.text == "static":
+                is_static = True
+            self._advance()
+        type_text = self._parse_type_text()
+        members: list[MemberDecl] = []
+        while True:
+            while self._current.is_punct("*", "&"):
+                self._advance()
+            name = self._expect_ident("member name")
+            if self._current.is_punct("("):
+                self._skip_balanced("(", ")")
+                if self._current.is_keyword("const"):
+                    self._advance()
+                kind = MemberKind.FUNCTION
+                if self._current.is_punct("{"):
+                    self._skip_balanced("{", "}")
+                    members.append(
+                        MemberDecl(
+                            name.text, kind, is_static, access, type_text,
+                            location,
+                        )
+                    )
+                    if self._current.is_punct(";"):
+                        self._advance()
+                    return members
+            else:
+                kind = MemberKind.DATA
+                while self._current.is_punct("["):
+                    self._skip_balanced("[", "]")
+            members.append(
+                MemberDecl(
+                    name.text, kind, is_static, access, type_text, location
+                )
+            )
+            if self._current.is_punct(","):
+                self._advance()
+                continue
+            self._skip_to_semicolon()
+            return members
+
+    def _parse_type_text(self) -> str:
+        parts = []
+        while self._current.is_keyword(*_TYPE_KEYWORDS):
+            parts.append(self._advance().text)
+        if not parts:
+            if self._current.kind is not TokenKind.IDENT:
+                raise ParseError(
+                    f"expected a type, found '{self._current}'",
+                    self._current.location,
+                )
+            parts.append(self._advance().text)
+        elif (
+            parts == ["const"] and self._current.kind is TokenKind.IDENT
+        ):
+            parts.append(self._advance().text)
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Functions and file-scope variables
+    # ------------------------------------------------------------------
+
+    def _parse_function_or_variable(self):
+        location = self._current.location
+        # Optional return/variable type; 'main() {...}' has none.
+        type_text = None
+        if self._current.is_keyword(*_TYPE_KEYWORDS):
+            type_text = self._parse_type_text()
+        elif (
+            self._current.kind is TokenKind.IDENT
+            and not self._peek().is_punct("(")
+        ):
+            type_text = self._advance().text
+        is_pointer = False
+        while self._current.is_punct("*", "&"):
+            is_pointer = True
+            self._advance()
+        name = self._expect_ident("declarator name")
+        if self._current.is_punct("("):
+            self._skip_balanced("(", ")")
+            function = FunctionDef(name=name.text, location=location)
+            if self._current.is_punct("{"):
+                self._parse_function_body(function)
+            else:
+                self._skip_to_semicolon()
+            return function
+        if type_text is None:
+            raise ParseError(
+                f"expected a declaration, found '{name}'", location
+            )
+        self._skip_to_semicolon()
+        return VarDecl(
+            name=name.text,
+            type_name=type_text,
+            is_pointer=is_pointer,
+            location=location,
+        )
+
+    def _parse_function_body(self, function: FunctionDef) -> None:
+        self._expect_punct("{")
+        depth = 1
+        while depth > 0:
+            token = self._current
+            if token.kind is TokenKind.EOF:
+                raise ParseError("unterminated function body", token.location)
+            if token.is_punct("{"):
+                depth += 1
+                self._advance()
+                continue
+            if token.is_punct("}"):
+                depth -= 1
+                self._advance()
+                continue
+            if token.kind is TokenKind.IDENT:
+                self._parse_body_statement(function)
+                continue
+            self._advance()
+
+    def _parse_body_statement(self, function: FunctionDef) -> None:
+        first = self._advance()
+        nxt = self._current
+        if nxt.is_punct(":"):  # '::' lexes as its own token, so this is a label
+            self._advance()  # a statement label such as 's1:'
+            return
+        if nxt.is_punct(".", "->", "::"):
+            op = {
+                ".": AccessOp.DOT,
+                "->": AccessOp.ARROW,
+                "::": AccessOp.SCOPE,
+            }[self._advance().text]
+            member = self._expect_ident("member name")
+            qualifier = None
+            if op is not AccessOp.SCOPE and self._current.is_punct("::"):
+                # Qualified access: x.Base::m / p->Base::m.
+                self._advance()
+                qualifier = member.text
+                member = self._expect_ident("member name")
+            function.accesses.append(
+                MemberAccess(
+                    object_name=first.text,
+                    member=member.text,
+                    op=op,
+                    location=first.location,
+                    qualifier=qualifier,
+                )
+            )
+            self._skip_statement_rest()
+            return
+        if nxt.kind is TokenKind.IDENT or nxt.is_punct("*", "&"):
+            is_pointer = False
+            while self._current.is_punct("*", "&"):
+                is_pointer = True
+                self._advance()
+            name = self._expect_ident("variable name")
+            function.variables.append(
+                VarDecl(
+                    name=name.text,
+                    type_name=first.text,
+                    is_pointer=is_pointer,
+                    location=first.location,
+                )
+            )
+            self._skip_statement_rest()
+            return
+        self._skip_statement_rest()
+
+    def _skip_statement_rest(self) -> None:
+        while not self._current.is_punct(";", "}"):
+            if self._current.kind is TokenKind.EOF:
+                return
+            if self._current.is_punct("{"):
+                self._skip_balanced("{", "}")
+                continue
+            self._advance()
+        if self._current.is_punct(";"):
+            self._advance()
+
+
+def parse(source: str) -> TranslationUnit:
+    """Parse a translation unit from source text."""
+    return Parser(source).parse()

@@ -1,0 +1,31 @@
+"""Source locations and diagnostic rendering for the C++ frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A 1-based (line, column) position with its absolute offset."""
+
+    line: int
+    column: int
+    offset: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+START_OF_FILE = SourceLocation(line=1, column=1, offset=0)
+
+
+def caret_snippet(source: str, location: SourceLocation) -> str:
+    """The source line at ``location`` with a caret underneath — the
+    classic compiler diagnostic rendering."""
+    lines = source.splitlines()
+    if not 1 <= location.line <= len(lines):
+        return ""
+    line = lines[location.line - 1]
+    caret = " " * (location.column - 1) + "^"
+    return f"{line}\n{caret}"

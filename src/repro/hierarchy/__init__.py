@@ -1,0 +1,34 @@
+"""The class hierarchy graph substrate (paper, Section 2)."""
+
+from repro.hierarchy.builder import HierarchyBuilder, hierarchy_from_spec
+from repro.hierarchy.graph import ClassHierarchyGraph, Inheritance
+from repro.hierarchy.members import Access, Member, MemberKind, as_member
+from repro.hierarchy.serialize import (
+    SerializationError,
+    dumps,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    loads,
+)
+from repro.hierarchy.topo import topological_numbers, topological_order
+from repro.hierarchy.virtual_bases import is_virtual_base, virtual_bases
+
+__all__ = [
+    "Access",
+    "ClassHierarchyGraph",
+    "HierarchyBuilder",
+    "Inheritance",
+    "SerializationError",
+    "dumps",
+    "hierarchy_from_dict",
+    "hierarchy_to_dict",
+    "loads",
+    "Member",
+    "MemberKind",
+    "as_member",
+    "hierarchy_from_spec",
+    "is_virtual_base",
+    "topological_numbers",
+    "topological_order",
+    "virtual_bases",
+]

@@ -1,0 +1,103 @@
+"""A fluent builder for class hierarchy graphs.
+
+The raw :class:`~repro.hierarchy.graph.ClassHierarchyGraph` API is explicit
+but verbose for writing examples and tests.  The builder condenses a class
+declaration into one call::
+
+    g = (HierarchyBuilder()
+         .cls("A", members=["m"])
+         .cls("B", bases=["A"])
+         .cls("C", virtual_bases=["B"])
+         .cls("D", virtual_bases=["B"], members=["m"])
+         .cls("E", bases=["C", "D"])
+         .build())
+
+which mirrors the C++ program of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Access, Member
+
+
+class HierarchyBuilder:
+    """Accumulates class declarations and produces a validated graph."""
+
+    def __init__(self) -> None:
+        self._graph = ClassHierarchyGraph()
+
+    def cls(
+        self,
+        name: str,
+        *,
+        bases: Iterable[str] = (),
+        virtual_bases: Iterable[str] = (),
+        members: Iterable[Member | str] = (),
+        is_struct: bool = False,
+        base_access: Access = Access.PUBLIC,
+    ) -> "HierarchyBuilder":
+        """Declare a class.
+
+        ``bases`` become non-virtual direct bases and ``virtual_bases``
+        virtual ones, all listed in declaration order (non-virtual bases
+        first, matching the call).  Bases must already be declared.
+        """
+        self._graph.add_class(name, members, is_struct=is_struct)
+        for base in bases:
+            self._graph.add_edge(base, name, virtual=False, access=base_access)
+        for base in virtual_bases:
+            self._graph.add_edge(base, name, virtual=True, access=base_access)
+        return self
+
+    def member(self, class_name: str, member: Member | str) -> "HierarchyBuilder":
+        """Add one more member to an already-declared class."""
+        self._graph.add_member(class_name, member)
+        return self
+
+    def edge(
+        self,
+        base: str,
+        derived: str,
+        *,
+        virtual: bool = False,
+        access: Access = Access.PUBLIC,
+    ) -> "HierarchyBuilder":
+        """Add a single inheritance edge (for graphs built edge-by-edge)."""
+        self._graph.add_edge(base, derived, virtual=virtual, access=access)
+        return self
+
+    def build(self) -> ClassHierarchyGraph:
+        """Validate and return the constructed graph."""
+        self._graph.validate()
+        return self._graph
+
+
+def hierarchy_from_spec(
+    spec: Mapping[str, Mapping[str, Sequence[str]]],
+) -> ClassHierarchyGraph:
+    """Build a hierarchy from a plain-data description.
+
+    ``spec`` maps each class name to a dict with optional keys ``bases``,
+    ``virtual_bases`` and ``members``.  Iteration order of ``spec`` is the
+    declaration order, so bases must appear before derived classes —
+    exactly as in a C++ translation unit.
+
+    >>> g = hierarchy_from_spec({
+    ...     "A": {"members": ["m"]},
+    ...     "B": {"bases": ["A"]},
+    ... })
+    >>> g.direct_base_names("B")
+    ('A',)
+    """
+    builder = HierarchyBuilder()
+    for name, fields in spec.items():
+        builder.cls(
+            name,
+            bases=fields.get("bases", ()),
+            virtual_bases=fields.get("virtual_bases", ()),
+            members=fields.get("members", ()),
+        )
+    return builder.build()

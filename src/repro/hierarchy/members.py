@@ -1,0 +1,98 @@
+"""Class members and access specifiers.
+
+The paper (Section 2) does not distinguish virtual from non-virtual member
+functions — the distinction is irrelevant to lookup — but it *does*
+distinguish static from non-static members (Section 6), and notes that
+nested type names and enumeration constants are treated exactly like static
+members for lookup purposes.  This module models exactly that much.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Access(enum.Enum):
+    """C++ access specifier, for members and for inheritance edges."""
+
+    PUBLIC = "public"
+    PROTECTED = "protected"
+    PRIVATE = "private"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        """Restrictiveness rank: larger is more restrictive."""
+        return _ACCESS_RANK[self]
+
+    def most_restrictive(self, other: "Access") -> "Access":
+        """The more restrictive of two specifiers (used to compose access
+        along inheritance paths)."""
+        return self if self.rank >= other.rank else other
+
+
+_ACCESS_RANK = {Access.PUBLIC: 0, Access.PROTECTED: 1, Access.PRIVATE: 2}
+
+
+class MemberKind(enum.Enum):
+    """What sort of entity a member name denotes.
+
+    ``TYPE`` and ``ENUMERATOR`` behave like static members during lookup
+    (paper, Section 6 footnote).
+    """
+
+    DATA = "data"
+    FUNCTION = "function"
+    TYPE = "type"
+    ENUMERATOR = "enumerator"
+
+
+@dataclass(frozen=True)
+class Member:
+    """A member declaration within a single class.
+
+    The lookup problem is defined on member *names*; overload sets collapse
+    to a single name here.
+
+    ``using_from`` marks a using-declaration (``using Base::name;``): the
+    member *participates in lookup as a declaration of this class* — that
+    is exactly C++'s rule, and why the core algorithm needs no change —
+    but it denotes the entity declared in ``using_from``; follow it with
+    :func:`repro.core.lookup_through_using`.
+    """
+
+    name: str
+    kind: MemberKind = MemberKind.DATA
+    is_static: bool = False
+    access: Access = Access.PUBLIC
+    type_text: str = ""
+    using_from: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("member name must be non-empty")
+
+    @property
+    def behaves_as_static(self) -> bool:
+        """True if the member follows the static-member lookup rule
+        (Definition 17): static members proper, nested type names, and
+        enumeration constants."""
+        return (
+            self.is_static
+            or self.kind is MemberKind.TYPE
+            or self.kind is MemberKind.ENUMERATOR
+        )
+
+    def __str__(self) -> str:
+        static = "static " if self.is_static else ""
+        return f"{static}{self.name}"
+
+
+def as_member(spec: "Member | str") -> Member:
+    """Coerce a plain string into a non-static data member."""
+    if isinstance(spec, Member):
+        return spec
+    return Member(name=spec)

@@ -1,0 +1,108 @@
+"""JSON (de)serialisation of class hierarchy graphs.
+
+A stable on-disk format so hierarchies extracted from real code bases
+can be stored, diffed and re-analysed.  The format is versioned and
+round-trip exact (declaration order, member kinds/staticness/access,
+edge virtuality and access are all preserved).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Access, Member, MemberKind
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """The JSON document is not a valid hierarchy dump."""
+
+
+def hierarchy_to_dict(graph: ClassHierarchyGraph) -> dict[str, Any]:
+    """A plain-data representation of the graph."""
+    classes = []
+    for name in graph.classes:
+        members = [
+            {
+                "name": member.name,
+                "kind": member.kind.value,
+                "static": member.is_static,
+                "access": member.access.value,
+                "type": member.type_text,
+                "using_from": member.using_from,
+            }
+            for member in graph.declared_members(name).values()
+        ]
+        bases = [
+            {
+                "name": edge.base,
+                "virtual": edge.virtual,
+                "access": edge.access.value,
+            }
+            for edge in graph.direct_bases(name)
+        ]
+        classes.append(
+            {
+                "name": name,
+                "struct": graph.is_struct(name),
+                "bases": bases,
+                "members": members,
+            }
+        )
+    return {"format": "repro-chg", "version": FORMAT_VERSION, "classes": classes}
+
+
+def hierarchy_from_dict(data: dict[str, Any]) -> ClassHierarchyGraph:
+    """Rebuild a graph from :func:`hierarchy_to_dict` output."""
+    if not isinstance(data, dict) or data.get("format") != "repro-chg":
+        raise SerializationError("not a repro-chg document")
+    if data.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version: {data.get('version')!r}"
+        )
+    graph = ClassHierarchyGraph()
+    try:
+        for entry in data["classes"]:
+            members = [
+                Member(
+                    name=m["name"],
+                    kind=MemberKind(m.get("kind", "data")),
+                    is_static=m.get("static", False),
+                    access=Access(m.get("access", "public")),
+                    type_text=m.get("type", ""),
+                    using_from=m.get("using_from"),
+                )
+                for m in entry.get("members", ())
+            ]
+            graph.add_class(
+                entry["name"], members, is_struct=entry.get("struct", False)
+            )
+            for base in entry.get("bases", ()):
+                graph.add_edge(
+                    base["name"],
+                    entry["name"],
+                    virtual=base.get("virtual", False),
+                    access=Access(base.get("access", "public")),
+                )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed hierarchy document: {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def dumps(graph: ClassHierarchyGraph, *, indent: int | None = 2) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(hierarchy_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> ClassHierarchyGraph:
+    """Deserialise from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return hierarchy_from_dict(data)

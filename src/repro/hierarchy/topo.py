@@ -1,0 +1,43 @@
+"""Topological ordering of a class hierarchy graph.
+
+The lookup algorithm (paper, Section 5) visits classes in topological sort
+order: every base class is processed before any class derived from it.
+The ordering produced here is deterministic: among classes whose bases are
+all processed, declaration order breaks ties.  Determinism matters for
+reproducible traces and for the Eiffel-style baseline's topological
+numbering (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import CycleError
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+def topological_order(graph: ClassHierarchyGraph) -> tuple[str, ...]:
+    """Classes ordered so that bases precede derived classes.
+
+    Raises :class:`CycleError` if the graph is cyclic.
+    """
+    indegree = {name: len(graph.direct_bases(name)) for name in graph.classes}
+    ready = deque(name for name in graph.classes if indegree[name] == 0)
+    order: list[str] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for edge in graph.direct_derived(node):
+            indegree[edge.derived] -= 1
+            if indegree[edge.derived] == 0:
+                ready.append(edge.derived)
+    if len(order) != len(graph):
+        stuck = tuple(n for n in graph.classes if indegree[n] > 0)
+        raise CycleError(stuck)
+    return tuple(order)
+
+
+def topological_numbers(graph: ClassHierarchyGraph) -> dict[str, int]:
+    """``top-sort(X)`` numbering (Section 7.2): bases receive smaller
+    numbers than classes derived from them."""
+    return {name: i for i, name in enumerate(topological_order(graph))}

@@ -1,0 +1,48 @@
+"""The ``virtual-bases[.]`` relation used by the lookup algorithm.
+
+Paper, Section 2: *X is a virtual base class of Y iff there is a path from
+X to Y whose first edge is a virtual edge.*  (The first edge of a path is
+the edge leaving the path's least derived class.)
+
+Section 5 observes that the algorithm needs a constant-time test for this
+relation and that it can be computed by a transitive-closure-like algorithm
+in ``O(|N| * (|N| + |E|))`` time — which is what :func:`virtual_bases`
+does, via one pass over the graph in topological order.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+
+
+def virtual_bases(graph: ClassHierarchyGraph) -> dict[str, frozenset[str]]:
+    """Map every class ``Y`` to the set of its virtual base classes.
+
+    The recurrence follows directly from the definition: a path from ``X``
+    to ``C`` with a virtual first edge either consists of a virtual edge
+    ``X -> B`` followed by any path ``B ->* C`` (so ``X`` is a virtual
+    base of each direct base ``B`` of ``C`` contributes ``X`` when the
+    edge ``X -> B`` exists virtually along the way), giving::
+
+        vb[C] = union over direct-base edges (X -> C) of
+                    vb[X] + ({X} if the edge is virtual else {})
+    """
+    result: dict[str, frozenset[str]] = {}
+    for name in topological_order(graph):
+        acc: set[str] = set()
+        for edge in graph.direct_bases(name):
+            acc |= result[edge.base]
+            if edge.virtual:
+                acc.add(edge.base)
+        result[name] = frozenset(acc)
+    return result
+
+
+def is_virtual_base(graph: ClassHierarchyGraph, base: str, derived: str) -> bool:
+    """Direct (non-precomputed) test of the virtual-base relation.
+
+    Convenient for small graphs and for cross-checking the closure; for
+    repeated queries use :func:`virtual_bases` once and index the result.
+    """
+    return base in virtual_bases(graph)[derived]

@@ -1,0 +1,28 @@
+"""Object layout and dispatch tables — the vtable application."""
+
+from repro.layout.dispatch import (
+    DispatchEntry,
+    DispatchTable,
+    build_dispatch_table,
+)
+from repro.layout.vtable import VTable, VTableSet, VTableSlot, build_vtables
+from repro.layout.object_layout import (
+    FieldSlot,
+    ObjectLayout,
+    SubobjectRegion,
+    compute_layout,
+)
+
+__all__ = [
+    "DispatchEntry",
+    "DispatchTable",
+    "FieldSlot",
+    "ObjectLayout",
+    "SubobjectRegion",
+    "VTable",
+    "VTableSet",
+    "VTableSlot",
+    "build_dispatch_table",
+    "build_vtables",
+    "compute_layout",
+]

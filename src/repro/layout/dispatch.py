@@ -1,0 +1,108 @@
+"""Dispatch-table construction from the lookup table.
+
+For each class the compiler must know, for every member name visible in
+it, which declaration a call resolves to — this is exactly the paper's
+``lookup[C, m]`` table, and the paper cites "constructing
+virtual-function tables" as a primary application.  A
+:class:`DispatchTable` packages that per-class view: one entry per
+visible function member, its resolved declaring class, and the subobject
+the implicit ``this`` must be adjusted to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.equivalence import SubobjectKey
+from repro.core.lookup import MemberLookupTable, build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import MemberKind
+from repro.layout.object_layout import ObjectLayout, compute_layout
+
+
+@dataclass(frozen=True)
+class DispatchEntry:
+    """One slot of a class's dispatch table."""
+
+    member: str
+    declaring_class: Optional[str]  # None when the call would be ambiguous
+    subobject: Optional[SubobjectKey]
+    this_offset: Optional[int]
+    ambiguous: bool = False
+
+    def __str__(self) -> str:
+        if self.ambiguous:
+            return f"{self.member}: <ambiguous>"
+        return (
+            f"{self.member}: {self.declaring_class}::{self.member} "
+            f"(this += {self.this_offset})"
+        )
+
+
+@dataclass
+class DispatchTable:
+    class_name: str
+    entries: list[DispatchEntry]
+    layout: ObjectLayout
+
+    def entry(self, member: str) -> DispatchEntry:
+        for candidate in self.entries:
+            if candidate.member == member:
+                return candidate
+        raise KeyError(f"{self.class_name} dispatches no member {member!r}")
+
+    def render(self) -> str:
+        lines = [f"dispatch table of {self.class_name}:"]
+        lines.extend(f"  {entry}" for entry in self.entries)
+        return "\n".join(lines)
+
+
+def build_dispatch_table(
+    graph: ClassHierarchyGraph,
+    class_name: str,
+    *,
+    table: Optional[MemberLookupTable] = None,
+    functions_only: bool = True,
+) -> DispatchTable:
+    """Construct the dispatch table of one class.
+
+    ``this_offset`` is taken from the object layout: the offset of the
+    subobject whose member the call resolves to (the adjustment a
+    virtual-call thunk would apply).
+    """
+    table = table if table is not None else build_lookup_table(graph)
+    layout = compute_layout(graph, class_name)
+    entries: list[DispatchEntry] = []
+    for member in table.visible_members(class_name):
+        if functions_only and not _is_function_somewhere(graph, member):
+            continue
+        result = table.lookup(class_name, member)
+        if result.is_ambiguous:
+            entries.append(
+                DispatchEntry(
+                    member=member,
+                    declaring_class=None,
+                    subobject=None,
+                    this_offset=None,
+                    ambiguous=True,
+                )
+            )
+            continue
+        key = result.subobject
+        entries.append(
+            DispatchEntry(
+                member=member,
+                declaring_class=result.declaring_class,
+                subobject=key,
+                this_offset=layout.offset_of(key) if key is not None else None,
+            )
+        )
+    return DispatchTable(class_name=class_name, entries=entries, layout=layout)
+
+
+def _is_function_somewhere(graph: ClassHierarchyGraph, member: str) -> bool:
+    return any(
+        declared.kind is MemberKind.FUNCTION and declared.name == member
+        for _cls, declared in graph.iter_class_members()
+    )

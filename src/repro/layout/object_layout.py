@@ -1,0 +1,130 @@
+"""Object layout from the subobject structure.
+
+The paper motivates its algorithm partly by the compiler's need to
+"perform static analysis and construct virtual-function tables".  This
+module implements the classic layout scheme the subobject formalism
+induces: the non-virtual subobject tree of a class is laid out
+depth-first in base-declaration order, each subobject contributing its
+own non-static data members, and the shared virtual-base subobjects are
+placed once at the end of the complete object (the strategy of
+traditional C++ ABIs, simplified to unit-sized members).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.equivalence import SubobjectKey
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import MemberKind
+from repro.subobjects.graph import Subobject, SubobjectGraph
+
+
+@dataclass(frozen=True)
+class FieldSlot:
+    """One allocated member: which subobject it belongs to, its offset."""
+
+    offset: int
+    subobject: SubobjectKey
+    class_name: str
+    member: str
+
+    def __str__(self) -> str:
+        return f"{self.offset:4d}: {self.class_name}::{self.member}  (in {self.subobject})"
+
+
+@dataclass(frozen=True)
+class SubobjectRegion:
+    """The extent of one subobject within the complete object."""
+
+    subobject: SubobjectKey
+    offset: int
+    size: int
+    virtual: bool
+
+
+@dataclass
+class ObjectLayout:
+    """The complete layout of one class's objects."""
+
+    complete_type: str
+    slots: list[FieldSlot]
+    regions: list[SubobjectRegion]
+
+    @property
+    def size(self) -> int:
+        return len(self.slots)
+
+    def region_of(self, key: SubobjectKey) -> SubobjectRegion:
+        for region in self.regions:
+            if region.subobject == key:
+                return region
+        raise KeyError(f"no region for {key}")
+
+    def offset_of(self, key: SubobjectKey) -> int:
+        return self.region_of(key).offset
+
+    def slot_for(self, key: SubobjectKey, member: str) -> FieldSlot:
+        """The allocated slot of ``member`` within the given subobject."""
+        for slot in self.slots:
+            if slot.subobject == key and slot.member == member:
+                return slot
+        raise KeyError(f"subobject {key} has no field {member!r}")
+
+    def render(self) -> str:
+        lines = [f"layout of {self.complete_type} ({self.size} units):"]
+        lines.extend(f"  {slot}" for slot in self.slots)
+        return "\n".join(lines)
+
+
+def compute_layout(
+    graph: ClassHierarchyGraph, complete_type: str
+) -> ObjectLayout:
+    """Lay out a complete object: non-virtual subobject tree depth-first,
+    then the shared virtual-base subobjects (recursively laid out the
+    same way, skipping parts already placed)."""
+    subobject_graph = SubobjectGraph(graph, complete_type)
+    slots: list[FieldSlot] = []
+    regions: list[SubobjectRegion] = []
+    placed: set[SubobjectKey] = set()
+
+    def place(subobject: Subobject, *, virtual_region: bool) -> None:
+        if subobject.key in placed:
+            return
+        placed.add(subobject.key)
+        start = len(slots)
+        # Non-virtual base subobjects first (declaration order), then the
+        # subobject's own members.
+        for child in subobject_graph.base_subobjects(subobject.key):
+            if not child.is_virtual:
+                place(child, virtual_region=virtual_region)
+        for member in graph.declared_members(subobject.class_name).values():
+            if member.is_static or member.kind is not MemberKind.DATA:
+                continue
+            slots.append(
+                FieldSlot(
+                    offset=len(slots),
+                    subobject=subobject.key,
+                    class_name=subobject.class_name,
+                    member=member.name,
+                )
+            )
+        regions.append(
+            SubobjectRegion(
+                subobject=subobject.key,
+                offset=start,
+                size=len(slots) - start,
+                virtual=virtual_region,
+            )
+        )
+
+    place(subobject_graph.root(), virtual_region=False)
+    # Shared virtual-base subobjects, in BFS discovery order, each laid
+    # out once (their own virtual bases may recurse).
+    for subobject in subobject_graph.bfs_order():
+        if subobject.is_virtual:
+            place(subobject, virtual_region=True)
+
+    return ObjectLayout(
+        complete_type=complete_type, slots=slots, regions=regions
+    )

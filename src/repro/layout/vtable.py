@@ -1,0 +1,152 @@
+"""Virtual-function tables from the lookup table.
+
+The paper names "constructing virtual-function tables" as a primary
+compiler application of member lookup.  This module models the classic
+ABI shape: a complete object of type ``T`` carries one vtable per
+subobject that has function members visible in it; each slot names the
+*final overrider* of that function in ``T`` — which is exactly
+``lookup(T, f)`` (the Rossie-Friedman ``dyn`` staging) — together with
+the ``this``-adjustment from the vtable's subobject to the overrider's
+subobject.
+
+C++ makes a program ill-formed only when a call actually needs an
+ambiguous final overrider; slots therefore carry an ``ambiguous`` flag
+rather than failing the whole table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.equivalence import SubobjectKey
+from repro.core.lookup import MemberLookupTable, build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import MemberKind
+from repro.layout.object_layout import ObjectLayout, compute_layout
+from repro.subobjects.graph import SubobjectGraph
+
+
+@dataclass(frozen=True)
+class VTableSlot:
+    """One virtual-dispatch slot."""
+
+    member: str
+    overrider_class: Optional[str]  # None when the overrider is ambiguous
+    overrider_subobject: Optional[SubobjectKey]
+    this_adjustment: Optional[int]
+    ambiguous: bool = False
+
+    def __str__(self) -> str:
+        if self.ambiguous:
+            return f"{self.member}: <ambiguous final overrider>"
+        sign = "+" if (self.this_adjustment or 0) >= 0 else ""
+        return (
+            f"{self.member}: {self.overrider_class}::{self.member} "
+            f"(this {sign}{self.this_adjustment})"
+        )
+
+
+@dataclass(frozen=True)
+class VTable:
+    """The vtable attached to one subobject of the complete object."""
+
+    subobject: SubobjectKey
+    slots: tuple[VTableSlot, ...]
+
+    def slot(self, member: str) -> VTableSlot:
+        for candidate in self.slots:
+            if candidate.member == member:
+                return candidate
+        raise KeyError(f"vtable of {self.subobject} has no slot {member!r}")
+
+    def render(self) -> str:
+        lines = [f"vtable for {self.subobject}:"]
+        lines.extend(f"  {slot}" for slot in self.slots)
+        return "\n".join(lines)
+
+
+@dataclass
+class VTableSet:
+    """All vtables of one complete type, plus the layout they refer to."""
+
+    complete_type: str
+    vtables: tuple[VTable, ...]
+    layout: ObjectLayout
+
+    def for_subobject(self, key: SubobjectKey) -> VTable:
+        for vtable in self.vtables:
+            if vtable.subobject == key:
+                return vtable
+        raise KeyError(f"no vtable for subobject {key}")
+
+    def render(self) -> str:
+        return "\n".join(vtable.render() for vtable in self.vtables)
+
+
+def _function_names(graph: ClassHierarchyGraph) -> frozenset[str]:
+    return frozenset(
+        member.name
+        for _cls, member in graph.iter_class_members()
+        if member.kind is MemberKind.FUNCTION and not member.is_static
+    )
+
+
+def build_vtables(
+    graph: ClassHierarchyGraph,
+    complete_type: str,
+    *,
+    table: Optional[MemberLookupTable] = None,
+) -> VTableSet:
+    """Construct every vtable of a complete object of ``complete_type``.
+
+    For each subobject ``s`` and each function name visible in ``s``'s
+    class, the slot is the final overrider ``lookup(T, f)``; the
+    ``this`` adjustment is the layout-offset difference between the
+    overrider's subobject and ``s``.
+    """
+    table = table if table is not None else build_lookup_table(graph)
+    layout = compute_layout(graph, complete_type)
+    functions = _function_names(graph)
+    subobjects = SubobjectGraph(graph, complete_type)
+
+    vtables = []
+    for subobject in subobjects.bfs_order():
+        slots = []
+        for member in table.visible_members(subobject.class_name):
+            if member not in functions:
+                continue
+            final = table.lookup(complete_type, member)
+            if final.is_ambiguous:
+                slots.append(
+                    VTableSlot(
+                        member=member,
+                        overrider_class=None,
+                        overrider_subobject=None,
+                        this_adjustment=None,
+                        ambiguous=True,
+                    )
+                )
+                continue
+            assert final.is_unique  # visible here implies visible in T
+            target_key = final.subobject
+            adjustment = None
+            if target_key is not None:
+                adjustment = layout.offset_of(target_key) - layout.offset_of(
+                    subobject.key
+                )
+            slots.append(
+                VTableSlot(
+                    member=member,
+                    overrider_class=final.declaring_class,
+                    overrider_subobject=target_key,
+                    this_adjustment=adjustment,
+                )
+            )
+        if slots:
+            vtables.append(
+                VTable(subobject=subobject.key, slots=tuple(slots))
+            )
+    return VTableSet(
+        complete_type=complete_type, vtables=tuple(vtables), layout=layout
+    )

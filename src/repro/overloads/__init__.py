@@ -1,0 +1,19 @@
+"""Overload resolution staged after name lookup."""
+
+from repro.overloads.resolution import (
+    AmbiguousOverload,
+    NoViableOverload,
+    OverloadedHierarchy,
+    OverloadError,
+    ResolvedOverload,
+    Signature,
+)
+
+__all__ = [
+    "AmbiguousOverload",
+    "NoViableOverload",
+    "OverloadError",
+    "OverloadedHierarchy",
+    "ResolvedOverload",
+    "Signature",
+]

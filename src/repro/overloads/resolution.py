@@ -1,0 +1,202 @@
+"""Overload resolution on top of member lookup.
+
+The paper deliberately defines lookup on member *names* ("overload sets
+collapse to a single name"), because C++ really does work in two stages:
+**name lookup first** — the paper's algorithm, which finds the single
+class whose overload set is visible and hides all base-class sets with
+the same name — **then overload resolution** within that one set.  This
+module implements the second stage, exhibiting the two classic
+consequences of the staging:
+
+* a derived-class declaration hides *all* base overloads of the name,
+  even those with different signatures (the classic C++ gotcha); and
+* ``using Base::f;`` merges the base set back into the derived set.
+
+Viability uses the hierarchy itself: an argument of class type ``D``
+converts to a parameter of class type ``B`` exactly when ``B`` is an
+*unambiguous* base subobject of ``D`` — the same subobject machinery as
+everywhere else.  Exact matches beat conversions; ties are ambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.core.using_decls import follow_using
+from repro.errors import ReproError
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.graph import SubobjectGraph
+
+
+class OverloadError(ReproError):
+    """Base for overload-resolution failures."""
+
+
+class NoViableOverload(OverloadError):
+    """No candidate signature accepts the argument list."""
+
+
+class AmbiguousOverload(OverloadError):
+    """Several equally good candidates (or ambiguous name lookup)."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A function signature: an ordered tuple of parameter type names.
+
+    Built-in type names ("int", "double", ...) are opaque strings;
+    class-type parameters take part in derived-to-base conversions.
+    """
+
+    params: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self.params) + ")"
+
+
+@dataclass(frozen=True)
+class ResolvedOverload:
+    declaring_class: str
+    member: str
+    signature: Signature
+    conversions: int  # number of derived-to-base argument conversions
+
+    def __str__(self) -> str:
+        return f"{self.declaring_class}::{self.member}{self.signature}"
+
+
+@dataclass
+class OverloadedHierarchy:
+    """A hierarchy plus per-declaration overload sets.
+
+    The CHG carries each function *name* once per class (as the paper's
+    model requires); the signatures of the overloads declared under that
+    name live here.
+    """
+
+    graph: ClassHierarchyGraph
+    _signatures: dict[tuple[str, str], list[Signature]] = field(
+        default_factory=dict, init=False
+    )
+    _table: Optional[StaticAwareLookupTable] = field(default=None, init=False)
+
+    def declare(
+        self, class_name: str, member: str, *param_lists: Sequence[str]
+    ) -> None:
+        """Attach overload signatures to an existing declaration."""
+        self.graph.member(class_name, member)  # must exist
+        bucket = self._signatures.setdefault((class_name, member), [])
+        for params in param_lists:
+            signature = Signature(tuple(params))
+            if signature in bucket:
+                raise OverloadError(
+                    f"{class_name}::{member}{signature} declared twice"
+                )
+            bucket.append(signature)
+
+    def overload_set(self, class_name: str, member: str) -> tuple[Signature, ...]:
+        """The candidate set of ``class_name::member``: its own
+        signatures, plus — when the declaration is a using-declaration —
+        the signatures of the chain it re-exports."""
+        own = tuple(self._signatures.get((class_name, member), ()))
+        declared = self.graph.member(class_name, member)
+        if declared.using_from is None:
+            return own
+        underlying = follow_using(self.graph, class_name, member)
+        inherited = tuple(
+            self._signatures.get(
+                (underlying.declaring_class, member), ()
+            )
+        )
+        merged = list(own)
+        for signature in inherited:
+            if signature not in merged:
+                merged.append(signature)
+        return tuple(merged)
+
+    # ------------------------------------------------------------------
+
+    def resolve_call(
+        self, class_name: str, member: str, arg_types: Sequence[str]
+    ) -> ResolvedOverload:
+        """Two-stage resolution of ``obj.member(args)`` with ``obj`` of
+        static type ``class_name``."""
+        table = self._lookup_table()
+        found = table.lookup(class_name, member)
+        if found.is_not_found:
+            raise NoViableOverload(
+                f"{class_name!r} has no member {member!r}"
+            )
+        if found.is_ambiguous:
+            raise AmbiguousOverload(
+                f"name lookup for {member!r} in {class_name!r} is already "
+                "ambiguous (the paper's ⊥) before overloads are considered"
+            )
+        declaring = found.declaring_class
+        candidates = self.overload_set(declaring, member)
+        if not candidates:
+            raise NoViableOverload(
+                f"{declaring}::{member} has no recorded signatures"
+            )
+
+        viable: list[tuple[int, Signature]] = []
+        for signature in candidates:
+            cost = self._viability_cost(signature, tuple(arg_types))
+            if cost is not None:
+                viable.append((cost, signature))
+        if not viable:
+            raise NoViableOverload(
+                f"no viable overload of {declaring}::{member} for "
+                f"({', '.join(arg_types)}); candidates: "
+                + ", ".join(str(s) for s in candidates)
+            )
+        viable.sort(key=lambda pair: pair[0])
+        best_cost = viable[0][0]
+        best = [signature for cost, signature in viable if cost == best_cost]
+        if len(best) > 1:
+            raise AmbiguousOverload(
+                f"call to {declaring}::{member} is ambiguous between "
+                + " and ".join(str(s) for s in best)
+            )
+        return ResolvedOverload(
+            declaring_class=declaring,
+            member=member,
+            signature=best[0],
+            conversions=best_cost,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _viability_cost(
+        self, signature: Signature, arg_types: tuple[str, ...]
+    ) -> Optional[int]:
+        """None if not viable; otherwise the number of derived-to-base
+        conversions needed."""
+        if len(signature.params) != len(arg_types):
+            return None
+        conversions = 0
+        for param, arg in zip(signature.params, arg_types):
+            if param == arg:
+                continue
+            if self._converts_to_base(arg, param):
+                conversions += 1
+                continue
+            return None
+        return conversions
+
+    def _converts_to_base(self, arg: str, param: str) -> bool:
+        """Derived-to-base conversion: viable iff ``param`` is an
+        unambiguous base subobject of ``arg``."""
+        if arg not in self.graph or param not in self.graph:
+            return False
+        if not self.graph.is_base_of(param, arg):
+            return False
+        copies = SubobjectGraph(self.graph, arg).of_class(param)
+        return len(copies) == 1
+
+    def _lookup_table(self) -> StaticAwareLookupTable:
+        if self._table is None:
+            self._table = StaticAwareLookupTable(self.graph)
+        return self._table

@@ -1,0 +1,19 @@
+"""An executable object model built on lookup, layout and dyn/stat."""
+
+from repro.runtime.objects import (
+    AmbiguousAccessError,
+    MissingMethodError,
+    ObjectInstance,
+    Pointer,
+    Runtime,
+    UpcastError,
+)
+
+__all__ = [
+    "AmbiguousAccessError",
+    "MissingMethodError",
+    "ObjectInstance",
+    "Pointer",
+    "Runtime",
+    "UpcastError",
+]

@@ -1,0 +1,251 @@
+"""A tiny executable object model on top of the lookup machinery.
+
+This is the "does it all hang together" substrate: objects are
+constructed with the layout engine, pointers are subobject references,
+upcasts follow the C++ rule (unambiguous base subobject or error),
+field reads/writes resolve with member lookup *at the pointer's static
+type* and then re-embed into the complete object (the Rossie-Friedman
+``stat`` staging), and virtual calls dispatch on the complete type
+(``dyn``, the final overrider).
+
+It makes the paper's semantics *observable*: in Figure 1's program the
+two ``A`` subobjects of an ``E`` hold independent fields, while in
+Figure 2 the virtual diamond shares one — and reading ``e.m`` is a
+runtime :class:`AmbiguousAccessError` exactly when the paper says the
+lookup is ⊥.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.lookup import MemberLookupTable
+from repro.core.equivalence import SubobjectKey, subobject_key
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.errors import ReproError
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.layout.object_layout import ObjectLayout, compute_layout
+from repro.subobjects.graph import SubobjectGraph
+from repro.subobjects.poset import SubobjectPoset
+
+
+class AmbiguousAccessError(ReproError):
+    """A member access whose lookup is ⊥ — a compile error in C++,
+    surfaced at access time here."""
+
+
+class UpcastError(ReproError):
+    """An invalid or ambiguous pointer conversion."""
+
+
+class MissingMethodError(ReproError):
+    """A call dispatched to a declaration with no registered body."""
+
+
+@dataclass
+class ObjectInstance:
+    """A complete object: its type, layout, and one storage cell per
+    allocated field slot."""
+
+    complete_type: str
+    layout: ObjectLayout
+    storage: list[Any]
+
+    def __repr__(self) -> str:
+        return f"<{self.complete_type} object, {len(self.storage)} slots>"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A typed pointer: an object plus the subobject it addresses.  The
+    pointer's *static type* is the subobject's class."""
+
+    instance: ObjectInstance
+    key: SubobjectKey
+
+    @property
+    def static_type(self) -> str:
+        return self.key.ldc
+
+    def __str__(self) -> str:
+        return f"({self.static_type}*) -> {self.key} of {self.instance.complete_type}"
+
+
+@dataclass
+class Runtime:
+    """Executes member accesses and virtual calls over a hierarchy."""
+
+    graph: ClassHierarchyGraph
+    _table: StaticAwareLookupTable = field(init=False)
+    _dispatch: MemberLookupTable = field(init=False)
+    _layouts: dict[str, ObjectLayout] = field(default_factory=dict, init=False)
+    _subobjects: dict[str, SubobjectGraph] = field(
+        default_factory=dict, init=False
+    )
+    _posets: dict[str, SubobjectPoset] = field(default_factory=dict, init=False)
+    _methods: dict[tuple[str, str], Callable] = field(
+        default_factory=dict, init=False
+    )
+
+    def __post_init__(self) -> None:
+        self.graph.validate()
+        self._table = StaticAwareLookupTable(self.graph)
+        self._dispatch = MemberLookupTable(self.graph)
+
+    # ------------------------------------------------------------------
+    # Construction and pointers
+    # ------------------------------------------------------------------
+
+    def construct(self, complete_type: str, **fields: Any) -> ObjectInstance:
+        """Create an object with zero-initialised slots; ``fields`` are
+        written through the complete type (e.g. ``construct("E", m=1)``)."""
+        layout = self._layout(complete_type)
+        instance = ObjectInstance(
+            complete_type=complete_type,
+            layout=layout,
+            storage=[0] * layout.size,
+        )
+        for name, value in fields.items():
+            self.write(self.pointer(instance), name, value)
+        return instance
+
+    def pointer(self, instance: ObjectInstance) -> Pointer:
+        """A pointer to the complete object."""
+        return Pointer(
+            instance=instance,
+            key=SubobjectKey(
+                (instance.complete_type,), instance.complete_type
+            ),
+        )
+
+    def upcast(self, pointer: Pointer, base_class: str) -> Pointer:
+        """Convert to a base-class pointer: the addressed class must have
+        exactly one ``base_class`` subobject within the pointed-to
+        subobject (C++'s unambiguous-base rule)."""
+        if base_class == pointer.static_type:
+            return pointer
+        poset = self._poset(pointer.instance.complete_type)
+        candidates = [
+            key
+            for key in poset.dominated_by(pointer.key)
+            if key.ldc == base_class
+        ]
+        if not candidates:
+            raise UpcastError(
+                f"{base_class!r} is not a base of {pointer.static_type!r}"
+            )
+        if len(candidates) > 1:
+            raise UpcastError(
+                f"ambiguous conversion to {base_class!r}: "
+                f"{sorted(map(str, candidates))}"
+            )
+        return Pointer(instance=pointer.instance, key=candidates[0])
+
+    # ------------------------------------------------------------------
+    # Field access (the `stat` staging)
+    # ------------------------------------------------------------------
+
+    def read(self, pointer: Pointer, member: str) -> Any:
+        slot = self._locate_field(pointer, member)
+        return pointer.instance.storage[slot]
+
+    def write(self, pointer: Pointer, member: str, value: Any) -> None:
+        slot = self._locate_field(pointer, member)
+        pointer.instance.storage[slot] = value
+
+    def _locate_field(self, pointer: Pointer, member: str) -> int:
+        """Resolve in the pointer's static type, then re-embed the
+        witness into the complete object to find the storage slot."""
+        result = self._table.lookup(pointer.static_type, member)
+        if result.is_ambiguous:
+            raise AmbiguousAccessError(str(result))
+        if result.is_not_found:
+            raise KeyError(
+                f"{pointer.static_type!r} has no member {member!r}"
+            )
+        declared = self.graph.member(result.declaring_class, member)
+        if declared.behaves_as_static:
+            raise KeyError(
+                f"{result.qualified_name()} is a static member; it has no "
+                "per-object storage in this model"
+            )
+        graph = self._subobject_graph(pointer.instance.complete_type)
+        representative = graph.get(pointer.key).representative
+        composed = result.witness.concat(representative)
+        target_key = subobject_key(composed)
+        layout = pointer.instance.layout
+        return layout.slot_for(target_key, member).offset
+
+    # ------------------------------------------------------------------
+    # Virtual calls (the `dyn` staging)
+    # ------------------------------------------------------------------
+
+    def define(
+        self, class_name: str, member: str, body: Callable[..., Any]
+    ) -> None:
+        """Register the body of ``class_name::member``; it is invoked as
+        ``body(runtime, this_pointer)``."""
+        self.graph.member(class_name, member)  # must exist
+        self._methods[(class_name, member)] = body
+
+    def call(self, pointer: Pointer, member: str) -> Any:
+        """Virtual dispatch: resolve the final overrider in the
+        *complete* type, adjust ``this``, and invoke the body."""
+        visible = self._table.lookup(pointer.static_type, member)
+        if visible.is_not_found:
+            raise KeyError(
+                f"{pointer.static_type!r} has no member {member!r}"
+            )
+        final = self._dispatch.lookup(pointer.instance.complete_type, member)
+        if final.is_ambiguous:
+            raise AmbiguousAccessError(str(final))
+        assert final.is_unique
+        this = Pointer(instance=pointer.instance, key=final.subobject)
+        body = self._methods.get((final.declaring_class, member))
+        if body is None:
+            raise MissingMethodError(
+                f"{final.declaring_class}::{member} has no body"
+            )
+        return body(self, this)
+
+    def call_qualified(
+        self, pointer: Pointer, qualifier: str, member: str
+    ) -> Any:
+        """A qualified call ``p->Base::m()``: no virtual dispatch; the
+        body of the declaration found in ``qualifier``'s scope runs."""
+        base_pointer = self.upcast(pointer, qualifier)
+        result = self._table.lookup(qualifier, member)
+        if result.is_ambiguous:
+            raise AmbiguousAccessError(str(result))
+        if result.is_not_found:
+            raise KeyError(f"{qualifier!r} has no member {member!r}")
+        body = self._methods.get((result.declaring_class, member))
+        if body is None:
+            raise MissingMethodError(
+                f"{result.declaring_class}::{member} has no body"
+            )
+        return body(self, base_pointer)
+
+    # ------------------------------------------------------------------
+
+    def _layout(self, complete_type: str) -> ObjectLayout:
+        if complete_type not in self._layouts:
+            self._layouts[complete_type] = compute_layout(
+                self.graph, complete_type
+            )
+        return self._layouts[complete_type]
+
+    def _subobject_graph(self, complete_type: str) -> SubobjectGraph:
+        if complete_type not in self._subobjects:
+            self._subobjects[complete_type] = SubobjectGraph(
+                self.graph, complete_type
+            )
+        return self._subobjects[complete_type]
+
+    def _poset(self, complete_type: str) -> SubobjectPoset:
+        if complete_type not in self._posets:
+            self._posets[complete_type] = SubobjectPoset(
+                self._subobject_graph(complete_type)
+            )
+        return self._posets[complete_type]

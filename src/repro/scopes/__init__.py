@@ -1,0 +1,16 @@
+"""Unqualified-name lookup over nested scopes (paper, Section 6)."""
+
+from repro.scopes.resolver import (
+    Resolution,
+    ResolutionKind,
+    UnqualifiedNameResolver,
+)
+from repro.scopes.scope import Scope, ScopeKind
+
+__all__ = [
+    "Resolution",
+    "ResolutionKind",
+    "Scope",
+    "ScopeKind",
+    "UnqualifiedNameResolver",
+]

@@ -1,0 +1,97 @@
+"""Unqualified-name resolution over a scope chain (paper, Section 6).
+
+Walk the chain innermost-to-outermost; the first scope in which the name
+resolves wins.  A plain scope resolves names it declares; a class scope
+resolves via member lookup in its class — and an *ambiguous* member
+lookup is an error, not a miss: C++ finds the name in that class scope
+and then fails, it does not keep searching outer scopes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.results import LookupResult
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.scopes.scope import Scope, ScopeKind
+
+
+class ResolutionKind(enum.Enum):
+    """How (or whether) an unqualified name resolved."""
+
+    LOCAL = "local"  # found in a non-class scope
+    MEMBER = "member"  # found by member lookup in a class scope
+    AMBIGUOUS = "ambiguous"  # found in a class scope, but lookup = ⊥
+    NOT_FOUND = "not-found"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    name: str
+    kind: ResolutionKind
+    scope: Optional[Scope] = None
+    entity: object = None
+    lookup: Optional[LookupResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind in (ResolutionKind.LOCAL, ResolutionKind.MEMBER)
+
+    def __str__(self) -> str:
+        if self.kind is ResolutionKind.MEMBER:
+            return f"{self.name} -> {self.lookup.qualified_name()}"
+        if self.kind is ResolutionKind.LOCAL:
+            return f"{self.name} -> local in {self.scope.kind.value} scope"
+        return f"{self.name} -> {self.kind.value}"
+
+
+class UnqualifiedNameResolver:
+    """Resolves unqualified names against a hierarchy-aware scope chain."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        self._graph = graph
+        self._table = StaticAwareLookupTable(graph)
+
+    def resolve(self, scope: Scope, name: str) -> Resolution:
+        for level in scope.chain():
+            if level.kind is ScopeKind.CLASS:
+                result = self._table.lookup(level.class_name, name)
+                if result.is_unique:
+                    return Resolution(
+                        name=name,
+                        kind=ResolutionKind.MEMBER,
+                        scope=level,
+                        lookup=result,
+                    )
+                if result.is_ambiguous:
+                    # The class scope *does* contain the name; ambiguity
+                    # terminates the search with an error.
+                    return Resolution(
+                        name=name,
+                        kind=ResolutionKind.AMBIGUOUS,
+                        scope=level,
+                        lookup=result,
+                    )
+            elif level.declares_locally(name):
+                return Resolution(
+                    name=name,
+                    kind=ResolutionKind.LOCAL,
+                    scope=level,
+                    entity=level.names[name],
+                )
+        return Resolution(name=name, kind=ResolutionKind.NOT_FOUND)
+
+    def resolve_in_member_function(
+        self, class_name: str, name: str, locals_: dict[str, object]
+    ) -> Resolution:
+        """Convenience: model the scope stack of a member function body
+        — block locals, then the class scope, then globals."""
+        global_scope = Scope.global_scope()
+        class_scope = global_scope.enter_class(class_name)
+        function_scope = class_scope.enter_function()
+        for local_name, entity in locals_.items():
+            function_scope.declare(local_name, entity)
+        return self.resolve(function_scope, name)

@@ -1,0 +1,80 @@
+"""Lexical scopes for unqualified-name resolution (paper, Section 6).
+
+    "The resolution of an unqualified name in C++ is essentially the same
+    as the traditional name lookup process in the presence of nested
+    scopes.  The only complication is that any of these nested scopes may
+    itself be a class, and the local lookup within a class scope itself
+    reduces to the member lookup problem addressed in this paper."
+
+A :class:`Scope` is either a plain scope (block, function, namespace)
+holding locally declared names, or a *class scope* delegating to member
+lookup in that class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ScopeKind(enum.Enum):
+    """What kind of lexical scope a level represents."""
+
+    GLOBAL = "global"
+    NAMESPACE = "namespace"
+    CLASS = "class"
+    FUNCTION = "function"
+    BLOCK = "block"
+
+
+@dataclass
+class Scope:
+    """One nesting level.  For ``CLASS`` scopes, ``class_name`` names the
+    class whose members are visible; other scopes hold ``names``
+    declared directly in them."""
+
+    kind: ScopeKind
+    parent: Optional["Scope"] = None
+    class_name: Optional[str] = None
+    names: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind is ScopeKind.CLASS and not self.class_name:
+            raise ValueError("a class scope needs a class name")
+        if self.kind is not ScopeKind.CLASS and self.class_name:
+            raise ValueError("only class scopes carry a class name")
+
+    def declare(self, name: str, entity: object = None) -> None:
+        if self.kind is ScopeKind.CLASS:
+            raise ValueError(
+                "class scopes are populated by the hierarchy, not declare()"
+            )
+        self.names[name] = entity
+
+    def declares_locally(self, name: str) -> bool:
+        return name in self.names
+
+    def chain(self) -> list["Scope"]:
+        """Innermost-to-outermost scope chain starting at self."""
+        result: list[Scope] = []
+        scope: Optional[Scope] = self
+        while scope is not None:
+            result.append(scope)
+            scope = scope.parent
+        return result
+
+    # Convenience constructors ------------------------------------------------
+
+    @staticmethod
+    def global_scope() -> "Scope":
+        return Scope(kind=ScopeKind.GLOBAL)
+
+    def enter_class(self, class_name: str) -> "Scope":
+        return Scope(kind=ScopeKind.CLASS, parent=self, class_name=class_name)
+
+    def enter_function(self) -> "Scope":
+        return Scope(kind=ScopeKind.FUNCTION, parent=self)
+
+    def enter_block(self) -> "Scope":
+        return Scope(kind=ScopeKind.BLOCK, parent=self)

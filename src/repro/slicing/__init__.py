@@ -1,0 +1,5 @@
+"""Class hierarchy slicing (the Tip et al. application, Section 1)."""
+
+from repro.slicing.slicer import HierarchySlice, SliceCriterion, slice_hierarchy
+
+__all__ = ["HierarchySlice", "SliceCriterion", "slice_hierarchy"]

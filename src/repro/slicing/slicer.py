@@ -1,0 +1,130 @@
+"""Class hierarchy slicing driven by member lookup.
+
+The paper (Section 1) notes the lookup algorithm "is also useful in
+efficiently implementing class hierarchy slicing", citing Tip et al.
+(OOPSLA '96).  This module implements a conservative slicer in that
+spirit: given a hierarchy and the set of lookup queries a program
+actually performs, produce the smallest sub-hierarchy this construction
+guarantees to preserve every queried lookup result on.
+
+Soundness argument (also verified property-style in the tests): for a
+query ``lookup(C, m)``,
+
+* every definition of ``m`` reaching ``C`` originates in a class that
+  declares ``m`` and is a (reflexive) base of ``C`` — all kept;
+* dominance between two definitions ``[a]``, ``[b]`` with ``mdc = C`` is
+  witnessed by paths ``d . a`` from ``ldc(b)`` to ``C`` — every class on
+  such a path lies on a path from an ``m``-declaring base of ``C`` to
+  ``C``, and all such path classes are kept, with their edges;
+
+so both the definition sets and the dominance relation restricted to
+them are unchanged in the slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+@dataclass(frozen=True)
+class SliceCriterion:
+    """One lookup the slice must preserve."""
+
+    class_name: str
+    member: str
+
+
+@dataclass
+class HierarchySlice:
+    """The result of slicing: the reduced hierarchy plus bookkeeping."""
+
+    hierarchy: ClassHierarchyGraph
+    kept_classes: frozenset[str]
+    kept_members: dict[str, frozenset[str]]
+    criteria: tuple[SliceCriterion, ...]
+
+    def reduction(self, original: ClassHierarchyGraph) -> float:
+        """Fraction of classes removed."""
+        if len(original) == 0:
+            return 0.0
+        return 1.0 - len(self.kept_classes) / len(original)
+
+
+def slice_hierarchy(
+    graph: ClassHierarchyGraph,
+    criteria: Iterable[SliceCriterion | tuple[str, str]],
+) -> HierarchySlice:
+    """Compute the sub-hierarchy preserving every criterion lookup."""
+    graph.validate()
+    normalised = tuple(
+        c if isinstance(c, SliceCriterion) else SliceCriterion(*c)
+        for c in criteria
+    )
+
+    kept: set[str] = set()
+    kept_members: dict[str, set[str]] = {}
+    for criterion in normalised:
+        graph.direct_bases(criterion.class_name)  # validates the name
+        relevant = _classes_on_definition_paths(graph, criterion)
+        kept |= relevant
+        for name in relevant:
+            if graph.declares(name, criterion.member):
+                kept_members.setdefault(name, set()).add(criterion.member)
+
+    sliced = ClassHierarchyGraph()
+    for name in graph.classes:  # preserve declaration order
+        if name not in kept:
+            continue
+        members = [
+            graph.member(name, m) for m in sorted(kept_members.get(name, ()))
+        ]
+        sliced.add_class(name, members, is_struct=graph.is_struct(name))
+    for edge in graph.edges:
+        if edge.base in kept and edge.derived in kept:
+            sliced.add_edge(
+                edge.base,
+                edge.derived,
+                virtual=edge.virtual,
+                access=edge.access,
+            )
+
+    return HierarchySlice(
+        hierarchy=sliced,
+        kept_classes=frozenset(kept),
+        kept_members={k: frozenset(v) for k, v in kept_members.items()},
+        criteria=normalised,
+    )
+
+
+def _classes_on_definition_paths(
+    graph: ClassHierarchyGraph, criterion: SliceCriterion
+) -> set[str]:
+    """All classes lying on some path from an ``m``-declaring (reflexive)
+    base of ``C`` to ``C`` — computed as {X : X reaches C} intersected
+    with {X : some declarer reaches X}."""
+    target = criterion.class_name
+    reaches_target = {target} | {
+        name for name in graph.classes if graph.is_base_of(name, target)
+    }
+    declarers = {
+        name
+        for name in reaches_target
+        if graph.declares(name, criterion.member)
+    }
+    if not declarers:
+        return {target}
+    reachable_from_declarer: set[str] = set(declarers)
+    frontier = list(declarers)
+    while frontier:
+        current = frontier.pop()
+        for edge in graph.direct_derived(current):
+            if (
+                edge.derived in reaches_target
+                and edge.derived not in reachable_from_declarer
+            ):
+                reachable_from_declarer.add(edge.derived)
+                frontier.append(edge.derived)
+    return (reachable_from_declarer & reaches_target) | {target}

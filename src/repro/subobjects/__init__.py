@@ -1,0 +1,24 @@
+"""The Rossie-Friedman subobject substrate: the reference semantics."""
+
+from repro.subobjects.graph import (
+    Subobject,
+    SubobjectGraph,
+    subobject_count,
+    total_subobject_count,
+)
+from repro.subobjects.poset import SubobjectPoset, isomorphic_to_path_classes
+from repro.subobjects.reference import ReferenceLookup, defns, reference_lookup
+from repro.subobjects.rossie_friedman import RossieFriedmanLookup
+
+__all__ = [
+    "ReferenceLookup",
+    "RossieFriedmanLookup",
+    "Subobject",
+    "SubobjectGraph",
+    "SubobjectPoset",
+    "defns",
+    "isomorphic_to_path_classes",
+    "reference_lookup",
+    "subobject_count",
+    "total_subobject_count",
+]

@@ -1,0 +1,197 @@
+"""The subobject graph (Rossie & Friedman, OOPSLA '95; paper Sections 1-3).
+
+A complete object of class ``C`` is composed of *subobjects* — one for
+each ≈-equivalence class of paths into ``C`` (paper, Section 3; Theorem 1
+states the correspondence with Rossie-Friedman subobjects).  This module
+*materialises* those subobjects and the containment edges between them.
+
+The materialised graph can be exponentially larger than the CHG (the very
+problem the paper's algorithm avoids), e.g. a ladder of ``k`` non-virtual
+diamonds yields ``2^k`` copies of the root class.  It exists here as the
+reference semantics and as the substrate for the g++-style baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.equivalence import SubobjectKey, subobject_key
+from repro.core.paths import Path
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+
+@dataclass(frozen=True)
+class Subobject:
+    """A subobject of a complete object: a ≈-class with a representative
+    path kept for display and for witness extraction."""
+
+    key: SubobjectKey
+    representative: Path
+
+    @property
+    def class_name(self) -> str:
+        """The class this subobject is an instance of (the ``ldc``)."""
+        return self.key.ldc
+
+    @property
+    def complete_type(self) -> str:
+        """The class whose complete object contains this subobject."""
+        return self.key.complete
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.key.is_virtual
+
+    def __str__(self) -> str:
+        return str(self.key)
+
+
+class SubobjectGraph:
+    """All subobjects of one complete type, with containment edges.
+
+    Edges are oriented like CHG edges — from the base-class subobject to
+    the subobject that directly contains it — so the paper's Figures 1(c)
+    and 2(c) are drawn directly from this structure.
+    """
+
+    def __init__(self, graph: ClassHierarchyGraph, complete_type: str) -> None:
+        graph.direct_bases(complete_type)  # validates the name
+        self._graph = graph
+        self._complete_type = complete_type
+        self._subobjects: dict[SubobjectKey, Subobject] = {}
+        # contained-in edges: child (base subobject) per container
+        self._bases_of: dict[SubobjectKey, list[SubobjectKey]] = {}
+        self._containers_of: dict[SubobjectKey, list[SubobjectKey]] = {}
+        self._build()
+
+    @staticmethod
+    def for_type(
+        graph: ClassHierarchyGraph, complete_type: str
+    ) -> "SubobjectGraph":
+        return SubobjectGraph(graph, complete_type)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        """Breadth-first materialisation from the whole-object subobject.
+
+        For a subobject with representative path ``a`` (so its class is
+        ``ldc(a)``), each direct-base edge ``X -> ldc(a)`` contributes the
+        contained subobject ``[(X -> ldc(a)) . a]``; virtual first edges
+        collapse shared virtual-base subobjects because the ≈-key of such
+        a path is just ``(X, complete)``.
+        """
+        root = Subobject(
+            key=subobject_key(Path.trivial(self._complete_type)),
+            representative=Path.trivial(self._complete_type),
+        )
+        self._subobjects[root.key] = root
+        self._bases_of[root.key] = []
+        self._containers_of[root.key] = []
+        queue = deque([root])
+        while queue:
+            container = queue.popleft()
+            holder = container.representative.ldc
+            for edge in self._graph.direct_bases(holder):
+                child_path = Path.edge(
+                    edge.base, edge.derived, virtual=edge.virtual
+                ).concat(container.representative)
+                child_key = subobject_key(child_path)
+                child = self._subobjects.get(child_key)
+                if child is None:
+                    child = Subobject(key=child_key, representative=child_path)
+                    self._subobjects[child_key] = child
+                    self._bases_of[child_key] = []
+                    self._containers_of[child_key] = []
+                    queue.append(child)
+                if child_key not in self._bases_of[container.key]:
+                    self._bases_of[container.key].append(child_key)
+                    self._containers_of[child_key].append(container.key)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def complete_type(self) -> str:
+        return self._complete_type
+
+    @property
+    def hierarchy(self) -> ClassHierarchyGraph:
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._subobjects)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._subobjects
+
+    def subobjects(self) -> tuple[Subobject, ...]:
+        """All subobjects, in BFS discovery order (whole object first)."""
+        return tuple(self._subobjects.values())
+
+    def root(self) -> Subobject:
+        """The whole-object subobject of the complete type."""
+        return next(iter(self._subobjects.values()))
+
+    def get(self, key: SubobjectKey) -> Subobject:
+        return self._subobjects[key]
+
+    def of_class(self, class_name: str) -> tuple[Subobject, ...]:
+        """All subobjects of the given class — e.g. the two ``A``
+        subobjects of the paper's Figure 1(c)."""
+        return tuple(
+            s for s in self._subobjects.values() if s.class_name == class_name
+        )
+
+    def base_subobjects(self, key: SubobjectKey) -> tuple[Subobject, ...]:
+        """Subobjects directly contained in the given one, in base
+        declaration order."""
+        return tuple(self._subobjects[k] for k in self._bases_of[key])
+
+    def containers(self, key: SubobjectKey) -> tuple[Subobject, ...]:
+        return tuple(self._subobjects[k] for k in self._containers_of[key])
+
+    def bfs_order(self) -> Iterator[Subobject]:
+        """Breadth-first order from the whole object, visiting shared
+        subobjects once — the traversal order of the g++ baseline."""
+        root = self.root()
+        seen = {root.key}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            yield current
+            for child in self.base_subobjects(current.key):
+                if child.key not in seen:
+                    seen.add(child.key)
+                    queue.append(child)
+
+    def edges(self) -> Iterator[tuple[Subobject, Subobject]]:
+        """Yield ``(base_subobject, containing_subobject)`` pairs."""
+        for key, children in self._bases_of.items():
+            container = self._subobjects[key]
+            for child_key in children:
+                yield self._subobjects[child_key], container
+
+    def find(self, *fixed_nodes: str) -> Optional[Subobject]:
+        """Locate a subobject by the classes of its fixed path —
+        convenience for tests: ``g.find("A", "B", "D")``."""
+        key = SubobjectKey(
+            fixed_nodes=tuple(fixed_nodes), complete=self._complete_type
+        )
+        return self._subobjects.get(key)
+
+
+def subobject_count(graph: ClassHierarchyGraph, complete_type: str) -> int:
+    """Number of subobjects of a complete object — for blow-up studies."""
+    return len(SubobjectGraph(graph, complete_type))
+
+
+def total_subobject_count(graph: ClassHierarchyGraph) -> int:
+    """Sum of subobject counts over every class taken as a complete type
+    (the size of the full Rossie-Friedman subobject graph)."""
+    return sum(subobject_count(graph, name) for name in graph.classes)

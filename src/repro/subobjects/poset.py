@@ -1,0 +1,121 @@
+"""The subobject poset and dominance as containment-reachability.
+
+For subobjects of the same complete object, ``[a] dominates [b]`` iff
+``[b]`` can be reached from ``[a]`` by walking containment edges toward
+base subobjects (reflexively): every ``b' = d . a`` with ``a`` as a
+suffix names a base subobject of ``[a]``, and conversely.  This gives a
+polynomial decision procedure *given* the materialised subobject graph —
+the graph itself may of course be exponential, which is why the paper's
+algorithm never builds it.
+
+Theorem 1 (the ≈-class poset is isomorphic to the Rossie-Friedman
+subobject poset) is checked by :func:`isomorphic_to_path_classes`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.dominance import dominates_paths, is_partial_order
+from repro.core.equivalence import SubobjectKey, subobject_key
+from repro.core.enumeration import iter_paths_to
+from repro.subobjects.graph import Subobject, SubobjectGraph
+
+
+class SubobjectPoset:
+    """Dominance over the subobjects of one complete type, with memoised
+    reachability."""
+
+    def __init__(self, graph: SubobjectGraph) -> None:
+        self._graph = graph
+        self._reachable: dict[SubobjectKey, frozenset[SubobjectKey]] = {}
+
+    @property
+    def subobject_graph(self) -> SubobjectGraph:
+        return self._graph
+
+    def dominated_by(self, key: SubobjectKey) -> frozenset[SubobjectKey]:
+        """All subobjects dominated by ``key`` (including itself): the
+        base-subobject closure."""
+        cached = self._reachable.get(key)
+        if cached is not None:
+            return cached
+        result: set[SubobjectKey] = set()
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            for child in self._graph.base_subobjects(current):
+                stack.append(child.key)
+        frozen = frozenset(result)
+        self._reachable[key] = frozen
+        return frozen
+
+    def dominates(self, a: SubobjectKey, b: SubobjectKey) -> bool:
+        """Definition 6 via reachability."""
+        return b in self.dominated_by(a)
+
+    def most_dominant(
+        self, candidates: Iterable[Subobject]
+    ) -> Subobject | None:
+        """Definition 8: the unique element dominating every other, if any."""
+        items = list(candidates)
+        for candidate in items:
+            if all(
+                self.dominates(candidate.key, other.key) for other in items
+            ):
+                return candidate
+        return None
+
+    def maximal(self, candidates: Iterable[Subobject]) -> list[Subobject]:
+        """Definition 16: elements not strictly dominated by another."""
+        items = list(candidates)
+        result = []
+        for current in items:
+            strictly_dominated = any(
+                other.key != current.key
+                and self.dominates(other.key, current.key)
+                for other in items
+            )
+            if not strictly_dominated:
+                result.append(current)
+        return result
+
+    def check_partial_order(self) -> bool:
+        """Lemma 2: dominance on subobjects is a partial order."""
+        keys = [s.key for s in self._graph.subobjects()]
+        return is_partial_order(keys, self.dominates)
+
+
+def isomorphic_to_path_classes(subobject_graph: SubobjectGraph) -> bool:
+    """Theorem 1, checked extensionally for one complete type.
+
+    The ≈-classes of paths into the complete type must be in bijection
+    with the materialised subobjects, and path-level dominance
+    (Definition 5, executed literally) must agree with
+    containment-reachability on every pair.  Exponential; for tests on
+    small graphs only.
+    """
+    hierarchy = subobject_graph.hierarchy
+    complete = subobject_graph.complete_type
+    poset = SubobjectPoset(subobject_graph)
+
+    class_reps: dict[SubobjectKey, list] = {}
+    for path in iter_paths_to(hierarchy, complete):
+        class_reps.setdefault(subobject_key(path), []).append(path)
+
+    materialised = {s.key for s in subobject_graph.subobjects()}
+    if set(class_reps) != materialised:
+        return False
+
+    keys = list(class_reps)
+    for a in keys:
+        for b in keys:
+            path_level = dominates_paths(
+                hierarchy, class_reps[a][0], class_reps[b][0]
+            )
+            if path_level != poset.dominates(a, b):
+                return False
+    return True

@@ -1,0 +1,117 @@
+"""The reference lookup: the paper's Definitions 7-9 executed literally.
+
+This is the *executable specification* (essentially the Rossie-Friedman
+definition): materialise the subobjects of the complete type, collect
+``Defns(C, m)``, and pick the most-dominant element of that set under the
+subobject poset.  Potentially exponential; it exists as the oracle
+against which the efficient algorithm is tested and benchmarked.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.graph import Subobject, SubobjectGraph
+from repro.subobjects.poset import SubobjectPoset
+
+
+def defns(
+    subobject_graph: SubobjectGraph, member: str
+) -> tuple[Subobject, ...]:
+    """Definition 7: the subobjects of the complete object whose class
+    directly declares ``member``."""
+    hierarchy = subobject_graph.hierarchy
+    return tuple(
+        subobject
+        for subobject in subobject_graph.subobjects()
+        if hierarchy.declares(subobject.class_name, member)
+    )
+
+
+class ReferenceLookup:
+    """Lookup by direct evaluation of the definitions, memoising the
+    subobject graph and poset per complete type."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        graph.validate()
+        self._graph = graph
+        self._posets: dict[str, SubobjectPoset] = {}
+
+    def poset(self, complete_type: str) -> SubobjectPoset:
+        if complete_type not in self._posets:
+            self._posets[complete_type] = SubobjectPoset(
+                SubobjectGraph(self._graph, complete_type)
+            )
+        return self._posets[complete_type]
+
+    def defns(self, class_name: str, member: str) -> tuple[Subobject, ...]:
+        return defns(self.poset(class_name).subobject_graph, member)
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        """Definition 9: ``most-dominant(Defns(C, m))`` or ⊥."""
+        poset = self.poset(class_name)
+        candidates = self.defns(class_name, member)
+        if not candidates:
+            return not_found_result(class_name, member)
+        winner = poset.most_dominant(candidates)
+        if winner is None:
+            return ambiguous_result(
+                class_name,
+                member,
+                candidates=tuple(
+                    sorted({c.class_name for c in poset.maximal(candidates)})
+                ),
+            )
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=winner.class_name,
+            least_virtual=winner.representative.least_virtual(),
+            witness=winner.representative,
+        )
+
+    def lookup_static(self, class_name: str, member: str) -> LookupResult:
+        """Definition 17: the static-member rule.
+
+        The lookup is defined when the maximal set is a singleton, or
+        when every maximal subobject shares the same ``ldc`` and the
+        member behaves as static there (static proper, nested type, or
+        enumerator); a representative element is returned.
+        """
+        poset = self.poset(class_name)
+        candidates = self.defns(class_name, member)
+        if not candidates:
+            return not_found_result(class_name, member)
+        maximal = poset.maximal(candidates)
+        defined = len(maximal) == 1 or (
+            len({s.class_name for s in maximal}) == 1
+            and self._graph.member(
+                maximal[0].class_name, member
+            ).behaves_as_static
+        )
+        if not defined:
+            return ambiguous_result(
+                class_name,
+                member,
+                candidates=tuple(sorted({s.class_name for s in maximal})),
+            )
+        winner = maximal[0]
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=winner.class_name,
+            least_virtual=winner.representative.least_virtual(),
+            witness=winner.representative,
+        )
+
+
+def reference_lookup(
+    graph: ClassHierarchyGraph, class_name: str, member: str
+) -> LookupResult:
+    """One-shot convenience wrapper around :class:`ReferenceLookup`."""
+    return ReferenceLookup(graph).lookup(class_name, member)

@@ -1,0 +1,57 @@
+"""The Rossie-Friedman ``dyn``/``stat`` lookup operations (Section 7.1).
+
+Rossie and Friedman define, per member ``m``, partial functions from
+subobjects to subobjects::
+
+    dyn(m, s)  = lookup(mdc(s), m)
+    stat(m, s) = lookup(ldc(s), m) ∘ s
+
+where the subobject composition operator is ``[a] ∘ [b] = [a . b]``.
+They model the lookups performed for virtual (dynamic dispatch) and
+non-virtual members respectively; the paper notes these equations show
+how lookup can be *staged* so the run-time part is constant-time, with
+our ``lookup`` capturing the compile-time stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.paths import Path
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.subobjects.graph import Subobject
+from repro.subobjects.reference import ReferenceLookup
+
+
+class RossieFriedmanLookup:
+    """``dyn`` and ``stat`` implemented on top of the reference lookup."""
+
+    def __init__(self, graph: ClassHierarchyGraph) -> None:
+        self._graph = graph
+        self._reference = ReferenceLookup(graph)
+
+    def dyn(self, member: str, subobject: Subobject) -> Optional[Subobject]:
+        """Dynamic (virtual-member) lookup: resolve ``member`` in the
+        *complete* object containing ``subobject``; ``None`` models the
+        partial function being undefined (ambiguity or absence)."""
+        result = self._reference.lookup(subobject.complete_type, member)
+        if not result.is_unique or result.witness is None:
+            return None
+        return self._subobject_of(result.witness)
+
+    def stat(self, member: str, subobject: Subobject) -> Optional[Subobject]:
+        """Static (non-virtual-member) lookup: resolve ``member`` in the
+        subobject's own class, then re-embed the answer into the complete
+        object by composing with the subobject's path."""
+        result = self._reference.lookup(subobject.class_name, member)
+        if not result.is_unique or result.witness is None:
+            return None
+        composed = result.witness.concat(subobject.representative)
+        return self._subobject_of(composed)
+
+    def _subobject_of(self, path: Path) -> Subobject:
+        graph = self._reference.poset(path.mdc).subobject_graph
+        found = graph.find(*path.fixed().nodes)
+        if found is None:  # pragma: no cover - witnesses are always real paths
+            raise AssertionError(f"witness path {path} names no subobject")
+        return found

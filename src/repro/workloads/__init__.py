@@ -1,0 +1,59 @@
+"""Workload generators and the paper's example hierarchies."""
+
+from repro.workloads.generators import (
+    ambiguous_fan,
+    binary_tree,
+    blue_heavy_hierarchy,
+    chain,
+    deep_ambiguous_ladder,
+    grid,
+    nonvirtual_diamond_ladder,
+    random_hierarchy,
+    virtual_diamond_ladder,
+    wide_unambiguous,
+)
+from repro.workloads.emit_cpp import emit_cpp, emit_cpp_with_queries
+from repro.workloads.realworld import gui_toolkit, interface_heavy
+from repro.workloads.paper_figures import (
+    ALL_FIGURES,
+    FIGURE_EXPECTATIONS,
+    FIGURE_SOURCES,
+    figure1,
+    figure1_source,
+    figure2,
+    figure2_source,
+    figure3,
+    figure3_source,
+    figure9,
+    figure9_source,
+    iostream_like,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FIGURE_EXPECTATIONS",
+    "FIGURE_SOURCES",
+    "ambiguous_fan",
+    "binary_tree",
+    "blue_heavy_hierarchy",
+    "chain",
+    "deep_ambiguous_ladder",
+    "emit_cpp",
+    "emit_cpp_with_queries",
+    "figure1",
+    "figure1_source",
+    "figure2",
+    "figure2_source",
+    "figure3",
+    "figure3_source",
+    "figure9",
+    "figure9_source",
+    "grid",
+    "gui_toolkit",
+    "interface_heavy",
+    "iostream_like",
+    "nonvirtual_diamond_ladder",
+    "random_hierarchy",
+    "virtual_diamond_ladder",
+    "wide_unambiguous",
+]

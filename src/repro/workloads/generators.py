@@ -1,0 +1,234 @@
+"""Parameterised hierarchy generators for tests and benchmarks.
+
+Families:
+
+* ``chain(n)`` / ``binary_tree(depth)`` — unambiguous hierarchies for the
+  linear-time claim (Section 5, common case).
+* ``nonvirtual_diamond_ladder(k)`` — a stack of k non-virtual diamonds:
+  the root occurs in ``2^k`` subobjects of the apex, the paper's
+  exponential-blow-up family (Section 7.1).
+* ``virtual_diamond_ladder(k)`` — the same shape with virtual joins: one
+  shared subobject per class.
+* ``ambiguous_fan(width)`` — many conflicting definitions merging into
+  one class: exercises the quadratic worst case (blue-set unions).
+* ``random_hierarchy(...)`` — seeded layered DAGs with a controllable
+  virtual-edge fraction and member density; used by the property tests
+  and the "practice-like" benchmark (Section 7.1's closing remark).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Member
+
+
+def chain(n: int, *, member_every: int = 1, member: str = "m") -> ClassHierarchyGraph:
+    """A single-inheritance chain ``C0 <- C1 <- ... <- C(n-1)``.
+
+    Every ``member_every``-th class declares ``member`` (hiding its
+    bases' declaration), so every lookup is unambiguous.
+    """
+    if n < 1:
+        raise ValueError("chain needs at least one class")
+    builder = HierarchyBuilder()
+    for i in range(n):
+        members = [member] if i % member_every == 0 else []
+        bases = [f"C{i - 1}"] if i > 0 else []
+        builder.cls(f"C{i}", bases=bases, members=members)
+    return builder.build()
+
+
+def binary_tree(depth: int, *, member: str = "m") -> ClassHierarchyGraph:
+    """A complete binary tree of single-inheritance classes, rooted at a
+    single base declaring ``member``; ``2^depth - 1`` classes, all
+    lookups unambiguous."""
+    if depth < 1:
+        raise ValueError("tree needs depth >= 1")
+    builder = HierarchyBuilder()
+    builder.cls("N1", members=[member])
+    for i in range(2, 2**depth):
+        builder.cls(f"N{i}", bases=[f"N{i // 2}"])
+    return builder.build()
+
+
+def nonvirtual_diamond_ladder(
+    k: int, *, member: str = "m"
+) -> ClassHierarchyGraph:
+    """``k`` stacked non-virtual diamonds.
+
+    Layer 0 is the root ``R`` (declaring ``member``); each layer ``i``
+    adds ``Li_l`` and ``Li_r`` deriving from the previous join and a join
+    ``Ji`` deriving from both.  The apex ``J_k`` contains ``2^k`` root
+    subobjects, so every lookup of ``member`` above layer 0 is ambiguous
+    and the subobject graph is exponential in ``k``.
+    """
+    if k < 1:
+        raise ValueError("ladder needs at least one diamond")
+    builder = HierarchyBuilder()
+    builder.cls("R", members=[member])
+    below = "R"
+    for i in range(1, k + 1):
+        builder.cls(f"L{i}l", bases=[below])
+        builder.cls(f"L{i}r", bases=[below])
+        builder.cls(f"J{i}", bases=[f"L{i}l", f"L{i}r"])
+        below = f"J{i}"
+    return builder.build()
+
+
+def virtual_diamond_ladder(k: int, *, member: str = "m") -> ClassHierarchyGraph:
+    """The same ladder with virtual joins: each pair of arms inherits the
+    class below *virtually*, so every class has exactly one subobject per
+    base class and all lookups are unambiguous."""
+    if k < 1:
+        raise ValueError("ladder needs at least one diamond")
+    builder = HierarchyBuilder()
+    builder.cls("R", members=[member])
+    below = "R"
+    for i in range(1, k + 1):
+        builder.cls(f"L{i}l", virtual_bases=[below])
+        builder.cls(f"L{i}r", virtual_bases=[below])
+        builder.cls(f"J{i}", bases=[f"L{i}l", f"L{i}r"])
+        below = f"J{i}"
+    return builder.build()
+
+
+def ambiguous_fan(width: int, *, member: str = "m") -> ClassHierarchyGraph:
+    """``width`` root classes, each declaring ``member``, all inherited
+    (non-virtually) by a single derived class ``Join`` — a maximally
+    ambiguous merge whose blue set holds ``width`` abstractions."""
+    if width < 2:
+        raise ValueError("fan needs width >= 2")
+    builder = HierarchyBuilder()
+    for i in range(width):
+        builder.cls(f"B{i}", members=[member])
+    builder.cls("Join", bases=[f"B{i}" for i in range(width)])
+    return builder.build()
+
+
+def deep_ambiguous_ladder(
+    k: int, *, member: str = "m"
+) -> ClassHierarchyGraph:
+    """A non-virtual ladder followed by a chain, so the (large) blue sets
+    are dragged through many further classes — stresses the
+    ``O(|N| * (|N| + |E|))`` worst case of Section 5."""
+    builder = HierarchyBuilder()
+    builder.cls("R", members=[member])
+    below = "R"
+    for i in range(1, k + 1):
+        builder.cls(f"L{i}l", bases=[below])
+        builder.cls(f"L{i}r", bases=[below])
+        builder.cls(f"J{i}", bases=[f"L{i}l", f"L{i}r"])
+        below = f"J{i}"
+    for i in range(k):
+        builder.cls(f"T{i}", bases=[below])
+        below = f"T{i}"
+    return builder.build()
+
+
+def blue_heavy_hierarchy(
+    width: int, tail: int, *, member: str = "m"
+) -> ClassHierarchyGraph:
+    """The worst-case regime of Section 5 made concrete.
+
+    ``width`` roots each declare ``member`` and are inherited *virtually*
+    by one middle class each, so the definitions reach the join with
+    ``width`` pairwise-distinct ``leastVirtual`` abstractions — a blue
+    set of size Θ(|N|) that is then re-propagated through every class of
+    a ``tail``-long chain, exhibiting the O(|N| * (|N| + |E|)) bound.
+    """
+    if width < 2:
+        raise ValueError("need width >= 2")
+    builder = HierarchyBuilder()
+    for i in range(width):
+        builder.cls(f"R{i}", members=[member])
+        builder.cls(f"M{i}", virtual_bases=[f"R{i}"])
+    builder.cls("Join", bases=[f"M{i}" for i in range(width)])
+    below = "Join"
+    for i in range(tail):
+        builder.cls(f"T{i}", bases=[below])
+        below = f"T{i}"
+    return builder.build()
+
+
+def random_hierarchy(
+    n: int,
+    *,
+    seed: int,
+    max_bases: int = 3,
+    virtual_probability: float = 0.3,
+    member_names: Sequence[str] = ("m", "f", "g"),
+    member_probability: float = 0.4,
+    static_probability: float = 0.0,
+) -> ClassHierarchyGraph:
+    """A seeded random DAG hierarchy.
+
+    Classes are created in order ``K0 .. K(n-1)``; each picks up to
+    ``max_bases`` distinct bases among the earlier classes (so the result
+    is acyclic by construction), each edge virtual with the given
+    probability, and declares each member name independently with
+    ``member_probability`` (static with ``static_probability``).
+    """
+    rng = random.Random(seed)
+    builder = HierarchyBuilder()
+    for i in range(n):
+        members = []
+        for name in member_names:
+            if rng.random() < member_probability:
+                members.append(
+                    Member(
+                        name=name,
+                        is_static=rng.random() < static_probability,
+                    )
+                )
+        bases: list[str] = []
+        virtual_bases: list[str] = []
+        if i > 0:
+            count = rng.randint(0, min(max_bases, i))
+            picks = rng.sample(range(i), count)
+            for pick in picks:
+                if rng.random() < virtual_probability:
+                    virtual_bases.append(f"K{pick}")
+                else:
+                    bases.append(f"K{pick}")
+        builder.cls(
+            f"K{i}", bases=bases, virtual_bases=virtual_bases, members=members
+        )
+    return builder.build()
+
+
+def wide_unambiguous(
+    width: int, *, member: str = "m"
+) -> ClassHierarchyGraph:
+    """One root declaring ``member``, inherited *virtually* by ``width``
+    classes which are all joined: large fan-in yet unambiguous (the
+    shared virtual subobject)."""
+    if width < 2:
+        raise ValueError("fan needs width >= 2")
+    builder = HierarchyBuilder()
+    builder.cls("R", members=[member])
+    for i in range(width):
+        builder.cls(f"B{i}", virtual_bases=["R"])
+    builder.cls("Join", bases=[f"B{i}" for i in range(width)])
+    return builder.build()
+
+
+def grid(width: int, height: int, *, member: str = "m") -> ClassHierarchyGraph:
+    """A ``width x height`` grid: class ``G_x_y`` derives from its left
+    and upper neighbours (non-virtually).  Path counts grow as binomial
+    coefficients — a dense multiple-inheritance stress case.  The origin
+    declares ``member``."""
+    builder = HierarchyBuilder()
+    for y in range(height):
+        for x in range(width):
+            bases = []
+            if x > 0:
+                bases.append(f"G_{x - 1}_{y}")
+            if y > 0:
+                bases.append(f"G_{x}_{y - 1}")
+            members = [member] if x == 0 and y == 0 else []
+            builder.cls(f"G_{x}_{y}", bases=bases, members=members)
+    return builder.build()

@@ -1,0 +1,210 @@
+"""The paper's worked examples as ready-made hierarchies.
+
+Each ``figureN`` function returns the CHG of the corresponding figure;
+``figureN_source`` returns the same program as C++ text for the frontend.
+The expected lookup outcomes (stated in the paper) are recorded in
+``FIGURE_EXPECTATIONS`` and asserted by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Member, MemberKind
+
+
+def _fn(name: str) -> Member:
+    """A member function, as the figures declare (``void m();``)."""
+    return Member(name, kind=MemberKind.FUNCTION)
+
+
+def figure1() -> ClassHierarchyGraph:
+    """Figure 1: non-virtual inheritance.
+
+    ``class A { void m(); }; class B : A {}; class C : B {};
+    class D : B { void m(); }; class E : C, D {};``
+
+    ``lookup(E, m)`` is **ambiguous**: an ``E`` object contains two ``A``
+    (and two ``B``) subobjects, and ``D::m`` dominates only the copy of
+    ``A::m`` on its own side.
+    """
+    return (
+        HierarchyBuilder()
+        .cls("A", members=[_fn("m")])
+        .cls("B", bases=["A"])
+        .cls("C", bases=["B"])
+        .cls("D", bases=["B"], members=[_fn("m")])
+        .cls("E", bases=["C", "D"])
+        .build()
+    )
+
+
+def figure1_source() -> str:
+    """The C++ source text of Figure 1's program."""
+    return """
+    class A { void m(); };
+    class B : A {};
+    class C : B {};
+    class D : B { void m(); };
+    class E : C, D {};
+    """
+
+
+def figure2() -> ClassHierarchyGraph:
+    """Figure 2: the same program with virtual inheritance.
+
+    ``class C : virtual B {}; class D : virtual B { void m(); };``
+
+    Now an ``E`` object has a single shared ``B`` (hence ``A``) subobject
+    and ``lookup(E, m)`` **unambiguously** resolves to ``D::m``.
+    """
+    return (
+        HierarchyBuilder()
+        .cls("A", members=[_fn("m")])
+        .cls("B", bases=["A"])
+        .cls("C", virtual_bases=["B"])
+        .cls("D", virtual_bases=["B"], members=[_fn("m")])
+        .cls("E", bases=["C", "D"])
+        .build()
+    )
+
+
+def figure2_source() -> str:
+    """The C++ source text of Figure 2's program."""
+    return """
+    class A { void m(); };
+    class B : A {};
+    class C : virtual B {};
+    class D : virtual B { void m(); };
+    class E : C, D {};
+    """
+
+
+def figure3() -> ClassHierarchyGraph:
+    """Figure 3: the running example of Sections 3-5.
+
+    Reconstructed from the paper's stated facts: the four paths from
+    ``A`` to ``H`` are ``ABDFH, ABDGH, ACDFH, ACDGH`` with
+    ``fixed(ABDFH) = ABD`` and ``fixed(ACDFH) = ACD`` (so ``D -> F`` and
+    ``D -> G`` are the virtual edges);
+    ``Defns(H, foo) = {{ABDFH, ABDGH}, {ACDFH, ACDGH}, {GH}}`` (``foo``
+    declared in ``A`` and ``G``); and
+    ``Defns(H, bar) = {{EFH}, {DFH, DGH}, {GH}}`` (``bar`` declared in
+    ``E``, ``D`` and ``G``).
+
+    Expected results (Sections 3-4): ``lookup(H, foo) = {GH}`` and
+    ``lookup(H, bar) = ⊥``; the lookups for both members are ambiguous
+    at ``F``.
+    """
+    return (
+        HierarchyBuilder()
+        .cls("A", members=[_fn("foo")])
+        .cls("B", bases=["A"])
+        .cls("C", bases=["A"])
+        .cls("D", bases=["B", "C"], members=[_fn("bar")])
+        .cls("E", members=[_fn("bar")])
+        .cls("F", bases=["E"], virtual_bases=["D"])
+        .cls("G", virtual_bases=["D"], members=[_fn("foo"), _fn("bar")])
+        .cls("H", bases=["F", "G"])
+        .build()
+    )
+
+
+def figure3_source() -> str:
+    """The C++ source text of Figure 3's program."""
+    return """
+    class A { void foo(); };
+    class B : A {};
+    class C : A {};
+    class D : B, C { void bar(); };
+    class E { void bar(); };
+    class F : E, virtual D {};
+    class G : virtual D { void foo(); void bar(); };
+    class H : F, G {};
+    """
+
+
+def figure9() -> ClassHierarchyGraph:
+    """Figure 9: the counterexample to the g++ 2.7.2.1 lookup.
+
+    ``struct S { int m; }; struct A : virtual S { int m; };
+    struct B : virtual S { int m; };
+    struct C : virtual A, virtual B { int m; };
+    struct D : C {}; struct E : virtual A, virtual B, D {};``
+
+    ``lookup(E, m)`` is **unambiguous** (``C::m`` dominates ``A::m``,
+    ``B::m`` and ``S::m``), but a breadth-first scan meets ``A::m`` and
+    ``B::m`` first, neither of which dominates the other, and wrongly
+    reports ambiguity.
+    """
+    return (
+        HierarchyBuilder()
+        .cls("S", members=["m"], is_struct=True)
+        .cls("A", virtual_bases=["S"], members=["m"], is_struct=True)
+        .cls("B", virtual_bases=["S"], members=["m"], is_struct=True)
+        .cls("C", virtual_bases=["A", "B"], members=["m"], is_struct=True)
+        .cls("D", bases=["C"], is_struct=True)
+        .cls("E", is_struct=True)
+        # Base order matters for the g++ breadth-first baseline; keep the
+        # program's declaration order: virtual A, virtual B, D.
+        .edge("A", "E", virtual=True)
+        .edge("B", "E", virtual=True)
+        .edge("D", "E")
+        .build()
+    )
+
+
+def figure9_source() -> str:
+    """The C++ source text of Figure 9's program."""
+    return """
+    struct S { int m; };
+    struct A : virtual S { int m; };
+    struct B : virtual S { int m; };
+    struct C : virtual A, virtual B { int m; };
+    struct D : C {};
+    struct E : virtual A, virtual B, D {};
+    """
+
+
+def iostream_like() -> ClassHierarchyGraph:
+    """A realistic virtual-inheritance diamond modelled on the classic
+    iostream hierarchy — the textbook motivation for virtual bases."""
+    return (
+        HierarchyBuilder()
+        .cls("ios_base", members=[_fn("flags"), _fn("precision")])
+        .cls("ios", bases=["ios_base"], members=[_fn("rdstate"), _fn("clear")])
+        .cls("istream", virtual_bases=["ios"], members=[_fn("get"), _fn("read")])
+        .cls("ostream", virtual_bases=["ios"], members=[_fn("put"), _fn("write")])
+        .cls("iostream", bases=["istream", "ostream"])
+        .cls("fstream", bases=["iostream"], members=[_fn("open"), _fn("close")])
+        .build()
+    )
+
+
+#: Expected outcomes stated in the paper, keyed by (figure, class, member):
+#: value is the declaring class for unique lookups or None for ambiguous.
+FIGURE_EXPECTATIONS: dict[tuple[str, str, str], str | None] = {
+    ("figure1", "E", "m"): None,
+    ("figure2", "E", "m"): "D",
+    ("figure3", "H", "foo"): "G",
+    ("figure3", "H", "bar"): None,
+    ("figure3", "F", "foo"): None,
+    ("figure3", "F", "bar"): None,
+    ("figure9", "E", "m"): "C",
+    ("figure9", "D", "m"): "C",
+}
+
+
+ALL_FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure9": figure9,
+}
+
+FIGURE_SOURCES = {
+    "figure1": figure1_source,
+    "figure2": figure2_source,
+    "figure3": figure3_source,
+    "figure9": figure9_source,
+}

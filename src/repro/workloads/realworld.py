@@ -1,0 +1,109 @@
+"""Hand-modelled "practice-like" hierarchies.
+
+The paper closes Section 7.1 observing that real-world hierarchies do
+not exhibit the exponential subobject blow-up, so the interesting
+comparison is constant factors on practice-like shapes.  These two
+workloads model the shapes that actually occur:
+
+* :func:`gui_toolkit` — a windowing library: one deep single-inheritance
+  spine (EventTarget -> Object -> Widget -> ... ) plus capability mixins
+  (Clickable, Scrollable, Serializable, Styleable) inherited virtually
+  by mid-level classes, with the occasional diamond join.
+* :func:`interface_heavy` — a CORBA/COM-flavoured shape: many small pure
+  interfaces, implementation classes inheriting a handful of them
+  virtually, and a few non-virtual utility bases.
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.members import Member, MemberKind
+
+
+def _fn(name: str) -> Member:
+    return Member(name, kind=MemberKind.FUNCTION)
+
+
+def gui_toolkit() -> ClassHierarchyGraph:
+    """A 33-class windowing-toolkit hierarchy with virtual mixins."""
+    b = HierarchyBuilder()
+    # Core spine.
+    b.cls("Object", members=[_fn("hash"), _fn("clone"), _fn("to_string")])
+    b.cls("EventTarget", bases=["Object"], members=[_fn("dispatch")])
+    b.cls("Widget", bases=["EventTarget"],
+          members=[_fn("paint"), _fn("resize"), Member("bounds")])
+    # Capability mixins (virtual everywhere, like real toolkits).
+    b.cls("Clickable", members=[_fn("click")])
+    b.cls("Scrollable", members=[_fn("scroll")])
+    b.cls("Serializable", members=[_fn("save"), _fn("load")])
+    b.cls("Styleable", members=[_fn("style"), Member("theme")])
+    b.cls("Focusable", members=[_fn("focus"), _fn("blur")])
+    # Mid-level widgets.
+    b.cls("Control", bases=["Widget"], virtual_bases=["Focusable"],
+          members=[_fn("enable"), _fn("disable")])
+    b.cls("Container", bases=["Widget"], members=[_fn("add"), _fn("remove")])
+    b.cls("Button", bases=["Control"], virtual_bases=["Clickable"],
+          members=[_fn("paint")])
+    b.cls("Label", bases=["Widget"], members=[Member("text")])
+    b.cls("TextInput", bases=["Control"], virtual_bases=["Serializable"],
+          members=[_fn("paint"), Member("text")])
+    b.cls("Panel", bases=["Container"], virtual_bases=["Styleable"])
+    b.cls("ScrollPanel", bases=["Panel"], virtual_bases=["Scrollable"],
+          members=[_fn("paint")])
+    b.cls("ListView", bases=["Container"],
+          virtual_bases=["Scrollable", "Clickable"],
+          members=[_fn("paint"), _fn("select")])
+    b.cls("TreeView", bases=["ListView"], members=[_fn("expand")])
+    b.cls("ComboBox", bases=["Control"],
+          virtual_bases=["Clickable", "Scrollable"],
+          members=[_fn("select")])
+    # Dialog diamond: both arms style themselves.
+    b.cls("Window", bases=["Container"], virtual_bases=["Styleable"],
+          members=[_fn("show"), _fn("hide")])
+    b.cls("Dialog", bases=["Window"], members=[_fn("show")])
+    b.cls("Alert", bases=["Dialog"], virtual_bases=["Clickable"])
+    # Toolbar etc.
+    b.cls("Toolbar", bases=["Panel"], members=[_fn("add")])
+    b.cls("StatusBar", bases=["Panel"], members=[Member("text")])
+    b.cls("MenuItem", bases=["Control"], virtual_bases=["Clickable"],
+          members=[Member("text")])
+    b.cls("Menu", bases=["Container"], virtual_bases=["Clickable"])
+    b.cls("MenuBar", bases=["Menu"])
+    b.cls("CheckBox", bases=["Button"], members=[Member("checked")])
+    b.cls("RadioButton", bases=["CheckBox"], members=[_fn("select")])
+    b.cls("IconButton", bases=["Button"], virtual_bases=["Styleable"])
+    b.cls("SplitPanel", bases=["Panel"], members=[_fn("resize")])
+    b.cls("TabPanel", bases=["Panel"], virtual_bases=["Clickable"],
+          members=[_fn("select")])
+    # A deliberately awkward join: editor is both a text input and a
+    # scroll panel (Widget arrives twice, NON-virtually -> duplication).
+    b.cls("RichTextEditor", bases=["TextInput", "ScrollPanel"],
+          members=[_fn("paint")])
+    b.cls("CodeEditor", bases=["RichTextEditor"], members=[_fn("highlight")])
+    return b.build()
+
+
+def interface_heavy(
+    *, implementations: int = 8, interfaces: int = 10
+) -> ClassHierarchyGraph:
+    """COM-style: ``interfaces`` small pure interfaces (all virtually
+    derived from IUnknown), ``implementations`` classes each inheriting
+    three of them virtually plus a non-virtual utility base."""
+    b = HierarchyBuilder()
+    b.cls("IUnknown", members=[_fn("query"), _fn("addref"), _fn("release")])
+    for i in range(interfaces):
+        b.cls(f"I{i}", virtual_bases=["IUnknown"], members=[_fn(f"method{i}")])
+    b.cls("RefCounted", members=[_fn("addref"), _fn("release"),
+                                 Member("count")])
+    for j in range(implementations):
+        picks = [f"I{(j + k) % interfaces}" for k in range(3)]
+        b.cls(
+            f"Impl{j}",
+            bases=["RefCounted"],
+            virtual_bases=picks,
+            members=[_fn("query")] + [_fn(f"method{(j + k) % interfaces}")
+                                      for k in range(3)],
+        )
+    b.cls("Aggregate", bases=[f"Impl{j}" for j in range(min(2, implementations))])
+    return b.build()

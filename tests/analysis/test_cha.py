@@ -1,0 +1,141 @@
+"""Tests for class hierarchy analysis / devirtualisation."""
+
+from hypothesis import given, settings
+
+from repro.analysis.cha import analyze_call_targets, devirtualizable_calls
+from repro.core.lookup import build_lookup_table
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.workloads.paper_figures import figure2, figure9, iostream_like
+
+from tests.support import hierarchies
+
+
+def shape_hierarchy():
+    return (
+        HierarchyBuilder()
+        .cls("Shape", members=["draw", "area"])
+        .cls("Circle", bases=["Shape"], members=["draw"])
+        .cls("Square", bases=["Shape"], members=["draw"])
+        .cls("RoundedSquare", bases=["Square"])
+        .build()
+    )
+
+
+class TestPossibleTargets:
+    def test_polymorphic_call(self):
+        analysis = analyze_call_targets(shape_hierarchy(), "Shape", "draw")
+        assert analysis.possible_declarations == (
+            "Circle",
+            "Shape",
+            "Square",
+        )
+        assert not analysis.is_monomorphic
+
+    def test_targets_record_dispatching_types(self):
+        analysis = analyze_call_targets(shape_hierarchy(), "Shape", "draw")
+        assert analysis.targets["Square"] == ("RoundedSquare", "Square")
+        assert analysis.targets["Shape"] == ("Shape",)
+
+    def test_monomorphic_call_devirtualises(self):
+        analysis = analyze_call_targets(shape_hierarchy(), "Shape", "area")
+        assert analysis.is_monomorphic
+        assert analysis.devirtualized_target == "Shape"
+
+    def test_narrower_static_type_narrows_targets(self):
+        analysis = analyze_call_targets(shape_hierarchy(), "Square", "draw")
+        assert analysis.possible_declarations == ("Square",)
+        assert analysis.is_monomorphic
+
+    def test_figure9_is_monomorphic_to_c(self):
+        analysis = analyze_call_targets(figure9(), "S", "m")
+        # Every complete type resolves m uniquely; the possible targets
+        # are the per-type final overriders.
+        assert analysis.ambiguous_in == ()
+        assert set(analysis.possible_declarations) == {"S", "A", "B", "C"}
+        narrowed = analyze_call_targets(figure9(), "C", "m")
+        assert narrowed.is_monomorphic
+        assert narrowed.devirtualized_target == "C"
+
+
+class TestAmbiguityTracking:
+    def test_ambiguous_complete_types_reported(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=["m"])
+            .cls("X", bases=["B"])
+            .cls("Y", bases=["B"])
+            .cls("Z", bases=["X", "Y"])
+            .build()
+        )
+        analysis = analyze_call_targets(graph, "B", "m")
+        assert analysis.ambiguous_in == ("Z",)
+        assert not analysis.is_monomorphic  # Z makes dispatch ill-formed
+
+    def test_figure2_virtual_diamond_two_targets(self):
+        analysis = analyze_call_targets(figure2(), "A", "m")
+        assert analysis.ambiguous_in == ()
+        assert set(analysis.possible_declarations) == {"A", "D"}
+
+    def test_invisible_never_happens_from_declaring_type(self):
+        analysis = analyze_call_targets(shape_hierarchy(), "Shape", "draw")
+        assert analysis.invisible_in == ()
+
+
+class TestDevirtualizableCalls:
+    def test_iostream_inventory(self):
+        calls = devirtualizable_calls(iostream_like())
+        keys = {(c.static_type, c.member) for c in calls}
+        # 'get' is declared once and never overridden: monomorphic from
+        # every static type that sees it.
+        assert ("istream", "get") in keys
+        assert ("fstream", "get") in keys
+
+    def test_overridden_member_not_listed_from_base(self):
+        calls = devirtualizable_calls(shape_hierarchy())
+        keys = {(c.static_type, c.member) for c in calls}
+        assert ("Shape", "draw") not in keys
+        assert ("Shape", "area") in keys
+        assert ("Circle", "draw") in keys
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_leaf_classes_always_devirtualizable(self, graph):
+        """From a static type with no derived classes, every well-formed
+        call is trivially monomorphic."""
+        table = build_lookup_table(graph)
+        for leaf in graph.leaves():
+            for member in table.visible_members(leaf):
+                if table.lookup(leaf, member).is_ambiguous:
+                    continue
+                analysis = analyze_call_targets(
+                    graph, leaf, member, table=table
+                )
+                assert analysis.is_monomorphic
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_targets_partition_complete_types(self, graph):
+        """Every substitutable complete type appears in exactly one
+        bucket (some target, ambiguous, or invisible)."""
+        table = build_lookup_table(graph)
+        for static_type in graph.classes:
+            for member in graph.member_names():
+                analysis = analyze_call_targets(
+                    graph, static_type, member, table=table
+                )
+                buckets = (
+                    [t for types in analysis.targets.values() for t in types]
+                    + list(analysis.ambiguous_in)
+                    + list(analysis.invisible_in)
+                )
+                expected = {static_type} | set(
+                    graph.descendants(static_type)
+                )
+                assert sorted(buckets) == sorted(expected)
+
+
+def test_render():
+    text = analyze_call_targets(shape_hierarchy(), "Shape", "area").render()
+    assert "monomorphic" in text
+    text = analyze_call_targets(shape_hierarchy(), "Shape", "draw").render()
+    assert "Circle::draw" in text

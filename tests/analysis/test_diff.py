@@ -1,0 +1,105 @@
+"""Tests for hierarchy lookup-impact diffing."""
+
+from repro.analysis.diff import ChangeKind, diff_hierarchies, render_diff
+from repro.workloads.paper_figures import figure1, figure2
+
+
+def find(changes, kind, class_name=None, member=None):
+    return [
+        c
+        for c in changes
+        if c.kind is kind
+        and (class_name is None or c.class_name == class_name)
+        and (member is None or c.member == member)
+    ]
+
+
+class TestFigure1ToFigure2:
+    """The paper's own before/after: making the diamond virtual."""
+
+    def test_e_becomes_unique(self):
+        changes = diff_hierarchies(figure1(), figure2())
+        flipped = find(changes, ChangeKind.BECAME_UNIQUE, "E", "m")
+        assert len(flipped) == 1
+        assert flipped[0].after.declaring_class == "D"
+
+    def test_no_spurious_changes(self):
+        changes = diff_hierarchies(figure1(), figure2())
+        # Only E::m changes; every other entry resolves identically.
+        assert len(changes) == 1
+
+    def test_reverse_direction(self):
+        changes = diff_hierarchies(figure2(), figure1())
+        assert find(changes, ChangeKind.BECAME_AMBIGUOUS, "E", "m")
+
+
+class TestEdits:
+    def test_identical_hierarchies_no_changes(self):
+        assert diff_hierarchies(figure1(), figure1()) == []
+
+    def test_override_rebinds(self):
+        from repro.hierarchy.builder import HierarchyBuilder
+
+        before = (
+            HierarchyBuilder()
+            .cls("A", members=["m"])
+            .cls("B", bases=["A"])
+            .cls("C", bases=["B"])
+            .build()
+        )
+        after = (
+            HierarchyBuilder()
+            .cls("A", members=["m"])
+            .cls("B", bases=["A"], members=["m"])  # the new override
+            .cls("C", bases=["B"])
+            .build()
+        )
+        changes = diff_hierarchies(before, after)
+        rebound = find(changes, ChangeKind.REBOUND)
+        assert [(c.class_name, c.member) for c in rebound] == [
+            ("B", "m"),
+            ("C", "m"),
+        ]
+        assert rebound[1].before.declaring_class == "A"
+        assert rebound[1].after.declaring_class == "B"
+
+    def test_member_appears_and_disappears(self):
+        from repro.hierarchy.builder import HierarchyBuilder
+
+        before = HierarchyBuilder().cls("A", members=["x"]).build()
+        after = HierarchyBuilder().cls("A", members=["y"]).build()
+        changes = diff_hierarchies(before, after)
+        assert find(changes, ChangeKind.DISAPPEARED, "A", "x")
+        assert find(changes, ChangeKind.APPEARED, "A", "y")
+
+    def test_class_added_and_removed(self):
+        from repro.hierarchy.builder import HierarchyBuilder
+
+        before = HierarchyBuilder().cls("A").cls("Old", bases=["A"]).build()
+        after = HierarchyBuilder().cls("A").cls("New", bases=["A"]).build()
+        changes = diff_hierarchies(before, after)
+        assert find(changes, ChangeKind.CLASS_ADDED, "New")
+        assert find(changes, ChangeKind.CLASS_REMOVED, "Old")
+
+
+class TestRendering:
+    def test_empty_diff(self):
+        assert render_diff([]) == "no lookup-visible changes"
+
+    def test_rebound_shows_both_sides(self):
+        from repro.hierarchy.builder import HierarchyBuilder
+
+        before = (
+            HierarchyBuilder()
+            .cls("A", members=["m"])
+            .cls("B", bases=["A"])
+            .build()
+        )
+        after = (
+            HierarchyBuilder()
+            .cls("A", members=["m"])
+            .cls("B", bases=["A"], members=["m"])
+            .build()
+        )
+        text = render_diff(diff_hierarchies(before, after))
+        assert "A::m -> B::m" in text

@@ -1,0 +1,164 @@
+"""Tests for the hierarchy linter."""
+
+import pytest
+
+from repro.analysis.lint import (
+    LintRule,
+    LintSeverity,
+    lint_hierarchy,
+    render_findings,
+)
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member
+from repro.workloads.generators import (
+    chain,
+    nonvirtual_diamond_ladder,
+    virtual_diamond_ladder,
+)
+from repro.workloads.paper_figures import figure1, figure3, figure9
+
+
+def findings_by_rule(findings, rule):
+    return [f for f in findings if f.rule is rule]
+
+
+class TestAmbiguousMember:
+    def test_figure3_h_bar_flagged(self):
+        findings = lint_hierarchy(figure3())
+        hits = findings_by_rule(findings, LintRule.AMBIGUOUS_MEMBER)
+        assert any(
+            f.class_name == "H" and f.member == "bar" for f in hits
+        )
+
+    def test_severity_is_error(self):
+        findings = lint_hierarchy(figure1())
+        hits = findings_by_rule(findings, LintRule.AMBIGUOUS_MEMBER)
+        assert all(f.severity is LintSeverity.ERROR for f in hits)
+
+    def test_clean_chain_has_no_errors(self):
+        findings = lint_hierarchy(chain(6, member_every=6))
+        assert not any(
+            f.severity is LintSeverity.ERROR for f in findings
+        )
+
+
+class TestDuplicatedBase:
+    def test_nonvirtual_ladder_flagged_with_fix_suggestion(self):
+        findings = lint_hierarchy(nonvirtual_diamond_ladder(2))
+        hits = findings_by_rule(findings, LintRule.DUPLICATED_BASE)
+        assert any(f.class_name == "J1" for f in hits)
+        assert all("virtually" in f.message for f in hits)
+
+    def test_virtual_ladder_clean(self):
+        findings = lint_hierarchy(virtual_diamond_ladder(2))
+        assert findings_by_rule(findings, LintRule.DUPLICATED_BASE) == []
+
+    def test_reported_instead_of_generic_ambiguity(self):
+        findings = lint_hierarchy(nonvirtual_diamond_ladder(2))
+        generic = findings_by_rule(findings, LintRule.AMBIGUOUS_MEMBER)
+        assert generic == []
+
+
+class TestShadowing:
+    def test_override_flagged(self):
+        findings = lint_hierarchy(figure1())
+        hits = findings_by_rule(findings, LintRule.NAME_SHADOWING)
+        assert [(f.class_name, f.member) for f in hits] == [("D", "m")]
+
+    def test_using_declaration_not_flagged(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=["m"])
+            .cls("D", bases=["B"], members=[Member("m", using_from="B")])
+            .build()
+        )
+        findings = lint_hierarchy(graph)
+        assert findings_by_rule(findings, LintRule.NAME_SHADOWING) == []
+
+    def test_transitive_shadowing_lists_all(self):
+        findings = lint_hierarchy(figure9())
+        hits = findings_by_rule(findings, LintRule.NAME_SHADOWING)
+        c_hit = next(f for f in hits if f.class_name == "C")
+        assert "A, B, S" in c_hit.message
+
+
+class TestHiddenEverywhere:
+    def test_fully_shadowed_declaration_flagged(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=["m"])
+            .cls("D", bases=["B"], members=["m"])
+            .cls("E", bases=["D"])
+            .build()
+        )
+        findings = lint_hierarchy(graph)
+        hits = findings_by_rule(findings, LintRule.HIDDEN_EVERYWHERE)
+        assert [(f.class_name, f.member) for f in hits] == [("B", "m")]
+
+    def test_reachable_declaration_not_flagged(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=["m"])
+            .cls("D", bases=["B"])
+            .build()
+        )
+        findings = lint_hierarchy(graph)
+        assert findings_by_rule(findings, LintRule.HIDDEN_EVERYWHERE) == []
+
+    def test_leaf_declarations_ignored(self):
+        findings = lint_hierarchy(chain(3, member_every=3))
+        assert findings_by_rule(findings, LintRule.HIDDEN_EVERYWHERE) == []
+
+
+class TestGxxFragile:
+    def test_figure9_e_flagged(self):
+        findings = lint_hierarchy(figure9())
+        hits = findings_by_rule(findings, LintRule.GXX_FRAGILE)
+        assert [(f.class_name, f.member) for f in hits] == [("E", "m")]
+
+    def test_ordinary_hierarchies_not_flagged(self):
+        for graph in (figure3(), chain(5)):
+            findings = lint_hierarchy(graph)
+            assert findings_by_rule(findings, LintRule.GXX_FRAGILE) == []
+
+
+class TestRuleSelection:
+    def test_only_selected_rules_run(self):
+        findings = lint_hierarchy(
+            figure9(), rules={LintRule.GXX_FRAGILE}
+        )
+        assert {f.rule for f in findings} == {LintRule.GXX_FRAGILE}
+
+    def test_empty_rule_set(self):
+        assert lint_hierarchy(figure9(), rules=()) == []
+
+
+class TestRendering:
+    def test_no_findings(self):
+        assert render_findings([]) == "no findings"
+
+    def test_format(self):
+        findings = lint_hierarchy(figure1())
+        text = render_findings(findings)
+        assert "error: [ambiguous-member] E::m" in text
+
+
+class TestCli:
+    def test_lint_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.paper_figures import figure1_source
+
+        path = tmp_path / "f1.cpp"
+        path.write_text(figure1_source())
+        assert main(["lint", str(path)]) == 1  # has an error finding
+        out = capsys.readouterr().out
+        assert "ambiguous-member" in out
+
+    def test_errors_only_filter(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.paper_figures import figure9_source
+
+        path = tmp_path / "f9.cpp"
+        path.write_text(figure9_source())
+        assert main(["lint", str(path), "--errors-only"]) == 0
+        assert "no findings" in capsys.readouterr().out

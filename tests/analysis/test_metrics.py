@@ -1,0 +1,67 @@
+"""Tests for hierarchy metrics."""
+
+from repro.analysis.metrics import compute_metrics
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.workloads.generators import chain, nonvirtual_diamond_ladder
+from repro.workloads.paper_figures import figure3, figure9
+
+
+class TestFigure3:
+    def test_counts(self):
+        metrics = compute_metrics(figure3())
+        assert metrics.classes == 8
+        assert metrics.edges == 9
+        assert metrics.virtual_edges == 2
+        assert metrics.roots == 2  # A and E
+        assert metrics.leaves == 1  # H
+        assert metrics.member_names == 2
+        assert metrics.declarations == 5
+
+    def test_depth_and_fan_in(self):
+        metrics = compute_metrics(figure3())
+        assert metrics.max_depth == 4  # A -> B -> D -> F/G -> H
+        assert metrics.max_fan_in == 2
+
+    def test_ambiguity_accounting(self):
+        metrics = compute_metrics(figure3())
+        # D:foo, F:foo, F:bar, H:bar are the blue entries.
+        assert metrics.ambiguous_entries == 4
+        assert 0 < metrics.ambiguity_rate < 1
+
+
+class TestFigure9:
+    def test_virtual_fraction(self):
+        metrics = compute_metrics(figure9())
+        assert metrics.virtual_edges == 6
+        assert abs(metrics.virtual_fraction - 6 / 8) < 1e-9
+
+    def test_no_blowup_under_virtual_inheritance(self):
+        metrics = compute_metrics(figure9())
+        assert metrics.max_subobjects == 6
+        assert metrics.subobject_blowup == 1.0
+
+
+class TestFamilies:
+    def test_chain(self):
+        metrics = compute_metrics(chain(10))
+        assert metrics.max_depth == 9
+        assert metrics.roots == metrics.leaves == 1
+        assert metrics.ambiguous_entries == 0
+
+    def test_ladder_blowup_visible(self):
+        metrics = compute_metrics(nonvirtual_diamond_ladder(3))
+        assert metrics.max_subobjects == 2**5 - 3  # 29 at the apex
+        assert metrics.subobject_blowup > 1.0
+
+    def test_empty_graph(self):
+        metrics = compute_metrics(ClassHierarchyGraph())
+        assert metrics.classes == 0
+        assert metrics.ambiguity_rate == 0.0
+        assert metrics.subobject_blowup == 0.0
+        assert metrics.virtual_fraction == 0.0
+
+
+def test_render_mentions_key_numbers():
+    text = compute_metrics(figure3()).render()
+    assert "classes: 8" in text
+    assert "ambiguous: 4" in text

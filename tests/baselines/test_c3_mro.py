@@ -1,0 +1,150 @@
+"""Tests for the C3 MRO baseline and its divergence from C++ semantics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.c3_mro import (
+    C3Lookup,
+    InconsistentMROError,
+    c3_linearization,
+)
+from repro.core.lookup import build_lookup_table
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.workloads.generators import chain
+from repro.workloads.paper_figures import figure1, figure2, figure9
+
+from tests.support import hierarchies
+
+
+class TestLinearization:
+    def test_single_class(self):
+        g = HierarchyBuilder().cls("A").build()
+        assert c3_linearization(g, "A") == ("A",)
+
+    def test_chain(self):
+        g = chain(4)
+        assert c3_linearization(g, "C3") == ("C3", "C2", "C1", "C0")
+
+    def test_diamond_python_order(self):
+        # The canonical Python example: D(B, C), B(A), C(A).
+        g = (
+            HierarchyBuilder()
+            .cls("A")
+            .cls("B", bases=["A"])
+            .cls("C", bases=["A"])
+            .cls("D", bases=["B", "C"])
+            .build()
+        )
+        assert c3_linearization(g, "D") == ("D", "B", "C", "A")
+
+    def test_figure1_linearization(self):
+        assert c3_linearization(figure1(), "E") == ("E", "C", "D", "B", "A")
+
+    def test_base_declaration_order_respected(self):
+        g = (
+            HierarchyBuilder()
+            .cls("X")
+            .cls("Y")
+            .cls("Z", bases=["Y", "X"])
+            .build()
+        )
+        assert c3_linearization(g, "Z") == ("Z", "Y", "X")
+
+    def test_inconsistent_hierarchy_rejected(self):
+        # X(A,B), Y(B,A), Z(X,Y): the classic C3 failure, which C++
+        # accepts without complaint.
+        g = (
+            HierarchyBuilder()
+            .cls("A")
+            .cls("B")
+            .cls("X", bases=["A", "B"])
+            .cls("Y", bases=["B", "A"])
+            .cls("Z", bases=["X", "Y"])
+            .build()
+        )
+        with pytest.raises(InconsistentMROError):
+            c3_linearization(g, "Z")
+        # ...while the paper's algorithm happily builds a table for it.
+        build_lookup_table(g)
+
+    @given(hierarchies(max_classes=8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_mro_is_a_topological_listing(self, graph):
+        """When C3 succeeds, the MRO contains the class and all its
+        ancestors exactly once, derived-before-base along every edge."""
+        for class_name in graph.classes:
+            try:
+                mro = c3_linearization(graph, class_name)
+            except InconsistentMROError:
+                continue
+            expected = {class_name} | set(graph.ancestors(class_name))
+            assert set(mro) == expected
+            assert len(mro) == len(expected)
+            position = {name: i for i, name in enumerate(mro)}
+            for name in mro:
+                for edge in graph.direct_bases(name):
+                    if edge.base in position:
+                        assert position[name] < position[edge.base]
+
+
+class TestLookupDivergence:
+    def test_figure1_silently_resolved_by_c3(self):
+        """C++: ambiguous.  C3: D::m wins (first declarer in MRO)."""
+        engine = C3Lookup(figure1())
+        result = engine.lookup("E", "m")
+        assert result.is_unique
+        assert result.declaring_class == "D"
+        assert build_lookup_table(figure1()).lookup("E", "m").is_ambiguous
+
+    def test_figure2_agrees(self):
+        engine = C3Lookup(figure2())
+        assert engine.lookup("E", "m").declaring_class == "D"
+
+    def test_figure9_rejected_outright_by_c3(self):
+        """C++ resolves Figure 9's lookup via dominance; C3 refuses the
+        hierarchy itself (E lists base A before A's own derived class D
+        — Python raises the same MRO TypeError for this shape)."""
+        engine = C3Lookup(figure9())
+        with pytest.raises(InconsistentMROError):
+            engine.lookup("E", "m")
+        # Classes below E are fine and agree with C++:
+        assert engine.lookup("D", "m").declaring_class == "C"
+
+    def test_not_found(self):
+        assert C3Lookup(figure1()).lookup("E", "zz").is_not_found
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_c3_agrees_where_cpp_is_unique_on_trees(self, graph):
+        """On single-inheritance hierarchies all three semantics (C++,
+        Self, C3) coincide."""
+        if any(len(graph.direct_bases(c)) > 1 for c in graph.classes):
+            return
+        table = build_lookup_table(graph)
+        engine = C3Lookup(graph)
+        for class_name in graph.classes:
+            for member in graph.member_names():
+                left = engine.lookup(class_name, member)
+                right = table.lookup(class_name, member)
+                assert left.status == right.status
+                if right.is_unique:
+                    assert left.declaring_class == right.declaring_class
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_c3_picks_a_cpp_visible_declarer(self, graph):
+        """Whatever C3 picks is at least a real declaration some C++
+        path can see (it is in the ancestor set and declares the name)."""
+        engine = C3Lookup(graph)
+        for class_name in graph.classes:
+            for member in graph.member_names():
+                try:
+                    result = engine.lookup(class_name, member)
+                except InconsistentMROError:
+                    break
+                if result.is_unique:
+                    declarer = result.declaring_class
+                    assert graph.declares(declarer, member)
+                    assert declarer == class_name or graph.is_base_of(
+                        declarer, class_name
+                    )

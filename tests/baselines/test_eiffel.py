@@ -1,0 +1,156 @@
+"""Tests for the Eiffel renaming model (Section 7.2 related work)."""
+
+import pytest
+
+from repro.baselines.eiffel import EiffelHierarchy, Feature
+from repro.errors import (
+    AmbiguousLookupDetected,
+    DuplicateClassError,
+    UnknownClassError,
+)
+
+
+@pytest.fixture
+def hierarchy():
+    return EiffelHierarchy()
+
+
+class TestBasics:
+    def test_declared_feature_found(self, hierarchy):
+        hierarchy.add_class("ANY", features=("print_",))
+        assert hierarchy.lookup("ANY", "print_") == Feature("ANY", "print_")
+
+    def test_inherited_feature_found(self, hierarchy):
+        hierarchy.add_class("ANY", features=("print_",))
+        hierarchy.add_class("LIST", parents=(("ANY", {}),))
+        assert hierarchy.lookup("LIST", "print_") == Feature("ANY", "print_")
+
+    def test_redefinition_changes_origin(self, hierarchy):
+        hierarchy.add_class("ANY", features=("print_",))
+        hierarchy.add_class(
+            "LIST", features=("print_",), parents=(("ANY", {}),)
+        )
+        assert hierarchy.lookup("LIST", "print_") == Feature("LIST", "print_")
+
+    def test_missing_feature_is_none(self, hierarchy):
+        hierarchy.add_class("ANY")
+        assert hierarchy.lookup("ANY", "ghost") is None
+
+    def test_unknown_class_raises(self, hierarchy):
+        with pytest.raises(UnknownClassError):
+            hierarchy.lookup("GHOST", "x")
+
+    def test_unknown_parent_raises(self, hierarchy):
+        with pytest.raises(UnknownClassError):
+            hierarchy.add_class("C", parents=(("GHOST", {}),))
+
+    def test_duplicate_class_raises(self, hierarchy):
+        hierarchy.add_class("A")
+        with pytest.raises(DuplicateClassError):
+            hierarchy.add_class("A")
+
+
+class TestRenaming:
+    def test_rename_changes_the_known_name(self, hierarchy):
+        hierarchy.add_class("COMPARABLE", features=("less_than",))
+        hierarchy.add_class(
+            "SORTED",
+            parents=(("COMPARABLE", {"less_than": "precedes"}),),
+        )
+        assert hierarchy.lookup("SORTED", "precedes") == Feature(
+            "COMPARABLE", "less_than"
+        )
+        assert hierarchy.lookup("SORTED", "less_than") is None
+
+    def test_rename_resolves_a_join_clash(self, hierarchy):
+        hierarchy.add_class("WINDOW", features=("draw",))
+        hierarchy.add_class("GUN", features=("draw",))
+        hierarchy.add_class(
+            "COWBOY_WINDOW",
+            parents=(
+                ("WINDOW", {}),
+                ("GUN", {"draw": "draw_weapon"}),
+            ),
+        )
+        assert hierarchy.lookup("COWBOY_WINDOW", "draw") == Feature(
+            "WINDOW", "draw"
+        )
+        assert hierarchy.lookup("COWBOY_WINDOW", "draw_weapon") == Feature(
+            "GUN", "draw"
+        )
+
+    def test_rename_chains_across_levels(self, hierarchy):
+        hierarchy.add_class("A", features=("f",))
+        hierarchy.add_class("B", parents=(("A", {"f": "g"}),))
+        hierarchy.add_class("C", parents=(("B", {"g": "h"}),))
+        assert hierarchy.lookup("C", "h") == Feature("A", "f")
+
+
+class TestSharingAndClashes:
+    def test_diamond_shares_common_origin(self, hierarchy):
+        # Repeated inheritance of the SAME origin feature under one name
+        # is shared -- Eiffel's counterpart of C++ virtual bases.
+        hierarchy.add_class("ANY", features=("print_",))
+        hierarchy.add_class("LEFT", parents=(("ANY", {}),))
+        hierarchy.add_class("RIGHT", parents=(("ANY", {}),))
+        hierarchy.add_class(
+            "JOIN", parents=(("LEFT", {}), ("RIGHT", {}))
+        )
+        assert hierarchy.lookup("JOIN", "print_") == Feature("ANY", "print_")
+
+    def test_distinct_origins_clash_loudly(self, hierarchy):
+        # The well-typedness assumption the paper highlights: the model
+        # REJECTS the clash instead of arbitrating it.
+        hierarchy.add_class("P", features=("m",))
+        hierarchy.add_class("Q", features=("m",))
+        with pytest.raises(AmbiguousLookupDetected):
+            hierarchy.add_class("Z", parents=(("P", {}), ("Q", {})))
+
+    def test_redefinition_on_one_path_clashes_at_join(self, hierarchy):
+        # After LEFT redefines, the two paths carry different origins.
+        hierarchy.add_class("ANY", features=("m",))
+        hierarchy.add_class("LEFT", features=("m",), parents=(("ANY", {}),))
+        hierarchy.add_class("RIGHT", parents=(("ANY", {}),))
+        with pytest.raises(AmbiguousLookupDetected):
+            hierarchy.add_class(
+                "JOIN", parents=(("LEFT", {}), ("RIGHT", {}))
+            )
+
+    def test_clash_avoided_by_rename_at_join(self, hierarchy):
+        hierarchy.add_class("ANY", features=("m",))
+        hierarchy.add_class("LEFT", features=("m",), parents=(("ANY", {}),))
+        hierarchy.add_class("RIGHT", parents=(("ANY", {}),))
+        hierarchy.add_class(
+            "JOIN",
+            parents=(("LEFT", {"m": "left_m"}), ("RIGHT", {})),
+        )
+        assert hierarchy.lookup("JOIN", "left_m") == Feature("LEFT", "m")
+        assert hierarchy.lookup("JOIN", "m") == Feature("ANY", "m")
+
+
+class TestContrastWithCpp:
+    def test_eiffel_has_no_dominance(self):
+        """C++'s Figure 9 resolves by dominance; the Eiffel model simply
+        refuses the program — the semantic gap Section 7.2 describes."""
+        hierarchy = EiffelHierarchy()
+        hierarchy.add_class("S", features=("m",))
+        hierarchy.add_class("A", features=("m",), parents=(("S", {}),))
+        hierarchy.add_class("B", features=("m",), parents=(("S", {}),))
+        with pytest.raises(AmbiguousLookupDetected):
+            hierarchy.add_class("C", parents=(("A", {}), ("B", {})))
+
+
+class TestFailedDeclarationLeavesNoTrace:
+    def test_clash_can_be_retried_with_rename(self):
+        """A rejected declaration must not register the class, so the
+        programmer can re-declare it with a rename clause."""
+        hierarchy = EiffelHierarchy()
+        hierarchy.add_class("P", features=("m",))
+        hierarchy.add_class("Q", features=("m",))
+        with pytest.raises(AmbiguousLookupDetected):
+            hierarchy.add_class("Z", parents=(("P", {}), ("Q", {})))
+        hierarchy.add_class(
+            "Z", parents=(("P", {"m": "p_m"}), ("Q", {}))
+        )
+        assert hierarchy.lookup("Z", "p_m") == Feature("P", "m")
+        assert hierarchy.lookup("Z", "m") == Feature("Q", "m")

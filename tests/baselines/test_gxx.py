@@ -1,0 +1,87 @@
+"""Tests for the g++ 2.7.2.1 baseline — including its documented bug."""
+
+from hypothesis import given, settings
+
+from repro.baselines.gxx import GxxStats, gxx_lookup, gxx_lookup_fixed
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import nonvirtual_diamond_ladder
+from repro.workloads.paper_figures import figure1, figure2, figure3, figure9
+
+from tests.support import all_queries, assert_same_outcome, hierarchies
+
+
+class TestTheBug:
+    def test_figure9_wrongly_reported_ambiguous(self):
+        """Section 7.1: 'Though the lookup in line [s2] is unambiguous,
+        the g++ compiler flags it as being ambiguous.'"""
+        result = gxx_lookup(figure9(), "E", "m")
+        assert result.is_ambiguous
+        assert result.candidates == ("A", "B")
+
+    def test_fixed_variant_resolves_figure9(self):
+        result = gxx_lookup_fixed(figure9(), "E", "m")
+        assert result.is_unique and result.declaring_class == "C"
+
+    def test_our_algorithm_resolves_figure9(self):
+        result = build_lookup_table(figure9()).lookup("E", "m")
+        assert result.is_unique and result.declaring_class == "C"
+
+    def test_bug_requires_late_dominator(self):
+        # On hierarchies where the dominator is met before the
+        # incomparable pair, the buggy algorithm happens to be right.
+        assert gxx_lookup(figure2(), "E", "m").declaring_class == "D"
+
+
+class TestAgreementWhereSound:
+    def test_truly_ambiguous_lookups_stay_ambiguous(self):
+        assert gxx_lookup(figure1(), "E", "m").is_ambiguous
+        assert gxx_lookup(figure3(), "H", "bar").is_ambiguous
+
+    def test_unique_simple_lookups(self):
+        assert gxx_lookup(figure3(), "H", "foo").declaring_class == "G"
+
+    def test_not_found(self):
+        assert gxx_lookup(figure1(), "E", "zz").is_not_found
+        assert gxx_lookup_fixed(figure1(), "E", "zz").is_not_found
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fixed_variant_is_correct(self, graph):
+        table = build_lookup_table(graph)
+        for class_name, member in all_queries(graph):
+            assert_same_outcome(
+                gxx_lookup_fixed(graph, class_name, member),
+                table.lookup(class_name, member),
+                compare_subobject=False,
+            )
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_buggy_variant_only_errs_toward_ambiguity(self, graph):
+        """The g++ bug is one-sided: it may report a well-defined lookup
+        as ambiguous, but never resolves an ambiguous lookup or picks a
+        wrong winner."""
+        table = build_lookup_table(graph)
+        for class_name, member in all_queries(graph):
+            buggy = gxx_lookup(graph, class_name, member)
+            truth = table.lookup(class_name, member)
+            if buggy.is_unique:
+                assert truth.is_unique
+                assert buggy.declaring_class == truth.declaring_class
+            if truth.is_ambiguous:
+                assert buggy.is_ambiguous
+            assert buggy.is_not_found == truth.is_not_found
+
+
+class TestStats:
+    def test_visits_exponentially_many_subobjects(self):
+        g = nonvirtual_diamond_ladder(5)
+        stats = GxxStats()
+        gxx_lookup_fixed(g, "J5", "m", stats=stats)
+        # 2^5 copies of R alone.
+        assert stats.subobjects_visited >= 2**5
+
+    def test_our_algorithm_stays_linear_on_same_family(self):
+        g = nonvirtual_diamond_ladder(5)
+        table = build_lookup_table(g)
+        assert table.stats.entries_computed == len(g.classes)

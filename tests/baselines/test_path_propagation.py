@@ -1,0 +1,112 @@
+"""Tests for the naive path-propagation baseline (Section 4)."""
+
+from hypothesis import given, settings
+
+from repro.baselines.path_propagation import NaivePathLookup, naive_lookup
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import nonvirtual_diamond_ladder
+from repro.workloads.paper_figures import figure1, figure2, figure3
+
+from tests.support import all_queries, assert_same_outcome, hierarchies
+
+
+class TestReachingDefinitions:
+    def test_figure3_foo_reaching_h(self):
+        """Figure 4: the definitions of foo reaching each node.  With
+        the dominated-kill enabled, ABDG/ACDG style paths die at G."""
+        engine = NaivePathLookup(figure3(), kill_dominated=True)
+        reaching = engine.reaching_definitions("foo")
+        assert sorted(str(p) for p in reaching["H"]) == [
+            "ABD~FH",
+            "ACD~FH",
+            "GH",
+        ]
+
+    def test_without_kills_everything_reaches(self):
+        engine = NaivePathLookup(
+            figure3(), kill_on_generation=False, kill_dominated=False
+        )
+        reaching = engine.reaching_definitions("foo")
+        # All five definitions (Figure 4, before any crossing-out).
+        assert sorted(str(p) for p in reaching["H"]) == [
+            "ABD~FH",
+            "ABD~GH",
+            "ACD~FH",
+            "ACD~GH",
+            "GH",
+        ]
+
+    def test_generation_kill_stops_propagation(self):
+        # Figure 4: G::foo kills ABDG::foo and ACDG::foo at G.
+        engine = NaivePathLookup(figure3(), kill_on_generation=True)
+        reaching = engine.reaching_definitions("foo")
+        from_g = [p for p in reaching["H"] if "G" in p.nodes[:-1]]
+        assert [str(p) for p in from_g] == ["GH"]
+
+    def test_kills_reduce_propagation_work(self):
+        eager = NaivePathLookup(figure3(), kill_dominated=True)
+        eager.reaching_definitions("foo")
+        lazy = NaivePathLookup(
+            figure3(), kill_on_generation=False, kill_dominated=False
+        )
+        lazy.reaching_definitions("foo")
+        assert eager.paths_propagated < lazy.paths_propagated
+
+    def test_reaching_sets_cached(self):
+        engine = NaivePathLookup(figure3())
+        first = engine.reaching_definitions("foo")
+        assert engine.reaching_definitions("foo") is first
+
+
+class TestLookup:
+    def test_figures(self):
+        assert NaivePathLookup(figure1()).lookup("E", "m").is_ambiguous
+        assert (
+            NaivePathLookup(figure2()).lookup("E", "m").declaring_class == "D"
+        )
+
+    def test_not_found(self):
+        assert NaivePathLookup(figure1()).lookup("E", "zz").is_not_found
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_kill_options_agree(self, graph):
+        """Corollary 1 in action: all four kill configurations produce
+        the same lookup results."""
+        engines = [
+            NaivePathLookup(graph, kill_on_generation=g, kill_dominated=d)
+            for g in (False, True)
+            for d in (False, True)
+        ]
+        for class_name, member in all_queries(graph):
+            results = [e.lookup(class_name, member) for e in engines]
+            for other in results[1:]:
+                assert_same_outcome(results[0], other)
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_efficient_algorithm(self, graph):
+        table = build_lookup_table(graph)
+        engine = NaivePathLookup(graph, kill_dominated=True)
+        for class_name, member in all_queries(graph):
+            assert_same_outcome(
+                engine.lookup(class_name, member),
+                table.lookup(class_name, member),
+            )
+
+
+class TestCost:
+    def test_exponential_propagation_on_ladder(self):
+        g = nonvirtual_diamond_ladder(6)
+        engine = NaivePathLookup(g, kill_on_generation=False)
+        engine.reaching_definitions("m")
+        # The efficient algorithm does O(|N| + |E|) work here; the naive
+        # propagation pushes exponentially many paths.
+        assert engine.paths_propagated > 2**6
+
+
+def test_one_shot_definitional_lookup():
+    result = naive_lookup(figure3(), "H", "foo")
+    assert result.is_unique and result.declaring_class == "G"
+    assert naive_lookup(figure3(), "H", "bar").is_ambiguous
+    assert naive_lookup(figure3(), "H", "zz").is_not_found

@@ -1,0 +1,131 @@
+"""Tests for the Self-style visibility lookup and its divergence from
+the C++ dominance rule."""
+
+from hypothesis import given, settings
+
+from repro.baselines.self_lookup import SelfStyleLookup
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import chain
+from repro.workloads.paper_figures import figure1, figure2, figure3, figure9
+
+from tests.support import hierarchies
+
+
+class TestVisibility:
+    def test_local_declaration_shadows(self):
+        engine = SelfStyleLookup(figure1())
+        assert engine.visible_definitions("D", "m") == {"D"}
+
+    def test_inherited_visibility(self):
+        engine = SelfStyleLookup(figure1())
+        assert engine.visible_definitions("C", "m") == {"A"}
+
+    def test_merge_at_join(self):
+        engine = SelfStyleLookup(figure1())
+        assert engine.visible_definitions("E", "m") == {"A", "D"}
+
+    def test_absent_member(self):
+        engine = SelfStyleLookup(figure1())
+        assert engine.visible_definitions("E", "zz") == frozenset()
+
+
+class TestAgreementWithCpp:
+    def test_figure1_both_ambiguous(self):
+        graph = figure1()
+        assert SelfStyleLookup(graph).lookup("E", "m").is_ambiguous
+        assert build_lookup_table(graph).lookup("E", "m").is_ambiguous
+
+    def test_figure3_h_foo_agrees(self):
+        graph = figure3()
+        # G::foo shadows A::foo on the G path and the F path's A::foo is
+        # also reachable... Self sees {A, G} -> ambiguous, where C++
+        # resolves to G.  This is actually a DIVERGENCE; assert it below.
+        self_result = SelfStyleLookup(graph).lookup("H", "foo")
+        cpp_result = build_lookup_table(graph).lookup("H", "foo")
+        assert self_result.is_ambiguous
+        assert cpp_result.is_unique
+
+    def test_chain_always_agrees(self):
+        graph = chain(8, member_every=3)
+        self_engine = SelfStyleLookup(graph)
+        table = build_lookup_table(graph)
+        for class_name in graph.classes:
+            left = self_engine.lookup(class_name, "m")
+            right = table.lookup(class_name, "m")
+            assert left.status == right.status
+            if right.is_unique:
+                assert left.declaring_class == right.declaring_class
+
+    @given(hierarchies(max_classes=8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_single_inheritance_semantics_coincide(self, graph):
+        """With at most one direct base per class the two semantics are
+        the same (shadowing == dominance on a path)."""
+        if any(len(graph.direct_bases(c)) > 1 for c in graph.classes):
+            return
+        self_engine = SelfStyleLookup(graph)
+        table = build_lookup_table(graph)
+        for class_name in graph.classes:
+            for member in graph.member_names():
+                left = self_engine.lookup(class_name, member)
+                right = table.lookup(class_name, member)
+                assert left.status == right.status
+                if right.is_unique:
+                    assert left.declaring_class == right.declaring_class
+
+
+class TestDivergence:
+    def test_figure9_diverges(self):
+        """The headline divergence: C++ dominance resolves Figure 9's
+        lookup, the Self visibility rule does not."""
+        graph = figure9()
+        self_result = SelfStyleLookup(graph).lookup("E", "m")
+        cpp_result = build_lookup_table(graph).lookup("E", "m")
+        assert cpp_result.is_unique and cpp_result.declaring_class == "C"
+        assert self_result.is_ambiguous
+        assert self_result.candidates == ("A", "B", "C")
+
+    def test_figure2_diverges_on_virtual_diamond(self):
+        """C++: D::m dominates A::m through the shared virtual B.
+        Self has no dominance, but shadowing happens to agree here:
+        D::m shadows A::m only on D's own path, so both A and D stay
+        visible -> ambiguous."""
+        graph = figure2()
+        self_result = SelfStyleLookup(graph).lookup("E", "m")
+        assert self_result.is_ambiguous
+        assert build_lookup_table(graph).lookup("E", "m").is_unique
+
+    def test_nonvirtual_diamond_diverges_the_other_way(self):
+        """Self identifies definitions by declaring *object*, so a
+        non-virtual diamond (two C++ subobject copies of the same class)
+        is unique for Self but ambiguous for C++ — divergence in the
+        opposite direction from Figure 9."""
+        from repro.hierarchy.builder import HierarchyBuilder
+
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=["m"])
+            .cls("X", bases=["B"])
+            .cls("Y", bases=["B"])
+            .cls("Z", bases=["X", "Y"])
+            .build()
+        )
+        assert SelfStyleLookup(graph).lookup("Z", "m").is_unique
+        assert build_lookup_table(graph).lookup("Z", "m").is_ambiguous
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_agreement_on_declaring_class_when_both_unique(
+        self, graph
+    ):
+        """Where both semantics do resolve, they name the same
+        declaring class; and they always agree on NOT_FOUND."""
+        self_engine = SelfStyleLookup(graph)
+        table = build_lookup_table(graph)
+        for class_name in graph.classes:
+            for member in graph.member_names():
+                left = self_engine.lookup(class_name, member)
+                right = table.lookup(class_name, member)
+                assert left.is_not_found == right.is_not_found
+                if left.is_unique and right.is_unique:
+                    assert left.declaring_class == right.declaring_class

@@ -1,0 +1,72 @@
+"""Tests for the Eiffel-style topological-number shortcut (Section 7.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.topo_number import TopoNumberLookup
+from repro.core.lookup import build_lookup_table
+from repro.errors import AmbiguousLookupDetected
+from repro.workloads.generators import chain, virtual_diamond_ladder
+from repro.workloads.paper_figures import figure1, figure3
+
+from tests.support import all_queries, assert_same_outcome, hierarchies
+
+
+class TestOnUnambiguousPrograms:
+    def test_chain(self):
+        g = chain(10, member_every=3)
+        engine = TopoNumberLookup(g)
+        table = build_lookup_table(g)
+        for class_name, member in all_queries(g):
+            assert_same_outcome(
+                engine.lookup(class_name, member),
+                table.lookup(class_name, member),
+                compare_subobject=False,
+            )
+
+    def test_virtual_ladder(self):
+        g = virtual_diamond_ladder(4)
+        engine = TopoNumberLookup(g)
+        result = engine.lookup("J4", "m")
+        assert result.is_unique and result.declaring_class == "R"
+
+    @given(hierarchies(max_classes=8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_agrees_wherever_lookup_is_unambiguous(self, graph):
+        engine = TopoNumberLookup(graph)
+        table = build_lookup_table(graph)
+        for class_name, member in all_queries(graph):
+            truth = table.lookup(class_name, member)
+            if truth.is_ambiguous:
+                continue
+            assert_same_outcome(
+                engine.lookup(class_name, member),
+                truth,
+                compare_subobject=False,
+            )
+
+
+class TestAssumptionViolated:
+    def test_silently_wrong_on_ambiguous_lookup(self):
+        """The shortcut *returns an answer* for lookup(H, bar) even
+        though the truth is ⊥ — the hazard Section 7.2 points out."""
+        engine = TopoNumberLookup(figure3())
+        result = engine.lookup("H", "bar")
+        assert result.is_unique  # wrong, but that's the point
+
+    def test_verifying_engine_raises(self):
+        engine = TopoNumberLookup(figure3(), verify=True)
+        with pytest.raises(AmbiguousLookupDetected):
+            engine.lookup("H", "bar")
+
+    def test_verifying_engine_passes_unambiguous(self):
+        engine = TopoNumberLookup(figure3(), verify=True)
+        assert engine.lookup("H", "foo").declaring_class == "G"
+
+    def test_figure1_silently_resolved(self):
+        engine = TopoNumberLookup(figure1())
+        assert engine.lookup("E", "m").is_unique
+
+
+def test_not_found():
+    assert TopoNumberLookup(figure1()).lookup("E", "zz").is_not_found

@@ -1,0 +1,22 @@
+"""Shared pytest configuration.
+
+Registers hypothesis profiles: the default keeps the suite fast; set
+``HYPOTHESIS_PROFILE=thorough`` for a deeper nightly-style run.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=400,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,114 @@
+"""Tests for result certification."""
+
+from hypothesis import given, settings
+
+from repro.core.certify import certify, certify_table
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.core.paths import OMEGA, Path, path_in
+from repro.core.results import (
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.baselines.gxx import gxx_lookup
+from repro.baselines.topo_number import TopoNumberLookup
+from repro.workloads.paper_figures import figure3, figure9
+
+from tests.support import hierarchies
+
+
+class TestValidResults:
+    def test_certifies_the_real_algorithm_on_figure3(self):
+        graph = figure3()
+        assert certify_table(graph, build_lookup_table(graph)) == []
+
+    def test_certifies_lazy_engine_on_figure9(self):
+        graph = figure9()
+        assert certify_table(graph, LazyMemberLookup(graph)) == []
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_real_algorithm_always_certifies(self, graph):
+        assert certify_table(graph, build_lookup_table(graph)) == []
+
+    def test_render_valid(self):
+        graph = figure3()
+        certificate = certify(graph, build_lookup_table(graph).lookup("H", "foo"))
+        assert "VALID" in certificate.render()
+        assert bool(certificate)
+
+
+class TestInvalidResults:
+    def test_wrong_status_caught(self):
+        graph = figure3()
+        fake = ambiguous_result("H", "foo")  # truth: unique G::foo
+        certificate = certify(graph, fake)
+        assert not certificate
+        assert any("status" in f for f in certificate.failures)
+
+    def test_wrong_winner_caught(self):
+        graph = figure3()
+        fake = unique_result("H", "foo", "A", OMEGA)
+        certificate = certify(graph, fake)
+        assert any("dominant definition" in f for f in certificate.failures)
+
+    def test_bogus_witness_path_caught(self):
+        graph = figure3()
+        fake = unique_result(
+            "H", "foo", "G", OMEGA, witness=Path(("G", "A"), (False,))
+        )
+        certificate = certify(graph, fake)
+        assert any("not a path" in f for f in certificate.failures)
+
+    def test_witness_for_wrong_subobject_caught(self):
+        graph = figure3()
+        # D::bar is a real definition reaching H, but not the winner for
+        # (G, bar) at G... construct: claim G::bar resolved via a path
+        # that names a different subobject than the true one.
+        wrong_witness = path_in(graph, "D", "G")
+        fake = unique_result("G", "bar", "G", OMEGA, witness=wrong_witness)
+        certificate = certify(graph, fake)
+        assert not certificate
+
+    def test_mismatched_abstraction_caught(self):
+        graph = figure3()
+        true_result = build_lookup_table(graph).lookup("H", "foo")
+        fake = unique_result(
+            "H", "foo", "G", "D", witness=true_result.witness
+        )
+        certificate = certify(graph, fake)
+        assert any("leastVirtual" in f for f in certificate.failures)
+
+    def test_not_found_mismatch_caught(self):
+        graph = figure3()
+        assert not certify(graph, not_found_result("H", "foo"))
+
+    def test_render_invalid_lists_failures(self):
+        graph = figure3()
+        certificate = certify(graph, ambiguous_result("H", "foo"))
+        text = certificate.render()
+        assert "INVALID" in text and "-" in text
+
+
+class TestCertifyingBaselines:
+    def test_gxx_bug_flagged(self):
+        """The buggy g++ answer on Figure 9 fails certification — the
+        exact use case for translation validation."""
+        graph = figure9()
+        buggy = gxx_lookup(graph, "E", "m")
+        certificate = certify(graph, buggy)
+        assert not certificate
+
+    def test_topo_shortcut_flagged_on_ambiguous_program(self):
+        graph = figure3()
+        engine = TopoNumberLookup(graph)
+        wrong = engine.lookup("H", "bar")  # silently resolves
+        assert not certify(graph, wrong)
+
+    def test_topo_shortcut_certifies_without_witness(self):
+        # On unambiguous queries the shortcut is right even though it
+        # carries no witness; certification accepts the status+class.
+        graph = figure3()
+        engine = TopoNumberLookup(graph)
+        assert certify(graph, engine.lookup("H", "foo"))

@@ -1,0 +1,221 @@
+"""Tests for hiding and dominance (Definitions 5-6, Lemmas 1-4)."""
+
+from hypothesis import given, settings
+
+from repro.core.dominance import (
+    abstract_dominates,
+    dominates_paths,
+    hides,
+    is_partial_order,
+    maximal_set,
+    most_dominant,
+)
+from repro.core.enumeration import defns_paths, iter_paths_to
+from repro.core.equivalence import equivalent, subobject_key
+from repro.core.paths import OMEGA, path_in
+from repro.hierarchy.virtual_bases import virtual_bases
+from repro.workloads.paper_figures import figure3
+
+from tests.support import hierarchies
+
+
+def fig3():
+    return figure3()
+
+
+class TestHides:
+    def test_paper_example_gh_hides_abdgh(self):
+        g = fig3()
+        gh = path_in(g, "G", "H")
+        abdgh = path_in(g, "A", "B", "D", "G", "H")
+        abdfh = path_in(g, "A", "B", "D", "F", "H")
+        assert hides(gh, abdgh)
+        assert not hides(gh, abdfh)
+
+    def test_every_path_hides_itself(self):
+        g = fig3()
+        path = path_in(g, "A", "B", "D")
+        assert hides(path, path)
+
+    def test_trivial_path_hides_all_paths_to_it(self):
+        g = fig3()
+        from repro.core.paths import Path
+
+        for path in iter_paths_to(g, "H"):
+            assert hides(Path.trivial("H"), path)
+
+
+class TestDominatesPaths:
+    def test_paper_gh_dominates_abdfh(self):
+        g = fig3()
+        gh = path_in(g, "G", "H")
+        abdfh = path_in(g, "A", "B", "D", "F", "H")
+        assert dominates_paths(g, gh, abdfh)
+
+    def test_paper_fh_dominates_abdgh(self):
+        g = fig3()
+        fh = path_in(g, "F", "H")
+        abdgh = path_in(g, "A", "B", "D", "G", "H")
+        assert dominates_paths(g, fh, abdgh)
+
+    def test_gh_does_not_dominate_efh(self):
+        g = fig3()
+        gh = path_in(g, "G", "H")
+        efh = path_in(g, "E", "F", "H")
+        assert not dominates_paths(g, gh, efh)
+        assert not dominates_paths(g, efh, gh)
+
+    def test_different_mdc_never_dominates(self):
+        g = fig3()
+        assert not dominates_paths(
+            g, path_in(g, "G", "H"), path_in(g, "A", "B", "D")
+        )
+
+    def test_hiding_implies_dominance(self):
+        g = fig3()
+        gh = path_in(g, "G", "H")
+        abdgh = path_in(g, "A", "B", "D", "G", "H")
+        assert dominates_paths(g, gh, abdgh)
+
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=30)
+    def test_property_lemma1_dominance_respects_equivalence(self, graph):
+        """Lemma 1: a ≈ a' and b ≈ b' implies (a dominates b) ==
+        (a' dominates b')."""
+        for target in graph.classes:
+            paths = list(iter_paths_to(graph, target))[:8]
+            for a in paths:
+                for a2 in paths:
+                    if not equivalent(a, a2) or a == a2:
+                        continue
+                    for b in paths:
+                        assert dominates_paths(graph, a, b) == dominates_paths(
+                            graph, a2, b
+                        )
+
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=30)
+    def test_property_lemma2_partial_order_on_classes(self, graph):
+        """Lemma 2: dominance is a partial order on ≈-classes."""
+        for target in graph.classes:
+            paths = list(iter_paths_to(graph, target))[:8]
+            # One representative per ≈-class.
+            reps = {}
+            for path in paths:
+                reps.setdefault(subobject_key(path), path)
+            keys = list(reps)
+            assert is_partial_order(
+                keys,
+                lambda x, y: dominates_paths(graph, reps[x], reps[y]),
+            )
+
+
+class TestLemma3:
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=30)
+    def test_property_extension_preserves_dominance_both_ways(self, graph):
+        """Lemma 3: g.(X->Y) dominates d.(X->Y) iff g dominates d."""
+        for mid in graph.classes:
+            paths = list(iter_paths_to(graph, mid))[:6]
+            for edge in graph.direct_derived(mid):
+                for g_path in paths:
+                    for d_path in paths:
+                        before = dominates_paths(graph, g_path, d_path)
+                        after = dominates_paths(
+                            graph,
+                            g_path.extend(edge.derived, virtual=edge.virtual),
+                            d_path.extend(edge.derived, virtual=edge.virtual),
+                        )
+                        assert before == after
+
+
+class TestAbstractDominates:
+    def test_omega_never_dominated_by_omega(self):
+        vb = {"X": frozenset()}
+        assert not abstract_dominates(vb, ("X", OMEGA), ("X", OMEGA))
+
+    def test_equal_non_omega_least_virtual(self):
+        vb = {"X": frozenset()}
+        assert abstract_dominates(vb, ("X", "V"), ("Y", "V"))
+
+    def test_virtual_base_clause(self):
+        vb = {"G": frozenset({"D"})}
+        assert abstract_dominates(vb, ("G", OMEGA), ("A", "D"))
+
+    def test_figure3_h_foo_kill(self):
+        g = fig3()
+        vb = virtual_bases(g)
+        # Red (G, Ω) dominates the blue abstraction D at H.
+        assert abstract_dominates(vb, ("G", OMEGA), ("A", "D"))
+
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=30)
+    def test_property_lemma4_iff(self, graph):
+        """Lemma 4 as an iff: for a *red* definition a.(X->Z) and any
+        definition b.(Y->Z) arriving along a different edge, abstract
+        dominance coincides with path dominance."""
+        vb = virtual_bases(graph)
+        for member in graph.member_names():
+            for target in graph.classes:
+                definitions = defns_paths(graph, target, member)
+                if len(definitions) > 20:
+                    definitions = definitions[:20]
+                for a in definitions:
+                    if len(a) == 0:
+                        continue
+                    if not _is_red(graph, a, member):
+                        continue
+                    for b in definitions:
+                        if len(b) == 0 or b.nodes[-2] == a.nodes[-2]:
+                            continue  # same last edge: Lemma 4 inapplicable
+                        expected = dominates_paths(graph, a, b)
+                        got = abstract_dominates(
+                            vb,
+                            (a.ldc, a.least_virtual()),
+                            (b.ldc, b.least_virtual()),
+                        )
+                        assert got == expected, (member, str(a), str(b))
+
+
+def _is_red(graph, path, member):
+    """Definition 12: every proper prefix is a most-dominant element of
+    DefnsPath at its own mdc."""
+    for prefix in path.prefixes():
+        if prefix == path:
+            continue
+        defs = defns_paths(graph, prefix.mdc, member)
+        winner = most_dominant(
+            defs, lambda x, y: dominates_paths(graph, x, y)
+        )
+        if winner is None or not equivalent(winner, prefix):
+            return False
+    return True
+
+
+class TestMostDominantHelpers:
+    def test_most_dominant_total_order(self):
+        assert most_dominant([1, 3, 2], lambda a, b: a >= b) == 3
+
+    def test_most_dominant_no_winner(self):
+        incomparable = lambda a, b: a == b
+        assert most_dominant([1, 2], incomparable) is None
+
+    def test_most_dominant_empty(self):
+        assert most_dominant([], lambda a, b: True) is None
+
+    def test_most_dominant_singleton(self):
+        assert most_dominant([7], lambda a, b: a == b) == 7
+
+    def test_maximal_set_antichain(self):
+        incomparable = lambda a, b: a == b
+        assert maximal_set([1, 2, 3], incomparable) == [1, 2, 3]
+
+    def test_maximal_set_chain(self):
+        assert maximal_set([1, 2, 3], lambda a, b: a >= b) == [3]
+
+    def test_is_partial_order_detects_violations(self):
+        # "divides" on {2, 3, 4} is a partial order...
+        divides = lambda a, b: b % a == 0
+        assert is_partial_order([2, 3, 4], divides)
+        # ... but a symmetric non-equal relation is not antisymmetric.
+        assert not is_partial_order([1, 2], lambda a, b: True)

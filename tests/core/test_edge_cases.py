@@ -1,0 +1,125 @@
+"""Edge cases across the core machinery."""
+
+import pickle
+
+import pytest
+
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import RedEntry, build_lookup_table
+from repro.core.paths import OMEGA, Path
+from repro.core.results import unique_result
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.errors import UnknownClassError
+
+
+class TestDegenerateHierarchies:
+    def test_empty_graph_table(self):
+        table = build_lookup_table(ClassHierarchyGraph())
+        assert table.all_entries() == {}
+        assert table.ambiguous_queries() == ()
+
+    def test_single_class_no_members(self):
+        graph = HierarchyBuilder().cls("Only").build()
+        table = build_lookup_table(graph)
+        assert table.lookup("Only", "m").is_not_found
+        assert table.visible_members("Only") == ()
+
+    def test_single_class_self_lookup(self):
+        graph = HierarchyBuilder().cls("Only", members=["m"]).build()
+        result = build_lookup_table(graph).lookup("Only", "m")
+        assert result.is_unique
+        assert result.witness.is_trivial
+
+    def test_unknown_class_query_raises(self):
+        graph = HierarchyBuilder().cls("A").build()
+        with pytest.raises(UnknownClassError):
+            build_lookup_table(graph).lookup("Ghost", "m")
+        with pytest.raises(UnknownClassError):
+            LazyMemberLookup(graph).lookup("Ghost", "m")
+
+    def test_disconnected_components(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("A1", members=["m"])
+            .cls("A2", bases=["A1"])
+            .cls("B1", members=["m"])
+            .cls("B2", bases=["B1"])
+            .build()
+        )
+        table = build_lookup_table(graph)
+        assert table.lookup("A2", "m").declaring_class == "A1"
+        assert table.lookup("B2", "m").declaring_class == "B1"
+
+    def test_member_name_equal_to_class_name(self):
+        graph = HierarchyBuilder().cls("X", members=["X"]).build()
+        assert build_lookup_table(graph).lookup("X", "X").is_unique
+
+
+class TestOmegaSingleton:
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(OMEGA)) is OMEGA
+
+    def test_omega_in_frozensets(self):
+        assert OMEGA in frozenset({OMEGA})
+
+    def test_entries_with_omega_are_hashable_and_equal(self):
+        a = RedEntry("X", OMEGA)
+        b = RedEntry("X", OMEGA)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestImmutability:
+    def test_paths_are_hashable(self):
+        assert len({Path.trivial("A"), Path.trivial("A")}) == 1
+
+    def test_path_frozen(self):
+        with pytest.raises(Exception):
+            Path.trivial("A").nodes = ("B",)
+
+    def test_results_frozen(self):
+        result = unique_result("C", "m", "A", OMEGA)
+        with pytest.raises(Exception):
+            result.declaring_class = "B"
+
+
+class TestTableIsolation:
+    def test_tables_do_not_share_state(self):
+        graph1 = HierarchyBuilder().cls("A", members=["m"]).build()
+        graph2 = HierarchyBuilder().cls("A").build()
+        table1 = build_lookup_table(graph1)
+        table2 = build_lookup_table(graph2)
+        assert table1.lookup("A", "m").is_unique
+        assert table2.lookup("A", "m").is_not_found
+
+    def test_all_entries_returns_a_copy(self):
+        graph = HierarchyBuilder().cls("A", members=["m"]).build()
+        table = build_lookup_table(graph)
+        snapshot = table.all_entries()
+        snapshot.clear()
+        assert table.lookup("A", "m").is_unique
+
+
+class TestVisibleMemberOrder:
+    def test_own_members_precede_inherited(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=["b1", "b2"])
+            .cls("D", bases=["B"], members=["d1"])
+            .build()
+        )
+        table = build_lookup_table(graph)
+        assert table.visible_members("D") == ("d1", "b1", "b2")
+
+    def test_deterministic_across_builds(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("P", members=["x"])
+            .cls("Q", members=["y"])
+            .cls("R", bases=["P", "Q"])
+            .build()
+        )
+        first = build_lookup_table(graph).visible_members("R")
+        second = build_lookup_table(graph).visible_members("R")
+        assert first == second == ("x", "y")

@@ -1,0 +1,98 @@
+"""Tests for exhaustive path enumeration."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.enumeration import (
+    count_paths_to,
+    defns_paths,
+    iter_paths_between,
+    iter_paths_to,
+)
+from repro.errors import UnknownClassError
+from repro.workloads.generators import grid, nonvirtual_diamond_ladder
+from repro.workloads.paper_figures import figure1, figure3
+
+from tests.support import hierarchies
+
+
+class TestIterPathsTo:
+    def test_includes_trivial_path(self):
+        g = figure3()
+        paths = list(iter_paths_to(g, "A"))
+        assert len(paths) == 1
+        assert paths[0].is_trivial
+
+    def test_figure3_paths_into_h(self):
+        g = figure3()
+        # The four A->H paths the paper enumerates in Section 3.
+        a_paths = sorted(str(p) for p in iter_paths_to(g, "H") if p.ldc == "A")
+        assert a_paths == ["ABD~FH", "ABD~GH", "ACD~FH", "ACD~GH"]
+
+    def test_all_paths_end_at_target(self):
+        g = figure3()
+        assert all(p.mdc == "H" for p in iter_paths_to(g, "H"))
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(UnknownClassError):
+            list(iter_paths_to(figure3(), "Zed"))
+
+    def test_exponential_family_counts(self):
+        g = nonvirtual_diamond_ladder(3)
+        # Paths from R to J3: 2 per diamond = 2^3.
+        r_paths = [p for p in iter_paths_to(g, "J3") if p.ldc == "R"]
+        assert len(r_paths) == 8
+
+
+class TestIterPathsBetween:
+    def test_figure1_two_paths_a_to_e(self):
+        paths = list(iter_paths_between(figure1(), "A", "E"))
+        assert sorted(str(p) for p in paths) == ["ABCE", "ABDE"]
+
+    def test_same_class_yields_trivial(self):
+        paths = list(iter_paths_between(figure1(), "E", "E"))
+        assert len(paths) == 1 and paths[0].is_trivial
+
+    def test_unrelated_classes_yield_nothing(self):
+        g = figure3()
+        assert list(iter_paths_between(g, "E", "G")) == []
+
+
+class TestCountPaths:
+    @given(hierarchies(max_classes=8))
+    def test_property_count_matches_enumeration(self, graph):
+        for target in graph.classes:
+            assert count_paths_to(graph, target) == sum(
+                1 for _ in iter_paths_to(graph, target)
+            )
+
+    def test_grid_counts_are_binomials(self):
+        g = grid(4, 4)
+        # Paths from origin to corner of a 3x3-step grid: C(6, 3) = 20;
+        # count_paths_to also counts paths from interior nodes.
+        origin_paths = [
+            p for p in iter_paths_to(g, "G_3_3") if p.ldc == "G_0_0"
+        ]
+        assert len(origin_paths) == 20
+
+
+class TestDefnsPaths:
+    def test_figure3_foo_definitions_at_h(self):
+        g = figure3()
+        defs = defns_paths(g, "H", "foo")
+        assert sorted(str(p) for p in defs) == [
+            "ABD~FH",
+            "ABD~GH",
+            "ACD~FH",
+            "ACD~GH",
+            "GH",
+        ]
+
+    def test_figure3_bar_definitions_at_h(self):
+        g = figure3()
+        ldcs = sorted(p.ldc for p in defns_paths(g, "H", "bar"))
+        assert ldcs == ["D", "D", "E", "G"]
+
+    def test_no_definitions(self):
+        g = figure1()
+        assert defns_paths(g, "E", "nope") == []

@@ -1,0 +1,89 @@
+"""Tests for the ≈ equivalence and subobject keys (Definition 3)."""
+
+from hypothesis import given
+
+from repro.core.enumeration import iter_paths_to
+from repro.core.equivalence import SubobjectKey, equivalent, subobject_key
+from repro.core.paths import Path, path_in
+from repro.workloads.paper_figures import figure1, figure2, figure3
+
+from tests.support import hierarchies
+
+
+class TestPaperExamples:
+    def test_figure3_equivalent_pairs(self):
+        g = figure3()
+        abdfh = path_in(g, "A", "B", "D", "F", "H")
+        abdgh = path_in(g, "A", "B", "D", "G", "H")
+        acdfh = path_in(g, "A", "C", "D", "F", "H")
+        acdgh = path_in(g, "A", "C", "D", "G", "H")
+        assert equivalent(abdfh, abdgh)
+        assert equivalent(acdfh, acdgh)
+        assert not equivalent(abdfh, acdfh)
+        assert not equivalent(abdgh, acdgh)
+
+    def test_figure1_two_A_subobjects(self):
+        g = figure1()
+        via_c = path_in(g, "A", "B", "C", "E")
+        via_d = path_in(g, "A", "B", "D", "E")
+        assert not equivalent(via_c, via_d)
+
+    def test_figure2_one_A_subobject(self):
+        g = figure2()
+        via_c = path_in(g, "A", "B", "C", "E")
+        via_d = path_in(g, "A", "B", "D", "E")
+        assert equivalent(via_c, via_d)
+        assert subobject_key(via_c).fixed_nodes == ("A", "B")
+
+
+class TestKeys:
+    def test_key_of_trivial_path(self):
+        key = subobject_key(Path.trivial("X"))
+        assert key == SubobjectKey(("X",), "X")
+        assert key.ldc == key.mdc == "X"
+        assert not key.is_virtual
+
+    def test_virtual_key_detected(self):
+        g = figure3()
+        key = subobject_key(path_in(g, "D", "F", "H"))
+        assert key.is_virtual
+        assert key.ldc == "D"
+        assert key.complete == "H"
+
+    def test_str_forms(self):
+        assert str(SubobjectKey(("A", "B"), "B")) == "[AB]"
+        assert str(SubobjectKey(("A",), "H")) == "[A...H]"
+
+    def test_equivalent_iff_same_key(self):
+        g = figure2()
+        via_c = path_in(g, "A", "B", "C", "E")
+        via_d = path_in(g, "A", "B", "D", "E")
+        assert subobject_key(via_c) == subobject_key(via_d)
+
+
+class TestEquivalenceRelationLaws:
+    @given(hierarchies(max_classes=7))
+    def test_property_key_agreement(self, graph):
+        """equivalent(a, b) iff subobject_key(a) == subobject_key(b)
+        for all path pairs with a common target."""
+        for target in graph.classes:
+            paths = list(iter_paths_to(graph, target))[:12]
+            for a in paths:
+                for b in paths:
+                    assert equivalent(a, b) == (
+                        subobject_key(a) == subobject_key(b)
+                    )
+
+    def test_reflexive_symmetric(self):
+        g = figure3()
+        a = path_in(g, "A", "B", "D", "F", "H")
+        b = path_in(g, "A", "B", "D", "G", "H")
+        assert equivalent(a, a)
+        assert equivalent(a, b) == equivalent(b, a)
+
+    def test_same_endpoints_required(self):
+        # fixed(a) == fixed(b) implies ldc(a) == ldc(b); distinct mdc
+        # breaks equivalence outright.
+        a = Path.trivial("X")
+        b = Path.trivial("Y")
+        assert not equivalent(a, b)

@@ -1,0 +1,87 @@
+"""A full-table golden snapshot: every entry of Figure 3's lookup table,
+pinned.  Any behavioural regression in the core algorithm trips this."""
+
+import pytest
+
+from repro.core.lookup import build_lookup_table
+from repro.core.lazy import LazyMemberLookup
+from repro.analysis.lookup_as_dataflow import DataflowLookup
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.core.certify import certify_table
+from repro.workloads.paper_figures import figure3
+
+# (class, member) -> "L::m via <witness>" or "ambiguous{abstractions}".
+GOLDEN = {
+    ("A", "foo"): "A::foo via A",
+    ("B", "foo"): "A::foo via AB",
+    ("C", "foo"): "A::foo via AC",
+    ("D", "foo"): "ambiguous{Ω}",
+    ("D", "bar"): "D::bar via D",
+    ("E", "bar"): "E::bar via E",
+    ("F", "foo"): "ambiguous{D}",
+    ("F", "bar"): "ambiguous{D, Ω}",
+    ("G", "foo"): "G::foo via G",
+    ("G", "bar"): "G::bar via G",
+    ("H", "foo"): "G::foo via GH",
+    ("H", "bar"): "ambiguous{Ω}",
+}
+
+
+def describe(result):
+    if result.is_unique:
+        return f"{result.qualified_name()} via {result.witness}"
+    return (
+        "ambiguous{"
+        + ", ".join(sorted(map(str, result.blue_abstractions)))
+        + "}"
+    )
+
+
+def test_every_entry_matches_golden():
+    graph = figure3()
+    table = build_lookup_table(graph)
+    actual = {
+        key: describe(table.lookup(*key)) for key in table.all_entries()
+    }
+    assert actual == GOLDEN
+
+
+def test_golden_covers_exactly_the_visible_pairs():
+    table = build_lookup_table(figure3())
+    assert set(table.all_entries()) == set(GOLDEN)
+
+
+@pytest.mark.parametrize(
+    "engine_factory",
+    [LazyMemberLookup, StaticAwareLookupTable],
+    ids=["lazy", "static-aware"],
+)
+def test_other_engines_reproduce_the_golden_outcomes(engine_factory):
+    graph = figure3()
+    engine = engine_factory(graph)
+    for (class_name, member), expected in GOLDEN.items():
+        result = engine.lookup(class_name, member)
+        if "ambiguous" in expected:
+            assert result.is_ambiguous
+        else:
+            assert describe(result) == expected
+
+
+def test_dataflow_engine_reproduces_the_golden_entries():
+    graph = figure3()
+    table = build_lookup_table(graph)
+    dataflow = DataflowLookup(graph)
+    for class_name, member in GOLDEN:
+        assert dataflow.entry(class_name, member) == table.entry(
+            class_name, member
+        )
+
+
+@pytest.mark.parametrize(
+    "engine_factory",
+    [build_lookup_table, LazyMemberLookup, StaticAwareLookupTable],
+    ids=["eager", "lazy", "static-aware"],
+)
+def test_all_engines_certify_against_the_definition(engine_factory):
+    graph = figure3()
+    assert certify_table(graph, engine_factory(graph)) == []

@@ -1,0 +1,65 @@
+"""Tests for the memoised lazy lookup engine."""
+
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.workloads.generators import chain, nonvirtual_diamond_ladder
+from repro.workloads.paper_figures import figure3, figure9
+
+from tests.support import all_queries, assert_same_outcome
+
+
+def test_matches_eager_on_figure3():
+    graph = figure3()
+    eager = build_lookup_table(graph)
+    lazy = LazyMemberLookup(graph)
+    for class_name, member in all_queries(graph):
+        assert_same_outcome(
+            lazy.lookup(class_name, member), eager.lookup(class_name, member)
+        )
+
+
+def test_figure9_counterexample():
+    result = LazyMemberLookup(figure9()).lookup("E", "m")
+    assert result.is_unique and result.declaring_class == "C"
+
+
+def test_computes_only_the_demanded_chain():
+    graph = chain(50, member_every=50)
+    lazy = LazyMemberLookup(graph)
+    lazy.lookup("C10", "m")
+    # Only the 11 classes below C10 are touched, not all 50.
+    assert lazy.entries_computed() == 11
+
+
+def test_memoisation_no_recompute():
+    graph = chain(20, member_every=20)
+    lazy = LazyMemberLookup(graph)
+    lazy.lookup("C19", "m")
+    first = lazy.stats.entries_computed
+    lazy.lookup("C19", "m")
+    assert lazy.stats.entries_computed == first
+
+
+def test_shared_substructure_computed_once():
+    graph = nonvirtual_diamond_ladder(6)
+    lazy = LazyMemberLookup(graph)
+    lazy.lookup("J6", "m")
+    # One entry per class at most, despite 2^6 paths to the root.
+    assert lazy.stats.entries_computed <= len(graph)
+
+
+def test_not_found_is_cached():
+    graph = chain(5, member_every=5)
+    lazy = LazyMemberLookup(graph)
+    assert lazy.lookup("C4", "nope").is_not_found
+    computed = lazy.entries_computed()
+    assert lazy.lookup("C4", "nope").is_not_found
+    assert lazy.entries_computed() == computed
+
+
+def test_demands_less_than_eager():
+    graph = chain(100, member_every=100)
+    lazy = LazyMemberLookup(graph)
+    lazy.lookup("C5", "m")
+    eager = build_lookup_table(graph)
+    assert lazy.entries_computed() < eager.stats.entries_computed

@@ -1,0 +1,149 @@
+"""The efficient algorithm on every worked example of the paper."""
+
+import pytest
+
+from repro.core.lookup import BlueEntry, RedEntry, build_lookup_table
+from repro.core.paths import OMEGA
+from repro.core.results import LookupStatus
+from repro.workloads.paper_figures import (
+    ALL_FIGURES,
+    FIGURE_EXPECTATIONS,
+    figure1,
+    figure2,
+    figure3,
+    figure9,
+    iostream_like,
+)
+
+
+@pytest.mark.parametrize(
+    ("figure", "class_name", "member", "expected"),
+    [
+        (fig, cls, member, expected)
+        for (fig, cls, member), expected in FIGURE_EXPECTATIONS.items()
+    ],
+)
+def test_paper_expectations(figure, class_name, member, expected):
+    table = build_lookup_table(ALL_FIGURES[figure]())
+    result = table.lookup(class_name, member)
+    if expected is None:
+        assert result.is_ambiguous, result
+    else:
+        assert result.is_unique, result
+        assert result.declaring_class == expected
+
+
+class TestFigure1:
+    def test_e_m_ambiguous(self):
+        result = build_lookup_table(figure1()).lookup("E", "m")
+        assert result.status is LookupStatus.AMBIGUOUS
+
+    def test_intermediate_classes_resolve(self):
+        table = build_lookup_table(figure1())
+        assert table.lookup("C", "m").declaring_class == "A"
+        assert table.lookup("D", "m").declaring_class == "D"
+
+    def test_unknown_member_not_found(self):
+        result = build_lookup_table(figure1()).lookup("E", "zz")
+        assert result.is_not_found
+
+
+class TestFigure2:
+    def test_e_m_resolves_to_d(self):
+        result = build_lookup_table(figure2()).lookup("E", "m")
+        assert result.is_unique
+        assert result.declaring_class == "D"
+        assert str(result.witness) == "DE"
+
+    def test_witness_names_the_right_subobject(self):
+        result = build_lookup_table(figure2()).lookup("E", "m")
+        assert result.subobject.fixed_nodes == ("D", "E")
+
+    def test_c_m_resolves_through_virtual_base(self):
+        result = build_lookup_table(figure2()).lookup("C", "m")
+        assert result.declaring_class == "A"
+        assert result.least_virtual == "B"
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return build_lookup_table(figure3())
+
+    def test_h_foo_is_gh(self, table):
+        result = table.lookup("H", "foo")
+        assert result.is_unique
+        assert str(result.witness) == "GH"
+
+    def test_h_bar_is_bottom(self, table):
+        assert table.lookup("H", "bar").is_ambiguous
+
+    def test_f_both_members_ambiguous(self, table):
+        assert table.lookup("F", "foo").is_ambiguous
+        assert table.lookup("F", "bar").is_ambiguous
+
+    def test_d_foo_ambiguous_two_copies_of_a(self, table):
+        assert table.lookup("D", "foo").is_ambiguous
+
+    def test_g_bar_generated(self, table):
+        result = table.lookup("G", "bar")
+        assert result.declaring_class == "G"
+        assert result.least_virtual is OMEGA
+
+    def test_visible_members(self, table):
+        assert set(table.visible_members("H")) == {"foo", "bar"}
+        assert set(table.visible_members("E")) == {"bar"}
+
+    def test_ambiguous_queries_inventory(self, table):
+        ambiguous = set(table.ambiguous_queries())
+        assert ("H", "bar") in ambiguous
+        assert ("F", "foo") in ambiguous
+        assert ("H", "foo") not in ambiguous
+
+
+class TestFigure9:
+    def test_e_m_unambiguous_c(self):
+        result = build_lookup_table(figure9()).lookup("E", "m")
+        assert result.is_unique
+        assert result.declaring_class == "C"
+
+    def test_all_classes_resolve(self):
+        table = build_lookup_table(figure9())
+        expected = {"S": "S", "A": "A", "B": "B", "C": "C", "D": "C", "E": "C"}
+        for class_name, declaring in expected.items():
+            result = table.lookup(class_name, "m")
+            assert result.is_unique
+            assert result.declaring_class == declaring
+
+
+class TestIostream:
+    def test_shared_virtual_base_unambiguous(self):
+        table = build_lookup_table(iostream_like())
+        result = table.lookup("iostream", "rdstate")
+        assert result.is_unique
+        assert result.declaring_class == "ios"
+
+    def test_deep_inheritance(self):
+        table = build_lookup_table(iostream_like())
+        assert table.lookup("fstream", "flags").declaring_class == "ios_base"
+        assert table.lookup("fstream", "get").declaring_class == "istream"
+
+
+class TestRawEntries:
+    def test_generated_definition_entry(self):
+        table = build_lookup_table(figure3())
+        entry = table.entry("G", "foo")
+        assert isinstance(entry, RedEntry)
+        assert entry.ldc == "G"
+        assert entry.least_virtual is OMEGA
+
+    def test_blue_entry_at_d(self):
+        # Figure 6: at D the two (A, Ω) reds collapse into Blue {Ω}.
+        table = build_lookup_table(figure3())
+        entry = table.entry("D", "foo")
+        assert isinstance(entry, BlueEntry)
+        assert entry.abstractions == {OMEGA}
+
+    def test_entry_none_when_member_invisible(self):
+        table = build_lookup_table(figure3())
+        assert table.entry("E", "foo") is None

@@ -1,0 +1,119 @@
+"""Cross-engine agreement: the efficient algorithm against the reference
+semantics and every other engine, on the paper's figures and on random
+hierarchies (the central correctness property of the reproduction)."""
+
+from hypothesis import given, settings
+
+from repro.analysis.lookup_as_dataflow import DataflowLookup
+from repro.baselines.gxx import gxx_lookup_fixed
+from repro.baselines.path_propagation import NaivePathLookup, naive_lookup
+from repro.core.lazy import LazyMemberLookup
+from repro.core.lookup import build_lookup_table
+from repro.subobjects.reference import ReferenceLookup
+from repro.workloads.paper_figures import ALL_FIGURES, iostream_like
+
+from tests.support import all_queries, assert_same_outcome, hierarchies
+
+
+def _check_all_engines(graph):
+    table = build_lookup_table(graph)
+    lazy = LazyMemberLookup(graph)
+    reference = ReferenceLookup(graph)
+    naive = NaivePathLookup(graph, kill_dominated=True)
+    dataflow = DataflowLookup(graph)
+    for class_name, member in all_queries(graph):
+        expected = reference.lookup(class_name, member)
+        assert_same_outcome(table.lookup(class_name, member), expected)
+        assert_same_outcome(lazy.lookup(class_name, member), expected)
+        assert_same_outcome(naive.lookup(class_name, member), expected)
+        assert_same_outcome(
+            gxx_lookup_fixed(graph, class_name, member), expected
+        )
+        assert table.entry(class_name, member) == dataflow.entry(
+            class_name, member
+        )
+
+
+def test_all_engines_agree_on_paper_figures():
+    for make in ALL_FIGURES.values():
+        _check_all_engines(make())
+
+
+def test_all_engines_agree_on_iostream():
+    _check_all_engines(iostream_like())
+
+
+@given(hierarchies(max_classes=7))
+@settings(max_examples=60, deadline=None)
+def test_property_all_engines_agree(graph):
+    _check_all_engines(graph)
+
+
+@given(hierarchies(max_classes=6))
+@settings(max_examples=25, deadline=None)
+def test_property_matches_literal_definition(graph):
+    """The efficient table equals the fully definitional one-shot lookup
+    (Definition 5 dominance by suffix search) — the slowest but most
+    literal oracle."""
+    table = build_lookup_table(graph)
+    for class_name, member in all_queries(graph):
+        assert_same_outcome(
+            table.lookup(class_name, member),
+            naive_lookup(graph, class_name, member),
+        )
+
+
+@given(hierarchies(max_classes=8))
+@settings(max_examples=40, deadline=None)
+def test_property_red_entry_abstraction_matches_witness(graph):
+    """For every unique result, the (ldc, leastVirtual) abstraction the
+    algorithm propagated must be exactly the abstraction of the witness
+    path it carried alongside."""
+    table = build_lookup_table(graph)
+    for class_name, member in all_queries(graph):
+        result = table.lookup(class_name, member)
+        if result.is_unique:
+            assert result.witness is not None
+            assert result.witness.mdc == class_name
+            assert result.witness.ldc == result.declaring_class
+            assert result.witness.least_virtual() == result.least_virtual
+            result.witness.check_in(graph)
+
+
+@given(hierarchies(max_classes=8))
+@settings(max_examples=40, deadline=None)
+def test_property_not_found_iff_no_declaring_base(graph):
+    table = build_lookup_table(graph)
+    for class_name, member in all_queries(graph):
+        has_declarer = graph.declares(class_name, member) or any(
+            graph.declares(base, member)
+            for base in graph.ancestors(class_name)
+        )
+        assert table.lookup(class_name, member).is_not_found == (
+            not has_declarer
+        )
+
+
+@given(hierarchies(max_classes=8))
+@settings(max_examples=40, deadline=None)
+def test_property_own_declaration_always_wins(graph):
+    """A generated definition C::m hides everything: lookup(C, m) must be
+    unique and resolve to C whenever C declares m."""
+    table = build_lookup_table(graph)
+    for class_name in graph.classes:
+        for member in graph.declared_members(class_name):
+            result = table.lookup(class_name, member)
+            assert result.is_unique
+            assert result.declaring_class == class_name
+
+
+@given(hierarchies(max_classes=7))
+@settings(max_examples=30, deadline=None)
+def test_property_single_inheritance_never_ambiguous(graph):
+    """With at most one direct base per class there is exactly one path
+    between any two classes, so no lookup can be ambiguous."""
+    if any(len(graph.direct_bases(c)) > 1 for c in graph.classes):
+        return
+    table = build_lookup_table(graph)
+    for class_name, member in all_queries(graph):
+        assert not table.lookup(class_name, member).is_ambiguous

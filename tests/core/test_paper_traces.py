@@ -1,0 +1,91 @@
+"""Golden tests for the abstraction-propagation traces of Figures 6-7.
+
+The paper's Figure 6 (member ``foo``) and Figure 7 (member ``bar``) show
+the Red/Blue value computed at every node of the Figure 3 hierarchy.
+These tests pin the whole table entry-for-entry.
+"""
+
+import pytest
+
+from repro.core.lookup import BlueEntry, RedEntry, build_lookup_table
+from repro.core.paths import OMEGA
+from repro.workloads.paper_figures import figure3
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_lookup_table(figure3())
+
+
+class TestFigure6FooTrace:
+    """Figure 6: propagation of definitions of foo."""
+
+    def test_a_generates_red_a_omega(self, table):
+        assert table.entry("A", "foo") == RedEntry(
+            "A", OMEGA, table.entry("A", "foo").witness
+        )
+        assert table.entry("A", "foo").witness.is_trivial
+
+    def test_b_and_c_inherit_red_a_omega(self, table):
+        for node in ("B", "C"):
+            entry = table.entry(node, "foo")
+            assert isinstance(entry, RedEntry)
+            assert entry.pair == ("A", OMEGA)
+
+    def test_d_is_blue_omega(self, table):
+        # Two identical (A, Ω) reds meet at D; neither dominates the
+        # other, so D's entry is Blue {Ω} (the paper's worked example of
+        # abstraction in Section 4).
+        assert table.entry("D", "foo") == BlueEntry(
+            frozenset({OMEGA}), frozenset({"A"})
+        )
+
+    def test_f_is_blue_d(self, table):
+        # Ω transformed to D by ⋄ along the virtual edge D -> F.
+        entry = table.entry("F", "foo")
+        assert isinstance(entry, BlueEntry)
+        assert entry.abstractions == {"D"}
+
+    def test_g_generates_red_g_omega(self, table):
+        entry = table.entry("G", "foo")
+        assert entry.pair == ("G", OMEGA)
+
+    def test_h_resolves_red_g_omega(self, table):
+        # Red (G, Ω) kills the blue D via the virtual-bases clause.
+        entry = table.entry("H", "foo")
+        assert isinstance(entry, RedEntry)
+        assert entry.pair == ("G", OMEGA)
+
+
+class TestFigure7BarTrace:
+    """Figure 7: propagation of definitions of bar."""
+
+    def test_d_generates_red_d_omega(self, table):
+        assert table.entry("D", "bar").pair == ("D", OMEGA)
+
+    def test_e_generates_red_e_omega(self, table):
+        assert table.entry("E", "bar").pair == ("E", OMEGA)
+
+    def test_f_is_blue_omega_and_d(self, table):
+        # (E, Ω) from E and (D, D) from the virtual edge D -> F collide.
+        entry = table.entry("F", "bar")
+        assert isinstance(entry, BlueEntry)
+        assert entry.abstractions == {OMEGA, "D"}
+
+    def test_g_generates_red_g_omega(self, table):
+        assert table.entry("G", "bar").pair == ("G", OMEGA)
+
+    def test_h_is_blue_omega(self, table):
+        # Figure 7's final value: (G, Ω) kills the blue D but not the
+        # blue Ω (which abstracts the EFH definition), so H is Blue {Ω}.
+        entry = table.entry("H", "bar")
+        assert isinstance(entry, BlueEntry)
+        assert entry.abstractions == {OMEGA}
+
+
+class TestStatsAccounting:
+    def test_counters_are_populated(self):
+        table = build_lookup_table(figure3())
+        assert table.stats.classes_visited == 8
+        assert table.stats.entries_computed == len(table.all_entries())
+        assert table.stats.total_work() > 0

@@ -1,0 +1,244 @@
+"""Tests for the path formalism: fixed, concatenation, suffixes,
+leastVirtual and the ⋄ operator (Definitions 1-2, 13-15)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.enumeration import iter_paths_to
+from repro.core.paths import (
+    OMEGA,
+    Path,
+    extend_abstraction,
+    path_in,
+)
+from repro.errors import InvalidPathError
+from repro.workloads.paper_figures import figure3
+
+from tests.support import hierarchies
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3()
+
+
+def p(*nodes, virtuals=None):
+    virtuals = virtuals if virtuals is not None else (False,) * (len(nodes) - 1)
+    return Path(nodes=tuple(nodes), virtuals=tuple(virtuals))
+
+
+class TestConstruction:
+    def test_trivial(self):
+        t = Path.trivial("A")
+        assert t.ldc == t.mdc == "A"
+        assert t.is_trivial
+        assert len(t) == 0
+
+    def test_edge(self):
+        e = Path.edge("A", "B", virtual=True)
+        assert e.ldc == "A"
+        assert e.mdc == "B"
+        assert e.virtuals == (True,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidPathError):
+            Path(nodes=())
+
+    def test_flag_count_mismatch_rejected(self):
+        with pytest.raises(InvalidPathError):
+            Path(nodes=("A", "B"), virtuals=())
+
+    def test_path_in_reads_virtuality_from_graph(self, fig3):
+        path = path_in(fig3, "D", "F", "H")
+        assert path.virtuals == (True, False)
+
+    def test_path_in_rejects_non_edges(self, fig3):
+        with pytest.raises(InvalidPathError):
+            path_in(fig3, "A", "H")
+
+    def test_path_in_rejects_unknown_class(self, fig3):
+        with pytest.raises(InvalidPathError):
+            path_in(fig3, "Zed")
+
+    def test_check_in_accepts_real_path(self, fig3):
+        path_in(fig3, "A", "B", "D").check_in(fig3)
+
+    def test_check_in_rejects_wrong_virtuality(self, fig3):
+        fake = p("D", "F")  # D -> F is virtual in figure 3
+        with pytest.raises(InvalidPathError):
+            fake.check_in(fig3)
+
+
+class TestConcat:
+    def test_concat_joins_on_shared_node(self):
+        left = p("A", "B")
+        right = p("B", "C")
+        assert left.concat(right) == p("A", "B", "C")
+
+    def test_concat_requires_matching_ends(self):
+        with pytest.raises(InvalidPathError):
+            p("A", "B").concat(p("C", "D"))
+
+    def test_concat_with_trivial_is_identity(self):
+        path = p("A", "B")
+        assert path.concat(Path.trivial("B")) == path
+        assert Path.trivial("A").concat(path) == path
+
+    def test_paper_example(self):
+        # (ABC) . (CED) is ABCED.
+        assert p("A", "B", "C").concat(p("C", "E", "D")) == p(
+            "A", "B", "C", "E", "D"
+        )
+
+    def test_extend(self):
+        assert p("A", "B").extend("C", virtual=True) == Path(
+            ("A", "B", "C"), (False, True)
+        )
+
+
+class TestPrefixSuffix:
+    def test_prefixes_shortest_first(self):
+        path = p("A", "B", "C")
+        assert [x.nodes for x in path.prefixes()] == [
+            ("A",),
+            ("A", "B"),
+            ("A", "B", "C"),
+        ]
+
+    def test_suffixes_shortest_first(self):
+        path = p("A", "B", "C")
+        assert [x.nodes for x in path.suffixes()] == [
+            ("C",),
+            ("B", "C"),
+            ("A", "B", "C"),
+        ]
+
+    def test_path_is_its_own_prefix_and_suffix(self):
+        path = p("A", "B")
+        assert path.is_prefix_of(path)
+        assert path.is_suffix_of(path)
+
+    def test_is_suffix_of(self):
+        assert p("B", "C").is_suffix_of(p("A", "B", "C"))
+        assert not p("A", "B").is_suffix_of(p("A", "B", "C"))
+
+    def test_suffix_respects_virtuality(self):
+        long = Path(("A", "B", "C"), (True, False))
+        impostor = Path(("B", "C"), (True,))
+        assert not impostor.is_suffix_of(long)
+
+    def test_out_of_range_prefix_raises(self):
+        with pytest.raises(InvalidPathError):
+            p("A", "B").prefix(5)
+
+    def test_zero_suffix_is_trivial_mdc(self):
+        assert p("A", "B").suffix(0) == Path.trivial("B")
+
+
+class TestFixed:
+    def test_all_nonvirtual_fixed_is_whole_path(self):
+        path = p("A", "B", "C")
+        assert path.fixed() == path
+
+    def test_first_edge_virtual_fixed_is_trivial(self):
+        path = Path(("A", "B", "C"), (True, False))
+        assert path.fixed() == Path.trivial("A")
+
+    def test_fixed_stops_at_first_virtual_edge(self):
+        path = Path(("A", "B", "C", "D"), (False, True, False))
+        assert path.fixed() == p("A", "B")
+
+    def test_paper_figure3_fixed_values(self, fig3):
+        assert path_in(fig3, "A", "B", "D", "F", "H").fixed().nodes == (
+            "A",
+            "B",
+            "D",
+        )
+        assert path_in(fig3, "A", "C", "D", "G", "H").fixed().nodes == (
+            "A",
+            "C",
+            "D",
+        )
+
+    def test_trivial_fixed(self):
+        assert Path.trivial("X").fixed() == Path.trivial("X")
+
+
+class TestLeastVirtual:
+    def test_non_v_path_maps_to_omega(self):
+        assert p("A", "B", "C").least_virtual() is OMEGA
+
+    def test_v_path_maps_to_mdc_of_fixed(self):
+        path = Path(("A", "B", "C", "D"), (False, True, False))
+        assert path.least_virtual() == "B"
+
+    def test_trivial_is_omega(self):
+        assert Path.trivial("A").least_virtual() is OMEGA
+
+    def test_figure3_dfh(self, fig3):
+        assert path_in(fig3, "D", "F", "H").least_virtual() == "D"
+
+
+class TestOmega:
+    def test_singleton(self):
+        from repro.core.paths import _OmegaType
+
+        assert _OmegaType() is OMEGA
+
+    def test_repr(self):
+        assert repr(OMEGA) == "Ω"
+
+    def test_not_equal_to_strings(self):
+        assert OMEGA != "Ω"
+
+
+class TestDiamondOperator:
+    def test_non_omega_unchanged(self):
+        assert extend_abstraction("X", "B", virtual=True) == "X"
+        assert extend_abstraction("X", "B", virtual=False) == "X"
+
+    def test_omega_through_virtual_edge_becomes_base(self):
+        assert extend_abstraction(OMEGA, "B", virtual=True) == "B"
+
+    def test_omega_through_nonvirtual_edge_stays_omega(self):
+        assert extend_abstraction(OMEGA, "B", virtual=False) is OMEGA
+
+    @given(hierarchies(max_classes=7))
+    def test_property_diamond_abstracts_extension(self, graph):
+        """leastVirtual(p . e) == leastVirtual(p) ⋄ e for every path and
+        every edge leaving its mdc (the soundness of Definition 15)."""
+        for target in graph.classes:
+            for path in iter_paths_to(graph, target):
+                for edge in graph.direct_derived(path.mdc):
+                    extended = path.extend(edge.derived, virtual=edge.virtual)
+                    assert extended.least_virtual() == extend_abstraction(
+                        path.least_virtual(), edge.base, virtual=edge.virtual
+                    )
+
+
+class TestDisplay:
+    def test_str_trivial(self):
+        assert str(Path.trivial("A")) == "A"
+
+    def test_str_marks_virtual_edges(self):
+        assert str(Path(("A", "B", "C"), (False, True))) == "AB~C"
+
+
+@given(
+    st.lists(
+        st.sampled_from("ABCDEF"), min_size=2, max_size=6
+    ),
+    st.data(),
+)
+def test_property_concat_of_split_is_identity(nodes, data):
+    virtuals = data.draw(
+        st.lists(
+            st.booleans(), min_size=len(nodes) - 1, max_size=len(nodes) - 1
+        )
+    )
+    path = Path(tuple(nodes), tuple(virtuals))
+    cut = data.draw(st.integers(0, len(path)))
+    left = path.prefix(cut)
+    right = path.suffix(len(path) - cut)
+    assert left.concat(right) == path

@@ -1,0 +1,57 @@
+"""Tests for the result types."""
+
+from repro.core.paths import OMEGA, Path
+from repro.core.results import (
+    LookupStatus,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+
+
+class TestUnique:
+    def test_flags(self):
+        r = unique_result("C", "m", "A", OMEGA, Path.trivial("C"))
+        assert r.is_unique and not r.is_ambiguous and not r.is_not_found
+
+    def test_qualified_name(self):
+        r = unique_result("C", "m", "A", OMEGA)
+        assert r.qualified_name() == "A::m"
+
+    def test_subobject_from_witness(self):
+        witness = Path(("A", "C"), (False,))
+        r = unique_result("C", "m", "A", OMEGA, witness)
+        assert r.subobject.fixed_nodes == ("A", "C")
+
+    def test_subobject_none_without_witness(self):
+        assert unique_result("C", "m", "A", OMEGA).subobject is None
+
+    def test_str_mentions_witness(self):
+        r = unique_result("C", "m", "A", OMEGA, Path(("A", "C"), (False,)))
+        assert "via AC" in str(r)
+
+
+class TestAmbiguous:
+    def test_flags(self):
+        r = ambiguous_result("C", "m", candidates=("A", "B"))
+        assert r.is_ambiguous
+        assert r.status is LookupStatus.AMBIGUOUS
+
+    def test_str_lists_candidates(self):
+        r = ambiguous_result("C", "m", candidates=("A", "B"))
+        assert "A, B" in str(r)
+
+    def test_qualified_name_tagged(self):
+        assert "ambiguous" in ambiguous_result("C", "m").qualified_name()
+
+
+class TestNotFound:
+    def test_flags(self):
+        r = not_found_result("C", "m")
+        assert r.is_not_found
+        assert "not found" in str(r)
+
+
+def test_status_str():
+    assert str(LookupStatus.UNIQUE) == "unique"
+    assert str(LookupStatus.AMBIGUOUS) == "ambiguous"

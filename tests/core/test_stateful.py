@@ -1,0 +1,159 @@
+"""Hypothesis stateful tests: random interleavings of mutations and
+queries against from-scratch oracles."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.incremental import IncrementalLookupEngine
+from repro.core.lookup import build_lookup_table
+from repro.errors import CycleError, DuplicateBaseError, DuplicateMemberError
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.runtime.objects import AmbiguousAccessError, Runtime
+
+MEMBERS = ("m", "f")
+
+
+class IncrementalMachine(RuleBasedStateMachine):
+    """Grow a hierarchy step by step through the incremental engine; at
+    every step its answers must equal a freshly built table's."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = IncrementalLookupEngine()
+        self.counter = 0
+
+    @rule(member_mask=st.integers(0, 3))
+    def add_class(self, member_mask):
+        members = [m for i, m in enumerate(MEMBERS) if member_mask & (1 << i)]
+        self.engine.add_class(f"K{self.counter}", members)
+        self.counter += 1
+
+    @precondition(lambda self: self.counter >= 2)
+    @rule(data=st.data(), virtual=st.booleans())
+    def add_edge(self, data, virtual):
+        derived_index = data.draw(st.integers(1, self.counter - 1))
+        base_index = data.draw(st.integers(0, derived_index - 1))
+        try:
+            self.engine.add_edge(
+                f"K{base_index}", f"K{derived_index}", virtual=virtual
+            )
+        except (DuplicateBaseError, CycleError):
+            pass
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def add_member(self, data, member):
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        try:
+            self.engine.add_member(target, member)
+        except DuplicateMemberError:
+            pass
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def query(self, data, member):
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        self.engine.lookup(target, member)
+
+    @invariant()
+    def matches_fresh_table(self):
+        if self.counter == 0:
+            return
+        fresh = build_lookup_table(self.engine.graph)
+        for class_name in self.engine.graph.classes:
+            for member in MEMBERS:
+                left = self.engine.lookup(class_name, member)
+                right = fresh.lookup(class_name, member)
+                assert left.status == right.status, (class_name, member)
+                if right.is_unique:
+                    assert left.declaring_class == right.declaring_class
+
+
+IncrementalMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestIncrementalMachine = IncrementalMachine.TestCase
+
+
+class RuntimeStorageMachine(RuleBasedStateMachine):
+    """Random field writes through random base pointers of a fixed
+    diamond object; a shadow model keyed by resolved storage slot must
+    always agree with subsequent reads — exercising subobject identity
+    (sharing vs duplication) under the runtime's stat staging."""
+
+    def __init__(self):
+        super().__init__()
+        graph = (
+            HierarchyBuilder()
+            .cls("A", members=["x"])
+            .cls("B", bases=["A"], members=["y"])
+            .cls("CShared", virtual_bases=["B"])
+            .cls("DShared", virtual_bases=["B"])
+            .cls("CDup", bases=["B"])
+            .cls("DDup", bases=["B"])
+            .cls(
+                "Everything",
+                bases=["CShared", "DShared", "CDup", "DDup"],
+                members=["own"],
+            )
+            .build()
+        )
+        self.runtime = Runtime(graph=graph)
+        self.instance = self.runtime.construct("Everything")
+        self.model: dict[int, int] = {}
+        self.next_value = 1
+        root = self.runtime.pointer(self.instance)
+        self.pointers = [root]
+        for chain in (
+            ("CShared",),
+            ("DShared",),
+            ("CDup",),
+            ("DDup",),
+            ("CShared", "B"),
+            ("CDup", "B"),
+            ("DDup", "B"),
+            ("CDup", "B", "A"),
+            ("CShared", "B", "A"),
+        ):
+            pointer = root
+            for step in chain:
+                pointer = self.runtime.upcast(pointer, step)
+            self.pointers.append(pointer)
+
+    @rule(data=st.data(), member=st.sampled_from(["x", "y", "own"]))
+    def write(self, data, member):
+        pointer = data.draw(st.sampled_from(self.pointers))
+        try:
+            slot = self.runtime._locate_field(pointer, member)
+        except (AmbiguousAccessError, KeyError):
+            return
+        value = self.next_value
+        self.next_value += 1
+        self.runtime.write(pointer, member, value)
+        self.model[slot] = value
+
+    @rule(data=st.data(), member=st.sampled_from(["x", "y", "own"]))
+    def read(self, data, member):
+        pointer = data.draw(st.sampled_from(self.pointers))
+        try:
+            slot = self.runtime._locate_field(pointer, member)
+        except (AmbiguousAccessError, KeyError):
+            return
+        assert self.runtime.read(pointer, member) == self.model.get(slot, 0)
+
+    @invariant()
+    def storage_matches_model_everywhere(self):
+        for slot, value in self.model.items():
+            assert self.instance.storage[slot] == value
+
+
+RuntimeStorageMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestRuntimeStorageMachine = RuntimeStorageMachine.TestCase

@@ -1,0 +1,131 @@
+"""Tests for the static-member extension (Section 6, Definitions 16-17)."""
+
+from hypothesis import given, settings
+
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.core.lookup import build_lookup_table
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+from repro.subobjects.reference import ReferenceLookup
+
+from tests.support import all_queries, assert_same_outcome, hierarchies
+
+
+def nonvirtual_diamond(member):
+    """B declares ``member``; two copies of B inside Z."""
+    return (
+        HierarchyBuilder()
+        .cls("B", members=[member])
+        .cls("X", bases=["B"])
+        .cls("Y", bases=["B"])
+        .cls("Z", bases=["X", "Y"])
+        .build()
+    )
+
+
+class TestStaticRule:
+    def test_nonstatic_diamond_is_ambiguous(self):
+        g = nonvirtual_diamond("m")
+        assert StaticAwareLookupTable(g).lookup("Z", "m").is_ambiguous
+
+    def test_static_diamond_resolves(self):
+        g = nonvirtual_diamond(Member("m", is_static=True))
+        result = StaticAwareLookupTable(g).lookup("Z", "m")
+        assert result.is_unique
+        assert result.declaring_class == "B"
+
+    def test_nested_type_behaves_as_static(self):
+        g = nonvirtual_diamond(Member("T", kind=MemberKind.TYPE))
+        assert StaticAwareLookupTable(g).lookup("Z", "T").is_unique
+
+    def test_enumerator_behaves_as_static(self):
+        g = nonvirtual_diamond(Member("E", kind=MemberKind.ENUMERATOR))
+        assert StaticAwareLookupTable(g).lookup("Z", "E").is_unique
+
+    def test_plain_algorithm_still_reports_ambiguity(self):
+        # The non-static-aware engine treats static members like any
+        # other member and reports the diamond ambiguous.
+        g = nonvirtual_diamond(Member("m", is_static=True))
+        assert build_lookup_table(g).lookup("Z", "m").is_ambiguous
+
+    def test_static_members_of_distinct_classes_still_ambiguous(self):
+        g = (
+            HierarchyBuilder()
+            .cls("P", members=[Member("m", is_static=True)])
+            .cls("Q", members=[Member("m", is_static=True)])
+            .cls("Z", bases=["P", "Q"])
+            .build()
+        )
+        assert StaticAwareLookupTable(g).lookup("Z", "m").is_ambiguous
+
+    def test_static_hidden_by_derived_declaration(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("m", is_static=True)])
+            .cls("D", bases=["B"], members=["m"])
+            .build()
+        )
+        result = StaticAwareLookupTable(g).lookup("D", "m")
+        assert result.declaring_class == "D"
+
+    def test_deep_static_diamond(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("m", is_static=True)])
+            .cls("X", bases=["B"])
+            .cls("Y", bases=["B"])
+            .cls("Z", bases=["X", "Y"])
+            .cls("W", bases=["Z"])
+            .build()
+        )
+        result = StaticAwareLookupTable(g).lookup("W", "m")
+        assert result.is_unique
+        assert result.declaring_class == "B"
+
+    def test_mixed_static_and_nonstatic_same_name(self):
+        # P::m static, Q::m non-static: maximal set has two distinct
+        # ldcs, so the lookup stays ambiguous.
+        g = (
+            HierarchyBuilder()
+            .cls("P", members=[Member("m", is_static=True)])
+            .cls("Q", members=["m"])
+            .cls("Z", bases=["P", "Q"])
+            .build()
+        )
+        assert StaticAwareLookupTable(g).lookup("Z", "m").is_ambiguous
+
+
+class TestAgainstReference:
+    def test_reference_agrees_on_diamond(self):
+        g = nonvirtual_diamond(Member("m", is_static=True))
+        ref = ReferenceLookup(g)
+        assert_same_outcome(
+            StaticAwareLookupTable(g).lookup("Z", "m"),
+            ref.lookup_static("Z", "m"),
+            compare_subobject=False,  # any maximal representative is fine
+        )
+
+    @given(hierarchies(max_classes=7, static_probability=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference_semantics(self, graph):
+        table = StaticAwareLookupTable(graph)
+        reference = ReferenceLookup(graph)
+        for class_name, member in all_queries(graph):
+            assert_same_outcome(
+                table.lookup(class_name, member),
+                reference.lookup_static(class_name, member),
+                compare_subobject=False,
+            )
+
+    @given(hierarchies(max_classes=7, static_probability=0.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_statics_matches_plain_algorithm(self, graph):
+        """With no static members the static-aware engine degenerates to
+        the plain one."""
+        static_table = StaticAwareLookupTable(graph)
+        plain_table = build_lookup_table(graph)
+        for class_name, member in all_queries(graph):
+            assert_same_outcome(
+                static_table.lookup(class_name, member),
+                plain_table.lookup(class_name, member),
+            )

@@ -1,0 +1,94 @@
+"""Tests for lookup-table serialisation (the precompiled-table cache)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lookup import build_lookup_table
+from repro.core.table_io import (
+    TableSerializationError,
+    dumps,
+    loads,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.workloads.paper_figures import ALL_FIGURES, figure3
+
+from tests.support import all_queries, hierarchies
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+    def test_paper_figures_entry_exact(self, figure):
+        graph = ALL_FIGURES[figure]()
+        table = build_lookup_table(graph)
+        frozen = loads(dumps(table))
+        assert len(frozen) == len(table.all_entries())
+        for key, entry in table.all_entries().items():
+            assert frozen.entry(*key) == entry
+
+    @given(hierarchies(max_classes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_results_survive(self, graph):
+        table = build_lookup_table(graph)
+        frozen = loads(dumps(table))
+        for class_name, member in all_queries(graph):
+            left = frozen.lookup(class_name, member)
+            right = table.lookup(class_name, member)
+            assert left.status == right.status
+            assert left.declaring_class == right.declaring_class
+            assert left.witness == right.witness
+            assert left.blue_abstractions == right.blue_abstractions
+
+    def test_omega_round_trips(self):
+        table = build_lookup_table(figure3())
+        frozen = loads(dumps(table))
+        from repro.core.paths import OMEGA
+
+        assert frozen.entry("A", "foo").least_virtual is OMEGA
+        assert OMEGA in frozen.entry("H", "bar").abstractions
+
+    def test_json_is_stable_and_valid(self):
+        table = build_lookup_table(figure3())
+        data = json.loads(dumps(table, indent=2))
+        assert data["format"] == "repro-lookup-table"
+        assert dumps(table) == dumps(table)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(TableSerializationError):
+            loads("][")
+
+    def test_wrong_format(self):
+        with pytest.raises(TableSerializationError):
+            table_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(TableSerializationError):
+            table_from_dict(
+                {"format": "repro-lookup-table", "version": 9, "entries": []}
+            )
+
+    def test_malformed_entry(self):
+        with pytest.raises(TableSerializationError):
+            table_from_dict(
+                {
+                    "format": "repro-lookup-table",
+                    "version": 1,
+                    "entries": [{"class": "A"}],
+                }
+            )
+
+
+class TestFrozenBehaviour:
+    def test_not_found_for_unknown_pairs(self):
+        frozen = loads(dumps(build_lookup_table(figure3())))
+        assert frozen.lookup("H", "nothing").is_not_found
+        assert frozen.lookup("Nowhere", "foo").is_not_found
+
+    def test_table_dict_shape(self):
+        data = table_to_dict(build_lookup_table(figure3()))
+        kinds = {("red" in e, "blue" in e) for e in data["entries"]}
+        assert (True, False) in kinds and (False, True) in kinds

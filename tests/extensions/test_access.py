@@ -1,0 +1,126 @@
+"""Tests for the access-rights computation (post-lookup, Section 6)."""
+
+from repro.access.rules import AccessChecker, effective_access
+from repro.core.paths import path_in
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Access, Member
+from repro.workloads.paper_figures import figure3
+
+
+def build(member_access=Access.PUBLIC, inherit=Access.PUBLIC):
+    return (
+        HierarchyBuilder()
+        .cls("B", members=[Member("m", access=member_access)])
+        .cls("D", bases=["B"], base_access=inherit)
+        .build()
+    )
+
+
+class TestEffectiveAccess:
+    def test_public_through_public(self):
+        g = build()
+        path = path_in(g, "B", "D")
+        assert effective_access(g, path, Access.PUBLIC) is Access.PUBLIC
+
+    def test_public_through_private_inheritance(self):
+        g = build(inherit=Access.PRIVATE)
+        path = path_in(g, "B", "D")
+        assert effective_access(g, path, Access.PUBLIC) is Access.PRIVATE
+
+    def test_protected_through_protected(self):
+        g = build(inherit=Access.PROTECTED)
+        path = path_in(g, "B", "D")
+        assert effective_access(g, path, Access.PUBLIC) is Access.PROTECTED
+        assert effective_access(g, path, Access.PROTECTED) is Access.PROTECTED
+
+    def test_private_member_unreachable_beyond_declaring_class(self):
+        g = build(member_access=Access.PRIVATE)
+        path = path_in(g, "B", "D")
+        assert effective_access(g, path, Access.PRIVATE) is None
+
+    def test_trivial_path_keeps_declared_access(self):
+        g = build(member_access=Access.PRIVATE)
+        from repro.core.paths import Path
+
+        assert (
+            effective_access(g, Path.trivial("B"), Access.PRIVATE)
+            is Access.PRIVATE
+        )
+
+    def test_private_re_derivation_blocks(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("m")])
+            .cls("Mid", bases=["B"], base_access=Access.PRIVATE)
+            .cls("D", bases=["Mid"])
+            .build()
+        )
+        path = path_in(g, "B", "Mid", "D")
+        assert effective_access(g, path, Access.PUBLIC) is None
+
+
+class TestAccessChecker:
+    def test_public_accessible_everywhere(self):
+        checker = AccessChecker(build())
+        decision = checker.check("D", "m")
+        assert decision.accessible
+        assert decision.effective is Access.PUBLIC
+
+    def test_private_member_from_outside(self):
+        checker = AccessChecker(build(member_access=Access.PRIVATE))
+        decision = checker.check("B", "m")
+        assert not decision.accessible
+
+    def test_private_member_from_own_class(self):
+        checker = AccessChecker(build(member_access=Access.PRIVATE))
+        decision = checker.check("B", "m", context="B")
+        assert decision.accessible
+
+    def test_protected_member_from_derived_class(self):
+        checker = AccessChecker(build(member_access=Access.PROTECTED))
+        assert not checker.check("D", "m").accessible
+        assert checker.check("D", "m", context="D").accessible
+
+    def test_protected_from_further_derived_context(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("m", access=Access.PROTECTED)])
+            .cls("D", bases=["B"])
+            .cls("E", bases=["D"])
+            .build()
+        )
+        checker = AccessChecker(g)
+        assert checker.check("D", "m", context="E").accessible
+        # B is a base of D, not a derived class: no protected access.
+        assert not checker.check("D", "m", context="B").accessible
+
+    def test_ambiguous_lookup_is_inaccessible(self):
+        checker = AccessChecker(figure3())
+        decision = checker.check("H", "bar")
+        assert not decision.accessible
+        assert "ambiguous" in decision.reason
+
+    def test_not_found_is_inaccessible(self):
+        checker = AccessChecker(figure3())
+        assert not checker.check("H", "zz").accessible
+
+    def test_decision_str(self):
+        checker = AccessChecker(build())
+        assert "accessible" in str(checker.check("D", "m"))
+
+    def test_access_never_changes_lookup(self):
+        """The paper's rule: access rights are applied only after lookup;
+        a private dominant member still hides a public base member."""
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("m", access=Access.PUBLIC)])
+            .cls("D", bases=["B"], members=[Member("m", access=Access.PRIVATE)])
+            .build()
+        )
+        checker = AccessChecker(g)
+        decision = checker.check("D", "m")
+        # The lookup resolves to D::m (dominance), and only THEN is the
+        # access check applied -- so the access fails rather than falling
+        # back to the accessible B::m.
+        assert decision.result.declaring_class == "D"
+        assert not decision.accessible

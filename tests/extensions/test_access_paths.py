@@ -1,0 +1,125 @@
+"""Tests for best-path accessibility (the [class.paths] rule)."""
+
+from hypothesis import given, settings
+
+from repro.access.paths import BestPathAccessChecker, best_path_access
+from repro.core.equivalence import SubobjectKey
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Access, Member
+
+from tests.support import hierarchies
+
+
+def dual_path_hierarchy(left=Access.PRIVATE, right=Access.PUBLIC):
+    """The motivating shape: a shared virtual base reached privately
+    through Left and with ``right`` access through Right."""
+    return (
+        HierarchyBuilder()
+        .cls("B", members=[Member("m")])
+        .cls("Left", virtual_bases=["B"], base_access=left)
+        .cls("Right", virtual_bases=["B"], base_access=right)
+        .cls("Join", bases=["Left", "Right"])
+        .build()
+    )
+
+
+class TestBestPathAccess:
+    def test_public_path_wins_over_private(self):
+        graph = dual_path_hierarchy()
+        best = best_path_access(graph, "Join")
+        shared_b = SubobjectKey(("B",), "Join")
+        assert best[shared_b] is Access.PUBLIC
+
+    def test_all_paths_private_stays_private(self):
+        graph = dual_path_hierarchy(right=Access.PRIVATE)
+        best = best_path_access(graph, "Join")
+        assert best[SubobjectKey(("B",), "Join")] is Access.PRIVATE
+
+    def test_protected_path_beats_private(self):
+        graph = dual_path_hierarchy(right=Access.PROTECTED)
+        best = best_path_access(graph, "Join")
+        assert best[SubobjectKey(("B",), "Join")] is Access.PROTECTED
+
+    def test_path_access_composes_along_chain(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("m")])
+            .cls("Mid", bases=["B"], base_access=Access.PROTECTED)
+            .cls("D", bases=["Mid"], base_access=Access.PUBLIC)
+            .build()
+        )
+        best = best_path_access(graph, "D")
+        assert best[SubobjectKey(("B", "Mid", "D"), "D")] is Access.PROTECTED
+
+    def test_whole_object_is_public(self):
+        graph = dual_path_hierarchy()
+        best = best_path_access(graph, "Join")
+        assert best[SubobjectKey(("Join",), "Join")] is Access.PUBLIC
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=25, deadline=None)
+    def test_property_every_subobject_gets_a_value(self, graph):
+        from repro.subobjects.graph import SubobjectGraph
+
+        for complete in graph.classes:
+            best = best_path_access(graph, complete)
+            assert set(best) == {
+                s.key for s in SubobjectGraph(graph, complete).subobjects()
+            }
+
+
+class TestBestPathChecker:
+    def test_member_accessible_thanks_to_the_public_path(self):
+        graph = dual_path_hierarchy()
+        checker = BestPathAccessChecker(graph)
+        decision = checker.check("Join", "m")
+        assert decision.accessible
+        assert decision.effective is Access.PUBLIC
+
+    def test_single_path_model_would_deny_through_left(self):
+        """The contrast with the single-path model of access.rules: the
+        Left route alone caps the access at private — the best-path rule
+        exists precisely because another route is public."""
+        from repro.access.rules import effective_access
+        from repro.core import path_in
+
+        graph = dual_path_hierarchy()
+        left_route = path_in(graph, "B", "Left", "Join")
+        # Private inheritance into Left stops the member from propagating
+        # any further along this route at all.
+        assert effective_access(graph, left_route, Access.PUBLIC) is None
+        # ...but the best-path rule admits the access (previous test).
+
+    def test_denied_when_no_path_is_public(self):
+        graph = dual_path_hierarchy(right=Access.PRIVATE)
+        checker = BestPathAccessChecker(graph)
+        assert not checker.check("Join", "m").accessible
+
+    def test_protected_path_with_derived_context(self):
+        graph = dual_path_hierarchy(right=Access.PROTECTED)
+        checker = BestPathAccessChecker(graph)
+        assert not checker.check("Join", "m").accessible
+        assert checker.check("Join", "m", context="Join").accessible
+
+    def test_private_member_only_for_declaring_class(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("secret", access=Access.PRIVATE)])
+            .cls("D", bases=["B"])
+            .build()
+        )
+        checker = BestPathAccessChecker(graph)
+        assert not checker.check("D", "secret").accessible
+        assert not checker.check("D", "secret", context="D").accessible
+        assert checker.check("D", "secret", context="B").accessible
+
+    def test_ambiguous_lookup_denied(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("L", members=["m"])
+            .cls("R", members=["m"])
+            .cls("J", bases=["L", "R"])
+            .build()
+        )
+        checker = BestPathAccessChecker(graph)
+        assert not checker.check("J", "m").accessible

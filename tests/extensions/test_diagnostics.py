@@ -1,0 +1,70 @@
+"""Tests for explanations and DOT export."""
+
+import pytest
+
+from repro.diagnostics.dot import chg_to_dot, subobject_graph_to_dot
+from repro.diagnostics.explain import ambiguity_message, explain_lookup
+from repro.subobjects.graph import SubobjectGraph
+from repro.workloads.paper_figures import figure1, figure2, figure3
+
+
+class TestExplain:
+    def test_unique_explanation(self):
+        text = explain_lookup(figure3(), "H", "foo")
+        assert "Defns(H, foo) has 3 subobject(s)" in text
+        assert "resolves to G::foo" in text
+        assert "witness path: GH" in text
+
+    def test_ambiguous_explanation_lists_maximal_set(self):
+        text = explain_lookup(figure3(), "H", "bar")
+        assert "maximal set" in text
+        assert "E::bar" in text and "G::bar" in text
+        # D::bar is dominated and must not appear in the maximal set
+        # (it does appear in the Defns list above).
+        maximal_part = text.split("maximal set")[1]
+        assert "D::bar" not in maximal_part
+
+    def test_not_found_explanation(self):
+        text = explain_lookup(figure3(), "H", "zz")
+        assert "not found" in text
+
+    def test_ambiguity_message_format(self):
+        message = ambiguity_message(figure1(), "E", "m")
+        assert "request for member 'm' is ambiguous" in message
+        assert "A::m" in message and "D::m" in message
+
+    def test_ambiguity_message_rejects_unique(self):
+        with pytest.raises(ValueError):
+            ambiguity_message(figure2(), "E", "m")
+
+
+class TestDot:
+    def test_chg_dot_contains_all_classes_and_edges(self):
+        dot = chg_to_dot(figure3())
+        for name in figure3().classes:
+            assert f'"{name}"' in dot
+        assert dot.count("->") == figure3().edge_count()
+
+    def test_virtual_edges_dashed(self):
+        dot = chg_to_dot(figure2())
+        assert dot.count("style=dashed") == 2
+
+    def test_members_in_labels(self):
+        dot = chg_to_dot(figure3())
+        assert "foo" in dot and "bar" in dot
+
+    def test_subobject_dot(self):
+        sg = SubobjectGraph(figure1(), "E")
+        dot = subobject_graph_to_dot(sg)
+        assert dot.count("->") == sum(1 for _ in sg.edges())
+        # Two distinct A subobjects appear as two distinct nodes.
+        assert '"[ABCE]"' in dot and '"[ABDE]"' in dot
+
+    def test_dot_is_parseable_brackets(self):
+        for dot in (
+            chg_to_dot(figure3()),
+            subobject_graph_to_dot(SubobjectGraph(figure2(), "E")),
+        ):
+            assert dot.startswith("digraph")
+            assert dot.endswith("}")
+            assert dot.count("{") == dot.count("}")

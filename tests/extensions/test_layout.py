@@ -1,0 +1,171 @@
+"""Tests for object layout and dispatch tables."""
+
+from hypothesis import given, settings
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+from repro.layout.dispatch import build_dispatch_table
+from repro.layout.object_layout import compute_layout
+from repro.workloads.paper_figures import figure1, figure2, figure9
+
+from tests.support import hierarchies
+
+
+class TestLayoutFigure1:
+    def test_duplicated_a_regions(self):
+        # Figure 1's m is a member function, so no data slots — but the
+        # two A subobjects still occupy two distinct (empty) regions.
+        layout = compute_layout(figure1(), "E")
+        a_regions = [r for r in layout.regions if r.subobject.ldc == "A"]
+        assert len(a_regions) == 2
+
+    def test_size_counts_every_copy(self):
+        # E contains members m of: two As, one D = 3 data slots... A::m
+        # and D::m are functions in figure 1, so model them as data here.
+        g = (
+            HierarchyBuilder()
+            .cls("A", members=[Member("m")])
+            .cls("B", bases=["A"])
+            .cls("C", bases=["B"])
+            .cls("D", bases=["B"], members=[Member("m2")])
+            .cls("E", bases=["C", "D"])
+            .build()
+        )
+        layout = compute_layout(g, "E")
+        assert layout.size == 3  # A::m (x2) + D::m2
+
+
+class TestLayoutFigure2:
+    def test_shared_virtual_base_stored_once(self):
+        g = (
+            HierarchyBuilder()
+            .cls("A", members=[Member("m")])
+            .cls("B", bases=["A"])
+            .cls("C", virtual_bases=["B"])
+            .cls("D", virtual_bases=["B"], members=[Member("n")])
+            .cls("E", bases=["C", "D"])
+            .build()
+        )
+        layout = compute_layout(g, "E")
+        a_slots = [s for s in layout.slots if s.class_name == "A"]
+        assert len(a_slots) == 1
+
+    def test_virtual_region_flagged_and_last(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("b")])
+            .cls("C", virtual_bases=["B"], members=[Member("c")])
+            .build()
+        )
+        layout = compute_layout(g, "C")
+        virtual_regions = [r for r in layout.regions if r.virtual]
+        assert len(virtual_regions) == 1
+        # The shared B lands after C's own members.
+        assert [s.member for s in layout.slots] == ["c", "b"]
+
+
+class TestLayoutFigure9:
+    def test_regions(self):
+        layout = compute_layout(figure9(), "E")
+        # All of A, B, S are shared virtual bases; each of their 'm'
+        # members (data 'int m') stored once; C::m once (inside D).
+        assert [s.class_name for s in layout.slots] == ["C", "A", "B", "S"]
+
+    def test_offsets_monotone_and_dense(self):
+        layout = compute_layout(figure9(), "E")
+        assert [s.offset for s in layout.slots] == list(range(layout.size))
+
+    def test_region_lookup(self):
+        layout = compute_layout(figure9(), "E")
+        for region in layout.regions:
+            assert layout.offset_of(region.subobject) == region.offset
+
+    def test_render_mentions_every_slot(self):
+        layout = compute_layout(figure9(), "E")
+        text = layout.render()
+        assert "S::m" in text and "C::m" in text
+
+
+class TestLayoutProperties:
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_every_data_member_of_every_subobject_allocated(
+        self, graph
+    ):
+        from repro.subobjects.graph import SubobjectGraph
+
+        for complete in graph.classes:
+            layout = compute_layout(graph, complete)
+            expected = 0
+            for subobject in SubobjectGraph(graph, complete).subobjects():
+                members = graph.declared_members(subobject.class_name)
+                expected += sum(
+                    1
+                    for m in members.values()
+                    if not m.is_static and m.kind is MemberKind.DATA
+                )
+            assert layout.size == expected
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=25, deadline=None)
+    def test_property_each_subobject_has_exactly_one_region(self, graph):
+        from repro.subobjects.graph import SubobjectGraph
+
+        for complete in graph.classes:
+            layout = compute_layout(graph, complete)
+            region_keys = [r.subobject for r in layout.regions]
+            assert len(region_keys) == len(set(region_keys))
+            assert set(region_keys) == {
+                s.key for s in SubobjectGraph(graph, complete).subobjects()
+            }
+
+
+class TestDispatch:
+    def test_figure2_dispatch(self):
+        table = build_dispatch_table(figure2(), "E", functions_only=True)
+        entry = table.entry("m")
+        assert entry.declaring_class == "D"
+        assert not entry.ambiguous
+
+    def test_figure1_dispatch_marks_ambiguity(self):
+        table = build_dispatch_table(figure1(), "E")
+        entry = table.entry("m")
+        assert entry.ambiguous
+        assert entry.declaring_class is None
+
+    def test_this_offset_points_into_layout(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("pad"), Member("f", kind=MemberKind.FUNCTION)])
+            .cls("C", members=[Member("own")])
+            .cls("D", bases=["C", "B"])
+            .build()
+        )
+        table = build_dispatch_table(g, "D")
+        entry = table.entry("f")
+        # B's subobject starts after C's member in declaration order.
+        assert entry.this_offset == table.layout.offset_of(entry.subobject)
+        assert entry.this_offset == 1
+
+    def test_functions_only_filter(self):
+        g = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("data"), Member("f", kind=MemberKind.FUNCTION)])
+            .cls("D", bases=["B"])
+            .build()
+        )
+        only_functions = build_dispatch_table(g, "D", functions_only=True)
+        assert [e.member for e in only_functions.entries] == ["f"]
+        everything = build_dispatch_table(g, "D", functions_only=False)
+        assert {e.member for e in everything.entries} == {"data", "f"}
+
+    def test_missing_entry_raises(self):
+        import pytest
+
+        table = build_dispatch_table(figure2(), "E")
+        with pytest.raises(KeyError):
+            table.entry("zz")
+
+    def test_render(self):
+        table = build_dispatch_table(figure1(), "E", functions_only=False)
+        assert "<ambiguous>" in table.render()

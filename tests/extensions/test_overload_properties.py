@@ -1,0 +1,90 @@
+"""Property tests for overload resolution."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+from repro.overloads.resolution import (
+    AmbiguousOverload,
+    NoViableOverload,
+    OverloadedHierarchy,
+    Signature,
+)
+
+TYPES = ("int", "double", "string")
+
+
+def single_class_hierarchy():
+    graph = (
+        HierarchyBuilder()
+        .cls("Sink", members=[Member("f", kind=MemberKind.FUNCTION)])
+        .build()
+    )
+    return OverloadedHierarchy(graph=graph)
+
+
+signatures = st.lists(
+    st.tuples(st.sampled_from(TYPES), st.sampled_from(TYPES)).map(list)
+    | st.sampled_from(TYPES).map(lambda t: [t])
+    | st.just([]),
+    min_size=1,
+    max_size=6,
+    unique_by=tuple,
+)
+
+
+@given(signatures, st.data())
+@settings(max_examples=80, deadline=None)
+def test_property_exact_match_always_wins(param_lists, data):
+    """If the argument tuple exactly equals a declared signature, that
+    signature is selected with zero conversions."""
+    hierarchy = single_class_hierarchy()
+    hierarchy.declare("Sink", "f", *param_lists)
+    chosen = data.draw(st.sampled_from(param_lists))
+    resolved = hierarchy.resolve_call("Sink", "f", chosen)
+    assert resolved.signature == Signature(tuple(chosen))
+    assert resolved.conversions == 0
+
+
+@given(signatures, st.lists(st.sampled_from(TYPES), max_size=3))
+@settings(max_examples=80, deadline=None)
+def test_property_resolution_is_total_and_deterministic(param_lists, args):
+    """Any call either resolves, raises NoViableOverload, or raises
+    AmbiguousOverload — and repeating it gives the same outcome."""
+    hierarchy = single_class_hierarchy()
+    hierarchy.declare("Sink", "f", *param_lists)
+
+    def attempt():
+        try:
+            return ("ok", hierarchy.resolve_call("Sink", "f", args).signature)
+        except NoViableOverload:
+            return ("no-viable", None)
+        except AmbiguousOverload:
+            return ("ambiguous", None)
+
+    first = attempt()
+    assert attempt() == first
+    # Without class-type arguments there are no conversions, so the
+    # outcome is fully determined by exact membership.
+    if tuple(args) in {tuple(p) for p in param_lists}:
+        assert first[0] == "ok"
+    else:
+        assert first[0] == "no-viable"
+
+
+@given(st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_property_derived_argument_prefers_most_derived_parameter(depth):
+    """With a chain A0 <- A1 <- ... and overloads on every level, an
+    argument of the most derived type selects the most derived
+    parameter (fewest conversions == zero)."""
+    builder = HierarchyBuilder()
+    builder.cls("A0")
+    for i in range(1, depth + 1):
+        builder.cls(f"A{i}", bases=[f"A{i - 1}"])
+    builder.cls("Sink", members=[Member("f", kind=MemberKind.FUNCTION)])
+    hierarchy = OverloadedHierarchy(graph=builder.build())
+    hierarchy.declare("Sink", "f", *[[f"A{i}"] for i in range(depth + 1)])
+    resolved = hierarchy.resolve_call("Sink", "f", [f"A{depth}"])
+    assert resolved.signature == Signature((f"A{depth}",))

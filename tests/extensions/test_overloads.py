@@ -1,0 +1,208 @@
+"""Tests for overload resolution staged after name lookup."""
+
+import pytest
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+from repro.overloads.resolution import (
+    AmbiguousOverload,
+    NoViableOverload,
+    OverloadedHierarchy,
+    OverloadError,
+    Signature,
+)
+
+
+def fn(name, using_from=None):
+    return Member(name, kind=MemberKind.FUNCTION, using_from=using_from)
+
+
+def simple():
+    graph = (
+        HierarchyBuilder()
+        .cls("Base", members=[fn("f")])
+        .cls("Derived", bases=["Base"])
+        .build()
+    )
+    hierarchy = OverloadedHierarchy(graph=graph)
+    hierarchy.declare("Base", "f", ["int"], ["double", "double"])
+    return hierarchy
+
+
+class TestBasicResolution:
+    def test_exact_match(self):
+        resolved = simple().resolve_call("Base", "f", ["int"])
+        assert resolved.signature == Signature(("int",))
+        assert resolved.conversions == 0
+
+    def test_arity_selects(self):
+        resolved = simple().resolve_call("Base", "f", ["double", "double"])
+        assert resolved.signature == Signature(("double", "double"))
+
+    def test_inherited_call_resolves_in_declaring_class(self):
+        resolved = simple().resolve_call("Derived", "f", ["int"])
+        assert resolved.declaring_class == "Base"
+
+    def test_no_viable_arity(self):
+        with pytest.raises(NoViableOverload):
+            simple().resolve_call("Base", "f", ["int", "int", "int"])
+
+    def test_unknown_member(self):
+        with pytest.raises(NoViableOverload):
+            simple().resolve_call("Base", "ghost", [])
+
+    def test_duplicate_signature_rejected(self):
+        hierarchy = simple()
+        with pytest.raises(OverloadError):
+            hierarchy.declare("Base", "f", ["int"])
+
+    def test_declare_requires_existing_member(self):
+        hierarchy = simple()
+        with pytest.raises(KeyError):
+            hierarchy.declare("Base", "ghost", ["int"])
+
+
+class TestHidingGotcha:
+    """The classic: Derived::f(string) hides Base::f(int) entirely."""
+
+    def make(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Base", members=[fn("f")])
+            .cls("Derived", bases=["Base"], members=[fn("f")])
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("Base", "f", ["int"])
+        hierarchy.declare("Derived", "f", ["string"])
+        return hierarchy
+
+    def test_base_overload_hidden(self):
+        hierarchy = self.make()
+        with pytest.raises(NoViableOverload):
+            # f(int) exists in Base, but name lookup stops at Derived.
+            hierarchy.resolve_call("Derived", "f", ["int"])
+
+    def test_derived_overload_found(self):
+        resolved = self.make().resolve_call("Derived", "f", ["string"])
+        assert resolved.declaring_class == "Derived"
+
+    def test_base_still_fine_from_base(self):
+        resolved = self.make().resolve_call("Base", "f", ["int"])
+        assert resolved.declaring_class == "Base"
+
+
+class TestUsingMergesSets:
+    def make(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Base", members=[fn("f")])
+            .cls(
+                "Derived",
+                bases=["Base"],
+                members=[fn("f", using_from="Base")],
+            )
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("Base", "f", ["int"])
+        hierarchy.declare("Derived", "f", ["string"])
+        return hierarchy
+
+    def test_both_overloads_visible(self):
+        hierarchy = self.make()
+        assert (
+            hierarchy.resolve_call("Derived", "f", ["int"]).declaring_class
+            == "Derived"
+        )
+        assert hierarchy.resolve_call(
+            "Derived", "f", ["string"]
+        ).signature == Signature(("string",))
+
+    def test_overload_set_is_the_union(self):
+        hierarchy = self.make()
+        signatures = hierarchy.overload_set("Derived", "f")
+        assert set(signatures) == {
+            Signature(("string",)),
+            Signature(("int",)),
+        }
+
+
+class TestClassTypeConversions:
+    def make(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Animal")
+            .cls("Dog", bases=["Animal"])
+            .cls("Sink", members=[fn("accept")])
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("Sink", "accept", ["Animal"], ["Dog"])
+        return hierarchy
+
+    def test_exact_class_match_preferred(self):
+        resolved = self.make().resolve_call("Sink", "accept", ["Dog"])
+        assert resolved.signature == Signature(("Dog",))
+        assert resolved.conversions == 0
+
+    def test_derived_to_base_conversion(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Animal")
+            .cls("Cat", bases=["Animal"])
+            .cls("Sink", members=[fn("accept")])
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("Sink", "accept", ["Animal"])
+        resolved = hierarchy.resolve_call("Sink", "accept", ["Cat"])
+        assert resolved.conversions == 1
+
+    def test_ambiguous_base_blocks_conversion(self):
+        # Two Animal subobjects in Chimera: the conversion is invalid.
+        graph = (
+            HierarchyBuilder()
+            .cls("Animal")
+            .cls("Lion", bases=["Animal"])
+            .cls("Goat", bases=["Animal"])
+            .cls("Chimera", bases=["Lion", "Goat"])
+            .cls("Sink", members=[fn("accept")])
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("Sink", "accept", ["Animal"])
+        with pytest.raises(NoViableOverload):
+            hierarchy.resolve_call("Sink", "accept", ["Chimera"])
+
+    def test_tie_between_conversions_is_ambiguous(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("A")
+            .cls("B")
+            .cls("AB", bases=["A", "B"])
+            .cls("Sink", members=[fn("accept")])
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("Sink", "accept", ["A"], ["B"])
+        with pytest.raises(AmbiguousOverload):
+            hierarchy.resolve_call("Sink", "accept", ["AB"])
+
+
+class TestNameLookupStillGoverns:
+    def test_ambiguous_name_lookup_reported_first(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("L", members=[fn("f")])
+            .cls("R", members=[fn("f")])
+            .cls("J", bases=["L", "R"])
+            .build()
+        )
+        hierarchy = OverloadedHierarchy(graph=graph)
+        hierarchy.declare("L", "f", ["int"])
+        hierarchy.declare("R", "f", ["string"])
+        # Even though the argument types would pick a unique signature,
+        # C++ (and the paper) fail at the NAME stage first.
+        with pytest.raises(AmbiguousOverload, match="name lookup"):
+            hierarchy.resolve_call("J", "f", ["int"])

@@ -1,0 +1,208 @@
+"""Tests for the executable object model — the paper's semantics made
+observable at runtime."""
+
+import pytest
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+from repro.runtime.objects import (
+    AmbiguousAccessError,
+    MissingMethodError,
+    Runtime,
+    UpcastError,
+)
+from repro.workloads.paper_figures import figure9
+
+
+def fn(name):
+    return Member(name, kind=MemberKind.FUNCTION)
+
+
+def figure1_with_fields():
+    """Figure 1's shape with a data field in A, so sharing is testable."""
+    return (
+        HierarchyBuilder()
+        .cls("A", members=["x"])
+        .cls("B", bases=["A"])
+        .cls("C", bases=["B"])
+        .cls("D", bases=["B"])
+        .cls("E", bases=["C", "D"])
+        .build()
+    )
+
+
+def figure2_with_fields():
+    return (
+        HierarchyBuilder()
+        .cls("A", members=["x"])
+        .cls("B", bases=["A"])
+        .cls("C", virtual_bases=["B"])
+        .cls("D", virtual_bases=["B"])
+        .cls("E", bases=["C", "D"])
+        .build()
+    )
+
+
+class TestSubobjectIdentity:
+    """The heart of Figures 1 vs 2: duplication vs sharing, observable
+    through field writes."""
+
+    def test_nonvirtual_copies_are_independent(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        e = runtime.construct("E")
+        p = runtime.pointer(e)
+        a_via_c = runtime.upcast(runtime.upcast(p, "C"), "A")
+        a_via_d = runtime.upcast(runtime.upcast(p, "D"), "A")
+        runtime.write(a_via_c, "x", 11)
+        runtime.write(a_via_d, "x", 22)
+        assert runtime.read(a_via_c, "x") == 11
+        assert runtime.read(a_via_d, "x") == 22
+
+    def test_virtual_base_is_shared(self):
+        runtime = Runtime(graph=figure2_with_fields())
+        e = runtime.construct("E")
+        p = runtime.pointer(e)
+        a_via_c = runtime.upcast(runtime.upcast(p, "C"), "A")
+        a_via_d = runtime.upcast(runtime.upcast(p, "D"), "A")
+        runtime.write(a_via_c, "x", 99)
+        assert runtime.read(a_via_d, "x") == 99
+        assert a_via_c.key == a_via_d.key
+
+
+class TestUpcast:
+    def test_ambiguous_upcast_rejected(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        p = runtime.pointer(runtime.construct("E"))
+        with pytest.raises(UpcastError, match="ambiguous"):
+            runtime.upcast(p, "A")
+
+    def test_unrelated_upcast_rejected(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        p = runtime.pointer(runtime.construct("C"))
+        with pytest.raises(UpcastError, match="not a base"):
+            runtime.upcast(p, "D")
+
+    def test_identity_upcast(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        p = runtime.pointer(runtime.construct("E"))
+        assert runtime.upcast(p, "E") is p
+
+    def test_virtual_upcast_from_either_arm(self):
+        runtime = Runtime(graph=figure2_with_fields())
+        p = runtime.pointer(runtime.construct("E"))
+        shared = runtime.upcast(p, "B")
+        assert shared.key.is_virtual
+
+
+class TestFieldAccess:
+    def test_construct_with_initialisers(self):
+        runtime = Runtime(graph=figure2_with_fields())
+        e = runtime.construct("E", x=7)
+        assert runtime.read(runtime.pointer(e), "x") == 7
+
+    def test_ambiguous_read_raises(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        p = runtime.pointer(runtime.construct("E"))
+        with pytest.raises(AmbiguousAccessError):
+            runtime.read(p, "x")
+
+    def test_read_through_narrowed_pointer_disambiguates(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        e = runtime.construct("E")
+        c_pointer = runtime.upcast(runtime.pointer(e), "C")
+        runtime.write(c_pointer, "x", 5)
+        assert runtime.read(c_pointer, "x") == 5
+
+    def test_missing_member(self):
+        runtime = Runtime(graph=figure1_with_fields())
+        p = runtime.pointer(runtime.construct("E"))
+        with pytest.raises(KeyError):
+            runtime.read(p, "ghost")
+
+
+class TestVirtualDispatch:
+    def make_runtime(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Shape", members=[fn("name")])
+            .cls("Circle", bases=["Shape"], members=[fn("name")])
+            .build()
+        )
+        runtime = Runtime(graph=graph)
+        runtime.define("Shape", "name", lambda rt, this: "shape")
+        runtime.define("Circle", "name", lambda rt, this: "circle")
+        return runtime
+
+    def test_dispatch_on_complete_type(self):
+        runtime = self.make_runtime()
+        circle = runtime.construct("Circle")
+        base_pointer = runtime.upcast(runtime.pointer(circle), "Shape")
+        assert runtime.call(base_pointer, "name") == "circle"
+
+    def test_qualified_call_suppresses_dispatch(self):
+        runtime = self.make_runtime()
+        circle = runtime.construct("Circle")
+        p = runtime.pointer(circle)
+        assert runtime.call_qualified(p, "Shape", "name") == "shape"
+
+    def test_figure9_dispatch_lands_in_c(self):
+        runtime = Runtime(graph=figure9())
+        for declarer in ("S", "A", "B", "C"):
+            runtime.define(declarer, "m", lambda rt, this, d=declarer: d)
+        e = runtime.construct("E")
+        # Through ANY base pointer, the final overrider is C::m.
+        for base in ("S", "A", "B", "C", "D"):
+            pointer = runtime.upcast(runtime.pointer(e), base)
+            assert runtime.call(pointer, "m") == "C"
+
+    def test_this_pointer_is_adjusted_to_overrider(self):
+        runtime = self.make_runtime()
+        circle = runtime.construct("Circle")
+        seen = {}
+        runtime.define(
+            "Circle", "name", lambda rt, this: seen.setdefault("k", this.key)
+        )
+        base_pointer = runtime.upcast(runtime.pointer(circle), "Shape")
+        runtime.call(base_pointer, "name")
+        assert seen["k"].ldc == "Circle"
+
+    def test_missing_body(self):
+        graph = HierarchyBuilder().cls("A", members=[fn("f")]).build()
+        runtime = Runtime(graph=graph)
+        p = runtime.pointer(runtime.construct("A"))
+        with pytest.raises(MissingMethodError):
+            runtime.call(p, "f")
+
+    def test_ambiguous_dispatch(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("L", members=[fn("m")])
+            .cls("R", members=[fn("m")])
+            .cls("J", bases=["L", "R"])
+            .build()
+        )
+        runtime = Runtime(graph=graph)
+        j = runtime.construct("J")
+        left = runtime.upcast(runtime.pointer(j), "L")
+        with pytest.raises(AmbiguousAccessError):
+            runtime.call(left, "m")
+
+    def test_define_requires_existing_member(self):
+        runtime = self.make_runtime()
+        with pytest.raises(KeyError):
+            runtime.define("Shape", "ghost", lambda rt, this: None)
+
+
+class TestStaticMembersHaveNoStorage:
+    def test_clear_error_on_static_field_access(self):
+        from repro.hierarchy.members import Member
+
+        graph = (
+            HierarchyBuilder()
+            .cls("A", members=[Member("counter", is_static=True)])
+            .build()
+        )
+        runtime = Runtime(graph=graph)
+        p = runtime.pointer(runtime.construct("A"))
+        with pytest.raises(KeyError, match="static member"):
+            runtime.read(p, "counter")

@@ -1,0 +1,99 @@
+"""Tests for unqualified-name resolution over nested scopes."""
+
+import pytest
+
+from repro.scopes.resolver import (
+    ResolutionKind,
+    UnqualifiedNameResolver,
+)
+from repro.scopes.scope import Scope, ScopeKind
+from repro.workloads.paper_figures import figure3, iostream_like
+
+
+@pytest.fixture
+def resolver():
+    return UnqualifiedNameResolver(figure3())
+
+
+class TestScope:
+    def test_chain_order_innermost_first(self):
+        global_scope = Scope.global_scope()
+        class_scope = global_scope.enter_class("H")
+        block = class_scope.enter_function().enter_block()
+        kinds = [s.kind for s in block.chain()]
+        assert kinds == [
+            ScopeKind.BLOCK,
+            ScopeKind.FUNCTION,
+            ScopeKind.CLASS,
+            ScopeKind.GLOBAL,
+        ]
+
+    def test_class_scope_requires_name(self):
+        with pytest.raises(ValueError):
+            Scope(kind=ScopeKind.CLASS)
+
+    def test_non_class_scope_rejects_name(self):
+        with pytest.raises(ValueError):
+            Scope(kind=ScopeKind.BLOCK, class_name="X")
+
+    def test_declare_rejected_on_class_scope(self):
+        scope = Scope.global_scope().enter_class("H")
+        with pytest.raises(ValueError):
+            scope.declare("x")
+
+
+class TestResolution:
+    def test_local_shadows_member(self, resolver):
+        result = resolver.resolve_in_member_function(
+            "H", "foo", {"foo": "local"}
+        )
+        assert result.kind is ResolutionKind.LOCAL
+        assert result.entity == "local"
+
+    def test_member_found_when_no_local(self, resolver):
+        result = resolver.resolve_in_member_function("H", "foo", {})
+        assert result.kind is ResolutionKind.MEMBER
+        assert result.lookup.declaring_class == "G"
+
+    def test_ambiguous_member_stops_search(self, resolver):
+        # 'bar' is ambiguous in H; the search must NOT continue to the
+        # global scope even if a global 'bar' exists.
+        global_scope = Scope.global_scope()
+        global_scope.declare("bar", "a global")
+        function = global_scope.enter_class("H").enter_function()
+        result = resolver.resolve(function, "bar")
+        assert result.kind is ResolutionKind.AMBIGUOUS
+
+    def test_falls_through_to_global(self, resolver):
+        global_scope = Scope.global_scope()
+        global_scope.declare("errno", "the global")
+        function = global_scope.enter_class("H").enter_function()
+        result = resolver.resolve(function, "errno")
+        assert result.kind is ResolutionKind.LOCAL
+        assert result.scope.kind is ScopeKind.GLOBAL
+
+    def test_not_found(self, resolver):
+        result = resolver.resolve_in_member_function("H", "nothing", {})
+        assert result.kind is ResolutionKind.NOT_FOUND
+        assert not result.ok
+
+    def test_inner_class_scope_shadows_outer(self):
+        resolver = UnqualifiedNameResolver(iostream_like())
+        global_scope = Scope.global_scope()
+        outer = global_scope.enter_class("ios")
+        inner = outer.enter_class("istream")
+        # 'get' is declared in istream itself.
+        result = resolver.resolve(inner.enter_function(), "get")
+        assert result.lookup.declaring_class == "istream"
+        # 'flags' is not in istream... but it IS: inherited via ios.
+        result = resolver.resolve(inner.enter_function(), "flags")
+        assert result.kind is ResolutionKind.MEMBER
+        assert result.lookup.declaring_class == "ios_base"
+
+    def test_resolution_str_forms(self, resolver):
+        member = resolver.resolve_in_member_function("H", "foo", {})
+        assert "G::foo" in str(member)
+        local = resolver.resolve_in_member_function("H", "x", {"x": 1})
+        assert "local" in str(local)
+        missing = resolver.resolve_in_member_function("H", "zz", {})
+        assert "not-found" in str(missing)

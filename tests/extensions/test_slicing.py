@@ -1,0 +1,108 @@
+"""Tests for class hierarchy slicing."""
+
+from hypothesis import given, settings
+
+from repro.core.lookup import build_lookup_table
+from repro.slicing.slicer import SliceCriterion, slice_hierarchy
+from repro.workloads.generators import chain
+from repro.workloads.paper_figures import figure3, iostream_like
+
+from tests.support import assert_same_outcome, hierarchies
+
+
+class TestBasics:
+    def test_irrelevant_classes_dropped(self):
+        # E declares only bar; slicing for (H, foo) must drop it.
+        result = slice_hierarchy(figure3(), [("H", "foo")])
+        assert "E" not in result.kept_classes
+        assert "G" in result.kept_classes
+
+    def test_queried_class_always_kept(self):
+        result = slice_hierarchy(figure3(), [("H", "zz")])
+        assert result.kept_classes == {"H"}
+
+    def test_unrelated_members_dropped(self):
+        result = slice_hierarchy(figure3(), [("H", "foo")])
+        sliced = result.hierarchy
+        # G declares both foo and bar; only foo is relevant.
+        assert sliced.declares("G", "foo")
+        assert not sliced.declares("G", "bar")
+
+    def test_chain_slice_stops_at_nearest_declarer(self):
+        g = chain(10, member_every=5)  # C0 and C5 declare m
+        result = slice_hierarchy(g, [("C7", "m")])
+        assert result.kept_classes == {"C0", "C1", "C2", "C3", "C4",
+                                       "C5", "C6", "C7"}
+
+    def test_reduction_metric(self):
+        g = figure3()
+        result = slice_hierarchy(g, [("H", "foo")])
+        assert 0 < result.reduction(g) < 1
+
+    def test_criteria_normalised_from_tuples(self):
+        result = slice_hierarchy(figure3(), [("H", "foo")])
+        assert result.criteria == (SliceCriterion("H", "foo"),)
+
+    def test_multiple_criteria_union(self):
+        result = slice_hierarchy(
+            figure3(), [("H", "foo"), ("F", "bar")]
+        )
+        assert "E" in result.kept_classes  # E::bar is relevant for F
+        assert result.hierarchy.declares("E", "bar")
+
+    def test_virtual_edges_preserved(self):
+        result = slice_hierarchy(figure3(), [("H", "foo")])
+        assert result.hierarchy.edge("D", "G").virtual
+
+
+class TestPreservation:
+    def test_figure3_results_preserved(self):
+        g = figure3()
+        criteria = [("H", "foo"), ("H", "bar"), ("F", "bar")]
+        result = slice_hierarchy(g, criteria)
+        original = build_lookup_table(g)
+        sliced = build_lookup_table(result.hierarchy)
+        for class_name, member in criteria:
+            assert_same_outcome(
+                sliced.lookup(class_name, member),
+                original.lookup(class_name, member),
+            )
+
+    def test_iostream_slice(self):
+        g = iostream_like()
+        result = slice_hierarchy(g, [("fstream", "rdstate")])
+        sliced = build_lookup_table(result.hierarchy)
+        assert sliced.lookup("fstream", "rdstate").declaring_class == "ios"
+
+    @given(hierarchies(max_classes=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_every_criterion_preserved(self, graph):
+        """Soundness: for random hierarchies and every possible single
+        criterion, the slice answers the criterion exactly as the full
+        hierarchy does."""
+        original = build_lookup_table(graph)
+        for class_name in graph.classes:
+            for member in graph.member_names():
+                result = slice_hierarchy(graph, [(class_name, member)])
+                sliced = build_lookup_table(result.hierarchy)
+                assert_same_outcome(
+                    sliced.lookup(class_name, member),
+                    original.lookup(class_name, member),
+                )
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=25, deadline=None)
+    def test_property_slice_is_subgraph(self, graph):
+        criteria = [
+            (class_name, member)
+            for class_name in graph.classes
+            for member in graph.member_names()
+        ][:6]
+        if not criteria:
+            return
+        result = slice_hierarchy(graph, criteria)
+        for name in result.hierarchy.classes:
+            assert name in graph
+        for edge in result.hierarchy.edges:
+            original = graph.edge(edge.base, edge.derived)
+            assert original.virtual == edge.virtual

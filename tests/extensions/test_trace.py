@@ -1,0 +1,126 @@
+"""Golden tests: the trace renderer regenerates Figures 4-7."""
+
+import pytest
+
+from repro.diagnostics.trace import (
+    render_abstract_trace,
+    render_concrete_trace,
+    trace_abstract,
+    trace_concrete,
+)
+from repro.workloads.paper_figures import figure3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure3()
+
+
+class TestFigure4ConcreteFoo:
+    def test_full_rendering(self, graph):
+        assert render_concrete_trace(graph, "foo") == (
+            "propagation of definitions of foo:\n"
+            "  A: *A::\n"
+            "  E: (none)\n"
+            "  B: *AB::\n"
+            "  C: *AC::\n"
+            "  D: ABD::  ACD::\n"
+            "  F: ABD~F::  ACD~F::\n"
+            "  G: ABD~G::[killed]  ACD~G::[killed]  *G::\n"
+            "  H: ABD~FH::[killed]  ACD~FH::[killed]  *GH::"
+        )
+
+    def test_g_kills_the_inherited_definitions(self, graph):
+        # "G::foo kills ABDG::foo and ACDG::foo in Figure 4."
+        trace = trace_concrete(graph, "foo")["G"]
+        assert sorted(str(p) for p in trace.killed) == ["ABD~G", "ACD~G"]
+        assert str(trace.most_dominant) == "G"
+
+    def test_h_kills_via_dominance(self, graph):
+        # "Since GH dominates ABDFH and ACDFH, definitions ABDFH::foo
+        #  and ACDFH::foo can be killed at node H."
+        trace = trace_concrete(graph, "foo")["H"]
+        assert sorted(str(p) for p in trace.killed) == ["ABD~FH", "ACD~FH"]
+        assert str(trace.most_dominant) == "GH"
+
+    def test_ambiguous_nodes_have_no_winner(self, graph):
+        traces = trace_concrete(graph, "foo")
+        assert traces["D"].most_dominant is None
+        assert traces["F"].most_dominant is None
+
+
+class TestFigure5ConcreteBar:
+    def test_full_rendering(self, graph):
+        assert render_concrete_trace(graph, "bar") == (
+            "propagation of definitions of bar:\n"
+            "  A: (none)\n"
+            "  E: *E::\n"
+            "  B: (none)\n"
+            "  C: (none)\n"
+            "  D: *D::\n"
+            "  F: EF::  D~F::\n"
+            "  G: D~G::[killed]  *G::\n"
+            "  H: EFH::  D~FH::[killed]  GH::"
+        )
+
+    def test_blue_ef_is_propagated_not_killed(self, graph):
+        # Section 4's crucial point: blue EF must be propagated from F
+        # to H, otherwise lookup(H, bar) would wrongly look unambiguous.
+        trace = trace_concrete(graph, "bar")["F"]
+        assert trace.killed == ()
+        h_trace = trace_concrete(graph, "bar")["H"]
+        assert any(str(p) == "EFH" for p in h_trace.reaching)
+        assert h_trace.most_dominant is None
+
+
+class TestFigure6AbstractFoo:
+    def test_full_rendering(self, graph):
+        assert render_abstract_trace(graph, "foo") == (
+            "propagation of abstractions for foo:\n"
+            "  A: => red (A, Ω)\n"
+            "  E: -\n"
+            "  B: red (A, Ω) => red (A, Ω)\n"
+            "  C: red (A, Ω) => red (A, Ω)\n"
+            "  D: red (A, Ω), red (A, Ω) => blue {Ω}\n"
+            "  F: blue {Ω} => blue {D}\n"
+            "  G: => red (G, Ω)\n"
+            "  H: blue {D}, red (G, Ω) => red (G, Ω)"
+        )
+
+    def test_paper_worked_example_at_d_and_f(self, graph):
+        # "the red definitions become blue ... abstracted into the
+        #  singleton {Ω}, which is further transformed into D by
+        #  propagation along D -> F (using the ⋄ operation)."
+        traces = trace_abstract(graph, "foo")
+        assert traces["D"].produced == "blue {Ω}"
+        assert traces["F"].produced == "blue {D}"
+
+
+class TestFigure7AbstractBar:
+    def test_full_rendering(self, graph):
+        assert render_abstract_trace(graph, "bar") == (
+            "propagation of abstractions for bar:\n"
+            "  A: -\n"
+            "  E: => red (E, Ω)\n"
+            "  B: -\n"
+            "  C: -\n"
+            "  D: => red (D, Ω)\n"
+            "  F: red (E, Ω), red (D, Ω) => blue {D, Ω}\n"
+            "  G: => red (G, Ω)\n"
+            "  H: blue {D, Ω}, red (G, Ω) => blue {Ω}"
+        )
+
+    def test_generated_nodes_show_no_arrivals(self, graph):
+        traces = trace_abstract(graph, "bar")
+        assert traces["G"].incoming == ()
+        assert traces["G"].produced == "red (G, Ω)"
+
+
+def test_traces_work_on_other_members_and_graphs():
+    from repro.workloads.paper_figures import figure9
+
+    graph = figure9()
+    text = render_abstract_trace(graph, "m")
+    assert "E:" in text
+    concrete = render_concrete_trace(graph, "m")
+    assert "*" in concrete

@@ -1,0 +1,202 @@
+"""Tests for using-declarations: they participate in lookup as local
+declarations (so the paper's algorithm is untouched) and redirect to the
+underlying entity afterwards."""
+
+import pytest
+
+from repro.core.lookup import build_lookup_table
+from repro.core.static_lookup import StaticAwareLookupTable
+from repro.core.using_decls import (
+    follow_using,
+    lookup_through_using,
+    validate_using_declarations,
+)
+from repro.errors import HierarchyError
+from repro.frontend.sema import analyze, analyze_or_raise
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+
+
+def re_exposing_hierarchy():
+    """Base::work hidden by Hider::work, re-exposed in Derived."""
+    return (
+        HierarchyBuilder()
+        .cls("Base", members=[Member("work", kind=MemberKind.FUNCTION)])
+        .cls(
+            "Hider",
+            bases=["Base"],
+            members=[Member("work", kind=MemberKind.FUNCTION)],
+        )
+        .cls(
+            "Derived",
+            bases=["Hider"],
+            members=[
+                Member(
+                    "work", kind=MemberKind.FUNCTION, using_from="Base"
+                )
+            ],
+        )
+        .build()
+    )
+
+
+class TestLookupSemantics:
+    def test_using_declaration_wins_lookup(self):
+        graph = re_exposing_hierarchy()
+        result = build_lookup_table(graph).lookup("Derived", "work")
+        assert result.is_unique
+        assert result.declaring_class == "Derived"
+
+    def test_underlying_entity_followed(self):
+        graph = re_exposing_hierarchy()
+        result = build_lookup_table(graph).lookup("Derived", "work")
+        underlying = lookup_through_using(graph, result)
+        assert underlying.qualified_name() == "Base::work"
+        assert underlying.via == ("Derived",)
+
+    def test_without_using_the_hider_wins(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Base", members=["work"])
+            .cls("Hider", bases=["Base"], members=["work"])
+            .cls("Derived", bases=["Hider"])
+            .build()
+        )
+        result = build_lookup_table(graph).lookup("Derived", "work")
+        assert result.declaring_class == "Hider"
+
+    def test_using_disambiguates_a_diamond(self):
+        """The classic idiom: a join class re-declares the member via
+        `using`, turning an ambiguous lookup into a unique one."""
+        builder = (
+            HierarchyBuilder()
+            .cls("L", members=["m"])
+            .cls("R", members=["m"])
+            .cls(
+                "Join",
+                bases=["L", "R"],
+                members=[Member("m", using_from="L")],
+            )
+        )
+        graph = builder.build()
+        result = build_lookup_table(graph).lookup("Join", "m")
+        assert result.is_unique
+        assert lookup_through_using(graph, result).declaring_class == "L"
+
+    def test_chained_using_declarations(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("A", members=["m"])
+            .cls("B", bases=["A"], members=[Member("m", using_from="A")])
+            .cls("C", bases=["B"], members=[Member("m", using_from="B")])
+            .build()
+        )
+        underlying = follow_using(graph, "C", "m")
+        assert underlying.declaring_class == "A"
+        assert underlying.via == ("C", "B")
+
+    def test_lookup_through_using_on_plain_result(self):
+        graph = re_exposing_hierarchy()
+        result = build_lookup_table(graph).lookup("Hider", "work")
+        underlying = lookup_through_using(graph, result)
+        assert underlying.declaring_class == "Hider"
+        assert underlying.via == ()
+
+    def test_non_unique_result_gives_none(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("L", members=["m"])
+            .cls("R", members=["m"])
+            .cls("Join", bases=["L", "R"])
+            .build()
+        )
+        result = build_lookup_table(graph).lookup("Join", "m")
+        assert lookup_through_using(graph, result) is None
+
+    def test_static_rule_inherits_through_using(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B", members=[Member("s", is_static=True)])
+            .cls("X", bases=["B"], members=[Member("s", is_static=True,
+                                                   using_from="B")])
+            .build()
+        )
+        assert StaticAwareLookupTable(graph).lookup("X", "s").is_unique
+
+
+class TestValidation:
+    def test_valid_hierarchy_reports_nothing(self):
+        assert validate_using_declarations(re_exposing_hierarchy()) == []
+
+    def test_target_not_a_base(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("Elsewhere", members=["m"])
+            .cls("X", members=[Member("m", using_from="Elsewhere")])
+            .build()
+        )
+        problems = validate_using_declarations(graph)
+        assert problems and "not a base" in problems[0]
+
+    def test_target_lacks_member(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("B")
+            .cls("X", bases=["B"], members=[Member("m", using_from="B")])
+            .build()
+        )
+        problems = validate_using_declarations(graph)
+        assert problems and "declares no member" in problems[0]
+
+    def test_follow_using_rejects_bogus_target(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("X", members=[Member("m", using_from="Ghost")])
+            .build()
+        )
+        with pytest.raises(HierarchyError):
+            follow_using(graph, "X", "m")
+
+
+class TestFrontend:
+    SOURCE = """
+    class Base { public: void work(); };
+    class Hider : Base { public: void work(); };
+    class Derived : Hider { public: using Base::work; };
+    """
+
+    def test_parsed_and_resolved(self):
+        program = analyze_or_raise(self.SOURCE)
+        member = program.hierarchy.member("Derived", "work")
+        assert member.using_from == "Base"
+        assert member.kind is MemberKind.FUNCTION  # refined by sema
+
+    def test_staticness_refined_from_target(self):
+        program = analyze_or_raise(
+            "class B { public: static int s; };\n"
+            "class D : B { public: using B::s; };\n"
+        )
+        assert program.hierarchy.member("D", "s").is_static
+
+    def test_unknown_target_diagnosed(self):
+        program = analyze("class D { using Ghost::m; };")
+        assert any("unknown class" in str(d) for d in program.errors())
+
+    def test_non_base_target_diagnosed(self):
+        program = analyze(
+            "class A { public: int m; }; class D { using A::m; };"
+        )
+        assert any("not a base class" in str(d) for d in program.errors())
+
+    def test_missing_member_diagnosed(self):
+        program = analyze("class A {}; class D : A { using A::m; };")
+        assert any("declares no member" in str(d) for d in program.errors())
+
+    def test_emitter_round_trips_using(self):
+        from repro.workloads.emit_cpp import emit_cpp
+
+        graph = re_exposing_hierarchy()
+        text = emit_cpp(graph)
+        assert "using Base::work;" in text
+        reparsed = analyze_or_raise(text).hierarchy
+        assert reparsed.member("Derived", "work").using_from == "Base"

@@ -1,0 +1,155 @@
+"""Tests for vtable construction with final overriders."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.equivalence import SubobjectKey
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.members import Member, MemberKind
+from repro.layout.vtable import build_vtables
+from repro.workloads.paper_figures import figure2, figure9, iostream_like
+
+from tests.support import hierarchies
+
+
+def fn(name):
+    return Member(name, kind=MemberKind.FUNCTION)
+
+
+class TestVirtualDiamond:
+    """Figure 2: D::m is the final overrider everywhere in an E object."""
+
+    @pytest.fixture(scope="class")
+    def vtables(self):
+        return build_vtables(figure2(), "E")
+
+    def test_every_vtable_dispatches_to_d(self, vtables):
+        for vtable in vtables.vtables:
+            slot = vtable.slot("m")
+            assert not slot.ambiguous
+            assert slot.overrider_class == "D"
+
+    def test_shared_a_subobject_has_a_vtable(self, vtables):
+        shared_a = SubobjectKey(("A", "B"), "E")
+        vtable = vtables.for_subobject(shared_a)
+        assert vtable.slot("m").overrider_class == "D"
+
+    def test_adjustment_points_to_the_overrider_region(self, vtables):
+        layout = vtables.layout
+        for vtable in vtables.vtables:
+            slot = vtable.slot("m")
+            assert (
+                layout.offset_of(vtable.subobject) + slot.this_adjustment
+                == layout.offset_of(slot.overrider_subobject)
+            )
+
+
+class TestFigure9:
+    def test_final_overrider_is_c_everywhere(self):
+        # Figure 9's members are data in the paper; rebuild with
+        # functions to exercise dispatch.
+        graph = (
+            HierarchyBuilder()
+            .cls("S", members=[fn("m")])
+            .cls("A", virtual_bases=["S"], members=[fn("m")])
+            .cls("B", virtual_bases=["S"], members=[fn("m")])
+            .cls("C", virtual_bases=["A", "B"], members=[fn("m")])
+            .cls("D", bases=["C"])
+            .cls("E", virtual_bases=["A", "B"], bases=["D"])
+            .build()
+        )
+        vtables = build_vtables(graph, "E")
+        for vtable in vtables.vtables:
+            assert vtable.slot("m").overrider_class == "C"
+
+
+class TestAmbiguousOverrider:
+    def test_flagged_not_fatal(self):
+        graph = (
+            HierarchyBuilder()
+            .cls("L", members=[fn("m")])
+            .cls("R", members=[fn("m")])
+            .cls("Join", bases=["L", "R"])
+            .build()
+        )
+        vtables = build_vtables(graph, "Join")
+        l_vtable = vtables.for_subobject(SubobjectKey(("L", "Join"), "Join"))
+        slot = l_vtable.slot("m")
+        assert slot.ambiguous
+        assert slot.overrider_class is None
+        assert "<ambiguous" in str(slot)
+
+
+class TestIostream:
+    def test_vtable_census(self):
+        vtables = build_vtables(iostream_like(), "fstream")
+        # Every subobject's class sees at least one function member.
+        assert len(vtables.vtables) == 6
+
+    def test_ios_vtable_dispatches_locally(self):
+        vtables = build_vtables(iostream_like(), "fstream")
+        ios_key = SubobjectKey(("ios_base", "ios"), "fstream")
+        vtable = vtables.for_subobject(ios_key)
+        assert vtable.slot("flags").overrider_class == "ios_base"
+
+    def test_render(self):
+        text = build_vtables(iostream_like(), "iostream").render()
+        assert "vtable for" in text
+        assert "rdstate" in text
+
+    def test_missing_slot_and_vtable_raise(self):
+        vtables = build_vtables(iostream_like(), "iostream")
+        with pytest.raises(KeyError):
+            vtables.vtables[0].slot("nope")
+        with pytest.raises(KeyError):
+            vtables.for_subobject(SubobjectKey(("zz",), "iostream"))
+
+
+class TestProperties:
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_adjustment_arithmetic(self, graph):
+        """Offsets and adjustments are consistent for every slot of
+        every vtable of every complete type."""
+        # Tag every declared member as a function so slots exist.
+        from repro.hierarchy.graph import ClassHierarchyGraph
+
+        tagged = ClassHierarchyGraph()
+        for name in graph.classes:
+            tagged.add_class(
+                name,
+                [
+                    Member(m.name, kind=MemberKind.FUNCTION)
+                    for m in graph.declared_members(name).values()
+                ],
+            )
+        for edge in graph.edges:
+            tagged.add_edge(edge.base, edge.derived, virtual=edge.virtual)
+
+        for complete in tagged.classes:
+            vtables = build_vtables(tagged, complete)
+            layout = vtables.layout
+            for vtable in vtables.vtables:
+                for slot in vtable.slots:
+                    if slot.ambiguous:
+                        continue
+                    assert (
+                        layout.offset_of(vtable.subobject)
+                        + slot.this_adjustment
+                        == layout.offset_of(slot.overrider_subobject)
+                    )
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_property_slots_match_lookup(self, graph):
+        from repro.core.lookup import build_lookup_table
+
+        table = build_lookup_table(graph)
+        for complete in graph.classes:
+            vtables = build_vtables(graph, complete, table=table)
+            for vtable in vtables.vtables:
+                for slot in vtable.slots:
+                    result = table.lookup(complete, slot.member)
+                    assert slot.ambiguous == result.is_ambiguous
+                    if result.is_unique:
+                        assert slot.overrider_class == result.declaring_class

@@ -1,0 +1,87 @@
+"""Tests for qualified member access (``x.Base::m``) — the source-level
+counterpart of the Rossie-Friedman ``stat`` staging."""
+
+from repro.frontend.sema import analyze
+
+
+SOURCE = """
+class A { public: void m(); };
+class B : A { public: void m(); };
+class C : B {};
+main() {
+  C c;
+  C *p;
+  c.m();
+  c.A::m();
+  p->B::m();
+}
+"""
+
+
+class TestResolution:
+    def test_unqualified_gets_most_derived(self):
+        program = analyze(SOURCE)
+        assert program.resolutions[0].result.declaring_class == "B"
+
+    def test_dot_qualified_resolves_in_named_scope(self):
+        program = analyze(SOURCE)
+        resolved = program.resolutions[1]
+        assert resolved.access.qualifier == "A"
+        assert resolved.result.declaring_class == "A"
+
+    def test_arrow_qualified(self):
+        program = analyze(SOURCE)
+        resolved = program.resolutions[2]
+        assert resolved.access.qualifier == "B"
+        assert resolved.result.declaring_class == "B"
+
+    def test_no_errors_in_valid_program(self):
+        assert not analyze(SOURCE).diagnostics.has_errors()
+
+    def test_qualifier_may_be_the_static_type_itself(self):
+        program = analyze(
+            "class A { public: void m(); };\n"
+            "main() { A a; a.A::m(); }\n"
+        )
+        assert not program.diagnostics.has_errors()
+        assert program.resolutions[0].result.declaring_class == "A"
+
+
+class TestDiagnostics:
+    def test_unknown_qualifier(self):
+        program = analyze(
+            "class A { public: void m(); };\n"
+            "main() { A a; a.Ghost::m(); }\n"
+        )
+        assert any("is not a class" in str(d) for d in program.errors())
+
+    def test_unrelated_qualifier(self):
+        program = analyze(
+            "class A { public: void m(); };\n"
+            "class Other { public: void m(); };\n"
+            "main() { A a; a.Other::m(); }\n"
+        )
+        assert any("is not a base" in str(d) for d in program.errors())
+
+    def test_qualified_bypasses_derived_ambiguity(self):
+        # The unqualified access is ambiguous; qualifying by one base is
+        # the standard C++ fix and must resolve cleanly.
+        program = analyze(
+            "class L { public: void m(); };\n"
+            "class R { public: void m(); };\n"
+            "class J : L, R {};\n"
+            "main() { J j; j.m(); j.L::m(); }\n"
+        )
+        assert len(program.errors()) == 1  # only the unqualified one
+        assert program.resolutions[1].result.declaring_class == "L"
+
+    def test_qualified_lookup_can_itself_be_ambiguous(self):
+        program = analyze(
+            "class A { public: void m(); };\n"
+            "class X : A {};\n"
+            "class Y : A {};\n"
+            "class Mid : X, Y {};\n"
+            "class D : Mid {};\n"
+            "main() { D d; d.Mid::m(); }\n"
+        )
+        assert any("ambiguous" in str(d) for d in program.errors())

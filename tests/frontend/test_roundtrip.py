@@ -1,0 +1,39 @@
+"""Round-trip tests: the C++ source of each paper figure must analyse to
+the same hierarchy as the hand-built one, with the same lookup table."""
+
+import pytest
+
+from repro.core.lookup import build_lookup_table
+from repro.frontend.sema import analyze_or_raise
+from repro.workloads.paper_figures import ALL_FIGURES, FIGURE_SOURCES
+
+from tests.support import all_queries, assert_same_outcome
+
+
+@pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+def test_source_and_builder_agree(figure):
+    built = ALL_FIGURES[figure]()
+    parsed = analyze_or_raise(FIGURE_SOURCES[figure]()).hierarchy
+
+    assert parsed.classes == built.classes
+    assert [
+        (e.base, e.derived, e.virtual) for e in parsed.edges
+    ] == [(e.base, e.derived, e.virtual) for e in built.edges]
+    for class_name in built.classes:
+        assert set(parsed.declared_members(class_name)) == set(
+            built.declared_members(class_name)
+        )
+        assert parsed.is_struct(class_name) == built.is_struct(class_name)
+
+
+@pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+def test_lookup_tables_agree(figure):
+    built_table = build_lookup_table(ALL_FIGURES[figure]())
+    parsed_table = build_lookup_table(
+        analyze_or_raise(FIGURE_SOURCES[figure]()).hierarchy
+    )
+    for class_name, member in all_queries(built_table.graph):
+        assert_same_outcome(
+            parsed_table.lookup(class_name, member),
+            built_table.lookup(class_name, member),
+        )

@@ -1,0 +1,143 @@
+"""Tests for semantic analysis: CHG construction and access resolution."""
+
+import pytest
+
+from repro.frontend.errors import SemanticError, Severity
+from repro.frontend.sema import analyze, analyze_or_raise
+from repro.hierarchy.members import Access
+from repro.workloads.paper_figures import (
+    figure1_source,
+    figure2_source,
+    figure3_source,
+    figure9_source,
+)
+
+
+class TestHierarchyConstruction:
+    def test_classes_and_edges(self):
+        program = analyze(figure2_source())
+        g = program.hierarchy
+        assert g.classes == ("A", "B", "C", "D", "E")
+        assert g.edge("B", "C").virtual
+        assert not g.edge("A", "B").virtual
+
+    def test_members_carried_over(self):
+        program = analyze("class A { public: static int s; void f(); };")
+        g = program.hierarchy
+        assert g.member("A", "s").is_static
+        assert g.member("A", "s").access is Access.PUBLIC
+
+    def test_undeclared_base_diagnosed(self):
+        program = analyze("class B : A {};")
+        assert program.diagnostics.has_errors()
+        assert "not a previously defined" in str(program.errors()[0])
+
+    def test_redefinition_diagnosed(self):
+        program = analyze("class A {}; class A {};")
+        assert any(
+            "redefinition" in str(d) for d in program.errors()
+        )
+
+    def test_duplicate_member_diagnosed(self):
+        program = analyze("class A { int m; char m; };")
+        assert program.diagnostics.has_errors()
+
+    def test_duplicate_base_diagnosed(self):
+        program = analyze("class A {}; class B : A, A {};")
+        assert program.diagnostics.has_errors()
+
+    def test_nested_class_qualified_name(self):
+        program = analyze("class A { class Inner {}; };")
+        assert "A::Inner" in program.hierarchy
+
+
+class TestResolution:
+    def test_figure9_access_resolves(self):
+        source = figure9_source() + "main() { E e; e.m = 10; }"
+        program = analyze(source)
+        assert not program.diagnostics.has_errors()
+        resolved = program.resolutions[0]
+        assert resolved.ok
+        assert resolved.result.declaring_class == "C"
+
+    def test_figure1_access_ambiguous(self):
+        source = figure1_source() + "main() { E *p; p->m(); }"
+        program = analyze(source)
+        assert program.diagnostics.has_errors()
+        assert "ambiguous" in str(program.errors()[0])
+
+    def test_figure2_access_resolves(self):
+        source = figure2_source() + "main() { E *p; p->m(); }"
+        program = analyze(source)
+        assert not program.diagnostics.has_errors()
+        assert program.resolutions[0].result.declaring_class == "D"
+
+    def test_scope_access(self):
+        source = figure3_source() + "main() { H::foo; }"
+        program = analyze(source)
+        assert program.resolutions[0].result.declaring_class == "G"
+
+    def test_missing_member_diagnosed(self):
+        program = analyze("class A {}; main() { A a; a.nope; }")
+        assert any("no member" in str(d) for d in program.errors())
+
+    def test_undeclared_variable_diagnosed(self):
+        program = analyze("main() { ghost.m; }")
+        assert any("undeclared variable" in str(d) for d in program.errors())
+
+    def test_non_class_scope_diagnosed(self):
+        program = analyze("main() { Nope::m; }")
+        assert any("is not a class" in str(d) for d in program.errors())
+
+    def test_dot_on_pointer_warns(self):
+        source = "class A { public: int m; }; main() { A *p; p.m; }"
+        program = analyze(source)
+        warnings = [
+            d
+            for d in program.diagnostics
+            if d.severity is Severity.WARNING
+        ]
+        assert warnings and "->" in warnings[0].message
+
+    def test_file_scope_variable_usable(self):
+        source = "class A { public: int m; }; A a; main() { a.m; }"
+        program = analyze(source)
+        assert not program.diagnostics.has_errors()
+
+    def test_static_member_rule_applied(self):
+        # The non-virtual diamond on a static member resolves (Def. 17).
+        source = """
+        struct B { static int s; };
+        struct X : B {};
+        struct Y : B {};
+        struct Z : X, Y {};
+        main() { Z z; z.s = 1; }
+        """
+        program = analyze(source)
+        assert not program.diagnostics.has_errors()
+        assert program.resolutions[0].result.declaring_class == "B"
+
+
+class TestAnalyzeOrRaise:
+    def test_raises_on_errors(self):
+        with pytest.raises(SemanticError):
+            analyze_or_raise("class B : Missing {};")
+
+    def test_passes_clean_program(self):
+        program = analyze_or_raise(figure9_source())
+        assert program.hierarchy.classes == ("S", "A", "B", "C", "D", "E")
+
+    def test_error_rendering_with_caret(self):
+        program = analyze("class B : Missing {};")
+        rendered = program.errors()[0].render(program.source)
+        assert "^" in rendered
+
+
+class TestLookupTableCaching:
+    def test_table_is_cached(self):
+        program = analyze(figure3_source())
+        assert program.lookup_table is program.lookup_table
+
+    def test_resolve_delegates_to_table(self):
+        program = analyze(figure3_source())
+        assert program.resolve("H", "bar").is_ambiguous

@@ -1,0 +1,88 @@
+"""Tests for the fluent hierarchy builder and the spec-dict constructor."""
+
+import pytest
+
+from repro.errors import UnknownClassError
+from repro.hierarchy.builder import HierarchyBuilder, hierarchy_from_spec
+from repro.hierarchy.members import Access, Member
+
+
+def test_basic_fluent_build():
+    g = (
+        HierarchyBuilder()
+        .cls("A", members=["m"])
+        .cls("B", bases=["A"])
+        .build()
+    )
+    assert g.classes == ("A", "B")
+    assert g.direct_base_names("B") == ("A",)
+
+
+def test_virtual_bases_marked():
+    g = HierarchyBuilder().cls("B").cls("C", virtual_bases=["B"]).build()
+    assert g.edge("B", "C").virtual
+
+
+def test_mixed_bases_declaration_order():
+    g = (
+        HierarchyBuilder()
+        .cls("A")
+        .cls("B")
+        .cls("C", bases=["A"], virtual_bases=["B"])
+        .build()
+    )
+    assert g.direct_base_names("C") == ("A", "B")
+
+
+def test_undeclared_base_rejected():
+    with pytest.raises(UnknownClassError):
+        HierarchyBuilder().cls("B", bases=["A"])
+
+
+def test_member_objects_pass_through():
+    member = Member("s", is_static=True, access=Access.PRIVATE)
+    g = HierarchyBuilder().cls("A", members=[member]).build()
+    assert g.member("A", "s") == member
+
+
+def test_member_method_appends():
+    g = HierarchyBuilder().cls("A").member("A", "late").build()
+    assert g.declares("A", "late")
+
+
+def test_edge_method():
+    g = (
+        HierarchyBuilder()
+        .cls("A")
+        .cls("B")
+        .edge("A", "B", virtual=True)
+        .build()
+    )
+    assert g.edge("A", "B").virtual
+
+
+def test_base_access_recorded():
+    g = (
+        HierarchyBuilder()
+        .cls("A")
+        .cls("B", bases=["A"], base_access=Access.PRIVATE)
+        .build()
+    )
+    assert g.edge("A", "B").access is Access.PRIVATE
+
+
+def test_spec_dict_roundtrip():
+    g = hierarchy_from_spec(
+        {
+            "A": {"members": ["m"]},
+            "B": {"bases": ["A"]},
+            "C": {"virtual_bases": ["B"], "members": ["n"]},
+        }
+    )
+    assert g.classes == ("A", "B", "C")
+    assert g.edge("B", "C").virtual
+    assert g.declares("C", "n")
+
+
+def test_spec_dict_empty():
+    assert len(hierarchy_from_spec({})) == 0

@@ -1,0 +1,64 @@
+"""Tests for members, member kinds and access specifiers."""
+
+import pytest
+
+from repro.hierarchy.members import Access, Member, MemberKind, as_member
+
+
+class TestMember:
+    def test_defaults(self):
+        m = Member("x")
+        assert m.kind is MemberKind.DATA
+        assert not m.is_static
+        assert m.access is Access.PUBLIC
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Member("")
+
+    def test_str_marks_static(self):
+        assert str(Member("x", is_static=True)) == "static x"
+        assert str(Member("x")) == "x"
+
+    def test_hashable_and_equal(self):
+        assert Member("x") == Member("x")
+        assert len({Member("x"), Member("x")}) == 1
+
+
+class TestBehavesAsStatic:
+    def test_plain_data_is_not_static(self):
+        assert not Member("x").behaves_as_static
+
+    def test_static_member(self):
+        assert Member("x", is_static=True).behaves_as_static
+
+    def test_nested_type_behaves_as_static(self):
+        assert Member("T", kind=MemberKind.TYPE).behaves_as_static
+
+    def test_enumerator_behaves_as_static(self):
+        assert Member("E", kind=MemberKind.ENUMERATOR).behaves_as_static
+
+    def test_function_is_not_static_by_default(self):
+        assert not Member("f", kind=MemberKind.FUNCTION).behaves_as_static
+
+
+class TestAccess:
+    def test_rank_order(self):
+        assert Access.PUBLIC.rank < Access.PROTECTED.rank < Access.PRIVATE.rank
+
+    def test_most_restrictive(self):
+        assert Access.PUBLIC.most_restrictive(Access.PRIVATE) is Access.PRIVATE
+        assert Access.PROTECTED.most_restrictive(Access.PUBLIC) is Access.PROTECTED
+        assert Access.PUBLIC.most_restrictive(Access.PUBLIC) is Access.PUBLIC
+
+    def test_str(self):
+        assert str(Access.PROTECTED) == "protected"
+
+
+class TestAsMember:
+    def test_string_coerced(self):
+        assert as_member("x") == Member("x")
+
+    def test_member_passes_through(self):
+        m = Member("x", is_static=True)
+        assert as_member(m) is m

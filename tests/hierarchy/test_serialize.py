@@ -1,0 +1,104 @@
+"""Tests for JSON (de)serialisation of hierarchies."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hierarchy.serialize import (
+    SerializationError,
+    dumps,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    loads,
+)
+from repro.workloads.paper_figures import ALL_FIGURES, figure3, figure9
+
+from tests.support import hierarchies
+
+
+def assert_graphs_equal(a, b):
+    assert a.classes == b.classes
+    assert [(e.base, e.derived, e.virtual, e.access) for e in a.edges] == [
+        (e.base, e.derived, e.virtual, e.access) for e in b.edges
+    ]
+    for name in a.classes:
+        assert a.declared_members(name) == b.declared_members(name)
+        assert a.is_struct(name) == b.is_struct(name)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+    def test_paper_figures(self, figure):
+        graph = ALL_FIGURES[figure]()
+        assert_graphs_equal(loads(dumps(graph)), graph)
+
+    @given(hierarchies(max_classes=10, static_probability=0.3))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip_exact(self, graph):
+        assert_graphs_equal(loads(dumps(graph)), graph)
+
+    def test_dict_round_trip(self):
+        graph = figure9()
+        assert_graphs_equal(hierarchy_from_dict(hierarchy_to_dict(graph)), graph)
+
+    def test_dumps_is_valid_json(self):
+        data = json.loads(dumps(figure3()))
+        assert data["format"] == "repro-chg"
+        assert data["version"] == 1
+        assert len(data["classes"]) == 8
+
+
+class TestFormatDetails:
+    def test_member_attributes_serialised(self):
+        data = hierarchy_to_dict(figure9())
+        s_entry = data["classes"][0]
+        assert s_entry["name"] == "S"
+        assert s_entry["struct"] is True
+        assert s_entry["members"][0]["name"] == "m"
+
+    def test_edge_virtuality_serialised(self):
+        data = hierarchy_to_dict(figure9())
+        e_entry = next(c for c in data["classes"] if c["name"] == "E")
+        assert [(b["name"], b["virtual"]) for b in e_entry["bases"]] == [
+            ("A", True),
+            ("B", True),
+            ("D", False),
+        ]
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(SerializationError):
+            loads(json.dumps({"format": "other", "version": 1}))
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError):
+            loads(json.dumps({"format": "repro-chg", "version": 99}))
+
+    def test_missing_fields(self):
+        doc = {"format": "repro-chg", "version": 1, "classes": [{}]}
+        with pytest.raises(SerializationError):
+            hierarchy_from_dict(doc)
+
+    def test_bad_access_value(self):
+        doc = {
+            "format": "repro-chg",
+            "version": 1,
+            "classes": [
+                {
+                    "name": "A",
+                    "members": [{"name": "m", "access": "sideways"}],
+                }
+            ],
+        }
+        with pytest.raises(SerializationError):
+            hierarchy_from_dict(doc)
+
+    def test_non_dict_document(self):
+        with pytest.raises(SerializationError):
+            hierarchy_from_dict([])

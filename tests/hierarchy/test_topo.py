@@ -1,0 +1,71 @@
+"""Tests for topological ordering of hierarchies."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import CycleError
+from repro.hierarchy.graph import ClassHierarchyGraph, Inheritance
+from repro.hierarchy.topo import topological_numbers, topological_order
+from repro.workloads.generators import chain, random_hierarchy
+from repro.workloads.paper_figures import figure3, figure9
+
+from tests.support import hierarchies
+
+
+def test_chain_order_is_base_first():
+    assert topological_order(chain(4)) == ("C0", "C1", "C2", "C3")
+
+
+def test_figure3_bases_precede_derived():
+    g = figure3()
+    order = topological_order(g)
+    position = {name: i for i, name in enumerate(order)}
+    for edge in g.edges:
+        assert position[edge.base] < position[edge.derived]
+
+
+def test_figure9_order_valid():
+    g = figure9()
+    position = topological_numbers(g)
+    for edge in g.edges:
+        assert position[edge.base] < position[edge.derived]
+
+
+def test_order_covers_all_classes():
+    g = random_hierarchy(12, seed=7)
+    assert sorted(topological_order(g)) == sorted(g.classes)
+
+
+def test_deterministic_between_runs():
+    a = topological_order(random_hierarchy(10, seed=3))
+    b = topological_order(random_hierarchy(10, seed=3))
+    assert a == b
+
+
+def test_numbers_match_order():
+    g = figure3()
+    order = topological_order(g)
+    numbers = topological_numbers(g)
+    assert [numbers[name] for name in order] == list(range(len(order)))
+
+
+def test_cycle_raises():
+    g = ClassHierarchyGraph()
+    g.add_class("X")
+    g.add_class("Y")
+    g.add_edge("X", "Y")
+    back = Inheritance("Y", "X")
+    g._info("X").bases.append(back)
+    g._info("Y").derived.append(back)
+    with pytest.raises(CycleError):
+        topological_order(g)
+
+
+def test_empty_graph():
+    assert topological_order(ClassHierarchyGraph()) == ()
+
+
+@given(hierarchies(max_classes=12))
+def test_property_every_edge_respects_order(graph):
+    position = topological_numbers(graph)
+    assert all(position[e.base] < position[e.derived] for e in graph.edges)

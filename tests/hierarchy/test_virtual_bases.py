@@ -1,0 +1,112 @@
+"""Tests for the virtual-bases closure against the paper's definition:
+X is a virtual base of Y iff some path from X to Y starts with a virtual
+edge."""
+
+from hypothesis import given
+
+from repro.core.enumeration import iter_paths_between
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.virtual_bases import is_virtual_base, virtual_bases
+from repro.workloads.paper_figures import figure2, figure3, figure9
+
+from tests.support import hierarchies
+
+
+def test_direct_virtual_edge():
+    g = (
+        HierarchyBuilder()
+        .cls("B")
+        .cls("C", virtual_bases=["B"])
+        .build()
+    )
+    assert virtual_bases(g)["C"] == {"B"}
+
+
+def test_direct_nonvirtual_edge_is_not_virtual_base():
+    g = HierarchyBuilder().cls("B").cls("C", bases=["B"]).build()
+    assert virtual_bases(g)["C"] == frozenset()
+
+
+def test_virtual_first_edge_propagates_down():
+    # B -v-> C ---> D: B is a virtual base of D.
+    g = (
+        HierarchyBuilder()
+        .cls("B")
+        .cls("C", virtual_bases=["B"])
+        .cls("D", bases=["C"])
+        .build()
+    )
+    assert "B" in virtual_bases(g)["D"]
+
+
+def test_later_virtual_edge_does_not_make_source_virtual():
+    # A ---> B -v-> C: A's only path starts non-virtually, so A is NOT a
+    # virtual base of C (but B is).
+    g = (
+        HierarchyBuilder()
+        .cls("A")
+        .cls("B", bases=["A"])
+        .cls("C", virtual_bases=["B"])
+        .build()
+    )
+    vb = virtual_bases(g)
+    assert vb["C"] == {"B"}
+    assert not is_virtual_base(g, "A", "C")
+
+
+def test_any_path_with_virtual_first_edge_suffices():
+    # Two routes from A to D; only one starts virtual — still counts.
+    g = (
+        HierarchyBuilder()
+        .cls("A")
+        .cls("B", bases=["A"])
+        .cls("C", virtual_bases=["A"])
+        .cls("D", bases=["B", "C"])
+        .build()
+    )
+    assert is_virtual_base(g, "A", "D")
+
+
+def test_figure2_virtual_bases():
+    vb = virtual_bases(figure2())
+    assert vb["E"] == {"B"}
+    assert vb["C"] == {"B"}
+    assert vb["A"] == frozenset()
+
+
+def test_figure3_virtual_bases():
+    vb = virtual_bases(figure3())
+    assert vb["F"] == {"D"}
+    assert vb["G"] == {"D"}
+    assert vb["H"] == {"D"}
+    assert vb["D"] == frozenset()
+
+
+def test_figure9_virtual_bases():
+    vb = virtual_bases(figure9())
+    assert vb["C"] == {"A", "B", "S"}
+    assert vb["D"] == {"A", "B", "S"}
+    assert vb["E"] == {"A", "B", "S"}
+    assert vb["A"] == {"S"}
+
+
+def test_class_is_never_its_own_virtual_base():
+    vb = virtual_bases(figure9())
+    assert all(name not in bases for name, bases in vb.items())
+
+
+@given(hierarchies(max_classes=8))
+def test_property_closure_matches_path_definition(graph):
+    """The closure equals the literal definition: enumerate all paths and
+    check the first edge."""
+    vb = virtual_bases(graph)
+    for derived in graph.classes:
+        expected = set()
+        for base in graph.classes:
+            if base == derived:
+                continue
+            for path in iter_paths_between(graph, base, derived):
+                if len(path) > 0 and path.virtuals[0]:
+                    expected.add(base)
+                    break
+        assert vb[derived] == expected

@@ -1,0 +1,153 @@
+"""Tests for subobject-graph materialisation."""
+
+from hypothesis import given, settings
+
+from repro.core.enumeration import iter_paths_to
+from repro.core.equivalence import subobject_key
+from repro.subobjects.graph import (
+    SubobjectGraph,
+    subobject_count,
+    total_subobject_count,
+)
+from repro.workloads.generators import (
+    nonvirtual_diamond_ladder,
+    virtual_diamond_ladder,
+)
+from repro.workloads.paper_figures import figure1, figure2, figure3
+
+from tests.support import hierarchies
+
+
+class TestFigure1:
+    """Figure 1(c): the subobject graph under non-virtual inheritance."""
+
+    def test_e_has_two_a_and_two_b_subobjects(self):
+        g = SubobjectGraph(figure1(), "E")
+        assert len(g.of_class("A")) == 2
+        assert len(g.of_class("B")) == 2
+
+    def test_total_subobjects_of_e(self):
+        # E, C, D, two Bs, two As.
+        assert len(SubobjectGraph(figure1(), "E")) == 7
+
+    def test_root_is_whole_object(self):
+        g = SubobjectGraph(figure1(), "E")
+        root = g.root()
+        assert root.class_name == "E"
+        assert root.representative.is_trivial
+
+
+class TestFigure2:
+    """Figure 2(c): virtual inheritance collapses the copies."""
+
+    def test_e_has_one_a_and_one_b_subobject(self):
+        g = SubobjectGraph(figure2(), "E")
+        assert len(g.of_class("A")) == 1
+        assert len(g.of_class("B")) == 1
+
+    def test_total_subobjects_of_e(self):
+        # E, C, D, one shared B, one A inside it.
+        assert len(SubobjectGraph(figure2(), "E")) == 5
+
+    def test_shared_subobject_has_two_containers(self):
+        g = SubobjectGraph(figure2(), "E")
+        shared_b = g.of_class("B")[0]
+        assert len(g.containers(shared_b.key)) == 2
+        assert shared_b.is_virtual
+
+
+class TestFigure3:
+    def test_h_subobject_census(self):
+        g = SubobjectGraph(figure3(), "H")
+        by_class = {
+            name: len(g.of_class(name))
+            for name in figure3().classes
+        }
+        # One shared virtual D with one B, one C and two As inside it.
+        assert by_class == {
+            "A": 2,
+            "B": 1,
+            "C": 1,
+            "D": 1,
+            "E": 1,
+            "F": 1,
+            "G": 1,
+            "H": 1,
+        }
+
+    def test_find_by_fixed_nodes(self):
+        g = SubobjectGraph(figure3(), "H")
+        assert g.find("A", "B", "D") is not None
+        assert g.find("G", "H") is not None
+        assert g.find("A", "H") is None
+
+
+class TestExponentialFamily:
+    def test_nonvirtual_ladder_blows_up(self):
+        for k in (1, 2, 3, 4):
+            g = nonvirtual_diamond_ladder(k)
+            apex = f"J{k}"
+            assert len(SubobjectGraph(g, apex).of_class("R")) == 2**k
+
+    def test_virtual_ladder_stays_linear(self):
+        for k in (1, 2, 3, 4):
+            g = virtual_diamond_ladder(k)
+            apex = f"J{k}"
+            graph = SubobjectGraph(g, apex)
+            assert len(graph.of_class("R")) == 1
+            assert len(graph) == len(g.classes)
+
+    def test_counts_helper(self):
+        g = nonvirtual_diamond_ladder(3)
+        # J3 plus its two arms, each containing one J2 subobject tree.
+        assert subobject_count(g, "J3") == 3 + 2 * subobject_count(g, "J2")
+
+    def test_total_count_sums_over_classes(self):
+        g = figure1()
+        assert total_subobject_count(g) == sum(
+            subobject_count(g, c) for c in g.classes
+        )
+
+
+class TestStructure:
+    def test_bfs_order_starts_at_root_and_covers_all(self):
+        g = SubobjectGraph(figure3(), "H")
+        order = list(g.bfs_order())
+        assert order[0] == g.root()
+        assert len(order) == len(g)
+
+    def test_edges_orient_base_to_container(self):
+        g = SubobjectGraph(figure1(), "E")
+        for base, container in g.edges():
+            assert g.hierarchy.has_edge(
+                base.class_name, container.class_name
+            )
+
+    def test_contains_and_get(self):
+        g = SubobjectGraph(figure1(), "E")
+        root = g.root()
+        assert root.key in g
+        assert g.get(root.key) is root
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_subobjects_are_path_classes(self, graph):
+        """The materialised subobjects of C are exactly the ≈-classes of
+        paths into C (the definition of Section 3)."""
+        for complete in graph.classes:
+            expected = {
+                subobject_key(path)
+                for path in iter_paths_to(graph, complete)
+            }
+            materialised = {
+                s.key for s in SubobjectGraph(graph, complete).subobjects()
+            }
+            assert materialised == expected
+
+    @given(hierarchies(max_classes=7))
+    @settings(max_examples=25, deadline=None)
+    def test_property_representative_is_real_path(self, graph):
+        for complete in graph.classes:
+            for subobject in SubobjectGraph(graph, complete).subobjects():
+                subobject.representative.check_in(graph)
+                assert subobject_key(subobject.representative) == subobject.key

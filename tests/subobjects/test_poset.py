@@ -1,0 +1,122 @@
+"""Tests for the subobject poset and the Theorem 1 isomorphism."""
+
+from hypothesis import given, settings
+
+from repro.core.dominance import dominates_paths
+from repro.core.paths import path_in
+from repro.core.equivalence import subobject_key
+from repro.subobjects.graph import SubobjectGraph
+from repro.subobjects.poset import SubobjectPoset, isomorphic_to_path_classes
+from repro.workloads.paper_figures import figure1, figure2, figure3, figure9
+
+from tests.support import hierarchies
+
+
+def poset_for(graph, complete):
+    return SubobjectPoset(SubobjectGraph(graph, complete))
+
+
+class TestDominance:
+    def test_whole_object_dominates_everything(self):
+        g = figure3()
+        poset = poset_for(g, "H")
+        root = poset.subobject_graph.root()
+        for subobject in poset.subobject_graph.subobjects():
+            assert poset.dominates(root.key, subobject.key)
+
+    def test_gh_dominates_shared_d(self):
+        g = figure3()
+        poset = poset_for(g, "H")
+        gh = subobject_key(path_in(g, "G", "H"))
+        d_shared = subobject_key(path_in(g, "D", "G", "H"))
+        assert poset.dominates(gh, d_shared)
+        assert not poset.dominates(d_shared, gh)
+
+    def test_gh_and_efh_incomparable(self):
+        g = figure3()
+        poset = poset_for(g, "H")
+        gh = subobject_key(path_in(g, "G", "H"))
+        efh = subobject_key(path_in(g, "E", "F", "H"))
+        assert not poset.dominates(gh, efh)
+        assert not poset.dominates(efh, gh)
+
+    def test_figure1_d_dominates_only_its_own_a_copy(self):
+        g = figure1()
+        poset = poset_for(g, "E")
+        de = subobject_key(path_in(g, "D", "E"))
+        a_under_d = subobject_key(path_in(g, "A", "B", "D", "E"))
+        a_under_c = subobject_key(path_in(g, "A", "B", "C", "E"))
+        assert poset.dominates(de, a_under_d)
+        assert not poset.dominates(de, a_under_c)
+
+    def test_figure9_c_dominates_virtual_a_and_b(self):
+        g = figure9()
+        poset = poset_for(g, "E")
+        cde = subobject_key(path_in(g, "C", "D", "E"))
+        a_shared = subobject_key(path_in(g, "A", "E"))
+        b_shared = subobject_key(path_in(g, "B", "E"))
+        assert poset.dominates(cde, a_shared)
+        assert poset.dominates(cde, b_shared)
+
+
+class TestPosetLaws:
+    def test_partial_order_on_figures(self):
+        for make in (figure1, figure2, figure3, figure9):
+            g = make()
+            for complete in g.classes:
+                assert poset_for(g, complete).check_partial_order()
+
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_partial_order(self, graph):
+        for complete in graph.classes:
+            assert poset_for(graph, complete).check_partial_order()
+
+
+class TestTheorem1:
+    def test_isomorphism_on_figures(self):
+        for make in (figure1, figure2, figure3, figure9):
+            g = make()
+            for complete in g.classes:
+                assert isomorphic_to_path_classes(SubobjectGraph(g, complete))
+
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_isomorphism(self, graph):
+        for complete in graph.classes:
+            assert isomorphic_to_path_classes(
+                SubobjectGraph(graph, complete)
+            )
+
+    @given(hierarchies(max_classes=6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_reachability_equals_definitional_dominance(self, graph):
+        """Reachability in the materialised graph coincides with the
+        literal Definition 5 on representatives."""
+        for complete in graph.classes:
+            sg = SubobjectGraph(graph, complete)
+            poset = SubobjectPoset(sg)
+            subs = sg.subobjects()
+            for a in subs:
+                for b in subs:
+                    assert poset.dominates(a.key, b.key) == dominates_paths(
+                        graph, a.representative, b.representative
+                    )
+
+
+class TestSelectors:
+    def test_most_dominant_and_maximal(self):
+        g = figure3()
+        poset = poset_for(g, "H")
+        sg = poset.subobject_graph
+        foo_defs = [
+            s for s in sg.subobjects() if g.declares(s.class_name, "foo")
+        ]
+        winner = poset.most_dominant(foo_defs)
+        assert winner is not None and winner.class_name == "G"
+        bar_defs = [
+            s for s in sg.subobjects() if g.declares(s.class_name, "bar")
+        ]
+        assert poset.most_dominant(bar_defs) is None
+        maximal = poset.maximal(bar_defs)
+        assert sorted(s.class_name for s in maximal) == ["E", "G"]

@@ -1,0 +1,65 @@
+"""Tests for the reference (executable-definition) lookup."""
+
+from repro.subobjects.reference import ReferenceLookup, defns, reference_lookup
+from repro.subobjects.graph import SubobjectGraph
+from repro.workloads.paper_figures import figure1, figure2, figure3, figure9
+
+
+class TestDefns:
+    def test_figure3_defns_h_foo(self):
+        """The paper's worked example:
+        Defns(H, foo) = {{ABDFH, ABDGH}, {ACDFH, ACDGH}, {GH}}."""
+        sg = SubobjectGraph(figure3(), "H")
+        keys = sorted(str(s.key) for s in defns(sg, "foo"))
+        assert keys == ["[ABD...H]", "[ACD...H]", "[GH]"]
+
+    def test_figure3_defns_h_bar(self):
+        """Defns(H, bar) = {{EFH}, {DFH, DGH}, {GH}}."""
+        sg = SubobjectGraph(figure3(), "H")
+        keys = sorted(str(s.key) for s in defns(sg, "bar"))
+        assert keys == ["[D...H]", "[EFH]", "[GH]"]
+
+    def test_no_definitions(self):
+        sg = SubobjectGraph(figure1(), "E")
+        assert defns(sg, "absent") == ()
+
+
+class TestLookup:
+    def test_figure1_ambiguous(self):
+        assert reference_lookup(figure1(), "E", "m").is_ambiguous
+
+    def test_figure2_resolves(self):
+        result = reference_lookup(figure2(), "E", "m")
+        assert result.is_unique and result.declaring_class == "D"
+
+    def test_figure3_h(self):
+        ref = ReferenceLookup(figure3())
+        assert ref.lookup("H", "foo").declaring_class == "G"
+        assert ref.lookup("H", "bar").is_ambiguous
+
+    def test_figure9_resolves_to_c(self):
+        result = reference_lookup(figure9(), "E", "m")
+        assert result.is_unique and result.declaring_class == "C"
+
+    def test_not_found(self):
+        assert reference_lookup(figure1(), "E", "zz").is_not_found
+
+    def test_ambiguity_candidates_are_maximal_ldcs(self):
+        result = ReferenceLookup(figure3()).lookup("H", "bar")
+        # D::bar is dominated by G::bar, so only E and G remain maximal.
+        assert result.candidates == ("E", "G")
+
+    def test_poset_is_cached_per_type(self):
+        ref = ReferenceLookup(figure3())
+        assert ref.poset("H") is ref.poset("H")
+
+
+class TestLookupStatic:
+    def test_falls_back_to_plain_when_no_statics(self):
+        ref = ReferenceLookup(figure3())
+        plain = ref.lookup("H", "bar")
+        static = ref.lookup_static("H", "bar")
+        assert plain.status == static.status
+
+    def test_not_found(self):
+        assert ReferenceLookup(figure1()).lookup_static("E", "zz").is_not_found

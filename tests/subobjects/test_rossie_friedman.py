@@ -1,0 +1,89 @@
+"""Tests for the Rossie-Friedman dyn/stat staging equations."""
+
+from hypothesis import given, settings
+
+from repro.subobjects.graph import SubobjectGraph
+from repro.subobjects.reference import ReferenceLookup
+from repro.subobjects.rossie_friedman import RossieFriedmanLookup
+from repro.workloads.paper_figures import figure2, figure3, iostream_like
+
+from tests.support import hierarchies
+
+
+class TestDyn:
+    def test_dyn_resolves_in_complete_object(self):
+        g = figure2()
+        rf = RossieFriedmanLookup(g)
+        sg = SubobjectGraph(g, "E")
+        # From the shared B subobject of an E object, a virtual call to m
+        # dispatches on the complete type E and lands in D::m.
+        shared_b = sg.of_class("B")[0]
+        target = rf.dyn("m", shared_b)
+        assert target is not None
+        assert target.class_name == "D"
+
+    def test_dyn_undefined_on_ambiguity(self):
+        g = figure3()
+        rf = RossieFriedmanLookup(g)
+        sg = SubobjectGraph(g, "H")
+        assert rf.dyn("bar", sg.root()) is None
+
+    def test_dyn_equals_lookup_of_mdc(self):
+        g = iostream_like()
+        rf = RossieFriedmanLookup(g)
+        ref = ReferenceLookup(g)
+        sg = SubobjectGraph(g, "fstream")
+        for subobject in sg.subobjects():
+            result = ref.lookup(subobject.complete_type, "rdstate")
+            target = rf.dyn("rdstate", subobject)
+            if result.is_unique:
+                assert target is not None
+                assert target.class_name == result.declaring_class
+
+
+class TestStat:
+    def test_stat_resolves_in_subobject_class(self):
+        g = figure3()
+        rf = RossieFriedmanLookup(g)
+        sg = SubobjectGraph(g, "H")
+        # A non-virtual call to bar through the G subobject of an H
+        # object resolves in G's scope: G::bar, re-embedded in H.
+        g_sub = sg.of_class("G")[0]
+        target = rf.stat("bar", g_sub)
+        assert target is not None
+        assert target.class_name == "G"
+        assert target.complete_type == "H"
+
+    def test_stat_undefined_when_class_lookup_ambiguous(self):
+        g = figure3()
+        rf = RossieFriedmanLookup(g)
+        sg = SubobjectGraph(g, "H")
+        f_sub = sg.of_class("F")[0]
+        assert rf.stat("bar", f_sub) is None  # lookup(F, bar) = ⊥
+
+    def test_stat_embeds_into_same_complete_object(self):
+        g = iostream_like()
+        rf = RossieFriedmanLookup(g)
+        sg = SubobjectGraph(g, "fstream")
+        istream_sub = sg.of_class("istream")[0]
+        target = rf.stat("rdstate", istream_sub)
+        assert target is not None
+        assert target.class_name == "ios"
+        assert target.complete_type == "fstream"
+
+
+@given(hierarchies(max_classes=6))
+@settings(max_examples=25, deadline=None)
+def test_property_dyn_stat_agree_on_whole_object(graph):
+    """On the whole-object subobject, dyn and stat coincide (mdc == ldc
+    and composition with the trivial path is the identity)."""
+    rf = RossieFriedmanLookup(graph)
+    for complete in graph.classes:
+        sg = SubobjectGraph(graph, complete)
+        root = sg.root()
+        for member in graph.member_names():
+            dyn_target = rf.dyn(member, root)
+            stat_target = rf.stat(member, root)
+            assert (dyn_target is None) == (stat_target is None)
+            if dyn_target is not None:
+                assert dyn_target.key == stat_target.key

@@ -1,0 +1,66 @@
+"""Shared test helpers: hypothesis strategies over class hierarchies and
+result-comparison assertions used across the suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.equivalence import subobject_key
+from repro.core.results import LookupResult
+from repro.workloads.generators import random_hierarchy
+
+MEMBER_NAMES = ("m", "f", "g")
+
+
+@st.composite
+def hierarchies(
+    draw,
+    *,
+    min_classes: int = 1,
+    max_classes: int = 8,
+    static_probability: float = 0.0,
+):
+    """Random seeded hierarchies, kept small enough that the exponential
+    reference semantics stays tractable."""
+    n = draw(st.integers(min_classes, max_classes))
+    seed = draw(st.integers(0, 2**20))
+    virtual_probability = draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    member_probability = draw(st.sampled_from([0.2, 0.5, 0.9]))
+    return random_hierarchy(
+        n,
+        seed=seed,
+        virtual_probability=virtual_probability,
+        member_names=MEMBER_NAMES,
+        member_probability=member_probability,
+        static_probability=static_probability,
+    )
+
+
+def assert_same_outcome(
+    left: LookupResult, right: LookupResult, *, compare_subobject: bool = True
+) -> None:
+    """Two engines must agree on status, and for unique results on the
+    declaring class and (when both carry witnesses) on the *subobject*
+    the lookup resolved to — witnesses may be different representative
+    paths of the same ≈-class."""
+    context = f"{left.class_name}::{left.member}: {left} vs {right}"
+    assert left.status == right.status, context
+    if left.is_unique:
+        assert left.declaring_class == right.declaring_class, context
+        if (
+            compare_subobject
+            and left.witness is not None
+            and right.witness is not None
+        ):
+            assert subobject_key(left.witness) == subobject_key(
+                right.witness
+            ), context
+
+
+def all_queries(graph):
+    """Every (class, member-name) pair of a hierarchy — the full lookup
+    table domain."""
+    members = graph.member_names()
+    for class_name in graph.classes:
+        for member in members:
+            yield class_name, member

@@ -1,0 +1,72 @@
+"""Meta-tests over the public API surface."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.access",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.diagnostics",
+    "repro.frontend",
+    "repro.hierarchy",
+    "repro.layout",
+    "repro.overloads",
+    "repro.runtime",
+    "repro.scopes",
+    "repro.slicing",
+    "repro.subobjects",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} exports nothing"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    exported = list(getattr(module, "__all__", []))
+    assert len(exported) == len(set(exported)), f"{package} duplicates"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_every_public_symbol_documented(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} lacks a module docstring"
+    for name in getattr(module, "__all__", []):
+        symbol = getattr(module, name)
+        if inspect.isclass(symbol) or inspect.isfunction(symbol):
+            assert getattr(symbol, "__doc__", None), (
+                f"{package}.{name} lacks a docstring"
+            )
+
+
+def test_version_attribute():
+    assert repro.__version__
+
+
+def test_top_level_quickstart_names():
+    # The names the README quickstart relies on.
+    for name in (
+        "HierarchyBuilder",
+        "build_lookup_table",
+        "lookup",
+        "reference_lookup",
+        "Member",
+        "Path",
+        "OMEGA",
+    ):
+        assert hasattr(repro, name)

@@ -1,0 +1,97 @@
+"""Round-trip tests: emit C++ from a CHG, re-analyse, compare."""
+
+from hypothesis import given, settings
+
+from repro.core.lookup import build_lookup_table
+from repro.frontend.sema import analyze_or_raise
+from repro.workloads.emit_cpp import emit_cpp, emit_cpp_with_queries
+from repro.workloads.paper_figures import ALL_FIGURES, figure3, figure9
+
+from tests.support import all_queries, assert_same_outcome, hierarchies
+
+
+def assert_same_shape(parsed, original):
+    """Equality up to type_text (the emitter fills in default types)."""
+    assert parsed.classes == original.classes
+    assert [(e.base, e.derived, e.virtual, e.access) for e in parsed.edges] == [
+        (e.base, e.derived, e.virtual, e.access) for e in original.edges
+    ]
+    for name in original.classes:
+        assert parsed.is_struct(name) == original.is_struct(name)
+        left = parsed.declared_members(name)
+        right = original.declared_members(name)
+        assert set(left) == set(right)
+        for member_name, member in right.items():
+            twin = left[member_name]
+            assert twin.kind == member.kind
+            assert twin.is_static == member.is_static
+            assert twin.access == member.access
+
+
+class TestRoundTrip:
+    def test_paper_figures(self):
+        for make in ALL_FIGURES.values():
+            graph = make()
+            parsed = analyze_or_raise(emit_cpp(graph)).hierarchy
+            assert_same_shape(parsed, graph)
+
+    @given(hierarchies(max_classes=10, static_probability=0.4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, graph):
+        parsed = analyze_or_raise(emit_cpp(graph)).hierarchy
+        assert_same_shape(parsed, graph)
+
+    @given(hierarchies(max_classes=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_lookup_table_survives_round_trip(self, graph):
+        parsed = analyze_or_raise(emit_cpp(graph)).hierarchy
+        original_table = build_lookup_table(graph)
+        parsed_table = build_lookup_table(parsed)
+        for class_name, member in all_queries(graph):
+            assert_same_outcome(
+                parsed_table.lookup(class_name, member),
+                original_table.lookup(class_name, member),
+            )
+
+
+class TestEmission:
+    def test_empty_class_one_liner(self):
+        text = emit_cpp(figure9())
+        assert "struct D : public C {};" in text
+
+    def test_access_sections_emitted_once_per_run(self):
+        from repro.hierarchy.builder import HierarchyBuilder
+        from repro.hierarchy.members import Access, Member
+
+        graph = (
+            HierarchyBuilder()
+            .cls(
+                "A",
+                members=[
+                    Member("a", access=Access.PRIVATE),
+                    Member("b", access=Access.PRIVATE),
+                    Member("c", access=Access.PUBLIC),
+                ],
+            )
+            .build()
+        )
+        text = emit_cpp(graph)
+        assert text.count("private:") == 1
+        assert text.count("public:") == 1
+
+    def test_queries_resolve_in_emitted_program(self):
+        from repro.frontend.sema import analyze
+
+        source = emit_cpp_with_queries(
+            figure3(), [("H", "foo"), ("H", "bar")]
+        )
+        program = analyze(source)
+        assert program.resolutions[0].result.declaring_class == "G"
+        assert program.resolutions[1].result.is_ambiguous
+
+    def test_one_variable_per_class(self):
+        source = emit_cpp_with_queries(
+            figure9(), [("E", "m"), ("E", "m"), ("D", "m")]
+        )
+        assert source.count("E v0;") == 1
+        assert source.count("D v1;") == 1

@@ -1,0 +1,147 @@
+"""Structural tests for the workload generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lookup import build_lookup_table
+from repro.subobjects.graph import subobject_count
+from repro.workloads.generators import (
+    ambiguous_fan,
+    binary_tree,
+    chain,
+    deep_ambiguous_ladder,
+    grid,
+    nonvirtual_diamond_ladder,
+    random_hierarchy,
+    virtual_diamond_ladder,
+    wide_unambiguous,
+)
+
+
+class TestChain:
+    def test_shape(self):
+        g = chain(5)
+        assert len(g) == 5
+        assert g.edge_count() == 4
+
+    def test_member_every(self):
+        g = chain(6, member_every=2)
+        assert [c for c in g.classes if g.declares(c, "m")] == [
+            "C0",
+            "C2",
+            "C4",
+        ]
+
+    def test_all_lookups_unambiguous(self):
+        table = build_lookup_table(chain(12, member_every=4))
+        assert table.ambiguous_queries() == ()
+
+    def test_lookup_resolves_to_nearest_declarer(self):
+        table = build_lookup_table(chain(6, member_every=2))
+        assert table.lookup("C5", "m").declaring_class == "C4"
+
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+
+class TestTree:
+    def test_size(self):
+        assert len(binary_tree(4)) == 15
+
+    def test_every_leaf_resolves_to_root(self):
+        g = binary_tree(3)
+        table = build_lookup_table(g)
+        for leaf in g.leaves():
+            assert table.lookup(leaf, "m").declaring_class == "N1"
+
+
+class TestLadders:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_nonvirtual_subobject_blowup(self, k):
+        # S(k) = 3 + 2*S(k-1) with S(0) = 1, i.e. S(k) = 2^(k+2) - 3.
+        g = nonvirtual_diamond_ladder(k)
+        assert subobject_count(g, f"J{k}") == 2 ** (k + 2) - 3
+
+    def test_nonvirtual_ambiguous_above_first_join(self):
+        table = build_lookup_table(nonvirtual_diamond_ladder(3))
+        assert table.lookup("J1", "m").is_ambiguous
+        assert table.lookup("J3", "m").is_ambiguous
+
+    def test_virtual_ladder_unambiguous(self):
+        table = build_lookup_table(virtual_diamond_ladder(3))
+        assert table.lookup("J3", "m").declaring_class == "R"
+
+    def test_class_counts(self):
+        assert len(nonvirtual_diamond_ladder(4)) == 1 + 3 * 4
+        assert len(deep_ambiguous_ladder(4)) == 1 + 3 * 4 + 4
+
+    def test_deep_ladder_propagates_ambiguity(self):
+        table = build_lookup_table(deep_ambiguous_ladder(2))
+        assert table.lookup("T1", "m").is_ambiguous
+
+
+class TestFans:
+    def test_ambiguous_fan(self):
+        table = build_lookup_table(ambiguous_fan(5))
+        result = table.lookup("Join", "m")
+        assert result.is_ambiguous
+        assert len(result.candidates) == 5
+
+    def test_wide_unambiguous(self):
+        table = build_lookup_table(wide_unambiguous(5))
+        result = table.lookup("Join", "m")
+        assert result.is_unique and result.declaring_class == "R"
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            ambiguous_fan(1)
+
+
+class TestGrid:
+    def test_size(self):
+        assert len(grid(3, 4)) == 12
+
+    def test_origin_reaches_corner(self):
+        table = build_lookup_table(grid(3, 3))
+        result = table.lookup("G_2_2", "m")
+        # Many paths but they all name different subobjects of the one
+        # origin class: ambiguous.
+        assert result.is_ambiguous
+
+    def test_first_row_unambiguous(self):
+        # Single-inheritance along the first row.
+        table = build_lookup_table(grid(4, 1))
+        assert table.lookup("G_3_0", "m").declaring_class == "G_0_0"
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = random_hierarchy(10, seed=42)
+        b = random_hierarchy(10, seed=42)
+        assert a.classes == b.classes
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = random_hierarchy(10, seed=1)
+        b = random_hierarchy(10, seed=2)
+        assert a.edges != b.edges
+
+    @given(st.integers(1, 20), st.integers(0, 1000))
+    def test_property_valid_dag(self, n, seed):
+        g = random_hierarchy(n, seed=seed)
+        g.validate()
+        assert len(g) == n
+
+    def test_virtual_probability_extremes(self):
+        all_virtual = random_hierarchy(12, seed=5, virtual_probability=1.0)
+        assert all(e.virtual for e in all_virtual.edges)
+        none_virtual = random_hierarchy(12, seed=5, virtual_probability=0.0)
+        assert not any(e.virtual for e in none_virtual.edges)
+
+    def test_static_probability(self):
+        g = random_hierarchy(
+            30, seed=9, member_probability=1.0, static_probability=1.0
+        )
+        assert all(m.is_static for _, m in g.iter_class_members())

@@ -1,0 +1,95 @@
+"""Sanity tests that the reconstructed figures match the facts the paper
+states about them (path sets, fixed prefixes, subobject censuses)."""
+
+from repro.core.enumeration import iter_paths_between
+from repro.core.paths import path_in
+from repro.hierarchy.virtual_bases import virtual_bases
+from repro.workloads.paper_figures import (
+    ALL_FIGURES,
+    FIGURE_SOURCES,
+    figure1,
+    figure2,
+    figure3,
+    figure9,
+    iostream_like,
+)
+
+
+class TestFigure1Structure:
+    def test_classes(self):
+        assert figure1().classes == ("A", "B", "C", "D", "E")
+
+    def test_no_virtual_edges(self):
+        assert not any(e.virtual for e in figure1().edges)
+
+    def test_members(self):
+        g = figure1()
+        assert g.declares("A", "m") and g.declares("D", "m")
+
+
+class TestFigure2Structure:
+    def test_only_b_to_c_and_b_to_d_virtual(self):
+        g = figure2()
+        virtual = {(e.base, e.derived) for e in g.edges if e.virtual}
+        assert virtual == {("B", "C"), ("B", "D")}
+
+
+class TestFigure3Structure:
+    def test_the_four_paths_a_to_h(self):
+        g = figure3()
+        paths = sorted(str(p) for p in iter_paths_between(g, "A", "H"))
+        assert paths == ["ABD~FH", "ABD~GH", "ACD~FH", "ACD~GH"]
+
+    def test_fixed_prefixes_match_paper(self):
+        g = figure3()
+        assert path_in(g, "A", "B", "D", "F", "H").fixed().nodes == ("A", "B", "D")
+        assert path_in(g, "A", "B", "D", "G", "H").fixed().nodes == ("A", "B", "D")
+        assert path_in(g, "A", "C", "D", "F", "H").fixed().nodes == ("A", "C", "D")
+        assert path_in(g, "A", "C", "D", "G", "H").fixed().nodes == ("A", "C", "D")
+
+    def test_declared_members(self):
+        g = figure3()
+        declares = {
+            c: tuple(sorted(g.declared_members(c))) for c in g.classes
+        }
+        assert declares["A"] == ("foo",)
+        assert declares["D"] == ("bar",)
+        assert declares["E"] == ("bar",)
+        assert declares["G"] == ("bar", "foo")
+
+
+class TestFigure9Structure:
+    def test_base_declaration_order_of_e(self):
+        # struct E : virtual A, virtual B, D
+        g = figure9()
+        assert g.direct_base_names("E") == ("A", "B", "D")
+
+    def test_all_classes_are_structs(self):
+        g = figure9()
+        assert all(g.is_struct(c) for c in g.classes)
+
+    def test_virtual_bases_of_e(self):
+        assert virtual_bases(figure9())["E"] == {"S", "A", "B"}
+
+    def test_every_class_declares_m_except_d_and_e(self):
+        g = figure9()
+        assert [c for c in g.classes if g.declares(c, "m")] == [
+            "S",
+            "A",
+            "B",
+            "C",
+        ]
+
+
+class TestSources:
+    def test_every_figure_has_source_text(self):
+        assert set(FIGURE_SOURCES) == set(ALL_FIGURES)
+        for make_source in FIGURE_SOURCES.values():
+            text = make_source()
+            assert "class" in text or "struct" in text
+
+
+def test_iostream_is_valid_and_diamond_shaped():
+    g = iostream_like()
+    g.validate()
+    assert virtual_bases(g)["iostream"] == {"ios"}
