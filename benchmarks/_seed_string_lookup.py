@@ -1,0 +1,174 @@
+"""Frozen copy of the original *string-keyed* eager lookup table.
+
+This is the seed implementation of the paper's Figure 8 exactly as it
+stood before the interned :class:`~repro.hierarchy.compiled.CompiledHierarchy`
+substrate landed: every dict is keyed on Python strings, the
+virtual-base relation is a per-class ``frozenset`` of names, and witness
+paths are re-copied on every edge extension.
+
+It exists ONLY as the baseline side of ``benchmarks/bench_interning.py``
+(string-keyed vs interned-id construction) and must not be imported by
+library code.  The live, deduplicated Figure-8 fold is in
+:mod:`repro.core.kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.topo import topological_order
+from repro.hierarchy.virtual_bases import virtual_bases
+
+
+@dataclass(frozen=True)
+class SeedRedEntry:
+    ldc: str
+    least_virtual: Abstraction
+    witness: Optional[Path] = None
+
+    @property
+    def pair(self) -> tuple[str, Abstraction]:
+        return (self.ldc, self.least_virtual)
+
+
+@dataclass(frozen=True)
+class SeedBlueEntry:
+    abstractions: frozenset[Abstraction]
+    candidate_ldcs: frozenset[str] = frozenset()
+
+
+SeedEntry = Union[SeedRedEntry, SeedBlueEntry]
+
+
+class SeedStringLookupTable:
+    """The pre-interning eager engine, verbatim (modulo class names)."""
+
+    def __init__(
+        self, graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+    ) -> None:
+        graph.validate()
+        self._graph = graph
+        self._track_witnesses = track_witnesses
+        self._virtual_bases = virtual_bases(graph)
+        self._order = topological_order(graph)
+        self._visible: dict[str, dict[str, None]] = {}
+        self._table: dict[tuple[str, str], SeedEntry] = {}
+        self._build()
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        self._graph.direct_bases(class_name)
+        entry = self._table.get((class_name, member))
+        if entry is None:
+            return not_found_result(class_name, member)
+        if isinstance(entry, SeedRedEntry):
+            return unique_result(
+                class_name,
+                member,
+                declaring_class=entry.ldc,
+                least_virtual=entry.least_virtual,
+                witness=entry.witness,
+            )
+        return ambiguous_result(
+            class_name,
+            member,
+            blue_abstractions=entry.abstractions,
+            candidates=tuple(sorted(entry.candidate_ldcs)),
+        )
+
+    def all_entries(self):
+        return dict(self._table)
+
+    def _build(self) -> None:
+        graph = self._graph
+        for class_name in self._order:
+            visible: dict[str, None] = dict.fromkeys(
+                graph.declared_members(class_name)
+            )
+            for edge in graph.direct_bases(class_name):
+                visible.update(self._visible[edge.base])
+            self._visible[class_name] = visible
+            for member in visible:
+                self._table[(class_name, member)] = self._compute_entry(
+                    class_name, member
+                )
+
+    def _compute_entry(self, class_name: str, member: str) -> SeedEntry:
+        graph = self._graph
+        if graph.declares(class_name, member):
+            witness = (
+                Path.trivial(class_name) if self._track_witnesses else None
+            )
+            return SeedRedEntry(class_name, OMEGA, witness)
+
+        to_be_dominated: set[Abstraction] = set()
+        blue_ldcs: set[str] = set()
+        candidate: Optional[SeedRedEntry] = None
+
+        for edge in graph.direct_bases(class_name):
+            base = edge.base
+            if member not in self._visible[base]:
+                continue
+            sub_entry = self._table[(base, member)]
+            if isinstance(sub_entry, SeedRedEntry):
+                incoming = SeedRedEntry(
+                    ldc=sub_entry.ldc,
+                    least_virtual=extend_abstraction(
+                        sub_entry.least_virtual, base, virtual=edge.virtual
+                    ),
+                    witness=(
+                        sub_entry.witness.extend(
+                            class_name, virtual=edge.virtual
+                        )
+                        if sub_entry.witness is not None
+                        else None
+                    ),
+                )
+                if candidate is None:
+                    candidate = incoming
+                elif self._dominates(incoming.pair, candidate.pair):
+                    candidate = incoming
+                elif not self._dominates(candidate.pair, incoming.pair):
+                    to_be_dominated.add(candidate.least_virtual)
+                    to_be_dominated.add(incoming.least_virtual)
+                    blue_ldcs.add(candidate.ldc)
+                    blue_ldcs.add(incoming.ldc)
+                    candidate = None
+            else:
+                for abstraction in sub_entry.abstractions:
+                    to_be_dominated.add(
+                        extend_abstraction(
+                            abstraction, base, virtual=edge.virtual
+                        )
+                    )
+                blue_ldcs |= sub_entry.candidate_ldcs
+
+        if candidate is None:
+            return SeedBlueEntry(frozenset(to_be_dominated), frozenset(blue_ldcs))
+        surviving = {
+            abstraction
+            for abstraction in to_be_dominated
+            if not self._dominates(candidate.pair, (candidate.ldc, abstraction))
+        }
+        if not surviving:
+            return candidate
+        surviving.add(candidate.least_virtual)
+        blue_ldcs.add(candidate.ldc)
+        return SeedBlueEntry(frozenset(surviving), frozenset(blue_ldcs))
+
+    def _dominates(
+        self, red: tuple[str, Abstraction], other: tuple[str, Abstraction]
+    ) -> bool:
+        l1, v1 = red
+        _, v2 = other
+        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
+            return True
+        return v1 is not OMEGA and v1 == v2

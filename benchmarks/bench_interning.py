@@ -1,0 +1,110 @@
+"""String-keyed vs interned-id lookup-table construction.
+
+The :class:`~repro.hierarchy.compiled.CompiledHierarchy` substrate
+interns names into dense ids, turns the virtual-base relation into
+per-class bitmasks, and shares one snapshot across engine instances.
+This file measures what that buys on full-table construction, against a
+frozen copy of the original string-keyed implementation
+(:mod:`benchmarks._seed_string_lookup`), on the same workloads the
+scaling benchmarks use — including the largest of each family.
+
+Three timings per workload:
+
+* ``string_keyed`` — the seed implementation (re-derives topo order and
+  the virtual-base closure per instance, string dict keys throughout);
+* ``interned``     — the current engine over the memoised compiled
+  snapshot (the steady state: hierarchies are compiled once and reused
+  by every table/engine built on them);
+* ``interned_cold`` — compile *plus* build on every iteration (the
+  worst case for the new layout: nothing amortised).
+
+A non-benchmark guard asserts the two implementations return identical
+results, and a floor test pins the headline claim: ≥ 1.5× on the
+largest unambiguous-scaling hierarchy.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._seed_string_lookup import SeedStringLookupTable
+from repro.core.lookup import MemberLookupTable
+from repro.hierarchy.compiled import compile_hierarchy
+from repro.workloads.generators import (
+    binary_tree,
+    blue_heavy_hierarchy,
+    chain,
+    wide_unambiguous,
+)
+
+WORKLOADS = {
+    "chain_1024": lambda: chain(1024, member_every=8),
+    "tree_depth10": lambda: binary_tree(10),
+    "virtual_fan_128": lambda: wide_unambiguous(128),
+    "blue_heavy_32": lambda: blue_heavy_hierarchy(32, 32),
+}
+
+
+@pytest.fixture(params=sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def workload(request):
+    return request.param, WORKLOADS[request.param]()
+
+
+def test_string_keyed(benchmark, workload):
+    name, graph = workload
+    table = benchmark(SeedStringLookupTable, graph)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["classes"] = len(graph)
+    benchmark.extra_info["entries"] = len(table.all_entries())
+
+
+def test_interned(benchmark, workload):
+    name, graph = workload
+    graph.compile()  # steady state: snapshot already memoised
+    table = benchmark(MemberLookupTable, graph)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["classes"] = len(graph)
+    benchmark.extra_info["entries"] = table.stats.entries_computed
+
+
+def test_interned_cold(benchmark, workload):
+    name, graph = workload
+    benchmark(lambda: MemberLookupTable(compile_hierarchy(graph)))
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["classes"] = len(graph)
+
+
+def test_same_results_as_string_keyed():
+    """The baseline exists to be *beaten*, not to drift: both
+    implementations must answer every query identically."""
+    for name, factory in WORKLOADS.items():
+        graph = factory()
+        seed = SeedStringLookupTable(graph)
+        table = MemberLookupTable(graph)
+        members = {m for _, member in graph.iter_class_members() for m in [member.name]}
+        for class_name in graph.classes:
+            for member in sorted(members):
+                assert seed.lookup(class_name, member) == table.lookup(
+                    class_name, member
+                ), f"{name}: {class_name}::{member}"
+
+
+def test_interning_speedup_floor():
+    """The acceptance floor: ≥ 1.5× faster full-table construction than
+    the string-keyed seed on the largest unambiguous-scaling hierarchy
+    (chain(1024), as in bench_scaling_unambiguous)."""
+    graph = WORKLOADS["chain_1024"]()
+    graph.compile()
+
+    def best_of(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    seed_time = best_of(lambda: SeedStringLookupTable(graph))
+    interned_time = best_of(lambda: MemberLookupTable(graph))
+    speedup = seed_time / interned_time
+    assert speedup >= 1.5, f"only {speedup:.2f}x over the string-keyed seed"

@@ -7,6 +7,11 @@ bench file, so the tables in EXPERIMENTS.md can be refreshed after a
 change.
 
 Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
+        python scripts/collect_bench_numbers.py -k interning --json-out BENCH_interning.json
+
+``--json-out PATH`` additionally writes a compact, machine-readable
+summary (median/mean/stddev/rounds plus ``extra_info`` per benchmark) to
+PATH — small enough to check in next to the benchmark it records.
 """
 
 from __future__ import annotations
@@ -30,6 +35,17 @@ def human(seconds: float) -> str:
 
 
 def main() -> int:
+    pytest_args = list(sys.argv[1:])
+    json_out = None
+    if "--json-out" in pytest_args:
+        index = pytest_args.index("--json-out")
+        try:
+            json_out = pytest_args[index + 1]
+        except IndexError:
+            print("--json-out requires a path", file=sys.stderr)
+            return 2
+        del pytest_args[index : index + 2]
+
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = handle.name
     command = [
@@ -40,7 +56,7 @@ def main() -> int:
         "--benchmark-only",
         "-q",
         f"--benchmark-json={json_path}",
-        *sys.argv[1:],
+        *pytest_args,
     ]
     completed = subprocess.run(command, cwd=ROOT)
     if completed.returncode != 0:
@@ -64,6 +80,31 @@ def main() -> int:
             )
             print(f"  {bench['name']:<55} {human(median)}{extra_text}")
     print(f"\n(raw JSON: {json_path})")
+
+    if json_out is not None:
+        summary = {
+            "machine_info": {
+                key: data.get("machine_info", {}).get(key)
+                for key in ("python_version", "system", "machine")
+            },
+            "datetime": data.get("datetime"),
+            "benchmarks": [
+                {
+                    "name": bench["name"],
+                    "fullname": bench["fullname"],
+                    "median_s": bench["stats"]["median"],
+                    "mean_s": bench["stats"]["mean"],
+                    "stddev_s": bench["stats"]["stddev"],
+                    "rounds": bench["stats"]["rounds"],
+                    "extra_info": bench.get("extra_info") or {},
+                }
+                for bench in sorted(
+                    data["benchmarks"], key=lambda b: b["fullname"]
+                )
+            ],
+        }
+        Path(json_out).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"(summary written to {json_out})")
     return 0
 
 

@@ -7,6 +7,12 @@ and blue-kill of Figure 8's lines [14]-[44].  The tests assert that the
 solution equals the direct implementation in :mod:`repro.core.lookup`
 entry-for-entry — i.e. the algorithm really is the meet-over-all-paths
 solution of a distributive problem.
+
+The facts flowing through the engine are the *interned* kernel entries
+of :mod:`repro.core.kernel` — the same extension and meet the direct
+engines use, so there is exactly one implementation of the fold to be
+equal to.  Solutions are converted back to the public string-based
+Red/Blue entries at the boundary.
 """
 
 from __future__ import annotations
@@ -14,105 +20,61 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.dataflow import ForwardDataflowProblem, solve_forward
-from repro.core.lookup import BlueEntry, RedEntry, TableEntry
-from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
-from repro.hierarchy.graph import ClassHierarchyGraph, Inheritance
-from repro.hierarchy.virtual_bases import virtual_bases
+from repro.core.kernel import (
+    KernelEntry,
+    TableEntry,
+    extend_entry,
+    generated_entry,
+    meet_entries,
+    to_table_entry,
+)
+from repro.hierarchy.compiled import HierarchyLike, compiled_of, hierarchy_of
+from repro.hierarchy.graph import Inheritance
 
 
 class DataflowLookup:
     """Per-member dataflow solutions, computed on demand and cached."""
 
-    def __init__(self, graph: ClassHierarchyGraph) -> None:
-        graph.validate()
-        self._graph = graph
-        self._virtual_bases = virtual_bases(graph)
+    def __init__(self, hierarchy: HierarchyLike) -> None:
+        self._graph = hierarchy_of(hierarchy)
+        self._ch = compiled_of(hierarchy)
         self._solutions: dict[str, dict[str, Optional[TableEntry]]] = {}
 
     def solution_for(self, member: str) -> dict[str, Optional[TableEntry]]:
         """The Red/Blue entry of every class for one member name."""
         if member not in self._solutions:
+            ch = self._ch
+            mid = ch.member_id(member)
+
+            def generate(
+                node: str, met: Optional[KernelEntry]
+            ) -> Optional[KernelEntry]:
+                cid = ch.class_ids[node]
+                if mid is not None and ch.declares_id(cid, mid):
+                    return generated_entry(cid, True)
+                return met
+
+            def transfer(edge: Inheritance, value: KernelEntry) -> KernelEntry:
+                return extend_entry(
+                    ch,
+                    value,
+                    ch.class_ids[edge.base],
+                    edge.virtual,
+                    ch.class_ids[edge.derived],
+                )
+
+            def meet(node: str, values: list) -> KernelEntry:
+                return meet_entries(ch, values)
+
             problem = ForwardDataflowProblem(
-                generate=lambda node, met: self._generate(member, node, met),
-                transfer=self._transfer,
-                meet=self._meet,
+                generate=generate, transfer=transfer, meet=meet
             )
-            self._solutions[member] = solve_forward(self._graph, problem)
+            raw = solve_forward(self._graph, problem)
+            self._solutions[member] = {
+                node: to_table_entry(ch, kentry)
+                for node, kentry in raw.items()
+            }
         return self._solutions[member]
 
     def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
         return self.solution_for(member)[class_name]
-
-    # ------------------------------------------------------------------
-    # The three problem components
-    # ------------------------------------------------------------------
-
-    def _generate(
-        self, member: str, node: str, met: Optional[TableEntry]
-    ) -> Optional[TableEntry]:
-        if self._graph.declares(node, member):
-            return RedEntry(node, OMEGA, Path.trivial(node))
-        return met
-
-    @staticmethod
-    def _transfer(edge: Inheritance, entry: TableEntry) -> TableEntry:
-        if isinstance(entry, RedEntry):
-            return RedEntry(
-                ldc=entry.ldc,
-                least_virtual=extend_abstraction(
-                    entry.least_virtual, edge.base, virtual=edge.virtual
-                ),
-                witness=(
-                    entry.witness.extend(edge.derived, virtual=edge.virtual)
-                    if entry.witness is not None
-                    else None
-                ),
-            )
-        return BlueEntry(
-            abstractions=frozenset(
-                extend_abstraction(a, edge.base, virtual=edge.virtual)
-                for a in entry.abstractions
-            ),
-            candidate_ldcs=entry.candidate_ldcs,
-        )
-
-    def _meet(self, node: str, entries: list[TableEntry]) -> TableEntry:
-        candidate: Optional[RedEntry] = None
-        to_be_dominated: set[Abstraction] = set()
-        blue_ldcs: set[str] = set()
-        for entry in entries:
-            if isinstance(entry, RedEntry):
-                if candidate is None:
-                    candidate = entry
-                elif self._dominates(entry.pair, candidate.pair):
-                    candidate = entry
-                elif not self._dominates(candidate.pair, entry.pair):
-                    to_be_dominated.add(candidate.least_virtual)
-                    to_be_dominated.add(entry.least_virtual)
-                    blue_ldcs.add(candidate.ldc)
-                    blue_ldcs.add(entry.ldc)
-                    candidate = None
-            else:
-                to_be_dominated |= entry.abstractions
-                blue_ldcs |= entry.candidate_ldcs
-        if candidate is None:
-            return BlueEntry(frozenset(to_be_dominated), frozenset(blue_ldcs))
-        surviving = {
-            abstraction
-            for abstraction in to_be_dominated
-            if not self._dominates(candidate.pair, (candidate.ldc, abstraction))
-        }
-        if not surviving:
-            return candidate
-        surviving.add(candidate.least_virtual)
-        blue_ldcs.add(candidate.ldc)
-        return BlueEntry(frozenset(surviving), frozenset(blue_ldcs))
-
-    def _dominates(
-        self, red: tuple[str, Abstraction], other: tuple[str, Abstraction]
-    ) -> bool:
-        l1, v1 = red
-        _, v2 = other
-        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
-            return True
-        return v1 is not OMEGA and v1 == v2

@@ -27,7 +27,7 @@ from repro.core.results import (
     not_found_result,
     unique_result,
 )
-from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.compiled import HierarchyLike, hierarchy_of
 from repro.subobjects.graph import Subobject, SubobjectGraph
 from repro.subobjects.poset import SubobjectPoset
 
@@ -39,7 +39,7 @@ class GxxStats:
 
 
 def gxx_lookup(
-    graph: ClassHierarchyGraph,
+    graph: HierarchyLike,
     class_name: str,
     member: str,
     *,
@@ -51,6 +51,7 @@ def gxx_lookup(
     hierarchies like the paper's Figure 9 (reports ambiguity for a
     well-defined lookup).
     """
+    graph = hierarchy_of(graph)
     subobject_graph = SubobjectGraph(graph, class_name)
     poset = SubobjectPoset(subobject_graph)
     stats = stats if stats is not None else GxxStats()
@@ -89,7 +90,7 @@ def gxx_lookup(
 
 
 def gxx_lookup_fixed(
-    graph: ClassHierarchyGraph,
+    graph: HierarchyLike,
     class_name: str,
     member: str,
     *,
@@ -99,6 +100,7 @@ def gxx_lookup_fixed(
     incomparable candidates over the whole traversal and declare
     ambiguity only at the end.  Correct, but still walks the (possibly
     exponential) subobject graph."""
+    graph = hierarchy_of(graph)
     subobject_graph = SubobjectGraph(graph, class_name)
     poset = SubobjectPoset(subobject_graph)
     stats = stats if stats is not None else GxxStats()

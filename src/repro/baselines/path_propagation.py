@@ -31,7 +31,7 @@ from repro.core.results import (
     not_found_result,
     unique_result,
 )
-from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.compiled import HierarchyLike, hierarchy_of
 from repro.hierarchy.topo import topological_order
 from repro.subobjects.graph import SubobjectGraph
 from repro.subobjects.poset import SubobjectPoset
@@ -49,11 +49,12 @@ class NaivePathLookup:
 
     def __init__(
         self,
-        graph: ClassHierarchyGraph,
+        graph: HierarchyLike,
         *,
         kill_on_generation: bool = True,
         kill_dominated: bool = False,
     ) -> None:
+        graph = hierarchy_of(graph)
         graph.validate()
         self._graph = graph
         self._kill_on_generation = kill_on_generation
@@ -161,11 +162,11 @@ class NaivePathLookup:
 
 
 def naive_lookup(
-    graph: ClassHierarchyGraph,
+    graph: HierarchyLike,
     class_name: str,
     member: str,
     *,
-    dominance: Callable[[ClassHierarchyGraph, Path, Path], bool] = dominates_paths,
+    dominance: Callable[..., bool] = dominates_paths,
 ) -> LookupResult:
     """A fully definitional one-shot lookup: enumerate ``DefnsPath(C, m)``
     directly and select a most-dominant element with the *literal*
@@ -174,6 +175,7 @@ def naive_lookup(
     """
     from repro.core.enumeration import defns_paths
 
+    graph = hierarchy_of(graph)
     candidates = defns_paths(graph, class_name, member)
     if not candidates:
         return not_found_result(class_name, member)

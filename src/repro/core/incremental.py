@@ -10,13 +10,19 @@ with precise cache invalidation:
   ``(D, m)`` for ``X`` and its transitive derived classes — no other
   member name's resolution can change;
 * adding an edge ``B -> D`` invalidates every entry of ``D`` and its
-  transitive derived classes, and refreshes the virtual-base closure
-  (both the reachable definitions and the Lemma 4 dominance test may
-  change for those classes, and only for those).
+  transitive derived classes (both the reachable definitions and the
+  Lemma 4 dominance test may change for those classes, and only for
+  those).
 
 Because C++ requires bases to be complete before use, declarations only
 ever extend the graph downward, so entries of unaffected classes remain
 valid — the property the invalidation rules above rely on.
+
+Recompilation of the shared :class:`~repro.hierarchy.compiled.CompiledHierarchy`
+snapshot is left to the lazy engine's generation check at the next
+query; pure downward growth (``add_class``) recompiles as a cheap delta,
+and interned ids are stable across recompiles so the surviving memo
+entries remain addressable.
 """
 
 from __future__ import annotations
@@ -25,11 +31,10 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.core.lazy import LazyMemberLookup
-from repro.errors import CycleError
 from repro.core.results import LookupResult
+from repro.errors import CycleError
 from repro.hierarchy.graph import ClassHierarchyGraph
 from repro.hierarchy.members import Access, Member
-from repro.hierarchy.virtual_bases import virtual_bases
 
 
 @dataclass
@@ -43,7 +48,6 @@ class IncrementalLookupEngine:
 
     def __init__(self, graph: Optional[ClassHierarchyGraph] = None) -> None:
         self._graph = graph if graph is not None else ClassHierarchyGraph()
-        self._graph.validate()
         self._lazy = LazyMemberLookup(self._graph)
         self.stats = IncrementalStats()
 
@@ -82,10 +86,8 @@ class IncrementalLookupEngine:
         self.stats.mutations += 1
         name = member.name if isinstance(member, Member) else member
         affected = {class_name} | set(self._graph.descendants(class_name))
-        self._evict(
-            key
-            for key in self._cache_keys()
-            if key[1] == name and key[0] in affected
+        self.stats.entries_invalidated += self._lazy._evict(
+            affected, member=name
         )
 
     def add_edge(
@@ -101,19 +103,4 @@ class IncrementalLookupEngine:
         self._graph.add_edge(base, derived, virtual=virtual, access=access)
         self.stats.mutations += 1
         affected = {derived} | set(self._graph.descendants(derived))
-        self._evict(
-            key for key in self._cache_keys() if key[0] in affected
-        )
-        # The virtual-base closure of the affected classes changed.
-        self._lazy._virtual_bases = virtual_bases(self._graph)
-
-    # ------------------------------------------------------------------
-
-    def _cache_keys(self) -> list[tuple[str, str]]:
-        return list(self._lazy._cache)
-
-    def _evict(self, keys: Iterable[tuple[str, str]]) -> None:
-        for key in keys:
-            if key in self._lazy._cache:
-                del self._lazy._cache[key]
-                self.stats.entries_invalidated += 1
+        self.stats.entries_invalidated += self._lazy._evict(affected)

@@ -1,0 +1,396 @@
+"""The Figure-8 red/blue kernel — the paper's per-entry fold, once.
+
+This module is the *single* home of the member-lookup propagation logic
+(Figure 8, lines [11]–[44]): red/blue extension across an inheritance
+edge (the ⋄ operator on table entries), candidate selection among the
+entries arriving from the direct bases, and the blue-set resolution that
+decides whether a red candidate survives.  Every engine — the eager
+:class:`~repro.core.lookup.MemberLookupTable`, the demand-driven
+:class:`~repro.core.lazy.LazyMemberLookup`, the growing
+:class:`~repro.core.incremental.IncrementalLookupEngine` and the
+dataflow framing in :mod:`repro.analysis.lookup_as_dataflow` — is a thin
+driver over these functions; none re-implements dominance or
+propagation.
+
+The kernel operates on the interned integer ids of a
+:class:`~repro.hierarchy.compiled.CompiledHierarchy`:
+
+* A **red** kernel entry ``KernelRed(ldc, least_virtual, witness)``
+  means the lookup is unambiguous; ``least_virtual`` is a class id or
+  :data:`~repro.hierarchy.compiled.OMEGA_ID` (the paper's Ω).
+* A **blue** kernel entry ``KernelBlue(abstractions, candidate_ldcs)``
+  means the lookup is ambiguous; ``abstractions`` is the propagated set
+  of ``leastVirtual`` ids that must still be dominated by any would-be
+  winner further down (Section 4: a blue definition can *disqualify* a
+  red one even though it can never win itself).
+
+Dominance is Lemma 4's constant-time test, here literally two bit
+operations on the precomputed virtual-base masks::
+
+    (L1, V1) dominates (L2, V2)  iff  bit V2 of vb-mask[L1] is set
+                                      or V1 == V2 != Ω
+
+Witnesses are carried as O(1) cons cells ``(class_id, virtual, prev)``
+and only materialised into :class:`~repro.core.paths.Path` objects at
+the public API boundary — the paper notes the witness rides along for
+free because at most one red definition crosses any edge, and the cons
+representation keeps that "for free" true at the constant-factor level
+too (the seed implementation re-copied the whole path per edge).
+
+The public ``RedEntry`` / ``BlueEntry`` table-entry types and the
+``LookupStats`` counters also live here and are re-exported by
+:mod:`repro.core.lookup` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, NamedTuple, Optional, Union
+
+from repro.core.paths import OMEGA, Abstraction, Path
+from repro.core.results import (
+    LookupResult,
+    ambiguous_result,
+    not_found_result,
+    unique_result,
+)
+from repro.hierarchy.compiled import OMEGA_ID, CompiledHierarchy
+
+# ----------------------------------------------------------------------
+# Public table-entry types (string-keyed, paper notation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RedEntry:
+    """An unambiguous table entry: the abstraction ``(ldc, leastVirtual)``
+    of the dominant definition, plus (optionally) a concrete witness path
+    — the paper notes the witness can be carried for free since at most
+    one red definition crosses any edge."""
+
+    ldc: str
+    least_virtual: Abstraction
+    witness: Optional[Path] = None
+
+    @property
+    def pair(self) -> tuple[str, Abstraction]:
+        return (self.ldc, self.least_virtual)
+
+    def __str__(self) -> str:
+        return f"Red ({self.ldc}, {self.least_virtual})"
+
+
+@dataclass(frozen=True)
+class BlueEntry:
+    """An ambiguous table entry: the propagated blue abstraction set, plus
+    the declaring classes of the conflicting definitions (carried only for
+    diagnostics; the algorithm itself never reads ``candidate_ldcs``)."""
+
+    abstractions: frozenset[Abstraction]
+    candidate_ldcs: frozenset[str] = frozenset()
+
+    def __str__(self) -> str:
+        body = ", ".join(sorted(map(str, self.abstractions), key=str))
+        return f"Blue {{{body}}}"
+
+
+TableEntry = Union[RedEntry, BlueEntry]
+
+
+@dataclass
+class LookupStats:
+    """Operation counters, used by the benchmarks to exhibit the paper's
+    complexity claims independently of wall-clock noise."""
+
+    classes_visited: int = 0
+    entries_computed: int = 0
+    red_propagations: int = 0
+    blue_propagations: int = 0
+    dominance_checks: int = 0
+
+    def total_work(self) -> int:
+        return (
+            self.red_propagations
+            + self.blue_propagations
+            + self.dominance_checks
+        )
+
+
+# ----------------------------------------------------------------------
+# Interned kernel entries
+# ----------------------------------------------------------------------
+
+#: Witness cons cell: ``(class_id, edge_was_virtual, previous_cell)``.
+#: The least-derived end is the cell whose ``previous_cell`` is None
+#: (its flag is meaningless — a trivial path has no edges).
+WitnessCell = tuple  # (int, bool, Optional["WitnessCell"])
+
+
+class KernelRed(NamedTuple):
+    """Interned red entry: ``(ldc_id, least_virtual_id, witness_cons)``."""
+
+    ldc: int
+    least_virtual: int
+    witness: Optional[WitnessCell]
+
+
+class KernelBlue(NamedTuple):
+    """Interned blue entry: abstraction ids + diagnostic ldc ids."""
+
+    abstractions: frozenset[int]
+    candidate_ldcs: frozenset[int]
+
+
+KernelEntry = Union[KernelRed, KernelBlue]
+
+
+# ----------------------------------------------------------------------
+# Lemma 4 and the ⋄ operator on interned values
+# ----------------------------------------------------------------------
+
+
+def dominates(
+    ch: CompiledHierarchy,
+    l1: int,
+    v1: int,
+    v2: int,
+    stats: Optional[LookupStats] = None,
+) -> bool:
+    """Lines [1]-[3]: Lemma 4's test — two bit operations on the
+    precomputed virtual-base masks."""
+    if stats is not None:
+        stats.dominance_checks += 1
+    if v2 >= 0 and (ch.virtual_base_masks[l1] >> v2) & 1:
+        return True
+    return v1 >= 0 and v1 == v2
+
+
+def extend_abstraction_id(value: int, base: int, virtual: int) -> int:
+    """The ⋄ operator (Definition 15) on interned abstraction ids."""
+    if value != OMEGA_ID:
+        return value
+    return base if virtual else OMEGA_ID
+
+
+def generated_entry(cid: int, track_witnesses: bool) -> KernelRed:
+    """Lines [11]-[12]: a generated definition ``C::m`` hides everything."""
+    witness = (cid, False, None) if track_witnesses else None
+    return KernelRed(cid, OMEGA_ID, witness)
+
+
+def extend_entry(
+    ch: CompiledHierarchy,
+    entry: KernelEntry,
+    base: int,
+    virtual: int,
+    derived: int,
+    stats: Optional[LookupStats] = None,
+) -> KernelEntry:
+    """Push one entry across the edge ``base -> derived`` — the red
+    propagation of lines [15]-[28] / the blue ⋄ of lines [29]-[31]."""
+    if type(entry) is KernelRed:
+        if stats is not None:
+            stats.red_propagations += 1
+        witness = entry.witness
+        return KernelRed(
+            entry.ldc,
+            extend_abstraction_id(entry.least_virtual, base, virtual),
+            (derived, bool(virtual), witness) if witness is not None else None,
+        )
+    if stats is not None:
+        stats.blue_propagations += len(entry.abstractions)
+    return KernelBlue(
+        frozenset(
+            extend_abstraction_id(a, base, virtual)
+            for a in entry.abstractions
+        ),
+        entry.candidate_ldcs,
+    )
+
+
+def meet_entries(
+    ch: CompiledHierarchy,
+    entries: list,
+    stats: Optional[LookupStats] = None,
+) -> KernelEntry:
+    """Lines [14]-[44]: combine the (already extended) entries arriving
+    from the direct bases — candidate selection among reds, blue-set
+    accumulation, and the final blue-kill resolution."""
+    candidate: Optional[KernelRed] = None
+    to_be_dominated: set[int] = set()
+    blue_ldcs: set[int] = set()
+    for entry in entries:
+        if type(entry) is KernelRed:
+            if candidate is None:
+                candidate = entry
+            elif dominates(
+                ch, entry.ldc, entry.least_virtual,
+                candidate.least_virtual, stats,
+            ):
+                candidate = entry
+            elif not dominates(
+                ch, candidate.ldc, candidate.least_virtual,
+                entry.least_virtual, stats,
+            ):
+                # Neither dominates: both become blue for now.
+                to_be_dominated.add(candidate.least_virtual)
+                to_be_dominated.add(entry.least_virtual)
+                blue_ldcs.add(candidate.ldc)
+                blue_ldcs.add(entry.ldc)
+                candidate = None
+        else:
+            to_be_dominated |= entry.abstractions
+            blue_ldcs |= entry.candidate_ldcs
+
+    # Lines [34]-[44]: resolve the candidate against the blue set.
+    if candidate is None:
+        return KernelBlue(frozenset(to_be_dominated), frozenset(blue_ldcs))
+    surviving = {
+        abstraction
+        for abstraction in to_be_dominated
+        if not dominates(
+            ch, candidate.ldc, candidate.least_virtual, abstraction, stats
+        )
+    }
+    if not surviving:
+        return candidate
+    surviving.add(candidate.least_virtual)
+    blue_ldcs.add(candidate.ldc)
+    return KernelBlue(frozenset(surviving), frozenset(blue_ldcs))
+
+
+def fold_entry(
+    ch: CompiledHierarchy,
+    cid: int,
+    mid: int,
+    entry_of: Callable[[int], Optional[KernelEntry]],
+    stats: Optional[LookupStats] = None,
+    track_witnesses: bool = True,
+) -> Optional[KernelEntry]:
+    """The whole per-entry fold, lines [11]-[44]: compute the table entry
+    of ``(cid, mid)`` from the entries of the direct bases.
+
+    ``entry_of(base_id)`` returns the base's (already computed) kernel
+    entry, or ``None`` when the member is not visible in that base.
+    Returns ``None`` when the member is visible in no subobject of the
+    class — the drivers cache or skip that case as they see fit.
+    """
+    if ch.declares_id(cid, mid):
+        return generated_entry(cid, track_witnesses)
+    extended: list[KernelEntry] = []
+    for base, virtual in ch.base_pairs[cid]:
+        sub_entry = entry_of(base)
+        if sub_entry is None:
+            continue
+        extended.append(extend_entry(ch, sub_entry, base, virtual, cid, stats))
+    if not extended:
+        return None
+    return meet_entries(ch, extended, stats)
+
+
+# ----------------------------------------------------------------------
+# Conversion back to the public string-based API
+# ----------------------------------------------------------------------
+
+
+def abstraction_name(ch: CompiledHierarchy, value: int) -> Abstraction:
+    """Interned abstraction id back to the public class-name / Ω form."""
+    return OMEGA if value == OMEGA_ID else ch.class_names[value]
+
+
+def witness_path(ch: CompiledHierarchy, cell: WitnessCell) -> Path:
+    """Materialise a witness cons chain into a concrete :class:`Path`."""
+    nodes: list[str] = []
+    virtuals: list[bool] = []
+    names = ch.class_names
+    while cell is not None:
+        cid, virtual, cell = cell
+        nodes.append(names[cid])
+        virtuals.append(virtual)
+    nodes.reverse()
+    virtuals.reverse()
+    return Path(nodes=tuple(nodes), virtuals=tuple(virtuals[1:]))
+
+
+def to_table_entry(
+    ch: CompiledHierarchy, entry: Optional[KernelEntry]
+) -> Optional[TableEntry]:
+    """Kernel entry to the public Red/Blue dataclass (``None`` passes
+    through: the member is not visible)."""
+    if entry is None:
+        return None
+    if type(entry) is KernelRed:
+        return RedEntry(
+            ldc=ch.class_names[entry.ldc],
+            least_virtual=abstraction_name(ch, entry.least_virtual),
+            witness=(
+                witness_path(ch, entry.witness)
+                if entry.witness is not None
+                else None
+            ),
+        )
+    return BlueEntry(
+        abstractions=frozenset(
+            abstraction_name(ch, a) for a in entry.abstractions
+        ),
+        candidate_ldcs=frozenset(
+            ch.class_names[ldc] for ldc in entry.candidate_ldcs
+        ),
+    )
+
+
+def result_from_entry(
+    class_name: str,
+    member: str,
+    entry: Optional[TableEntry],
+) -> LookupResult:
+    """Public Red/Blue entry to the user-facing :class:`LookupResult`."""
+    if entry is None:
+        return not_found_result(class_name, member)
+    if type(entry) is RedEntry:
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=entry.ldc,
+            least_virtual=entry.least_virtual,
+            witness=entry.witness,
+        )
+    return ambiguous_result(
+        class_name,
+        member,
+        blue_abstractions=entry.abstractions,
+        candidates=tuple(sorted(entry.candidate_ldcs)),
+    )
+
+
+def to_lookup_result(
+    ch: CompiledHierarchy,
+    class_name: str,
+    member: str,
+    entry: Optional[KernelEntry],
+) -> LookupResult:
+    """Kernel entry to the user-facing :class:`LookupResult`."""
+    if entry is None:
+        return not_found_result(class_name, member)
+    if type(entry) is KernelRed:
+        return unique_result(
+            class_name,
+            member,
+            declaring_class=ch.class_names[entry.ldc],
+            least_virtual=abstraction_name(ch, entry.least_virtual),
+            witness=(
+                witness_path(ch, entry.witness)
+                if entry.witness is not None
+                else None
+            ),
+        )
+    return ambiguous_result(
+        class_name,
+        member,
+        blue_abstractions=frozenset(
+            abstraction_name(ch, a) for a in entry.abstractions
+        ),
+        candidates=tuple(
+            sorted(ch.class_names[ldc] for ldc in entry.candidate_ldcs)
+        ),
+    )

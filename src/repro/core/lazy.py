@@ -7,25 +7,39 @@
     caches or memoizes the results of every lookup performed, this will
     not worsen the complexity of the algorithm."
 
-The entry computation is *identical* to the eager engine's; only the
-driving order differs (demand-driven recursion instead of a topological
-sweep).  The recursion terminates because the CHG is acyclic.
+The entry computation is *identical* to the eager engine's — both call
+:func:`repro.core.kernel.fold_entry`, the single home of the Figure-8
+fold; only the driving order differs (demand-driven recursion instead of
+a topological sweep).  The recursion terminates because the CHG is
+acyclic.
+
+The engine tolerates growth of the underlying graph: each query
+revalidates the compiled snapshot against the graph's generation counter
+and recompiles (cheaply, as a delta where possible) when stale.  Interned
+ids are stable across recompiles, so the memo survives — the incremental
+engine (:mod:`repro.core.incremental`) relies on this, evicting exactly
+the entries a mutation can affect and letting the rest stand.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
-from repro.core.lookup import BlueEntry, LookupStats, RedEntry, TableEntry
-from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
-from repro.core.results import (
-    LookupResult,
-    ambiguous_result,
-    not_found_result,
-    unique_result,
+from repro.core.kernel import (
+    LookupStats,
+    TableEntry,
+    fold_entry,
+    result_from_entry,
+    to_table_entry,
 )
-from repro.hierarchy.graph import ClassHierarchyGraph
-from repro.hierarchy.virtual_bases import virtual_bases
+from repro.core.results import LookupResult, not_found_result
+from repro.hierarchy.compiled import HierarchyLike, compiled_of, hierarchy_of
+
+#: Memo columns are keyed by interned member id; member names the
+#: hierarchy has never declared (no id exists) key their column by the
+#: raw string — those columns hold only "not visible" results and are
+#: migrated to the id key if the name is declared later.
+ColumnKey = Union[int, str]
 
 
 class LazyMemberLookup:
@@ -37,139 +51,125 @@ class LazyMemberLookup:
     """
 
     def __init__(
-        self, graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+        self, hierarchy: HierarchyLike, *, track_witnesses: bool = True
     ) -> None:
-        graph.validate()
-        self._graph = graph
+        self._graph = hierarchy_of(hierarchy)
+        self._ch = compiled_of(hierarchy)
         self._track_witnesses = track_witnesses
-        self._virtual_bases = virtual_bases(graph)
         # None is a meaningful cached value: "m not visible in C".
-        self._cache: dict[tuple[str, str], Optional[TableEntry]] = {}
+        self._columns: dict[ColumnKey, dict[int, object]] = {}
+        self._public: dict[tuple[ColumnKey, int], TableEntry] = {}
         self.stats = LookupStats()
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
-        self._graph.direct_bases(class_name)  # validate the class name
-        entry = self._entry(class_name, member)
-        if entry is None:
+        self._refresh()
+        ch = self._ch
+        cid = ch.class_ids.get(class_name)
+        if cid is None:
+            self._graph.direct_bases(class_name)  # raises UnknownClassError
             return not_found_result(class_name, member)
-        if isinstance(entry, RedEntry):
-            return unique_result(
-                class_name,
-                member,
-                declaring_class=entry.ldc,
-                least_virtual=entry.least_virtual,
-                witness=entry.witness,
-            )
-        return ambiguous_result(
-            class_name,
-            member,
-            blue_abstractions=entry.abstractions,
-            candidates=tuple(sorted(entry.candidate_ldcs)),
-        )
+        key = ch.member_ids.get(member, member)
+        kentry = self._demand(cid, key)
+        if kentry is None:
+            return not_found_result(class_name, member)
+        public = self._public.get((key, cid))
+        if public is None:
+            public = self._public[(key, cid)] = to_table_entry(ch, kentry)
+        return result_from_entry(class_name, member, public)
 
     def entries_computed(self) -> int:
         """Number of memoised entries, counting "not visible" results."""
-        return len(self._cache)
+        return sum(len(column) for column in self._columns.values())
 
     # ------------------------------------------------------------------
+    # The demand-driven driver (the fold lives in repro.core.kernel)
+    # ------------------------------------------------------------------
 
-    def _entry(self, class_name: str, member: str) -> Optional[TableEntry]:
-        key = (class_name, member)
-        if key in self._cache:
-            return self._cache[key]
-        # Iterative demand-driven resolution (hierarchies can be deeper
-        # than the Python recursion limit): expand uncached bases first,
-        # then compute the node from its now-cached bases.
-        stack: list[tuple[str, bool]] = [(class_name, False)]
+    def _refresh(self) -> None:
+        """Recompile if the graph grew; keep the memo (ids are stable)."""
+        if self._ch.generation == self._graph.generation:
+            return
+        self._ch = self._graph.compile()
+        member_ids = self._ch.member_ids
+        for name in [k for k in self._columns if isinstance(k, str)]:
+            mid = member_ids.get(name)
+            if mid is not None:
+                # String-keyed columns hold only "not visible" results,
+                # so there are no public conversions to migrate.
+                self._columns[mid] = self._columns.pop(name)
+
+    def _demand(self, cid: int, key: ColumnKey):
+        """The cached kernel entry of ``(cid, key)``, computing it — and
+        every uncached entry it transitively depends on — on demand.
+
+        Iterative (hierarchies can be deeper than the Python recursion
+        limit): expand uncached bases first, then fold the node over its
+        now-cached bases.  Bases are expanded regardless of visibility,
+        mirroring the recursion the paper describes — "not visible" is a
+        memoised result like any other.
+        """
+        column = self._columns.get(key)
+        if column is None:
+            column = self._columns[key] = {}
+        if cid in column:
+            return column[cid]
+        ch = self._ch
+        mid = key if type(key) is int else None
+        base_pairs = ch.base_pairs
+        stats = self.stats
+        track = self._track_witnesses
+        stack: list[tuple[int, bool]] = [(cid, False)]
         while stack:
             node, expanded = stack.pop()
-            if (node, member) in self._cache:
+            if node in column:
                 continue
             if expanded:
-                self.stats.entries_computed += 1
-                self._cache[(node, member)] = self._compute(node, member)
+                stats.entries_computed += 1
+                column[node] = (
+                    fold_entry(ch, node, mid, column.get, stats, track)
+                    if mid is not None
+                    else None  # a name no class declares is visible nowhere
+                )
             else:
                 stack.append((node, True))
-                for edge in self._graph.direct_bases(node):
-                    if (edge.base, member) not in self._cache:
-                        stack.append((edge.base, False))
-        return self._cache[key]
+                for base, _virtual in base_pairs[node]:
+                    if base not in column:
+                        stack.append((base, False))
+        return column[cid]
 
-    def _compute(self, class_name: str, member: str) -> Optional[TableEntry]:
-        graph = self._graph
-        if graph.declares(class_name, member):
-            witness = (
-                Path.trivial(class_name) if self._track_witnesses else None
-            )
-            return RedEntry(class_name, OMEGA, witness)
+    # ------------------------------------------------------------------
+    # Invalidation hooks (used by the incremental engine)
+    # ------------------------------------------------------------------
 
-        to_be_dominated: set[Abstraction] = set()
-        blue_ldcs: set[str] = set()
-        candidate: Optional[RedEntry] = None
-        found_any = False
-
-        for edge in graph.direct_bases(class_name):
-            # Base entries are guaranteed cached by the driver in _entry.
-            sub_entry = self._cache[(edge.base, member)]
-            if sub_entry is None:
-                continue
-            found_any = True
-            if isinstance(sub_entry, RedEntry):
-                self.stats.red_propagations += 1
-                incoming = RedEntry(
-                    ldc=sub_entry.ldc,
-                    least_virtual=extend_abstraction(
-                        sub_entry.least_virtual, edge.base, virtual=edge.virtual
-                    ),
-                    witness=(
-                        sub_entry.witness.extend(
-                            class_name, virtual=edge.virtual
-                        )
-                        if sub_entry.witness is not None
-                        else None
-                    ),
-                )
-                if candidate is None:
-                    candidate = incoming
-                elif self._dominates(incoming.pair, candidate.pair):
-                    candidate = incoming
-                elif not self._dominates(candidate.pair, incoming.pair):
-                    to_be_dominated.add(candidate.least_virtual)
-                    to_be_dominated.add(incoming.least_virtual)
-                    blue_ldcs.add(candidate.ldc)
-                    blue_ldcs.add(incoming.ldc)
-                    candidate = None
-            else:
-                for abstraction in sub_entry.abstractions:
-                    self.stats.blue_propagations += 1
-                    to_be_dominated.add(
-                        extend_abstraction(
-                            abstraction, edge.base, virtual=edge.virtual
-                        )
-                    )
-                blue_ldcs |= sub_entry.candidate_ldcs
-
-        if not found_any:
-            return None
-        if candidate is None:
-            return BlueEntry(frozenset(to_be_dominated), frozenset(blue_ldcs))
-        surviving = {
-            abstraction
-            for abstraction in to_be_dominated
-            if not self._dominates(candidate.pair, (candidate.ldc, abstraction))
+    def _evict(
+        self, class_names, member: Optional[str] = None
+    ) -> int:
+        """Drop the cached entries of the given classes — for one member
+        name, or for all (``member=None``).  Returns how many entries
+        were actually removed.  Uses the *current* snapshot's interner;
+        classes it does not know cannot have cached entries."""
+        ch = self._ch
+        cids = {
+            ch.class_ids[name]
+            for name in class_names
+            if name in ch.class_ids
         }
-        if not surviving:
-            return candidate
-        surviving.add(candidate.least_virtual)
-        blue_ldcs.add(candidate.ldc)
-        return BlueEntry(frozenset(surviving), frozenset(blue_ldcs))
-
-    def _dominates(
-        self, red: tuple[str, Abstraction], other: tuple[str, Abstraction]
-    ) -> bool:
-        self.stats.dominance_checks += 1
-        l1, v1 = red
-        _, v2 = other
-        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
-            return True
-        return v1 is not OMEGA and v1 == v2
+        if not cids:
+            return 0
+        if member is not None:
+            keys: list[ColumnKey] = [ch.member_ids.get(member, member)]
+        else:
+            keys = list(self._columns)
+        removed = 0
+        for key in keys:
+            column = self._columns.get(key)
+            if not column:
+                continue
+            for cid in cids:
+                if cid in column:
+                    del column[cid]
+                    self._public.pop((key, cid), None)
+                    removed += 1
+            if not column:
+                del self._columns[key]
+        return removed

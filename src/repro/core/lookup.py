@@ -1,4 +1,4 @@
-"""The member lookup algorithm — the paper's Figure 8.
+"""The member lookup algorithm — the paper's Figure 8, eager driver.
 
 This is the primary contribution of the paper: a propagation over the CHG
 in topological order that tabulates ``lookup[C, m]`` for every class ``C``
@@ -15,10 +15,14 @@ Blue definitions must be propagated even though they can never win
 (Section 4 explains why: a blue definition can *disqualify* a red one —
 see ``lookup(H, bar)`` in the paper's Figure 5/7).
 
-Dominance between abstractions is Lemma 4's constant-time test::
-
-    (L1, V1) dominates (L2, V2)  iff  V2 in virtual-bases[L1]
-                                      or V1 == V2 != Ω
+The per-entry fold itself (red/blue extension, candidate selection, the
+blue-kill resolution, Lemma 4's dominance test) lives in exactly one
+place — :mod:`repro.core.kernel` — operating on the interned ids of a
+:class:`~repro.hierarchy.compiled.CompiledHierarchy`.  This module is
+the *eager* driver: one topological sweep filling the whole table, after
+which every query is O(1).  The entry types ``RedEntry`` / ``BlueEntry``
+/ ``TableEntry`` and the ``LookupStats`` counters are defined in the
+kernel and re-exported here for backwards compatibility.
 
 Complexity (Section 5): ``O(|M| * |N| * (|N| + |E|))`` to build the whole
 table, dropping to ``O((|M| + |N|) * (|N| + |E|))`` when no entry is
@@ -27,93 +31,54 @@ ambiguous; a built table answers each query in O(1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional
 
-from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction
-from repro.core.results import (
-    LookupResult,
-    ambiguous_result,
-    not_found_result,
-    unique_result,
+from repro.core.kernel import (
+    BlueEntry,
+    KernelBlue,
+    LookupStats,
+    RedEntry,
+    TableEntry,
+    fold_entry,
+    result_from_entry,
+    to_table_entry,
 )
+from repro.core.results import LookupResult, not_found_result
+from repro.hierarchy.compiled import HierarchyLike, compiled_of, hierarchy_of
 from repro.hierarchy.graph import ClassHierarchyGraph
-from repro.hierarchy.topo import topological_order
-from repro.hierarchy.virtual_bases import virtual_bases
 
-
-@dataclass(frozen=True)
-class RedEntry:
-    """An unambiguous table entry: the abstraction ``(ldc, leastVirtual)``
-    of the dominant definition, plus (optionally) a concrete witness path
-    — the paper notes the witness can be carried for free since at most
-    one red definition crosses any edge."""
-
-    ldc: str
-    least_virtual: Abstraction
-    witness: Optional[Path] = None
-
-    @property
-    def pair(self) -> tuple[str, Abstraction]:
-        return (self.ldc, self.least_virtual)
-
-    def __str__(self) -> str:
-        return f"Red ({self.ldc}, {self.least_virtual})"
-
-
-@dataclass(frozen=True)
-class BlueEntry:
-    """An ambiguous table entry: the propagated blue abstraction set, plus
-    the declaring classes of the conflicting definitions (carried only for
-    diagnostics; the algorithm itself never reads ``candidate_ldcs``)."""
-
-    abstractions: frozenset[Abstraction]
-    candidate_ldcs: frozenset[str] = frozenset()
-
-    def __str__(self) -> str:
-        body = ", ".join(sorted(map(str, self.abstractions), key=str))
-        return f"Blue {{{body}}}"
-
-
-TableEntry = Union[RedEntry, BlueEntry]
-
-
-@dataclass
-class LookupStats:
-    """Operation counters, used by the benchmarks to exhibit the paper's
-    complexity claims independently of wall-clock noise."""
-
-    classes_visited: int = 0
-    entries_computed: int = 0
-    red_propagations: int = 0
-    blue_propagations: int = 0
-    dominance_checks: int = 0
-
-    def total_work(self) -> int:
-        return (
-            self.red_propagations
-            + self.blue_propagations
-            + self.dominance_checks
-        )
+__all__ = [
+    "BlueEntry",
+    "LookupStats",
+    "MemberLookupTable",
+    "RedEntry",
+    "TableEntry",
+    "build_lookup_table",
+    "lookup",
+]
 
 
 class MemberLookupTable:
     """Eagerly tabulated member lookup over a class hierarchy graph.
 
     Building the table runs the Figure 8 algorithm once; afterwards
-    :meth:`lookup` answers any query in constant time.
+    :meth:`lookup` answers any query in constant time.  Accepts either a
+    mutable :class:`~repro.hierarchy.graph.ClassHierarchyGraph` (compiled
+    on demand, memoised) or an already compiled
+    :class:`~repro.hierarchy.compiled.CompiledHierarchy`.
     """
 
     def __init__(
-        self, graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+        self, hierarchy: HierarchyLike, *, track_witnesses: bool = True
     ) -> None:
-        graph.validate()
-        self._graph = graph
+        self._graph = hierarchy_of(hierarchy)
+        self._ch = compiled_of(hierarchy)
         self._track_witnesses = track_witnesses
-        self._virtual_bases = virtual_bases(graph)
-        self._order = topological_order(graph)
-        self._visible: dict[str, dict[str, None]] = {}
-        self._table: dict[tuple[str, str], TableEntry] = {}
+        # Column-major interned table: member id -> {class id -> entry}.
+        # Only visible (class, member) pairs are stored, exactly like the
+        # paper's sparse table.
+        self._columns: dict[int, dict[int, object]] = {}
+        self._public: dict[tuple[int, int], TableEntry] = {}
         self.stats = LookupStats()
         self._build()
 
@@ -125,164 +90,117 @@ class MemberLookupTable:
     def graph(self) -> ClassHierarchyGraph:
         return self._graph
 
+    @property
+    def compiled(self):
+        """The interned substrate the table was built over."""
+        return self._ch
+
     def lookup(self, class_name: str, member: str) -> LookupResult:
         """``lookup(C, m)`` per Definition 9, answered from the table."""
-        self._graph.direct_bases(class_name)  # validate the class name
-        entry = self._table.get((class_name, member))
-        if entry is None:
+        ch = self._ch
+        cid = ch.class_ids.get(class_name)
+        if cid is None:
+            # Unknown to the snapshot: defer to the live graph so the
+            # error behaviour matches the mutable API exactly.
+            self._graph.direct_bases(class_name)
             return not_found_result(class_name, member)
-        if isinstance(entry, RedEntry):
-            return unique_result(
-                class_name,
-                member,
-                declaring_class=entry.ldc,
-                least_virtual=entry.least_virtual,
-                witness=entry.witness,
-            )
-        return ambiguous_result(
-            class_name,
-            member,
-            blue_abstractions=entry.abstractions,
-            candidates=tuple(sorted(entry.candidate_ldcs)),
-        )
+        mid = ch.member_ids.get(member)
+        entry = self._entry_at(cid, mid) if mid is not None else None
+        return result_from_entry(class_name, member, entry)
 
     def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
         """The raw Red/Blue table entry (``None`` if ``m`` is not a member
         of any subobject of ``C``) — matches the paper's Figures 6-7."""
-        return self._table.get((class_name, member))
+        ch = self._ch
+        cid = ch.class_ids.get(class_name)
+        mid = ch.member_ids.get(member)
+        if cid is None or mid is None:
+            return None
+        return self._entry_at(cid, mid)
 
     def visible_members(self, class_name: str) -> tuple[str, ...]:
         """``Members[C]``: names declared in ``C`` or inherited from any
         base, in the deterministic order the algorithm produced them."""
-        return tuple(self._visible[class_name])
+        ch = self._ch
+        cid = ch.class_ids[class_name]
+        names = ch.member_names
+        return tuple(names[mid] for mid in ch.ordered_visible(cid))
 
     def all_entries(self) -> Mapping[tuple[str, str], TableEntry]:
-        return dict(self._table)
+        """Every table entry, keyed on ``(class, member)`` names."""
+        ch = self._ch
+        class_names = ch.class_names
+        member_names = ch.member_names
+        out: dict[tuple[str, str], TableEntry] = {}
+        for cid in ch.topo_order:
+            cname = class_names[cid]
+            for mid in ch.ordered_visible(cid):
+                out[(cname, member_names[mid])] = self._entry_at(cid, mid)
+        return out
 
     def ambiguous_queries(self) -> tuple[tuple[str, str], ...]:
         """All ``(class, member)`` pairs whose lookup is ambiguous."""
+        ch = self._ch
+        class_names = ch.class_names
+        member_names = ch.member_names
         return tuple(
-            key
-            for key, entry in self._table.items()
-            if isinstance(entry, BlueEntry)
+            (class_names[cid], member_names[mid])
+            for cid in ch.topo_order
+            for mid in ch.ordered_visible(cid)
+            if type(self._columns[mid][cid]) is KernelBlue
         )
 
     # ------------------------------------------------------------------
-    # The Figure 8 algorithm
+    # The eager driver (the fold itself lives in repro.core.kernel)
     # ------------------------------------------------------------------
 
     def _build(self) -> None:
-        graph = self._graph
-        for class_name in self._order:
-            self.stats.classes_visited += 1
-            # Lines [6]-[9]: Members[C] := M[C] ∪ ⋃ Members[X].
-            visible: dict[str, None] = dict.fromkeys(
-                graph.declared_members(class_name)
-            )
-            for edge in graph.direct_bases(class_name):
-                visible.update(self._visible[edge.base])
-            self._visible[class_name] = visible
-
-            for member in visible:
-                self.stats.entries_computed += 1
-                self._table[(class_name, member)] = self._compute_entry(
-                    class_name, member
+        ch = self._ch
+        stats = self.stats
+        track = self._track_witnesses
+        columns = self._columns
+        visible_masks = ch.visible_masks
+        for cid in ch.topo_order:
+            stats.classes_visited += 1
+            mask = visible_masks[cid]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                mid = low.bit_length() - 1
+                column = columns.get(mid)
+                if column is None:
+                    column = columns[mid] = {}
+                stats.entries_computed += 1
+                column[cid] = fold_entry(
+                    ch, cid, mid, column.get, stats, track
                 )
 
-    def _compute_entry(self, class_name: str, member: str) -> TableEntry:
-        graph = self._graph
-        # Lines [11]-[12]: a generated definition C::m hides everything.
-        if graph.declares(class_name, member):
-            witness = (
-                Path.trivial(class_name) if self._track_witnesses else None
-            )
-            return RedEntry(class_name, OMEGA, witness)
-
-        # Lines [13]-[33]: fold the entries of the direct bases.
-        to_be_dominated: set[Abstraction] = set()
-        blue_ldcs: set[str] = set()
-        candidate: Optional[RedEntry] = None
-
-        for edge in graph.direct_bases(class_name):
-            base = edge.base
-            if member not in self._visible[base]:
-                continue
-            sub_entry = self._table[(base, member)]
-            if isinstance(sub_entry, RedEntry):
-                self.stats.red_propagations += 1
-                incoming = RedEntry(
-                    ldc=sub_entry.ldc,
-                    least_virtual=extend_abstraction(
-                        sub_entry.least_virtual, base, virtual=edge.virtual
-                    ),
-                    witness=(
-                        sub_entry.witness.extend(
-                            class_name, virtual=edge.virtual
-                        )
-                        if sub_entry.witness is not None
-                        else None
-                    ),
-                )
-                if candidate is None:
-                    candidate = incoming
-                elif self._dominates(incoming.pair, candidate.pair):
-                    candidate = incoming
-                elif not self._dominates(candidate.pair, incoming.pair):
-                    # Neither dominates: both become blue for now.
-                    to_be_dominated.add(candidate.least_virtual)
-                    to_be_dominated.add(incoming.least_virtual)
-                    blue_ldcs.add(candidate.ldc)
-                    blue_ldcs.add(incoming.ldc)
-                    candidate = None
-            else:
-                # Lines [29]-[31]: blue definitions propagate through ⋄.
-                for abstraction in sub_entry.abstractions:
-                    self.stats.blue_propagations += 1
-                    to_be_dominated.add(
-                        extend_abstraction(
-                            abstraction, base, virtual=edge.virtual
-                        )
-                    )
-                blue_ldcs |= sub_entry.candidate_ldcs
-
-        # Lines [34]-[44]: resolve candidate against the blue set.
-        if candidate is None:
-            return BlueEntry(frozenset(to_be_dominated), frozenset(blue_ldcs))
-        surviving = {
-            abstraction
-            for abstraction in to_be_dominated
-            if not self._dominates(candidate.pair, (candidate.ldc, abstraction))
-        }
-        if not surviving:
-            return candidate
-        surviving.add(candidate.least_virtual)
-        blue_ldcs.add(candidate.ldc)
-        return BlueEntry(frozenset(surviving), frozenset(blue_ldcs))
-
-    def _dominates(
-        self, red: tuple[str, Abstraction], other: tuple[str, Abstraction]
-    ) -> bool:
-        """Lines [1]-[3]: Lemma 4's test using the precomputed
-        virtual-base relation."""
-        self.stats.dominance_checks += 1
-        l1, v1 = red
-        _, v2 = other
-        if isinstance(v2, str) and v2 in self._virtual_bases[l1]:
-            return True
-        return v1 is not OMEGA and v1 == v2
+    def _entry_at(self, cid: int, mid: int) -> Optional[TableEntry]:
+        kentry = self._columns.get(mid, {}).get(cid)
+        if kentry is None:
+            return None
+        key = (cid, mid)
+        public = self._public.get(key)
+        if public is None:
+            public = self._public[key] = to_table_entry(self._ch, kentry)
+        return public
 
 
 def build_lookup_table(
-    graph: ClassHierarchyGraph, *, track_witnesses: bool = True
+    hierarchy: HierarchyLike, *, track_witnesses: bool = True
 ) -> MemberLookupTable:
     """Run the paper's ``doLookup()`` and return the filled table."""
-    return MemberLookupTable(graph, track_witnesses=track_witnesses)
+    return MemberLookupTable(hierarchy, track_witnesses=track_witnesses)
 
 
 def lookup(
-    graph: ClassHierarchyGraph, class_name: str, member: str
+    graph: HierarchyLike, class_name: str, member: str
 ) -> LookupResult:
-    """One-shot convenience wrapper: build the table and answer a single
-    query.  For repeated queries, build the table once or use the lazy
-    engine (:mod:`repro.core.lazy`)."""
-    return build_lookup_table(graph).lookup(class_name, member)
+    """One-shot convenience wrapper: answer a single query through the
+    memoising lazy engine (:mod:`repro.core.lazy`), computing only the
+    entries the query actually demands.  For repeated queries, build a
+    :class:`MemberLookupTable` once or keep a
+    :class:`~repro.core.lazy.LazyMemberLookup` around."""
+    from repro.core.lazy import LazyMemberLookup
+
+    return LazyMemberLookup(graph).lookup(class_name, member)

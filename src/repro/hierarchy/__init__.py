@@ -1,6 +1,13 @@
 """The class hierarchy graph substrate (paper, Section 2)."""
 
 from repro.hierarchy.builder import HierarchyBuilder, hierarchy_from_spec
+from repro.hierarchy.compiled import (
+    OMEGA_ID,
+    CompiledHierarchy,
+    compile_hierarchy,
+    compiled_of,
+    hierarchy_of,
+)
 from repro.hierarchy.graph import ClassHierarchyGraph, Inheritance
 from repro.hierarchy.members import Access, Member, MemberKind, as_member
 from repro.hierarchy.serialize import (
@@ -16,8 +23,13 @@ from repro.hierarchy.virtual_bases import is_virtual_base, virtual_bases
 __all__ = [
     "Access",
     "ClassHierarchyGraph",
+    "CompiledHierarchy",
     "HierarchyBuilder",
     "Inheritance",
+    "OMEGA_ID",
+    "compile_hierarchy",
+    "compiled_of",
+    "hierarchy_of",
     "SerializationError",
     "dumps",
     "hierarchy_from_dict",

@@ -1,0 +1,432 @@
+"""A frozen, interned snapshot of a class hierarchy graph.
+
+The paper's complexity results are all phrased over the CHG ``(N, E)``,
+but the mutable :class:`~repro.hierarchy.graph.ClassHierarchyGraph` keys
+everything on Python strings, and every engine used to re-derive the
+topological order and the virtual-base relation per instance.  This
+module compiles a hierarchy once into an array-shaped substrate that all
+engines share:
+
+* class and member names are interned into dense integer ids (the
+  reverse tables ``class_names`` / ``member_names`` keep the public
+  string API byte-for-byte identical);
+* the direct-base and direct-derived adjacencies are stored as flat
+  CSR-style arrays (``base_offsets`` / ``base_targets``) with a parallel
+  virtual-edge flag array — plus per-class tuple views for hot loops;
+* the topological order, per-class declared-member id sets, the visible
+  member sets and the virtual-base relation are precomputed once; the
+  virtual-base relation is a per-class *int bitmask*, so Lemma 4's
+  dominance test becomes two bit operations
+  (see :func:`repro.core.kernel.dominates`);
+* ``generation`` mirrors the source graph's mutation counter, and
+  :func:`compile_hierarchy` recompiles *deltas* cheaply when the graph
+  only grew downward (new classes appended — the common compiler case),
+  which the incremental engine relies on.
+
+Engines accept either a graph (compiled on demand and memoised via
+:meth:`ClassHierarchyGraph.compile`) or an already compiled hierarchy.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Union
+
+from repro.errors import UnknownClassError
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+#: Interned stand-in for the paper's Ω symbol ("no virtual edge on the
+#: path").  Any valid class id is >= 0, so -1 is distinct from every
+#: abstraction, mirroring Definition 13's requirement.
+OMEGA_ID = -1
+
+
+class CompiledHierarchy:
+    """An immutable, integer-indexed view of one graph generation.
+
+    Instances are produced by :func:`compile_hierarchy` (or the memoised
+    :meth:`ClassHierarchyGraph.compile`); all arrays are index-aligned
+    with the dense class ids, which follow declaration order and are
+    *stable across recompiles* — recompiling after growth only appends
+    ids, so caches keyed on ``(class_id, member_id)`` stay valid.
+    """
+
+    __slots__ = (
+        "source",
+        "generation",
+        "class_names",
+        "class_ids",
+        "member_names",
+        "member_ids",
+        "base_offsets",
+        "base_targets",
+        "base_virtual",
+        "derived_offsets",
+        "derived_targets",
+        "derived_virtual",
+        "base_pairs",
+        "derived_pairs",
+        "topo_order",
+        "virtual_base_masks",
+        "declared_masks",
+        "declared_mids",
+        "visible_masks",
+        "_base_counts",
+        "_member_counts",
+        "_ordered_visible",
+    )
+
+    def __init__(self) -> None:  # populated by compile_hierarchy
+        self._ordered_visible: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_names)
+
+    def class_id(self, name: str) -> int:
+        """The dense id of ``name``; raises :class:`UnknownClassError`."""
+        try:
+            return self.class_ids[name]
+        except KeyError:
+            raise UnknownClassError(name) from None
+
+    def class_name(self, cid: int) -> str:
+        return self.class_names[cid]
+
+    def member_id(self, name: str) -> Optional[int]:
+        """The dense id of a member name, or ``None`` if no class in the
+        hierarchy declares it."""
+        return self.member_ids.get(name)
+
+    # ------------------------------------------------------------------
+    # Structure queries (all O(1) / O(out-degree))
+    # ------------------------------------------------------------------
+
+    def declares_id(self, cid: int, mid: int) -> bool:
+        """``m in M[C]`` on interned ids (one shift + one mask)."""
+        return (self.declared_masks[cid] >> mid) & 1 == 1
+
+    def visible_id(self, cid: int, mid: int) -> bool:
+        """Is ``m`` a member of any subobject of ``C``?"""
+        return (self.visible_masks[cid] >> mid) & 1 == 1
+
+    def is_virtual_base_id(self, base: int, derived: int) -> bool:
+        """Lemma 4's precomputed relation, as a single bit probe."""
+        return (self.virtual_base_masks[derived] >> base) & 1 == 1
+
+    def descendants_ids(self, cid: int) -> set[int]:
+        """All transitive derived classes of ``cid`` (strict)."""
+        seen: set[int] = set()
+        stack = [cid]
+        while stack:
+            for target, _virtual in self.derived_pairs[stack.pop()]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def ordered_visible(self, cid: int) -> tuple[int, ...]:
+        """``Members[C]`` as member ids, in the deterministic order the
+        seed algorithm produced them: ``C``'s declarations first (in
+        declaration order), then each direct base's visible members in
+        base-declaration order, duplicates dropped.
+
+        Computed lazily and memoised; iterative so hierarchies deeper
+        than the recursion limit are fine.
+        """
+        cache = self._ordered_visible
+        if cid in cache:
+            return cache[cid]
+        stack: list[tuple[int, bool]] = [(cid, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in cache:
+                continue
+            if expanded:
+                merged: dict[int, None] = dict.fromkeys(
+                    self.declared_mids[node]
+                )
+                for base, _virtual in self.base_pairs[node]:
+                    merged.update(dict.fromkeys(cache[base]))
+                cache[node] = tuple(merged)
+            else:
+                stack.append((node, True))
+                for base, _virtual in self.base_pairs[node]:
+                    if base not in cache:
+                        stack.append((base, False))
+        return cache[cid]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledHierarchy(classes={self.n_classes}, "
+            f"members={self.n_members}, generation={self.generation})"
+        )
+
+
+#: What the engines accept: the mutable builder graph or its compiled form.
+HierarchyLike = Union[ClassHierarchyGraph, CompiledHierarchy]
+
+
+def hierarchy_of(obj: HierarchyLike) -> ClassHierarchyGraph:
+    """The underlying mutable graph of either input form."""
+    if isinstance(obj, CompiledHierarchy):
+        return obj.source
+    return obj
+
+
+def compiled_of(obj: HierarchyLike) -> CompiledHierarchy:
+    """The compiled form of either input, compiling (memoised) if needed."""
+    if isinstance(obj, CompiledHierarchy):
+        return obj
+    return obj.compile()
+
+
+def compile_hierarchy(
+    graph: ClassHierarchyGraph,
+    previous: Optional[CompiledHierarchy] = None,
+) -> CompiledHierarchy:
+    """Compile ``graph`` into a :class:`CompiledHierarchy`.
+
+    When ``previous`` is a compilation of an earlier generation of the
+    *same* graph and the graph has only grown downward since (classes
+    appended; no members or edges added to pre-existing classes), the
+    old arrays are extended instead of rebuilt — O(new work) plus an
+    O(old classes) staleness check.  Any other mutation falls back to a
+    full rebuild that still reuses the interner, so ids never shift.
+    """
+    graph.validate()
+
+    if previous is not None and previous.source is not graph:
+        previous = None
+
+    names = graph.classes
+    if previous is not None and _delta_compatible(graph, previous, names):
+        return _compile_delta(graph, previous, names)
+    return _compile_full(graph, previous, names)
+
+
+def _delta_compatible(
+    graph: ClassHierarchyGraph,
+    previous: CompiledHierarchy,
+    names: tuple[str, ...],
+) -> bool:
+    old_n = previous.n_classes
+    if len(names) < old_n:
+        return False
+    for cid in range(old_n):
+        name = names[cid]
+        if name != previous.class_names[cid]:
+            return False
+        if graph.base_count(name) != previous._base_counts[cid]:
+            return False
+        if graph.member_count(name) != previous._member_counts[cid]:
+            return False
+    return True
+
+
+def _compile_full(
+    graph: ClassHierarchyGraph,
+    previous: Optional[CompiledHierarchy],
+    names: tuple[str, ...],
+) -> CompiledHierarchy:
+    ch = CompiledHierarchy()
+    ch.source = graph
+    ch.generation = graph.generation
+
+    # --- interning (reuse the previous tables so ids stay stable) -----
+    class_ids = dict(previous.class_ids) if previous is not None else {}
+    member_ids = dict(previous.member_ids) if previous is not None else {}
+    for name in names:
+        if name not in class_ids:
+            class_ids[name] = len(class_ids)
+    declared_mids: list[tuple[int, ...]] = []
+    for name in names:
+        mids = []
+        for member_name in graph.declared_members(name):
+            mid = member_ids.setdefault(member_name, len(member_ids))
+            mids.append(mid)
+        declared_mids.append(tuple(mids))
+
+    ch.class_ids = class_ids
+    ch.class_names = tuple(names)
+    ch.member_ids = member_ids
+    ch.member_names = tuple(member_ids)
+    ch.declared_mids = tuple(declared_mids)
+
+    # --- CSR adjacency with parallel virtual-flag arrays --------------
+    base_lists = [
+        tuple(
+            (class_ids[e.base], 1 if e.virtual else 0)
+            for e in graph.direct_bases(name)
+        )
+        for name in names
+    ]
+    _fill_adjacency(ch, base_lists)
+    _finish(graph, ch, base_lists, start=0, previous=None)
+    return ch
+
+
+def _compile_delta(
+    graph: ClassHierarchyGraph,
+    previous: CompiledHierarchy,
+    names: tuple[str, ...],
+) -> CompiledHierarchy:
+    ch = CompiledHierarchy()
+    ch.source = graph
+    ch.generation = graph.generation
+    old_n = previous.n_classes
+
+    class_ids = dict(previous.class_ids)
+    member_ids = dict(previous.member_ids)
+    for name in names[old_n:]:
+        class_ids[name] = len(class_ids)
+    declared_mids = list(previous.declared_mids)
+    for name in names[old_n:]:
+        mids = []
+        for member_name in graph.declared_members(name):
+            mid = member_ids.setdefault(member_name, len(member_ids))
+            mids.append(mid)
+        declared_mids.append(tuple(mids))
+
+    ch.class_ids = class_ids
+    ch.class_names = tuple(names)
+    ch.member_ids = member_ids
+    ch.member_names = tuple(member_ids)
+    ch.declared_mids = tuple(declared_mids)
+
+    base_lists = list(previous.base_pairs)
+    for name in names[old_n:]:
+        base_lists.append(
+            tuple(
+                (class_ids[e.base], 1 if e.virtual else 0)
+                for e in graph.direct_bases(name)
+            )
+        )
+    _fill_adjacency(ch, base_lists)
+    _finish(graph, ch, base_lists, start=old_n, previous=previous)
+    return ch
+
+
+def _fill_adjacency(
+    ch: CompiledHierarchy,
+    base_lists: list[tuple[tuple[int, int], ...]],
+) -> None:
+    n = len(base_lists)
+    base_offsets = array("q", [0])
+    base_targets = array("q")
+    base_virtual = array("b")
+    offset = 0
+    for pairs in base_lists:
+        for target, virtual in pairs:
+            base_targets.append(target)
+            base_virtual.append(virtual)
+        offset += len(pairs)
+        base_offsets.append(offset)
+    ch.base_offsets = base_offsets
+    ch.base_targets = base_targets
+    ch.base_virtual = base_virtual
+    ch.base_pairs = tuple(base_lists)
+
+    derived_lists: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for derived, pairs in enumerate(base_lists):
+        for target, virtual in pairs:
+            derived_lists[target].append((derived, virtual))
+    derived_offsets = array("q", [0])
+    derived_targets = array("q")
+    derived_virtual = array("b")
+    offset = 0
+    for pairs in derived_lists:
+        for target, virtual in pairs:
+            derived_targets.append(target)
+            derived_virtual.append(virtual)
+        offset += len(pairs)
+        derived_offsets.append(offset)
+    ch.derived_offsets = derived_offsets
+    ch.derived_targets = derived_targets
+    ch.derived_virtual = derived_virtual
+    ch.derived_pairs = tuple(tuple(pairs) for pairs in derived_lists)
+
+
+def _finish(
+    graph: ClassHierarchyGraph,
+    ch: CompiledHierarchy,
+    base_lists: list[tuple[tuple[int, int], ...]],
+    *,
+    start: int,
+    previous: Optional[CompiledHierarchy],
+) -> None:
+    """Topological order, bitmask relations and staleness snapshots —
+    either from scratch (``start == 0``) or extending ``previous``."""
+    n = len(base_lists)
+
+    if previous is None:
+        prefix: tuple[int, ...] = ()
+    else:
+        prefix = previous.topo_order
+    # Kahn over the (new suffix of the) id graph; ids are declaration
+    # order, and the ready queue is drained smallest-id first, matching
+    # repro.hierarchy.topo.topological_order's tie-breaking.
+    from collections import deque
+
+    indegree = [0] * n
+    for cid in range(start, n):
+        indegree[cid] = sum(
+            1 for base, _v in base_lists[cid] if base >= start
+        )
+    ready = deque(cid for cid in range(start, n) if indegree[cid] == 0)
+    suffix: list[int] = []
+    while ready:
+        cid = ready.popleft()
+        suffix.append(cid)
+        for target, _virtual in ch.derived_pairs[cid]:
+            if target >= start:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    ready.append(target)
+    ch.topo_order = prefix + tuple(suffix)
+
+    if previous is None:
+        virtual_base_masks = [0] * n
+        declared_masks = [0] * n
+        visible_masks = [0] * n
+    else:
+        virtual_base_masks = list(previous.virtual_base_masks) + [0] * (
+            n - start
+        )
+        declared_masks = list(previous.declared_masks) + [0] * (n - start)
+        visible_masks = list(previous.visible_masks) + [0] * (n - start)
+
+    for cid in range(start, n):
+        mask = 0
+        for mid in ch.declared_mids[cid]:
+            mask |= 1 << mid
+        declared_masks[cid] = mask
+
+    order = ch.topo_order if previous is None else suffix
+    for cid in order:
+        vb = 0
+        vis = declared_masks[cid]
+        for base, virtual in base_lists[cid]:
+            vb |= virtual_base_masks[base]
+            if virtual:
+                vb |= 1 << base
+            vis |= visible_masks[base]
+        virtual_base_masks[cid] = vb
+        visible_masks[cid] = vis
+
+    ch.virtual_base_masks = virtual_base_masks
+    ch.declared_masks = declared_masks
+    ch.visible_masks = visible_masks
+
+    ch._base_counts = array("q", (len(pairs) for pairs in base_lists))
+    ch._member_counts = array(
+        "q", (len(mids) for mids in ch.declared_mids)
+    )

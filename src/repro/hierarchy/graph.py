@@ -73,6 +73,8 @@ class ClassHierarchyGraph:
     def __init__(self) -> None:
         self._classes: dict[str, _ClassInfo] = {}
         self._edges: list[Inheritance] = []
+        self._generation = 0
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -92,6 +94,7 @@ class ClassHierarchyGraph:
             raise DuplicateClassError(name)
         info = _ClassInfo(name=name, is_struct=is_struct)
         self._classes[name] = info
+        self._generation += 1
         for spec in members:
             self.add_member(name, spec)
 
@@ -102,6 +105,7 @@ class ClassHierarchyGraph:
         if member.name in info.members:
             raise DuplicateMemberError(class_name, member.name)
         info.members[member.name] = member
+        self._generation += 1
 
     def add_edge(
         self,
@@ -124,6 +128,7 @@ class ClassHierarchyGraph:
         derived_info.bases.append(edge)
         base_info.derived.append(edge)
         self._edges.append(edge)
+        self._generation += 1
         return edge
 
     # ------------------------------------------------------------------
@@ -247,6 +252,43 @@ class ClassHierarchyGraph:
 
     def edge_count(self) -> int:
         return len(self._edges)
+
+    def base_count(self, name: str) -> int:
+        """Number of direct-base edges of ``name`` (no tuple built)."""
+        return len(self._info(name).bases)
+
+    def member_count(self, name: str) -> int:
+        """Number of directly declared members of ``name``."""
+        return len(self._info(name).members)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped by every class/member/edge addition.
+
+        A :class:`~repro.hierarchy.compiled.CompiledHierarchy` carries
+        the generation it was compiled at, so engines can detect
+        staleness with a single integer comparison.
+        """
+        return self._generation
+
+    def compile(self):
+        """The interned, array-shaped snapshot of the current generation.
+
+        Memoised: repeated calls between mutations return the same
+        :class:`~repro.hierarchy.compiled.CompiledHierarchy` object, and
+        recompiling after growth reuses the previous snapshot so interned
+        ids stay stable (appended, never shifted) and pure downward
+        growth is compiled as a cheap delta.
+        """
+        from repro.hierarchy.compiled import compile_hierarchy
+
+        if self._compiled is None or self._compiled.generation != self._generation:
+            self._compiled = compile_hierarchy(self, previous=self._compiled)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Validation
