@@ -56,6 +56,9 @@ def test_string_keyed(benchmark, workload):
     benchmark.extra_info["workload"] = name
     benchmark.extra_info["classes"] = len(graph)
     benchmark.extra_info["entries"] = len(table.all_entries())
+    # Anchors the seed-vs-current comparisons collect_bench_numbers.py
+    # folds into the same JSON report.
+    benchmark.extra_info["baseline"] = True
 
 
 def test_interned(benchmark, workload):

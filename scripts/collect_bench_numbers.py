@@ -8,10 +8,23 @@ change.
 
 Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
         python scripts/collect_bench_numbers.py -k interning --json-out BENCH_interning.json
+        python scripts/collect_bench_numbers.py --quick
 
 ``--json-out PATH`` additionally writes a compact, machine-readable
 summary (median/mean/stddev/rounds plus ``extra_info`` per benchmark) to
 PATH — small enough to check in next to the benchmark it records.
+
+Benchmarks that tag themselves with ``extra_info["baseline"] = True``
+(the seed string-keyed build in ``bench_interning.py``, the per-member
+build in ``bench_batched.py``) anchor a *comparisons* section: every
+other benchmark of the same file + ``extra_info["workload"]`` group is
+reported as a speedup over its baseline, so baseline-vs-current numbers
+land in one JSON report instead of two runs diffed by hand.
+
+``--quick`` runs the whole suite once with timing disabled
+(``--benchmark-disable``): a smoke mode proving the harness still
+*works* — CI uses it to fail PRs on benchmark bitrot without asserting
+anything about speed.
 """
 
 from __future__ import annotations
@@ -34,6 +47,50 @@ def human(seconds: float) -> str:
     return f"{seconds:8.2f} s "
 
 
+def comparisons(benchmarks: list) -> list[dict]:
+    """Speedups of every benchmark against the tagged baseline of its
+    ``(file, workload)`` group, where one exists."""
+    groups: dict[tuple[str, str], list] = defaultdict(list)
+    for bench in benchmarks:
+        extras = bench.get("extra_info") or {}
+        workload = extras.get("workload")
+        if workload is None:
+            continue
+        file_name = bench["fullname"].split("::")[0].split("/")[-1]
+        groups[(file_name, str(workload))].append(bench)
+
+    out: list[dict] = []
+    for (file_name, workload), group in sorted(groups.items()):
+        baseline = next(
+            (
+                b
+                for b in group
+                if (b.get("extra_info") or {}).get("baseline")
+            ),
+            None,
+        )
+        if baseline is None:
+            continue
+        base_median = baseline["stats"]["median"]
+        for bench in group:
+            if bench is baseline or not base_median:
+                continue
+            out.append(
+                {
+                    "file": file_name,
+                    "workload": workload,
+                    "baseline": baseline["name"],
+                    "candidate": bench["name"],
+                    "baseline_median_s": base_median,
+                    "candidate_median_s": bench["stats"]["median"],
+                    "speedup": round(
+                        base_median / bench["stats"]["median"], 3
+                    ),
+                }
+            )
+    return out
+
+
 def main() -> int:
     pytest_args = list(sys.argv[1:])
     json_out = None
@@ -45,6 +102,23 @@ def main() -> int:
             print("--json-out requires a path", file=sys.stderr)
             return 2
         del pytest_args[index : index + 2]
+
+    if "--quick" in pytest_args:
+        pytest_args.remove("--quick")
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(ROOT / "benchmarks"),
+            "--benchmark-disable",
+            # Smoke mode checks the harness, not the hardware: the
+            # wall-clock floor assertions stay out of it by contract.
+            "-k",
+            "not speedup_floor",
+            "-q",
+            *pytest_args,
+        ]
+        return subprocess.run(command, cwd=ROOT).returncode
 
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = handle.name
@@ -79,6 +153,15 @@ def main() -> int:
                 else ""
             )
             print(f"  {bench['name']:<55} {human(median)}{extra_text}")
+
+    compared = comparisons(data["benchmarks"])
+    if compared:
+        print("\n== baseline comparisons ==")
+        for row in compared:
+            print(
+                f"  {row['workload']:<20} {row['baseline']} -> "
+                f"{row['candidate']:<40} {row['speedup']:6.2f}x"
+            )
     print(f"\n(raw JSON: {json_path})")
 
     if json_out is not None:
@@ -102,6 +185,7 @@ def main() -> int:
                     data["benchmarks"], key=lambda b: b["fullname"]
                 )
             ],
+            "comparisons": compared,
         }
         Path(json_out).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"(summary written to {json_out})")

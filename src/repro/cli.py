@@ -11,6 +11,7 @@ Commands:
 * ``check``    parse + analyse, print diagnostics (exit 1 on errors)
 * ``lookup``   resolve one ``Class::member`` query
 * ``table``    print the whole lookup table
+* ``build``    build the table, report build + query-cache statistics
 * ``explain``  step-by-step dominance explanation of one query
 * ``metrics``  structural metrics of the hierarchy
 * ``dot``      DOT export of the CHG or of one class's subobject graph
@@ -29,7 +30,8 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.lookup import build_lookup_table
+from repro.core.cache import DEFAULT_CACHE_SIZE, CachedMemberLookup
+from repro.core.lookup import BUILD_MODES, build_lookup_table
 from repro.core.static_lookup import StaticAwareLookupTable
 from repro.diagnostics.dot import chg_to_dot, subobject_graph_to_dot
 from repro.diagnostics.explain import explain_lookup
@@ -69,6 +71,32 @@ def _parse_query(query: str) -> tuple[str, str]:
     return class_name, member
 
 
+def _add_build_mode_options(parser: argparse.ArgumentParser) -> None:
+    """The table-construction knobs shared by ``table`` and ``build``."""
+    parser.add_argument(
+        "--mode",
+        choices=BUILD_MODES,
+        default="per-member",
+        help="table build strategy (default: per-member; 'auto' picks "
+        "batched or sharded from the |M|·|E| work estimate)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sharded builder (default: cpu count)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="member-space shards for the sharded builder "
+        "(default: one per worker)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +121,28 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument("file")
     table.add_argument(
         "--ambiguous-only", action="store_true", help="only ⊥ entries"
+    )
+    _add_build_mode_options(table)
+    table.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the LookupStats counters after the table",
+    )
+
+    build = commands.add_parser(
+        "build",
+        help="build the lookup table and report build + cache statistics",
+    )
+    build.add_argument("file")
+    _add_build_mode_options(build)
+    build.set_defaults(mode="auto")
+    build.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_CACHE_SIZE,
+        metavar="N",
+        help="LRU capacity of the query cache exercised by the report "
+        f"(default {DEFAULT_CACHE_SIZE})",
     )
 
     explain = commands.add_parser(
@@ -163,6 +213,59 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_lookup_stats(table) -> str:
+    stats = table.stats
+    return (
+        f"[build mode={table.mode}] "
+        f"classes_visited={stats.classes_visited} "
+        f"entries_computed={stats.entries_computed} "
+        f"red_propagations={stats.red_propagations} "
+        f"blue_propagations={stats.blue_propagations} "
+        f"dominance_checks={stats.dominance_checks}"
+    )
+
+
+def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
+    """The ``build`` command: construct the table in the requested mode,
+    then exercise the generation-keyed query cache over every visible
+    ``(class, member)`` pair twice, and report both sets of counters."""
+    import time
+
+    ch = graph.compile()
+    start = time.perf_counter()
+    table = build_lookup_table(
+        graph,
+        mode=args.mode,
+        max_workers=args.max_workers,
+        shards=args.shards,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"built lookup table for {ch.n_classes} classes / "
+        f"{ch.n_members} member names / {len(ch.base_targets)} edges "
+        f"in {elapsed * 1e3:.2f} ms"
+    )
+    print(f"  requested mode: {args.mode}  resolved mode: {table.mode}")
+    print("  " + _render_lookup_stats(table))
+
+    cached = CachedMemberLookup(graph, maxsize=args.cache_size)
+    queries = 0
+    for _ in range(2):
+        for class_name in graph.classes:
+            for member in table.visible_members(class_name):
+                result = cached.lookup(class_name, member)
+                assert result == table.lookup(class_name, member)
+                queries += 1
+    cache = cached.cache_stats
+    print(
+        f"  query cache (size {args.cache_size}): {queries} queries, "
+        f"hits={cache.hits} misses={cache.misses} "
+        f"evictions={cache.evictions} invalidations={cache.invalidations} "
+        f"hit_rate={cache.hit_rate():.1%}"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -212,14 +315,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if result.is_unique else 1
 
     if args.command == "table":
-        table = build_lookup_table(graph)
+        table = build_lookup_table(
+            graph,
+            mode=args.mode,
+            max_workers=args.max_workers,
+            shards=args.shards,
+        )
         for class_name in graph.classes:
             for member in table.visible_members(class_name):
                 result = table.lookup(class_name, member)
                 if args.ambiguous_only and not result.is_ambiguous:
                     continue
                 print(result)
+        if args.stats:
+            print(_render_lookup_stats(table))
         return 0
+
+    if args.command == "build":
+        return _run_build(graph, args)
 
     if args.command == "explain":
         class_name, member = args.query

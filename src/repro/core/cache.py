@@ -1,0 +1,201 @@
+"""A generation-keyed LRU query cache in front of the lazy engine.
+
+The lazy engine (:mod:`repro.core.lazy`) memoises *kernel entries* — the
+interned red/blue values the fold computes — but every query still pays
+interning, memo probing and the kernel-entry → :class:`LookupResult`
+conversion.  For the module-level one-shot :func:`repro.core.lookup.lookup`
+(the "millions of users hammering the same hot queries" path) this module
+adds the missing O(1) front: :class:`LookupCache`, a plain LRU over
+``(class, member) -> LookupResult`` with hit/miss/evict counters, wrapped
+by :class:`CachedMemberLookup`.
+
+Invalidation is *exact* and piggybacks on the substrate's existing
+staleness protocol: every mutation of a
+:class:`~repro.hierarchy.graph.ClassHierarchyGraph` bumps its generation
+counter, and the cache records the generation each entry batch was
+filled under.  A query under a newer generation flushes the cache in one
+step before consulting the (self-refreshing) lazy engine — so a cached
+result can never outlive the hierarchy shape it was computed from, and
+an unchanged hierarchy never pays recomputation.  There is no per-entry
+tracking to get wrong: the generation comparison is one integer test per
+query.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.lazy import LazyMemberLookup
+from repro.core.results import LookupResult
+from repro.hierarchy.compiled import HierarchyLike, hierarchy_of
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "CacheStats",
+    "CachedMemberLookup",
+    "LookupCache",
+    "shared_cached_lookup",
+]
+
+#: Default LRU capacity of :class:`CachedMemberLookup` — comfortably
+#: larger than the hot query set of any realistic translation unit while
+#: bounding worst-case memory for adversarial query streams.
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass
+class CacheStats:
+    """Counters for the cache's observable behaviour (reported by the
+    CLI ``build`` command and asserted on by the tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LookupCache:
+    """A bounded LRU mapping with explicit counters.
+
+    Deliberately minimal: ``get`` / ``put`` / ``clear`` over an
+    :class:`~collections.OrderedDict`, recency updated on every hit.
+    Generation logic lives in :class:`CachedMemberLookup`; this class
+    does not know what its keys mean.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value, or ``None`` — counting the hit or miss and
+        marking the entry most recently used."""
+        value = self._data.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        elif len(data) >= self.maxsize:
+            data.popitem(last=False)
+            self.stats.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry, counting one invalidation (only if there was
+        anything to drop — an empty flush is not an observable event)."""
+        if self._data:
+            self._data.clear()
+            self.stats.invalidations += 1
+
+
+class CachedMemberLookup:
+    """The lazy engine fronted by a generation-keyed :class:`LookupCache`.
+
+    Produces exactly the same :class:`LookupResult` objects as every
+    other engine; repeated queries under an unchanged hierarchy are one
+    dict probe.  The invalidation contract:
+
+    * every graph mutation bumps ``graph.generation``;
+    * the first query after a bump flushes the whole cache *and* the
+      underlying lazy memo (one event, counted in
+      ``cache_stats.invalidations``) — the cache assumes nothing about
+      which mutation happened, so all computed state goes;
+    * queries between mutations never recompute.
+
+    Callers that know their mutations are pure growth and want surgical
+    eviction should use
+    :class:`~repro.core.incremental.IncrementalLookupEngine` instead;
+    this class trades eviction precision for a contract that is correct
+    under *any* mutation at one integer compare per query.
+    """
+
+    def __init__(
+        self,
+        hierarchy: HierarchyLike,
+        *,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        track_witnesses: bool = True,
+    ) -> None:
+        self._graph = hierarchy_of(hierarchy)
+        self._track_witnesses = track_witnesses
+        self._lazy = LazyMemberLookup(
+            hierarchy, track_witnesses=track_witnesses
+        )
+        self._cache = LookupCache(maxsize)
+        self._generation = self._graph.generation
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def lazy(self) -> LazyMemberLookup:
+        """The underlying engine (its ``stats`` count the actual kernel
+        work; the cache's counters count what was *avoided*)."""
+        return self._lazy
+
+    @property
+    def generation(self) -> int:
+        """The graph generation the current cache contents belong to."""
+        return self._generation
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        generation = self._graph.generation
+        if generation != self._generation:
+            # Flush the LRU *and* retire the lazy engine's memo: unlike
+            # the incremental engine, this cache makes no assumption
+            # about *which* mutation happened (a member added to an old
+            # class rewrites existing entries, not just new ones), so
+            # correctness demands the whole computed state goes.  The
+            # compiled snapshot itself is memoised on the graph and
+            # recompiles as a delta where possible, so the flush costs
+            # O(recompute-on-demand), not O(recompile).
+            self._cache.clear()
+            self._lazy = LazyMemberLookup(
+                self._graph, track_witnesses=self._track_witnesses
+            )
+            self._generation = generation
+        key = (class_name, member)
+        result = self._cache.get(key)
+        if result is None:
+            result = self._lazy.lookup(class_name, member)
+            self._cache.put(key, result)
+        return result
+
+
+def shared_cached_lookup(
+    hierarchy: HierarchyLike, *, maxsize: int = DEFAULT_CACHE_SIZE
+) -> CachedMemberLookup:
+    """The per-graph shared :class:`CachedMemberLookup`, created on first
+    use and stored *on the graph itself* — so its lifetime is exactly the
+    graph's (no global registry to leak) and every module-level
+    :func:`repro.core.lookup.lookup` call against the same hierarchy
+    shares one cache."""
+    graph = hierarchy_of(hierarchy)
+    engine = getattr(graph, "_shared_cached_lookup", None)
+    if engine is None:
+        engine = CachedMemberLookup(graph, maxsize=maxsize)
+        graph._shared_cached_lookup = engine
+    return engine

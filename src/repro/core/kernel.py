@@ -15,14 +15,22 @@ propagation.
 The kernel operates on the interned integer ids of a
 :class:`~repro.hierarchy.compiled.CompiledHierarchy`:
 
-* A **red** kernel entry ``KernelRed(ldc, least_virtual, witness)``
-  means the lookup is unambiguous; ``least_virtual`` is a class id or
-  :data:`~repro.hierarchy.compiled.OMEGA_ID` (the paper's Ω).
+* A **red** kernel entry is a plain 3-tuple
+  ``(ldc_id, least_virtual_id, witness_cell)`` meaning the lookup is
+  unambiguous; ``least_virtual_id`` is a class id or
+  :data:`~repro.hierarchy.compiled.OMEGA_ID` (the paper's Ω).  A plain
+  tuple, deliberately: the drivers construct one entry per propagated
+  ``(class, member)`` pair, tuple display is ~45× cheaper than a
+  NamedTuple ``__new__`` call, and the batched sweep lives or dies on
+  that constant.
 * A **blue** kernel entry ``KernelBlue(abstractions, candidate_ldcs)``
   means the lookup is ambiguous; ``abstractions`` is the propagated set
   of ``leastVirtual`` ids that must still be dominated by any would-be
   winner further down (Section 4: a blue definition can *disqualify* a
   red one even though it can never win itself).
+
+Reds and blues are told apart by exact type: ``type(entry) is tuple``
+holds only for reds, because :class:`KernelBlue` is a tuple *subclass*.
 
 Dominance is Lemma 4's constant-time test, here literally two bit
 operations on the precomputed virtual-base masks::
@@ -126,12 +134,10 @@ class LookupStats:
 WitnessCell = tuple  # (int, bool, Optional["WitnessCell"])
 
 
-class KernelRed(NamedTuple):
-    """Interned red entry: ``(ldc_id, least_virtual_id, witness_cons)``."""
-
-    ldc: int
-    least_virtual: int
-    witness: Optional[WitnessCell]
+#: Interned red entry: the plain tuple
+#: ``(ldc_id, least_virtual_id, witness_cons)``.  See the module
+#: docstring for why this is not a NamedTuple.
+KernelRed = tuple
 
 
 class KernelBlue(NamedTuple):
@@ -174,8 +180,7 @@ def extend_abstraction_id(value: int, base: int, virtual: int) -> int:
 
 def generated_entry(cid: int, track_witnesses: bool) -> KernelRed:
     """Lines [11]-[12]: a generated definition ``C::m`` hides everything."""
-    witness = (cid, False, None) if track_witnesses else None
-    return KernelRed(cid, OMEGA_ID, witness)
+    return (cid, OMEGA_ID, (cid, False, None) if track_witnesses else None)
 
 
 def extend_entry(
@@ -188,13 +193,13 @@ def extend_entry(
 ) -> KernelEntry:
     """Push one entry across the edge ``base -> derived`` — the red
     propagation of lines [15]-[28] / the blue ⋄ of lines [29]-[31]."""
-    if type(entry) is KernelRed:
+    if type(entry) is tuple:
         if stats is not None:
             stats.red_propagations += 1
-        witness = entry.witness
-        return KernelRed(
-            entry.ldc,
-            extend_abstraction_id(entry.least_virtual, base, virtual),
+        witness = entry[2]
+        return (
+            entry[0],
+            extend_abstraction_id(entry[1], base, virtual),
             (derived, bool(virtual), witness) if witness is not None else None,
         )
     if stats is not None:
@@ -220,23 +225,21 @@ def meet_entries(
     to_be_dominated: set[int] = set()
     blue_ldcs: set[int] = set()
     for entry in entries:
-        if type(entry) is KernelRed:
+        if type(entry) is tuple:
             if candidate is None:
                 candidate = entry
             elif dominates(
-                ch, entry.ldc, entry.least_virtual,
-                candidate.least_virtual, stats,
+                ch, entry[0], entry[1], candidate[1], stats
             ):
                 candidate = entry
             elif not dominates(
-                ch, candidate.ldc, candidate.least_virtual,
-                entry.least_virtual, stats,
+                ch, candidate[0], candidate[1], entry[1], stats
             ):
                 # Neither dominates: both become blue for now.
-                to_be_dominated.add(candidate.least_virtual)
-                to_be_dominated.add(entry.least_virtual)
-                blue_ldcs.add(candidate.ldc)
-                blue_ldcs.add(entry.ldc)
+                to_be_dominated.add(candidate[1])
+                to_be_dominated.add(entry[1])
+                blue_ldcs.add(candidate[0])
+                blue_ldcs.add(entry[0])
                 candidate = None
         else:
             to_be_dominated |= entry.abstractions
@@ -248,14 +251,12 @@ def meet_entries(
     surviving = {
         abstraction
         for abstraction in to_be_dominated
-        if not dominates(
-            ch, candidate.ldc, candidate.least_virtual, abstraction, stats
-        )
+        if not dominates(ch, candidate[0], candidate[1], abstraction, stats)
     }
     if not surviving:
         return candidate
-    surviving.add(candidate.least_virtual)
-    blue_ldcs.add(candidate.ldc)
+    surviving.add(candidate[1])
+    blue_ldcs.add(candidate[0])
     return KernelBlue(frozenset(surviving), frozenset(blue_ldcs))
 
 
@@ -289,6 +290,145 @@ def fold_entry(
 
 
 # ----------------------------------------------------------------------
+# The batched single-sweep driver (whole rows per class)
+# ----------------------------------------------------------------------
+
+
+def batched_sweep(
+    ch: CompiledHierarchy,
+    *,
+    member_mask: Optional[int] = None,
+    stats: Optional[LookupStats] = None,
+    track_witnesses: bool = True,
+) -> list:
+    """One topological sweep computing *whole rows* at a time.
+
+    The per-member drivers run the Figure-8 fold once per ``(C, m)``
+    pair, re-reading ``C``'s adjacency, declared-member bitset and
+    virtual-base mask for every member — ``|M|`` passes over the same
+    CSR arrays.  This driver makes a single pass over
+    ``CompiledHierarchy.topo_order`` carrying, per class, a dense row
+    ``member id -> kernel entry`` and extending/meeting entire rows
+    across each inheritance edge, so every adjacency list and bitset is
+    read once *total*.
+
+    Semantically it is the same fold: the single-base fast path inlines
+    :func:`extend_entry` (a meet over one entry is that entry), and the
+    multi-base path gathers the extended entries per member in direct-
+    base order — exactly the list :func:`fold_entry` hands to
+    :func:`meet_entries` — before meeting them.  Sparsity comes for
+    free: entries are only ever *seeded* by declarations, so a member
+    not visible in a subgraph never occupies a column there.
+
+    ``member_mask`` restricts the sweep to the member ids whose bits are
+    set (the sharded parallel builder partitions the member space this
+    way); ``None`` sweeps every member.  Classes in whose subgraph no
+    masked member is visible are skipped outright via the precomputed
+    visible-member bitsets.
+
+    ``stats`` receives ``classes_visited`` / ``entries_computed`` and
+    the propagation counters of the multi-base meet path; the inlined
+    single-base fast path deliberately does *not* count its (trivially
+    ``entries_computed``-shaped) propagations — keeping counter probes
+    out of that loop is most of what this driver buys.
+
+    Returns a list indexed by class id: ``rows[cid]`` is the dict
+    ``member id -> kernel entry`` of every (masked) member visible in
+    ``cid``.
+    """
+    rows: list = [None] * ch.n_classes
+    base_pairs = ch.base_pairs
+    declared_masks = ch.declared_masks
+    declared_mids = ch.declared_mids
+    visible_masks = ch.visible_masks
+    full = member_mask is None
+    count = stats is not None
+    blue = KernelBlue
+    entries = 0
+    for cid in ch.topo_order:
+        if not full and not (visible_masks[cid] & member_mask):
+            # Sparse fast path: no masked member is visible in any
+            # subobject of this class — dead columns are never carried.
+            rows[cid] = {}
+            continue
+        bases = base_pairs[cid]
+        decl = declared_masks[cid]
+        row: dict = {}
+        if len(bases) == 1:
+            # Single direct base (the overwhelmingly common case): the
+            # meet over one extended entry is that entry, so extension
+            # is fully inlined — no call, plain-tuple construction only.
+            # Classes declaring nothing (most of them) also skip the
+            # per-entry declared-bit probe entirely.
+            base, virtual = bases[0]
+            virtual_flag = virtual != 0
+            for mid, entry in rows[base].items():
+                if decl and (decl >> mid) & 1:
+                    continue
+                if type(entry) is tuple:
+                    least = entry[1]
+                    if least == OMEGA_ID and virtual_flag:
+                        least = base
+                    witness = entry[2]
+                    row[mid] = (
+                        entry[0],
+                        least,
+                        (cid, virtual_flag, witness)
+                        if witness is not None
+                        else None,
+                    )
+                else:
+                    row[mid] = blue(
+                        frozenset(
+                            extend_abstraction_id(a, base, virtual)
+                            for a in entry[0]
+                        ),
+                        entry[1],
+                    )
+        elif bases:
+            # Multiple bases: gather the extended entries per member in
+            # direct-base order (the list fold_entry builds), meet them.
+            incoming: dict[int, list] = {}
+            for base, virtual in bases:
+                for mid, entry in rows[base].items():
+                    if (decl >> mid) & 1:
+                        continue
+                    extended = extend_entry(
+                        ch, entry, base, virtual, cid, stats
+                    )
+                    bucket = incoming.get(mid)
+                    if bucket is None:
+                        incoming[mid] = [extended]
+                    else:
+                        bucket.append(extended)
+            for mid, bucket in incoming.items():
+                row[mid] = (
+                    bucket[0]
+                    if len(bucket) == 1
+                    else meet_entries(ch, bucket, stats)
+                )
+        if full:
+            if declared_mids[cid]:
+                cell = (cid, False, None) if track_witnesses else None
+                for mid in declared_mids[cid]:
+                    row[mid] = (cid, OMEGA_ID, cell)
+        else:
+            seed = decl & member_mask
+            if seed:
+                cell = (cid, False, None) if track_witnesses else None
+                while seed:
+                    low = seed & -seed
+                    seed ^= low
+                    row[low.bit_length() - 1] = (cid, OMEGA_ID, cell)
+        entries += len(row)
+        rows[cid] = row
+    if count:
+        stats.classes_visited += len(ch.topo_order)
+        stats.entries_computed += entries
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Conversion back to the public string-based API
 # ----------------------------------------------------------------------
 
@@ -319,14 +459,12 @@ def to_table_entry(
     through: the member is not visible)."""
     if entry is None:
         return None
-    if type(entry) is KernelRed:
+    if type(entry) is tuple:
         return RedEntry(
-            ldc=ch.class_names[entry.ldc],
-            least_virtual=abstraction_name(ch, entry.least_virtual),
+            ldc=ch.class_names[entry[0]],
+            least_virtual=abstraction_name(ch, entry[1]),
             witness=(
-                witness_path(ch, entry.witness)
-                if entry.witness is not None
-                else None
+                witness_path(ch, entry[2]) if entry[2] is not None else None
             ),
         )
     return BlueEntry(
@@ -372,16 +510,14 @@ def to_lookup_result(
     """Kernel entry to the user-facing :class:`LookupResult`."""
     if entry is None:
         return not_found_result(class_name, member)
-    if type(entry) is KernelRed:
+    if type(entry) is tuple:
         return unique_result(
             class_name,
             member,
-            declaring_class=ch.class_names[entry.ldc],
-            least_virtual=abstraction_name(ch, entry.least_virtual),
+            declaring_class=ch.class_names[entry[0]],
+            least_virtual=abstraction_name(ch, entry[1]),
             witness=(
-                witness_path(ch, entry.witness)
-                if entry.witness is not None
-                else None
+                witness_path(ch, entry[2]) if entry[2] is not None else None
             ),
         )
     return ambiguous_result(

@@ -81,6 +81,13 @@ class LazyMemberLookup:
         """Number of memoised entries, counting "not visible" results."""
         return sum(len(column) for column in self._columns.values())
 
+    @property
+    def generation(self) -> int:
+        """The graph generation of the current compiled snapshot (the
+        generation-keyed query cache in :mod:`repro.core.cache` and the
+        CLI stats report key invalidation decisions on this)."""
+        return self._ch.generation
+
     # ------------------------------------------------------------------
     # The demand-driven driver (the fold lives in repro.core.kernel)
     # ------------------------------------------------------------------

@@ -19,10 +19,24 @@ The per-entry fold itself (red/blue extension, candidate selection, the
 blue-kill resolution, Lemma 4's dominance test) lives in exactly one
 place — :mod:`repro.core.kernel` — operating on the interned ids of a
 :class:`~repro.hierarchy.compiled.CompiledHierarchy`.  This module is
-the *eager* driver: one topological sweep filling the whole table, after
-which every query is O(1).  The entry types ``RedEntry`` / ``BlueEntry``
-/ ``TableEntry`` and the ``LookupStats`` counters are defined in the
-kernel and re-exported here for backwards compatibility.
+the *eager* driver, in three build modes over that one kernel:
+
+* ``"per-member"`` — the historical driver: the Figure-8 fold run once
+  per visible ``(class, member)`` pair, re-reading the class's adjacency
+  per member.  Keeps full per-edge ``LookupStats`` counters (the
+  complexity benchmarks rely on them) and is therefore the default.
+* ``"batched"`` — :func:`repro.core.kernel.batched_sweep`: one pass over
+  ``topo_order`` carrying whole per-class rows, every CSR row and bitset
+  read once *total* instead of once per member (~2-3× faster full-table
+  construction; see ``benchmarks/bench_batched.py``).
+* ``"sharded"`` — :mod:`repro.core.parallel`: the member-id space split
+  into contiguous shards, each built batched in a worker process against
+  the pickled frozen snapshot, shard rows merged.
+* ``"auto"`` — heuristic choice between batched and sharded by the
+  ``|M|·|E|`` work estimate (:func:`resolve_build_mode`).
+
+All modes produce identical tables (differentially tested in
+``tests/core/test_engine_equivalence.py``).
 
 Complexity (Section 5): ``O(|M| * |N| * (|N| + |E|))`` to build the whole
 table, dropping to ``O((|M| + |N|) * (|N| + |E|))`` when no entry is
@@ -31,6 +45,7 @@ ambiguous; a built table answers each query in O(1).
 
 from __future__ import annotations
 
+import os
 from typing import Mapping, Optional
 
 from repro.core.kernel import (
@@ -39,6 +54,7 @@ from repro.core.kernel import (
     LookupStats,
     RedEntry,
     TableEntry,
+    batched_sweep,
     fold_entry,
     result_from_entry,
     to_table_entry,
@@ -48,6 +64,7 @@ from repro.hierarchy.compiled import HierarchyLike, compiled_of, hierarchy_of
 from repro.hierarchy.graph import ClassHierarchyGraph
 
 __all__ = [
+    "BUILD_MODES",
     "BlueEntry",
     "LookupStats",
     "MemberLookupTable",
@@ -55,7 +72,45 @@ __all__ = [
     "TableEntry",
     "build_lookup_table",
     "lookup",
+    "resolve_build_mode",
 ]
+
+#: The accepted ``mode=`` values of :class:`MemberLookupTable` /
+#: :func:`build_lookup_table`.
+BUILD_MODES = ("per-member", "batched", "sharded", "auto")
+
+#: ``|M| * |E|`` above which ``mode="auto"`` prefers the sharded
+#: parallel builder: below it, the serial batched sweep finishes in well
+#: under the worker-pool spin-up + snapshot-pickling cost.
+AUTO_SHARD_THRESHOLD = 1 << 18
+
+
+def resolve_build_mode(
+    mode: str,
+    ch,
+    *,
+    max_workers: Optional[int] = None,
+) -> str:
+    """Resolve ``"auto"`` to a concrete build mode for ``ch``.
+
+    The heuristic mirrors the cost model: a batched build does
+    ``Θ(|M|·|E|)`` row-extension work serially, so sharding only pays
+    once that product is large enough to amortise process start-up and
+    snapshot pickling — and never on a single-core machine.
+    """
+    if mode not in BUILD_MODES:
+        raise ValueError(
+            f"unknown build mode {mode!r}; expected one of {BUILD_MODES}"
+        )
+    if mode != "auto":
+        return mode
+    workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    if (
+        workers > 1
+        and ch.n_members * max(1, len(ch.base_targets)) >= AUTO_SHARD_THRESHOLD
+    ):
+        return "sharded"
+    return "batched"
 
 
 class MemberLookupTable:
@@ -66,21 +121,54 @@ class MemberLookupTable:
     mutable :class:`~repro.hierarchy.graph.ClassHierarchyGraph` (compiled
     on demand, memoised) or an already compiled
     :class:`~repro.hierarchy.compiled.CompiledHierarchy`.
+
+    ``mode`` selects the build strategy (see the module docstring):
+    ``"per-member"`` (default), ``"batched"``, ``"sharded"`` or
+    ``"auto"``.  ``max_workers`` / ``shards`` tune the sharded builder
+    and are ignored by the serial modes.  All modes yield identical
+    query results; the per-member mode is the only one maintaining the
+    full per-edge propagation counters in :attr:`stats`.
     """
 
     def __init__(
-        self, hierarchy: HierarchyLike, *, track_witnesses: bool = True
+        self,
+        hierarchy: HierarchyLike,
+        *,
+        track_witnesses: bool = True,
+        mode: str = "per-member",
+        max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._ch = compiled_of(hierarchy)
         self._track_witnesses = track_witnesses
-        # Column-major interned table: member id -> {class id -> entry}.
-        # Only visible (class, member) pairs are stored, exactly like the
-        # paper's sparse table.
+        # Per-member mode fills a column-major interned table
+        # (member id -> {class id -> entry}); the batched/sharded modes
+        # produce row-major per-class rows (class id -> {member id ->
+        # entry}) straight out of the sweep.  Only visible (class,
+        # member) pairs are stored either way, exactly like the paper's
+        # sparse table.
         self._columns: dict[int, dict[int, object]] = {}
+        self._rows: Optional[list] = None
         self._public: dict[tuple[int, int], TableEntry] = {}
         self.stats = LookupStats()
-        self._build()
+        self.mode = resolve_build_mode(mode, self._ch, max_workers=max_workers)
+        if self.mode == "batched":
+            self._rows = batched_sweep(
+                self._ch, stats=self.stats, track_witnesses=track_witnesses
+            )
+        elif self.mode == "sharded":
+            from repro.core.parallel import build_sharded_rows
+
+            self._rows = build_sharded_rows(
+                self._ch,
+                stats=self.stats,
+                track_witnesses=track_witnesses,
+                max_workers=max_workers,
+                shards=shards,
+            )
+        else:
+            self._build()
 
     # ------------------------------------------------------------------
     # Public interface
@@ -147,7 +235,7 @@ class MemberLookupTable:
             (class_names[cid], member_names[mid])
             for cid in ch.topo_order
             for mid in ch.ordered_visible(cid)
-            if type(self._columns[mid][cid]) is KernelBlue
+            if type(self._kentry(cid, mid)) is KernelBlue
         )
 
     # ------------------------------------------------------------------
@@ -175,8 +263,14 @@ class MemberLookupTable:
                     ch, cid, mid, column.get, stats, track
                 )
 
+    def _kentry(self, cid: int, mid: int):
+        """The raw kernel entry, whichever layout the build produced."""
+        if self._rows is not None:
+            return self._rows[cid].get(mid)
+        return self._columns.get(mid, {}).get(cid)
+
     def _entry_at(self, cid: int, mid: int) -> Optional[TableEntry]:
-        kentry = self._columns.get(mid, {}).get(cid)
+        kentry = self._kentry(cid, mid)
         if kentry is None:
             return None
         key = (cid, mid)
@@ -187,20 +281,44 @@ class MemberLookupTable:
 
 
 def build_lookup_table(
-    hierarchy: HierarchyLike, *, track_witnesses: bool = True
+    hierarchy: HierarchyLike,
+    *,
+    track_witnesses: bool = True,
+    mode: str = "per-member",
+    max_workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> MemberLookupTable:
-    """Run the paper's ``doLookup()`` and return the filled table."""
-    return MemberLookupTable(hierarchy, track_witnesses=track_witnesses)
+    """Run the paper's ``doLookup()`` and return the filled table.
+
+    ``mode="auto"`` picks the serial batched sweep or the sharded
+    parallel builder by the ``|M|·|E|`` work estimate; see the module
+    docstring for the full mode list.
+    """
+    return MemberLookupTable(
+        hierarchy,
+        track_witnesses=track_witnesses,
+        mode=mode,
+        max_workers=max_workers,
+        shards=shards,
+    )
 
 
 def lookup(
     graph: HierarchyLike, class_name: str, member: str
 ) -> LookupResult:
-    """One-shot convenience wrapper: answer a single query through the
+    """One-shot convenience wrapper: answer a single query through a
+    generation-keyed LRU cache (:mod:`repro.core.cache`) in front of the
     memoising lazy engine (:mod:`repro.core.lazy`), computing only the
-    entries the query actually demands.  For repeated queries, build a
-    :class:`MemberLookupTable` once or keep a
-    :class:`~repro.core.lazy.LazyMemberLookup` around."""
-    from repro.core.lazy import LazyMemberLookup
+    entries the query actually demands and answering repeats in O(1).
 
-    return LazyMemberLookup(graph).lookup(class_name, member)
+    The cached engine is retained per graph in a weak-keyed registry, so
+    repeated module-level calls against the same (possibly mutating)
+    hierarchy hit the cache; invalidation is exact, keyed on the graph's
+    generation counter.  For heavy query loads, build a
+    :class:`MemberLookupTable` once or keep a
+    :class:`~repro.core.cache.CachedMemberLookup` /
+    :class:`~repro.core.lazy.LazyMemberLookup` around explicitly.
+    """
+    from repro.core.cache import shared_cached_lookup
+
+    return shared_cached_lookup(graph).lookup(class_name, member)

@@ -1,0 +1,148 @@
+"""Sharded parallel table construction over the batched sweep.
+
+The batched driver (:func:`repro.core.kernel.batched_sweep`) already
+amortises the CHG traversal across members; this module parallelises it
+across *processes* by partitioning the member-id space into contiguous
+shards.  Member columns are completely independent — the fold for
+``(C, m)`` never reads another member's entries — so each worker can run
+the full topological sweep restricted (via ``member_mask``) to its shard
+and the shard rows merge by plain dict union, with no synchronisation
+and no double work: the visible-member bitsets let a worker skip every
+class in whose subgraph none of its members occur.
+
+The frozen :class:`~repro.hierarchy.compiled.CompiledHierarchy` snapshot
+is pickled once and shipped to each worker through the pool initializer
+(not per task), so the per-shard marginal cost is one mask integer out
+and one rows list back.  Workers never see the mutable source graph —
+the snapshot's ``__getstate__`` drops it — which is also what makes the
+snapshot picklable in the first place.
+
+If a process pool cannot be created at all (sandboxes, missing
+semaphores), the builder degrades to the serial batched sweep rather
+than failing: sharding is an optimisation, never a semantic change.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.core.kernel import LookupStats, batched_sweep
+from repro.hierarchy.compiled import CompiledHierarchy
+
+__all__ = [
+    "build_sharded_rows",
+    "shard_member_masks",
+]
+
+#: Set by :func:`_init_worker` in each pool process: the unpickled
+#: snapshot every shard task of that worker sweeps against.
+_WORKER_CH: Optional[CompiledHierarchy] = None
+
+
+def shard_member_masks(n_members: int, shards: int) -> list[int]:
+    """Partition the member-id space ``0..n_members-1`` into ``shards``
+    contiguous bitmasks (sizes differing by at most one).
+
+    Contiguity matters: the generators intern related members with
+    adjacent ids, so contiguous shards keep each worker's visible-class
+    footprint (and hence its skip rate) coherent.
+    """
+    if n_members <= 0:
+        return []
+    shards = max(1, min(shards, n_members))
+    base, extra = divmod(n_members, shards)
+    masks: list[int] = []
+    low = 0
+    for index in range(shards):
+        high = low + base + (1 if index < extra else 0)
+        masks.append(((1 << high) - 1) ^ ((1 << low) - 1))
+        low = high
+    return masks
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_CH
+    _WORKER_CH = pickle.loads(payload)
+
+
+def _sweep_shard(member_mask: int, track_witnesses: bool):
+    stats = LookupStats()
+    rows = batched_sweep(
+        _WORKER_CH,
+        member_mask=member_mask,
+        stats=stats,
+        track_witnesses=track_witnesses,
+    )
+    return rows, stats
+
+
+def _merge_stats(into: LookupStats, shard: LookupStats) -> None:
+    """Sum the per-shard counters.  ``classes_visited`` therefore counts
+    one full sweep per shard — the honest cost model of the sharded
+    build, not a bug: each worker really does walk ``topo_order``."""
+    into.classes_visited += shard.classes_visited
+    into.entries_computed += shard.entries_computed
+    into.red_propagations += shard.red_propagations
+    into.blue_propagations += shard.blue_propagations
+    into.dominance_checks += shard.dominance_checks
+
+
+def build_sharded_rows(
+    ch: CompiledHierarchy,
+    *,
+    stats: Optional[LookupStats] = None,
+    track_witnesses: bool = True,
+    max_workers: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> list:
+    """Build the full per-class rows (``rows[cid]: member id -> kernel
+    entry``) by sharding the member space across a process pool.
+
+    ``max_workers`` defaults to ``os.cpu_count()``; ``shards`` defaults
+    to the worker count (one mask per worker — more shards only help
+    when member densities are very skewed).  Degenerate inputs (no
+    members, one shard, one worker) and pool-creation failures all fall
+    back to the serial batched sweep, so the result is identical in
+    every case.
+    """
+    workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    masks = shard_member_masks(
+        ch.n_members, shards if shards is not None else workers
+    )
+    if workers < 2 or len(masks) < 2:
+        return batched_sweep(
+            ch, stats=stats, track_witnesses=track_witnesses
+        )
+
+    payload = pickle.dumps(ch, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(masks)),
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+    except (OSError, ValueError):  # no fork/semaphores available here
+        return batched_sweep(
+            ch, stats=stats, track_witnesses=track_witnesses
+        )
+    with executor:
+        results = list(
+            executor.map(
+                _sweep_shard, masks, [track_witnesses] * len(masks)
+            )
+        )
+
+    merged: list = [{} for _ in range(ch.n_classes)]
+    for rows, shard_stats in results:
+        for cid, row in enumerate(rows):
+            if row:
+                if merged[cid]:
+                    merged[cid].update(row)
+                else:
+                    merged[cid] = row
+        if stats is not None:
+            _merge_stats(stats, shard_stats)
+    return merged

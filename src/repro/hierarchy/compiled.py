@@ -164,6 +164,28 @@ class CompiledHierarchy:
                         stack.append((base, False))
         return cache[cid]
 
+    # ------------------------------------------------------------------
+    # Pickling (the sharded parallel builder ships snapshots to workers)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Everything but the mutable ``source`` graph and the lazily
+        built ordered-visible memo.  Dropping ``source`` is what makes
+        the snapshot picklable at all (the graph is an open-ended object
+        web) and is semantically right for workers: they must only ever
+        see the frozen arrays, never a mutating graph."""
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("source", "_ordered_visible")
+        }
+
+    def __setstate__(self, state) -> None:
+        self.source = None  # detached: an unpickled snapshot has no graph
+        self._ordered_visible = {}
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def __repr__(self) -> str:
         return (
             f"CompiledHierarchy(classes={self.n_classes}, "

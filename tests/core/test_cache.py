@@ -1,0 +1,104 @@
+"""The generation-keyed LRU query cache (:mod:`repro.core.cache`).
+
+The differential matrix in ``test_engine_equivalence.py`` pins the
+*results*; this file pins the cache's observable mechanics — LRU order,
+eviction and invalidation counters, the one-flush-per-generation
+contract, and the per-graph shared engine behind the module-level
+:func:`repro.core.lookup.lookup`.
+"""
+
+import pytest
+
+from repro.core.cache import (
+    CachedMemberLookup,
+    LookupCache,
+    shared_cached_lookup,
+)
+from repro.core.lookup import lookup
+from repro.workloads.generators import chain, random_hierarchy
+
+
+def test_lookup_cache_lru_eviction_order():
+    cache = LookupCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a": "b" is now the LRU entry
+    cache.put("c", 3)
+    assert cache.stats.evictions == 1
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats.hits == 3 and cache.stats.misses == 1
+
+
+def test_lookup_cache_rejects_silly_sizes():
+    with pytest.raises(ValueError):
+        LookupCache(maxsize=0)
+
+
+def test_cached_lookup_counts_hits_and_misses():
+    graph = chain(16, member_every=4)
+    cached = CachedMemberLookup(graph)
+    first = cached.lookup("C10", "m")
+    work_after_first = cached.lazy.stats.entries_computed
+    again = cached.lookup("C10", "m")
+    assert first == again
+    assert cached.cache_stats.misses == 1
+    assert cached.cache_stats.hits == 1
+    # The second query did no kernel work at all.
+    assert cached.lazy.stats.entries_computed == work_after_first
+
+
+def test_cached_lookup_eviction_bounds_memory():
+    graph = chain(32, member_every=4)
+    cached = CachedMemberLookup(graph, maxsize=8)
+    for i in range(32):
+        cached.lookup(f"C{i}", "m")
+    assert len(cached) == 8
+    assert cached.cache_stats.evictions == 32 - 8
+
+
+def test_generation_flush_is_exact():
+    """One flush per observed generation bump — no flush without a
+    mutation, no stale entry after one."""
+    graph = random_hierarchy(10, seed=5, member_probability=0.6)
+    cached = CachedMemberLookup(graph)
+    for class_name in graph.classes:
+        cached.lookup(class_name, "m")
+    assert cached.cache_stats.invalidations == 0
+
+    # Some class without its own m gains one: the old answer must die.
+    target = next(
+        name for name in graph.classes if not graph.declares(name, "m")
+    )
+    before = cached.lookup(target, "m")
+    graph.add_member(target, "m")
+    after = cached.lookup(target, "m")
+    assert cached.cache_stats.invalidations == 1
+    assert after.declaring_class == target
+    assert before != after
+
+    # Several mutations between queries still cost exactly one flush.
+    graph.add_class("Kx", members=["m"])
+    graph.add_edge("K0", "Kx")
+    assert cached.lookup("Kx", "m").declaring_class == "Kx"
+    assert cached.cache_stats.invalidations == 2
+
+
+def test_shared_cached_lookup_is_per_graph():
+    g1 = chain(8, member_every=2)
+    g2 = chain(8, member_every=2)
+    assert shared_cached_lookup(g1) is shared_cached_lookup(g1)
+    assert shared_cached_lookup(g1) is not shared_cached_lookup(g2)
+    # It is also what the module-level one-shot routes through.
+    lookup(g1, "C7", "m")
+    lookup(g1, "C7", "m")
+    assert shared_cached_lookup(g1).cache_stats.hits >= 1
+
+
+def test_one_shot_lookup_survives_mutation():
+    """The documented contract of repro.core.lookup.lookup(): correct
+    answers across mutations of the same graph object."""
+    graph = chain(8, member_every=8)
+    assert lookup(graph, "C7", "m").declaring_class == "C0"
+    graph.add_member("C7", "m")
+    assert lookup(graph, "C7", "m").declaring_class == "C7"

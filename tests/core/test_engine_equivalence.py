@@ -1,19 +1,25 @@
-"""Differential testing of the three engines over one shared kernel.
+"""Differential testing of every engine over one shared kernel.
 
-Eager (:class:`MemberLookupTable`), lazy (:class:`LazyMemberLookup`) and
-incremental (:class:`IncrementalLookupEngine`) are all thin drivers over
-:func:`repro.core.kernel.fold_entry`, so they must return *identical*
+Eager (:class:`MemberLookupTable` — in all three build modes:
+per-member, batched single-sweep, sharded-parallel), lazy
+(:class:`LazyMemberLookup`), cached-lazy (:class:`CachedMemberLookup`)
+and incremental (:class:`IncrementalLookupEngine`) are all thin drivers
+over :func:`repro.core.kernel.fold_entry` /
+:func:`repro.core.kernel.batched_sweep`, so they must return *identical*
 :class:`LookupResult` objects — same status, same declaring class, same
 least-virtual abstraction, and the very same witness path — for every
 ``(class, member)`` pair, on every hierarchy.  This file checks that on
 the generator families and on seeded random DAGs, including queries for
-member names no class declares, and with the incremental engine built by
+member names no class declares, with the incremental engine built by
 replaying the hierarchy one declaration at a time with queries
-interleaved mid-growth (so the invalidation logic is actually exercised).
+interleaved mid-growth (so the invalidation logic is actually
+exercised), and across post-mutation generations (so the batched/sharded
+rebuilds and the generation-keyed cache flush are exercised too).
 """
 
 import pytest
 
+from repro.core.cache import CachedMemberLookup
 from repro.core.incremental import IncrementalLookupEngine
 from repro.core.lazy import LazyMemberLookup
 from repro.core.lookup import build_lookup_table
@@ -50,22 +56,30 @@ def replay_into_incremental(graph) -> IncrementalLookupEngine:
     return engine
 
 
-def assert_engines_identical(graph) -> None:
+def assert_engines_identical(graph, *, sharded: bool = True) -> None:
     table = build_lookup_table(graph)
-    lazy = LazyMemberLookup(graph)
-    incremental = replay_into_incremental(graph)
+    rivals = {
+        "batched": build_lookup_table(graph, mode="batched"),
+        "lazy": LazyMemberLookup(graph),
+        "cached": CachedMemberLookup(graph),
+        "incremental": replay_into_incremental(graph),
+    }
+    if sharded:
+        rivals["sharded"] = build_lookup_table(
+            graph, mode="sharded", max_workers=2, shards=2
+        )
     members = set(QUERY_MEMBERS)
     for name in graph.classes:
         members.update(graph.declared_members(name))
     for class_name in graph.classes:
         for member in sorted(members):
             expected = table.lookup(class_name, member)
-            assert lazy.lookup(class_name, member) == expected, (
-                f"lazy disagrees on {class_name}::{member}"
-            )
-            assert incremental.lookup(class_name, member) == expected, (
-                f"incremental disagrees on {class_name}::{member}"
-            )
+            for engine_name, engine in rivals.items():
+                assert engine.lookup(class_name, member) == expected, (
+                    f"{engine_name} disagrees on {class_name}::{member}"
+                )
+            # The cached engine must also agree on a repeat (cache hit).
+            assert rivals["cached"].lookup(class_name, member) == expected
 
 
 FAMILIES = [
@@ -102,6 +116,53 @@ def test_engines_identical_all_virtual(seed):
         10, seed=seed, virtual_probability=1.0, member_probability=0.7
     )
     assert_engines_identical(graph)
+
+
+@pytest.mark.parametrize("mode", ["batched", "sharded"])
+def test_full_table_surfaces_match(mode):
+    """Not just point queries: the whole-table surfaces (all_entries,
+    ambiguous_queries, visible_members) must be identical across build
+    modes, witnesses included."""
+    graph = blue_heavy_hierarchy(4, 3)
+    base = build_lookup_table(graph)
+    other = build_lookup_table(graph, mode=mode, max_workers=2, shards=2)
+    assert other.all_entries() == base.all_entries()
+    assert other.ambiguous_queries() == base.ambiguous_queries()
+    assert other.visible_members("Join") == base.visible_members("Join")
+
+
+def test_engines_identical_after_mutation():
+    """Post-mutation generations: engines warmed before the mutation and
+    tables rebuilt after it must all agree, and the generation-keyed
+    cache must flush exactly once."""
+    graph = random_hierarchy(
+        12, seed=3, virtual_probability=0.4, member_probability=0.5
+    )
+    cached = CachedMemberLookup(graph)
+    lazy = LazyMemberLookup(graph)
+    for class_name in graph.classes:
+        for member in QUERY_MEMBERS:
+            cached.lookup(class_name, member)
+            lazy.lookup(class_name, member)
+
+    generation = graph.generation
+    graph.add_class("Kx", members=["m", "fresh"])
+    graph.add_edge("K0", "Kx")
+    graph.add_member("K1", "fresh")
+    assert graph.generation > generation
+
+    table = build_lookup_table(graph)
+    batched = build_lookup_table(graph, mode="batched")
+    sharded = build_lookup_table(graph, mode="sharded", max_workers=2, shards=2)
+    members = set(QUERY_MEMBERS) | {"fresh"}
+    for class_name in graph.classes:
+        for member in sorted(members):
+            expected = table.lookup(class_name, member)
+            assert batched.lookup(class_name, member) == expected
+            assert sharded.lookup(class_name, member) == expected
+            assert lazy.lookup(class_name, member) == expected
+            assert cached.lookup(class_name, member) == expected
+    assert cached.cache_stats.invalidations == 1
 
 
 def test_one_shot_lookup_matches_engines():
