@@ -21,6 +21,7 @@ Commands:
 * ``lint``     hierarchy lint: ambiguities, shadowing, fragile patterns
 * ``targets``  class-hierarchy analysis of a call site (devirtualisation)
 * ``vtables``  per-subobject vtables of one complete type
+* ``fuzz``     seeded differential fuzzing campaign over all engines
 """
 
 from __future__ import annotations
@@ -210,6 +211,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     vtables.add_argument("file")
     vtables.add_argument("class_name", metavar="CLASS")
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="run a seeded differential fuzzing campaign "
+        "(all engines vs the subobject-poset oracle)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=500,
+        metavar="N",
+        help="iteration budget (default 500)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="additionally stop after this many seconds",
+    )
+    fuzz.add_argument(
+        "--engines",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated engine subset "
+        "(default: per-member,batched,sharded,cached,lazy,incremental)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="regression corpus directory: replayed before fuzzing, "
+        "new shrunk finds are persisted into it",
+    )
+    fuzz.add_argument(
+        "--max-classes",
+        type=int,
+        default=12,
+        metavar="N",
+        help="size cap for generated hierarchies (default 12; the "
+        "definitional oracle is exponential on non-virtual diamonds)",
+    )
+    fuzz.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON campaign report to FILE",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging of failing hierarchies",
+    )
     return parser
 
 
@@ -266,6 +323,40 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    """The ``fuzz`` command: run a campaign, print the summary, write the
+    JSON report, and exit nonzero iff any engine diverged."""
+    from repro.fuzz import ENGINES, run_campaign
+
+    engines = (
+        tuple(name.strip() for name in args.engines.split(",") if name.strip())
+        if args.engines
+        else ENGINES
+    )
+    unknown = [name for name in engines if name not in ENGINES]
+    if unknown:
+        print(
+            f"error: unknown engine(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(ENGINES)})",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_campaign(
+        seed=args.seed,
+        budget=args.budget,
+        engines=engines,
+        corpus_dir=args.corpus,
+        time_budget=args.time_budget,
+        max_classes=args.max_classes,
+        shrink=not args.no_shrink,
+    )
+    print(report.render())
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n")
+        print(f"report written to {args.report}")
+    return report.exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -293,6 +384,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"{errors} error(s)"
         )
         return 1 if errors else 0
+
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     if args.command == "diff":
         before, _ = _load_hierarchy(args.before)

@@ -15,10 +15,12 @@ witness: it must be a real path of the hierarchy, an element of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Optional
 
 from repro.core.equivalence import subobject_key
 from repro.core.results import LookupResult, LookupStatus
 from repro.errors import InvalidPathError
+from repro.hierarchy.compiled import HierarchyLike, hierarchy_of
 from repro.hierarchy.graph import ClassHierarchyGraph
 from repro.subobjects.reference import ReferenceLookup
 
@@ -44,13 +46,23 @@ class Certificate:
 
 
 def certify(
-    graph: ClassHierarchyGraph,
+    hierarchy: HierarchyLike,
     result: LookupResult,
     *,
     reference: ReferenceLookup | None = None,
 ) -> Certificate:
     """Check ``result`` against the definitional semantics of
-    ``lookup(result.class_name, result.member)``."""
+    ``lookup(result.class_name, result.member)``.
+
+    ``result`` may come from *any* engine — the eager table in any build
+    mode (per-member, batched, sharded), the lazy or cached engines, or
+    the incremental engine; certification only reads the
+    :class:`~repro.core.results.LookupResult` fields, and engines that do
+    not track witnesses (e.g. sharded builds with witness tracking off)
+    certify on status and declaring class alone.  ``hierarchy`` may be a
+    mutable graph or a compiled snapshot.
+    """
+    graph = hierarchy_of(hierarchy)
     reference = reference if reference is not None else ReferenceLookup(graph)
     failures: list[str] = []
     truth = reference.lookup(result.class_name, result.member)
@@ -111,23 +123,41 @@ def _check_unique(
 
 
 def certify_table(
-    graph: ClassHierarchyGraph, engine, *, members: tuple[str, ...] = ()
+    hierarchy: HierarchyLike,
+    engine,
+    *,
+    members: tuple[str, ...] = (),
+    queries: Optional[Iterable[tuple[str, str]]] = None,
 ) -> list[Certificate]:
     """Certify an engine's answer for every (class, member) pair; returns
     only the *invalid* certificates (empty list = fully certified).
 
-    ``engine`` is anything with a ``lookup(class_name, member)`` method.
+    ``engine`` is anything with a ``lookup(class_name, member)`` method —
+    the eager table in any build mode (per-member, batched, sharded), the
+    lazy, cached or incremental engines, or a baseline.  ``members``
+    restricts the member names swept; ``queries`` overrides the sweep
+    with an explicit iterable of ``(class, member)`` pairs (the fuzzing
+    campaign certifies exactly the query surface it compared).  One
+    :class:`~repro.subobjects.reference.ReferenceLookup` is shared across
+    the whole certification, so subobject posets are materialised once
+    per complete type.
     """
+    graph = hierarchy_of(hierarchy)
     reference = ReferenceLookup(graph)
-    names = members or graph.member_names()
+    if queries is None:
+        names = members or graph.member_names()
+        queries = (
+            (class_name, member)
+            for class_name in graph.classes
+            for member in names
+        )
     invalid = []
-    for class_name in graph.classes:
-        for member in names:
-            certificate = certify(
-                graph,
-                engine.lookup(class_name, member),
-                reference=reference,
-            )
-            if not certificate:
-                invalid.append(certificate)
+    for class_name, member in queries:
+        certificate = certify(
+            graph,
+            engine.lookup(class_name, member),
+            reference=reference,
+        )
+        if not certificate:
+            invalid.append(certificate)
     return invalid

@@ -133,3 +133,41 @@ def not_found_result(class_name: str, member: str) -> LookupResult:
     return LookupResult(
         class_name=class_name, member=member, status=LookupStatus.NOT_FOUND
     )
+
+
+def describe_disagreement(
+    left: LookupResult,
+    right: LookupResult,
+    *,
+    compare_subobject: bool = True,
+) -> Optional[str]:
+    """Explain how two results for the same query disagree — or ``None``
+    when they are semantically the same answer.
+
+    Two results agree when their statuses match and, for UNIQUE results,
+    they name the same declaring class and (when both carry witnesses)
+    the same *subobject* — witnesses may be different representative
+    paths of one ≈-class, which is not a disagreement.  This is the
+    comparison the differential fuzzing campaign (:mod:`repro.fuzz`) and
+    the cross-engine tests are built on.
+    """
+    if left.status is not right.status:
+        return f"status {left.status} != {right.status}"
+    if not left.is_unique:
+        return None
+    if left.declaring_class != right.declaring_class:
+        return (
+            f"declaring class {left.declaring_class!r} != "
+            f"{right.declaring_class!r}"
+        )
+    if (
+        compare_subobject
+        and left.witness is not None
+        and right.witness is not None
+        and subobject_key(left.witness) != subobject_key(right.witness)
+    ):
+        return (
+            f"subobject {subobject_key(left.witness)} != "
+            f"{subobject_key(right.witness)}"
+        )
+    return None

@@ -1,0 +1,67 @@
+"""Differential fuzzing of the lookup engines, end to end.
+
+Seeded campaigns (:mod:`repro.fuzz.campaign`) draw hierarchies from the
+generator families and the paper's adversarial shapes, perturb them with
+metamorphic mutators carrying paper-derived invariants
+(:mod:`repro.fuzz.mutators`), run the full query surface through every
+engine/build mode, and cross-check each answer against the
+subobject-poset oracle plus :func:`~repro.core.certify.certify`.
+Failures are delta-debugged to minimal counterexamples
+(:mod:`repro.fuzz.shrink`), persisted to the regression corpus
+(:mod:`repro.fuzz.corpus`), and summarised in a JSON report
+(:mod:`repro.fuzz.report`).  CLI: ``repro fuzz``.
+"""
+
+from repro.fuzz.campaign import (
+    ENGINES,
+    Divergence,
+    build_engine,
+    differential_check,
+    run_campaign,
+)
+from repro.fuzz.corpus import (
+    CORPUS_FORMAT,
+    CORPUS_VERSION,
+    CorpusEntry,
+    entry_from_dict,
+    entry_to_dict,
+    iter_corpus,
+    load_entry,
+    replay_corpus,
+    save_entry,
+)
+from repro.fuzz.mutators import (
+    MUTATORS,
+    AppliedMutation,
+    Mutator,
+    copy_hierarchy,
+    mutate,
+)
+from repro.fuzz.report import CampaignReport, Finding
+from repro.fuzz.shrink import ShrinkResult, shrink_hierarchy
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CORPUS_VERSION",
+    "AppliedMutation",
+    "CampaignReport",
+    "CorpusEntry",
+    "Divergence",
+    "ENGINES",
+    "Finding",
+    "MUTATORS",
+    "Mutator",
+    "ShrinkResult",
+    "build_engine",
+    "copy_hierarchy",
+    "differential_check",
+    "entry_from_dict",
+    "entry_to_dict",
+    "iter_corpus",
+    "load_entry",
+    "mutate",
+    "replay_corpus",
+    "run_campaign",
+    "save_entry",
+    "shrink_hierarchy",
+]

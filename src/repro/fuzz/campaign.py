@@ -1,0 +1,499 @@
+"""Seeded differential fuzzing campaigns over the full engine matrix.
+
+One campaign iteration draws a hierarchy from a rotating set of
+generator families (seeded random DAGs, layered DAGs, the paper's
+adversarial shapes — diamond ladders, ambiguous fans, blue-heavy joins,
+grids — and the paper figures themselves), optionally perturbs it with
+metamorphic mutations (:mod:`repro.fuzz.mutators`), and then asks every
+lookup engine every query ``(class, member)`` over the member universe
+plus one deliberately missing name, cross-checking each answer against
+the definitional :class:`~repro.subobjects.reference.ReferenceLookup`
+oracle with :func:`~repro.core.results.describe_disagreement`.
+
+On top of the oracle comparison each iteration:
+
+* **translation validation** — one engine (rotating per iteration) has
+  its entire answer surface certified with
+  :func:`repro.core.certify.certify`;
+* **metamorphic invariants** — every applied mutation's paper-derived
+  invariant is checked against the fast lookup tables;
+* **cache staleness** — periodically, a
+  :class:`~repro.core.cache.CachedMemberLookup` is warmed, the live
+  graph is mutated in place (pure-growth operators), and every cached
+  answer is re-compared against a fresh oracle: the generation-keyed
+  invalidation must never serve a stale row.
+
+Every divergence becomes a :class:`~repro.fuzz.report.Finding`; mismatch
+and certificate findings are delta-debugged to a minimal counterexample
+(:mod:`repro.fuzz.shrink`) and, when a corpus directory is given,
+persisted as a regression corpus entry (:mod:`repro.fuzz.corpus`).
+Campaigns are fully deterministic in ``seed`` (iteration-count budgets;
+wall-clock budgets cut the same sequence short).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.core.cache import CachedMemberLookup
+from repro.core.certify import certify
+from repro.core.lazy import LazyMemberLookup
+from repro.core.incremental import IncrementalLookupEngine
+from repro.core.lookup import build_lookup_table
+from repro.core.results import describe_disagreement
+from repro.fuzz.corpus import CorpusEntry, replay_corpus, save_entry
+from repro.fuzz.mutators import AppliedMutation, mutate
+from repro.fuzz.report import CampaignReport, Finding
+from repro.fuzz.shrink import shrink_hierarchy
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.serialize import hierarchy_to_dict
+from repro.subobjects.reference import ReferenceLookup
+from repro.workloads import (
+    ambiguous_fan,
+    blue_heavy_hierarchy,
+    deep_ambiguous_ladder,
+    grid,
+    layered_hierarchy,
+    nonvirtual_diamond_ladder,
+    random_hierarchy,
+    virtual_diamond_ladder,
+    wide_unambiguous,
+)
+from repro.workloads.paper_figures import ALL_FIGURES
+
+__all__ = [
+    "ENGINES",
+    "Divergence",
+    "build_engine",
+    "differential_check",
+    "run_campaign",
+]
+
+#: The full engine matrix a campaign compares by default: the eager
+#: table in its three explicit build modes, plus the lazy, cached and
+#: incremental engines.
+ENGINES: tuple[str, ...] = (
+    "per-member",
+    "batched",
+    "sharded",
+    "cached",
+    "lazy",
+    "incremental",
+)
+
+#: A member name no generator family ever declares — every iteration
+#: also queries it everywhere, pinning the NOT_FOUND row of each engine.
+MISSING_MEMBER = "fuzz_absent_member"
+
+
+def build_engine(name: str, graph: ClassHierarchyGraph):
+    """Construct the named lookup engine over ``graph``.
+
+    The eager modes build the whole table up front (``sharded`` with two
+    worker processes over two shards, so the parallel merge path really
+    runs); ``incremental`` replays the hierarchy declaration-by-
+    declaration through :class:`~repro.core.incremental.IncrementalLookupEngine`
+    with queries interleaved between mutations, so surgical eviction is
+    exercised, not just the final state.
+    """
+    if name in ("per-member", "batched"):
+        return build_lookup_table(graph, mode=name)
+    if name == "sharded":
+        return build_lookup_table(graph, mode="sharded", max_workers=2, shards=2)
+    if name == "lazy":
+        return LazyMemberLookup(graph)
+    if name == "cached":
+        return CachedMemberLookup(graph, maxsize=64)
+    if name == "incremental":
+        engine = IncrementalLookupEngine()
+        members = graph.member_names()
+        probe = members[0] if members else MISSING_MEMBER
+        for class_name in graph.classes:
+            engine.add_class(
+                class_name,
+                graph.declared_members(class_name).values(),
+                is_struct=graph.is_struct(class_name),
+            )
+        for index, edge in enumerate(graph.edges):
+            engine.add_edge(
+                edge.base, edge.derived, virtual=edge.virtual, access=edge.access
+            )
+            if index % 3 == 0:
+                # Interleave queries so later edges must surgically evict
+                # entries the engine has already memoised.
+                engine.lookup(edge.derived, probe)
+        return engine
+    raise ValueError(f"unknown engine {name!r} (choose from {ENGINES})")
+
+
+@dataclass
+class Divergence:
+    """One way an engine departed from the oracle on one hierarchy."""
+
+    engine: str
+    kind: str  # "mismatch" | "exception" | "build-error" | "certificate"
+    detail: str
+    class_name: Optional[str] = None
+    member: Optional[str] = None
+
+
+def _query_surface(graph: ClassHierarchyGraph) -> list[tuple[str, str]]:
+    names = list(graph.member_names()) + [MISSING_MEMBER]
+    return [(c, m) for c in graph.classes for m in names]
+
+
+def differential_check(
+    graph: ClassHierarchyGraph,
+    *,
+    engines: Sequence[str] = ENGINES,
+    certify_engine: Optional[str] = None,
+) -> tuple[list[Divergence], int, int]:
+    """Run the full query surface of ``graph`` through every named
+    engine and compare each answer against the subobject-poset oracle.
+
+    Returns ``(divergences, queries_checked, certificates_checked)``.
+    Mismatches are reported once per engine (the first disagreeing
+    query); engines that fail to build, or raise mid-query, produce
+    ``"build-error"`` / ``"exception"`` divergences instead of
+    propagating.  ``certify_engine`` names one engine whose entire
+    surface is additionally certified against Definitions 7-9
+    (translation validation); invalid certificates become
+    ``"certificate"`` divergences.
+    """
+    oracle = ReferenceLookup(graph)
+    surface = _query_surface(graph)
+    divergences: list[Divergence] = []
+    queries_checked = 0
+    certificates_checked = 0
+    for engine_name in engines:
+        try:
+            engine = build_engine(engine_name, graph)
+        except Exception as exc:
+            divergences.append(
+                Divergence(
+                    engine=engine_name,
+                    kind="build-error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        for class_name, member in surface:
+            try:
+                answer = engine.lookup(class_name, member)
+            except Exception as exc:
+                divergences.append(
+                    Divergence(
+                        engine=engine_name,
+                        kind="exception",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        class_name=class_name,
+                        member=member,
+                    )
+                )
+                break
+            queries_checked += 1
+            diff = describe_disagreement(answer, oracle.lookup(class_name, member))
+            if diff is not None:
+                divergences.append(
+                    Divergence(
+                        engine=engine_name,
+                        kind="mismatch",
+                        detail=diff,
+                        class_name=class_name,
+                        member=member,
+                    )
+                )
+                break
+        else:
+            if engine_name == certify_engine:
+                for class_name, member in surface:
+                    certificate = certify(
+                        graph,
+                        engine.lookup(class_name, member),
+                        reference=oracle,
+                    )
+                    certificates_checked += 1
+                    if not certificate:
+                        divergences.append(
+                            Divergence(
+                                engine=engine_name,
+                                kind="certificate",
+                                detail="; ".join(certificate.failures),
+                                class_name=class_name,
+                                member=member,
+                            )
+                        )
+                        break
+    return divergences, queries_checked, certificates_checked
+
+
+def _draw_family(
+    iteration: int, rng: random.Random, max_classes: int
+) -> tuple[str, ClassHierarchyGraph]:
+    """The iteration's hierarchy: families rotate deterministically, the
+    per-family parameters are drawn from ``rng``."""
+    families: list[tuple[str, Callable[[], ClassHierarchyGraph]]] = [
+        (
+            "random",
+            lambda: random_hierarchy(
+                rng.randint(3, max_classes),
+                seed=rng.randrange(2**32),
+                virtual_probability=rng.choice((0.0, 0.3, 0.6)),
+                member_probability=rng.choice((0.2, 0.4, 0.7)),
+            ),
+        ),
+        (
+            "layered",
+            lambda: layered_hierarchy(
+                rng.randint(2, 4),
+                rng.randint(2, 3),
+                seed=rng.randrange(2**32),
+                virtual_probability=rng.choice((0.0, 0.3, 0.6)),
+            ),
+        ),
+        (
+            "virtual-diamond",
+            lambda: virtual_diamond_ladder(rng.randint(1, 3)),
+        ),
+        (
+            "nonvirtual-diamond",
+            lambda: nonvirtual_diamond_ladder(rng.randint(1, 3)),
+        ),
+        ("ambiguous-fan", lambda: ambiguous_fan(rng.randint(2, 6))),
+        (
+            "blue-heavy",
+            lambda: blue_heavy_hierarchy(rng.randint(2, 4), rng.randint(1, 3)),
+        ),
+        ("wide-unambiguous", lambda: wide_unambiguous(rng.randint(2, 6))),
+        ("grid", lambda: grid(rng.randint(2, 3), rng.randint(2, 3))),
+        ("deep-ambiguous", lambda: deep_ambiguous_ladder(rng.randint(1, 2))),
+        (
+            "paper-figure",
+            lambda: ALL_FIGURES[rng.choice(sorted(ALL_FIGURES))](),
+        ),
+    ]
+    name, factory = families[iteration % len(families)]
+    return name, factory()
+
+
+def _check_mutation_invariant(
+    before: ClassHierarchyGraph,
+    after: ClassHierarchyGraph,
+    applied: AppliedMutation,
+) -> list[str]:
+    """The mutation's invariant, checked against the fast lookup tables
+    (the engines are what the invariant constrains)."""
+    table_before = build_lookup_table(before, mode="batched")
+    table_after = build_lookup_table(after, mode="batched")
+    return applied.violations(
+        before, after, table_before.lookup, table_after.lookup
+    )
+
+
+def _stale_cache_check(
+    graph: ClassHierarchyGraph, rng: random.Random
+) -> tuple[Optional[AppliedMutation], list[Divergence], int]:
+    """Warm a cache on ``graph``, mutate the graph *in place*, and
+    re-compare every cached answer with a fresh oracle — the
+    generation-keyed invalidation must never serve a stale row."""
+    cached = CachedMemberLookup(graph, maxsize=64)
+    for class_name, member in _query_surface(graph):
+        cached.lookup(class_name, member)  # warm (and overflow) the LRU
+    applied = mutate(graph, rng, in_place_only=True)
+    if applied is None:
+        return None, [], 0
+    _graph, mutation = applied
+    oracle = ReferenceLookup(graph)
+    divergences: list[Divergence] = []
+    checked = 0
+    for class_name, member in _query_surface(graph):
+        checked += 1
+        diff = describe_disagreement(
+            cached.lookup(class_name, member), oracle.lookup(class_name, member)
+        )
+        if diff is not None:
+            divergences.append(
+                Divergence(
+                    engine="cached",
+                    kind="stale-cache",
+                    detail=f"after {mutation.describe()}: {diff}",
+                    class_name=class_name,
+                    member=member,
+                )
+            )
+            break
+    return mutation, divergences, checked
+
+
+def run_campaign(
+    *,
+    seed: int = 0,
+    budget: int = 500,
+    engines: Sequence[str] = ENGINES,
+    corpus_dir: Optional[Path | str] = None,
+    time_budget: Optional[float] = None,
+    max_classes: int = 12,
+    mutation_probability: float = 0.6,
+    shrink: bool = True,
+) -> CampaignReport:
+    """Run a differential fuzzing campaign and return its report.
+
+    ``budget`` bounds iterations; ``time_budget`` (seconds) additionally
+    cuts the run short.  ``corpus_dir`` names the regression corpus: its
+    entries are replayed through the engine matrix *before* fuzzing
+    starts, and new shrunk finds are persisted into it.  ``engines``
+    restricts the matrix (the broken-engine tests exclude ``sharded``,
+    whose worker processes would not see a monkeypatched kernel).
+    Deterministic in ``seed`` for a fixed iteration budget.
+    """
+    engines = tuple(engines)
+    report = CampaignReport(seed=seed, budget=budget, engines=engines)
+    start = time.monotonic()
+    rng = random.Random(seed)
+
+    if corpus_dir is not None:
+        replayed, replay_findings = replay_corpus(corpus_dir, engines=engines)
+        report.corpus_replayed = replayed
+        report.findings.extend(replay_findings)
+
+    iteration = 0
+    while iteration < budget:
+        if time_budget is not None and time.monotonic() - start > time_budget:
+            report.stopped_by = "time"
+            break
+        family, graph = _draw_family(iteration, rng, max_classes)
+        report.families[family] = report.families.get(family, 0) + 1
+
+        mutation_names: list[str] = []
+        if rng.random() < mutation_probability:
+            for _ in range(rng.randint(1, 2)):
+                applied = mutate(graph, rng)
+                if applied is None:
+                    break
+                mutated, mutation = applied
+                report.invariant_checks += 1
+                violations = _check_mutation_invariant(graph, mutated, mutation)
+                for violation in violations:
+                    report.findings.append(
+                        Finding(
+                            iteration=iteration,
+                            engine="table",
+                            kind="invariant",
+                            family=family,
+                            detail=f"{mutation.describe()}: {violation}",
+                            mutations=tuple(mutation_names + [mutation.name]),
+                        )
+                    )
+                mutation_names.append(mutation.name)
+                report.mutations[mutation.name] = (
+                    report.mutations.get(mutation.name, 0) + 1
+                )
+                graph = mutated
+
+        certify_engine = engines[iteration % len(engines)]
+        divergences, queries, certificates = differential_check(
+            graph, engines=engines, certify_engine=certify_engine
+        )
+        report.queries_checked += queries
+        report.certificates_checked += certificates
+        for divergence in divergences:
+            report.findings.append(
+                _finding_for(
+                    divergence,
+                    graph,
+                    iteration=iteration,
+                    family=family,
+                    mutations=tuple(mutation_names),
+                    corpus_dir=corpus_dir,
+                    seed=seed,
+                    shrink=shrink,
+                )
+            )
+
+        if iteration % 4 == 3:
+            mutation, stale, checked = _stale_cache_check(graph, rng)
+            report.queries_checked += checked
+            if mutation is not None:
+                report.invariant_checks += 1
+            for divergence in stale:
+                report.findings.append(
+                    Finding(
+                        iteration=iteration,
+                        engine=divergence.engine,
+                        kind=divergence.kind,
+                        family=family,
+                        detail=divergence.detail,
+                        class_name=divergence.class_name,
+                        member=divergence.member,
+                        mutations=tuple(mutation_names),
+                    )
+                )
+        iteration += 1
+
+    report.iterations = iteration
+    report.elapsed = time.monotonic() - start
+    return report
+
+
+def _finding_for(
+    divergence: Divergence,
+    graph: ClassHierarchyGraph,
+    *,
+    iteration: int,
+    family: str,
+    mutations: tuple[str, ...],
+    corpus_dir: Optional[Path | str],
+    seed: int,
+    shrink: bool,
+) -> Finding:
+    """Turn a divergence into a report finding: shrink the hierarchy to
+    a minimal counterexample and persist it to the corpus."""
+    finding = Finding(
+        iteration=iteration,
+        engine=divergence.engine,
+        kind=divergence.kind,
+        family=family,
+        detail=divergence.detail,
+        class_name=divergence.class_name,
+        member=divergence.member,
+        mutations=mutations,
+    )
+    if not shrink:
+        return finding
+
+    def still_fails(candidate: ClassHierarchyGraph) -> bool:
+        found, _queries, _certs = differential_check(
+            candidate,
+            engines=(divergence.engine,),
+            certify_engine=(
+                divergence.engine if divergence.kind == "certificate" else None
+            ),
+        )
+        return bool(found)
+
+    result = shrink_hierarchy(graph, still_fails, max_attempts=2_000)
+    finding.original_classes = result.initial_classes
+    finding.shrunk_classes = result.final_classes
+    finding.shrink_attempts = result.attempts
+    finding.shrunk_hierarchy = hierarchy_to_dict(result.graph)
+    if corpus_dir is not None:
+        entry = CorpusEntry(
+            name=f"{divergence.engine}-{divergence.kind}-seed{seed}-i{iteration}",
+            description=(
+                f"{divergence.engine} {divergence.kind} found by campaign "
+                f"(family {family}): {divergence.detail}"
+            ),
+            hierarchy=result.graph,
+            origin=f"campaign seed={seed} iteration={iteration}",
+            meta={
+                "family": family,
+                "mutations": list(mutations),
+                "shrink": result.describe(),
+            },
+        )
+        finding.corpus_path = str(save_entry(corpus_dir, entry))
+    return finding

@@ -1,0 +1,192 @@
+"""Delta-debugging of failing hierarchies to minimal counterexamples.
+
+Given a hierarchy on which some predicate fails (an engine disagrees
+with the subobject-poset oracle, a certificate is rejected, ...), shrink
+it by greedily deleting classes, then inheritance edges, then member
+declarations — keeping a deletion only when the reduced hierarchy still
+fails — and repeating the three passes to a fixpoint.  Greedy one-at-a-
+time removal (ddmin with granularity 1) is enough here because the
+failure predicates are cheap to evaluate and hierarchies are small; the
+result is *1-minimal*: no single further deletion preserves the failure.
+
+Deleting a class drops every edge incident to it, so a counterexample
+shrinks from dozens of classes to the handful that actually interact —
+the paper's Figure 9 (the g++ counterexample) is the canonical shape a
+shrink converges to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.hierarchy.graph import ClassHierarchyGraph
+
+__all__ = ["ShrinkResult", "shrink_hierarchy"]
+
+
+@dataclass
+class ShrinkResult:
+    """The outcome of shrinking one failing hierarchy."""
+
+    graph: ClassHierarchyGraph
+    attempts: int
+    removed_classes: int
+    removed_edges: int
+    removed_members: int
+    initial_classes: int
+    initial_edges: int
+
+    @property
+    def final_classes(self) -> int:
+        """Class count of the shrunk hierarchy."""
+        return len(self.graph.classes)
+
+    @property
+    def final_edges(self) -> int:
+        """Edge count of the shrunk hierarchy."""
+        return self.graph.edge_count()
+
+    @property
+    def ratio(self) -> float:
+        """Final/initial class count (1.0 = nothing could be removed)."""
+        if self.initial_classes == 0:
+            return 1.0
+        return self.final_classes / self.initial_classes
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"shrunk {self.initial_classes} -> {self.final_classes} classes, "
+            f"{self.initial_edges} -> {self.final_edges} edges "
+            f"({self.attempts} predicate evaluations)"
+        )
+
+
+def _rebuild(
+    graph: ClassHierarchyGraph,
+    *,
+    drop_class: Optional[str] = None,
+    drop_edge: Optional[tuple[str, str]] = None,
+    drop_member: Optional[tuple[str, str]] = None,
+) -> ClassHierarchyGraph:
+    """A copy of ``graph`` with one class (and its incident edges), one
+    edge, or one member declaration removed."""
+    reduced = ClassHierarchyGraph()
+    for name in graph.classes:
+        if name == drop_class:
+            continue
+        members = [
+            member
+            for member in graph.declared_members(name).values()
+            if (name, member.name) != drop_member
+        ]
+        reduced.add_class(name, members, is_struct=graph.is_struct(name))
+    # Edges second: base classes may be declared after their derived
+    # class (mutated hierarchies), so classes must all exist first.
+    for edge in graph.edges:
+        if drop_class in (edge.base, edge.derived):
+            continue
+        if (edge.base, edge.derived) == drop_edge:
+            continue
+        reduced.add_edge(
+            edge.base, edge.derived, virtual=edge.virtual, access=edge.access
+        )
+    return reduced
+
+
+def shrink_hierarchy(
+    graph: ClassHierarchyGraph,
+    still_fails: Callable[[ClassHierarchyGraph], bool],
+    *,
+    max_attempts: int = 10_000,
+) -> ShrinkResult:
+    """Greedily minimise ``graph`` while ``still_fails`` holds.
+
+    ``still_fails`` must return True on ``graph`` itself for shrinking to
+    start — otherwise the hierarchy is returned untouched (a no-op shrink
+    with one predicate evaluation and zero removals).  The predicate must
+    tolerate arbitrary sub-hierarchies, including empty ones; it should
+    re-run the *same* failure check that flagged the original (e.g. "this
+    engine still disagrees with the oracle somewhere"), not compare
+    against remembered query results, since class removal legitimately
+    changes answers.
+
+    ``max_attempts`` bounds total predicate evaluations as a safety net;
+    the greedy passes normally converge in O(classes + edges + members)
+    evaluations per round and a few rounds.
+    """
+    attempts = 1
+    if not still_fails(graph):
+        return ShrinkResult(
+            graph=graph,
+            attempts=attempts,
+            removed_classes=0,
+            removed_edges=0,
+            removed_members=0,
+            initial_classes=len(graph.classes),
+            initial_edges=graph.edge_count(),
+        )
+
+    initial_classes = len(graph.classes)
+    initial_edges = graph.edge_count()
+    removed = {"class": 0, "edge": 0, "member": 0}
+    current = graph
+
+    def try_candidate(candidate: ClassHierarchyGraph) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        try:
+            candidate.validate()
+        except Exception:
+            return False  # reduction produced an invalid hierarchy; skip
+        try:
+            return bool(still_fails(candidate))
+        except Exception:
+            # A predicate crash on a reduced input is not the original
+            # failure; treat as "does not fail" and keep shrinking.
+            return False
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        # Pass 1: classes (each removal also drops incident edges).
+        for name in list(current.classes):
+            if name not in current:  # removed earlier in this pass
+                continue
+            candidate = _rebuild(current, drop_class=name)
+            if try_candidate(candidate):
+                current = candidate
+                removed["class"] += 1
+                progress = True
+        # Pass 2: individual inheritance edges.
+        for edge in list(current.edges):
+            if not current.has_edge(edge.base, edge.derived):
+                continue
+            candidate = _rebuild(current, drop_edge=(edge.base, edge.derived))
+            if try_candidate(candidate):
+                current = candidate
+                removed["edge"] += 1
+                progress = True
+        # Pass 3: member declarations.
+        for class_name in list(current.classes):
+            for member_name in list(current.declared_members(class_name)):
+                candidate = _rebuild(
+                    current, drop_member=(class_name, member_name)
+                )
+                if try_candidate(candidate):
+                    current = candidate
+                    removed["member"] += 1
+                    progress = True
+
+    return ShrinkResult(
+        graph=current,
+        attempts=attempts,
+        removed_classes=removed["class"],
+        removed_edges=removed["edge"],
+        removed_members=removed["member"],
+        initial_classes=initial_classes,
+        initial_edges=initial_edges,
+    )

@@ -200,6 +200,71 @@ def random_hierarchy(
     return builder.build()
 
 
+def layered_hierarchy(
+    layers: int,
+    width: int,
+    *,
+    seed: int,
+    max_bases: int = 3,
+    virtual_probability: float = 0.3,
+    cross_layer_probability: float = 0.15,
+    member_names: Sequence[str] = ("m", "f", "g"),
+    member_probability: float = 0.4,
+) -> ClassHierarchyGraph:
+    """A seeded layered DAG: ``width`` classes per layer, ``layers`` deep.
+
+    Layer 0 classes are roots; every class of layer ``i > 0`` inherits
+    from 1..``max_bases`` classes of layer ``i-1`` (each pick jumping to
+    a uniformly chosen *earlier* layer with ``cross_layer_probability``,
+    so long skip edges occur), each edge virtual with
+    ``virtual_probability``, and declares each member name independently
+    with ``member_probability``.
+
+    This is the large-hierarchy stress shape of the C3-linearisation
+    literature (wide, deep, densely joined DAGs) with every knob the
+    differential fuzzing campaign (:mod:`repro.fuzz.campaign`) draws on
+    exposed: guaranteed depth (unlike :func:`random_hierarchy`, whose
+    base picks often leave most classes as roots), controllable fan-in,
+    virtual-edge fraction and member density.  Classes are named
+    ``L<layer>_<index>``.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("layered hierarchy needs layers >= 1 and width >= 1")
+    rng = random.Random(seed)
+    builder = HierarchyBuilder()
+    for layer in range(layers):
+        for index in range(width):
+            members = [
+                name
+                for name in member_names
+                if rng.random() < member_probability
+            ]
+            bases: list[str] = []
+            virtual_bases: list[str] = []
+            if layer > 0:
+                count = rng.randint(1, max(1, min(max_bases, width)))
+                picked: set[str] = set()
+                for _ in range(count):
+                    source_layer = layer - 1
+                    if layer > 1 and rng.random() < cross_layer_probability:
+                        source_layer = rng.randint(0, layer - 2)
+                    base = f"L{source_layer}_{rng.randint(0, width - 1)}"
+                    if base in picked:
+                        continue
+                    picked.add(base)
+                    if rng.random() < virtual_probability:
+                        virtual_bases.append(base)
+                    else:
+                        bases.append(base)
+            builder.cls(
+                f"L{layer}_{index}",
+                bases=bases,
+                virtual_bases=virtual_bases,
+                members=members,
+            )
+    return builder.build()
+
+
 def wide_unambiguous(
     width: int, *, member: str = "m"
 ) -> ClassHierarchyGraph:

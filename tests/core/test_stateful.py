@@ -10,10 +10,12 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro.core.cache import CachedMemberLookup
 from repro.core.incremental import IncrementalLookupEngine
 from repro.core.lookup import build_lookup_table
 from repro.errors import CycleError, DuplicateBaseError, DuplicateMemberError
 from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import ClassHierarchyGraph
 from repro.runtime.objects import AmbiguousAccessError, Runtime
 
 MEMBERS = ("m", "f")
@@ -157,3 +159,74 @@ RuntimeStorageMachine.TestCase.settings = settings(
     max_examples=20, stateful_step_count=30, deadline=None
 )
 TestRuntimeStorageMachine = RuntimeStorageMachine.TestCase
+
+
+class CachedLookupMachine(RuleBasedStateMachine):
+    """Random mutation sequences interleaved with queries through a
+    small :class:`CachedMemberLookup` front: the generation-keyed
+    invalidation must never serve a row computed before a mutation, so
+    every cached answer must equal a freshly built table's — and the LRU
+    must never exceed its capacity."""
+
+    MAXSIZE = 8
+
+    def __init__(self):
+        super().__init__()
+        self.graph = ClassHierarchyGraph()
+        self.cached = CachedMemberLookup(self.graph, maxsize=self.MAXSIZE)
+        self.counter = 0
+
+    @rule(member_mask=st.integers(0, 3))
+    def add_class(self, member_mask):
+        members = [m for i, m in enumerate(MEMBERS) if member_mask & (1 << i)]
+        self.graph.add_class(f"K{self.counter}", members)
+        self.counter += 1
+
+    @precondition(lambda self: self.counter >= 2)
+    @rule(data=st.data(), virtual=st.booleans())
+    def add_edge(self, data, virtual):
+        derived_index = data.draw(st.integers(1, self.counter - 1))
+        base_index = data.draw(st.integers(0, derived_index - 1))
+        try:
+            self.graph.add_edge(
+                f"K{base_index}", f"K{derived_index}", virtual=virtual
+            )
+        except (DuplicateBaseError, CycleError):
+            pass
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def add_member(self, data, member):
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        try:
+            self.graph.add_member(target, member)
+        except DuplicateMemberError:
+            pass
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def query(self, data, member):
+        # Interleaved queries warm the cache *between* mutations, so the
+        # invariant below really checks invalidation, not cold misses.
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        self.cached.lookup(target, member)
+
+    @invariant()
+    def never_serves_stale_rows(self):
+        if self.counter == 0:
+            return
+        fresh = build_lookup_table(self.graph)
+        for class_name in self.graph.classes:
+            for member in MEMBERS:
+                cached = self.cached.lookup(class_name, member)
+                assert cached == fresh.lookup(class_name, member), (
+                    class_name,
+                    member,
+                )
+        assert len(self.cached) <= self.MAXSIZE
+
+
+CachedLookupMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestCachedLookupMachine = CachedLookupMachine.TestCase

@@ -1,0 +1,140 @@
+"""End-to-end campaign tests: a clean campaign on the healthy kernel, a
+deliberately broken dominance rule that must be caught, shrunk and
+persisted, and determinism in the seed."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import ENGINES, build_engine, differential_check, run_campaign
+from repro.hierarchy.serialize import hierarchy_from_dict
+from repro.workloads import figure1, figure9
+
+#: The matrix minus ``sharded``: its worker processes re-import the real
+#: kernel, so a monkeypatched dominance rule would not reach them.
+PATCHABLE_ENGINES = tuple(e for e in ENGINES if e != "sharded")
+
+
+def test_engine_matrix_builds_and_agrees():
+    for figure in (figure1(), figure9()):
+        for engine_name in ENGINES:
+            assert build_engine(engine_name, figure) is not None
+        divergences, queries, certificates = differential_check(
+            figure, engines=ENGINES, certify_engine="batched"
+        )
+        assert divergences == []
+        assert queries > 0
+        assert certificates > 0
+
+
+def test_build_engine_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        build_engine("nonsense", figure1())
+
+
+def test_clean_campaign_on_healthy_kernel():
+    report = run_campaign(seed=0, budget=60)
+    assert report.exit_code == 0
+    assert report.findings == []
+    assert report.iterations == 60
+    assert report.stopped_by == "budget"
+    assert report.queries_checked > 0
+    assert report.certificates_checked > 0
+    assert report.invariant_checks > 0
+    # Every generator family and every engine took part.
+    assert len(report.families) == 10
+    assert report.engines == ENGINES
+
+
+def test_campaign_is_deterministic_in_seed():
+    left = run_campaign(seed=7, budget=25).to_dict()
+    right = run_campaign(seed=7, budget=25).to_dict()
+    left.pop("elapsed_seconds")
+    right.pop("elapsed_seconds")
+    assert left == right
+
+
+def test_broken_dominance_is_caught_shrunk_and_persisted(
+    monkeypatch, tmp_path
+):
+    """The acceptance gate: wire a wrong Lemma 4 dominance rule into the
+    kernel and the campaign must exit nonzero with a shrunk,
+    corpus-serialisable counterexample."""
+    monkeypatch.setattr(
+        "repro.core.kernel.dominates", lambda *args, **kwargs: False
+    )
+    corpus = tmp_path / "corpus"
+    report = run_campaign(
+        seed=0, budget=12, engines=PATCHABLE_ENGINES, corpus_dir=corpus
+    )
+    assert report.exit_code != 0
+    mismatches = [f for f in report.findings if f.kind == "mismatch"]
+    assert mismatches
+    shrunk = [f for f in mismatches if f.shrunk_hierarchy is not None]
+    assert shrunk
+    for finding in shrunk:
+        assert finding.shrunk_classes <= finding.original_classes
+        # corpus-serialisable: the shrunk hierarchy round-trips through
+        # the repro-chg document format
+        graph = hierarchy_from_dict(finding.shrunk_hierarchy)
+        assert len(graph.classes) == finding.shrunk_classes
+    persisted = sorted(corpus.glob("*.json"))
+    assert persisted
+    assert any(f.corpus_path for f in shrunk)
+
+
+def test_broken_dominance_reaches_the_cli(monkeypatch, tmp_path, capsys):
+    monkeypatch.setattr(
+        "repro.core.kernel.dominates", lambda *args, **kwargs: False
+    )
+    code = main(
+        [
+            "fuzz",
+            "--seed",
+            "0",
+            "--budget",
+            "6",
+            "--engines",
+            ",".join(PATCHABLE_ENGINES),
+            "--no-shrink",
+        ]
+    )
+    assert code != 0
+    assert "DISAGREEMENTS" in capsys.readouterr().out
+
+
+def test_cli_clean_campaign_writes_report(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    code = main(
+        [
+            "fuzz",
+            "--seed",
+            "0",
+            "--budget",
+            "15",
+            "--report",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "all engines agree" in out
+    data = json.loads(report_path.read_text())
+    assert data["format"] == "repro-fuzz-report"
+    assert data["iterations"] == 15
+    assert data["disagreements"] == 0
+    assert data["engines"] == list(ENGINES)
+
+
+def test_cli_rejects_unknown_engine(capsys):
+    code = main(["fuzz", "--budget", "1", "--engines", "warp-drive"])
+    assert code == 2
+    assert "unknown engine" in capsys.readouterr().err
+
+
+def test_time_budget_cuts_campaign_short():
+    report = run_campaign(seed=3, budget=10_000, time_budget=0.0)
+    assert report.stopped_by == "time"
+    assert report.iterations < 10_000
+    assert report.exit_code == 0

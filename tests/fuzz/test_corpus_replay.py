@@ -1,0 +1,83 @@
+"""Every persisted corpus entry must replay clean through the full
+engine matrix — a find that once broke an engine can never regress
+silently."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    CORPUS_FORMAT,
+    ENGINES,
+    CorpusEntry,
+    differential_check,
+    entry_from_dict,
+    entry_to_dict,
+    iter_corpus,
+    load_entry,
+    replay_corpus,
+    save_entry,
+)
+from repro.workloads import figure9
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_seed_corpus_present():
+    """The founding entries ship with the repository."""
+    names = {path.stem for path in CORPUS_FILES}
+    assert "figure9-gxx-counterexample" in names
+    assert "virtual-diamond-dominance-find" in names
+    assert "ambiguous-fan-dominance-find" in names
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_entry_replays_clean(path):
+    """Each entry runs through every engine against the oracle."""
+    entry = load_entry(path)
+    assert len(entry.hierarchy.classes) >= 1
+    divergences, queries, _ = differential_check(
+        entry.hierarchy, engines=ENGINES
+    )
+    assert queries > 0
+    assert divergences == []
+
+
+def test_replay_corpus_covers_directory():
+    replayed, findings = replay_corpus(CORPUS_DIR)
+    assert replayed == len(CORPUS_FILES)
+    assert findings == []
+
+
+def test_figure9_entry_is_shrunk_figure9():
+    """The founding entry is the g++ counterexample, shrunk: a strict
+    sub-hierarchy of the paper's Figure 9."""
+    entry = load_entry(CORPUS_DIR / "figure9-gxx-counterexample.json")
+    full = figure9()
+    assert set(entry.hierarchy.classes) < set(full.classes)
+    assert len(entry.hierarchy.classes) <= 5
+
+
+def test_entry_roundtrip(tmp_path):
+    entry = CorpusEntry(
+        name="Round Trip!",
+        description="roundtrip fixture",
+        hierarchy=figure9(),
+        origin="test",
+        meta={"extra": 1},
+    )
+    data = entry_to_dict(entry)
+    assert data["format"] == CORPUS_FORMAT
+    back = entry_from_dict(data)
+    assert back.name == entry.name
+    assert back.meta == {"extra": 1}
+    assert back.hierarchy.classes == entry.hierarchy.classes
+
+    first = save_entry(tmp_path, entry)
+    second = save_entry(tmp_path, entry)  # collision gets a -2 suffix
+    assert first.name == "round-trip.json"
+    assert second.name == "round-trip-2.json"
+    assert [e.name for e in iter_corpus(tmp_path)] == [entry.name, entry.name]

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.core",
     "repro.diagnostics",
     "repro.frontend",
+    "repro.fuzz",
     "repro.hierarchy",
     "repro.layout",
     "repro.overloads",
