@@ -8,6 +8,7 @@ change.
 
 Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
         python scripts/collect_bench_numbers.py -k interning --json-out BENCH_interning.json
+        python scripts/collect_bench_numbers.py -k storm --json-out BENCH_delta.json
         python scripts/collect_bench_numbers.py --quick
 
 ``--json-out PATH`` additionally writes a compact, machine-readable
@@ -16,7 +17,8 @@ PATH — small enough to check in next to the benchmark it records.
 
 Benchmarks that tag themselves with ``extra_info["baseline"] = True``
 (the seed string-keyed build in ``bench_interning.py``, the per-member
-build in ``bench_batched.py``) anchor a *comparisons* section: every
+build in ``bench_batched.py``, the rebuild-per-step storm in
+``bench_incremental.py``) anchor a *comparisons* section: every
 other benchmark of the same file + ``extra_info["workload"]`` group is
 reported as a speedup over its baseline, so baseline-vs-current numbers
 land in one JSON report instead of two runs diffed by hand.

@@ -96,6 +96,13 @@ def _add_build_mode_options(parser: argparse.ArgumentParser) -> None:
         help="member-space shards for the sharded builder "
         "(default: one per worker)",
     )
+    parser.add_argument(
+        "--delta-stats",
+        action="store_true",
+        help="replay the hierarchy's last leaf class as a mutation and "
+        "report what delta maintenance did (cone size, rows reused vs "
+        "recomputed, cache evictions)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -282,6 +289,79 @@ def _render_lookup_stats(table) -> str:
     )
 
 
+def _report_delta_stats(
+    graph: ClassHierarchyGraph, args: argparse.Namespace
+) -> None:
+    """The ``--delta-stats`` report: rebuild the hierarchy without its
+    last leaf class, warm a table and a query cache over that prefix,
+    replay the leaf as a live mutation, and show what
+    ``MemberLookupTable.apply_delta`` / the surgical cache invalidation
+    actually touched — the delta win without the benchmark harness."""
+    leaves = [
+        name for name in graph.classes if not graph.direct_derived(name)
+    ]
+    if len(graph) < 2 or not leaves:
+        print("delta stats: hierarchy too small to replay a declaration")
+        return
+    leaf = leaves[-1]
+
+    prefix = ClassHierarchyGraph()
+    for name in graph.classes:
+        if name != leaf:
+            prefix.add_class(name, graph.declared_members(name).values())
+    for name in graph.classes:
+        if name == leaf:
+            continue
+        for edge in graph.direct_bases(name):
+            prefix.add_edge(
+                edge.base, name, virtual=edge.virtual, access=edge.access
+            )
+
+    table = build_lookup_table(
+        prefix,
+        mode=args.mode,
+        max_workers=args.max_workers,
+        shards=args.shards,
+    )
+    cached = CachedMemberLookup(prefix)
+    for name in prefix.classes:
+        for member in table.visible_members(name):
+            cached.lookup(name, member)
+
+    prefix.add_class(leaf, graph.declared_members(leaf).values())
+    for edge in graph.direct_bases(leaf):
+        prefix.add_edge(
+            edge.base, leaf, virtual=edge.virtual, access=edge.access
+        )
+    delta = table.apply_delta()
+    ch = table.compiled
+    probe = table.visible_members(leaf)
+    for member in probe:
+        result = cached.lookup(leaf, member)
+        assert result == table.lookup(leaf, member)
+    cache = cached.cache_stats
+    print(
+        f"delta stats: replayed leaf class {leaf!r} "
+        f"({graph.base_count(leaf)} base edge(s), "
+        f"{len(graph.declared_members(leaf))} member(s)) as a mutation"
+    )
+    print(
+        f"  cone: {delta.cone_classes} of {ch.n_classes} classes; "
+        f"affected members: {delta.affected_members} of {ch.n_members}"
+    )
+    print(
+        f"  table rows: recomputed={delta.entries_recomputed} "
+        f"reused={delta.entries_reused} "
+        f"boundary_rows={delta.boundary_rows} "
+        f"full_rebuilds={delta.full_rebuilds}"
+    )
+    print(
+        f"  query cache: evicted={cache.entries_evicted} "
+        f"survived={cache.entries_survived} "
+        f"full_flushes={cache.full_flushes}"
+    )
+
+
 def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
     """The ``build`` command: construct the table in the requested mode,
     then exercise the generation-keyed query cache over every visible
@@ -320,6 +400,8 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         f"evictions={cache.evictions} invalidations={cache.invalidations} "
         f"hit_rate={cache.hit_rate():.1%}"
     )
+    if args.delta_stats:
+        _report_delta_stats(graph, args)
     return 0
 
 
@@ -423,6 +505,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(result)
         if args.stats:
             print(_render_lookup_stats(table))
+        if args.delta_stats:
+            _report_delta_stats(graph, args)
         return 0
 
     if args.command == "build":

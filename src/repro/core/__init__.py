@@ -20,6 +20,7 @@ from repro.core.incremental import IncrementalLookupEngine, IncrementalStats
 from repro.core.lazy import LazyMemberLookup
 from repro.core.lookup import (
     BlueEntry,
+    DeltaStats,
     LookupStats,
     MemberLookupTable,
     RedEntry,
@@ -53,6 +54,7 @@ __all__ = [
     "OMEGA",
     "Abstraction",
     "BlueEntry",
+    "DeltaStats",
     "IncrementalLookupEngine",
     "IncrementalStats",
     "LazyMemberLookup",

@@ -9,16 +9,20 @@ adds the missing O(1) front: :class:`LookupCache`, a plain LRU over
 ``(class, member) -> LookupResult`` with hit/miss/evict counters, wrapped
 by :class:`CachedMemberLookup`.
 
-Invalidation is *exact* and piggybacks on the substrate's existing
+Invalidation is *surgical* and piggybacks on the substrate's existing
 staleness protocol: every mutation of a
 :class:`~repro.hierarchy.graph.ClassHierarchyGraph` bumps its generation
-counter, and the cache records the generation each entry batch was
-filled under.  A query under a newer generation flushes the cache in one
-step before consulting the (self-refreshing) lazy engine — so a cached
-result can never outlive the hierarchy shape it was computed from, and
-an unchanged hierarchy never pays recomputation.  There is no per-entry
-tracking to get wrong: the generation comparison is one integer test per
-query.
+counter, and the first query after a bump compares the compiled snapshot
+the cache was filled under against the fresh one
+(:func:`~repro.hierarchy.compiled.describe_delta`).  Whenever the
+change is a recognisable growth step, only the keys inside
+``invalidation-cone × affected-members`` are dropped — everything else
+provably still answers to the same subobject graph (Definition 7) and
+survives the bump, in the LRU and in the lazy engine's memo alike.
+Only when the snapshots are incomparable (never the case under the
+append-only graph API) does the cache fall back to the old
+flush-everything policy, so a cached result still can never outlive
+the hierarchy shape it was computed from.
 """
 
 from __future__ import annotations
@@ -29,7 +33,11 @@ from typing import Optional
 
 from repro.core.lazy import LazyMemberLookup
 from repro.core.results import LookupResult
-from repro.hierarchy.compiled import HierarchyLike, hierarchy_of
+from repro.hierarchy.compiled import (
+    HierarchyLike,
+    describe_delta,
+    hierarchy_of,
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
@@ -48,12 +56,24 @@ DEFAULT_CACHE_SIZE = 4096
 @dataclass
 class CacheStats:
     """Counters for the cache's observable behaviour (reported by the
-    CLI ``build`` command and asserted on by the tests)."""
+    CLI ``build`` command and asserted on by the tests).
+
+    ``invalidations`` counts invalidation *events* — one per observed
+    generation bump that found a non-empty cache — whether the event
+    was surgical or a full flush.  The surgical counters break an event
+    down: ``entries_evicted`` keys dropped because they lay inside the
+    mutation's cone × affected-members rectangle, ``entries_survived``
+    keys that provably could not have changed and were kept warm, and
+    ``full_flushes`` the events that had to drop everything because the
+    snapshots were incomparable."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    entries_evicted: int = 0
+    entries_survived: int = 0
+    full_flushes: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -115,17 +135,23 @@ class CachedMemberLookup:
     dict probe.  The invalidation contract:
 
     * every graph mutation bumps ``graph.generation``;
-    * the first query after a bump flushes the whole cache *and* the
-      underlying lazy memo (one event, counted in
-      ``cache_stats.invalidations``) — the cache assumes nothing about
-      which mutation happened, so all computed state goes;
+    * the first query after a bump diffs the compiled snapshots
+      (:func:`~repro.hierarchy.compiled.describe_delta`) and evicts
+      **only** the keys inside the mutation's invalidation cone ×
+      affected member names — from the LRU and from the lazy memo —
+      leaving every other cached answer warm (one event, counted in
+      ``cache_stats.invalidations``; the surgical breakdown lands in
+      ``entries_evicted`` / ``entries_survived``);
+    * if the snapshots are incomparable (impossible through the
+      append-only graph API, but the cache does not assume its callers)
+      the whole cache and the lazy memo are flushed instead, counted in
+      ``full_flushes`` — correctness never rides on the delta being
+      recognisable;
     * queries between mutations never recompute.
 
-    Callers that know their mutations are pure growth and want surgical
-    eviction should use
-    :class:`~repro.core.incremental.IncrementalLookupEngine` instead;
-    this class trades eviction precision for a contract that is correct
-    under *any* mutation at one integer compare per query.
+    The one-at-a-time surgical twin of this policy lives in
+    :class:`~repro.core.incremental.IncrementalLookupEngine`, which is
+    told *which* mutation happened instead of diffing snapshots.
     """
 
     def __init__(
@@ -141,6 +167,7 @@ class CachedMemberLookup:
             hierarchy, track_witnesses=track_witnesses
         )
         self._cache = LookupCache(maxsize)
+        self._snapshot = self._graph.compile()
         self._generation = self._graph.generation
 
     @property
@@ -162,27 +189,63 @@ class CachedMemberLookup:
         return len(self._cache)
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
-        generation = self._graph.generation
-        if generation != self._generation:
-            # Flush the LRU *and* retire the lazy engine's memo: unlike
-            # the incremental engine, this cache makes no assumption
-            # about *which* mutation happened (a member added to an old
-            # class rewrites existing entries, not just new ones), so
-            # correctness demands the whole computed state goes.  The
-            # compiled snapshot itself is memoised on the graph and
-            # recompiles as a delta where possible, so the flush costs
-            # O(recompute-on-demand), not O(recompile).
-            self._cache.clear()
-            self._lazy = LazyMemberLookup(
-                self._graph, track_witnesses=self._track_witnesses
-            )
-            self._generation = generation
+        if self._graph.generation != self._generation:
+            self._invalidate()
         key = (class_name, member)
         result = self._cache.get(key)
         if result is None:
             result = self._lazy.lookup(class_name, member)
             self._cache.put(key, result)
         return result
+
+    def _invalidate(self) -> None:
+        """Reconcile the cache with the graph's current generation.
+
+        Diffs the snapshot the cache contents were computed under
+        against a fresh compile.  A recognisable growth step evicts
+        exactly the ``cone × affected-member`` keys (and the same
+        rectangle from the lazy memo — by string name, which also
+        catches columns the old interner never saw); anything else
+        flushes everything.  Either way the cache's snapshot pointer
+        advances, so one bump costs one reconciliation no matter how
+        many mutations it covered.
+        """
+        new = self._graph.compile()
+        old = self._snapshot
+        delta = describe_delta(old, new)
+        stats = self._cache.stats
+        data = self._cache._data
+        if delta is None:
+            # Incomparable snapshots: the whole computed state goes.
+            self._cache.clear()
+            self._lazy = LazyMemberLookup(
+                self._graph, track_witnesses=self._track_witnesses
+            )
+            stats.full_flushes += 1
+        elif not delta.is_empty:
+            cone_names = {
+                new.class_names[cid] for cid in delta.cone_ids()
+            }
+            member_names = {
+                new.member_names[mid] for mid in delta.member_ids()
+            }
+            if data:
+                stale = [
+                    key
+                    for key in data
+                    if key[0] in cone_names and key[1] in member_names
+                ]
+                for key in stale:
+                    del data[key]
+                stats.entries_evicted += len(stale)
+                stats.entries_survived += len(data)
+                stats.invalidations += 1
+            for member in member_names:
+                self._lazy._evict(cone_names, member=member)
+        # An empty delta (memberless growth) changes no lookup answer:
+        # nothing to evict, no observable event.
+        self._snapshot = new
+        self._generation = new.generation
 
 
 def shared_cached_lookup(

@@ -18,6 +18,17 @@ Because C++ requires bases to be complete before use, declarations only
 ever extend the graph downward, so entries of unaffected classes remain
 valid — the property the invalidation rules above rely on.
 
+When one mutation invalidates a *large* set (an edge added high in a
+deep hierarchy evicts every entry of a big cone), faulting those
+entries back one query at a time pays the demand machinery per entry.
+Above :data:`BATCH_REFILL_THRESHOLD` evicted entries, the engine
+instead routes the evicted set straight into a batched cone re-fill
+(:meth:`~repro.core.lazy.LazyMemberLookup.refill`) — one topological
+pass per affected column seeded from the surviving boundary entries,
+the demand-driven twin of
+:func:`repro.core.kernel.cone_sweep`.  Below the threshold the classic
+lazy behaviour stands: scattered small invalidations stay pay-as-you-go.
+
 Recompilation of the shared :class:`~repro.hierarchy.compiled.CompiledHierarchy`
 snapshot is left to the lazy engine's generation check at the next
 query; pure downward growth (``add_class``) recompiles as a cheap delta,
@@ -37,19 +48,48 @@ from repro.hierarchy.graph import ClassHierarchyGraph
 from repro.hierarchy.members import Access, Member
 
 
+#: Evicted-entry count at which a mutation's invalidation is answered
+#: by an eager batched refill instead of per-query lazy faulting.  The
+#: crossover is where one topological pass over the cone beats the
+#: per-entry demand machinery; small mutations stay pay-as-you-go.
+BATCH_REFILL_THRESHOLD = 64
+
+
 @dataclass
 class IncrementalStats:
     mutations: int = 0
     entries_invalidated: int = 0
+    batched_refills: int = 0
+    entries_refilled: int = 0
 
 
 class IncrementalLookupEngine:
-    """A growable hierarchy with always-consistent member lookup."""
+    """A growable hierarchy with always-consistent member lookup.
 
-    def __init__(self, graph: Optional[ClassHierarchyGraph] = None) -> None:
+    ``batch_refill_threshold`` tunes when a mutation's evicted set is
+    eagerly recomputed in bulk (see the module docstring); ``None``
+    disables batching entirely and every refill is lazy.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[ClassHierarchyGraph] = None,
+        *,
+        batch_refill_threshold: Optional[int] = BATCH_REFILL_THRESHOLD,
+    ) -> None:
         self._graph = graph if graph is not None else ClassHierarchyGraph()
         self._lazy = LazyMemberLookup(self._graph)
+        self._batch_refill_threshold = batch_refill_threshold
         self.stats = IncrementalStats()
+
+    def _invalidated(self, evicted) -> None:
+        """Account one mutation's evictions, refilling in bulk when the
+        set is large enough for a batched pass to win."""
+        self.stats.entries_invalidated += len(evicted)
+        threshold = self._batch_refill_threshold
+        if threshold is not None and len(evicted) >= threshold:
+            self.stats.batched_refills += 1
+            self.stats.entries_refilled += self._lazy.refill(evicted)
 
     @property
     def graph(self) -> ClassHierarchyGraph:
@@ -86,9 +126,7 @@ class IncrementalLookupEngine:
         self.stats.mutations += 1
         name = member.name if isinstance(member, Member) else member
         affected = {class_name} | set(self._graph.descendants(class_name))
-        self.stats.entries_invalidated += self._lazy._evict(
-            affected, member=name
-        )
+        self._invalidated(self._lazy._evict(affected, member=name))
 
     def add_edge(
         self,
@@ -103,4 +141,4 @@ class IncrementalLookupEngine:
         self._graph.add_edge(base, derived, virtual=virtual, access=access)
         self.stats.mutations += 1
         affected = {derived} | set(self._graph.descendants(derived))
-        self.stats.entries_invalidated += self._lazy._evict(affected)
+        self._invalidated(self._lazy._evict(affected))

@@ -429,6 +429,126 @@ def batched_sweep(
 
 
 # ----------------------------------------------------------------------
+# The cone-restricted delta sweep (re-fold only what a mutation touched)
+# ----------------------------------------------------------------------
+
+
+class ConeSweepStats(NamedTuple):
+    """What one cone-restricted sweep actually did — the observable
+    shape of the `O(|M_aff|·(|cone|+|E_cone|))` claim."""
+
+    cone_classes: int
+    entries_recomputed: int
+    boundary_rows: int
+
+
+def cone_sweep(
+    ch: CompiledHierarchy,
+    rows: list,
+    *,
+    cone_mask: int,
+    member_mask: int,
+    stats: Optional[LookupStats] = None,
+    track_witnesses: bool = True,
+) -> ConeSweepStats:
+    """Re-run the batched fold over *cone classes only*, for *affected
+    members only*, seeding from the surviving rows of ``rows``.
+
+    ``rows`` is the row list of a previous :func:`batched_sweep` over an
+    older generation of the same id space (``rows[cid]`` is the dict
+    ``member id -> kernel entry``, or ``None`` for a class id that did
+    not exist yet); it is updated **in place**.  The soundness argument
+    is the boundary-row-reuse invariant: ``lookup(C, m)`` is a function
+    of ``C``'s subobject graph alone (Definition 7), so for any class
+    outside the cone — i.e. not a descendant of a changed class — that
+    subobject graph, its virtual-base mask and hence its whole row are
+    byte-for-byte what the old sweep computed.  Those rows are read
+    verbatim as the dataflow boundary wherever a cone class derives
+    from an out-of-cone base; only ``cone × affected-members`` entries
+    are ever re-folded.
+
+    Cone classes are visited in topological order by extracting the set
+    cone bits and sorting them by precomputed topological position
+    (``ch.topo_positions``) — O(|cone| log |cone|), so a small cone in
+    a huge hierarchy never pays an O(|N|) scan per delta.
+
+    The fold itself is member-major :func:`fold_entry` semantics:
+    gather each affected member's extended entries in direct-base
+    order, meet when more than one base contributes, seed declarations
+    last.  Stale masked entries with no surviving contributor are
+    dropped (cannot happen under append-only growth, but keeps the
+    sweep total).
+
+    Returns a :class:`ConeSweepStats`; ``boundary_rows`` counts the
+    out-of-cone direct bases read as seeds (one per cone edge crossing
+    the boundary).
+    """
+    base_pairs = ch.base_pairs
+    declared_masks = ch.declared_masks
+    visible_masks = ch.visible_masks
+    cone_classes = 0
+    recomputed = 0
+    boundary = 0
+    cone_ids = []
+    remaining = cone_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        cone_ids.append(low.bit_length() - 1)
+    cone_ids.sort(key=ch.topo_positions.__getitem__)
+    for cid in cone_ids:
+        cone_classes += 1
+        row = rows[cid]
+        if row is None:
+            row = rows[cid] = {}
+        bases = base_pairs[cid]
+        for base, _virtual in bases:
+            if not (cone_mask >> base) & 1:
+                boundary += 1
+        decl = declared_masks[cid]
+        affected = visible_masks[cid] & member_mask
+        pending = affected & ~decl
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            mid = low.bit_length() - 1
+            bucket: list = []
+            for base, virtual in bases:
+                base_row = rows[base]
+                if base_row is None:
+                    continue
+                sub_entry = base_row.get(mid)
+                if sub_entry is None:
+                    continue
+                bucket.append(
+                    extend_entry(ch, sub_entry, base, virtual, cid, stats)
+                )
+            if not bucket:
+                row.pop(mid, None)
+            elif len(bucket) == 1:
+                row[mid] = bucket[0]
+            else:
+                row[mid] = meet_entries(ch, bucket, stats)
+            recomputed += 1
+        seed = decl & member_mask
+        if seed:
+            cell = (cid, False, None) if track_witnesses else None
+            while seed:
+                low = seed & -seed
+                seed ^= low
+                row[low.bit_length() - 1] = (cid, OMEGA_ID, cell)
+                recomputed += 1
+    if stats is not None:
+        stats.classes_visited += cone_classes
+        stats.entries_computed += recomputed
+    return ConeSweepStats(
+        cone_classes=cone_classes,
+        entries_recomputed=recomputed,
+        boundary_rows=boundary,
+    )
+
+
+# ----------------------------------------------------------------------
 # Conversion back to the public string-based API
 # ----------------------------------------------------------------------
 

@@ -13,12 +13,16 @@ fold; only the driving order differs (demand-driven recursion instead of
 a topological sweep).  The recursion terminates because the CHG is
 acyclic.
 
-The engine tolerates growth of the underlying graph: each query
-revalidates the compiled snapshot against the graph's generation counter
-and recompiles (cheaply, as a delta where possible) when stale.  Interned
-ids are stable across recompiles, so the memo survives — the incremental
-engine (:mod:`repro.core.incremental`) relies on this, evicting exactly
-the entries a mutation can affect and letting the rest stand.
+The engine tolerates mutation of the underlying graph: each query
+revalidates the compiled snapshot against the graph's generation
+counter, recompiles (cheaply, as a delta where possible) when stale,
+and evicts exactly the ``invalidation-cone × affected-members``
+rectangle the mutations can have touched
+(:func:`~repro.hierarchy.compiled.describe_delta`).  Interned ids are
+stable across recompiles, so the rest of the memo survives and keeps
+answering — the incremental engine (:mod:`repro.core.incremental`)
+builds on the same hooks, evicting at mutation time so large cones can
+be refilled eagerly in one batch.
 """
 
 from __future__ import annotations
@@ -33,7 +37,12 @@ from repro.core.kernel import (
     to_table_entry,
 )
 from repro.core.results import LookupResult, not_found_result
-from repro.hierarchy.compiled import HierarchyLike, compiled_of, hierarchy_of
+from repro.hierarchy.compiled import (
+    HierarchyLike,
+    compiled_of,
+    describe_delta,
+    hierarchy_of,
+)
 
 #: Memo columns are keyed by interned member id; member names the
 #: hierarchy has never declared (no id exists) key their column by the
@@ -93,9 +102,18 @@ class LazyMemberLookup:
     # ------------------------------------------------------------------
 
     def _refresh(self) -> None:
-        """Recompile if the graph grew; keep the memo (ids are stable)."""
+        """Recompile if the graph mutated, keeping every memo entry the
+        mutation provably cannot affect.
+
+        Interned ids are stable across recompiles, so the memo stays
+        addressable; what can go *stale* is exactly the
+        ``invalidation-cone × affected-members`` rectangle of
+        :func:`~repro.hierarchy.compiled.describe_delta`, which is
+        evicted here.  Only incomparable snapshots (never produced by
+        the append-only graph API) drop the whole memo."""
         if self._ch.generation == self._graph.generation:
             return
+        old = self._ch
         self._ch = self._graph.compile()
         member_ids = self._ch.member_ids
         for name in [k for k in self._columns if isinstance(k, str)]:
@@ -104,6 +122,26 @@ class LazyMemberLookup:
                 # String-keyed columns hold only "not visible" results,
                 # so there are no public conversions to migrate.
                 self._columns[mid] = self._columns.pop(name)
+        if not self._columns:
+            return
+        delta = describe_delta(old, self._ch)
+        if delta is None:
+            self._columns.clear()
+            self._public.clear()
+            return
+        if delta.is_empty:
+            return
+        cone = list(delta.cone_ids())
+        for mid in delta.member_ids():
+            column = self._columns.get(mid)
+            if not column:
+                continue
+            for cid in cone:
+                if cid in column:
+                    del column[cid]
+                    self._public.pop((mid, cid), None)
+            if not column:
+                del self._columns[mid]
 
     def _demand(self, cid: int, key: ColumnKey):
         """The cached kernel entry of ``(cid, key)``, computing it — and
@@ -150,11 +188,12 @@ class LazyMemberLookup:
 
     def _evict(
         self, class_names, member: Optional[str] = None
-    ) -> int:
+    ) -> list[tuple[ColumnKey, int]]:
         """Drop the cached entries of the given classes — for one member
-        name, or for all (``member=None``).  Returns how many entries
-        were actually removed.  Uses the *current* snapshot's interner;
-        classes it does not know cannot have cached entries."""
+        name, or for all (``member=None``).  Returns the evicted
+        ``(column key, class id)`` pairs — the work-list a batched
+        :meth:`refill` accepts verbatim.  Uses the *current* snapshot's
+        interner; classes it does not know cannot have cached entries."""
         ch = self._ch
         cids = {
             ch.class_ids[name]
@@ -162,12 +201,12 @@ class LazyMemberLookup:
             if name in ch.class_ids
         }
         if not cids:
-            return 0
+            return []
         if member is not None:
             keys: list[ColumnKey] = [ch.member_ids.get(member, member)]
         else:
             keys = list(self._columns)
-        removed = 0
+        removed: list[tuple[ColumnKey, int]] = []
         for key in keys:
             column = self._columns.get(key)
             if not column:
@@ -176,7 +215,35 @@ class LazyMemberLookup:
                 if cid in column:
                     del column[cid]
                     self._public.pop((key, cid), None)
-                    removed += 1
+                    removed.append((key, cid))
             if not column:
                 del self._columns[key]
         return removed
+
+    def refill(self, pairs) -> int:
+        """Recompute a batch of evicted entries eagerly, in one pass per
+        column — the restart-iteration alternative to letting each
+        future query fault its entry back in one at a time.
+
+        ``pairs`` is an ``_evict`` return value (possibly from before a
+        recompile: string column keys are re-resolved against the fresh
+        interner, so a name that has been declared since lands in its id
+        column).  Entries are demanded smallest class id first — ids
+        follow declaration order, so within a column almost every fold
+        finds its base entries already recomputed, exactly the boundary
+        reuse of the eager cone sweep; :meth:`_demand` tops up any
+        stragglers.  Returns the number of entries recomputed.
+        """
+        self._refresh()
+        member_ids = self._ch.member_ids
+        by_key: dict[ColumnKey, list[int]] = {}
+        for key, cid in pairs:
+            if isinstance(key, str):
+                key = member_ids.get(key, key)
+            by_key.setdefault(key, []).append(cid)
+        refilled = 0
+        for key, cids in by_key.items():
+            for cid in sorted(cids):
+                self._demand(cid, key)
+                refilled += 1
+        return refilled

@@ -46,6 +46,7 @@ ambiguous; a built table answers each query in O(1).
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.core.kernel import (
@@ -55,17 +56,25 @@ from repro.core.kernel import (
     RedEntry,
     TableEntry,
     batched_sweep,
+    cone_sweep,
     fold_entry,
     result_from_entry,
     to_table_entry,
 )
 from repro.core.results import LookupResult, not_found_result
-from repro.hierarchy.compiled import HierarchyLike, compiled_of, hierarchy_of
+from repro.hierarchy.compiled import (
+    HierarchyDelta,
+    HierarchyLike,
+    compiled_of,
+    describe_delta,
+    hierarchy_of,
+)
 from repro.hierarchy.graph import ClassHierarchyGraph
 
 __all__ = [
     "BUILD_MODES",
     "BlueEntry",
+    "DeltaStats",
     "LookupStats",
     "MemberLookupTable",
     "RedEntry",
@@ -113,6 +122,35 @@ def resolve_build_mode(
     return "batched"
 
 
+@dataclass
+class DeltaStats:
+    """What delta maintenance did to a table — per application and
+    accumulated on :attr:`MemberLookupTable.delta_stats`.
+
+    ``entries_reused`` counts the table entries that survived the
+    application untouched (the out-of-cone / out-of-member-mask bulk of
+    the table); ``boundary_rows`` counts the out-of-cone direct bases
+    whose old rows seeded the cone re-sweep — together they make the
+    boundary-row-reuse invariant observable."""
+
+    deltas_applied: int = 0
+    full_rebuilds: int = 0
+    cone_classes: int = 0
+    affected_members: int = 0
+    entries_recomputed: int = 0
+    entries_reused: int = 0
+    boundary_rows: int = 0
+
+    def accumulate(self, other: "DeltaStats") -> None:
+        self.deltas_applied += other.deltas_applied
+        self.full_rebuilds += other.full_rebuilds
+        self.cone_classes += other.cone_classes
+        self.affected_members += other.affected_members
+        self.entries_recomputed += other.entries_recomputed
+        self.entries_reused += other.entries_reused
+        self.boundary_rows += other.boundary_rows
+
+
 class MemberLookupTable:
     """Eagerly tabulated member lookup over a class hierarchy graph.
 
@@ -142,6 +180,8 @@ class MemberLookupTable:
         self._graph = hierarchy_of(hierarchy)
         self._ch = compiled_of(hierarchy)
         self._track_witnesses = track_witnesses
+        self._max_workers = max_workers
+        self._shards = shards
         # Per-member mode fills a column-major interned table
         # (member id -> {class id -> entry}); the batched/sharded modes
         # produce row-major per-class rows (class id -> {member id ->
@@ -152,10 +192,21 @@ class MemberLookupTable:
         self._rows: Optional[list] = None
         self._public: dict[tuple[int, int], TableEntry] = {}
         self.stats = LookupStats()
+        self.delta_stats = DeltaStats()
         self.mode = resolve_build_mode(mode, self._ch, max_workers=max_workers)
+        self._build_full()
+
+    def _build_full(self) -> None:
+        """Build the whole table from scratch in the resolved mode."""
+        self._columns = {}
+        self._rows = None
+        self._public = {}
+        self._entry_total = 0
         if self.mode == "batched":
             self._rows = batched_sweep(
-                self._ch, stats=self.stats, track_witnesses=track_witnesses
+                self._ch,
+                stats=self.stats,
+                track_witnesses=self._track_witnesses,
             )
         elif self.mode == "sharded":
             from repro.core.parallel import build_sharded_rows
@@ -163,12 +214,18 @@ class MemberLookupTable:
             self._rows = build_sharded_rows(
                 self._ch,
                 stats=self.stats,
-                track_witnesses=track_witnesses,
-                max_workers=max_workers,
-                shards=shards,
+                track_witnesses=self._track_witnesses,
+                max_workers=self._max_workers,
+                shards=self._shards,
             )
         else:
             self._build()
+        if self._rows is not None:
+            self._entry_total = sum(len(row) for row in self._rows)
+        else:
+            self._entry_total = sum(
+                len(column) for column in self._columns.values()
+            )
 
     # ------------------------------------------------------------------
     # Public interface
@@ -237,6 +294,190 @@ class MemberLookupTable:
             for mid in ch.ordered_visible(cid)
             if type(self._kentry(cid, mid)) is KernelBlue
         )
+
+    # ------------------------------------------------------------------
+    # Delta maintenance (cone-restricted re-sweeps)
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self, delta: Optional[HierarchyDelta] = None
+    ) -> DeltaStats:
+        """Bring the table up to date with the source graph's current
+        generation by re-folding **only** the invalidation cone ×
+        affected members, instead of rebuilding all ``|N| × |M|``.
+
+        The machinery: recompile the graph (the delta recompile keeps
+        every interned id stable), describe what changed as a
+        :class:`~repro.hierarchy.compiled.HierarchyDelta` (or accept
+        one precomputed by the caller), and re-run the fold over cone
+        classes in topological order seeded from the surviving boundary
+        rows — :func:`repro.core.kernel.cone_sweep` for the row-major
+        modes, a cone-restricted :func:`fold_entry` walk per affected
+        column for the per-member mode, and the member-sharded
+        :func:`repro.core.parallel.apply_sharded_delta` for the sharded
+        mode.  Entries outside ``cone × affected`` are never touched;
+        their memoised public conversions survive too.
+
+        When the snapshots are incomparable (ids would shift — never
+        the case under the append-only graph API) the table falls back
+        to a full rebuild in its own mode, so ``apply_delta`` is always
+        safe to call.  Returns the :class:`DeltaStats` of this one
+        application; the running totals accumulate on
+        :attr:`delta_stats`.
+        """
+        if self._graph is None:
+            raise ValueError(
+                "apply_delta needs the live source graph; this table was "
+                "built over a detached CompiledHierarchy snapshot"
+            )
+        old = self._ch
+        new = self._graph.compile()
+        result = DeltaStats()
+        if new.generation == old.generation:
+            return result  # nothing happened since the last (re)build
+        if delta is None:
+            delta = describe_delta(old, new)
+        if delta is None:
+            self._ch = new
+            self._build_full()
+            result.deltas_applied = 1
+            result.full_rebuilds = 1
+            self.delta_stats.accumulate(result)
+            return result
+
+        self._ch = new
+        result.deltas_applied = 1
+        result.cone_classes = delta.cone_size
+        result.affected_members = delta.member_count
+        cone = delta.cone_mask
+        mmask = delta.member_mask
+
+        # Surgically drop the memoised public conversions of cone ×
+        # affected pairs; everything else stays warm.  Iterate whichever
+        # side is smaller: the cone × member product or the memo itself.
+        if self._public:
+            public = self._public
+            if delta.cone_size * delta.member_count < len(public):
+                for cid in delta.cone_ids():
+                    for mid in delta.member_ids():
+                        public.pop((cid, mid), None)
+            else:
+                stale = [
+                    key
+                    for key in public
+                    if (cone >> key[0]) & 1 and (mmask >> key[1]) & 1
+                ]
+                for key in stale:
+                    del public[key]
+
+        if self._rows is not None:
+            rows = self._rows
+            first_new_row = len(rows)
+            if first_new_row < new.n_classes:
+                # New class ids: cone_sweep fills them; memberless new
+                # classes (an empty delta's only growth) get empty rows.
+                rows.extend([None] * (new.n_classes - first_new_row))
+            cone_ids = list(delta.cone_ids())
+            before = sum(
+                len(rows[cid])
+                for cid in cone_ids
+                if rows[cid] is not None
+            )
+            if not delta.is_empty:
+                if self.mode == "sharded":
+                    from repro.core.parallel import apply_sharded_delta
+
+                    sweep = apply_sharded_delta(
+                        new,
+                        self._rows,
+                        cone_mask=cone,
+                        member_mask=mmask,
+                        stats=self.stats,
+                        track_witnesses=self._track_witnesses,
+                        max_workers=self._max_workers,
+                        shards=self._shards,
+                    )
+                else:
+                    sweep = cone_sweep(
+                        new,
+                        self._rows,
+                        cone_mask=cone,
+                        member_mask=mmask,
+                        stats=self.stats,
+                        track_witnesses=self._track_witnesses,
+                    )
+                result.entries_recomputed = sweep.entries_recomputed
+                result.boundary_rows = sweep.boundary_rows
+            for cid in range(first_new_row, new.n_classes):
+                if rows[cid] is None:
+                    rows[cid] = {}
+            after = sum(len(rows[cid]) for cid in cone_ids)
+            self._entry_total += after - before
+        else:
+            columns = self._columns
+            cone_ids = list(delta.cone_ids())
+            member_ids = list(delta.member_ids())
+            before = sum(
+                1
+                for mid in member_ids
+                for cid in cone_ids
+                if cid in columns.get(mid, ())
+            )
+            if not delta.is_empty:
+                result.entries_recomputed = self._refold_columns(delta)
+                result.boundary_rows = self._count_boundary(delta)
+            after = sum(
+                1
+                for mid in member_ids
+                for cid in cone_ids
+                if cid in columns.get(mid, ())
+            )
+            self._entry_total += after - before
+        result.entries_reused = max(
+            0, self._entry_total - result.entries_recomputed
+        )
+        self.delta_stats.accumulate(result)
+        return result
+
+    def _refold_columns(self, delta: HierarchyDelta) -> int:
+        """Per-member-mode cone refold: for each affected column, rerun
+        :func:`fold_entry` over the cone in topo order.  ``column.get``
+        hands the fold the out-of-cone boundary entries verbatim — the
+        same invariant as :func:`cone_sweep`, one column at a time."""
+        ch = self._ch
+        stats = self.stats
+        track = self._track_witnesses
+        columns = self._columns
+        visible_masks = ch.visible_masks
+        cone_ids = sorted(
+            delta.cone_ids(), key=ch.topo_positions.__getitem__
+        )
+        recomputed = 0
+        for mid in delta.member_ids():
+            column = columns.get(mid)
+            if column is None:
+                column = columns[mid] = {}
+            for cid in cone_ids:
+                if not (visible_masks[cid] >> mid) & 1:
+                    column.pop(cid, None)
+                    continue
+                stats.entries_computed += 1
+                recomputed += 1
+                column[cid] = fold_entry(
+                    ch, cid, mid, column.get, stats, track
+                )
+        return recomputed
+
+    def _count_boundary(self, delta: HierarchyDelta) -> int:
+        """Out-of-cone direct bases read as seeds by a cone refold."""
+        ch = self._ch
+        cone = delta.cone_mask
+        count = 0
+        for cid in delta.cone_ids():
+            for base, _virtual in ch.base_pairs[cid]:
+                if not (cone >> base) & 1:
+                    count += 1
+        return count
 
     # ------------------------------------------------------------------
     # The eager driver (the fold itself lives in repro.core.kernel)

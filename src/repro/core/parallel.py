@@ -29,11 +29,18 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
-from repro.core.kernel import LookupStats, batched_sweep
+from repro.core.kernel import (
+    ConeSweepStats,
+    LookupStats,
+    batched_sweep,
+    cone_sweep,
+)
 from repro.hierarchy.compiled import CompiledHierarchy
 
 __all__ = [
+    "apply_sharded_delta",
     "build_sharded_rows",
+    "shard_delta_masks",
     "shard_member_masks",
 ]
 
@@ -63,6 +70,37 @@ def shard_member_masks(n_members: int, shards: int) -> list[int]:
     return masks
 
 
+def shard_delta_masks(member_mask: int, shards: int) -> list[int]:
+    """Partition the *set bits* of ``member_mask`` into at most
+    ``shards`` contiguous bitmasks of near-equal population.
+
+    The full-build sharder splits ``0..|M|-1``; a delta touches only
+    ``|M_aff|`` member ids, so splitting the raw id range would leave
+    most workers with empty shards.  Splitting the affected set keeps
+    every worker busy on real columns.
+    """
+    bits: list[int] = []
+    mask = member_mask
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        bits.append(low)
+    if not bits:
+        return []
+    shards = max(1, min(shards, len(bits)))
+    base, extra = divmod(len(bits), shards)
+    masks: list[int] = []
+    index = 0
+    for shard in range(shards):
+        take = base + (1 if shard < extra else 0)
+        acc = 0
+        for low in bits[index : index + take]:
+            acc |= low
+        masks.append(acc)
+        index += take
+    return masks
+
+
 def _init_worker(payload: bytes) -> None:
     global _WORKER_CH
     _WORKER_CH = pickle.loads(payload)
@@ -77,6 +115,37 @@ def _sweep_shard(member_mask: int, track_witnesses: bool):
         track_witnesses=track_witnesses,
     )
     return rows, stats
+
+
+def _sweep_delta_shard(task):
+    """One worker's slice of a cone re-sweep: a fresh row list holding
+    only the (shard-restricted) boundary rows, cone-swept for the
+    shard's member bits.  Returns just the cone rows — everything else
+    is either empty or the boundary the parent already has."""
+    cone_mask, shard_mask, boundary, track_witnesses = task
+    ch = _WORKER_CH
+    rows: list = [None] * ch.n_classes
+    for bid, row in boundary.items():
+        rows[bid] = row
+    stats = LookupStats()
+    sweep = cone_sweep(
+        ch,
+        rows,
+        cone_mask=cone_mask,
+        member_mask=shard_mask,
+        stats=stats,
+        track_witnesses=track_witnesses,
+    )
+    cone_rows: dict[int, dict] = {}
+    mask = cone_mask
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        cid = low.bit_length() - 1
+        row = rows[cid]
+        if row:
+            cone_rows[cid] = row
+    return cone_rows, sweep, stats
 
 
 def _merge_stats(into: LookupStats, shard: LookupStats) -> None:
@@ -146,3 +215,126 @@ def build_sharded_rows(
         if stats is not None:
             _merge_stats(stats, shard_stats)
     return merged
+
+
+def apply_sharded_delta(
+    ch: CompiledHierarchy,
+    rows: list,
+    *,
+    cone_mask: int,
+    member_mask: int,
+    stats: Optional[LookupStats] = None,
+    track_witnesses: bool = True,
+    max_workers: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> ConeSweepStats:
+    """The sharded builder's delta mode: shard the *affected* member
+    set (not all of ``|M|``) across workers, each running
+    :func:`repro.core.kernel.cone_sweep` against the frozen snapshot
+    with only the shard-restricted boundary rows shipped in, then merge
+    the recomputed cone rows back into ``rows`` in place.
+
+    The boundary payload per shard is tiny by construction: the
+    out-of-cone direct bases of cone classes, each row filtered to the
+    shard's member bits — the cone sweep never reads anything else from
+    the old table.  Degenerate shapes (one affected member, one worker)
+    and pool-creation failures fall back to the serial
+    :func:`cone_sweep`, identical result guaranteed.
+    """
+    workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    masks = shard_delta_masks(
+        member_mask, shards if shards is not None else workers
+    )
+    if workers < 2 or len(masks) < 2:
+        return cone_sweep(
+            ch,
+            rows,
+            cone_mask=cone_mask,
+            member_mask=member_mask,
+            stats=stats,
+            track_witnesses=track_witnesses,
+        )
+
+    # Boundary: the out-of-cone direct bases cone classes read from.
+    boundary_ids: set[int] = set()
+    cone_ids: list[int] = []
+    mask = cone_mask
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        cid = low.bit_length() - 1
+        cone_ids.append(cid)
+        for base, _virtual in ch.base_pairs[cid]:
+            if not (cone_mask >> base) & 1:
+                boundary_ids.add(base)
+
+    # Drop the stale masked entries from the cone rows up front: the
+    # workers return only what they recomputed and the merge below is
+    # update-only, so this is what keeps removed entries removed.
+    for cid in cone_ids:
+        row = rows[cid]
+        if not row:
+            continue
+        pending = member_mask
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            row.pop(low.bit_length() - 1, None)
+
+    def _serial() -> ConeSweepStats:
+        return cone_sweep(
+            ch,
+            rows,
+            cone_mask=cone_mask,
+            member_mask=member_mask,
+            stats=stats,
+            track_witnesses=track_witnesses,
+        )
+
+    payload = pickle.dumps(ch, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(masks)),
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+    except (OSError, ValueError):  # no fork/semaphores available here
+        return _serial()
+    tasks = []
+    for shard_mask in masks:
+        boundary = {}
+        for bid in boundary_ids:
+            row = rows[bid]
+            if not row:
+                continue
+            restricted = {
+                mid: entry
+                for mid, entry in row.items()
+                if (shard_mask >> mid) & 1
+            }
+            if restricted:
+                boundary[bid] = restricted
+        tasks.append((cone_mask, shard_mask, boundary, track_witnesses))
+    with executor:
+        results = list(executor.map(_sweep_delta_shard, tasks))
+
+    cone_classes = 0
+    recomputed = 0
+    boundary_reads = 0
+    for cone_rows, sweep, shard_stats in results:
+        for cid, row in cone_rows.items():
+            target = rows[cid]
+            if target is None:
+                rows[cid] = row
+            else:
+                target.update(row)
+        cone_classes = max(cone_classes, sweep.cone_classes)
+        recomputed += sweep.entries_recomputed
+        boundary_reads += sweep.boundary_rows
+        if stats is not None:
+            _merge_stats(stats, shard_stats)
+    return ConeSweepStats(
+        cone_classes=cone_classes,
+        entries_recomputed=recomputed,
+        boundary_rows=boundary_reads,
+    )

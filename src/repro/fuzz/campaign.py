@@ -20,8 +20,15 @@ On top of the oracle comparison each iteration:
 * **cache staleness** — periodically, a
   :class:`~repro.core.cache.CachedMemberLookup` is warmed, the live
   graph is mutated in place (pure-growth operators), and every cached
-  answer is re-compared against a fresh oracle: the generation-keyed
-  invalidation must never serve a stale row.
+  answer is re-compared against a fresh oracle: the surgical
+  generation-keyed invalidation must never serve a stale row;
+* **delta storms** — periodically, a warm
+  :class:`~repro.core.lookup.MemberLookupTable` (build mode drawn per
+  iteration) absorbs a burst of random in-place growth mutations
+  through :meth:`~repro.core.lookup.MemberLookupTable.apply_delta`,
+  then its whole surface is differenced against a from-scratch rebuild
+  *and* the subobject-poset oracle: cone-restricted maintenance must be
+  indistinguishable from rebuilding.
 
 Every divergence becomes a :class:`~repro.fuzz.report.Finding`; mismatch
 and certificate findings are delta-debugged to a minimal counterexample
@@ -46,7 +53,7 @@ from repro.core.incremental import IncrementalLookupEngine
 from repro.core.lookup import build_lookup_table
 from repro.core.results import describe_disagreement
 from repro.fuzz.corpus import CorpusEntry, replay_corpus, save_entry
-from repro.fuzz.mutators import AppliedMutation, mutate
+from repro.fuzz.mutators import AppliedMutation, copy_hierarchy, mutate
 from repro.fuzz.report import CampaignReport, Finding
 from repro.fuzz.shrink import shrink_hierarchy
 from repro.hierarchy.graph import ClassHierarchyGraph
@@ -329,6 +336,76 @@ def _stale_cache_check(
     return mutation, divergences, checked
 
 
+def _delta_storm_check(
+    graph: ClassHierarchyGraph,
+    rng: random.Random,
+    engines: Sequence[str],
+) -> tuple[list[str], list[Divergence], int]:
+    """Warm an eager table on a copy of ``graph``, hit it with a burst
+    of random in-place growth mutations — ``apply_delta`` after each —
+    and difference the maintained table against a from-scratch rebuild
+    plus the subobject-poset oracle.
+
+    The build mode is drawn per check (restricted to the campaign's
+    engine matrix so e.g. the broken-engine tests keep ``sharded``'s
+    worker processes out of play), so the cone sweep, the per-member
+    column refold and the member-sharded delta path all get storm
+    coverage.  Returns ``(mutation names, divergences, queries)``.
+    """
+    storm = copy_hierarchy(graph)
+    modes = [
+        name
+        for name in ("batched", "per-member", "sharded")
+        if name in engines
+    ] or ["batched"]
+    mode = rng.choice(modes)
+    if mode == "sharded":
+        table = build_lookup_table(
+            storm, mode="sharded", max_workers=2, shards=2
+        )
+    else:
+        table = build_lookup_table(storm, mode=mode)
+    applied_names: list[str] = []
+    for _ in range(rng.randint(1, 3)):
+        applied = mutate(storm, rng, in_place_only=True)
+        if applied is None:
+            break
+        _graph, mutation = applied
+        applied_names.append(mutation.name)
+        table.apply_delta()
+    if not applied_names:
+        return [], [], 0
+    rebuilt = build_lookup_table(storm, mode="batched")
+    oracle = ReferenceLookup(storm)
+    divergences: list[Divergence] = []
+    checked = 0
+    for class_name, member in _query_surface(storm):
+        checked += 1
+        maintained = table.lookup(class_name, member)
+        diff = describe_disagreement(
+            maintained, oracle.lookup(class_name, member)
+        )
+        if diff is None and maintained != rebuilt.lookup(class_name, member):
+            diff = (
+                f"maintained table disagrees with from-scratch rebuild: "
+                f"{maintained} != {rebuilt.lookup(class_name, member)}"
+            )
+        if diff is not None:
+            divergences.append(
+                Divergence(
+                    engine=mode,
+                    kind="delta-storm",
+                    detail=(
+                        f"after {'+'.join(applied_names)}: {diff}"
+                    ),
+                    class_name=class_name,
+                    member=member,
+                )
+            )
+            break
+    return applied_names, divergences, checked
+
+
 def run_campaign(
     *,
     seed: int = 0,
@@ -413,6 +490,27 @@ def run_campaign(
                     shrink=shrink,
                 )
             )
+
+        if iteration % 5 == 1:
+            storm_mutations, storm_divergences, checked = _delta_storm_check(
+                graph, rng, engines
+            )
+            report.queries_checked += checked
+            if storm_mutations:
+                report.delta_storms += 1
+            for divergence in storm_divergences:
+                report.findings.append(
+                    Finding(
+                        iteration=iteration,
+                        engine=divergence.engine,
+                        kind=divergence.kind,
+                        family=family,
+                        detail=divergence.detail,
+                        class_name=divergence.class_name,
+                        member=divergence.member,
+                        mutations=tuple(storm_mutations),
+                    )
+                )
 
         if iteration % 4 == 3:
             mutation, stale, checked = _stale_cache_check(graph, rng)

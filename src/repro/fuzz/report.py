@@ -30,6 +30,10 @@ class Finding:
       was violated by the lookup table;
     * ``"stale-cache"`` — the generation-keyed cache served a row that
       does not match the post-mutation hierarchy;
+    * ``"delta-storm"`` — a table maintained through
+      :meth:`~repro.core.lookup.MemberLookupTable.apply_delta` across a
+      burst of mutations disagrees with a from-scratch rebuild or the
+      oracle;
     * ``"replay"`` — a persisted corpus entry no longer replays clean.
     """
 
@@ -87,6 +91,7 @@ class CampaignReport:
     queries_checked: int = 0
     certificates_checked: int = 0
     invariant_checks: int = 0
+    delta_storms: int = 0
     corpus_replayed: int = 0
     families: dict[str, int] = field(default_factory=dict)
     mutations: dict[str, int] = field(default_factory=dict)
@@ -115,6 +120,7 @@ class CampaignReport:
             "queries_checked": self.queries_checked,
             "certificates_checked": self.certificates_checked,
             "invariant_checks": self.invariant_checks,
+            "delta_storms": self.delta_storms,
             "corpus_replayed": self.corpus_replayed,
             "families": dict(sorted(self.families.items())),
             "mutations": dict(sorted(self.mutations.items())),
@@ -138,6 +144,11 @@ class CampaignReport:
             f"{self.certificates_checked}",
             f"  metamorphic invariant checks: {self.invariant_checks}",
         ]
+        if self.delta_storms:
+            lines.append(
+                f"  delta storms absorbed via apply_delta: "
+                f"{self.delta_storms}"
+            )
         if self.corpus_replayed:
             lines.append(f"  corpus entries replayed: {self.corpus_replayed}")
         if self.families:

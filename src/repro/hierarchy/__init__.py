@@ -4,8 +4,10 @@ from repro.hierarchy.builder import HierarchyBuilder, hierarchy_from_spec
 from repro.hierarchy.compiled import (
     OMEGA_ID,
     CompiledHierarchy,
+    HierarchyDelta,
     compile_hierarchy,
     compiled_of,
+    describe_delta,
     hierarchy_of,
 )
 from repro.hierarchy.graph import ClassHierarchyGraph, Inheritance
@@ -25,10 +27,12 @@ __all__ = [
     "ClassHierarchyGraph",
     "CompiledHierarchy",
     "HierarchyBuilder",
+    "HierarchyDelta",
     "Inheritance",
     "OMEGA_ID",
     "compile_hierarchy",
     "compiled_of",
+    "describe_delta",
     "hierarchy_of",
     "SerializationError",
     "dumps",

@@ -55,6 +55,7 @@ class _ClassInfo:
     bases: list[Inheritance] = field(default_factory=list)
     derived: list[Inheritance] = field(default_factory=list)
     is_struct: bool = False
+    created_gen: int = 0
 
 
 class ClassHierarchyGraph:
@@ -70,11 +71,22 @@ class ClassHierarchyGraph:
     breadth-first g++ baseline and for object layout).
     """
 
+    #: Touch-interval list size past which the oldest intervals are
+    #: folded into :attr:`_compat_floor` (see :meth:`_note_touch`).
+    _COMPAT_INTERVAL_CAP = 256
+
     def __init__(self) -> None:
         self._classes: dict[str, _ClassInfo] = {}
         self._edges: list[Inheritance] = []
         self._generation = 0
         self._compiled = None
+        # Delta-compatibility bookkeeping: every mutation that touches a
+        # *pre-existing* class (a new member, a new base edge) records
+        # the half-open generation interval [created_gen(C), g_after) of
+        # snapshots it breaks; snapshots at or below _compat_floor are
+        # conservatively treated as broken once intervals get folded.
+        self._compat_breaks: list[tuple[int, int]] = []
+        self._compat_floor = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -92,9 +104,11 @@ class ClassHierarchyGraph:
             raise ValueError("class name must be non-empty")
         if name in self._classes:
             raise DuplicateClassError(name)
-        info = _ClassInfo(name=name, is_struct=is_struct)
-        self._classes[name] = info
         self._generation += 1
+        info = _ClassInfo(
+            name=name, is_struct=is_struct, created_gen=self._generation
+        )
+        self._classes[name] = info
         for spec in members:
             self.add_member(name, spec)
 
@@ -106,6 +120,7 @@ class ClassHierarchyGraph:
             raise DuplicateMemberError(class_name, member.name)
         info.members[member.name] = member
         self._generation += 1
+        self._note_touch(info)
 
     def add_edge(
         self,
@@ -129,7 +144,28 @@ class ClassHierarchyGraph:
         base_info.derived.append(edge)
         self._edges.append(edge)
         self._generation += 1
+        # Only the derived side gains a base edge; the base side merely
+        # gains a derived-list entry, which no snapshot prefix exposes.
+        self._note_touch(derived_info)
         return edge
+
+    def _note_touch(self, info: _ClassInfo) -> None:
+        """Record that ``info`` was mutated after creation: snapshots
+        taken in ``[info.created_gen, generation)`` can no longer be
+        extended as pure downward growth."""
+        start = info.created_gen
+        end = self._generation
+        if start >= end:  # touched within its own creating mutation
+            return
+        breaks = self._compat_breaks
+        breaks.append((start, end))
+        if len(breaks) > self._COMPAT_INTERVAL_CAP:
+            breaks.sort(key=lambda interval: interval[1])
+            half = len(breaks) // 2
+            self._compat_floor = max(
+                self._compat_floor, breaks[half - 1][1] - 1
+            )
+            del breaks[:half]
 
     # ------------------------------------------------------------------
     # Inspection
@@ -274,6 +310,33 @@ class ClassHierarchyGraph:
         staleness with a single integer comparison.
         """
         return self._generation
+
+    def grew_monotonically_since(self, generation: int) -> bool:
+        """True iff every mutation after ``generation`` was pure
+        downward growth relative to the state at ``generation``: new
+        classes appended (with their members and base edges), nothing
+        added to a class that already existed then.
+
+        This is the delta-compatibility precondition of
+        :func:`~repro.hierarchy.compiled.compile_hierarchy` answered in
+        O(recent touches) from bookkeeping instead of an O(|N|) scan.
+        Conservative: may return ``False`` for a compatible snapshot
+        (once old touch intervals are folded into the floor), never
+        ``True`` for an incompatible one.
+        """
+        if generation > self._generation:
+            return False
+        if generation <= self._compat_floor:
+            return False
+        # Intervals are appended with nondecreasing ``end`` (the
+        # generation after each touch), so walking from the back stops
+        # at the first interval that predates the snapshot.
+        for start, end in reversed(self._compat_breaks):
+            if end <= generation:
+                break
+            if start <= generation:
+                return False
+        return True
 
     def compile(self):
         """The interned, array-shaped snapshot of the current generation.

@@ -102,3 +102,67 @@ def test_one_shot_lookup_survives_mutation():
     assert lookup(graph, "C7", "m").declaring_class == "C0"
     graph.add_member("C7", "m")
     assert lookup(graph, "C7", "m").declaring_class == "C7"
+
+
+def test_surgical_invalidation_spares_out_of_cone_entries():
+    """A mutation at C8 of a 16-class chain must evict exactly the
+    cached answers of C8..C15 (the invalidation cone) and leave
+    C0..C7's answers warm — observable via the eviction/survival
+    counters and via the absence of recomputation on a re-query."""
+    graph = chain(16, member_every=16)  # only C0 declares m
+    cached = CachedMemberLookup(graph)
+    for i in range(16):
+        assert cached.lookup(f"C{i}", "m").declaring_class == "C0"
+
+    graph.add_member("C8", "m")
+    assert cached.lookup("C8", "m").declaring_class == "C8"
+    stats = cached.cache_stats
+    assert stats.invalidations == 1
+    assert stats.full_flushes == 0
+    assert stats.entries_evicted == 8  # C8..C15
+    assert stats.entries_survived == 8  # C0..C7
+    assert len(cached) == 8 + 1  # survivors plus the refilled C8
+
+    # Out-of-cone answers are cache hits: zero new kernel work.
+    work = cached.lazy.stats.entries_computed
+    hits = stats.hits
+    assert cached.lookup("C3", "m").declaring_class == "C0"
+    assert stats.hits == hits + 1
+    assert cached.lazy.stats.entries_computed == work
+    # In-cone answers were recomputed against the new generation.
+    assert cached.lookup("C15", "m").declaring_class == "C8"
+
+
+def test_growth_outside_cached_surface_evicts_nothing():
+    """Appending a leaf under C7 touches only the new class's row; a
+    cache warmed on other classes keeps every entry."""
+    graph = chain(8, member_every=8)
+    cached = CachedMemberLookup(graph)
+    for i in range(4):
+        cached.lookup(f"C{i}", "m")
+    graph.add_class("Leaf", ["m"])
+    graph.add_edge("C7", "Leaf")
+    assert cached.lookup("Leaf", "m").declaring_class == "Leaf"
+    stats = cached.cache_stats
+    assert stats.entries_evicted == 0
+    assert stats.entries_survived == 4
+    assert stats.full_flushes == 0
+
+
+def test_incomparable_snapshots_fall_back_to_full_flush(monkeypatch):
+    """The cache must not assume its callers mutate through the
+    append-only API: when snapshots cannot be diffed it flushes
+    everything, once."""
+    import repro.core.cache as cache_module
+
+    graph = chain(8, member_every=2)
+    cached = CachedMemberLookup(graph)
+    for i in range(8):
+        cached.lookup(f"C{i}", "m")
+    monkeypatch.setattr(cache_module, "describe_delta", lambda old, new: None)
+    graph.add_member("C5", "m")
+    assert cached.lookup("C5", "m").declaring_class == "C5"
+    stats = cached.cache_stats
+    assert stats.full_flushes == 1
+    assert stats.entries_evicted == 0
+    assert len(cached) == 1  # only the refilled C5 entry

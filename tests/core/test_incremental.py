@@ -164,3 +164,89 @@ class TestAgainstFromScratch:
         engine.add_member("A", "m")
         result = engine.lookup("C", "m")
         assert result.is_unique and result.declaring_class == "A"
+
+
+class TestBatchedRefill:
+    """Large invalidations route into the batched cone re-fill
+    (:meth:`LazyMemberLookup.refill`) instead of per-query faulting."""
+
+    @staticmethod
+    def _warm_chain(n, **kwargs):
+        """A chain C0..C(n-1) built through the engine, with only C0
+        declaring ``m`` and every class's answer already cached."""
+        engine = IncrementalLookupEngine(**kwargs)
+        engine.add_class("C0", ["m"])
+        for i in range(1, n):
+            engine.add_class(f"C{i}")
+            engine.add_edge(f"C{i - 1}", f"C{i}")
+        for i in range(n):
+            assert engine.lookup(f"C{i}", "m").declaring_class == "C0"
+        return engine
+
+    def test_large_eviction_triggers_batched_refill(self):
+        engine = self._warm_chain(16, batch_refill_threshold=8)
+        # A new base above the whole chain evicts all 16 cached entries
+        # at once — well past the threshold of 8.
+        engine.add_class("Root", ["n"])
+        engine.add_edge("Root", "C0")
+        stats = engine.stats
+        assert stats.batched_refills == 1
+        assert stats.entries_invalidated == 16
+        assert stats.entries_refilled == 16
+        # The refill recomputed the memo eagerly: every subsequent
+        # lookup is a pure memo hit with zero new kernel work.
+        folds = engine._lazy.stats.entries_computed
+        for i in range(16):
+            assert engine.lookup(f"C{i}", "m").declaring_class == "C0"
+        assert engine._lazy.stats.entries_computed == folds
+        # And the new base's member is actually visible down the chain.
+        assert engine.lookup("C15", "n").declaring_class == "Root"
+
+    def test_small_evictions_stay_lazy(self):
+        engine = self._warm_chain(16, batch_refill_threshold=8)
+        # Touching C12 evicts only C12..C15: four entries, under the
+        # threshold, so the classic pay-as-you-go path stands.
+        engine.add_member("C12", "m")
+        stats = engine.stats
+        assert stats.entries_invalidated == 4
+        assert stats.batched_refills == 0
+        assert stats.entries_refilled == 0
+        assert engine.lookup("C15", "m").declaring_class == "C12"
+
+    def test_none_threshold_disables_batching(self):
+        engine = self._warm_chain(16, batch_refill_threshold=None)
+        engine.add_class("Root", ["n"])
+        engine.add_edge("Root", "C0")
+        stats = engine.stats
+        assert stats.entries_invalidated == 16
+        assert stats.batched_refills == 0
+        assert stats.entries_refilled == 0
+        # Correctness is unaffected — entries fault back in on demand.
+        assert engine.lookup("C15", "m").declaring_class == "C0"
+        assert engine.lookup("C15", "n").declaring_class == "Root"
+
+    def test_refill_matches_from_scratch_build(self):
+        """The batched refill path must land on exactly the entries a
+        fresh build computes — full differential check post-refill."""
+        graph = random_hierarchy(
+            20, seed=23, virtual_probability=0.4, member_probability=0.5
+        )
+        engine = replay_incrementally(
+            graph,
+            lookup_between_steps=lambda e: [
+                e.lookup(name, "m") for name in e.graph.classes
+            ],
+        )
+        # Force the batched path for every remaining mutation.
+        engine._batch_refill_threshold = 1
+        anchors = list(graph.classes)
+        engine.add_class("Root", ["m", "fresh"])
+        engine.add_edge("Root", anchors[0])
+        assert engine.stats.batched_refills >= 1
+        assert engine.stats.entries_refilled > 0
+        table = build_lookup_table(engine.graph)
+        for class_name, member in all_queries(engine.graph):
+            assert_same_outcome(
+                engine.lookup(class_name, member),
+                table.lookup(class_name, member),
+            )

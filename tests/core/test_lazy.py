@@ -63,3 +63,49 @@ def test_demands_less_than_eager():
     lazy.lookup("C5", "m")
     eager = build_lookup_table(graph)
     assert lazy.entries_computed() < eager.stats.entries_computed
+
+
+def test_standalone_engine_survives_in_place_mutation():
+    """A bare LazyMemberLookup (no cache wrapper, no incremental
+    engine) must not serve stale memo entries after the graph mutates:
+    the generation check surgically evicts the cone × affected-members
+    rectangle and leaves the rest of the memo standing."""
+    graph = chain(16, member_every=16)  # only C0 declares m
+    lazy = LazyMemberLookup(graph)
+    for i in range(16):
+        assert lazy.lookup(f"C{i}", "m").declaring_class == "C0"
+    warm = lazy.entries_computed()
+
+    graph.add_member("C8", "m")  # touches a class with a warm entry
+    assert lazy.lookup("C8", "m").declaring_class == "C8"
+    assert lazy.lookup("C15", "m").declaring_class == "C8"
+    assert lazy.lookup("C7", "m").declaring_class == "C0"
+    # Only the C8..C15 cone was dropped; the rest survived the bump.
+    assert lazy.entries_computed() == warm
+
+    # A name the old interner never saw, declared mid-flight on a class
+    # whose "not visible" result is already memoised.
+    assert lazy.lookup("C15", "late").is_not_found
+    graph.add_member("C4", "late")
+    assert lazy.lookup("C15", "late").declaring_class == "C4"
+    assert lazy.lookup("C3", "late").is_not_found
+
+
+def test_mutated_engine_matches_fresh_table_everywhere():
+    from repro.workloads.generators import random_hierarchy
+
+    graph = random_hierarchy(
+        14, seed=9, virtual_probability=0.4, member_probability=0.5
+    )
+    lazy = LazyMemberLookup(graph)
+    for class_name, member in all_queries(graph):
+        lazy.lookup(class_name, member)
+    anchors = list(graph.classes)
+    graph.add_member(anchors[2], "fresh")
+    graph.add_class("Kx", members=["m"])
+    graph.add_edge(anchors[0], "Kx")
+    eager = build_lookup_table(graph)
+    for class_name, member in all_queries(graph):
+        assert_same_outcome(
+            lazy.lookup(class_name, member), eager.lookup(class_name, member)
+        )

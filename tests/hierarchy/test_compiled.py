@@ -1,0 +1,193 @@
+"""The compiled snapshot's delta substrate: descendant masks, pure-growth
+recompiles and :func:`describe_delta`.
+
+The correctness core of delta-scoped table maintenance lives here, below
+the engines: descendant masks must agree with a brute-force transitive
+closure, pure-growth recompiles must keep every interned id stable while
+skipping the O(|N|) revalidation, and the lineage fast path of
+``describe_delta`` must produce exactly what the slow prefix-comparison
+path produces.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import CycleError
+from repro.hierarchy.compiled import (
+    HierarchyDelta,
+    compile_hierarchy,
+    describe_delta,
+)
+from repro.workloads.generators import (
+    binary_tree,
+    chain,
+    layered_hierarchy,
+    random_hierarchy,
+)
+from repro.workloads.paper_figures import ALL_FIGURES
+
+
+def brute_force_descendant_mask(ch, cid: int) -> int:
+    mask = 0
+    for descendant in ch.descendants_ids(cid):
+        mask |= 1 << descendant
+    return mask
+
+
+@pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+def test_descendant_masks_match_brute_force_on_figures(figure):
+    ch = ALL_FIGURES[figure]().compile()
+    masks = ch.descendant_masks()
+    for cid in range(ch.n_classes):
+        assert masks[cid] == brute_force_descendant_mask(ch, cid)
+        assert ch.cone_mask_of(cid) == masks[cid] | (1 << cid)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_descendant_masks_match_brute_force_on_seeded_dags(seed):
+    graph = layered_hierarchy(6, 5, seed=seed)
+    ch = graph.compile()
+    masks = ch.descendant_masks()
+    for cid in range(ch.n_classes):
+        assert masks[cid] == brute_force_descendant_mask(ch, cid)
+
+
+@pytest.mark.parametrize("seed", [7, 19])
+def test_descendant_masks_survive_growth_recompiles(seed):
+    graph = random_hierarchy(20, seed=seed, member_names=("m",))
+    anchors = list(graph.classes)
+    graph.compile()
+    for i, anchor in enumerate(anchors[:5]):
+        graph.add_class(f"G{i}", ["m"])
+        graph.add_edge(anchor, f"G{i}")
+        ch = graph.compile()
+        masks = ch.descendant_masks()
+        for cid in range(ch.n_classes):
+            assert masks[cid] == brute_force_descendant_mask(ch, cid)
+
+
+def test_growth_recompile_keeps_ids_and_positions_stable():
+    graph = chain(12, member_every=3)
+    old = graph.compile()
+    graph.add_class("X", ["m"])
+    graph.add_edge("C11", "X")
+    new = graph.compile()
+    assert new is not old
+    for name, cid in old.class_ids.items():
+        assert new.class_ids[name] == cid
+    assert new.topo_order[: old.n_classes] == old.topo_order
+    # topo_positions must invert topo_order on every recompile shape.
+    for index, cid in enumerate(new.topo_order):
+        assert new.topo_positions[cid] == index
+
+
+def test_growth_recompile_is_a_pure_delta():
+    """The appended-classes path reuses the previous snapshot's arrays
+    (by reference where immutable), rather than rebuilding them."""
+    graph = binary_tree(4)
+    old = graph.compile()
+    graph.add_class("Leaf", ["m"])
+    graph.add_edge("N15", "Leaf")
+    new = graph.compile()
+    assert new.base_pairs[: old.n_classes] == old.base_pairs
+    assert new.declared_mids[: old.n_classes] == old.declared_mids
+    assert old.generation in new._lineage
+    assert new._lineage[old.generation] == old.n_classes
+
+
+def test_touching_an_existing_class_forces_full_recompile_soundly():
+    graph = chain(6)
+    old = graph.compile()
+    graph.add_member("C3", "fresh")
+    assert not graph.grew_monotonically_since(old.generation)
+    new = graph.compile()
+    # Ids still never shift, even through the full-rebuild path.
+    for name, cid in old.class_ids.items():
+        assert new.class_ids[name] == cid
+    assert new.declares_id(new.class_ids["C3"], new.member_ids["fresh"])
+
+
+def test_grew_monotonically_tracks_touch_intervals():
+    graph = chain(4)
+    snapshot_gen = graph.generation
+    graph.add_class("New0", ["m"])
+    graph.add_edge("C3", "New0")  # touches New0, created after snapshot
+    assert graph.grew_monotonically_since(snapshot_gen)
+    graph.add_edge("C2", "New0")  # still only touches the new class
+    assert graph.grew_monotonically_since(snapshot_gen)
+    mid_gen = graph.generation
+    graph.add_member("C1", "extra")  # touches a pre-snapshot class
+    assert not graph.grew_monotonically_since(snapshot_gen)
+    assert not graph.grew_monotonically_since(mid_gen)
+    assert graph.grew_monotonically_since(graph.generation)
+
+
+def test_cycle_among_appended_classes_still_raises():
+    """The delta recompile skips the full validate(); the suffix Kahn
+    pass must still reject a cycle created among the new classes."""
+    graph = chain(5)
+    graph.compile()
+    graph.add_class("P")
+    graph.add_class("Q")
+    graph.add_edge("P", "Q")
+    graph.add_edge("Q", "P")  # P and Q are mutually derived: a cycle
+    with pytest.raises(CycleError):
+        graph.compile()
+
+
+def test_describe_delta_fast_path_matches_slow_path():
+    graph = layered_hierarchy(4, 4, seed=13)
+    old = graph.compile()
+    anchors = list(graph.classes)
+    for i in range(3):
+        graph.add_class(f"S{i}", ["m"])
+        graph.add_edge(anchors[i * 5], f"S{i}")
+    new = graph.compile()
+    assert old.generation in new._lineage  # fast path is reachable
+    fast = describe_delta(old, new)
+    # Force the slow prefix-comparison path on identical inputs.
+    saved = new._lineage
+    try:
+        new._lineage = {}
+        slow = describe_delta(old, new)
+    finally:
+        new._lineage = saved
+    assert isinstance(fast, HierarchyDelta)
+    assert fast == slow
+    assert fast.cone_size == 3  # the appended leaves, nothing else
+    assert set(fast.changed_classes) == set(
+        range(old.n_classes, new.n_classes)
+    )
+
+
+def test_describe_delta_memberless_growth_is_empty():
+    graph = chain(5, member_every=1)
+    old = graph.compile()
+    graph.add_class("Orphan")  # no members, no edges: no lookup changes
+    new = graph.compile()
+    delta = describe_delta(old, new)
+    assert delta is not None
+    assert delta.is_empty
+    assert delta.changed_classes == ()
+
+
+def test_describe_delta_incomparable_snapshots_return_none():
+    a = chain(4).compile()
+    b = binary_tree(3).compile()
+    assert describe_delta(a, b) is None
+
+
+def test_delta_compiled_snapshot_round_trips_through_pickle():
+    graph = chain(8, member_every=2)
+    graph.compile()
+    graph.add_class("X", ["m"])
+    graph.add_edge("C7", "X")
+    ch = graph.compile()
+    clone = pickle.loads(pickle.dumps(ch))
+    assert clone.class_names == ch.class_names
+    assert clone.topo_order == ch.topo_order
+    assert list(clone.topo_positions) == list(ch.topo_positions)
+    assert clone.visible_masks == ch.visible_masks
+    assert clone.base_pairs == ch.base_pairs
+    assert clone.derived_pairs == ch.derived_pairs

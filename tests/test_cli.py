@@ -89,6 +89,23 @@ class TestTable:
         assert "⊥" in out
         assert "G::foo" not in out
 
+    def test_delta_stats(self, fig3_json, capsys):
+        assert main(["table", fig3_json, "--delta-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "delta stats: replayed leaf class" in out
+        assert "cone:" in out
+        assert "query cache:" in out
+
+    @pytest.mark.parametrize("mode", ["batched", "sharded"])
+    def test_delta_stats_in_other_build_modes(
+        self, fig3_json, capsys, mode
+    ):
+        args = ["table", fig3_json, "--delta-stats", "--mode", mode]
+        if mode == "sharded":
+            args += ["--max-workers", "2", "--shards", "2"]
+        assert main(args) == 0
+        assert "delta stats:" in capsys.readouterr().out
+
 
 class TestOtherCommands:
     def test_explain(self, fig3_json, capsys):
