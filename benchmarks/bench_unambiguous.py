@@ -1,0 +1,171 @@
+"""Flat fast-path serving vs full red/blue row serving (paper, §5).
+
+Section 5's special case: when no lookup of a member is ambiguous, the
+whole blue-set machinery is dead weight and lookup costs ``O(|N|+|E|)``
+per member.  The sweeps certify that property per column for free
+(:class:`repro.core.kernel.AmbiguityCertificate`) and the certified
+columns are flattened into array-backed
+:class:`~repro.core.fastpath.FlatColumn` structures with memoised
+results — serving a warm query is two list indexes, where the row path
+re-materialises a frozen dataclass per call.
+
+This file measures steady-state query sweeps (every class × the shared
+member) over three fully-unambiguous families — a 1024-class chain, a
+depth-10 binary tree and an all-virtual layered DAG — against the plain
+batched-row table as baseline, plus the certification overhead the
+fast-path build adds on top of a plain batched build.  The headline
+floor (fast-path serving ≥ 2× row serving on ``chain_1024`` and
+``tree_depth10``) is pinned by a non-benchmark guard excluded from the
+CI ``--quick`` smoke run; recorded medians land in
+``BENCH_unambiguous.json`` via ``scripts/collect_bench_numbers.py``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.lookup import MemberLookupTable, build_lookup_table
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.workloads.generators import binary_tree, chain
+
+
+def layered_virtual(
+    layers: int, width: int, *, seed: int = 3
+) -> ClassHierarchyGraph:
+    """A layered DAG that is unambiguous *because* of virtual
+    inheritance: one root ``R`` declares ``m``; every class of layer
+    ``i`` inherits virtually from two classes of layer ``i-1``, so
+    however many paths join, they share the single virtual ``R``
+    subobject (the :func:`~repro.workloads.generators.wide_unambiguous`
+    shape, stacked ``layers`` deep)."""
+    rng = random.Random(seed)
+    graph = ClassHierarchyGraph()
+    graph.add_class("R", members=["m"])
+    previous = ["R"]
+    for layer in range(layers):
+        current = []
+        for index in range(width):
+            name = f"L{layer}_{index}"
+            graph.add_class(name)
+            for base in rng.sample(previous, min(2, len(previous))):
+                graph.add_edge(base, name, virtual=True)
+            current.append(name)
+        previous = current
+    return graph
+
+
+WORKLOADS = {
+    "chain_1024": lambda: chain(1024, member_every=8),
+    "tree_depth10": lambda: binary_tree(10),
+    "layered_16x64": lambda: layered_virtual(16, 64),
+}
+
+
+def sweep(table, names, member="m") -> None:
+    lookup = table.lookup
+    for name in names:
+        lookup(name, member)
+
+
+@pytest.fixture(params=sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def workload(request):
+    graph = WORKLOADS[request.param]()
+    graph.compile()
+    return request.param, graph
+
+
+def _annotate(benchmark, name, graph, table) -> None:
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["classes"] = len(graph)
+    flat = table.flat_table
+    if flat is not None:
+        benchmark.extra_info["flat_columns"] = flat.flat_column_count
+        benchmark.extra_info["flat_cells"] = flat.flat_cells
+        assert flat.ambiguous_column_count == 0  # the families are clean
+
+
+def test_query_sweep_rows(benchmark, workload):
+    """Baseline: the full red/blue row path, one lookup per class."""
+    name, graph = workload
+    table = build_lookup_table(graph, mode="batched")
+    names = list(graph.classes)
+    sweep(table, names)  # steady state: public conversions memoised
+    benchmark(sweep, table, names)
+    _annotate(benchmark, name, graph, table)
+    benchmark.extra_info["baseline"] = True
+
+
+def test_query_sweep_fastpath(benchmark, workload):
+    """The same sweep served from certified flat columns."""
+    name, graph = workload
+    table = build_lookup_table(graph, mode="batched", fastpath=True)
+    names = list(graph.classes)
+    sweep(table, names)  # warm the per-cell result memo
+    benchmark(sweep, table, names)
+    _annotate(benchmark, name, graph, table)
+    stats = table.fastpath_stats
+    assert stats.fallback_hits == 0  # everything flat: no row fallbacks
+
+
+def test_build_with_certification(benchmark, workload):
+    """What the fast path costs at build time: the certificate is free
+    inside the sweep; the flatten pass is the measurable overhead."""
+    name, graph = workload
+    table = benchmark(
+        MemberLookupTable, graph, mode="batched", fastpath=True
+    )
+    _annotate(benchmark, name, graph, table)
+
+
+def test_fastpath_tables_match_rows():
+    """The fast path exists to differ in *speed* only: identical
+    results, witnesses included, on every workload."""
+    for name, factory in WORKLOADS.items():
+        graph = factory()
+        rows = build_lookup_table(graph, mode="batched")
+        flat = build_lookup_table(graph, mode="batched", fastpath=True)
+        for class_name in graph.classes:
+            for member in ("m", "does_not_exist"):
+                assert flat.lookup(class_name, member) == rows.lookup(
+                    class_name, member
+                ), f"{name}: {class_name}::{member}"
+
+
+def test_unambiguous_speedup_floor():
+    """The acceptance floor: flat serving is ≥ 2× the batched-row query
+    path on the fully-unambiguous 1024-class chain and depth-10 tree.
+
+    Excluded from the CI ``--quick`` smoke run (no timing assertions
+    there); timed as best-of-5 sweeps with GC paused so a scheduler
+    hiccup cannot flip the verdict on a busy machine.
+    """
+    import gc
+
+    def best_of(fn, reps=5):
+        best = float("inf")
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+        finally:
+            gc.enable()
+        return best
+
+    for name in ("chain_1024", "tree_depth10"):
+        graph = WORKLOADS[name]()
+        graph.compile()
+        rows = build_lookup_table(graph, mode="batched")
+        flat = build_lookup_table(graph, mode="batched", fastpath=True)
+        names = list(graph.classes)
+        sweep(rows, names)
+        sweep(flat, names)
+        row_time = best_of(lambda: sweep(rows, names))
+        flat_time = best_of(lambda: sweep(flat, names))
+        speedup = row_time / flat_time
+        assert speedup >= 2.0, (
+            f"{name}: flat serving only {speedup:.2f}x over the row path"
+        )

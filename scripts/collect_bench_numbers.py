@@ -9,6 +9,7 @@ change.
 Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
         python scripts/collect_bench_numbers.py -k interning --json-out BENCH_interning.json
         python scripts/collect_bench_numbers.py -k storm --json-out BENCH_delta.json
+        python scripts/collect_bench_numbers.py -k bench_unambiguous --json-out BENCH_unambiguous.json
         python scripts/collect_bench_numbers.py --quick
 
 ``--json-out PATH`` additionally writes a compact, machine-readable

@@ -97,6 +97,14 @@ def _add_build_mode_options(parser: argparse.ArgumentParser) -> None:
         "(default: one per worker)",
     )
     parser.add_argument(
+        "--fastpath",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="serve certified-unambiguous member columns from the flat "
+        "fast path (default: on for --mode auto, off for batched/"
+        "sharded, rejected for per-member)",
+    )
+    parser.add_argument(
         "--delta-stats",
         action="store_true",
         help="replay the hierarchy's last leaf class as a mutation and "
@@ -245,8 +253,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engines",
         default=None,
         metavar="A,B,...",
-        help="comma-separated engine subset "
-        "(default: per-member,batched,sharded,cached,lazy,incremental)",
+        help="comma-separated engine subset (default: "
+        "per-member,batched,sharded,fastpath,cached,lazy,incremental)",
     )
     fuzz.add_argument(
         "--corpus",
@@ -289,6 +297,21 @@ def _render_lookup_stats(table) -> str:
     )
 
 
+def _render_fastpath_stats(table) -> Optional[str]:
+    """The flat serving overlay's certification and routing counters,
+    or ``None`` when the fast path is off."""
+    flat = table.flat_table
+    if flat is None:
+        return None
+    stats = flat.stats
+    return (
+        f"[fastpath] flat_columns={flat.flat_column_count} "
+        f"ambiguous_columns={flat.ambiguous_column_count} "
+        f"flat_cells={flat.flat_cells} "
+        f"flat_hits={stats.flat_hits} fallback_hits={stats.fallback_hits}"
+    )
+
+
 def _report_delta_stats(
     graph: ClassHierarchyGraph, args: argparse.Namespace
 ) -> None:
@@ -322,6 +345,7 @@ def _report_delta_stats(
         mode=args.mode,
         max_workers=args.max_workers,
         shards=args.shards,
+        fastpath=args.fastpath,
     )
     cached = CachedMemberLookup(prefix)
     for name in prefix.classes:
@@ -360,6 +384,13 @@ def _report_delta_stats(
         f"survived={cache.entries_survived} "
         f"full_flushes={cache.full_flushes}"
     )
+    if table.fastpath_stats is not None:
+        fast = table.fastpath_stats
+        print(
+            f"  fastpath: demotions={fast.demotions} "
+            f"promotions={fast.promotions} "
+            f"cone_updates={fast.cone_updates}"
+        )
 
 
 def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
@@ -375,6 +406,7 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         mode=args.mode,
         max_workers=args.max_workers,
         shards=args.shards,
+        fastpath=args.fastpath,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -400,6 +432,11 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         f"evictions={cache.evictions} invalidations={cache.invalidations} "
         f"hit_rate={cache.hit_rate():.1%}"
     )
+    fastpath_line = _render_fastpath_stats(table)
+    if fastpath_line is not None:
+        # The cross-check above queried the table once per pair, so the
+        # flat/fallback split reflects real serving, not a cold overlay.
+        print("  " + fastpath_line)
     if args.delta_stats:
         _report_delta_stats(graph, args)
     return 0
@@ -444,7 +481,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
-    except (ReproError, ParseError, OSError) as exc:
+    except (ReproError, ParseError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -496,6 +533,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             mode=args.mode,
             max_workers=args.max_workers,
             shards=args.shards,
+            fastpath=args.fastpath,
         )
         for class_name in graph.classes:
             for member in table.visible_members(class_name):
@@ -505,6 +543,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(result)
         if args.stats:
             print(_render_lookup_stats(table))
+            fastpath_line = _render_fastpath_stats(table)
+            if fastpath_line is not None:
+                print(fastpath_line)
         if args.delta_stats:
             _report_delta_stats(graph, args)
         return 0

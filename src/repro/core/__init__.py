@@ -16,7 +16,16 @@ from repro.core.enumeration import (
     iter_paths_to,
 )
 from repro.core.equivalence import SubobjectKey, equivalent, subobject_key
+from repro.core.fastpath import (
+    AmbiguousColumnError,
+    FastPathStats,
+    FlatColumn,
+    FlatTable,
+    build_flat_table,
+    flatten_column,
+)
 from repro.core.incremental import IncrementalLookupEngine, IncrementalStats
+from repro.core.kernel import AmbiguityCertificate
 from repro.core.lazy import LazyMemberLookup
 from repro.core.lookup import (
     BlueEntry,
@@ -49,7 +58,12 @@ from repro.core.static_lookup import (
 )
 
 __all__ = [
+    "AmbiguityCertificate",
+    "AmbiguousColumnError",
     "Certificate",
+    "FastPathStats",
+    "FlatColumn",
+    "FlatTable",
     "FrozenLookupTable",
     "OMEGA",
     "Abstraction",
@@ -72,6 +86,7 @@ __all__ = [
     "UnderlyingEntity",
     "abstract_dominates",
     "ambiguous_result",
+    "build_flat_table",
     "build_lookup_table",
     "certify",
     "certify_table",
@@ -80,6 +95,7 @@ __all__ = [
     "dominates_paths",
     "equivalent",
     "extend_abstraction",
+    "flatten_column",
     "follow_using",
     "hides",
     "is_partial_order",

@@ -59,13 +59,18 @@ class CacheStats:
     CLI ``build`` command and asserted on by the tests).
 
     ``invalidations`` counts invalidation *events* — one per observed
-    generation bump that found a non-empty cache — whether the event
-    was surgical or a full flush.  The surgical counters break an event
-    down: ``entries_evicted`` keys dropped because they lay inside the
-    mutation's cone × affected-members rectangle, ``entries_survived``
-    keys that provably could not have changed and were kept warm, and
-    ``full_flushes`` the events that had to drop everything because the
-    snapshots were incomparable."""
+    generation bump that found any computed state to reconcile, in the
+    LRU **or** in the lazy engine's memo — whether the event was
+    surgical or a full flush.  (A bump over a completely cold engine is
+    not an observable event; a bump that only evicts warm memo entries
+    through an empty LRU is.)  The surgical counters break an event
+    down: ``entries_evicted`` LRU keys dropped because they lay inside
+    the mutation's cone × affected-members rectangle,
+    ``entries_survived`` LRU keys that provably could not have changed
+    and were kept warm, ``memo_entries_evicted`` the lazy-memo entries
+    dropped from the same rectangle, and ``full_flushes`` the events
+    that had to drop everything because the snapshots were
+    incomparable."""
 
     hits: int = 0
     misses: int = 0
@@ -73,6 +78,7 @@ class CacheStats:
     invalidations: int = 0
     entries_evicted: int = 0
     entries_survived: int = 0
+    memo_entries_evicted: int = 0
     full_flushes: int = 0
 
     def hit_rate(self) -> float:
@@ -126,6 +132,18 @@ class LookupCache:
             self._data.clear()
             self.stats.invalidations += 1
 
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity in place, evicting least-recently-used
+        entries (counted in ``evictions``) if the cache has to shrink
+        below its current population.  Growing never drops anything."""
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        data = self._data
+        while len(data) > maxsize:
+            data.popitem(last=False)
+            self.stats.evictions += 1
+
 
 class CachedMemberLookup:
     """The lazy engine fronted by a generation-keyed :class:`LookupCache`.
@@ -152,6 +170,16 @@ class CachedMemberLookup:
     The one-at-a-time surgical twin of this policy lives in
     :class:`~repro.core.incremental.IncrementalLookupEngine`, which is
     told *which* mutation happened instead of diffing snapshots.
+
+    ``fastpath_threshold`` opts a second tier in below the LRU: once a
+    member name has accumulated that many LRU misses, its whole column
+    is promoted onto the lazy engine's unambiguous fast path
+    (:meth:`~repro.core.lazy.LazyMemberLookup.flatten_column`) — one
+    ``O(|N|+|E|)`` flatten buys O(1) array serving for every future
+    miss on that column, LRU evictions included.  Ambiguous columns
+    simply fail the promotion and stay general; an invalidation that
+    demotes a column resets its miss counter so it can earn promotion
+    again.
     """
 
     def __init__(
@@ -160,6 +188,7 @@ class CachedMemberLookup:
         *,
         maxsize: int = DEFAULT_CACHE_SIZE,
         track_witnesses: bool = True,
+        fastpath_threshold: Optional[int] = None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._track_witnesses = track_witnesses
@@ -169,6 +198,10 @@ class CachedMemberLookup:
         self._cache = LookupCache(maxsize)
         self._snapshot = self._graph.compile()
         self._generation = self._graph.generation
+        if fastpath_threshold is not None and fastpath_threshold < 1:
+            raise ValueError("fastpath_threshold must be >= 1")
+        self._fastpath_threshold = fastpath_threshold
+        self._member_misses: dict[str, int] = {}
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -196,7 +229,18 @@ class CachedMemberLookup:
         if result is None:
             result = self._lazy.lookup(class_name, member)
             self._cache.put(key, result)
+            threshold = self._fastpath_threshold
+            if threshold is not None:
+                misses = self._member_misses.get(member, 0) + 1
+                self._member_misses[member] = misses
+                if misses == threshold:
+                    self._lazy.flatten_column(member)
         return result
+
+    def resize(self, maxsize: int) -> None:
+        """Rebound the LRU in place (see :meth:`LookupCache.resize`);
+        shrinking evicts LRU-first, growing keeps everything warm."""
+        self._cache.resize(maxsize)
 
     def _invalidate(self) -> None:
         """Reconcile the cache with the graph's current generation.
@@ -209,6 +253,12 @@ class CachedMemberLookup:
         flushes everything.  Either way the cache's snapshot pointer
         advances, so one bump costs one reconciliation no matter how
         many mutations it covered.
+
+        The event is counted whenever the bump found *any* computed
+        state to reconcile — LRU entries or warm memo entries alike: a
+        bump observed through an empty LRU over a warm memo still
+        evicts from the memo, and that work must not be invisible in
+        the counters.
         """
         new = self._graph.compile()
         old = self._snapshot
@@ -217,11 +267,18 @@ class CachedMemberLookup:
         data = self._cache._data
         if delta is None:
             # Incomparable snapshots: the whole computed state goes.
-            self._cache.clear()
+            memo_entries = self._lazy.entries_computed()
+            had_lru = bool(data)
+            self._cache.clear()  # counts the event when the LRU was warm
+            if not had_lru and memo_entries:
+                stats.invalidations += 1  # memo-only state: still an event
             self._lazy = LazyMemberLookup(
                 self._graph, track_witnesses=self._track_witnesses
             )
-            stats.full_flushes += 1
+            stats.memo_entries_evicted += memo_entries
+            if had_lru or memo_entries:
+                stats.full_flushes += 1
+            self._member_misses.clear()
         elif not delta.is_empty:
             cone_names = {
                 new.class_names[cid] for cid in delta.cone_ids()
@@ -229,7 +286,14 @@ class CachedMemberLookup:
             member_names = {
                 new.member_names[mid] for mid in delta.member_ids()
             }
-            if data:
+            memo_evicted = 0
+            for member in member_names:
+                memo_evicted += len(
+                    self._lazy._evict(cone_names, member=member)
+                )
+                self._member_misses.pop(member, None)
+            had_lru = bool(data)
+            if had_lru:
                 stale = [
                     key
                     for key in data
@@ -239,9 +303,9 @@ class CachedMemberLookup:
                     del data[key]
                 stats.entries_evicted += len(stale)
                 stats.entries_survived += len(data)
+            if had_lru or memo_evicted:
                 stats.invalidations += 1
-            for member in member_names:
-                self._lazy._evict(cone_names, member=member)
+            stats.memo_entries_evicted += memo_evicted
         # An empty delta (memberless growth) changes no lookup answer:
         # nothing to evict, no observable event.
         self._snapshot = new
@@ -249,16 +313,29 @@ class CachedMemberLookup:
 
 
 def shared_cached_lookup(
-    hierarchy: HierarchyLike, *, maxsize: int = DEFAULT_CACHE_SIZE
+    hierarchy: HierarchyLike, *, maxsize: Optional[int] = None
 ) -> CachedMemberLookup:
     """The per-graph shared :class:`CachedMemberLookup`, created on first
     use and stored *on the graph itself* — so its lifetime is exactly the
     graph's (no global registry to leak) and every module-level
     :func:`repro.core.lookup.lookup` call against the same hierarchy
-    shares one cache."""
+    shares one cache.
+
+    ``maxsize=None`` (the default, and what the one-shot ``lookup()``
+    passes) means "whatever bound the cache already has" —
+    :data:`DEFAULT_CACHE_SIZE` on first creation.  An *explicit*
+    ``maxsize`` is honored even when the engine already exists: the
+    shared LRU is resized in place (shrinking evicts LRU-first), so a
+    caller asking for a small bound actually gets one instead of
+    silently inheriting the first caller's capacity."""
     graph = hierarchy_of(hierarchy)
     engine = getattr(graph, "_shared_cached_lookup", None)
     if engine is None:
-        engine = CachedMemberLookup(graph, maxsize=maxsize)
+        engine = CachedMemberLookup(
+            graph,
+            maxsize=DEFAULT_CACHE_SIZE if maxsize is None else maxsize,
+        )
         graph._shared_cached_lookup = engine
+    elif maxsize is not None and engine._cache.maxsize != maxsize:
+        engine.resize(maxsize)
     return engine

@@ -290,6 +290,64 @@ def fold_entry(
 
 
 # ----------------------------------------------------------------------
+# Ambiguity certification (the substrate of the unambiguous fast path)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AmbiguityCertificate:
+    """What a sweep proved about ambiguity, per ``(class, member)`` cell,
+    aggregated per member column and over the whole table.
+
+    A cell is *ambiguous* exactly when its kernel entry is blue; the
+    sweeps record every blue they store, so after a
+    :func:`batched_sweep` the certificate is the whole-table truth:
+    bit ``mid`` of :attr:`ambiguous_columns` is set iff **some** visible
+    ``(class, mid)`` lookup is ambiguous.  Columns whose bit is clear
+    satisfy the paper's Section-5 premise ("no lookup is ambiguous"), so
+    they may be served from the flat ``O(|N|+|E|)`` structure of
+    :mod:`repro.core.fastpath` — the certification is the proof
+    obligation, discharged for free while the table is built anyway.
+
+    After a :func:`cone_sweep` the certificate covers only the entries
+    the cone re-folded: a set bit *demotes* a column (a blue appeared in
+    the cone), a clear bit says nothing about cells outside the cone —
+    which is exactly the monotone demote-only contract delta maintenance
+    needs (out-of-cone cells kept whatever colour they had).
+
+    Tracking is O(1) per blue stored and touches none of the red hot
+    paths, so certifying a fully-unambiguous table costs nothing.
+    """
+
+    #: Bitmask over member ids: bit set ⇔ the sweep stored at least one
+    #: blue entry in that member's column.
+    ambiguous_columns: int = 0
+    #: Total blue cells the sweep stored (diagnostic; a column can
+    #: contribute many).
+    blue_cells: int = 0
+
+    def column_is_ambiguous(self, mid: int) -> bool:
+        """Did the sweep prove this member column ambiguous?"""
+        return (self.ambiguous_columns >> mid) & 1 == 1
+
+    @property
+    def table_is_unambiguous(self) -> bool:
+        """Section 5's premise for the whole table: no blue anywhere."""
+        return self.ambiguous_columns == 0
+
+    def merge(self, other: "AmbiguityCertificate") -> None:
+        """Fold in another sweep's certificate (the sharded builder
+        merges one per worker shard)."""
+        self.ambiguous_columns |= other.ambiguous_columns
+        self.blue_cells += other.blue_cells
+
+    def record(self, ambiguous_mask: int, blue_cells: int) -> None:
+        """Fold in one sweep's locally accumulated counters."""
+        self.ambiguous_columns |= ambiguous_mask
+        self.blue_cells += blue_cells
+
+
+# ----------------------------------------------------------------------
 # The batched single-sweep driver (whole rows per class)
 # ----------------------------------------------------------------------
 
@@ -300,6 +358,7 @@ def batched_sweep(
     member_mask: Optional[int] = None,
     stats: Optional[LookupStats] = None,
     track_witnesses: bool = True,
+    certificate: Optional[AmbiguityCertificate] = None,
 ) -> list:
     """One topological sweep computing *whole rows* at a time.
 
@@ -332,6 +391,12 @@ def batched_sweep(
     ``entries_computed``-shaped) propagations — keeping counter probes
     out of that loop is most of what this driver buys.
 
+    ``certificate`` (when given) receives the per-column ambiguity
+    certification: every blue entry the sweep stores sets that member's
+    bit — O(1) per blue, zero cost on the red paths — so a clear bit
+    afterwards *proves* the column unambiguous over the swept member
+    mask (see :class:`AmbiguityCertificate`).
+
     Returns a list indexed by class id: ``rows[cid]`` is the dict
     ``member id -> kernel entry`` of every (masked) member visible in
     ``cid``.
@@ -345,6 +410,8 @@ def batched_sweep(
     count = stats is not None
     blue = KernelBlue
     entries = 0
+    amb_mask = 0
+    blue_cells = 0
     for cid in ch.topo_order:
         if not full and not (visible_masks[cid] & member_mask):
             # Sparse fast path: no masked member is visible in any
@@ -385,6 +452,8 @@ def batched_sweep(
                         ),
                         entry[1],
                     )
+                    amb_mask |= 1 << mid
+                    blue_cells += 1
         elif bases:
             # Multiple bases: gather the extended entries per member in
             # direct-base order (the list fold_entry builds), meet them.
@@ -402,11 +471,15 @@ def batched_sweep(
                     else:
                         bucket.append(extended)
             for mid, bucket in incoming.items():
-                row[mid] = (
+                met = (
                     bucket[0]
                     if len(bucket) == 1
                     else meet_entries(ch, bucket, stats)
                 )
+                row[mid] = met
+                if type(met) is not tuple:
+                    amb_mask |= 1 << mid
+                    blue_cells += 1
         if full:
             if declared_mids[cid]:
                 cell = (cid, False, None) if track_witnesses else None
@@ -425,6 +498,8 @@ def batched_sweep(
     if count:
         stats.classes_visited += len(ch.topo_order)
         stats.entries_computed += entries
+    if certificate is not None:
+        certificate.record(amb_mask, blue_cells)
     return rows
 
 
@@ -450,6 +525,7 @@ def cone_sweep(
     member_mask: int,
     stats: Optional[LookupStats] = None,
     track_witnesses: bool = True,
+    certificate: Optional[AmbiguityCertificate] = None,
 ) -> ConeSweepStats:
     """Re-run the batched fold over *cone classes only*, for *affected
     members only*, seeding from the surviving rows of ``rows``.
@@ -479,6 +555,12 @@ def cone_sweep(
     dropped (cannot happen under append-only growth, but keeps the
     sweep total).
 
+    ``certificate`` records every blue the re-sweep stores, exactly as
+    in :func:`batched_sweep` — but scoped to the re-folded cone: a set
+    bit afterwards means the delta *ambiguated* that column inside the
+    cone (the fast path demotes it), a clear bit says nothing about
+    out-of-cone cells.
+
     Returns a :class:`ConeSweepStats`; ``boundary_rows`` counts the
     out-of-cone direct bases read as seeds (one per cone edge crossing
     the boundary).
@@ -489,6 +571,8 @@ def cone_sweep(
     cone_classes = 0
     recomputed = 0
     boundary = 0
+    amb_mask = 0
+    blue_cells = 0
     cone_ids = []
     remaining = cone_mask
     while remaining:
@@ -525,10 +609,16 @@ def cone_sweep(
                 )
             if not bucket:
                 row.pop(mid, None)
-            elif len(bucket) == 1:
-                row[mid] = bucket[0]
             else:
-                row[mid] = meet_entries(ch, bucket, stats)
+                met = (
+                    bucket[0]
+                    if len(bucket) == 1
+                    else meet_entries(ch, bucket, stats)
+                )
+                row[mid] = met
+                if type(met) is not tuple:
+                    amb_mask |= 1 << mid
+                    blue_cells += 1
             recomputed += 1
         seed = decl & member_mask
         if seed:
@@ -541,6 +631,8 @@ def cone_sweep(
     if stats is not None:
         stats.classes_visited += cone_classes
         stats.entries_computed += recomputed
+    if certificate is not None:
+        certificate.record(amb_mask, blue_cells)
     return ConeSweepStats(
         cone_classes=cone_classes,
         entries_recomputed=recomputed,

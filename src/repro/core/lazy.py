@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.core import fastpath as _fastpath
 from repro.core.kernel import (
     LookupStats,
     TableEntry,
@@ -68,6 +69,13 @@ class LazyMemberLookup:
         # None is a meaningful cached value: "m not visible in C".
         self._columns: dict[ColumnKey, dict[int, object]] = {}
         self._public: dict[tuple[ColumnKey, int], TableEntry] = {}
+        # Flat serving overlay: columns the caller proved unambiguous
+        # via flatten_column(), served ahead of the memo.  Any delta or
+        # eviction touching a flat column demotes it (drops the whole
+        # flat column — the memo stays authoritative); re-promotion is
+        # the caller's call, re-verified from scratch.
+        self._flat: dict[int, _fastpath.FlatColumn] = {}
+        self.flat_hits = 0
         self.stats = LookupStats()
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
@@ -78,6 +86,12 @@ class LazyMemberLookup:
             self._graph.direct_bases(class_name)  # raises UnknownClassError
             return not_found_result(class_name, member)
         key = ch.member_ids.get(member, member)
+        flat = self._flat
+        if flat:
+            column = flat.get(key)
+            if column is not None:
+                self.flat_hits += 1
+                return column.result_at(ch, cid, class_name, member)
         kentry = self._demand(cid, key)
         if kentry is None:
             return not_found_result(class_name, member)
@@ -85,6 +99,46 @@ class LazyMemberLookup:
         if public is None:
             public = self._public[(key, cid)] = to_table_entry(ch, kentry)
         return result_from_entry(class_name, member, public)
+
+    def flatten_column(self, member: str) -> bool:
+        """Promote one member column onto the unambiguous fast path
+        (:mod:`repro.core.fastpath`), if the whole column is red.
+
+        Demands every entry of the column (the §5 per-member
+        ``O(|N|+|E|)`` footprint — :meth:`CompiledHierarchy
+        .classes_with_member`), verifies none is blue, and installs a
+        flat array-backed column served ahead of the memo by
+        :meth:`lookup`.  Returns whether the column is now flat; an
+        ambiguous column (or an undeclared name) stays on the memo and
+        returns ``False``.  Unlike the eager table's cone-certified
+        overlay, this is a *full-column* certification, so a demoted
+        column may be safely re-promoted after any delta.
+        """
+        self._refresh()
+        ch = self._ch
+        mid = ch.member_ids.get(member)
+        if mid is None:
+            return False
+        if mid in self._flat:
+            return True
+        remaining = ch.classes_with_member(mid)
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            entry = self._demand(low.bit_length() - 1, mid)
+            if entry is not None and type(entry) is not tuple:
+                return False  # blue somewhere: the column stays general
+        column = self._columns.get(mid, {})
+        self._flat[mid] = _fastpath.flatten_column(
+            ch, mid, lambda cid, _mid: column.get(cid)
+        )
+        return True
+
+    @property
+    def flat_members(self) -> tuple[str, ...]:
+        """The member names currently served from flat columns."""
+        names = self._ch.member_names
+        return tuple(sorted(names[mid] for mid in self._flat))
 
     def entries_computed(self) -> int:
         """Number of memoised entries, counting "not visible" results."""
@@ -109,8 +163,12 @@ class LazyMemberLookup:
         addressable; what can go *stale* is exactly the
         ``invalidation-cone × affected-members`` rectangle of
         :func:`~repro.hierarchy.compiled.describe_delta`, which is
-        evicted here.  Only incomparable snapshots (never produced by
-        the append-only graph API) drop the whole memo."""
+        evicted here.  Flat columns touched by the delta are demoted
+        wholesale (a cone re-certification story needs eager rows; the
+        memo is the lazy engine's source of truth), untouched ones only
+        grow their arrays for appended class ids.  Only incomparable
+        snapshots (never produced by the append-only graph API) drop
+        the whole memo."""
         if self._ch.generation == self._graph.generation:
             return
         old = self._ch
@@ -122,14 +180,21 @@ class LazyMemberLookup:
                 # String-keyed columns hold only "not visible" results,
                 # so there are no public conversions to migrate.
                 self._columns[mid] = self._columns.pop(name)
-        if not self._columns:
+        if not self._columns and not self._flat:
             return
         delta = describe_delta(old, self._ch)
         if delta is None:
             self._columns.clear()
             self._public.clear()
+            self._flat.clear()
             return
-        if delta.is_empty:
+        if self._flat:
+            for mid in delta.member_ids():
+                self._flat.pop(mid, None)
+            n_classes = self._ch.n_classes
+            for column in self._flat.values():
+                column.ensure_size(n_classes)
+        if delta.is_empty or not self._columns:
             return
         cone = list(delta.cone_ids())
         for mid in delta.member_ids():
@@ -193,7 +258,11 @@ class LazyMemberLookup:
         name, or for all (``member=None``).  Returns the evicted
         ``(column key, class id)`` pairs — the work-list a batched
         :meth:`refill` accepts verbatim.  Uses the *current* snapshot's
-        interner; classes it does not know cannot have cached entries."""
+        interner; classes it does not know cannot have cached entries.
+
+        Any flat column of an affected member is demoted whole — flat
+        cells cannot be served around a hole, and re-promotion
+        (:meth:`flatten_column`) re-verifies from scratch anyway."""
         ch = self._ch
         cids = {
             ch.class_ids[name]
@@ -204,8 +273,11 @@ class LazyMemberLookup:
             return []
         if member is not None:
             keys: list[ColumnKey] = [ch.member_ids.get(member, member)]
+            if self._flat and type(keys[0]) is int:
+                self._flat.pop(keys[0], None)
         else:
             keys = list(self._columns)
+            self._flat.clear()
         removed: list[tuple[ColumnKey, int]] = []
         for key in keys:
             column = self._columns.get(key)

@@ -49,7 +49,9 @@ import os
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro.core.fastpath import FastPathStats, FlatTable, build_flat_table
 from repro.core.kernel import (
+    AmbiguityCertificate,
     BlueEntry,
     KernelBlue,
     LookupStats,
@@ -166,6 +168,18 @@ class MemberLookupTable:
     and are ignored by the serial modes.  All modes yield identical
     query results; the per-member mode is the only one maintaining the
     full per-edge propagation counters in :attr:`stats`.
+
+    ``fastpath`` controls the unambiguous serving overlay
+    (:mod:`repro.core.fastpath`): the row-major sweeps certify per
+    member column whether any entry is ambiguous, certified columns are
+    flattened into array-backed :class:`~repro.core.fastpath
+    .FlatColumn` structures (§5's ``O(|N|+|E|)`` regime), and
+    :meth:`lookup` serves them from memoised results, falling back to
+    the full red/blue rows only where ambiguity exists.  Defaults to on
+    for ``mode="auto"``, opt-in for ``"batched"``/``"sharded"``, and is
+    rejected for ``"per-member"`` (that driver's fold does not
+    certify).  Delta maintenance keeps the overlay current — see
+    :meth:`apply_delta`.
     """
 
     def __init__(
@@ -176,12 +190,25 @@ class MemberLookupTable:
         mode: str = "per-member",
         max_workers: Optional[int] = None,
         shards: Optional[int] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._ch = compiled_of(hierarchy)
         self._track_witnesses = track_witnesses
         self._max_workers = max_workers
         self._shards = shards
+        if fastpath is None:
+            fastpath = mode == "auto"
+        if fastpath and resolve_build_mode(
+            mode, self._ch, max_workers=max_workers
+        ) == "per-member":
+            raise ValueError(
+                "fastpath=True requires a row-major build mode "
+                "('batched', 'sharded' or 'auto'); the per-member "
+                "driver's fold does not certify ambiguity"
+            )
+        self.fastpath = fastpath
+        self._flat: Optional[FlatTable] = None
         # Per-member mode fills a column-major interned table
         # (member id -> {class id -> entry}); the batched/sharded modes
         # produce row-major per-class rows (class id -> {member id ->
@@ -201,12 +228,15 @@ class MemberLookupTable:
         self._columns = {}
         self._rows = None
         self._public = {}
+        self._flat = None
         self._entry_total = 0
+        certificate = AmbiguityCertificate() if self.fastpath else None
         if self.mode == "batched":
             self._rows = batched_sweep(
                 self._ch,
                 stats=self.stats,
                 track_witnesses=self._track_witnesses,
+                certificate=certificate,
             )
         elif self.mode == "sharded":
             from repro.core.parallel import build_sharded_rows
@@ -217,6 +247,7 @@ class MemberLookupTable:
                 track_witnesses=self._track_witnesses,
                 max_workers=self._max_workers,
                 shards=self._shards,
+                certificate=certificate,
             )
         else:
             self._build()
@@ -225,6 +256,10 @@ class MemberLookupTable:
         else:
             self._entry_total = sum(
                 len(column) for column in self._columns.values()
+            )
+        if certificate is not None:
+            self._flat = build_flat_table(
+                self._ch, certificate, self._kernel_entry_at
             )
 
     # ------------------------------------------------------------------
@@ -240,8 +275,24 @@ class MemberLookupTable:
         """The interned substrate the table was built over."""
         return self._ch
 
+    @property
+    def flat_table(self) -> Optional[FlatTable]:
+        """The flat serving overlay (``None`` when the fast path is
+        off) — inspect it for certification and routing state."""
+        return self._flat
+
+    @property
+    def fastpath_stats(self) -> Optional[FastPathStats]:
+        """Serving/maintenance counters of the fast path, or ``None``
+        when it is off."""
+        return self._flat.stats if self._flat is not None else None
+
     def lookup(self, class_name: str, member: str) -> LookupResult:
-        """``lookup(C, m)`` per Definition 9, answered from the table."""
+        """``lookup(C, m)`` per Definition 9, answered from the table.
+
+        With the fast path on, certified-unambiguous columns are served
+        from their flat memoised results; only ambiguous columns fall
+        through to the full red/blue rows."""
         ch = self._ch
         cid = ch.class_ids.get(class_name)
         if cid is None:
@@ -250,8 +301,16 @@ class MemberLookupTable:
             self._graph.direct_bases(class_name)
             return not_found_result(class_name, member)
         mid = ch.member_ids.get(member)
-        entry = self._entry_at(cid, mid) if mid is not None else None
-        return result_from_entry(class_name, member, entry)
+        if mid is None:
+            return not_found_result(class_name, member)
+        flat = self._flat
+        if flat is not None:
+            result = flat.serve(ch, cid, mid, class_name, member)
+            if result is not None:
+                return result
+        return result_from_entry(
+            class_name, member, self._entry_at(cid, mid)
+        )
 
     def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
         """The raw Red/Blue table entry (``None`` if ``m`` is not a member
@@ -324,6 +383,13 @@ class MemberLookupTable:
         safe to call.  Returns the :class:`DeltaStats` of this one
         application; the running totals accumulate on
         :attr:`delta_stats`.
+
+        With the fast path on, the cone re-sweep also re-certifies the
+        affected columns: a delta that ambiguates a previously-flat
+        column demotes it to the full rows (permanently — the cone
+        certificate proves nothing out-of-cone), one that keeps it red
+        rewrites only the cone cells of the flat column, and flat
+        columns outside the cone are untouched.
         """
         if self._graph is None:
             raise ValueError(
@@ -383,6 +449,9 @@ class MemberLookupTable:
                 for cid in cone_ids
                 if rows[cid] is not None
             )
+            certificate = (
+                AmbiguityCertificate() if self._flat is not None else None
+            )
             if not delta.is_empty:
                 if self.mode == "sharded":
                     from repro.core.parallel import apply_sharded_delta
@@ -396,6 +465,7 @@ class MemberLookupTable:
                         track_witnesses=self._track_witnesses,
                         max_workers=self._max_workers,
                         shards=self._shards,
+                        certificate=certificate,
                     )
                 else:
                     sweep = cone_sweep(
@@ -405,12 +475,25 @@ class MemberLookupTable:
                         member_mask=mmask,
                         stats=self.stats,
                         track_witnesses=self._track_witnesses,
+                        certificate=certificate,
                     )
                 result.entries_recomputed = sweep.entries_recomputed
                 result.boundary_rows = sweep.boundary_rows
             for cid in range(first_new_row, new.n_classes):
                 if rows[cid] is None:
                     rows[cid] = {}
+            if self._flat is not None:
+                # The cone certificate demotes newly-ambiguated columns,
+                # cone-updates columns that stayed red, flattens brand-new
+                # ones, and grows every untouched column's arrays for the
+                # appended class ids.
+                self._flat.apply_delta(
+                    new,
+                    cone_ids,
+                    list(delta.member_ids()),
+                    certificate,
+                    self._kernel_entry_at,
+                )
             after = sum(len(rows[cid]) for cid in cone_ids)
             self._entry_total += after - before
         else:
@@ -510,6 +593,12 @@ class MemberLookupTable:
             return self._rows[cid].get(mid)
         return self._columns.get(mid, {}).get(cid)
 
+    def _kernel_entry_at(self, cid: int, mid: int):
+        """Row read tolerant of unfilled rows — the ``entry_at`` shape
+        the fast path flattens and cone-updates through."""
+        row = self._rows[cid]
+        return row.get(mid) if row else None
+
     def _entry_at(self, cid: int, mid: int) -> Optional[TableEntry]:
         kentry = self._kentry(cid, mid)
         if kentry is None:
@@ -528,12 +617,13 @@ def build_lookup_table(
     mode: str = "per-member",
     max_workers: Optional[int] = None,
     shards: Optional[int] = None,
+    fastpath: Optional[bool] = None,
 ) -> MemberLookupTable:
     """Run the paper's ``doLookup()`` and return the filled table.
 
     ``mode="auto"`` picks the serial batched sweep or the sharded
     parallel builder by the ``|M|·|E|`` work estimate; see the module
-    docstring for the full mode list.
+    docstring for the full mode list and the ``fastpath`` default.
     """
     return MemberLookupTable(
         hierarchy,
@@ -541,6 +631,7 @@ def build_lookup_table(
         mode=mode,
         max_workers=max_workers,
         shards=shards,
+        fastpath=fastpath,
     )
 
 

@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
 from repro.core.kernel import (
+    AmbiguityCertificate,
     ConeSweepStats,
     LookupStats,
     batched_sweep,
@@ -108,13 +109,15 @@ def _init_worker(payload: bytes) -> None:
 
 def _sweep_shard(member_mask: int, track_witnesses: bool):
     stats = LookupStats()
+    certificate = AmbiguityCertificate()
     rows = batched_sweep(
         _WORKER_CH,
         member_mask=member_mask,
         stats=stats,
         track_witnesses=track_witnesses,
+        certificate=certificate,
     )
-    return rows, stats
+    return rows, stats, certificate
 
 
 def _sweep_delta_shard(task):
@@ -128,6 +131,7 @@ def _sweep_delta_shard(task):
     for bid, row in boundary.items():
         rows[bid] = row
     stats = LookupStats()
+    certificate = AmbiguityCertificate()
     sweep = cone_sweep(
         ch,
         rows,
@@ -135,6 +139,7 @@ def _sweep_delta_shard(task):
         member_mask=shard_mask,
         stats=stats,
         track_witnesses=track_witnesses,
+        certificate=certificate,
     )
     cone_rows: dict[int, dict] = {}
     mask = cone_mask
@@ -145,7 +150,7 @@ def _sweep_delta_shard(task):
         row = rows[cid]
         if row:
             cone_rows[cid] = row
-    return cone_rows, sweep, stats
+    return cone_rows, sweep, stats, certificate
 
 
 def _merge_stats(into: LookupStats, shard: LookupStats) -> None:
@@ -166,9 +171,14 @@ def build_sharded_rows(
     track_witnesses: bool = True,
     max_workers: Optional[int] = None,
     shards: Optional[int] = None,
+    certificate: Optional[AmbiguityCertificate] = None,
 ) -> list:
     """Build the full per-class rows (``rows[cid]: member id -> kernel
     entry``) by sharding the member space across a process pool.
+
+    ``certificate`` merges each worker's per-shard ambiguity record —
+    shards partition the member-id space, so the union is exactly what
+    a serial :func:`batched_sweep` would have certified.
 
     ``max_workers`` defaults to ``os.cpu_count()``; ``shards`` defaults
     to the worker count (one mask per worker — more shards only help
@@ -183,7 +193,10 @@ def build_sharded_rows(
     )
     if workers < 2 or len(masks) < 2:
         return batched_sweep(
-            ch, stats=stats, track_witnesses=track_witnesses
+            ch,
+            stats=stats,
+            track_witnesses=track_witnesses,
+            certificate=certificate,
         )
 
     payload = pickle.dumps(ch, protocol=pickle.HIGHEST_PROTOCOL)
@@ -195,7 +208,10 @@ def build_sharded_rows(
         )
     except (OSError, ValueError):  # no fork/semaphores available here
         return batched_sweep(
-            ch, stats=stats, track_witnesses=track_witnesses
+            ch,
+            stats=stats,
+            track_witnesses=track_witnesses,
+            certificate=certificate,
         )
     with executor:
         results = list(
@@ -205,7 +221,7 @@ def build_sharded_rows(
         )
 
     merged: list = [{} for _ in range(ch.n_classes)]
-    for rows, shard_stats in results:
+    for rows, shard_stats, shard_cert in results:
         for cid, row in enumerate(rows):
             if row:
                 if merged[cid]:
@@ -214,6 +230,8 @@ def build_sharded_rows(
                     merged[cid] = row
         if stats is not None:
             _merge_stats(stats, shard_stats)
+        if certificate is not None:
+            certificate.merge(shard_cert)
     return merged
 
 
@@ -227,6 +245,7 @@ def apply_sharded_delta(
     track_witnesses: bool = True,
     max_workers: Optional[int] = None,
     shards: Optional[int] = None,
+    certificate: Optional[AmbiguityCertificate] = None,
 ) -> ConeSweepStats:
     """The sharded builder's delta mode: shard the *affected* member
     set (not all of ``|M|``) across workers, each running
@@ -253,6 +272,7 @@ def apply_sharded_delta(
             member_mask=member_mask,
             stats=stats,
             track_witnesses=track_witnesses,
+            certificate=certificate,
         )
 
     # Boundary: the out-of-cone direct bases cone classes read from.
@@ -289,6 +309,7 @@ def apply_sharded_delta(
             member_mask=member_mask,
             stats=stats,
             track_witnesses=track_witnesses,
+            certificate=certificate,
         )
 
     payload = pickle.dumps(ch, protocol=pickle.HIGHEST_PROTOCOL)
@@ -321,7 +342,7 @@ def apply_sharded_delta(
     cone_classes = 0
     recomputed = 0
     boundary_reads = 0
-    for cone_rows, sweep, shard_stats in results:
+    for cone_rows, sweep, shard_stats, shard_cert in results:
         for cid, row in cone_rows.items():
             target = rows[cid]
             if target is None:
@@ -333,6 +354,8 @@ def apply_sharded_delta(
         boundary_reads += sweep.boundary_rows
         if stats is not None:
             _merge_stats(stats, shard_stats)
+        if certificate is not None:
+            certificate.merge(shard_cert)
     return ConeSweepStats(
         cone_classes=cone_classes,
         entries_recomputed=recomputed,

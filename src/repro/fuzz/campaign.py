@@ -81,12 +81,14 @@ __all__ = [
 ]
 
 #: The full engine matrix a campaign compares by default: the eager
-#: table in its three explicit build modes, plus the lazy, cached and
-#: incremental engines.
+#: table in its three explicit build modes, the batched table with the
+#: certified-unambiguous flat serving overlay (``fastpath``), plus the
+#: lazy, cached and incremental engines.
 ENGINES: tuple[str, ...] = (
     "per-member",
     "batched",
     "sharded",
+    "fastpath",
     "cached",
     "lazy",
     "incremental",
@@ -111,10 +113,17 @@ def build_engine(name: str, graph: ClassHierarchyGraph):
         return build_lookup_table(graph, mode=name)
     if name == "sharded":
         return build_lookup_table(graph, mode="sharded", max_workers=2, shards=2)
+    if name == "fastpath":
+        # The batched table serving certified-unambiguous columns from
+        # flat arrays (repro.core.fastpath), red/blue rows elsewhere.
+        return build_lookup_table(graph, mode="batched", fastpath=True)
     if name == "lazy":
         return LazyMemberLookup(graph)
     if name == "cached":
-        return CachedMemberLookup(graph, maxsize=64)
+        # A small threshold so the lazy flat-column promotion (and its
+        # demote-on-mutation path) is exercised by every campaign, not
+        # just the dedicated unit tests.
+        return CachedMemberLookup(graph, maxsize=64, fastpath_threshold=4)
     if name == "incremental":
         engine = IncrementalLookupEngine()
         members = graph.member_names()
@@ -306,8 +315,10 @@ def _stale_cache_check(
 ) -> tuple[Optional[AppliedMutation], list[Divergence], int]:
     """Warm a cache on ``graph``, mutate the graph *in place*, and
     re-compare every cached answer with a fresh oracle — the
-    generation-keyed invalidation must never serve a stale row."""
-    cached = CachedMemberLookup(graph, maxsize=64)
+    generation-keyed invalidation must never serve a stale row (nor a
+    stale flat column: the small promotion threshold means warm columns
+    are usually flat by the time the mutation lands)."""
+    cached = CachedMemberLookup(graph, maxsize=64, fastpath_threshold=2)
     for class_name, member in _query_surface(graph):
         cached.lookup(class_name, member)  # warm (and overflow) the LRU
     applied = mutate(graph, rng, in_place_only=True)
@@ -355,7 +366,7 @@ def _delta_storm_check(
     storm = copy_hierarchy(graph)
     modes = [
         name
-        for name in ("batched", "per-member", "sharded")
+        for name in ("batched", "per-member", "sharded", "fastpath")
         if name in engines
     ] or ["batched"]
     mode = rng.choice(modes)
@@ -363,6 +374,10 @@ def _delta_storm_check(
         table = build_lookup_table(
             storm, mode="sharded", max_workers=2, shards=2
         )
+    elif mode == "fastpath":
+        # Storms against the flat overlay: mutations that ambiguate a
+        # certified column must demote it (and only it) mid-storm.
+        table = build_lookup_table(storm, mode="batched", fastpath=True)
     else:
         table = build_lookup_table(storm, mode=mode)
     applied_names: list[str] = []

@@ -74,6 +74,7 @@ class CompiledHierarchy:
         "_lineage",
         "_ordered_visible",
         "_descendant_masks",
+        "_member_class_masks",
     )
 
     def __init__(self) -> None:  # populated by compile_hierarchy
@@ -83,6 +84,7 @@ class CompiledHierarchy:
         self._lineage: dict[int, int] = {}
         self._ordered_visible: dict[int, tuple[int, ...]] = {}
         self._descendant_masks: Optional[list[int]] = None
+        self._member_class_masks: Optional[list[int]] = None
 
     # ------------------------------------------------------------------
     # Interning
@@ -165,6 +167,34 @@ class CompiledHierarchy:
         itself plus every transitive derived class, as a bitmask."""
         return self.descendant_masks()[cid] | (1 << cid)
 
+    def member_class_masks(self) -> list[int]:
+        """Per-member bitmask of the classes the member is visible in —
+        the transpose of ``visible_masks``, and the column footprint the
+        unambiguous fast path (:mod:`repro.core.fastpath`) materialises:
+        flattening a column visits exactly these classes, keeping the
+        per-member cost at the paper's Section-5 ``O(|N| + |E|)`` bound
+        instead of an unconditional ``O(|N|)`` scan per column.
+
+        Built lazily in one pass over the visible bitsets (O(visible
+        cells)) and memoised for the snapshot's lifetime.
+        """
+        masks = self._member_class_masks
+        if masks is None:
+            masks = [0] * self.n_members
+            for cid, visible in enumerate(self.visible_masks):
+                bit = 1 << cid
+                while visible:
+                    low = visible & -visible
+                    visible ^= low
+                    masks[low.bit_length() - 1] |= bit
+            self._member_class_masks = masks
+        return masks
+
+    def classes_with_member(self, mid: int) -> int:
+        """The bitmask of classes in which member id ``mid`` is visible
+        (``Members[C] ∋ m`` transposed to the member axis)."""
+        return self.member_class_masks()[mid]
+
     def ordered_visible(self, cid: int) -> tuple[int, ...]:
         """``Members[C]`` as member ids, in the deterministic order the
         seed algorithm produced them: ``C``'s declarations first (in
@@ -215,6 +245,7 @@ class CompiledHierarchy:
                 "_lineage",
                 "_ordered_visible",
                 "_descendant_masks",
+                "_member_class_masks",
             )
         }
 
@@ -223,6 +254,7 @@ class CompiledHierarchy:
         self._lineage = {}
         self._ordered_visible = {}
         self._descendant_masks = None
+        self._member_class_masks = None
         for slot, value in state.items():
             setattr(self, slot, value)
 

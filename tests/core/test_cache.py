@@ -149,6 +149,81 @@ def test_growth_outside_cached_surface_evicts_nothing():
     assert stats.full_flushes == 0
 
 
+def test_lookup_cache_resize_mechanics():
+    cache = LookupCache(maxsize=4)
+    for key in "abcd":
+        cache.put(key, key.upper())
+    cache.resize(2)  # shrink: evict LRU-first ("a" then "b")
+    assert len(cache) == 2
+    assert cache.stats.evictions == 2
+    assert cache.get("a") is None and cache.get("b") is None
+    assert cache.get("c") == "C" and cache.get("d") == "D"
+    cache.resize(8)  # growing drops nothing
+    assert len(cache) == 2
+    assert cache.stats.evictions == 2
+    with pytest.raises(ValueError):
+        cache.resize(0)
+
+
+def test_shared_cached_lookup_honors_explicit_maxsize():
+    """Regression: an explicit maxsize used to be silently ignored when
+    the shared engine already existed — the second caller inherited the
+    first caller's capacity.  Now the shared LRU is resized in place;
+    only ``maxsize=None`` (the one-shot default) means "keep whatever
+    bound is already there"."""
+    graph = chain(16, member_every=16)
+    first = shared_cached_lookup(graph)  # default-sized
+    for i in range(16):
+        first.lookup(f"C{i}", "m")
+    assert len(first) == 16
+
+    small = shared_cached_lookup(graph, maxsize=8)
+    assert small is first  # still the one shared engine...
+    assert small._cache.maxsize == 8  # ...but the requested bound holds
+    assert len(small) == 8  # shrink evicted LRU-first
+    assert small.lookup("C15", "m").declaring_class == "C0"  # kept warm
+
+    # The None sentinel (what the one-shot lookup() passes) keeps the
+    # explicit bound instead of resetting it to the default.
+    assert lookup(graph, "C3", "m").declaring_class == "C0"
+    assert shared_cached_lookup(graph)._cache.maxsize == 8
+
+
+def test_bump_over_empty_lru_with_warm_memo_is_counted():
+    """Regression: a generation bump observed through an empty LRU used
+    to go uncounted even though it evicted warm lazy-memo entries — the
+    invalidation event is real work and must show in the counters."""
+    graph = chain(8, member_every=8)
+    cached = CachedMemberLookup(graph, maxsize=4)
+    for i in range(8):
+        cached.lookup(f"C{i}", "m")
+    cached._cache._data.clear()  # LRU emptied; the lazy memo stays warm
+    assert cached.lazy.entries_computed() > 0
+
+    graph.add_member("C5", "m")
+    assert cached.lookup("C7", "m").declaring_class == "C5"
+    stats = cached.cache_stats
+    assert stats.invalidations == 1
+    assert stats.memo_entries_evicted > 0
+    assert stats.entries_evicted == 0  # the LRU had nothing to evict
+
+
+def test_memo_evictions_are_counted_alongside_lru_evictions():
+    """The surgical breakdown must cover the lazy memo too: the same
+    cone × member rectangle dropped from the LRU is dropped from the
+    memo, visible in ``memo_entries_evicted``."""
+    graph = chain(16, member_every=16)
+    cached = CachedMemberLookup(graph)
+    for i in range(16):
+        cached.lookup(f"C{i}", "m")
+    graph.add_member("C8", "m")
+    cached.lookup("C0", "m")
+    stats = cached.cache_stats
+    assert stats.invalidations == 1
+    assert stats.entries_evicted == 8  # LRU: C8..C15
+    assert stats.memo_entries_evicted == 8  # memo: the same rectangle
+
+
 def test_incomparable_snapshots_fall_back_to_full_flush(monkeypatch):
     """The cache must not assume its callers mutate through the
     append-only API: when snapshots cannot be diffed it flushes

@@ -60,8 +60,12 @@ def assert_engines_identical(graph, *, sharded: bool = True) -> None:
     table = build_lookup_table(graph)
     rivals = {
         "batched": build_lookup_table(graph, mode="batched"),
+        "fastpath": build_lookup_table(graph, mode="batched", fastpath=True),
         "lazy": LazyMemberLookup(graph),
         "cached": CachedMemberLookup(graph),
+        "cached-fastpath": CachedMemberLookup(
+            graph, maxsize=32, fastpath_threshold=2
+        ),
         "incremental": replay_into_incremental(graph),
     }
     if sharded:
@@ -154,30 +158,39 @@ def test_engines_identical_after_mutation():
     table = build_lookup_table(graph)
     batched = build_lookup_table(graph, mode="batched")
     sharded = build_lookup_table(graph, mode="sharded", max_workers=2, shards=2)
+    flat = build_lookup_table(graph, mode="batched", fastpath=True)
     members = set(QUERY_MEMBERS) | {"fresh"}
     for class_name in graph.classes:
         for member in sorted(members):
             expected = table.lookup(class_name, member)
             assert batched.lookup(class_name, member) == expected
             assert sharded.lookup(class_name, member) == expected
+            assert flat.lookup(class_name, member) == expected
             assert lazy.lookup(class_name, member) == expected
             assert cached.lookup(class_name, member) == expected
     assert cached.cache_stats.invalidations == 1
 
 
-@pytest.mark.parametrize("mode", ["per-member", "batched", "sharded"])
+@pytest.mark.parametrize(
+    "mode", ["per-member", "batched", "sharded", "fastpath"]
+)
 def test_apply_delta_matches_fresh_build_in_every_mode(mode):
     """Tables maintained through apply_delta across a burst of
     mutations must answer exactly like tables built from scratch after
-    them — in all three build modes, including on the classes whose
-    rows the cone re-sweep recomputed and the ones it reused."""
+    them — in all three build modes plus the flat-serving overlay,
+    including on the classes whose rows the cone re-sweep recomputed,
+    the ones it reused, and the flat columns the delta demoted or
+    cone-updated."""
     graph = random_hierarchy(
         14, seed=11, virtual_probability=0.4, member_probability=0.5
     )
-    kwargs = (
-        {"max_workers": 2, "shards": 2} if mode == "sharded" else {}
-    )
-    table = build_lookup_table(graph, mode=mode, **kwargs)
+    if mode == "fastpath":
+        table = build_lookup_table(graph, mode="batched", fastpath=True)
+    else:
+        kwargs = (
+            {"max_workers": 2, "shards": 2} if mode == "sharded" else {}
+        )
+        table = build_lookup_table(graph, mode=mode, **kwargs)
 
     anchors = list(graph.classes)
     graph.add_member(anchors[3], "fresh")

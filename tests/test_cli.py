@@ -106,6 +106,42 @@ class TestTable:
         assert main(args) == 0
         assert "delta stats:" in capsys.readouterr().out
 
+    def test_fastpath_stats_line(self, fig3_json, capsys):
+        args = ["table", fig3_json, "--mode", "batched", "--fastpath",
+                "--stats"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[fastpath]" in out
+        assert "ambiguous_columns=" in out
+        # Without the flag, batched mode has no overlay to report.
+        assert main(["table", fig3_json, "--mode", "batched", "--stats"]) == 0
+        assert "[fastpath]" not in capsys.readouterr().out
+
+    def test_fastpath_rejected_for_per_member(self, fig3_json, capsys):
+        args = ["table", fig3_json, "--mode", "per-member", "--fastpath"]
+        assert main(args) == 2
+        assert "row-major build mode" in capsys.readouterr().err
+
+
+class TestBuild:
+    def test_build_defaults_report_fastpath(self, fig3_json, capsys):
+        assert main(["build", fig3_json]) == 0
+        out = capsys.readouterr().out
+        assert "requested mode: auto" in out
+        assert "[fastpath]" in out
+        assert "flat_hits=" in out
+
+    def test_build_no_fastpath_opt_out(self, fig3_json, capsys):
+        assert main(["build", fig3_json, "--no-fastpath"]) == 0
+        assert "[fastpath]" not in capsys.readouterr().out
+
+    def test_build_delta_stats_report_fastpath_maintenance(
+        self, fig3_json, capsys
+    ):
+        assert main(["build", fig3_json, "--delta-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "fastpath: demotions=" in out
+
 
 class TestOtherCommands:
     def test_explain(self, fig3_json, capsys):
