@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Smoke-start the multi-tenant serving front and exercise one tenant.
+
+CI runs this after the test suite: it spawns ``python -m repro serve``
+as a real subprocess on an ephemeral port, parses the announced
+address, then — over the wire — creates a tenant, runs 100 lookups
+against the published snapshot, applies one delta, asserts the
+generation advanced (and that the new member resolves), and shuts the
+front down cleanly.  Exit code 0 means the serving tier actually
+serves, not just imports.
+
+Usage:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LOOKUPS = 100
+
+HIERARCHY = {
+    "format": "repro-chg",
+    "version": 1,
+    "classes": [
+        {
+            "name": "Base",
+            "members": [{"name": "run"}, {"name": "stop"}],
+        },
+        {
+            "name": "Middle",
+            "bases": [{"name": "Base"}],
+            "members": [{"name": "run"}],
+        },
+        {
+            "name": "Leaf",
+            "bases": [{"name": "Middle", "virtual": True}],
+        },
+    ],
+}
+
+
+def spawn_front() -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        cwd=ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 30
+    while True:
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise SystemExit("serve front never announced its address")
+        line = proc.stdout.readline()
+        if not line:
+            proc.wait()
+            raise SystemExit(
+                f"serve front exited (rc={proc.returncode}) before "
+                "announcing its address"
+            )
+        match = re.match(r"serving on (\S+):(\d+)", line.strip())
+        if match:
+            return proc, match.group(1), int(match.group(2))
+
+
+def main() -> int:
+    from repro.serve import ServeClient
+
+    proc, host, port = spawn_front()
+    try:
+        with ServeClient(host, port) as client:
+            assert client.ping() == "pong", "ping failed"
+
+            created = client.add_tenant("smoke", hierarchy=HIERARCHY)
+            generation = created["generation"]
+
+            for index in range(LOOKUPS):
+                class_name = ("Base", "Middle", "Leaf")[index % 3]
+                result = client.lookup("smoke", class_name, "run")
+                assert result["status"] == "unique", result
+                expected = "Base" if class_name == "Base" else "Middle"
+                assert result["declaring_class"] == expected, result
+
+            applied = client.apply_delta(
+                "smoke",
+                [
+                    {"op": "add_class", "name": "Extra", "members": ["go"]},
+                    {"op": "add_edge", "base": "Leaf", "derived": "Extra"},
+                ],
+            )
+            assert applied["generation"] > generation, (
+                f"generation did not advance: {generation} -> "
+                f"{applied['generation']}"
+            )
+            result = client.lookup("smoke", "Extra", "run")
+            assert result["declaring_class"] == "Middle", result
+
+            stats = client.stats("smoke")
+            assert stats["tenants"]["smoke"]["lookups"] >= LOOKUPS, stats
+
+            client.shutdown()
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"front exited rc={proc.returncode}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    print(
+        f"serve smoke OK: {LOOKUPS} lookups, one delta "
+        f"(generation {generation} -> {applied['generation']}), "
+        "clean shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -254,7 +254,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="A,B,...",
         help="comma-separated engine subset (default: "
-        "per-member,batched,sharded,fastpath,cached,lazy,incremental)",
+        "per-member,batched,sharded,fastpath,cached,lazy,incremental,"
+        "snapshot)",
     )
     fuzz.add_argument(
         "--corpus",
@@ -281,6 +282,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="skip delta-debugging of failing hierarchies",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="host the multi-tenant snapshot lookup service "
+        "(newline-JSON over TCP)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_CACHE_SIZE,
+        metavar="N",
+        help="shared serving LRU capacity "
+        f"(default {DEFAULT_CACHE_SIZE})",
     )
     return parser
 
@@ -476,6 +500,21 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import ServeFront
+    from repro.serve.service import LookupService
+
+    service = LookupService(cache_size=args.cache_size)
+    front = ServeFront(service, host=args.host, port=args.port)
+    try:
+        asyncio.run(front.serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -506,6 +545,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "diff":
         before, _ = _load_hierarchy(args.before)

@@ -36,6 +36,7 @@ from repro.core.lookup import (
     build_lookup_table,
     lookup,
 )
+from repro.core.snapshot import SNAPSHOT_MODES, TableSnapshot
 from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction, path_in
 from repro.core.results import (
     LookupResult,
@@ -78,11 +79,13 @@ __all__ = [
     "MemberLookupTable",
     "Path",
     "RedEntry",
+    "SNAPSHOT_MODES",
     "StaticAwareLookupTable",
     "StaticBlueEntry",
     "StaticRedEntry",
     "SubobjectKey",
     "TableSerializationError",
+    "TableSnapshot",
     "UnderlyingEntity",
     "abstract_dominates",
     "ambiguous_result",

@@ -64,13 +64,16 @@ class CacheStats:
     surgical or a full flush.  (A bump over a completely cold engine is
     not an observable event; a bump that only evicts warm memo entries
     through an empty LRU is.)  The surgical counters break an event
-    down: ``entries_evicted`` LRU keys dropped because they lay inside
-    the mutation's cone × affected-members rectangle,
-    ``entries_survived`` LRU keys that provably could not have changed
-    and were kept warm, ``memo_entries_evicted`` the lazy-memo entries
-    dropped from the same rectangle, and ``full_flushes`` the events
-    that had to drop everything because the snapshots were
-    incomparable."""
+    down across a retirement (:meth:`LookupCache.retire` swaps in a
+    fresh mapping rather than deleting out of the served one):
+    ``entries_evicted`` counts the keys *retired* with the old
+    snapshot's mapping because they lay inside the mutation's cone ×
+    affected-members rectangle, ``entries_survived`` the keys that
+    provably could not have changed and were *retained* — carried warm
+    into the new snapshot's mapping — ``memo_entries_evicted`` the
+    lazy-memo entries dropped from the same rectangle, and
+    ``full_flushes`` the events that had to retire everything because
+    the snapshots were incomparable."""
 
     hits: int = 0
     misses: int = 0
@@ -126,11 +129,37 @@ class LookupCache:
         data[key] = value
 
     def clear(self) -> None:
-        """Drop every entry, counting one invalidation (only if there was
-        anything to drop — an empty flush is not an observable event)."""
+        """Retire every entry, counting one invalidation (only if there
+        was anything to drop — an empty flush is not an observable
+        event).  The old mapping is replaced wholesale rather than
+        emptied in place, so a reader still holding it keeps a coherent
+        view of the retired contents."""
         if self._data:
-            self._data.clear()
+            self._data = OrderedDict()
             self.stats.invalidations += 1
+
+    def retire(self, stale) -> tuple[int, int]:
+        """Retire the current mapping into a fresh one, dropping every
+        key for which ``stale(key)`` is true and carrying every other
+        entry across in LRU order.
+
+        This is the snapshot-publishing shape of invalidation: instead
+        of deleting stale keys out of the mapping being served, the
+        survivors are copied into a new mapping and the old one is
+        swapped out with a single attribute assignment — a concurrent
+        reader sees either the fully-old or the fully-new contents,
+        never a half-retired hybrid, and the retired mapping stays
+        coherent for as long as anyone holds it.  Returns the
+        ``(retired, retained)`` counts."""
+        fresh: OrderedDict = OrderedDict()
+        retired = 0
+        for key, value in self._data.items():
+            if stale(key):
+                retired += 1
+            else:
+                fresh[key] = value
+        self._data = fresh
+        return retired, len(fresh)
 
     def resize(self, maxsize: int) -> None:
         """Change the capacity in place, evicting least-recently-used
@@ -264,11 +293,10 @@ class CachedMemberLookup:
         old = self._snapshot
         delta = describe_delta(old, new)
         stats = self._cache.stats
-        data = self._cache._data
         if delta is None:
-            # Incomparable snapshots: the whole computed state goes.
+            # Incomparable snapshots: retire the whole computed state.
             memo_entries = self._lazy.entries_computed()
-            had_lru = bool(data)
+            had_lru = len(self._cache) > 0
             self._cache.clear()  # counts the event when the LRU was warm
             if not had_lru and memo_entries:
                 stats.invalidations += 1  # memo-only state: still an event
@@ -292,17 +320,18 @@ class CachedMemberLookup:
                     self._lazy._evict(cone_names, member=member)
                 )
                 self._member_misses.pop(member, None)
-            had_lru = bool(data)
+            had_lru = len(self._cache) > 0
             if had_lru:
-                stale = [
-                    key
-                    for key in data
-                    if key[0] in cone_names and key[1] in member_names
-                ]
-                for key in stale:
-                    del data[key]
-                stats.entries_evicted += len(stale)
-                stats.entries_survived += len(data)
+                # Retire the old snapshot's mapping: survivors (keys
+                # provably outside the cone × affected rectangle) are
+                # carried into the new snapshot's mapping, the rest
+                # retire with the old one.
+                retired, retained = self._cache.retire(
+                    lambda key: key[0] in cone_names
+                    and key[1] in member_names
+                )
+                stats.entries_evicted += retired
+                stats.entries_survived += retained
             if had_lru or memo_evicted:
                 stats.invalidations += 1
             stats.memo_entries_evicted += memo_evicted

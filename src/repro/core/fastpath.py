@@ -130,6 +130,21 @@ class FlatColumn:
         """Number of populated (visible) cells."""
         return sum(1 for slot in self.cells if slot >= 0)
 
+    def copy(self) -> "FlatColumn":
+        """A private duplicate — the copy-on-write unit of snapshot
+        publishing.  The arrays and the slot pool are fresh containers,
+        so mutating the copy never touches this column; the witness cons
+        cells and memoised results they hold are immutable values and
+        stay shared by reference."""
+        dup = FlatColumn.__new__(FlatColumn)
+        dup.mid = self.mid
+        dup.cells = array("q", self.cells)
+        dup.slots = list(self.slots)
+        dup.witnesses = list(self.witnesses)
+        dup.results = list(self.results)
+        dup._slot_ids = dict(self._slot_ids)
+        return dup
+
     def ensure_size(self, n_classes: int) -> None:
         """Extend the arrays for class ids appended since the build;
         new classes start invisible (``-1``) until a cone update or
@@ -169,6 +184,13 @@ class FlatColumn:
         once memoised; on the first query of a cell, materialise (and
         memoise) the result, sharing the witness cons chain with the
         kernel rows so the answer is value-identical to the row path's."""
+        if cid >= len(self.cells):
+            # A class id appended after this column's arrays were sized:
+            # a snapshot child shares unaffected columns with its parent
+            # without regrowing them, which is sound because the delta's
+            # member mask contains every member visible in a new class —
+            # an unaffected column therefore has no visible cell there.
+            return not_found_result(class_name, member)
         result = self.results[cid]
         if result is None:
             slot = self.cells[cid]
@@ -269,35 +291,61 @@ class FlatTable:
         member_ids,
         certificate: AmbiguityCertificate,
         entry_at: EntryAt,
-    ) -> None:
+        *,
+        copy_on_write: bool = False,
+    ) -> "FlatTable":
         """Bring the overlay current after the owner re-folded its cone.
 
         Merges the cone certificate into the persistent mask, then per
         affected member: demote (drop the flat column) if its bit is
-        now set; rewrite just the cone cells in place if it stayed red;
-        flatten from scratch if it is a brand-new column (first
-        declared by this delta — its whole footprint is in the cone, so
-        the cone certificate covers it entirely).  Untouched columns'
-        arrays are still grown for appended class ids, which start as
-        "not visible" — exactly what the fold would have said.
+        now set; rewrite just the cone cells if it stayed red; flatten
+        from scratch if it is a brand-new column (first declared by
+        this delta — its whole footprint is in the cone, so the cone
+        certificate covers it entirely).
+
+        In the default in-place mode, untouched columns' arrays are
+        still grown for appended class ids (which start "not visible" —
+        exactly what the fold would have said) and ``self`` is mutated
+        and returned.  With ``copy_on_write=True`` nothing reachable
+        from ``self`` is written: a new :class:`FlatTable` is returned
+        that shares unaffected :class:`FlatColumn` objects with this one
+        by reference and replaces affected columns with
+        :meth:`FlatColumn.copy` duplicates before rewriting them.
+        Shared columns are *not* regrown — :meth:`FlatColumn.result_at`
+        bounds-guards appended class ids instead, sound because the
+        delta's member mask contains every member visible in a new
+        class.  The returned table's counters continue this table's, so
+        demotions/promotions/cone-updates stay monotone along a
+        snapshot chain.
         """
-        self.ambiguous_columns |= certificate.ambiguous_columns
-        for column in self.columns.values():
-            column.ensure_size(ch.n_classes)
-        stats = self.stats
+        if copy_on_write:
+            target = FlatTable(self.ambiguous_columns)
+            target.columns = dict(self.columns)
+            target.stats = FastPathStats(**vars(self.stats))
+        else:
+            target = self
+            for column in self.columns.values():
+                column.ensure_size(ch.n_classes)
+        target.ambiguous_columns |= certificate.ambiguous_columns
+        stats = target.stats
         for mid in member_ids:
-            if (self.ambiguous_columns >> mid) & 1:
-                if self.columns.pop(mid, None) is not None:
+            if (target.ambiguous_columns >> mid) & 1:
+                if target.columns.pop(mid, None) is not None:
                     stats.demotions += 1
                 continue
-            column = self.columns.get(mid)
+            column = target.columns.get(mid)
             if column is None:
-                self.columns[mid] = flatten_column(ch, mid, entry_at)
+                target.columns[mid] = flatten_column(ch, mid, entry_at)
                 stats.promotions += 1
             else:
+                if copy_on_write:
+                    column = column.copy()
+                    target.columns[mid] = column
+                column.ensure_size(ch.n_classes)
                 for cid in cone_ids:
                     column.set_cell(cid, entry_at(cid, mid))
                 stats.cone_updates += 1
+        return target
 
 
 def build_flat_table(

@@ -105,6 +105,21 @@ class IncrementalLookupEngine:
     def cached_entries(self) -> int:
         return self._lazy.entries_computed()
 
+    def snapshot(self, *, mode: str = "batched", fastpath: bool = True):
+        """Publish the engine's current hierarchy as an immutable
+        :class:`~repro.core.snapshot.TableSnapshot`.
+
+        The incremental engine itself mutates in place (that is its
+        point — precise memo invalidation under growth); this is the
+        exit ramp into the serving tier: the returned snapshot is
+        generation-stamped, never changes, and keeps answering for this
+        generation no matter how the engine grows afterwards."""
+        from repro.core.snapshot import TableSnapshot
+
+        return TableSnapshot.build(
+            self._graph, mode=mode, fastpath=fastpath
+        )
+
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------

@@ -526,6 +526,7 @@ def cone_sweep(
     stats: Optional[LookupStats] = None,
     track_witnesses: bool = True,
     certificate: Optional[AmbiguityCertificate] = None,
+    copy_on_write: bool = False,
 ) -> ConeSweepStats:
     """Re-run the batched fold over *cone classes only*, for *affected
     members only*, seeding from the surviving rows of ``rows``.
@@ -542,6 +543,16 @@ def cone_sweep(
     verbatim as the dataflow boundary wherever a cone class derives
     from an out-of-cone base; only ``cone × affected-members`` entries
     are ever re-folded.
+
+    ``copy_on_write=True`` is the sweep's snapshot-publishing mode:
+    every cone row is replaced with a *fresh* dict (seeded from a
+    shallow copy of the old row) before anything is written into it,
+    so the row dicts of the list the caller copied ``rows`` from are
+    never mutated — concurrent readers holding the parent snapshot
+    keep seeing exactly the rows they captured.  Out-of-cone rows are
+    only ever read, so the parent and the child share them by
+    reference; the sweep writes nothing but cone rows in either mode,
+    which is what makes the copy-on-write set exactly the cone.
 
     Cone classes are visited in topological order by extracting the set
     cone bits and sorting them by precomputed topological position
@@ -583,7 +594,10 @@ def cone_sweep(
     for cid in cone_ids:
         cone_classes += 1
         row = rows[cid]
-        if row is None:
+        if copy_on_write:
+            row = dict(row) if row else {}
+            rows[cid] = row
+        elif row is None:
             row = rows[cid] = {}
         bases = base_pairs[cid]
         for base, _virtual in bases:

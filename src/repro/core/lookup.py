@@ -46,7 +46,6 @@ ambiguous; a built table answers each query in O(1).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.core.fastpath import FastPathStats, FlatTable, build_flat_table
@@ -64,6 +63,7 @@ from repro.core.kernel import (
     to_table_entry,
 )
 from repro.core.results import LookupResult, not_found_result
+from repro.core.snapshot import DeltaStats, TableSnapshot
 from repro.hierarchy.compiled import (
     HierarchyDelta,
     HierarchyLike,
@@ -81,6 +81,7 @@ __all__ = [
     "MemberLookupTable",
     "RedEntry",
     "TableEntry",
+    "TableSnapshot",
     "build_lookup_table",
     "lookup",
     "resolve_build_mode",
@@ -124,35 +125,6 @@ def resolve_build_mode(
     return "batched"
 
 
-@dataclass
-class DeltaStats:
-    """What delta maintenance did to a table — per application and
-    accumulated on :attr:`MemberLookupTable.delta_stats`.
-
-    ``entries_reused`` counts the table entries that survived the
-    application untouched (the out-of-cone / out-of-member-mask bulk of
-    the table); ``boundary_rows`` counts the out-of-cone direct bases
-    whose old rows seeded the cone re-sweep — together they make the
-    boundary-row-reuse invariant observable."""
-
-    deltas_applied: int = 0
-    full_rebuilds: int = 0
-    cone_classes: int = 0
-    affected_members: int = 0
-    entries_recomputed: int = 0
-    entries_reused: int = 0
-    boundary_rows: int = 0
-
-    def accumulate(self, other: "DeltaStats") -> None:
-        self.deltas_applied += other.deltas_applied
-        self.full_rebuilds += other.full_rebuilds
-        self.cone_classes += other.cone_classes
-        self.affected_members += other.affected_members
-        self.entries_recomputed += other.entries_recomputed
-        self.entries_reused += other.entries_reused
-        self.boundary_rows += other.boundary_rows
-
-
 class MemberLookupTable:
     """Eagerly tabulated member lookup over a class hierarchy graph.
 
@@ -180,6 +152,17 @@ class MemberLookupTable:
     rejected for ``"per-member"`` (that driver's fold does not
     certify).  Delta maintenance keeps the overlay current — see
     :meth:`apply_delta`.
+
+    Since the snapshot refactor this class is a *thin writer* over the
+    RCU tier of :mod:`repro.core.snapshot`: in the row-major modes it
+    owns the head of an immutable :class:`TableSnapshot` chain,
+    :meth:`apply_delta` publishes a child snapshot built in O(delta)
+    and swaps the head with a single reference assignment, and
+    :meth:`lookup` captures the head once per query — so readers in
+    other threads never need a lock and never observe a half-applied
+    delta.  ``unsafe_inplace=True`` opts back into the historical
+    mutate-in-place maintenance (single-threaded batch builds only);
+    the per-member driver is inherently in-place and implies it.
     """
 
     def __init__(
@@ -191,6 +174,7 @@ class MemberLookupTable:
         max_workers: Optional[int] = None,
         shards: Optional[int] = None,
         fastpath: Optional[bool] = None,
+        unsafe_inplace: Optional[bool] = None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._ch = compiled_of(hierarchy)
@@ -199,15 +183,24 @@ class MemberLookupTable:
         self._shards = shards
         if fastpath is None:
             fastpath = mode == "auto"
-        if fastpath and resolve_build_mode(
-            mode, self._ch, max_workers=max_workers
-        ) == "per-member":
+        resolved = resolve_build_mode(mode, self._ch, max_workers=max_workers)
+        if fastpath and resolved == "per-member":
             raise ValueError(
                 "fastpath=True requires a row-major build mode "
                 "('batched', 'sharded' or 'auto'); the per-member "
                 "driver's fold does not certify ambiguity"
             )
+        if unsafe_inplace is None:
+            unsafe_inplace = resolved == "per-member"
+        elif not unsafe_inplace and resolved == "per-member":
+            raise ValueError(
+                "the per-member driver maintains its column-major table "
+                "in place; snapshot publishing needs a row-major mode "
+                "('batched', 'sharded' or 'auto')"
+            )
+        self.unsafe_inplace = unsafe_inplace
         self.fastpath = fastpath
+        self._head: Optional[TableSnapshot] = None
         self._flat: Optional[FlatTable] = None
         # Per-member mode fills a column-major interned table
         # (member id -> {class id -> entry}); the batched/sharded modes
@@ -220,7 +213,7 @@ class MemberLookupTable:
         self._public: dict[tuple[int, int], TableEntry] = {}
         self.stats = LookupStats()
         self.delta_stats = DeltaStats()
-        self.mode = resolve_build_mode(mode, self._ch, max_workers=max_workers)
+        self.mode = resolved
         self._build_full()
 
     def _build_full(self) -> None:
@@ -229,7 +222,20 @@ class MemberLookupTable:
         self._rows = None
         self._public = {}
         self._flat = None
+        self._head = None
         self._entry_total = 0
+        if not self.unsafe_inplace:
+            self._head = TableSnapshot.build(
+                self._ch,
+                mode=self.mode,
+                track_witnesses=self._track_witnesses,
+                max_workers=self._max_workers,
+                shards=self._shards,
+                fastpath=self.fastpath,
+                stats=self.stats,
+            )
+            self._entry_total = self._head.entry_total
+            return
         certificate = AmbiguityCertificate() if self.fastpath else None
         if self.mode == "batched":
             self._rows = batched_sweep(
@@ -276,23 +282,50 @@ class MemberLookupTable:
         return self._ch
 
     @property
+    def snapshot(self) -> Optional[TableSnapshot]:
+        """The published chain head — capture it once to answer any
+        number of queries against one coherent generation from any
+        thread.  ``None`` for in-place tables (``unsafe_inplace=True``
+        and the per-member mode), which have no published state."""
+        return self._head
+
+    @property
     def flat_table(self) -> Optional[FlatTable]:
         """The flat serving overlay (``None`` when the fast path is
         off) — inspect it for certification and routing state."""
+        head = self._head
+        if head is not None:
+            return head.flat
         return self._flat
 
     @property
     def fastpath_stats(self) -> Optional[FastPathStats]:
         """Serving/maintenance counters of the fast path, or ``None``
         when it is off."""
-        return self._flat.stats if self._flat is not None else None
+        flat = self.flat_table
+        return flat.stats if flat is not None else None
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
         """``lookup(C, m)`` per Definition 9, answered from the table.
 
         With the fast path on, certified-unambiguous columns are served
         from their flat memoised results; only ambiguous columns fall
-        through to the full red/blue rows."""
+        through to the full red/blue rows.  Snapshot-backed tables
+        capture the chain head once, so the whole query runs against
+        one published generation even while a writer races ahead."""
+        head = self._head
+        if head is not None:
+            ch = head.ch
+            cid = ch.class_ids.get(class_name)
+            if cid is None:
+                # Unknown to the head snapshot: defer to the live graph
+                # so the error behaviour matches the mutable API.
+                self._graph.direct_bases(class_name)
+                return not_found_result(class_name, member)
+            mid = ch.member_ids.get(member)
+            if mid is None:
+                return not_found_result(class_name, member)
+            return head._result(cid, mid, class_name, member)
         ch = self._ch
         cid = ch.class_ids.get(class_name)
         if cid is None:
@@ -312,9 +345,24 @@ class MemberLookupTable:
             class_name, member, self._entry_at(cid, mid)
         )
 
+    def lookup_many(
+        self, queries
+    ) -> list[LookupResult]:
+        """Answer a batch of ``(class, member)`` queries coherently:
+        snapshot-backed tables resolve the whole batch against one
+        captured head, so a concurrent publish can never split the
+        batch across generations."""
+        head = self._head
+        if head is not None:
+            return head.lookup_many(queries)
+        return [self.lookup(c, m) for c, m in queries]
+
     def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
         """The raw Red/Blue table entry (``None`` if ``m`` is not a member
         of any subobject of ``C``) — matches the paper's Figures 6-7."""
+        head = self._head
+        if head is not None:
+            return head.entry(class_name, member)
         ch = self._ch
         cid = ch.class_ids.get(class_name)
         mid = ch.member_ids.get(member)
@@ -332,6 +380,9 @@ class MemberLookupTable:
 
     def all_entries(self) -> Mapping[tuple[str, str], TableEntry]:
         """Every table entry, keyed on ``(class, member)`` names."""
+        head = self._head
+        if head is not None:
+            return head.all_entries()
         ch = self._ch
         class_names = ch.class_names
         member_names = ch.member_names
@@ -344,6 +395,9 @@ class MemberLookupTable:
 
     def ambiguous_queries(self) -> tuple[tuple[str, str], ...]:
         """All ``(class, member)`` pairs whose lookup is ambiguous."""
+        head = self._head
+        if head is not None:
+            return head.ambiguous_queries()
         ch = self._ch
         class_names = ch.class_names
         member_names = ch.member_names
@@ -390,6 +444,15 @@ class MemberLookupTable:
         certificate proves nothing out-of-cone), one that keeps it red
         rewrites only the cone cells of the flat column, and flat
         columns outside the cone are untouched.
+
+        Snapshot-backed tables (the row-major default) run the same
+        cone machinery in copy-on-write mode through
+        :meth:`TableSnapshot.apply_delta`: the delta lands in a fresh
+        child snapshot sharing all out-of-cone state with the current
+        head, which is then published by one atomic reference swap —
+        concurrent readers never lock and never see a torn table.
+        In-place tables (``unsafe_inplace=True`` / per-member mode)
+        mutate their own rows exactly as before.
         """
         if self._graph is None:
             raise ValueError(
@@ -403,6 +466,20 @@ class MemberLookupTable:
             return result  # nothing happened since the last (re)build
         if delta is None:
             delta = describe_delta(old, new)
+        head = self._head
+        if head is not None:
+            # Snapshot mode: build the child off to the side (sharing
+            # everything out-of-cone with the parent), then publish it
+            # with a single reference swap — readers capturing the head
+            # see either the old generation or the new one, never a
+            # half-applied delta.
+            child = head.apply_delta(new, delta, stats=self.stats)
+            self._head = child
+            self._ch = new
+            self._entry_total = child.entry_total
+            result = child.delta_stats
+            self.delta_stats.accumulate(result)
+            return result
         if delta is None:
             self._ch = new
             self._build_full()
@@ -618,12 +695,16 @@ def build_lookup_table(
     max_workers: Optional[int] = None,
     shards: Optional[int] = None,
     fastpath: Optional[bool] = None,
+    unsafe_inplace: Optional[bool] = None,
 ) -> MemberLookupTable:
     """Run the paper's ``doLookup()`` and return the filled table.
 
     ``mode="auto"`` picks the serial batched sweep or the sharded
     parallel builder by the ``|M|·|E|`` work estimate; see the module
     docstring for the full mode list and the ``fastpath`` default.
+    Row-major tables maintain an immutable snapshot chain by default
+    (lock-free concurrent reads); ``unsafe_inplace=True`` restores the
+    historical mutate-in-place delta maintenance.
     """
     return MemberLookupTable(
         hierarchy,
@@ -632,6 +713,7 @@ def build_lookup_table(
         max_workers=max_workers,
         shards=shards,
         fastpath=fastpath,
+        unsafe_inplace=unsafe_inplace,
     )
 
 

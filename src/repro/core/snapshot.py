@@ -1,0 +1,522 @@
+"""Immutable published lookup tables — the RCU snapshot tier.
+
+The eager table (:mod:`repro.core.lookup`) made maintenance O(delta)
+and the flat overlay (:mod:`repro.core.fastpath`) made unambiguous
+serving O(1), but both mutate the live structures in place, so
+concurrent readers need a lock around every query.  This module
+inverts the mutation model: a :class:`TableSnapshot` is an
+*immutable*, generation-stamped view — the red/blue rows, the
+:class:`~repro.core.fastpath.FlatTable` overlay and the
+:class:`~repro.core.kernel.AmbiguityCertificate` of one compiled
+hierarchy generation — and a delta never rewrites it.  Instead
+:meth:`TableSnapshot.apply_delta` builds a **child** snapshot in
+O(delta) and the writer publishes it by swapping a single reference
+(atomic under the GIL), RCU style:
+
+* **publish** — the child shares every out-of-cone row dict and every
+  unaffected :class:`~repro.core.fastpath.FlatColumn` with its parent
+  by reference; only the invalidation cone is copied
+  (``cone_sweep(copy_on_write=True)`` emits fresh cone row dicts,
+  ``FlatTable.apply_delta(copy_on_write=True)`` emits fresh affected
+  columns).  Nothing reachable from the parent is ever written.
+* **retire** — dropping the last reference to an old snapshot is the
+  whole retirement protocol; readers that captured it keep a coherent
+  view of its generation for as long as they hold it.
+
+Readers therefore never lock: capture the chain head once, answer any
+number of queries against that one generation, and let the reference
+go.  A torn read is impossible by construction — there is no state a
+reader can observe half-written, because published state is never
+written again.
+
+The one deliberate reader-visible mutation is memoisation (flat
+columns memoise :class:`~repro.core.results.LookupResult` objects and
+the snapshot memoises public Red/Blue conversions).  Both are
+idempotent single-reference writes of value-identical objects, so
+racing readers can only ever install equal values — the answers are
+immutable even though the memo dictionaries are not.
+
+:class:`~repro.core.lookup.MemberLookupTable` is the thin writer over
+this tier: it owns the chain head, serializes ``apply_delta`` calls,
+and swaps the head atomically.  The multi-tenant service front in
+:mod:`repro.serve` hosts one chain per tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.core.fastpath import FlatTable, build_flat_table
+from repro.core.kernel import (
+    AmbiguityCertificate,
+    KernelBlue,
+    LookupStats,
+    TableEntry,
+    batched_sweep,
+    cone_sweep,
+    result_from_entry,
+    to_table_entry,
+)
+from repro.core.results import LookupResult, not_found_result
+from repro.errors import UnknownClassError
+from repro.hierarchy.compiled import (
+    HierarchyDelta,
+    HierarchyLike,
+    compiled_of,
+    describe_delta,
+)
+
+__all__ = [
+    "DeltaStats",
+    "SNAPSHOT_MODES",
+    "TableSnapshot",
+]
+
+#: The build modes a snapshot can be swept in.  The per-member driver
+#: stays in-place-only: its column-major layout has no row sharing to
+#: exploit, so it lives behind ``unsafe_inplace=True`` on the writer.
+SNAPSHOT_MODES = ("batched", "sharded")
+
+
+@dataclass
+class DeltaStats:
+    """What delta maintenance did to a table — per application and
+    accumulated on :attr:`MemberLookupTable.delta_stats`.
+
+    ``entries_reused`` counts the table entries that survived the
+    application untouched (the out-of-cone / out-of-member-mask bulk of
+    the table); ``boundary_rows`` counts the out-of-cone direct bases
+    whose old rows seeded the cone re-sweep — together they make the
+    boundary-row-reuse invariant observable."""
+
+    deltas_applied: int = 0
+    full_rebuilds: int = 0
+    cone_classes: int = 0
+    affected_members: int = 0
+    entries_recomputed: int = 0
+    entries_reused: int = 0
+    boundary_rows: int = 0
+
+    def accumulate(self, other: "DeltaStats") -> None:
+        self.deltas_applied += other.deltas_applied
+        self.full_rebuilds += other.full_rebuilds
+        self.cone_classes += other.cone_classes
+        self.affected_members += other.affected_members
+        self.entries_recomputed += other.entries_recomputed
+        self.entries_reused += other.entries_reused
+        self.boundary_rows += other.boundary_rows
+
+
+def _entry_reader(rows: list):
+    """The ``entry_at(cid, mid)`` shape over one snapshot's row list,
+    tolerant of unfilled rows."""
+
+    def entry_at(cid: int, mid: int):
+        row = rows[cid]
+        return row.get(mid) if row else None
+
+    return entry_at
+
+
+class TableSnapshot:
+    """One immutable, generation-stamped published lookup table.
+
+    Holds the complete serving state of one compiled hierarchy
+    generation: the row-major red/blue kernel rows, the optional flat
+    overlay with its persistent ambiguity certificate, and the entry
+    count.  Construct one with :meth:`build`; derive the next
+    generation with :meth:`apply_delta` — ``self`` is never modified,
+    sharing everything outside the invalidation cone with the child.
+
+    Published snapshots are safe to read from any number of threads
+    without locking (see the module docstring for why the memo writes
+    do not break that).
+    """
+
+    __slots__ = (
+        "ch",
+        "rows",
+        "flat",
+        "certificate",
+        "entry_total",
+        "track_witnesses",
+        "mode",
+        "max_workers",
+        "shards",
+        "delta_stats",
+        "parent_generation",
+        "_public",
+    )
+
+    def __init__(
+        self,
+        *,
+        ch,
+        rows: list,
+        flat: Optional[FlatTable],
+        certificate: Optional[AmbiguityCertificate],
+        entry_total: int,
+        track_witnesses: bool,
+        mode: str,
+        max_workers: Optional[int],
+        shards: Optional[int],
+        public: Optional[dict] = None,
+        delta_stats: Optional[DeltaStats] = None,
+        parent_generation: Optional[int] = None,
+    ) -> None:
+        self.ch = ch
+        self.rows = rows
+        self.flat = flat
+        self.certificate = certificate
+        self.entry_total = entry_total
+        self.track_witnesses = track_witnesses
+        self.mode = mode
+        self.max_workers = max_workers
+        self.shards = shards
+        self._public = {} if public is None else public
+        #: The :class:`DeltaStats` of the publish that created this
+        #: snapshot (all zeroes for a fresh :meth:`build`); the writer
+        #: accumulates these along the chain.
+        self.delta_stats = DeltaStats() if delta_stats is None else delta_stats
+        #: Generation of the parent snapshot, or ``None`` for a root.
+        self.parent_generation = parent_generation
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        hierarchy: HierarchyLike,
+        *,
+        mode: str = "batched",
+        track_witnesses: bool = True,
+        max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        fastpath: bool = True,
+        stats: Optional[LookupStats] = None,
+    ) -> "TableSnapshot":
+        """Sweep a hierarchy from scratch into a root snapshot.
+
+        ``mode`` is ``"batched"`` (serial row-major sweep) or
+        ``"sharded"`` (member-sharded process pool); both certify
+        ambiguity per column, so ``fastpath=True`` (the default) also
+        builds the flat overlay.  ``stats`` receives the sweep's
+        :class:`~repro.core.kernel.LookupStats` counters.
+        """
+        if mode not in SNAPSHOT_MODES:
+            raise ValueError(
+                f"unknown snapshot mode {mode!r}; "
+                f"expected one of {SNAPSHOT_MODES}"
+            )
+        ch = compiled_of(hierarchy)
+        certificate = AmbiguityCertificate() if fastpath else None
+        if mode == "sharded":
+            from repro.core.parallel import build_sharded_rows
+
+            rows = build_sharded_rows(
+                ch,
+                stats=stats,
+                track_witnesses=track_witnesses,
+                max_workers=max_workers,
+                shards=shards,
+                certificate=certificate,
+            )
+        else:
+            rows = batched_sweep(
+                ch,
+                stats=stats,
+                track_witnesses=track_witnesses,
+                certificate=certificate,
+            )
+        flat = (
+            build_flat_table(ch, certificate, _entry_reader(rows))
+            if certificate is not None
+            else None
+        )
+        return cls(
+            ch=ch,
+            rows=rows,
+            flat=flat,
+            certificate=certificate,
+            entry_total=sum(len(row) for row in rows if row),
+            track_witnesses=track_witnesses,
+            mode=mode,
+            max_workers=max_workers,
+            shards=shards,
+        )
+
+    def apply_delta(
+        self,
+        hierarchy: HierarchyLike,
+        delta: Optional[HierarchyDelta] = None,
+        *,
+        stats: Optional[LookupStats] = None,
+    ) -> "TableSnapshot":
+        """Publish the child snapshot for the hierarchy's current
+        generation, in O(delta), without touching ``self``.
+
+        The delta machinery is the eager table's: describe what changed
+        (or accept a precomputed :class:`~repro.hierarchy.compiled
+        .HierarchyDelta`), copy the row *list* (O(|N|) references),
+        re-fold the invalidation cone with
+        ``cone_sweep(copy_on_write=True)`` so the cone rows land in
+        fresh dicts, and derive the flat overlay with
+        ``FlatTable.apply_delta(copy_on_write=True)``.  Everything
+        outside ``cone × affected-members`` — row dicts, flat columns,
+        memoised results, memoised public conversions — is shared with
+        this snapshot by reference.
+
+        Same generation returns ``self``; incomparable snapshots (never
+        the case under the append-only graph API) fall back to a full
+        :meth:`build` of the child.  The child's
+        :attr:`delta_stats` records what this one publish did.
+        """
+        new = compiled_of(hierarchy)
+        old = self.ch
+        if new.generation == old.generation:
+            return self
+        if delta is None:
+            delta = describe_delta(old, new)
+        if delta is None:
+            child = TableSnapshot.build(
+                new,
+                mode=self.mode,
+                track_witnesses=self.track_witnesses,
+                max_workers=self.max_workers,
+                shards=self.shards,
+                fastpath=self.flat is not None,
+                stats=stats,
+            )
+            child.delta_stats.deltas_applied = 1
+            child.delta_stats.full_rebuilds = 1
+            child.parent_generation = old.generation
+            return child
+
+        result = DeltaStats()
+        result.deltas_applied = 1
+        result.cone_classes = delta.cone_size
+        result.affected_members = delta.member_count
+        cone = delta.cone_mask
+        mmask = delta.member_mask
+
+        rows = list(self.rows)
+        first_new = len(rows)
+        if first_new < new.n_classes:
+            rows.extend([None] * (new.n_classes - first_new))
+        cone_ids = list(delta.cone_ids())
+        before = sum(
+            len(rows[cid]) for cid in cone_ids if rows[cid] is not None
+        )
+        certificate = (
+            AmbiguityCertificate() if self.flat is not None else None
+        )
+        if not delta.is_empty:
+            if self.mode == "sharded":
+                from repro.core.parallel import apply_sharded_delta
+
+                sweep = apply_sharded_delta(
+                    new,
+                    rows,
+                    cone_mask=cone,
+                    member_mask=mmask,
+                    stats=stats,
+                    track_witnesses=self.track_witnesses,
+                    max_workers=self.max_workers,
+                    shards=self.shards,
+                    certificate=certificate,
+                    copy_on_write=True,
+                )
+            else:
+                sweep = cone_sweep(
+                    new,
+                    rows,
+                    cone_mask=cone,
+                    member_mask=mmask,
+                    stats=stats,
+                    track_witnesses=self.track_witnesses,
+                    certificate=certificate,
+                    copy_on_write=True,
+                )
+            result.entries_recomputed = sweep.entries_recomputed
+            result.boundary_rows = sweep.boundary_rows
+        for cid in range(first_new, new.n_classes):
+            if rows[cid] is None:
+                rows[cid] = {}
+
+        flat = None
+        cert = None
+        if self.flat is not None:
+            flat = self.flat.apply_delta(
+                new,
+                cone_ids,
+                list(delta.member_ids()),
+                certificate,
+                _entry_reader(rows),
+                copy_on_write=True,
+            )
+            cert = AmbiguityCertificate(
+                ambiguous_columns=(
+                    self.certificate.ambiguous_columns
+                    | certificate.ambiguous_columns
+                ),
+                blue_cells=(
+                    self.certificate.blue_cells + certificate.blue_cells
+                ),
+            )
+
+        after = sum(len(rows[cid]) for cid in cone_ids)
+        entry_total = self.entry_total + (after - before)
+        result.entries_reused = max(
+            0, entry_total - result.entries_recomputed
+        )
+
+        # Carry the warm public conversions across the publish, minus
+        # the cone × affected rectangle.  Iterate whichever side is
+        # smaller, exactly like the in-place writer's surgical drop.
+        public = dict(self._public)
+        if public:
+            if delta.cone_size * delta.member_count < len(public):
+                for cid in delta.cone_ids():
+                    for mid in delta.member_ids():
+                        public.pop((cid, mid), None)
+            else:
+                stale = [
+                    key
+                    for key in public
+                    if (cone >> key[0]) & 1 and (mmask >> key[1]) & 1
+                ]
+                for key in stale:
+                    del public[key]
+
+        return TableSnapshot(
+            ch=new,
+            rows=rows,
+            flat=flat,
+            certificate=cert,
+            entry_total=entry_total,
+            track_witnesses=self.track_witnesses,
+            mode=self.mode,
+            max_workers=self.max_workers,
+            shards=self.shards,
+            public=public,
+            delta_stats=result,
+            parent_generation=old.generation,
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The compiled-hierarchy generation this snapshot serves."""
+        return self.ch.generation
+
+    def lookup(self, class_name: str, member: str) -> LookupResult:
+        """``lookup(C, m)`` per Definition 9, answered from this one
+        generation — lock-free, never influenced by later publishes.
+        Raises :class:`~repro.errors.UnknownClassError` for a class
+        this generation has never heard of."""
+        ch = self.ch
+        cid = ch.class_ids.get(class_name)
+        if cid is None:
+            raise UnknownClassError(class_name)
+        mid = ch.member_ids.get(member)
+        if mid is None:
+            return not_found_result(class_name, member)
+        return self._result(cid, mid, class_name, member)
+
+    def lookup_many(
+        self, queries: Iterable[tuple[str, str]]
+    ) -> list[LookupResult]:
+        """Answer a batch of ``(class, member)`` queries against this
+        one generation — the coherent multi-query read the service
+        tier's ``lookup_many`` op is built on."""
+        out: list[LookupResult] = []
+        ch = self.ch
+        class_ids = ch.class_ids
+        member_ids = ch.member_ids
+        for class_name, member in queries:
+            cid = class_ids.get(class_name)
+            if cid is None:
+                raise UnknownClassError(class_name)
+            mid = member_ids.get(member)
+            if mid is None:
+                out.append(not_found_result(class_name, member))
+            else:
+                out.append(self._result(cid, mid, class_name, member))
+        return out
+
+    def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
+        """The raw Red/Blue table entry (``None`` if ``m`` is not a
+        member of any subobject of ``C``)."""
+        ch = self.ch
+        cid = ch.class_ids.get(class_name)
+        mid = ch.member_ids.get(member)
+        if cid is None or mid is None:
+            return None
+        return self._entry_at(cid, mid)
+
+    def visible_members(self, class_name: str) -> tuple[str, ...]:
+        """``Members[C]`` at this generation, in deterministic order."""
+        ch = self.ch
+        cid = ch.class_ids[class_name]
+        names = ch.member_names
+        return tuple(names[mid] for mid in ch.ordered_visible(cid))
+
+    def all_entries(self) -> Mapping[tuple[str, str], TableEntry]:
+        """Every table entry, keyed on ``(class, member)`` names."""
+        ch = self.ch
+        class_names = ch.class_names
+        member_names = ch.member_names
+        out: dict[tuple[str, str], TableEntry] = {}
+        for cid in ch.topo_order:
+            cname = class_names[cid]
+            for mid in ch.ordered_visible(cid):
+                out[(cname, member_names[mid])] = self._entry_at(cid, mid)
+        return out
+
+    def ambiguous_queries(self) -> tuple[tuple[str, str], ...]:
+        """All ``(class, member)`` pairs whose lookup is ambiguous."""
+        ch = self.ch
+        class_names = ch.class_names
+        member_names = ch.member_names
+        return tuple(
+            (class_names[cid], member_names[mid])
+            for cid in ch.topo_order
+            for mid in ch.ordered_visible(cid)
+            if type(self._kentry(cid, mid)) is KernelBlue
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _result(
+        self, cid: int, mid: int, class_name: str, member: str
+    ) -> LookupResult:
+        flat = self.flat
+        if flat is not None:
+            result = flat.serve(self.ch, cid, mid, class_name, member)
+            if result is not None:
+                return result
+        return result_from_entry(
+            class_name, member, self._entry_at(cid, mid)
+        )
+
+    def _kentry(self, cid: int, mid: int):
+        row = self.rows[cid]
+        return row.get(mid) if row else None
+
+    def _entry_at(self, cid: int, mid: int) -> Optional[TableEntry]:
+        kentry = self._kentry(cid, mid)
+        if kentry is None:
+            return None
+        key = (cid, mid)
+        public = self._public.get(key)
+        if public is None:
+            public = self._public[key] = to_table_entry(self.ch, kentry)
+        return public

@@ -6,14 +6,27 @@ module dumps a :class:`~repro.core.lookup.MemberLookupTable` to a
 versioned JSON document and reloads it as a read-only
 :class:`FrozenLookupTable` that answers queries without re-running the
 algorithm — including the witness paths.
+
+Format version 2 additionally persists the interned name tables, the
+:class:`~repro.core.kernel.AmbiguityCertificate` (the persistent
+demote-only mask of the serving overlay, not merely "which entries are
+blue right now"), and enough to rebuild the flat overlay: on load,
+certified-unambiguous columns are re-flattened into
+:class:`~repro.core.fastpath.FlatColumn` arrays — including the witness
+cons chains — so a deserialized table serves hot queries through
+:class:`~repro.core.fastpath.FlatTable` exactly like the live table it
+was dumped from.  Version-1 documents still load (entries only, no
+flat overlay).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
+from repro.core.fastpath import FlatColumn, FlatTable
+from repro.core.kernel import OMEGA_ID, AmbiguityCertificate
 from repro.core.lookup import BlueEntry, MemberLookupTable, RedEntry, TableEntry
 from repro.core.paths import OMEGA, Abstraction, Path
 from repro.core.results import (
@@ -24,7 +37,7 @@ from repro.core.results import (
 )
 from repro.errors import ReproError
 
-TABLE_FORMAT_VERSION = 1
+TABLE_FORMAT_VERSION = 2
 
 _OMEGA_TAG = "Ω!"  # distinct from any plausible class name
 
@@ -63,11 +76,97 @@ def table_to_dict(table: MemberLookupTable) -> dict[str, Any]:
                 "candidates": sorted(entry.candidate_ldcs),
             }
         entries.append(record)
+    ch = table.compiled
+    certificate = _table_certificate(table, ch)
     return {
         "format": "repro-lookup-table",
         "version": TABLE_FORMAT_VERSION,
+        "classes": list(ch.class_names),
+        "members": list(ch.member_names),
+        "ambiguous_members": sorted(
+            ch.member_names[mid]
+            for mid in range(ch.n_members)
+            if (certificate.ambiguous_columns >> mid) & 1
+        ),
+        "blue_cells": certificate.blue_cells,
         "entries": entries,
     }
+
+
+def _table_certificate(
+    table: MemberLookupTable, ch
+) -> AmbiguityCertificate:
+    """The table's serving certificate: the persistent demote-only mask
+    when a flat overlay exists (a demoted column stays demoted even if
+    no blue entry survives today), else derived from the entries."""
+    flat = table.flat_table
+    blue_cells = sum(
+        1
+        for entry in table.all_entries().values()
+        if not isinstance(entry, RedEntry)
+    )
+    if flat is not None:
+        return AmbiguityCertificate(
+            ambiguous_columns=flat.ambiguous_columns, blue_cells=blue_cells
+        )
+    member_ids = {name: mid for mid, name in enumerate(ch.member_names)}
+    mask = 0
+    for (class_name, member), entry in table.all_entries().items():
+        if not isinstance(entry, RedEntry):
+            mask |= 1 << member_ids[member]
+    return AmbiguityCertificate(ambiguous_columns=mask, blue_cells=blue_cells)
+
+
+@dataclass(frozen=True)
+class _FrozenInterner:
+    """The duck-typed sliver of :class:`~repro.hierarchy.compiled
+    .CompiledHierarchy` that flat serving actually reads: the dense
+    class-name table (for declaring-class / leastVirtual / witness
+    materialisation)."""
+
+    class_names: tuple[str, ...]
+
+
+def _rebuild_flat(
+    class_names: list,
+    member_names: list,
+    ambiguous_members: list,
+    entries: Mapping[tuple[str, str], TableEntry],
+) -> tuple[FlatTable, _FrozenInterner, dict, dict]:
+    """Re-flatten every certified-unambiguous column from the persisted
+    entries, re-interning names to dense ids and witness paths back to
+    cons chains, so the frozen table serves through the same
+    :class:`~repro.core.fastpath.FlatColumn` arrays as the live one."""
+    class_ids = {name: cid for cid, name in enumerate(class_names)}
+    member_ids = {name: mid for mid, name in enumerate(member_names)}
+    mask = 0
+    for name in ambiguous_members:
+        mask |= 1 << member_ids[name]
+    flat = FlatTable(ambiguous_columns=mask)
+    columns: dict[int, FlatColumn] = {}
+    n_classes = len(class_names)
+    for (class_name, member), entry in entries.items():
+        if not isinstance(entry, RedEntry):
+            continue
+        mid = member_ids[member]
+        if (mask >> mid) & 1:
+            continue
+        column = columns.get(mid)
+        if column is None:
+            column = columns[mid] = FlatColumn(mid, n_classes)
+        cell = None
+        if entry.witness is not None:
+            nodes, virtuals = entry.witness.nodes, entry.witness.virtuals
+            cell = (class_ids[nodes[0]], False, None)
+            for node, virtual in zip(nodes[1:], virtuals):
+                cell = (class_ids[node], virtual, cell)
+        lv = entry.least_virtual
+        lv_id = OMEGA_ID if lv is OMEGA else class_ids[lv]
+        column.set_cell(
+            class_ids[class_name], (class_ids[entry.ldc], lv_id, cell)
+        )
+    flat.columns = columns
+    return flat, _FrozenInterner(tuple(class_names)), class_ids, member_ids
 
 
 def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
@@ -76,10 +175,9 @@ def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
         or data.get("format") != "repro-lookup-table"
     ):
         raise TableSerializationError("not a repro-lookup-table document")
-    if data.get("version") != TABLE_FORMAT_VERSION:
-        raise TableSerializationError(
-            f"unsupported version {data.get('version')!r}"
-        )
+    version = data.get("version")
+    if version not in (1, TABLE_FORMAT_VERSION):
+        raise TableSerializationError(f"unsupported version {version!r}")
     entries: dict[tuple[str, str], TableEntry] = {}
     try:
         for record in data["entries"]:
@@ -107,9 +205,28 @@ def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
                     ),
                     candidate_ldcs=frozenset(blue["candidates"]),
                 )
-    except (KeyError, TypeError) as exc:
+        if version == 1:
+            return FrozenLookupTable(entries)
+        flat, interner, class_ids, member_ids = _rebuild_flat(
+            data["classes"],
+            data["members"],
+            data["ambiguous_members"],
+            entries,
+        )
+        certificate = AmbiguityCertificate(
+            ambiguous_columns=flat.ambiguous_columns,
+            blue_cells=int(data.get("blue_cells", 0)),
+        )
+    except (KeyError, TypeError, IndexError) as exc:
         raise TableSerializationError(f"malformed table document: {exc}") from exc
-    return FrozenLookupTable(entries)
+    return FrozenLookupTable(
+        entries,
+        flat=flat,
+        certificate=certificate,
+        interner=interner,
+        class_ids=class_ids,
+        member_ids=member_ids,
+    )
 
 
 def dumps(table: MemberLookupTable, *, indent: Optional[int] = None) -> str:
@@ -123,13 +240,34 @@ def loads(text: str) -> "FrozenLookupTable":
         raise TableSerializationError(f"invalid JSON: {exc}") from exc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FrozenLookupTable:
-    """A reloaded table: answers queries from stored entries only."""
+    """A reloaded table: answers queries from the stored entries.
+
+    Version-2 documents additionally carry the rebuilt flat overlay
+    (``flat``) and its :class:`~repro.core.kernel.AmbiguityCertificate`:
+    queries on certified-unambiguous columns are served through
+    :meth:`FlatTable.serve` (array probe + memoised result), exactly
+    like the live table the dump came from, and fall back to the entry
+    mapping for ambiguous columns and unknown names."""
 
     entries: Mapping[tuple[str, str], TableEntry]
+    flat: Optional[FlatTable] = None
+    certificate: Optional[AmbiguityCertificate] = None
+    interner: Optional[_FrozenInterner] = None
+    class_ids: Optional[Mapping[str, int]] = field(default=None, repr=False)
+    member_ids: Optional[Mapping[str, int]] = field(default=None, repr=False)
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
+        if self.flat is not None:
+            cid = self.class_ids.get(class_name)
+            mid = self.member_ids.get(member)
+            if cid is not None and mid is not None:
+                result = self.flat.serve(
+                    self.interner, cid, mid, class_name, member
+                )
+                if result is not None:
+                    return result
         entry = self.entries.get((class_name, member))
         if entry is None:
             return not_found_result(class_name, member)

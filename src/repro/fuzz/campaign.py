@@ -28,7 +28,13 @@ On top of the oracle comparison each iteration:
   through :meth:`~repro.core.lookup.MemberLookupTable.apply_delta`,
   then its whole surface is differenced against a from-scratch rebuild
   *and* the subobject-poset oracle: cone-restricted maintenance must be
-  indistinguishable from rebuilding.
+  indistinguishable from rebuilding;
+* **snapshot chains** — periodically, a snapshot chain absorbs a storm
+  of publishes with random retirements interleaved, and every retained
+  :class:`~repro.core.snapshot.TableSnapshot` is cross-checked against
+  the oracle of the hierarchy *at its own generation*: published
+  snapshots must stay immutable (and keep their generation stamp) no
+  matter what the writer published or retired after them.
 
 Every divergence becomes a :class:`~repro.fuzz.report.Finding`; mismatch
 and certificate findings are delta-debugged to a minimal counterexample
@@ -51,6 +57,7 @@ from repro.core.certify import certify
 from repro.core.lazy import LazyMemberLookup
 from repro.core.incremental import IncrementalLookupEngine
 from repro.core.lookup import build_lookup_table
+from repro.core.snapshot import TableSnapshot
 from repro.core.results import describe_disagreement
 from repro.fuzz.corpus import CorpusEntry, replay_corpus, save_entry
 from repro.fuzz.mutators import AppliedMutation, copy_hierarchy, mutate
@@ -82,8 +89,9 @@ __all__ = [
 
 #: The full engine matrix a campaign compares by default: the eager
 #: table in its three explicit build modes, the batched table with the
-#: certified-unambiguous flat serving overlay (``fastpath``), plus the
-#: lazy, cached and incremental engines.
+#: certified-unambiguous flat serving overlay (``fastpath``), the lazy,
+#: cached and incremental engines, plus a bare published
+#: :class:`~repro.core.snapshot.TableSnapshot` (``snapshot``).
 ENGINES: tuple[str, ...] = (
     "per-member",
     "batched",
@@ -92,6 +100,7 @@ ENGINES: tuple[str, ...] = (
     "cached",
     "lazy",
     "incremental",
+    "snapshot",
 )
 
 #: A member name no generator family ever declares — every iteration
@@ -124,6 +133,10 @@ def build_engine(name: str, graph: ClassHierarchyGraph):
         # demote-on-mutation path) is exercised by every campaign, not
         # just the dedicated unit tests.
         return CachedMemberLookup(graph, maxsize=64, fastpath_threshold=4)
+    if name == "snapshot":
+        # The serving tier's unit: an immutable generation-stamped
+        # published table, queried directly (no writer façade).
+        return TableSnapshot.build(graph, mode="batched", fastpath=True)
     if name == "incremental":
         engine = IncrementalLookupEngine()
         members = graph.member_names()
@@ -421,6 +434,83 @@ def _delta_storm_check(
     return applied_names, divergences, checked
 
 
+def _snapshot_chain_check(
+    graph: ClassHierarchyGraph, rng: random.Random
+) -> tuple[int, list[Divergence], int]:
+    """Storm a snapshot chain with interleaved publish/retire and
+    cross-check every *retained* snapshot against the subobject-poset
+    oracle of the hierarchy **at its own generation**.
+
+    A copy of ``graph`` grows through random in-place mutations; each
+    publish captures the new chain head alongside a frozen copy of the
+    source hierarchy, and random retained snapshots are retired
+    (dropped) along the way.  At the end, each survivor must (a) still
+    carry the generation it was published at, and (b) answer its whole
+    query surface exactly like a fresh oracle over its frozen
+    hierarchy — immutability under everything the writer did since.
+    Returns ``(publishes, divergences, queries)``.
+    """
+    chain = copy_hierarchy(graph)
+    table = build_lookup_table(chain, mode="batched", fastpath=True)
+    retained = [
+        (table.snapshot, copy_hierarchy(chain), chain.compile().generation)
+    ]
+    publishes = 0
+    for _ in range(rng.randint(2, 4)):
+        applied = mutate(chain, rng, in_place_only=True)
+        if applied is None:
+            break
+        table.apply_delta()
+        publishes += 1
+        retained.append(
+            (table.snapshot, copy_hierarchy(chain), chain.compile().generation)
+        )
+        if len(retained) > 2 and rng.random() < 0.5:
+            # Retire one older snapshot; the head always survives.
+            retained.pop(rng.randrange(len(retained) - 1))
+    if publishes == 0:
+        return 0, [], 0
+    divergences: list[Divergence] = []
+    checked = 0
+    for snapshot, frozen, generation in retained:
+        if snapshot.generation != generation:
+            divergences.append(
+                Divergence(
+                    engine="snapshot",
+                    kind="snapshot-chain",
+                    detail=(
+                        f"snapshot published at generation {generation} "
+                        f"now reports {snapshot.generation}"
+                    ),
+                )
+            )
+            break
+        oracle = ReferenceLookup(frozen)
+        for class_name, member in _query_surface(frozen):
+            checked += 1
+            diff = describe_disagreement(
+                snapshot.lookup(class_name, member),
+                oracle.lookup(class_name, member),
+            )
+            if diff is not None:
+                divergences.append(
+                    Divergence(
+                        engine="snapshot",
+                        kind="snapshot-chain",
+                        detail=(
+                            f"retained generation {generation} drifted "
+                            f"after {publishes} publishes: {diff}"
+                        ),
+                        class_name=class_name,
+                        member=member,
+                    )
+                )
+                break
+        if divergences:
+            break
+    return publishes, divergences, checked
+
+
 def run_campaign(
     *,
     seed: int = 0,
@@ -524,6 +614,27 @@ def run_campaign(
                         class_name=divergence.class_name,
                         member=divergence.member,
                         mutations=tuple(storm_mutations),
+                    )
+                )
+
+        if iteration % 5 == 2:
+            publishes, chain_divergences, checked = _snapshot_chain_check(
+                graph, rng
+            )
+            report.queries_checked += checked
+            if publishes:
+                report.snapshot_chains += 1
+            for divergence in chain_divergences:
+                report.findings.append(
+                    Finding(
+                        iteration=iteration,
+                        engine=divergence.engine,
+                        kind=divergence.kind,
+                        family=family,
+                        detail=divergence.detail,
+                        class_name=divergence.class_name,
+                        member=divergence.member,
+                        mutations=tuple(mutation_names),
                     )
                 )
 

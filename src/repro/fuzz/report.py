@@ -92,6 +92,7 @@ class CampaignReport:
     certificates_checked: int = 0
     invariant_checks: int = 0
     delta_storms: int = 0
+    snapshot_chains: int = 0
     corpus_replayed: int = 0
     families: dict[str, int] = field(default_factory=dict)
     mutations: dict[str, int] = field(default_factory=dict)
@@ -121,6 +122,7 @@ class CampaignReport:
             "certificates_checked": self.certificates_checked,
             "invariant_checks": self.invariant_checks,
             "delta_storms": self.delta_storms,
+            "snapshot_chains": self.snapshot_chains,
             "corpus_replayed": self.corpus_replayed,
             "families": dict(sorted(self.families.items())),
             "mutations": dict(sorted(self.mutations.items())),
@@ -148,6 +150,11 @@ class CampaignReport:
             lines.append(
                 f"  delta storms absorbed via apply_delta: "
                 f"{self.delta_storms}"
+            )
+        if self.snapshot_chains:
+            lines.append(
+                f"  snapshot chains stormed (publish/retire): "
+                f"{self.snapshot_chains}"
             )
         if self.corpus_replayed:
             lines.append(f"  corpus entries replayed: {self.corpus_replayed}")

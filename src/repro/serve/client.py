@@ -1,0 +1,113 @@
+"""A small synchronous client for the newline-JSON serving front.
+
+Used by the CI smoke script and handy for interactive poking; it speaks
+exactly the protocol of :mod:`repro.serve.protocol` over a blocking
+socket, one request/response pair at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(ReproError):
+    """The server answered ``ok: false``; carries its error envelope."""
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(
+            f"{error.get('type', 'Error')}: {error.get('message', '')}"
+        )
+        self.error = error
+
+
+class ServeClient:
+    """Blocking newline-JSON client (context manager).
+
+    ``with ServeClient(host, port) as client: client.lookup(...)``.
+    Each call sends one request line and blocks for the matching
+    response; server-side failures raise :class:`ServeClientError`."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, op: str, **fields) -> object:
+        """Send one op and return the server's ``result`` payload."""
+        request_id = next(self._ids)
+        payload = {"id": request_id, "op": op, **fields}
+        self._file.write(
+            json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServeClientError(response.get("error", {}))
+        return response.get("result")
+
+    # Convenience wrappers mirroring the server ops -------------------
+
+    def ping(self):
+        """Liveness check; returns ``"pong"``."""
+        return self.request("ping")
+
+    def add_tenant(self, tenant: str, hierarchy: Optional[dict] = None):
+        """Host a tenant, optionally from a ``repro-chg`` dict."""
+        return self.request("add_tenant", tenant=tenant, hierarchy=hierarchy)
+
+    def remove_tenant(self, tenant: str):
+        """Drop a tenant (retires its snapshot chain)."""
+        return self.request("remove_tenant", tenant=tenant)
+
+    def lookup(self, tenant: str, class_name: str, member: str):
+        """One ``lookup(C, m)`` against the tenant's current head."""
+        return self.request(
+            "lookup", tenant=tenant, **{"class": class_name, "member": member}
+        )
+
+    def lookup_many(self, tenant: str, queries: Sequence[Sequence[str]]):
+        """A batch of queries answered against one snapshot."""
+        return self.request(
+            "lookup_many",
+            tenant=tenant,
+            queries=[{"class": c, "member": m} for c, m in queries],
+        )
+
+    def apply_delta(self, tenant: str, mutations: Sequence[dict]):
+        """Queue one delta batch; blocks until its publish lands."""
+        return self.request(
+            "apply_delta", tenant=tenant, mutations=list(mutations)
+        )
+
+    def stats(self, tenant: Optional[str] = None):
+        """Service (or one tenant's) counters."""
+        return self.request("stats", tenant=tenant)
+
+    def shutdown(self):
+        """Ask the server to shut down cleanly."""
+        return self.request("shutdown")

@@ -1,0 +1,295 @@
+"""The multi-tenant lookup service core (synchronous, transport-free).
+
+A :class:`LookupService` hosts many named hierarchies (*tenants*), each
+with its own snapshot chain: the tenant's
+:class:`~repro.core.lookup.MemberLookupTable` is the thin writer of
+:mod:`repro.core.snapshot`, so every published generation is immutable
+and reads are lock-free — a query captures the tenant's chain head once
+and answers against that one generation no matter what the writer does
+concurrently.
+
+The service adds the shared serving LRU on top, keyed by **snapshot
+identity** ``(tenant, generation, class, member)``: a publish never
+needs to hunt down stale entries, because entries of the retired
+generation simply stop being probed and age out of the LRU — the
+"invalidation is retiring the old snapshot" policy of the cache tier,
+taken to its logical end.
+
+This module is transport-free on purpose: the asyncio newline-JSON
+front lives in :mod:`repro.serve.server` (one writer task per tenant
+serializes its deltas), and benchmarks/tests drive the service core
+directly without sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.cache import DEFAULT_CACHE_SIZE, LookupCache
+from repro.core.lookup import MemberLookupTable
+from repro.core.results import LookupResult
+from repro.core.snapshot import TableSnapshot
+from repro.errors import ReproError
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.hierarchy.serialize import hierarchy_from_dict
+
+__all__ = [
+    "DuplicateTenantError",
+    "LookupService",
+    "Tenant",
+    "TenantStats",
+    "UnknownTenantError",
+]
+
+
+class UnknownTenantError(ReproError):
+    """A tenant name was referenced but never added (or was removed)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown tenant: {name!r}")
+        self.name = name
+
+
+class DuplicateTenantError(ReproError):
+    """The same tenant name was added twice."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"tenant {name!r} already exists")
+        self.name = name
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving counters, reported by the ``stats`` op."""
+
+    lookups: int = 0
+    deltas_applied: int = 0
+
+
+@dataclass
+class Tenant:
+    """One hosted hierarchy: the mutable source graph plus the writer
+    that owns its snapshot chain.
+
+    ``table`` is the snapshot-backed
+    :class:`~repro.core.lookup.MemberLookupTable`; readers go through
+    :attr:`snapshot` (the published chain head), the writer through
+    ``table.apply_delta`` — one writer per tenant, serialized by the
+    service front."""
+
+    name: str
+    graph: ClassHierarchyGraph
+    table: MemberLookupTable
+    stats: TenantStats = field(default_factory=TenantStats)
+
+    @property
+    def snapshot(self) -> TableSnapshot:
+        """The tenant's published chain head."""
+        return self.table.snapshot
+
+
+class LookupService:
+    """Many tenants, one shared snapshot-identity-keyed serving LRU.
+
+    ``add_tenant`` accepts a ready
+    :class:`~repro.hierarchy.graph.ClassHierarchyGraph`, a ``repro-chg``
+    dict (the :mod:`repro.hierarchy.serialize` wire format), or
+    ``None`` for an empty hierarchy to grow through ``apply_delta``.
+    Reads (:meth:`lookup` / :meth:`lookup_many`) capture the tenant's
+    chain head once and are safe from any thread; writes
+    (:meth:`apply_delta`) must be serialized per tenant by the caller —
+    the asyncio front does this with one writer task per tenant.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        mode: str = "batched",
+        max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        self._tenants: dict[str, Tenant] = {}
+        self._cache = LookupCache(cache_size)
+        self._mode = mode
+        self._max_workers = max_workers
+        self._shards = shards
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        """The currently hosted tenants, in insertion order."""
+        return tuple(self._tenants)
+
+    def tenant(self, name: str) -> Tenant:
+        """The named tenant; raises :class:`UnknownTenantError`."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenantError(name)
+        return tenant
+
+    def add_tenant(self, name: str, hierarchy=None) -> Tenant:
+        """Host a new tenant and build its root snapshot.
+
+        ``hierarchy`` is a :class:`~repro.hierarchy.graph
+        .ClassHierarchyGraph`, a ``repro-chg`` dict, or ``None`` (an
+        empty hierarchy).  Raises :class:`DuplicateTenantError` when
+        the name is taken."""
+        if name in self._tenants:
+            raise DuplicateTenantError(name)
+        if hierarchy is None:
+            graph = ClassHierarchyGraph()
+        elif isinstance(hierarchy, dict):
+            graph = hierarchy_from_dict(hierarchy)
+        else:
+            graph = hierarchy
+        table = MemberLookupTable(
+            graph,
+            mode=self._mode,
+            max_workers=self._max_workers,
+            shards=self._shards,
+            fastpath=True,
+        )
+        tenant = Tenant(name=name, graph=graph, table=table)
+        self._tenants[name] = tenant
+        return tenant
+
+    def remove_tenant(self, name: str) -> None:
+        """Drop a tenant.  Its whole snapshot chain retires with the
+        last reference; its shared-LRU entries are generation-keyed and
+        simply age out — no sweep needed."""
+        if self._tenants.pop(name, None) is None:
+            raise UnknownTenantError(name)
+
+    # ------------------------------------------------------------------
+    # Reads (lock-free against one captured snapshot)
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, tenant_name: str, class_name: str, member: str
+    ) -> LookupResult:
+        """``lookup(C, m)`` for one tenant, through the shared LRU.
+
+        The cache key carries the captured snapshot's generation, so a
+        concurrent publish can never surface a stale answer: the new
+        generation probes fresh keys, the old generation's entries age
+        out."""
+        tenant = self.tenant(tenant_name)
+        snapshot = tenant.table.snapshot
+        key = (tenant_name, snapshot.generation, class_name, member)
+        result = self._cache.get(key)
+        if result is None:
+            result = snapshot.lookup(class_name, member)
+            self._cache.put(key, result)
+        tenant.stats.lookups += 1
+        return result
+
+    def lookup_many(
+        self, tenant_name: str, queries: Iterable[Sequence[str]]
+    ) -> list[LookupResult]:
+        """A batch of queries answered against **one** captured
+        snapshot — a publish cannot split the batch across
+        generations."""
+        tenant = self.tenant(tenant_name)
+        snapshot = tenant.table.snapshot
+        generation = snapshot.generation
+        cache = self._cache
+        out: list[LookupResult] = []
+        for class_name, member in queries:
+            key = (tenant_name, generation, class_name, member)
+            result = cache.get(key)
+            if result is None:
+                result = snapshot.lookup(class_name, member)
+                cache.put(key, result)
+            out.append(result)
+        tenant.stats.lookups += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Writes (serialize per tenant!)
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self, tenant_name: str, mutations: Sequence[dict]
+    ) -> dict:
+        """Apply a batch of mutations to a tenant's source graph and
+        publish the child snapshot.
+
+        Each mutation is a dict: ``{"op": "add_class", "name": ...,
+        "members": [...]}``, ``{"op": "add_member", "class": ...,
+        "member": ...}`` or ``{"op": "add_edge", "base": ...,
+        "derived": ..., "virtual": ...}``.  The whole batch lands in
+        one publish (one cone re-sweep), and readers see either the old
+        generation or the new one.  Returns a summary with the new
+        generation and the publish's delta statistics."""
+        tenant = self.tenant(tenant_name)
+        graph = tenant.graph
+        for mutation in mutations:
+            op = mutation.get("op")
+            if op == "add_class":
+                graph.add_class(
+                    mutation["name"], mutation.get("members", ())
+                )
+            elif op == "add_member":
+                graph.add_member(mutation["class"], mutation["member"])
+            elif op == "add_edge":
+                graph.add_edge(
+                    mutation["base"],
+                    mutation["derived"],
+                    virtual=bool(mutation.get("virtual", False)),
+                )
+            else:
+                raise ValueError(f"unknown mutation op {op!r}")
+        stats = tenant.table.apply_delta()
+        tenant.stats.deltas_applied += 1
+        snapshot = tenant.table.snapshot
+        return {
+            "generation": snapshot.generation,
+            "classes": snapshot.ch.n_classes,
+            "members": snapshot.ch.n_members,
+            "cone_classes": stats.cone_classes,
+            "affected_members": stats.affected_members,
+            "entries_recomputed": stats.entries_recomputed,
+            "entries_reused": stats.entries_reused,
+            "full_rebuilds": stats.full_rebuilds,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self, tenant_name: Optional[str] = None) -> dict:
+        """Service-wide (or one tenant's) counters: per-tenant serving
+        stats, generations, and the shared LRU's hit/miss/eviction
+        numbers."""
+        cache = self._cache.stats
+        out: dict = {
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": len(self._cache),
+                "maxsize": self._cache.maxsize,
+            },
+        }
+        names = (
+            [tenant_name] if tenant_name is not None else list(self._tenants)
+        )
+        tenants: dict = {}
+        for name in names:
+            tenant = self.tenant(name)
+            snapshot = tenant.table.snapshot
+            tenants[name] = {
+                "generation": snapshot.generation,
+                "classes": snapshot.ch.n_classes,
+                "members": snapshot.ch.n_members,
+                "entries": snapshot.entry_total,
+                "lookups": tenant.stats.lookups,
+                "deltas_applied": tenant.stats.deltas_applied,
+            }
+        out["tenants"] = tenants
+        return out

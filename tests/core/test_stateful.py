@@ -12,7 +12,7 @@ from hypothesis.stateful import (
 
 from repro.core.cache import CachedMemberLookup
 from repro.core.incremental import IncrementalLookupEngine
-from repro.core.lookup import build_lookup_table
+from repro.core.lookup import MemberLookupTable, build_lookup_table
 from repro.errors import CycleError, DuplicateBaseError, DuplicateMemberError
 from repro.hierarchy.builder import HierarchyBuilder
 from repro.hierarchy.graph import ClassHierarchyGraph
@@ -230,3 +230,173 @@ CachedLookupMachine.TestCase.settings = settings(
     max_examples=25, stateful_step_count=20, deadline=None
 )
 TestCachedLookupMachine = CachedLookupMachine.TestCase
+
+
+class SnapshotChainMachine(RuleBasedStateMachine):
+    """Random mutate/publish/retire sequences along a snapshot chain:
+    every snapshot still retained must keep answering exactly what a
+    from-scratch table answered at its publish, no matter how far the
+    writer has moved on or which other snapshots were retired."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = ClassHierarchyGraph()
+        self.table = MemberLookupTable(
+            self.graph, mode="batched", fastpath=True
+        )
+        self.counter = 0
+        # generation -> (snapshot, {(class, member): expected result})
+        self.retained = {}
+        self._record_head()
+
+    def _record_head(self):
+        snapshot = self.table.snapshot
+        fresh = build_lookup_table(self.graph)
+        expected = {
+            (class_name, member): fresh.lookup(class_name, member)
+            for class_name in self.graph.classes
+            for member in MEMBERS
+        }
+        self.retained[snapshot.generation] = (snapshot, expected)
+
+    @rule(member_mask=st.integers(0, 3))
+    def add_class(self, member_mask):
+        members = [m for i, m in enumerate(MEMBERS) if member_mask & (1 << i)]
+        self.graph.add_class(f"K{self.counter}", members)
+        self.counter += 1
+
+    @precondition(lambda self: self.counter >= 2)
+    @rule(data=st.data(), virtual=st.booleans())
+    def add_edge(self, data, virtual):
+        derived_index = data.draw(st.integers(1, self.counter - 1))
+        base_index = data.draw(st.integers(0, derived_index - 1))
+        try:
+            self.graph.add_edge(
+                f"K{base_index}", f"K{derived_index}", virtual=virtual
+            )
+        except (DuplicateBaseError, CycleError):
+            pass
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def add_member(self, data, member):
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        try:
+            self.graph.add_member(target, member)
+        except DuplicateMemberError:
+            pass
+
+    @rule()
+    def publish(self):
+        self.table.apply_delta()
+        self._record_head()
+
+    @precondition(lambda self: len(self.retained) > 1)
+    @rule(data=st.data())
+    def retire(self, data):
+        # Drop one retained snapshot; the survivors must be unaffected
+        # (retirement is just releasing a reference).
+        generations = sorted(self.retained)
+        victim = data.draw(st.sampled_from(generations))
+        del self.retained[victim]
+
+    @invariant()
+    def retained_snapshots_answer_their_generation(self):
+        for generation, (snapshot, expected) in self.retained.items():
+            assert snapshot.generation == generation
+            for (class_name, member), want in expected.items():
+                got = snapshot.lookup(class_name, member)
+                assert got.status == want.status, (class_name, member)
+                assert got.declaring_class == want.declaring_class
+                assert got.witness == want.witness
+                assert got.blue_abstractions == want.blue_abstractions
+
+
+SnapshotChainMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestSnapshotChainMachine = SnapshotChainMachine.TestCase
+
+
+class TestSnapshotThreadedStorm:
+    """Readers racing a writer's delta storm over one snapshot chain:
+    no torn rows, no answer from a generation other than the one the
+    reader captured, and captured generations never run backwards."""
+
+    READERS = 4
+    DELTAS = 25
+
+    def test_readers_never_observe_torn_or_stale_rows(self):
+        import threading
+
+        graph = ClassHierarchyGraph()
+        graph.add_class("K0", ["m"])
+        table = MemberLookupTable(graph, mode="batched", fastpath=True)
+        expected = {}  # generation -> {(class, member): result}
+
+        def record(generation_table):
+            return {
+                (class_name, member): generation_table.lookup(
+                    class_name, member
+                )
+                for class_name in graph.classes
+                for member in MEMBERS
+            }
+
+        expected[table.snapshot.generation] = record(
+            build_lookup_table(graph)
+        )
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            last_generation = -1
+            while not stop.is_set():
+                snapshot = table.snapshot
+                answers = expected.get(snapshot.generation)
+                if answers is None:
+                    failures.append(
+                        f"generation {snapshot.generation} published "
+                        "before its oracle was recorded"
+                    )
+                    return
+                if snapshot.generation < last_generation:
+                    failures.append("captured generations ran backwards")
+                    return
+                last_generation = snapshot.generation
+                for (class_name, member), want in answers.items():
+                    got = snapshot.lookup(class_name, member)
+                    if (
+                        got.status != want.status
+                        or got.declaring_class != want.declaring_class
+                        or got.witness != want.witness
+                    ):
+                        failures.append(
+                            f"gen {snapshot.generation} "
+                            f"{class_name}::{member}: {got} != {want}"
+                        )
+                        return
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(self.READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for step in range(self.DELTAS):
+                name = f"K{step + 1}"
+                graph.add_class(name, ["m"] if step % 3 == 0 else [])
+                graph.add_edge(f"K{step}", name, virtual=step % 2 == 0)
+                if step % 4 == 2:
+                    graph.add_member(f"K{step}", "f")
+                # Record the oracle BEFORE publishing so no reader can
+                # capture a generation whose answers aren't known yet.
+                expected[graph.compile().generation] = record(
+                    build_lookup_table(graph)
+                )
+                table.apply_delta()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, failures[0]

@@ -13,7 +13,7 @@ from repro.core.table_io import (
     table_from_dict,
     table_to_dict,
 )
-from repro.workloads.paper_figures import ALL_FIGURES, figure3
+from repro.workloads.paper_figures import ALL_FIGURES, figure2, figure3
 
 from tests.support import all_queries, hierarchies
 
@@ -92,3 +92,70 @@ class TestFrozenBehaviour:
         data = table_to_dict(build_lookup_table(figure3()))
         kinds = {("red" in e, "blue" in e) for e in data["entries"]}
         assert (True, False) in kinds and (False, True) in kinds
+
+
+class TestFlatOverlayRoundTrip:
+    """Version 2: the certificate and flat overlay survive the dump, so
+    a reloaded table serves unambiguous columns through FlatTable."""
+
+    def test_certificate_round_trips(self):
+        table = build_lookup_table(figure3(), mode="batched", fastpath=True)
+        frozen = loads(dumps(table))
+        live = table.flat_table
+        assert frozen.certificate is not None
+        assert frozen.certificate.ambiguous_columns == live.ambiguous_columns
+
+    def test_certificate_derived_without_live_overlay(self):
+        # A per-member (fastpath-less) table still dumps a certificate,
+        # derived from its blue entries; unambiguous columns re-flatten
+        # on load even though the live table had no overlay.
+        table = build_lookup_table(figure2())
+        frozen = loads(dumps(table))
+        assert frozen.certificate is not None
+        assert frozen.certificate.ambiguous_columns == 0
+        assert frozen.flat.flat_column_count > 0
+        assert frozen.lookup("E", "m").is_unique
+
+    def test_flat_serving_engages(self):
+        table = build_lookup_table(figure2(), mode="batched", fastpath=True)
+        frozen = loads(dumps(table))
+        assert frozen.flat is not None
+        assert frozen.flat.flat_column_count > 0
+        before = frozen.flat.stats.flat_hits
+        result = frozen.lookup("E", "m")
+        assert result.is_unique
+        assert frozen.flat.stats.flat_hits == before + 1
+
+    def test_ambiguous_columns_fall_back_to_entries(self):
+        # figure3 stores blues in both columns, so nothing flattens and
+        # every query is served from the entry mapping.
+        table = build_lookup_table(figure3(), mode="batched", fastpath=True)
+        frozen = loads(dumps(table))
+        assert frozen.flat.flat_column_count == 0
+        assert frozen.lookup("H", "foo").is_unique
+        assert frozen.lookup("H", "bar").is_ambiguous
+        assert frozen.flat.stats.fallback_hits > 0
+
+    @given(hierarchies(max_classes=9))
+    @settings(max_examples=25, deadline=None)
+    def test_flat_answers_match_entry_answers(self, graph):
+        table = build_lookup_table(graph)
+        frozen = loads(dumps(table))
+        plain = table_from_dict(
+            {**table_to_dict(table), "version": 1}
+        )
+        for class_name, member in all_queries(graph):
+            left = frozen.lookup(class_name, member)
+            right = plain.lookup(class_name, member)
+            assert left.status == right.status
+            assert left.declaring_class == right.declaring_class
+            assert left.least_virtual == right.least_virtual
+            assert left.witness == right.witness
+
+    def test_version_1_documents_still_load(self):
+        table = build_lookup_table(figure3())
+        data = {**table_to_dict(table), "version": 1}
+        frozen = table_from_dict(data)
+        assert frozen.flat is None
+        for key, entry in table.all_entries().items():
+            assert frozen.entry(*key) == entry

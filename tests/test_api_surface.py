@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.overloads",
     "repro.runtime",
     "repro.scopes",
+    "repro.serve",
     "repro.slicing",
     "repro.subobjects",
     "repro.workloads",
