@@ -105,6 +105,16 @@ def _add_build_mode_options(parser: argparse.ArgumentParser) -> None:
         "sharded, rejected for per-member)",
     )
     parser.add_argument(
+        "--columnar",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="exercise the dense columnar batch kernel: answer every "
+        "visible (class, member) pair through one lookup_many gather "
+        "and report its layout/serving counters; --no-columnar disables "
+        "the columnar layout entirely (default: built lazily on first "
+        "batch query; rejected for per-member mode)",
+    )
+    parser.add_argument(
         "--delta-stats",
         action="store_true",
         help="replay the hierarchy's last leaf class as a mutation and "
@@ -255,7 +265,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="A,B,...",
         help="comma-separated engine subset (default: "
         "per-member,batched,sharded,fastpath,cached,lazy,incremental,"
-        "snapshot)",
+        "snapshot,columnar)",
     )
     fuzz.add_argument(
         "--corpus",
@@ -336,6 +346,40 @@ def _render_fastpath_stats(table) -> Optional[str]:
     )
 
 
+def _render_columnar_stats(table) -> Optional[str]:
+    """The columnar batch kernel's layout and serving counters, or
+    ``None`` when the table has no columnar layout (disabled, or an
+    in-place table)."""
+    columnar = table.columnar_table
+    if columnar is None:
+        return None
+    stats = columnar.stats
+    return (
+        f"[columnar] columns={columnar.column_count} "
+        f"pool_slots={len(columnar.pool)} "
+        f"populated_cells={columnar.populated_cells} "
+        f"numpy={'on' if columnar.use_numpy else 'off'} "
+        f"batches={stats.batches} queries={stats.queries} "
+        f"gathers={stats.gathers} scalar_serves={stats.scalar_serves} "
+        f"columns_materialized={stats.columns_materialized}"
+    )
+
+
+def _exercise_columnar(graph: ClassHierarchyGraph, table) -> Optional[str]:
+    """Answer every visible ``(class, member)`` pair through one
+    ``lookup_many`` batch, cross-check the gather against the per-query
+    path, and return the columnar stats line."""
+    queries = [
+        (class_name, member)
+        for class_name in graph.classes
+        for member in table.visible_members(class_name)
+    ]
+    batched = table.lookup_many(queries)
+    for (class_name, member), result in zip(queries, batched):
+        assert result == table.lookup(class_name, member)
+    return _render_columnar_stats(table)
+
+
 def _report_delta_stats(
     graph: ClassHierarchyGraph, args: argparse.Namespace
 ) -> None:
@@ -370,6 +414,7 @@ def _report_delta_stats(
         max_workers=args.max_workers,
         shards=args.shards,
         fastpath=args.fastpath,
+        columnar=args.columnar,
     )
     cached = CachedMemberLookup(prefix)
     for name in prefix.classes:
@@ -431,6 +476,7 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         shards=args.shards,
         fastpath=args.fastpath,
+        columnar=args.columnar,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -461,6 +507,10 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         # The cross-check above queried the table once per pair, so the
         # flat/fallback split reflects real serving, not a cold overlay.
         print("  " + fastpath_line)
+    if args.columnar:
+        columnar_line = _exercise_columnar(graph, table)
+        if columnar_line is not None:
+            print("  " + columnar_line)
     if args.delta_stats:
         _report_delta_stats(graph, args)
     return 0
@@ -576,6 +626,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_workers=args.max_workers,
             shards=args.shards,
             fastpath=args.fastpath,
+            columnar=args.columnar,
         )
         for class_name in graph.classes:
             for member in table.visible_members(class_name):
@@ -583,6 +634,10 @@ def _dispatch(args: argparse.Namespace) -> int:
                 if args.ambiguous_only and not result.is_ambiguous:
                     continue
                 print(result)
+        if args.columnar:
+            columnar_line = _exercise_columnar(graph, table)
+            if columnar_line is not None:
+                print(columnar_line)
         if args.stats:
             print(_render_lookup_stats(table))
             fastpath_line = _render_fastpath_stats(table)

@@ -1,6 +1,14 @@
 """The paper's primary contribution: formalism and efficient lookup."""
 
 from repro.core.certify import Certificate, certify, certify_table
+from repro.core.columnar import (
+    HAVE_NUMPY,
+    ColumnarColumn,
+    ColumnarStats,
+    ColumnarTable,
+    EntryPool,
+    merge_shards,
+)
 from repro.core.dominance import (
     abstract_dominates,
     dominates_paths,
@@ -36,7 +44,7 @@ from repro.core.lookup import (
     build_lookup_table,
     lookup,
 )
-from repro.core.snapshot import SNAPSHOT_MODES, TableSnapshot
+from repro.core.snapshot import COLUMNAR_MODES, SNAPSHOT_MODES, TableSnapshot
 from repro.core.paths import OMEGA, Abstraction, Path, extend_abstraction, path_in
 from repro.core.results import (
     LookupResult,
@@ -61,11 +69,17 @@ from repro.core.static_lookup import (
 __all__ = [
     "AmbiguityCertificate",
     "AmbiguousColumnError",
+    "COLUMNAR_MODES",
     "Certificate",
+    "ColumnarColumn",
+    "ColumnarStats",
+    "ColumnarTable",
+    "EntryPool",
     "FastPathStats",
     "FlatColumn",
     "FlatTable",
     "FrozenLookupTable",
+    "HAVE_NUMPY",
     "OMEGA",
     "Abstraction",
     "BlueEntry",
@@ -107,6 +121,7 @@ __all__ = [
     "lookup",
     "lookup_through_using",
     "maximal_set",
+    "merge_shards",
     "most_dominant",
     "not_found_result",
     "path_in",

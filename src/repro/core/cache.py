@@ -266,6 +266,52 @@ class CachedMemberLookup:
                     self._lazy.flatten_column(member)
         return result
 
+    def lookup_many(self, queries) -> list[LookupResult]:
+        """The batch entry point: one generation check up front, then
+        split the batch into LRU hits and misses and bulk-fill the
+        misses — each *distinct* missing ``(class, member)`` pair is
+        computed once through the lazy engine and scattered to every
+        query position that asked for it, so a batch with repeats never
+        recomputes inside itself.  Results are exactly what per-query
+        :meth:`lookup` calls would have produced; the fast-path
+        promotion counter advances once per distinct missing member
+        pair (not once per repeated query), so promotion thresholds
+        measure distinct cold traffic."""
+        if self._graph.generation != self._generation:
+            self._invalidate()
+        if type(queries) is not list:
+            queries = list(queries)
+        cache = self._cache
+        get = cache.get
+        out: list[Optional[LookupResult]] = [None] * len(queries)
+        misses: dict[tuple[str, str], list[int]] = {}
+        for qi, query in enumerate(queries):
+            key = (query[0], query[1])
+            result = get(key)
+            if result is None:
+                bucket = misses.get(key)
+                if bucket is None:
+                    misses[key] = [qi]
+                else:
+                    bucket.append(qi)
+            else:
+                out[qi] = result
+        if misses:
+            lazy = self._lazy
+            threshold = self._fastpath_threshold
+            member_misses = self._member_misses
+            for (class_name, member), positions in misses.items():
+                result = lazy.lookup(class_name, member)
+                cache.put((class_name, member), result)
+                for qi in positions:
+                    out[qi] = result
+                if threshold is not None:
+                    count = member_misses.get(member, 0) + 1
+                    member_misses[member] = count
+                    if count == threshold:
+                        lazy.flatten_column(member)
+        return out
+
     def resize(self, maxsize: int) -> None:
         """Rebound the LRU in place (see :meth:`LookupCache.resize`);
         shrinking evicts LRU-first, growing keeps everything warm."""

@@ -116,7 +116,15 @@ class FlatColumn:
     by dense class id and grown in lockstep by :meth:`ensure_size`.
     """
 
-    __slots__ = ("mid", "cells", "slots", "witnesses", "results", "_slot_ids")
+    __slots__ = (
+        "mid",
+        "cells",
+        "slots",
+        "witnesses",
+        "results",
+        "populated",
+        "_slot_ids",
+    )
 
     def __init__(self, mid: int, n_classes: int) -> None:
         self.mid = mid
@@ -124,11 +132,15 @@ class FlatColumn:
         self.slots: list[tuple[int, int]] = []
         self.witnesses: list[object] = [None] * n_classes
         self.results: list[Optional[LookupResult]] = [None] * n_classes
+        self.populated = 0
         self._slot_ids: dict[tuple[int, int], int] = {}
 
     def __len__(self) -> int:
-        """Number of populated (visible) cells."""
-        return sum(1 for slot in self.cells if slot >= 0)
+        """Number of populated (visible) cells — maintained
+        incrementally by :meth:`set_cell`, so this is O(1), not an
+        O(|classes|) scan (``FlatTable.flat_cells`` sums it per
+        column)."""
+        return self.populated
 
     def copy(self) -> "FlatColumn":
         """A private duplicate — the copy-on-write unit of snapshot
@@ -142,6 +154,7 @@ class FlatColumn:
         dup.slots = list(self.slots)
         dup.witnesses = list(self.witnesses)
         dup.results = list(self.results)
+        dup.populated = self.populated
         dup._slot_ids = dict(self._slot_ids)
         return dup
 
@@ -158,13 +171,18 @@ class FlatColumn:
     def set_cell(self, cid: int, entry) -> None:
         """Write one class's cell from a kernel entry (``None`` = not
         visible; red tuple otherwise), dropping any memoised result."""
+        old = self.cells[cid]
         self.results[cid] = None
         if entry is None:
+            if old >= 0:
+                self.populated -= 1
             self.cells[cid] = -1
             self.witnesses[cid] = None
             return
         if type(entry) is not tuple:
             raise AmbiguousColumnError(self.mid, cid)
+        if old < 0:
+            self.populated += 1
         pair = (entry[0], entry[1])
         slot = self._slot_ids.get(pair)
         if slot is None:

@@ -48,6 +48,7 @@ from __future__ import annotations
 import os
 from typing import Mapping, Optional
 
+from repro.core.columnar import ColumnarStats, ColumnarTable
 from repro.core.fastpath import FastPathStats, FlatTable, build_flat_table
 from repro.core.kernel import (
     AmbiguityCertificate,
@@ -175,6 +176,7 @@ class MemberLookupTable:
         shards: Optional[int] = None,
         fastpath: Optional[bool] = None,
         unsafe_inplace: Optional[bool] = None,
+        columnar=None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._ch = compiled_of(hierarchy)
@@ -200,6 +202,17 @@ class MemberLookupTable:
             )
         self.unsafe_inplace = unsafe_inplace
         self.fastpath = fastpath
+        if columnar is None:
+            # Batch gathers ride the published snapshot chain; in-place
+            # tables keep the per-query batch loop.
+            columnar = not unsafe_inplace
+        elif columnar and unsafe_inplace:
+            raise ValueError(
+                "the columnar batch layout serves published snapshots; "
+                "in-place tables (unsafe_inplace=True / per-member mode) "
+                "answer lookup_many with the per-query loop"
+            )
+        self.columnar = columnar
         self._head: Optional[TableSnapshot] = None
         self._flat: Optional[FlatTable] = None
         # Per-member mode fills a column-major interned table
@@ -233,6 +246,7 @@ class MemberLookupTable:
                 shards=self._shards,
                 fastpath=self.fastpath,
                 stats=self.stats,
+                columnar=self.columnar,
             )
             self._entry_total = self._head.entry_total
             return
@@ -305,6 +319,26 @@ class MemberLookupTable:
         flat = self.flat_table
         return flat.stats if flat is not None else None
 
+    @property
+    def columnar_table(self) -> Optional[ColumnarTable]:
+        """The head snapshot's dense batch-serving layout
+        (:class:`~repro.core.columnar.ColumnarTable`), materialising it
+        if still lazy; ``None`` for in-place tables or
+        ``columnar=False``."""
+        head = self._head
+        if head is None:
+            return None
+        return head.columnar_table()
+
+    @property
+    def columnar_stats(self) -> Optional[ColumnarStats]:
+        """The columnar layout's serving counters, or ``None`` when it
+        is off or not yet materialised."""
+        head = self._head
+        if head is None:
+            return None
+        return head.columnar_stats()
+
     def lookup(self, class_name: str, member: str) -> LookupResult:
         """``lookup(C, m)`` per Definition 9, answered from the table.
 
@@ -350,8 +384,10 @@ class MemberLookupTable:
     ) -> list[LookupResult]:
         """Answer a batch of ``(class, member)`` queries coherently:
         snapshot-backed tables resolve the whole batch against one
-        captured head, so a concurrent publish can never split the
-        batch across generations."""
+        captured head — through its columnar vectorized gather by
+        default (``columnar=False`` keeps the per-query loop) — so a
+        concurrent publish can never split the batch across
+        generations.  In-place tables loop per query."""
         head = self._head
         if head is not None:
             return head.lookup_many(queries)
@@ -696,6 +732,7 @@ def build_lookup_table(
     shards: Optional[int] = None,
     fastpath: Optional[bool] = None,
     unsafe_inplace: Optional[bool] = None,
+    columnar=None,
 ) -> MemberLookupTable:
     """Run the paper's ``doLookup()`` and return the filled table.
 
@@ -704,7 +741,10 @@ def build_lookup_table(
     docstring for the full mode list and the ``fastpath`` default.
     Row-major tables maintain an immutable snapshot chain by default
     (lock-free concurrent reads); ``unsafe_inplace=True`` restores the
-    historical mutate-in-place delta maintenance.
+    historical mutate-in-place delta maintenance.  ``columnar``
+    (default: on for snapshot-backed tables) governs the dense batch
+    layout behind ``lookup_many`` — ``True`` lazy, ``"eager"`` built
+    with the table, ``False`` per-query loop.
     """
     return MemberLookupTable(
         hierarchy,
@@ -714,6 +754,7 @@ def build_lookup_table(
         shards=shards,
         fastpath=fastpath,
         unsafe_inplace=unsafe_inplace,
+        columnar=columnar,
     )
 
 

@@ -107,7 +107,9 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_CH = pickle.loads(payload)
 
 
-def _sweep_shard(member_mask: int, track_witnesses: bool):
+def _sweep_shard(
+    member_mask: int, track_witnesses: bool, build_columnar: bool = False
+):
     stats = LookupStats()
     certificate = AmbiguityCertificate()
     rows = batched_sweep(
@@ -117,7 +119,15 @@ def _sweep_shard(member_mask: int, track_witnesses: bool):
         track_witnesses=track_witnesses,
         certificate=certificate,
     )
-    return rows, stats, certificate
+    slab = None
+    if build_columnar:
+        # Lay the shard's columns out columnar in the worker too: the
+        # interning cost parallelises with the sweep, and the parent
+        # only remaps slot ids (repro.core.columnar.merge_shards).
+        from repro.core.columnar import ColumnarTable
+
+        slab = ColumnarTable.from_rows(_WORKER_CH, rows)
+    return rows, stats, certificate, slab
 
 
 def _sweep_delta_shard(task):
@@ -172,6 +182,7 @@ def build_sharded_rows(
     max_workers: Optional[int] = None,
     shards: Optional[int] = None,
     certificate: Optional[AmbiguityCertificate] = None,
+    columnar_slabs: Optional[list] = None,
 ) -> list:
     """Build the full per-class rows (``rows[cid]: member id -> kernel
     entry``) by sharding the member space across a process pool.
@@ -179,6 +190,12 @@ def build_sharded_rows(
     ``certificate`` merges each worker's per-shard ambiguity record —
     shards partition the member-id space, so the union is exactly what
     a serial :func:`batched_sweep` would have certified.
+
+    ``columnar_slabs`` (when a list) asks each worker to also lay its
+    shard out as a :class:`~repro.core.columnar.ColumnarTable` slab;
+    the slabs are appended to the list for the caller to merge with
+    :func:`repro.core.columnar.merge_shards`.  Serial fallbacks leave
+    the list empty — the caller then builds columnar from the rows.
 
     ``max_workers`` defaults to ``os.cpu_count()``; ``shards`` defaults
     to the worker count (one mask per worker — more shards only help
@@ -213,15 +230,19 @@ def build_sharded_rows(
             track_witnesses=track_witnesses,
             certificate=certificate,
         )
+    build_columnar = columnar_slabs is not None
     with executor:
         results = list(
             executor.map(
-                _sweep_shard, masks, [track_witnesses] * len(masks)
+                _sweep_shard,
+                masks,
+                [track_witnesses] * len(masks),
+                [build_columnar] * len(masks),
             )
         )
 
     merged: list = [{} for _ in range(ch.n_classes)]
-    for rows, shard_stats, shard_cert in results:
+    for rows, shard_stats, shard_cert, slab in results:
         for cid, row in enumerate(rows):
             if row:
                 if merged[cid]:
@@ -232,6 +253,8 @@ def build_sharded_rows(
             _merge_stats(stats, shard_stats)
         if certificate is not None:
             certificate.merge(shard_cert)
+        if build_columnar and slab is not None:
+            columnar_slabs.append(slab)
     return merged
 
 

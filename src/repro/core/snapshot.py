@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
+from repro.core.columnar import ColumnarTable, merge_shards
 from repro.core.fastpath import FlatTable, build_flat_table
 from repro.core.kernel import (
     AmbiguityCertificate,
@@ -68,6 +69,7 @@ from repro.hierarchy.compiled import (
 )
 
 __all__ = [
+    "COLUMNAR_MODES",
     "DeltaStats",
     "SNAPSHOT_MODES",
     "TableSnapshot",
@@ -77,6 +79,12 @@ __all__ = [
 #: stays in-place-only: its column-major layout has no row sharing to
 #: exploit, so it lives behind ``unsafe_inplace=True`` on the writer.
 SNAPSHOT_MODES = ("batched", "sharded")
+
+#: The accepted ``columnar=`` settings: ``True`` lays the batch-serving
+#: columnar table out lazily on the first ``lookup_many``, ``"eager"``
+#: builds it with the snapshot (the sharded mode merges per-worker
+#: slabs), ``False`` keeps batches on the per-query loop.
+COLUMNAR_MODES = (True, False, "eager")
 
 
 @dataclass
@@ -146,6 +154,8 @@ class TableSnapshot:
         "shards",
         "delta_stats",
         "parent_generation",
+        "columnar_enabled",
+        "_columnar",
         "_public",
     )
 
@@ -164,6 +174,7 @@ class TableSnapshot:
         public: Optional[dict] = None,
         delta_stats: Optional[DeltaStats] = None,
         parent_generation: Optional[int] = None,
+        columnar=True,
     ) -> None:
         self.ch = ch
         self.rows = rows
@@ -181,6 +192,10 @@ class TableSnapshot:
         self.delta_stats = DeltaStats() if delta_stats is None else delta_stats
         #: Generation of the parent snapshot, or ``None`` for a root.
         self.parent_generation = parent_generation
+        #: Whether batches route through the columnar gather (see
+        #: :data:`COLUMNAR_MODES`; the table itself is built lazily).
+        self.columnar_enabled = bool(columnar)
+        self._columnar: Optional[ColumnarTable] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -197,13 +212,18 @@ class TableSnapshot:
         shards: Optional[int] = None,
         fastpath: bool = True,
         stats: Optional[LookupStats] = None,
+        columnar=True,
     ) -> "TableSnapshot":
         """Sweep a hierarchy from scratch into a root snapshot.
 
         ``mode`` is ``"batched"`` (serial row-major sweep) or
         ``"sharded"`` (member-sharded process pool); both certify
         ambiguity per column, so ``fastpath=True`` (the default) also
-        builds the flat overlay.  ``stats`` receives the sweep's
+        builds the flat overlay.  ``columnar`` governs the batch-query
+        layout (:data:`COLUMNAR_MODES`): ``True`` builds it lazily on
+        first ``lookup_many``, ``"eager"`` with the snapshot — the
+        sharded mode then builds per-worker columnar slabs and merges
+        them.  ``stats`` receives the sweep's
         :class:`~repro.core.kernel.LookupStats` counters.
         """
         if mode not in SNAPSHOT_MODES:
@@ -211,11 +231,18 @@ class TableSnapshot:
                 f"unknown snapshot mode {mode!r}; "
                 f"expected one of {SNAPSHOT_MODES}"
             )
+        if columnar not in COLUMNAR_MODES:
+            raise ValueError(
+                f"unknown columnar setting {columnar!r}; "
+                f"expected one of {COLUMNAR_MODES}"
+            )
         ch = compiled_of(hierarchy)
         certificate = AmbiguityCertificate() if fastpath else None
+        slabs: Optional[list] = None
         if mode == "sharded":
             from repro.core.parallel import build_sharded_rows
 
+            slabs = [] if columnar == "eager" else None
             rows = build_sharded_rows(
                 ch,
                 stats=stats,
@@ -223,6 +250,7 @@ class TableSnapshot:
                 max_workers=max_workers,
                 shards=shards,
                 certificate=certificate,
+                columnar_slabs=slabs,
             )
         else:
             rows = batched_sweep(
@@ -236,7 +264,7 @@ class TableSnapshot:
             if certificate is not None
             else None
         )
-        return cls(
+        snapshot = cls(
             ch=ch,
             rows=rows,
             flat=flat,
@@ -246,7 +274,14 @@ class TableSnapshot:
             mode=mode,
             max_workers=max_workers,
             shards=shards,
+            columnar=columnar,
         )
+        if columnar == "eager":
+            if slabs:
+                snapshot._columnar = merge_shards(ch, slabs)
+            else:
+                snapshot.columnar_table()
+        return snapshot
 
     def apply_delta(
         self,
@@ -289,6 +324,7 @@ class TableSnapshot:
                 shards=self.shards,
                 fastpath=self.flat is not None,
                 stats=stats,
+                columnar=self.columnar_enabled,
             )
             child.delta_stats.deltas_applied = 1
             child.delta_stats.full_rebuilds = 1
@@ -391,7 +427,7 @@ class TableSnapshot:
                 for key in stale:
                     del public[key]
 
-        return TableSnapshot(
+        child = TableSnapshot(
             ch=new,
             rows=rows,
             flat=flat,
@@ -404,7 +440,20 @@ class TableSnapshot:
             public=public,
             delta_stats=result,
             parent_generation=old.generation,
+            columnar=self.columnar_enabled,
         )
+        parent_columnar = self._columnar
+        if parent_columnar is not None:
+            # Derive the child's columnar layout copy-on-write (O(delta),
+            # unaffected columns and warm result memos shared); a parent
+            # that never materialised one leaves the child lazy too.
+            child._columnar = parent_columnar.apply_delta(
+                new,
+                cone_ids,
+                list(delta.member_ids()),
+                _entry_reader(rows),
+            )
+        return child
 
     # ------------------------------------------------------------------
     # Reading
@@ -429,12 +478,44 @@ class TableSnapshot:
             return not_found_result(class_name, member)
         return self._result(cid, mid, class_name, member)
 
+    def columnar_table(self) -> Optional[ColumnarTable]:
+        """The dense batch-serving layout of this generation
+        (:class:`~repro.core.columnar.ColumnarTable`), built lazily on
+        first use and memoised; ``None`` when ``columnar=False``.
+
+        The lazy install is the snapshot's one memo-class mutation: an
+        idempotent single-reference write of a value-equivalent object
+        (two racing readers can only ever install equal layouts over
+        the same immutable rows), so it keeps the lock-free reader
+        contract."""
+        if not self.columnar_enabled:
+            return None
+        table = self._columnar
+        if table is None:
+            table = ColumnarTable.from_rows(self.ch, self.rows)
+            self._columnar = table
+        return table
+
+    def columnar_stats(self):
+        """The columnar layout's serving counters, or ``None`` when the
+        layout is disabled or not yet materialised."""
+        table = self._columnar
+        return table.stats if table is not None else None
+
     def lookup_many(
         self, queries: Iterable[tuple[str, str]]
     ) -> list[LookupResult]:
         """Answer a batch of ``(class, member)`` queries against this
         one generation — the coherent multi-query read the service
-        tier's ``lookup_many`` op is built on."""
+        tier's ``lookup_many`` op is built on.
+
+        With the columnar layout enabled (the default) the whole batch
+        is answered by vectorized per-member gathers over the dense
+        entry arrays; ``columnar=False`` snapshots keep the historical
+        per-query loop.  Both produce value-identical results."""
+        table = self.columnar_table()
+        if table is not None:
+            return table.lookup_many(self.ch, queries)
         out: list[LookupResult] = []
         ch = self.ch
         class_ids = ch.class_ids

@@ -91,7 +91,10 @@ __all__ = [
 #: table in its three explicit build modes, the batched table with the
 #: certified-unambiguous flat serving overlay (``fastpath``), the lazy,
 #: cached and incremental engines, plus a bare published
-#: :class:`~repro.core.snapshot.TableSnapshot` (``snapshot``).
+#: :class:`~repro.core.snapshot.TableSnapshot` (``snapshot``) and the
+#: same snapshot answering every query through the columnar batch
+#: gather (``columnar`` — each oracle probe goes through
+#: ``lookup_many`` so the dense-array path is differentially tested).
 ENGINES: tuple[str, ...] = (
     "per-member",
     "batched",
@@ -101,11 +104,24 @@ ENGINES: tuple[str, ...] = (
     "lazy",
     "incremental",
     "snapshot",
+    "columnar",
 )
 
 #: A member name no generator family ever declares — every iteration
 #: also queries it everywhere, pinning the NOT_FOUND row of each engine.
 MISSING_MEMBER = "fuzz_absent_member"
+
+
+class _ColumnarProbe:
+    """Adapter giving the columnar batch kernel the campaign's engine
+    shape: ``lookup(C, m)`` is a one-element ``lookup_many`` batch, so
+    every differential probe exercises the dense-array gather path."""
+
+    def __init__(self, snapshot: TableSnapshot) -> None:
+        self._snapshot = snapshot
+
+    def lookup(self, class_name: str, member: str):
+        return self._snapshot.lookup_many([(class_name, member)])[0]
 
 
 def build_engine(name: str, graph: ClassHierarchyGraph):
@@ -137,6 +153,12 @@ def build_engine(name: str, graph: ClassHierarchyGraph):
         # The serving tier's unit: an immutable generation-stamped
         # published table, queried directly (no writer façade).
         return TableSnapshot.build(graph, mode="batched", fastpath=True)
+    if name == "columnar":
+        # The same published snapshot, but every query is answered by
+        # the columnar batch kernel: lookup() routes through a
+        # one-element lookup_many(), so the dense-array gather path is
+        # differentially checked against the oracle like any engine.
+        return _ColumnarProbe(TableSnapshot.build(graph, mode="batched"))
     if name == "incremental":
         engine = IncrementalLookupEngine()
         members = graph.member_names()

@@ -64,6 +64,7 @@ class TenantStats:
     """Per-tenant serving counters, reported by the ``stats`` op."""
 
     lookups: int = 0
+    batches: int = 0
     deltas_applied: int = 0
 
 
@@ -109,12 +110,14 @@ class LookupService:
         mode: str = "batched",
         max_workers: Optional[int] = None,
         shards: Optional[int] = None,
+        columnar: bool = True,
     ) -> None:
         self._tenants: dict[str, Tenant] = {}
         self._cache = LookupCache(cache_size)
         self._mode = mode
         self._max_workers = max_workers
         self._shards = shards
+        self._columnar = bool(columnar)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle
@@ -153,6 +156,7 @@ class LookupService:
             max_workers=self._max_workers,
             shards=self._shards,
             fastpath=True,
+            columnar=self._columnar,
         )
         tenant = Tenant(name=name, graph=graph, table=table)
         self._tenants[name] = tenant
@@ -169,22 +173,33 @@ class LookupService:
     # Reads (lock-free against one captured snapshot)
     # ------------------------------------------------------------------
 
-    def lookup(
-        self, tenant_name: str, class_name: str, member: str
+    def _cached_lookup(
+        self,
+        tenant_name: str,
+        snapshot: TableSnapshot,
+        class_name: str,
+        member: str,
     ) -> LookupResult:
-        """``lookup(C, m)`` for one tenant, through the shared LRU.
-
-        The cache key carries the captured snapshot's generation, so a
+        """One query against an already-captured snapshot, through the
+        shared LRU.  The key carries the snapshot's generation, so a
         concurrent publish can never surface a stale answer: the new
         generation probes fresh keys, the old generation's entries age
-        out."""
-        tenant = self.tenant(tenant_name)
-        snapshot = tenant.table.snapshot
+        out.  Both read entry points funnel through here."""
         key = (tenant_name, snapshot.generation, class_name, member)
         result = self._cache.get(key)
         if result is None:
             result = snapshot.lookup(class_name, member)
             self._cache.put(key, result)
+        return result
+
+    def lookup(
+        self, tenant_name: str, class_name: str, member: str
+    ) -> LookupResult:
+        """``lookup(C, m)`` for one tenant, through the shared LRU."""
+        tenant = self.tenant(tenant_name)
+        result = self._cached_lookup(
+            tenant_name, tenant.table.snapshot, class_name, member
+        )
         tenant.stats.lookups += 1
         return result
 
@@ -193,20 +208,26 @@ class LookupService:
     ) -> list[LookupResult]:
         """A batch of queries answered against **one** captured
         snapshot — a publish cannot split the batch across
-        generations."""
+        generations.
+
+        With the service's default ``columnar=True`` the whole batch is
+        one vectorized gather over the captured snapshot's columnar
+        table (:meth:`TableSnapshot.lookup_many`) and skips the shared
+        LRU entirely — the gather is cheaper than a cache probe per
+        query.  With ``columnar=False`` the batch degrades to the
+        per-query LRU path through :meth:`_cached_lookup`."""
         tenant = self.tenant(tenant_name)
         snapshot = tenant.table.snapshot
-        generation = snapshot.generation
-        cache = self._cache
-        out: list[LookupResult] = []
-        for class_name, member in queries:
-            key = (tenant_name, generation, class_name, member)
-            result = cache.get(key)
-            if result is None:
-                result = snapshot.lookup(class_name, member)
-                cache.put(key, result)
-            out.append(result)
+        if self._columnar:
+            out = snapshot.lookup_many(queries)
+        else:
+            cached_lookup = self._cached_lookup
+            out = [
+                cached_lookup(tenant_name, snapshot, class_name, member)
+                for class_name, member in queries
+            ]
         tenant.stats.lookups += len(out)
+        tenant.stats.batches += 1
         return out
 
     # ------------------------------------------------------------------
@@ -289,6 +310,7 @@ class LookupService:
                 "members": snapshot.ch.n_members,
                 "entries": snapshot.entry_total,
                 "lookups": tenant.stats.lookups,
+                "batches": tenant.stats.batches,
                 "deltas_applied": tenant.stats.deltas_applied,
             }
         out["tenants"] = tenants

@@ -334,3 +334,27 @@ def test_cached_threshold_ignores_ambiguous_columns():
 def test_cached_threshold_validation():
     with pytest.raises(ValueError):
         CachedMemberLookup(chain(2), fastpath_threshold=0)
+
+
+def test_flat_column_len_is_incremental():
+    """``len(FlatColumn)`` is the incrementally maintained populated
+    count — every ``set_cell`` transition keeps it equal to the actual
+    number of visible cells, with no O(|classes|) scan."""
+    column = FlatColumn(mid=0, n_classes=8)
+    assert len(column) == 0
+    column.set_cell(0, (0, 0, None))  # red entries are plain tuples
+    column.set_cell(3, (0, 0, None))
+    assert len(column) == 2
+    column.set_cell(3, (1, 0, None))  # overwrite: still one cell
+    assert len(column) == 2
+    column.set_cell(0, None)  # visible -> invisible
+    assert len(column) == 1
+    column.set_cell(5, None)  # invisible -> invisible (no-op)
+    assert len(column) == 1
+    column.ensure_size(12)
+    assert len(column) == 1
+    with pytest.raises(AmbiguousColumnError):
+        column.set_cell(2, object())  # blue never corrupts the count
+    assert len(column) == 1
+    assert len(column) == sum(1 for sid in column.cells if sid >= 0)
+    assert len(column.copy()) == len(column)
