@@ -1,0 +1,125 @@
+"""Build and warm-serving cost of each pluggable dispatch semantics.
+
+The :mod:`repro.core.semantics` registry runs six dispatch rules over
+the *same* interned :class:`~repro.hierarchy.compiled.CompiledHierarchy`
+and the same snapshot/serving machinery — so the fair question is what
+each rule costs relative to the paper's ``cpp-dominance`` kernel on
+identical inputs.  This file measures, per semantics:
+
+* **build** — a from-scratch ``mode="batched"`` table
+  (:func:`~repro.core.lookup.build_lookup_table`), i.e. one full
+  ``Semantics.sweep`` over the compiled generation;
+* **warm serving** — an 8192-query mixed-member batch through
+  :meth:`~repro.serve.service.LookupService.lookup_many` against a
+  tenant registered with that semantics, after a steady-state warmup.
+
+Workloads are ``bench_columnar``'s three 1024-class families (8-member
+single-inheritance chain, depth-10 binary tree, all-virtual layered
+DAG) so the numbers line up with the columnar serving benchmarks.  The
+``c3`` semantics *rejects* the layered DAG (unlinearisable base orders)
+— that combination is skipped here and pinned as a catalogued
+divergence in ``tests/fuzz/test_cross_semantics.py``, not bitrot.
+
+``cpp-dominance`` is tagged as the baseline of each
+``(phase, workload)`` group, so ``scripts/collect_bench_numbers.py``
+reports every other rule as a relative cost; recorded medians land in
+``BENCH_semantics.json``.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.bench_columnar import WORKLOADS, batch_queries
+from repro.core.lookup import build_lookup_table
+from repro.core.semantics import (
+    DEFAULT_SEMANTICS,
+    SEMANTICS_NAMES,
+    SemanticsRejection,
+)
+from repro.serve.service import LookupService
+
+CASES = sorted(itertools.product(sorted(WORKLOADS), SEMANTICS_NAMES))
+
+
+def _build(graph, semantics):
+    return build_lookup_table(graph, mode="batched", semantics=semantics)
+
+
+def make_service(graph, semantics):
+    service = LookupService()
+    service.add_tenant("t", graph, semantics=semantics)
+    return service
+
+
+@pytest.fixture(
+    params=CASES, ids=[f"{w}-{s}" for w, s in CASES]
+)
+def case(request):
+    workload, semantics = request.param
+    graph = WORKLOADS[workload]
+    graph.compile()
+    try:
+        _build(graph, semantics)
+    except SemanticsRejection as exc:
+        pytest.skip(
+            f"{semantics} statically rejects {workload} "
+            f"(at {exc.class_name}): a catalogued divergence, "
+            "not a benchmark failure"
+        )
+    return workload, semantics, graph
+
+
+def _annotate(benchmark, phase, workload, semantics, graph) -> None:
+    # Phase-qualified workload keys keep build and serving baselines in
+    # separate comparison groups in collect_bench_numbers.py.
+    benchmark.extra_info["workload"] = f"{phase}:{workload}"
+    benchmark.extra_info["semantics"] = semantics
+    benchmark.extra_info["classes"] = len(graph)
+    if semantics == DEFAULT_SEMANTICS:
+        benchmark.extra_info["baseline"] = True
+
+
+def test_semantics_build(benchmark, case):
+    """One full ``Semantics.sweep``: a from-scratch batched table."""
+    workload, semantics, graph = case
+    benchmark.pedantic(
+        _build, args=(graph, semantics), rounds=3, iterations=1
+    )
+    _annotate(benchmark, "build", workload, semantics, graph)
+
+
+def test_semantics_warm_serving(benchmark, case):
+    """An 8192-query mixed batch against a warm tenant of this
+    semantics — the multi-tenant serving tier's steady state."""
+    workload, semantics, graph = case
+    queries = batch_queries(graph)
+    service = make_service(graph, semantics)
+    service.lookup_many("t", queries)  # steady state
+    benchmark(service.lookup_many, "t", queries)
+    _annotate(benchmark, "serve", workload, semantics, graph)
+    benchmark.extra_info["batch"] = len(queries)
+
+
+def test_semantics_serving_matches_table():
+    """Guard, not a benchmark: for every accepted (workload, semantics)
+    pair the warm serving path answers exactly what a from-scratch
+    table of that semantics answers — same status, declarer and
+    candidate set on every query of a 2048-key batch."""
+    for workload, semantics in CASES:
+        graph = WORKLOADS[workload]
+        try:
+            table = _build(graph, semantics)
+        except SemanticsRejection:
+            continue
+        service = make_service(graph, semantics)
+        queries = batch_queries(graph, size=2048)
+        for (class_name, member), served in zip(
+            queries, service.lookup_many("t", queries)
+        ):
+            expected = table.lookup(class_name, member)
+            assert served.status == expected.status, (
+                f"{workload}/{semantics}: {class_name}::{member}"
+            )
+            assert served.declaring_class == expected.declaring_class
+            assert served.candidates == expected.candidates

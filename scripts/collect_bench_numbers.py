@@ -12,6 +12,7 @@ Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
         python scripts/collect_bench_numbers.py -k bench_unambiguous --json-out BENCH_unambiguous.json
         python scripts/collect_bench_numbers.py -k snapshot --json-out BENCH_snapshot.json
         python scripts/collect_bench_numbers.py -k bench_columnar --json-out BENCH_columnar.json
+        python scripts/collect_bench_numbers.py -k bench_semantics --json-out BENCH_semantics.json
         python scripts/collect_bench_numbers.py --quick
 
 ``--json-out PATH`` additionally writes a compact, machine-readable

@@ -13,6 +13,12 @@ as a modern point of comparison with the paper's dominance semantics:
   C++ accepts happily.
 
 The tests exhibit both divergences against the paper's figures.
+
+By default the lookup resolves through the interned engine
+(:func:`repro.core.semantics.c3_linearization_ids`, the same code the
+``c3`` :class:`~repro.core.semantics.Semantics` sweeps with);
+``compiled=False`` keeps the original string-keyed merge as an
+independent conformance reference for the tests.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.core.results import (
     not_found_result,
     unique_result,
 )
+from repro.core.semantics import SemanticsRejection, c3_linearization_ids
 from repro.errors import ReproError
 from repro.hierarchy.graph import ClassHierarchyGraph
 
@@ -77,19 +84,47 @@ def _merge(class_name: str, sequences: list[list[str]]) -> list[str]:
 
 
 class C3Lookup:
-    """Member lookup by MRO scan, Python-style."""
+    """Member lookup by MRO scan, Python-style.
 
-    def __init__(self, graph: ClassHierarchyGraph) -> None:
+    With ``compiled=True`` (the default) each MRO is resolved through
+    the interned-id linearizer shared with the ``c3`` semantics, and a
+    merge failure surfaces as the same :class:`InconsistentMROError`
+    the naive path raises.  ``compiled=False`` runs the original
+    string-keyed merge, kept as the conformance reference.
+    """
+
+    def __init__(
+        self, graph: ClassHierarchyGraph, *, compiled: bool = True
+    ) -> None:
         graph.validate()
         self._graph = graph
+        self._compiled = compiled
         self._mros: dict[str, tuple[str, ...]] = {}
+        # Shared across queries so ancestor linearisations intern once.
+        self._id_memo: dict[int, tuple] = {}
 
     def mro(self, class_name: str) -> tuple[str, ...]:
         if class_name not in self._mros:
-            self._mros[class_name] = c3_linearization(
-                self._graph, class_name
-            )
+            if self._compiled:
+                self._mros[class_name] = self._compiled_mro(class_name)
+            else:
+                self._mros[class_name] = c3_linearization(
+                    self._graph, class_name
+                )
         return self._mros[class_name]
+
+    def _compiled_mro(self, class_name: str) -> tuple[str, ...]:
+        ch = self._graph.compile()
+        try:
+            ids = c3_linearization_ids(
+                ch, ch.class_id(class_name), self._id_memo
+            )
+        except SemanticsRejection as exc:
+            raise InconsistentMROError(
+                f"cannot create a consistent MRO for {exc.class_name!r}: "
+                + exc.reason.split(": ", 1)[1]
+            ) from exc
+        return tuple(ch.class_names[cid] for cid in ids)
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
         """The first declaration along the MRO wins; never ambiguous

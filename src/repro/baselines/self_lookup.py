@@ -12,6 +12,11 @@ on the paper's Figure 9, C++ resolves ``lookup(E, m)`` to ``C::m`` via
 dominance through the shared virtual bases, while the Self rule sees the
 three visible definitions ``A::m``, ``B::m``, ``C::m`` and reports
 ambiguity.  The tests exhibit both the agreements and this divergence.
+
+By default lookups resolve through the interned ``self`` semantics
+(:mod:`repro.core.semantics`) on the batched driver; ``compiled=False``
+keeps the original string-keyed visibility fold as an independent
+conformance reference for the tests.
 """
 
 from __future__ import annotations
@@ -28,14 +33,30 @@ from repro.hierarchy.topo import topological_order
 
 class SelfStyleLookup:
     """Visibility-based lookup: a declaration is visible unless shadowed
-    on *every* path by an intervening declaration of the same name."""
+    on *every* path by an intervening declaration of the same name.
 
-    def __init__(self, graph: ClassHierarchyGraph) -> None:
+    ``compiled=True`` (the default) serves answers from a
+    :class:`~repro.core.lookup.MemberLookupTable` built with
+    ``semantics="self"``; ``compiled=False`` runs the original naive
+    fold this class started as, kept as the conformance reference.
+    """
+
+    def __init__(
+        self, graph: ClassHierarchyGraph, *, compiled: bool = True
+    ) -> None:
         graph.validate()
         self._graph = graph
+        self._table = None
         # visible[C][m]: declaring classes of m visible in C.
         self._visible: dict[str, dict[str, frozenset[str]]] = {}
-        self._build()
+        if compiled:
+            from repro.core.lookup import MemberLookupTable
+
+            self._table = MemberLookupTable(
+                graph, mode="batched", semantics="self"
+            )
+        else:
+            self._build()
 
     def _build(self) -> None:
         graph = self._graph
@@ -58,9 +79,19 @@ class SelfStyleLookup:
         """The declaring classes of ``member`` visible in ``class_name``
         under the Self rule."""
         self._graph.direct_bases(class_name)
+        if self._table is not None:
+            result = self._table.lookup(class_name, member)
+            if result.is_unique:
+                return frozenset((result.declaring_class,))
+            if result.is_ambiguous:
+                return frozenset(result.candidates)
+            return frozenset()
         return self._visible[class_name].get(member, frozenset())
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
+        if self._table is not None:
+            self._graph.direct_bases(class_name)
+            return self._table.lookup(class_name, member)
         visible = self.visible_definitions(class_name, member)
         if not visible:
             return not_found_result(class_name, member)

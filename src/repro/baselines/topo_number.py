@@ -12,6 +12,11 @@ assumption blindly — and silently returns a wrong answer on ambiguous
 lookups, which the tests demonstrate.  With ``verify=True`` it
 cross-checks against the real algorithm and raises
 :class:`AmbiguousLookupDetected` when the assumption is violated.
+
+By default lookups resolve through the interned ``topo-number``
+semantics (:mod:`repro.core.semantics`) on the batched driver;
+``compiled=False`` keeps the original string-keyed reaching-definitions
+fold as an independent conformance reference for the tests.
 """
 
 from __future__ import annotations
@@ -37,15 +42,26 @@ class TopoNumberLookup:
     """
 
     def __init__(
-        self, graph: ClassHierarchyGraph, *, verify: bool = False
+        self,
+        graph: ClassHierarchyGraph,
+        *,
+        verify: bool = False,
+        compiled: bool = True,
     ) -> None:
         graph.validate()
         self._graph = graph
-        self._numbers = topological_numbers(graph)
         self._verifier = MemberLookupTable(graph) if verify else None
+        self._table = None
+        self._numbers: dict[str, int] = {}
         # declarers[C][m]: classes declaring m among C's reflexive bases.
         self._declarers: dict[str, dict[str, list[str]]] = {}
-        self._build()
+        if compiled:
+            self._table = MemberLookupTable(
+                graph, mode="batched", semantics="topo-number"
+            )
+        else:
+            self._numbers = topological_numbers(graph)
+            self._build()
 
     def _build(self) -> None:
         graph = self._graph
@@ -61,18 +77,28 @@ class TopoNumberLookup:
                             bucket.append(declarer)
             self._declarers[class_name] = merged
 
+    def _check_assumption(self, class_name: str, member: str) -> None:
+        if self._verifier is None:
+            return
+        checked = self._verifier.lookup(class_name, member)
+        if checked.is_ambiguous:
+            raise AmbiguousLookupDetected(
+                f"lookup({class_name}, {member}) is ambiguous; the "
+                "topological-number shortcut is not applicable"
+            )
+
     def lookup(self, class_name: str, member: str) -> LookupResult:
         self._graph.direct_bases(class_name)
+        if self._table is not None:
+            result = self._table.lookup(class_name, member)
+            if not result.is_unique:
+                return result  # not-found: the shortcut never reports ⊥
+            self._check_assumption(class_name, member)
+            return result
         declarers = self._declarers[class_name].get(member)
         if not declarers:
             return not_found_result(class_name, member)
-        if self._verifier is not None:
-            checked = self._verifier.lookup(class_name, member)
-            if checked.is_ambiguous:
-                raise AmbiguousLookupDetected(
-                    f"lookup({class_name}, {member}) is ambiguous; the "
-                    "topological-number shortcut is not applicable"
-                )
+        self._check_assumption(class_name, member)
         winner = max(declarers, key=self._numbers.__getitem__)
         return unique_result(
             class_name,

@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 
 from repro.core.cache import DEFAULT_CACHE_SIZE, CachedMemberLookup
 from repro.core.lookup import BUILD_MODES, build_lookup_table
+from repro.core.semantics import DEFAULT_SEMANTICS, SEMANTICS_NAMES
 from repro.core.static_lookup import StaticAwareLookupTable
 from repro.diagnostics.dot import chg_to_dot, subobject_graph_to_dot
 from repro.diagnostics.explain import explain_lookup
@@ -121,6 +122,26 @@ def _add_build_mode_options(parser: argparse.ArgumentParser) -> None:
         "report what delta maintenance did (cone size, rows reused vs "
         "recomputed, cache evictions)",
     )
+    parser.add_argument(
+        "--semantics",
+        choices=SEMANTICS_NAMES,
+        default=DEFAULT_SEMANTICS,
+        help="dispatch rule the table is built under (default: "
+        f"{DEFAULT_SEMANTICS}; non-default rules force the batched "
+        "mode unless --mode sharded was requested explicitly, which "
+        "is rejected)",
+    )
+
+
+def _coerce_semantics_mode(args: argparse.Namespace) -> None:
+    """Non-default semantics only run on the batched driver: upgrade
+    the per-member/auto defaults silently, leave an explicit sharded
+    request to be rejected with the table's own error message."""
+    if args.semantics != DEFAULT_SEMANTICS and args.mode in (
+        "per-member",
+        "auto",
+    ):
+        args.mode = "batched"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -293,6 +314,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip delta-debugging of failing hierarchies",
     )
+    fuzz.add_argument(
+        "--semantics",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated semantics subset for the cross-semantics "
+        "differential leg (default: all of "
+        f"{','.join(SEMANTICS_NAMES)}); pairwise disagreements not in "
+        "the divergence catalog are findings",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -315,6 +345,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shared serving LRU capacity "
         f"(default {DEFAULT_CACHE_SIZE})",
+    )
+    serve.add_argument(
+        "--semantics",
+        choices=SEMANTICS_NAMES,
+        default=DEFAULT_SEMANTICS,
+        help="service-wide dispatch rule new tenants inherit "
+        f"(default: {DEFAULT_SEMANTICS}; per-tenant overrides ride "
+        "the add_tenant op)",
     )
     return parser
 
@@ -415,8 +453,9 @@ def _report_delta_stats(
         shards=args.shards,
         fastpath=args.fastpath,
         columnar=args.columnar,
+        semantics=args.semantics,
     )
-    cached = CachedMemberLookup(prefix)
+    cached = CachedMemberLookup(prefix, semantics=args.semantics)
     for name in prefix.classes:
         for member in table.visible_members(name):
             cached.lookup(name, member)
@@ -477,6 +516,7 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         shards=args.shards,
         fastpath=args.fastpath,
         columnar=args.columnar,
+        semantics=args.semantics,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -484,10 +524,15 @@ def _run_build(graph: ClassHierarchyGraph, args: argparse.Namespace) -> int:
         f"{ch.n_members} member names / {len(ch.base_targets)} edges "
         f"in {elapsed * 1e3:.2f} ms"
     )
-    print(f"  requested mode: {args.mode}  resolved mode: {table.mode}")
+    print(
+        f"  requested mode: {args.mode}  resolved mode: {table.mode}  "
+        f"semantics: {table.semantics.name}"
+    )
     print("  " + _render_lookup_stats(table))
 
-    cached = CachedMemberLookup(graph, maxsize=args.cache_size)
+    cached = CachedMemberLookup(
+        graph, maxsize=args.cache_size, semantics=args.semantics
+    )
     queries = 0
     for _ in range(2):
         for class_name in graph.classes:
@@ -534,6 +579,24 @@ def _run_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    semantics = (
+        tuple(
+            name.strip()
+            for name in args.semantics.split(",")
+            if name.strip()
+        )
+        if args.semantics
+        else None
+    )
+    if semantics:
+        unknown = [name for name in semantics if name not in SEMANTICS_NAMES]
+        if unknown:
+            print(
+                f"error: unknown semantics {', '.join(unknown)} "
+                f"(choose from {', '.join(SEMANTICS_NAMES)})",
+                file=sys.stderr,
+            )
+            return 2
     report = run_campaign(
         seed=args.seed,
         budget=args.budget,
@@ -542,6 +605,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         max_classes=args.max_classes,
         shrink=not args.no_shrink,
+        semantics=semantics,
     )
     print(report.render())
     if args.report:
@@ -556,7 +620,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ServeFront
     from repro.serve.service import LookupService
 
-    service = LookupService(cache_size=args.cache_size)
+    service = LookupService(
+        cache_size=args.cache_size, semantics=args.semantics
+    )
     front = ServeFront(service, host=args.host, port=args.port)
     try:
         asyncio.run(front.serve())
@@ -620,6 +686,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if result.is_unique else 1
 
     if args.command == "table":
+        _coerce_semantics_mode(args)
         table = build_lookup_table(
             graph,
             mode=args.mode,
@@ -627,6 +694,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             shards=args.shards,
             fastpath=args.fastpath,
             columnar=args.columnar,
+            semantics=args.semantics,
         )
         for class_name in graph.classes:
             for member in table.visible_members(class_name):
@@ -648,6 +716,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "build":
+        _coerce_semantics_mode(args)
         return _run_build(graph, args)
 
     if args.command == "explain":

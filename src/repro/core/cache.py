@@ -33,6 +33,7 @@ from typing import Optional
 
 from repro.core.lazy import LazyMemberLookup
 from repro.core.results import LookupResult
+from repro.core.semantics import DEFAULT_SEMANTICS, Semantics, get_semantics
 from repro.hierarchy.compiled import (
     HierarchyLike,
     describe_delta,
@@ -209,6 +210,17 @@ class CachedMemberLookup:
     simply fail the promotion and stay general; an invalidation that
     demotes a column resets its miss counter so it can earn promotion
     again.
+
+    ``semantics`` selects the dispatch rule (:mod:`repro.core
+    .semantics`).  The default ``"cpp-dominance"`` keeps the lazy
+    engine behind the LRU; a non-default semantics has no lazy/
+    incremental engine, so the cache fronts a snapshot-backed batched
+    :class:`~repro.core.lookup.MemberLookupTable` under that semantics
+    instead (``fastpath=True``, so certified columns are already O(1)
+    below the LRU — ``fastpath_threshold`` is meaningless there and
+    rejected).  Invalidation then rides
+    :meth:`~repro.core.lookup.MemberLookupTable.apply_delta` — O(cone)
+    at the table — plus the same surgical LRU retirement.
     """
 
     def __init__(
@@ -218,12 +230,37 @@ class CachedMemberLookup:
         maxsize: int = DEFAULT_CACHE_SIZE,
         track_witnesses: bool = True,
         fastpath_threshold: Optional[int] = None,
+        semantics: Optional[str | Semantics] = None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._track_witnesses = track_witnesses
-        self._lazy = LazyMemberLookup(
-            hierarchy, track_witnesses=track_witnesses
-        )
+        if isinstance(semantics, str) or semantics is None:
+            semantics = get_semantics(semantics)
+        self.semantics = semantics
+        self._lazy: Optional[LazyMemberLookup] = None
+        self._table = None
+        if semantics.name == DEFAULT_SEMANTICS:
+            self._lazy = LazyMemberLookup(
+                hierarchy, track_witnesses=track_witnesses
+            )
+        else:
+            if fastpath_threshold is not None:
+                raise ValueError(
+                    f"semantics {semantics.name!r} fronts a batched "
+                    "table whose certified columns already serve O(1) "
+                    "through the flat fast path; fastpath_threshold "
+                    "only tunes the lazy-engine promotion tier"
+                )
+            from repro.core.lookup import MemberLookupTable
+
+            self._table = MemberLookupTable(
+                hierarchy,
+                track_witnesses=track_witnesses,
+                mode="batched",
+                fastpath=True,
+                columnar=False,
+                semantics=semantics,
+            )
         self._cache = LookupCache(maxsize)
         self._snapshot = self._graph.compile()
         self._generation = self._graph.generation
@@ -237,10 +274,18 @@ class CachedMemberLookup:
         return self._cache.stats
 
     @property
-    def lazy(self) -> LazyMemberLookup:
-        """The underlying engine (its ``stats`` count the actual kernel
-        work; the cache's counters count what was *avoided*)."""
+    def lazy(self) -> Optional[LazyMemberLookup]:
+        """The underlying lazy engine (its ``stats`` count the actual
+        kernel work; the cache's counters count what was *avoided*).
+        ``None`` under a non-default semantics — see :attr:`table`."""
         return self._lazy
+
+    @property
+    def table(self):
+        """The snapshot-backed batched table a non-default semantics
+        fronts instead of the lazy engine; ``None`` under the default
+        ``cpp-dominance`` semantics."""
+        return self._table
 
     @property
     def generation(self) -> int:
@@ -256,7 +301,8 @@ class CachedMemberLookup:
         key = (class_name, member)
         result = self._cache.get(key)
         if result is None:
-            result = self._lazy.lookup(class_name, member)
+            engine = self._lazy if self._lazy is not None else self._table
+            result = engine.lookup(class_name, member)
             self._cache.put(key, result)
             threshold = self._fastpath_threshold
             if threshold is not None:
@@ -298,10 +344,11 @@ class CachedMemberLookup:
                 out[qi] = result
         if misses:
             lazy = self._lazy
+            engine = lazy if lazy is not None else self._table
             threshold = self._fastpath_threshold
             member_misses = self._member_misses
             for (class_name, member), positions in misses.items():
-                result = lazy.lookup(class_name, member)
+                result = engine.lookup(class_name, member)
                 cache.put((class_name, member), result)
                 for qi in positions:
                     out[qi] = result
@@ -339,6 +386,35 @@ class CachedMemberLookup:
         old = self._snapshot
         delta = describe_delta(old, new)
         stats = self._cache.stats
+        if self._table is not None:
+            # Table-backed (non-default semantics): the table reconciles
+            # itself in O(cone) — and a SemanticsRejection raised by the
+            # cone re-sweep propagates *before* any cache state moves,
+            # leaving the old generation fully served.  Then retire the
+            # same cone × affected rectangle from the LRU.
+            self._table.apply_delta(delta)
+            if delta is None:
+                had_lru = len(self._cache) > 0
+                self._cache.clear()  # counts the event when warm
+                if had_lru:
+                    stats.full_flushes += 1
+            elif not delta.is_empty and len(self._cache) > 0:
+                cone_names = {
+                    new.class_names[cid] for cid in delta.cone_ids()
+                }
+                member_names = {
+                    new.member_names[mid] for mid in delta.member_ids()
+                }
+                retired, retained = self._cache.retire(
+                    lambda key: key[0] in cone_names
+                    and key[1] in member_names
+                )
+                stats.entries_evicted += retired
+                stats.entries_survived += retained
+                stats.invalidations += 1
+            self._snapshot = new
+            self._generation = new.generation
+            return
         if delta is None:
             # Incomparable snapshots: retire the whole computed state.
             memo_entries = self._lazy.entries_computed()

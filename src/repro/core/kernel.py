@@ -62,7 +62,7 @@ from repro.core.results import (
     not_found_result,
     unique_result,
 )
-from repro.hierarchy.compiled import OMEGA_ID, CompiledHierarchy
+from repro.hierarchy.compiled import NONE_ID, OMEGA_ID, CompiledHierarchy
 
 # ----------------------------------------------------------------------
 # Public table-entry types (string-keyed, paper notation)
@@ -660,8 +660,20 @@ def cone_sweep(
 
 
 def abstraction_name(ch: CompiledHierarchy, value: int) -> Abstraction:
-    """Interned abstraction id back to the public class-name / Ω form."""
-    return OMEGA if value == OMEGA_ID else ch.class_names[value]
+    """Interned abstraction id back to the public class-name / Ω form.
+
+    :data:`~repro.hierarchy.compiled.NONE_ID` renders as ``None`` — the
+    alternative semantics (:mod:`repro.core.semantics`) use it for "no
+    least-virtual abstraction tracked", which the string-keyed baselines
+    express as ``least_virtual=None``.  Every conversion funnel (rows,
+    fastpath, columnar) goes through here, so the sentinel round-trips
+    exactly.
+    """
+    if value == OMEGA_ID:
+        return OMEGA
+    if value == NONE_ID:
+        return None
+    return ch.class_names[value]
 
 
 def witness_path(ch: CompiledHierarchy, cell: WitnessCell) -> Path:

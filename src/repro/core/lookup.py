@@ -64,6 +64,7 @@ from repro.core.kernel import (
     to_table_entry,
 )
 from repro.core.results import LookupResult, not_found_result
+from repro.core.semantics import DEFAULT_SEMANTICS, Semantics, get_semantics
 from repro.core.snapshot import DeltaStats, TableSnapshot
 from repro.hierarchy.compiled import (
     HierarchyDelta,
@@ -177,15 +178,34 @@ class MemberLookupTable:
         fastpath: Optional[bool] = None,
         unsafe_inplace: Optional[bool] = None,
         columnar=None,
+        semantics: Optional[str | Semantics] = None,
     ) -> None:
         self._graph = hierarchy_of(hierarchy)
         self._ch = compiled_of(hierarchy)
         self._track_witnesses = track_witnesses
         self._max_workers = max_workers
         self._shards = shards
+        if isinstance(semantics, str) or semantics is None:
+            semantics = get_semantics(semantics)
+        self.semantics = semantics
         if fastpath is None:
             fastpath = mode == "auto"
         resolved = resolve_build_mode(mode, self._ch, max_workers=max_workers)
+        if semantics.name != DEFAULT_SEMANTICS:
+            if resolved != "batched":
+                raise ValueError(
+                    f"semantics {semantics.name!r} only supports "
+                    f"mode='batched' (resolved mode here: {resolved!r}); "
+                    "the per-member and sharded drivers run the "
+                    "dominance kernel"
+                )
+            if unsafe_inplace:
+                raise ValueError(
+                    f"semantics {semantics.name!r} requires "
+                    "snapshot-backed maintenance; a mid-delta "
+                    "SemanticsRejection must leave the published table "
+                    "untouched (drop unsafe_inplace=True)"
+                )
         if fastpath and resolved == "per-member":
             raise ValueError(
                 "fastpath=True requires a row-major build mode "
@@ -247,6 +267,7 @@ class MemberLookupTable:
                 fastpath=self.fastpath,
                 stats=self.stats,
                 columnar=self.columnar,
+                semantics=self.semantics,
             )
             self._entry_total = self._head.entry_total
             return
@@ -733,6 +754,7 @@ def build_lookup_table(
     fastpath: Optional[bool] = None,
     unsafe_inplace: Optional[bool] = None,
     columnar=None,
+    semantics: Optional[str | Semantics] = None,
 ) -> MemberLookupTable:
     """Run the paper's ``doLookup()`` and return the filled table.
 
@@ -744,7 +766,10 @@ def build_lookup_table(
     historical mutate-in-place delta maintenance.  ``columnar``
     (default: on for snapshot-backed tables) governs the dense batch
     layout behind ``lookup_many`` — ``True`` lazy, ``"eager"`` built
-    with the table, ``False`` per-query loop.
+    with the table, ``False`` per-query loop.  ``semantics`` selects
+    the dispatch rule (:mod:`repro.core.semantics`; default the
+    paper's ``"cpp-dominance"``); non-default semantics are
+    batched-mode, snapshot-backed only.
     """
     return MemberLookupTable(
         hierarchy,
@@ -755,6 +780,7 @@ def build_lookup_table(
         fastpath=fastpath,
         unsafe_inplace=unsafe_inplace,
         columnar=columnar,
+        semantics=semantics,
     )
 
 

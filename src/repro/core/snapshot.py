@@ -60,6 +60,7 @@ from repro.core.kernel import (
     to_table_entry,
 )
 from repro.core.results import LookupResult, not_found_result
+from repro.core.semantics import DEFAULT_SEMANTICS, Semantics, get_semantics
 from repro.errors import UnknownClassError
 from repro.hierarchy.compiled import (
     HierarchyDelta,
@@ -155,6 +156,7 @@ class TableSnapshot:
         "delta_stats",
         "parent_generation",
         "columnar_enabled",
+        "semantics",
         "_columnar",
         "_public",
     )
@@ -175,6 +177,7 @@ class TableSnapshot:
         delta_stats: Optional[DeltaStats] = None,
         parent_generation: Optional[int] = None,
         columnar=True,
+        semantics: Optional[Semantics] = None,
     ) -> None:
         self.ch = ch
         self.rows = rows
@@ -195,6 +198,12 @@ class TableSnapshot:
         #: Whether batches route through the columnar gather (see
         #: :data:`COLUMNAR_MODES`; the table itself is built lazily).
         self.columnar_enabled = bool(columnar)
+        #: The dispatch rule whose sweeps produced (and maintain) these
+        #: rows (:mod:`repro.core.semantics`); the default is the
+        #: paper's dominance kernel.
+        self.semantics = (
+            get_semantics(None) if semantics is None else semantics
+        )
         self._columnar: Optional[ColumnarTable] = None
 
     # ------------------------------------------------------------------
@@ -213,6 +222,7 @@ class TableSnapshot:
         fastpath: bool = True,
         stats: Optional[LookupStats] = None,
         columnar=True,
+        semantics: Optional[str | Semantics] = None,
     ) -> "TableSnapshot":
         """Sweep a hierarchy from scratch into a root snapshot.
 
@@ -225,11 +235,26 @@ class TableSnapshot:
         sharded mode then builds per-worker columnar slabs and merges
         them.  ``stats`` receives the sweep's
         :class:`~repro.core.kernel.LookupStats` counters.
+
+        ``semantics`` selects the dispatch rule the rows are swept
+        under (:mod:`repro.core.semantics`; name or instance, default
+        the paper's ``"cpp-dominance"``).  Non-default semantics are
+        batched-only (the sharded worker pool drives the dominance
+        kernel) and may raise
+        :class:`~repro.core.semantics.SemanticsRejection` for
+        hierarchies the rule statically rejects.
         """
         if mode not in SNAPSHOT_MODES:
             raise ValueError(
                 f"unknown snapshot mode {mode!r}; "
                 f"expected one of {SNAPSHOT_MODES}"
+            )
+        if isinstance(semantics, str) or semantics is None:
+            semantics = get_semantics(semantics)
+        if semantics.name != DEFAULT_SEMANTICS and mode != "batched":
+            raise ValueError(
+                f"semantics {semantics.name!r} only supports the "
+                f"'batched' snapshot mode, not {mode!r}"
             )
         if columnar not in COLUMNAR_MODES:
             raise ValueError(
@@ -253,7 +278,7 @@ class TableSnapshot:
                 columnar_slabs=slabs,
             )
         else:
-            rows = batched_sweep(
+            rows = semantics.sweep(
                 ch,
                 stats=stats,
                 track_witnesses=track_witnesses,
@@ -275,6 +300,7 @@ class TableSnapshot:
             max_workers=max_workers,
             shards=shards,
             columnar=columnar,
+            semantics=semantics,
         )
         if columnar == "eager":
             if slabs:
@@ -325,6 +351,7 @@ class TableSnapshot:
                 fastpath=self.flat is not None,
                 stats=stats,
                 columnar=self.columnar_enabled,
+                semantics=self.semantics,
             )
             child.delta_stats.deltas_applied = 1
             child.delta_stats.full_rebuilds = 1
@@ -366,7 +393,7 @@ class TableSnapshot:
                     copy_on_write=True,
                 )
             else:
-                sweep = cone_sweep(
+                sweep = self.semantics.cone_sweep(
                     new,
                     rows,
                     cone_mask=cone,
@@ -441,6 +468,7 @@ class TableSnapshot:
             delta_stats=result,
             parent_generation=old.generation,
             columnar=self.columnar_enabled,
+            semantics=self.semantics,
         )
         parent_columnar = self._columnar
         if parent_columnar is not None:

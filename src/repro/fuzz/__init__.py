@@ -19,6 +19,15 @@ from repro.fuzz.campaign import (
     differential_check,
     run_campaign,
 )
+from repro.fuzz.cross_semantics import (
+    CATALOG,
+    CatalogEntry,
+    PairDivergence,
+    catalog_entry_for,
+    cross_semantics_check,
+    cross_semantics_divergences,
+    semantics_outcomes,
+)
 from repro.fuzz.corpus import (
     CORPUS_FORMAT,
     CORPUS_VERSION,
@@ -41,19 +50,25 @@ from repro.fuzz.report import CampaignReport, Finding
 from repro.fuzz.shrink import ShrinkResult, shrink_hierarchy
 
 __all__ = [
+    "CATALOG",
     "CORPUS_FORMAT",
     "CORPUS_VERSION",
     "AppliedMutation",
     "CampaignReport",
+    "CatalogEntry",
     "CorpusEntry",
     "Divergence",
     "ENGINES",
     "Finding",
     "MUTATORS",
     "Mutator",
+    "PairDivergence",
     "ShrinkResult",
     "build_engine",
+    "catalog_entry_for",
     "copy_hierarchy",
+    "cross_semantics_check",
+    "cross_semantics_divergences",
     "differential_check",
     "entry_from_dict",
     "entry_to_dict",
@@ -63,5 +78,6 @@ __all__ = [
     "replay_corpus",
     "run_campaign",
     "save_entry",
+    "semantics_outcomes",
     "shrink_hierarchy",
 ]

@@ -34,7 +34,12 @@ On top of the oracle comparison each iteration:
   :class:`~repro.core.snapshot.TableSnapshot` is cross-checked against
   the oracle of the hierarchy *at its own generation*: published
   snapshots must stay immutable (and keep their generation stamp) no
-  matter what the writer published or retired after them.
+  matter what the writer published or retired after them;
+* **cross-semantics pairs** — periodically, the hierarchy is built
+  under every registered dispatch semantics
+  (:mod:`repro.core.semantics`) and all pairs are diffed over the full
+  query surface: any disagreement not covered by the divergence
+  catalog (:mod:`repro.fuzz.cross_semantics`) is a finding.
 
 Every divergence becomes a :class:`~repro.fuzz.report.Finding`; mismatch
 and certificate findings are delta-debugged to a minimal counterexample
@@ -59,7 +64,9 @@ from repro.core.incremental import IncrementalLookupEngine
 from repro.core.lookup import build_lookup_table
 from repro.core.snapshot import TableSnapshot
 from repro.core.results import describe_disagreement
+from repro.core.semantics import SEMANTICS_NAMES
 from repro.fuzz.corpus import CorpusEntry, replay_corpus, save_entry
+from repro.fuzz.cross_semantics import cross_semantics_check
 from repro.fuzz.mutators import AppliedMutation, copy_hierarchy, mutate
 from repro.fuzz.report import CampaignReport, Finding
 from repro.fuzz.shrink import shrink_hierarchy
@@ -543,6 +550,7 @@ def run_campaign(
     max_classes: int = 12,
     mutation_probability: float = 0.6,
     shrink: bool = True,
+    semantics: Optional[Sequence[str]] = None,
 ) -> CampaignReport:
     """Run a differential fuzzing campaign and return its report.
 
@@ -552,10 +560,17 @@ def run_campaign(
     starts, and new shrunk finds are persisted into it.  ``engines``
     restricts the matrix (the broken-engine tests exclude ``sharded``,
     whose worker processes would not see a monkeypatched kernel).
-    Deterministic in ``seed`` for a fixed iteration budget.
+    ``semantics`` restricts the cross-semantics pairwise leg (default:
+    every registered semantics).  Deterministic in ``seed`` for a
+    fixed iteration budget.
     """
     engines = tuple(engines)
-    report = CampaignReport(seed=seed, budget=budget, engines=engines)
+    semantics = (
+        tuple(semantics) if semantics is not None else SEMANTICS_NAMES
+    )
+    report = CampaignReport(
+        seed=seed, budget=budget, engines=engines, semantics=semantics
+    )
     start = time.monotonic()
     rng = random.Random(seed)
 
@@ -654,6 +669,29 @@ def run_campaign(
                         kind=divergence.kind,
                         family=family,
                         detail=divergence.detail,
+                        class_name=divergence.class_name,
+                        member=divergence.member,
+                        mutations=tuple(mutation_names),
+                    )
+                )
+
+        if iteration % 5 == 4 and len(semantics) > 1:
+            uncatalogued, pairs, catalogued = cross_semantics_check(
+                graph, semantics=semantics
+            )
+            report.cross_semantics_checks += pairs
+            report.catalogued_divergences += catalogued
+            for divergence in uncatalogued:
+                report.findings.append(
+                    Finding(
+                        iteration=iteration,
+                        engine=f"{divergence.left}|{divergence.right}",
+                        kind="cross-semantics",
+                        family=family,
+                        detail=(
+                            "uncatalogued divergence: "
+                            f"{divergence.describe()}"
+                        ),
                         class_name=divergence.class_name,
                         member=divergence.member,
                         mutations=tuple(mutation_names),

@@ -34,6 +34,9 @@ class Finding:
       :meth:`~repro.core.lookup.MemberLookupTable.apply_delta` across a
       burst of mutations disagrees with a from-scratch rebuild or the
       oracle;
+    * ``"cross-semantics"`` — two dispatch semantics disagreed in a way
+      the divergence catalog (:mod:`repro.fuzz.cross_semantics`) does
+      not document (``engine`` carries the pair as ``"left|right"``);
     * ``"replay"`` — a persisted corpus entry no longer replays clean.
     """
 
@@ -85,6 +88,7 @@ class CampaignReport:
     seed: int
     budget: int
     engines: tuple[str, ...]
+    semantics: tuple[str, ...] = ()
     iterations: int = 0
     elapsed: float = 0.0
     stopped_by: str = "budget"  # "budget" | "time"
@@ -93,6 +97,8 @@ class CampaignReport:
     invariant_checks: int = 0
     delta_storms: int = 0
     snapshot_chains: int = 0
+    cross_semantics_checks: int = 0
+    catalogued_divergences: int = 0
     corpus_replayed: int = 0
     families: dict[str, int] = field(default_factory=dict)
     mutations: dict[str, int] = field(default_factory=dict)
@@ -115,6 +121,7 @@ class CampaignReport:
             "seed": self.seed,
             "budget": self.budget,
             "engines": list(self.engines),
+            "semantics": list(self.semantics),
             "iterations": self.iterations,
             "elapsed_seconds": round(self.elapsed, 3),
             "stopped_by": self.stopped_by,
@@ -123,6 +130,8 @@ class CampaignReport:
             "invariant_checks": self.invariant_checks,
             "delta_storms": self.delta_storms,
             "snapshot_chains": self.snapshot_chains,
+            "cross_semantics_checks": self.cross_semantics_checks,
+            "catalogued_divergences": self.catalogued_divergences,
             "corpus_replayed": self.corpus_replayed,
             "families": dict(sorted(self.families.items())),
             "mutations": dict(sorted(self.mutations.items())),
@@ -155,6 +164,13 @@ class CampaignReport:
             lines.append(
                 f"  snapshot chains stormed (publish/retire): "
                 f"{self.snapshot_chains}"
+            )
+        if self.cross_semantics_checks:
+            lines.append(
+                f"  cross-semantics pairs diffed: "
+                f"{self.cross_semantics_checks} "
+                f"({', '.join(self.semantics)}); "
+                f"catalogued divergences: {self.catalogued_divergences}"
             )
         if self.corpus_replayed:
             lines.append(f"  corpus entries replayed: {self.corpus_replayed}")

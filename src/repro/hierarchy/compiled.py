@@ -42,6 +42,13 @@ from repro.hierarchy.graph import ClassHierarchyGraph
 #: abstraction, mirroring Definition 13's requirement.
 OMEGA_ID = -1
 
+#: Second sentinel for the alternative dispatch semantics
+#: (:mod:`repro.core.semantics`): "this rule does not track a least
+#: virtual abstraction at all".  Distinct from every class id *and* from
+#: :data:`OMEGA_ID`, and rendered as ``None`` (not Ω) at the result
+#: boundary, matching the string-keyed baselines exactly.
+NONE_ID = -2
+
 
 class CompiledHierarchy:
     """An immutable, integer-indexed view of one graph generation.

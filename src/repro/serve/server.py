@@ -222,12 +222,15 @@ class ServeFront:
             )
         if op == "add_tenant":
             tenant = service.add_tenant(
-                request["tenant"], request.get("hierarchy")
+                request["tenant"],
+                request.get("hierarchy"),
+                semantics=request.get("semantics"),
             )
             return {
                 "tenant": tenant.name,
                 "generation": tenant.snapshot.generation,
                 "classes": tenant.snapshot.ch.n_classes,
+                "semantics": tenant.table.semantics.name,
             }
         if op == "remove_tenant":
             name = request["tenant"]

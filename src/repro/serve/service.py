@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.core.cache import DEFAULT_CACHE_SIZE, LookupCache
 from repro.core.lookup import MemberLookupTable
+from repro.core.semantics import get_semantics
 from repro.core.results import LookupResult
 from repro.core.snapshot import TableSnapshot
 from repro.errors import ReproError
@@ -111,6 +112,7 @@ class LookupService:
         max_workers: Optional[int] = None,
         shards: Optional[int] = None,
         columnar: bool = True,
+        semantics: Optional[str] = None,
     ) -> None:
         self._tenants: dict[str, Tenant] = {}
         self._cache = LookupCache(cache_size)
@@ -118,6 +120,7 @@ class LookupService:
         self._max_workers = max_workers
         self._shards = shards
         self._columnar = bool(columnar)
+        self._semantics = get_semantics(semantics)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle
@@ -135,13 +138,22 @@ class LookupService:
             raise UnknownTenantError(name)
         return tenant
 
-    def add_tenant(self, name: str, hierarchy=None) -> Tenant:
+    def add_tenant(
+        self, name: str, hierarchy=None, *, semantics: Optional[str] = None
+    ) -> Tenant:
         """Host a new tenant and build its root snapshot.
 
         ``hierarchy`` is a :class:`~repro.hierarchy.graph
         .ClassHierarchyGraph`, a ``repro-chg`` dict, or ``None`` (an
-        empty hierarchy).  Raises :class:`DuplicateTenantError` when
-        the name is taken."""
+        empty hierarchy).  ``semantics`` overrides the service-wide
+        dispatch rule for this tenant (:mod:`repro.core.semantics`) —
+        tenants under different semantics share the service and its
+        LRU, since cache keys carry the tenant name.  Non-default
+        semantics need the ``"batched"`` table mode (the service
+        default); the rule may also reject the hierarchy outright with
+        :class:`~repro.core.semantics.SemanticsRejection`, in which
+        case the tenant is not added.  Raises
+        :class:`DuplicateTenantError` when the name is taken."""
         if name in self._tenants:
             raise DuplicateTenantError(name)
         if hierarchy is None:
@@ -157,6 +169,9 @@ class LookupService:
             shards=self._shards,
             fastpath=True,
             columnar=self._columnar,
+            semantics=(
+                self._semantics if semantics is None else semantics
+            ),
         )
         tenant = Tenant(name=name, graph=graph, table=table)
         self._tenants[name] = tenant
@@ -309,6 +324,7 @@ class LookupService:
                 "classes": snapshot.ch.n_classes,
                 "members": snapshot.ch.n_members,
                 "entries": snapshot.entry_total,
+                "semantics": tenant.table.semantics.name,
                 "lookups": tenant.stats.lookups,
                 "batches": tenant.stats.batches,
                 "deltas_applied": tenant.stats.deltas_applied,

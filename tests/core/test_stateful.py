@@ -1,10 +1,12 @@
 """Hypothesis stateful tests: random interleavings of mutations and
 queries against from-scratch oracles."""
 
+import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
+    initialize,
     invariant,
     precondition,
     rule,
@@ -13,7 +15,9 @@ from hypothesis.stateful import (
 from repro.core.cache import CachedMemberLookup
 from repro.core.incremental import IncrementalLookupEngine
 from repro.core.lookup import MemberLookupTable, build_lookup_table
+from repro.core.semantics import SemanticsRejection
 from repro.errors import CycleError, DuplicateBaseError, DuplicateMemberError
+from repro.fuzz import copy_hierarchy
 from repro.hierarchy.builder import HierarchyBuilder
 from repro.hierarchy.graph import ClassHierarchyGraph
 from repro.runtime.objects import AmbiguousAccessError, Runtime
@@ -316,6 +320,121 @@ SnapshotChainMachine.TestCase.settings = settings(
     max_examples=25, stateful_step_count=20, deadline=None
 )
 TestSnapshotChainMachine = SnapshotChainMachine.TestCase
+
+
+class SemanticsTableMachine(RuleBasedStateMachine):
+    """Random mutation/query interleavings against a snapshot-backed
+    table running a *non-default* dispatch semantics.
+
+    The maintained table must always answer exactly what a from-scratch
+    build of the same semantics answers for the generation it last
+    accepted; a rejecting semantics (``c3``, ``eiffel``) whose
+    ``apply_delta`` raises must agree with the from-scratch build on
+    the rejection *and* keep serving the pre-delta generation
+    untouched — the copy-on-write publish contract."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = ClassHierarchyGraph()
+        self.counter = 0
+        self.semantics = None
+        self.table = None
+        self.accepted = None  # copy of the last generation the table holds
+
+    @initialize(
+        semantics=st.sampled_from(
+            ("self", "topo-number", "c3", "eiffel", "gxx-bfs")
+        )
+    )
+    def pick_semantics(self, semantics):
+        self.semantics = semantics
+        self.graph.add_class("K0", ["m"])
+        self.counter = 1
+        self.table = MemberLookupTable(
+            self.graph, mode="batched", semantics=semantics
+        )
+        self.accepted = copy_hierarchy(self.graph)
+
+    @rule(member_mask=st.integers(0, 3))
+    def add_class(self, member_mask):
+        members = [m for i, m in enumerate(MEMBERS) if member_mask & (1 << i)]
+        self.graph.add_class(f"K{self.counter}", members)
+        self.counter += 1
+
+    @precondition(lambda self: self.counter >= 2)
+    @rule(data=st.data(), virtual=st.booleans())
+    def add_edge(self, data, virtual):
+        derived_index = data.draw(st.integers(1, self.counter - 1))
+        base_index = data.draw(st.integers(0, derived_index - 1))
+        try:
+            self.graph.add_edge(
+                f"K{base_index}", f"K{derived_index}", virtual=virtual
+            )
+        except (DuplicateBaseError, CycleError):
+            pass
+
+    @precondition(lambda self: self.counter >= 1)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def add_member(self, data, member):
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        try:
+            self.graph.add_member(target, member)
+        except DuplicateMemberError:
+            pass
+
+    @rule()
+    def sync(self):
+        generation = self.table.snapshot.generation
+        try:
+            self.table.apply_delta()
+        except SemanticsRejection as rejected:
+            # The from-scratch build must reject too, and the table must
+            # still serve the last accepted generation (checked by the
+            # invariant against self.accepted).
+            with pytest.raises(SemanticsRejection) as fresh:
+                build_lookup_table(
+                    self.graph, mode="batched", semantics=self.semantics
+                )
+            assert fresh.value.semantics == rejected.semantics
+            assert self.table.snapshot.generation == generation
+        else:
+            self.accepted = copy_hierarchy(self.graph)
+
+    @precondition(lambda self: self.table is not None)
+    @rule(data=st.data(), member=st.sampled_from(MEMBERS))
+    def query(self, data, member):
+        target = f"K{data.draw(st.integers(0, self.counter - 1))}"
+        if target in self.accepted.classes:
+            self.table.lookup(target, member)
+
+    @invariant()
+    def matches_fresh_build_of_accepted_generation(self):
+        if self.table is None:
+            return
+        fresh = build_lookup_table(
+            self.accepted, mode="batched", semantics=self.semantics
+        )
+        queries = [
+            (class_name, member)
+            for class_name in self.accepted.classes
+            for member in MEMBERS
+        ]
+        batched = self.table.lookup_many(queries)
+        for (class_name, member), got in zip(queries, batched):
+            want = fresh.lookup(class_name, member)
+            assert got.status == want.status, (
+                self.semantics,
+                class_name,
+                member,
+            )
+            assert got.declaring_class == want.declaring_class
+            assert got.candidates == want.candidates
+
+
+SemanticsTableMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestSemanticsTableMachine = SemanticsTableMachine.TestCase
 
 
 class TestSnapshotThreadedStorm:

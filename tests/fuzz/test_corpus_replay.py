@@ -10,6 +10,8 @@ from repro.fuzz import (
     CORPUS_FORMAT,
     ENGINES,
     CorpusEntry,
+    catalog_entry_for,
+    cross_semantics_divergences,
     differential_check,
     entry_from_dict,
     entry_to_dict,
@@ -23,6 +25,15 @@ from repro.workloads import figure9
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
 
+#: Entries seeded as cross-semantics divergence witnesses carry a
+#: ``meta["catalog"]`` list naming exactly the divergence-catalog
+#: entries their hierarchy fires.
+CATALOG_WITNESSES = (
+    "figure9-dominance-vs-gxx",
+    "c3-unlinearizable-diamond",
+    "eiffel-rename-required",
+)
+
 
 def test_seed_corpus_present():
     """The founding entries ship with the repository."""
@@ -30,6 +41,8 @@ def test_seed_corpus_present():
     assert "figure9-gxx-counterexample" in names
     assert "virtual-diamond-dominance-find" in names
     assert "ambiguous-fan-dominance-find" in names
+    for witness in CATALOG_WITNESSES:
+        assert witness in names
 
 
 @pytest.mark.parametrize(
@@ -50,6 +63,26 @@ def test_replay_corpus_covers_directory():
     replayed, findings = replay_corpus(CORPUS_DIR)
     assert replayed == len(CORPUS_FILES)
     assert findings == []
+
+
+@pytest.mark.parametrize("stem", CATALOG_WITNESSES)
+def test_catalog_witness_replays_catalogued(stem):
+    """A cross-semantics witness entry must (a) still diverge — the
+    shape is seeded *because* the rules disagree on it — (b) produce
+    only catalogued divergences, and (c) fire exactly the catalog
+    entries its ``meta["catalog"]`` list pins, so a catalog or
+    semantics change that alters the attribution is loud."""
+    entry = load_entry(CORPUS_DIR / f"{stem}.json")
+    pairs = cross_semantics_divergences(entry.hierarchy)
+    assert pairs, f"{stem}: the witness no longer diverges at all"
+    fired = set()
+    for divergence, catalogued in pairs:
+        assert catalogued is not None, (
+            f"{stem}: uncatalogued divergence {divergence.describe()}"
+        )
+        assert catalog_entry_for(divergence) is catalogued
+        fired.add(catalogued.name)
+    assert sorted(fired) == entry.meta["catalog"]
 
 
 def test_figure9_entry_is_shrunk_figure9():

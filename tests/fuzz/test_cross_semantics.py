@@ -1,0 +1,151 @@
+"""The cross-semantics divergence catalog, exercised both ways.
+
+Soundness: pairwise-diffing all six registered semantics over random
+hierarchies must never produce a divergence the catalog
+(:data:`repro.fuzz.cross_semantics.CATALOG`) cannot attribute — an
+uncatalogued disagreement is exactly what the fuzz campaign's
+cross-semantics leg files as a finding.  Completeness: every catalog
+entry must be *witnessed*, i.e. its own witness hierarchy actually
+fires it, so no entry can rot into dead documentation."""
+
+import pytest
+
+from repro.core.semantics import SEMANTICS_NAMES
+from repro.fuzz import (
+    CATALOG,
+    PairDivergence,
+    catalog_entry_for,
+    cross_semantics_check,
+    cross_semantics_divergences,
+    run_campaign,
+    semantics_outcomes,
+)
+from repro.fuzz.cross_semantics import REJECTED
+from repro.workloads.generators import (
+    layered_hierarchy,
+    random_hierarchy,
+)
+from repro.workloads.paper_figures import figure9
+
+CATALOG_BY_NAME = {entry.name: entry for entry in CATALOG}
+
+
+def test_catalog_names_are_unique():
+    assert len(CATALOG_BY_NAME) == len(CATALOG)
+
+
+@pytest.mark.parametrize(
+    "entry", CATALOG, ids=[entry.name for entry in CATALOG]
+)
+def test_every_catalog_entry_is_witnessed(entry):
+    """The entry's witness hierarchy must fire the entry itself — and
+    produce nothing the catalog as a whole cannot attribute."""
+    graph = entry.witness()
+    attributed = cross_semantics_divergences(graph)
+    assert attributed, f"{entry.name}: witness produced no divergence"
+    fired = set()
+    for divergence, catalogued in attributed:
+        assert catalogued is not None, (
+            f"{entry.name}: witness fired uncatalogued divergence "
+            f"{divergence.describe()}"
+        )
+        fired.add(catalogued.name)
+    assert entry.name in fired, (
+        f"{entry.name}: witness only fired {sorted(fired)}"
+    )
+
+
+def test_attribution_is_orientation_blind():
+    """``catalog_entry_for`` matches a divergence and its swap to the
+    same entry: the pair order the differ happened to produce must not
+    matter."""
+    for divergence, catalogued in cross_semantics_divergences(figure9()):
+        assert catalogued is not None
+        assert catalog_entry_for(divergence.swapped()) is catalogued
+
+
+def test_semantics_outcomes_shape():
+    outcomes, rejections = semantics_outcomes(figure9())
+    assert set(rejections) == {"c3", "eiffel"}
+    for name in rejections:
+        assert name not in outcomes
+    accepted = set(SEMANTICS_NAMES) - set(rejections)
+    assert set(outcomes) == accepted
+    for name, per_query in outcomes.items():
+        assert ("E", "m") in per_query, name
+    assert outcomes["cpp-dominance"][("E", "m")] == ("unique", "C")
+    assert outcomes["gxx-bfs"][("E", "m")][0] == "ambiguous"
+
+
+def test_rejected_sentinel_is_not_a_query_outcome():
+    outcomes, _ = semantics_outcomes(figure9())
+    for per_query in outcomes.values():
+        assert REJECTED not in per_query.values()
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_layered_hierarchies_fully_catalogued(seed):
+    """Random layered DAGs — the shape the campaign draws — diff clean:
+    every pairwise disagreement between the six rules attributes to a
+    catalog entry."""
+    graph = layered_hierarchy(4, 5, seed=seed)
+    uncatalogued, pairs, _catalogued = cross_semantics_check(graph)
+    assert pairs == len(SEMANTICS_NAMES) * (len(SEMANTICS_NAMES) - 1) // 2
+    assert uncatalogued == [], [
+        divergence.describe() for divergence in uncatalogued
+    ]
+
+
+@pytest.mark.parametrize("seed", range(12, 20))
+def test_random_dense_hierarchies_fully_catalogued(seed):
+    graph = random_hierarchy(
+        14, seed=seed, virtual_probability=0.4, member_probability=0.5
+    )
+    uncatalogued, _pairs, _catalogued = cross_semantics_check(graph)
+    assert uncatalogued == [], [
+        divergence.describe() for divergence in uncatalogued
+    ]
+
+
+def test_pair_divergence_describe_mentions_both_sides():
+    divergence = PairDivergence(
+        left="c3",
+        right="topo-number",
+        left_outcome=("unique", "A"),
+        right_outcome=("unique", "B"),
+        class_name="K",
+        member="m",
+    )
+    text = divergence.describe()
+    assert "c3" in text and "topo-number" in text
+    assert "K" in text and "m" in text
+
+
+def test_campaign_cross_semantics_leg_runs_clean():
+    """A short campaign reaches the ``%5 == 4`` leg, diffs every pair,
+    and files no cross-semantics findings — the report carries the
+    semantics roster and the catalogued-divergence tally."""
+    report = run_campaign(seed=11, budget=15, shrink=False)
+    assert report.semantics == SEMANTICS_NAMES
+    assert report.cross_semantics_checks > 0
+    assert [
+        finding
+        for finding in report.findings
+        if finding.kind == "cross-semantics"
+    ] == []
+    data = report.to_dict()
+    assert data["semantics"] == list(SEMANTICS_NAMES)
+    assert data["cross_semantics_checks"] == report.cross_semantics_checks
+    assert (
+        data["catalogued_divergences"] == report.catalogued_divergences
+    )
+
+
+def test_campaign_single_semantics_skips_the_leg():
+    """With one semantics there is nothing to diff: the leg is off and
+    the counters stay zero."""
+    report = run_campaign(
+        seed=11, budget=15, shrink=False, semantics=("cpp-dominance",)
+    )
+    assert report.cross_semantics_checks == 0
+    assert report.catalogued_divergences == 0
