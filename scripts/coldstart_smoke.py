@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Smoke the flatpack cold-start path in a genuinely fresh process.
+
+CI runs this after the test suite: the parent builds a 256-class
+family, packs it to a temp file, then spawns *this same script* as a
+fresh subprocess (``--child``) that only ever sees the pack — it
+``mmap_table``s the file, answers 50 deterministic queries straight
+off the buffer, and reports the generation plus every answer as JSON.
+The parent asserts the child produced all 50 answers, the right
+generation, and byte-identical results to the live table it packed.
+Exit code 0 means cold start actually works cold — no warm compile
+memo, no shared interpreter state, just the file.
+
+Usage:  PYTHONPATH=src python scripts/coldstart_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+CLASSES = 256
+MEMBERS = 8
+QUERIES = 50
+
+
+def smoke_family():
+    """The 256-class binary-tree family from ``bench_coldstart.py``,
+    shrunk to smoke size."""
+    from repro.hierarchy.graph import ClassHierarchyGraph
+
+    graph = ClassHierarchyGraph()
+    graph.add_class("N1", members=["m0"])
+    for i in range(2, CLASSES + 1):
+        declared = [f"m{i - 1}"] if i <= MEMBERS else []
+        graph.add_class(f"N{i}", members=declared)
+        graph.add_edge(f"N{i // 2}", f"N{i}")
+    return graph
+
+
+def smoke_queries():
+    rng = random.Random(7)
+    members = [f"m{i}" for i in range(MEMBERS)] + ["does_not_exist"]
+    return [
+        (f"N{rng.randrange(1, CLASSES + 1)}", rng.choice(members))
+        for _ in range(QUERIES)
+    ]
+
+
+def answer_row(result) -> list:
+    return [
+        result.status.value,
+        result.declaring_class,
+        str(result.witness) if result.witness is not None else None,
+    ]
+
+
+def child(pack_path: str) -> int:
+    """The cold process: one mmap, 50 answers, one JSON line."""
+    from repro.core.flatpack import mmap_table
+
+    with mmap_table(pack_path) as packed:
+        answers = [
+            answer_row(result)
+            for result in packed.lookup_many(smoke_queries())
+        ]
+        payload = {"generation": packed.generation, "answers": answers}
+    print(json.dumps(payload))
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        return child(sys.argv[2])
+
+    from repro.core.flatpack import pack
+    from repro.core.lookup import build_lookup_table
+
+    graph = smoke_family()
+    table = build_lookup_table(graph, mode="batched", fastpath=True)
+    expected = [answer_row(table.lookup(c, m)) for c, m in smoke_queries()]
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    with tempfile.TemporaryDirectory() as tmp:
+        pack_path = str(Path(tmp) / "smoke.pack")
+        pack(table, pack_path)
+        completed = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--child", pack_path],
+            cwd=ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        raise SystemExit(
+            f"cold child exited rc={completed.returncode}"
+        )
+    payload = json.loads(completed.stdout)
+    assert payload["generation"] == table.compiled.generation, (
+        f"generation mismatch: packed {payload['generation']} vs "
+        f"live {table.compiled.generation}"
+    )
+    assert len(payload["answers"]) == QUERIES, (
+        f"expected {QUERIES} answers, got {len(payload['answers'])}"
+    )
+    assert payload["answers"] == expected, "cold answers diverge from live table"
+    print(
+        f"coldstart smoke OK: fresh process answered {QUERIES} queries "
+        f"off the mmapped pack (generation {payload['generation']}, "
+        f"{CLASSES} classes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,17 @@ Usage:  python scripts/collect_bench_numbers.py [pytest-args...]
         python scripts/collect_bench_numbers.py -k snapshot --json-out BENCH_snapshot.json
         python scripts/collect_bench_numbers.py -k bench_columnar --json-out BENCH_columnar.json
         python scripts/collect_bench_numbers.py -k bench_semantics --json-out BENCH_semantics.json
+        python scripts/collect_bench_numbers.py -k bench_coldstart --json-out BENCH_coldstart.json
         python scripts/collect_bench_numbers.py --quick
 
 ``--json-out PATH`` additionally writes a compact, machine-readable
 summary (median/mean/stddev/rounds plus ``extra_info`` per benchmark) to
 PATH — small enough to check in next to the benchmark it records.
+
+A full run also folds the *checked-in* ``BENCH_*.json`` summaries into
+the printed report (skipping any file re-measured by the current run),
+so one invocation shows the fresh numbers next to every recorded
+result — ``BENCH_coldstart.json``'s pack-vs-JSON speedups included.
 
 Benchmarks that tag themselves with ``extra_info["baseline"] = True``
 (the seed string-keyed build in ``bench_interning.py``, the per-member
@@ -97,6 +103,23 @@ def comparisons(benchmarks: list) -> list[dict]:
     return out
 
 
+def recorded_comparisons(skip_files: set[str]) -> list[dict]:
+    """The comparison rows of every checked-in ``BENCH_*.json`` summary
+    at the repo root, except those whose bench file the current run
+    already re-measured (fresh numbers win)."""
+    rows: list[dict] = []
+    for path in sorted(ROOT.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        for row in data.get("comparisons", []):
+            if row.get("file") in skip_files:
+                continue
+            rows.append({**row, "report": path.name})
+    return rows
+
+
 def main() -> int:
     pytest_args = list(sys.argv[1:])
     json_out = None
@@ -167,6 +190,14 @@ def main() -> int:
             print(
                 f"  {row['workload']:<20} {row['baseline']} -> "
                 f"{row['candidate']:<40} {row['speedup']:6.2f}x"
+            )
+    recorded = recorded_comparisons(set(by_file))
+    if recorded:
+        print("\n== recorded comparisons (checked-in BENCH_*.json) ==")
+        for row in recorded:
+            print(
+                f"  {row['report']:<28} {row['workload']:<20} "
+                f"{row['candidate']:<45} {row['speedup']:6.2f}x"
             )
     print(f"\n(raw JSON: {json_path})")
 

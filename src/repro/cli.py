@@ -165,7 +165,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     table = commands.add_parser("table", help="print the whole lookup table")
-    table.add_argument("file")
+    table.add_argument(
+        "file",
+        nargs="?",
+        help="hierarchy source (omit when serving from --load-pack)",
+    )
     table.add_argument(
         "--ambiguous-only", action="store_true", help="only ⊥ entries"
     )
@@ -174,6 +178,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the LookupStats counters after the table",
+    )
+    table.add_argument(
+        "--save-pack",
+        metavar="PATH",
+        help="also write the table as a mmap-servable flatpack file "
+        "(snapshot-backed modes only)",
+    )
+    table.add_argument(
+        "--load-pack",
+        metavar="PATH",
+        help="serve the table from an existing flatpack file instead "
+        "of building it (no hierarchy source needed)",
+    )
+
+    pack_cmd = commands.add_parser(
+        "pack",
+        help="build the lookup table and write it as a mmap-servable "
+        "flatpack file (open it back with 'table --load-pack' or "
+        "'serve --preload')",
+    )
+    pack_cmd.add_argument("file")
+    pack_cmd.add_argument("out", help="flatpack output path")
+    pack_cmd.add_argument(
+        "--semantics",
+        choices=SEMANTICS_NAMES,
+        default=DEFAULT_SEMANTICS,
+        help=f"dispatch rule to tabulate under (default: {DEFAULT_SEMANTICS})",
     )
 
     build = commands.add_parser(
@@ -353,6 +384,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="service-wide dispatch rule new tenants inherit "
         f"(default: {DEFAULT_SEMANTICS}; per-tenant overrides ride "
         "the add_tenant op)",
+    )
+    serve.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="NAME=PACK",
+        help="boot a tenant from a flatpack file before accepting "
+        "connections (repeatable; O(mmap) cold start per tenant)",
     )
     return parser
 
@@ -614,15 +653,62 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _run_table_pack(args: argparse.Namespace) -> int:
+    """``repro table --load-pack``: serve the printed table straight
+    off the mmapped file — no hierarchy source, no build."""
+    from repro.core.flatpack import mmap_table
+
+    if args.file is not None:
+        raise ValueError(
+            "--load-pack serves an already-packed table; drop the "
+            "hierarchy file argument (or use --save-pack to write one)"
+        )
+    with mmap_table(args.load_pack) as packed:
+        for class_name in packed._interner().class_names:
+            for member in packed.visible_members(class_name):
+                result = packed.lookup(class_name, member)
+                if args.ambiguous_only and not result.is_ambiguous:
+                    continue
+                print(result)
+        if args.stats:
+            stats = packed.stats()
+            if stats is not None:
+                print(
+                    f"[pack generation={packed.generation} "
+                    f"semantics={packed.semantics.name}] "
+                    f"batches={stats.batches} queries={stats.queries} "
+                    f"gathers={stats.gathers} "
+                    f"scalar_serves={stats.scalar_serves} "
+                    f"columns_materialized={stats.columns_materialized}"
+                )
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve.server import ServeFront
     from repro.serve.service import LookupService
 
+    preload = {}
+    for spec in args.preload:
+        name, separator, pack_path = spec.partition("=")
+        if not separator or not name or not pack_path:
+            raise ValueError(
+                f"--preload takes NAME=PACK, got {spec!r}"
+            )
+        preload[name] = pack_path
     service = LookupService(
-        cache_size=args.cache_size, semantics=args.semantics
+        cache_size=args.cache_size,
+        semantics=args.semantics,
+        preload=preload,
     )
+    for name in preload:
+        tenant = service.tenant(name)
+        print(
+            f"preloaded tenant {name!r} from {preload[name]} "
+            f"(generation {tenant.snapshot.generation})"
+        )
     front = ServeFront(service, host=args.host, port=args.port)
     try:
         asyncio.run(front.serve())
@@ -665,12 +751,18 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return _run_serve(args)
 
+    if args.command == "table" and args.load_pack:
+        return _run_table_pack(args)
+
     if args.command == "diff":
         before, _ = _load_hierarchy(args.before)
         after, _ = _load_hierarchy(args.after)
         changes = diff_hierarchies(before, after)
         print(render_diff(changes))
         return 1 if changes else 0
+
+    if args.command == "table" and args.file is None:
+        raise ValueError("table needs a hierarchy file (or --load-pack)")
 
     graph, diagnostics = _load_hierarchy(args.file)
     for line in diagnostics:
@@ -713,6 +805,29 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(fastpath_line)
         if args.delta_stats:
             _report_delta_stats(graph, args)
+        if args.save_pack:
+            from repro.core.flatpack import pack as write_pack
+
+            written = write_pack(table, args.save_pack)
+            print(
+                f"pack written to {args.save_pack} ({written} bytes, "
+                f"generation {table.compiled.generation})"
+            )
+        return 0
+
+    if args.command == "pack":
+        from repro.core.flatpack import pack as write_pack
+
+        table = build_lookup_table(
+            graph, mode="batched", fastpath=True, semantics=args.semantics
+        )
+        written = write_pack(table, args.out)
+        ch = table.compiled
+        print(
+            f"packed {ch.n_classes} classes, {ch.n_members} members "
+            f"(generation {ch.generation}, semantics "
+            f"{table.semantics.name}) -> {args.out} ({written} bytes)"
+        )
         return 0
 
     if args.command == "build":

@@ -64,6 +64,7 @@ from repro.core.kernel import (
     to_table_entry,
 )
 from repro.core.results import LookupResult, not_found_result
+from repro.errors import UnknownClassError
 from repro.core.semantics import DEFAULT_SEMANTICS, Semantics, get_semantics
 from repro.core.snapshot import DeltaStats, TableSnapshot
 from repro.hierarchy.compiled import (
@@ -303,6 +304,45 @@ class MemberLookupTable:
                 self._ch, certificate, self._kernel_entry_at
             )
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: TableSnapshot,
+        *,
+        graph: Optional[ClassHierarchyGraph] = None,
+    ) -> "MemberLookupTable":
+        """Adopt an already-built :class:`TableSnapshot` as the chain
+        head without rebuilding anything — how a writer boots from a
+        mmapped flatpack base (:meth:`repro.core.flatpack.PackedTable
+        .to_table`).
+
+        With ``graph=None`` the table is detached: it serves and can
+        chain deltas at the snapshot level, but :meth:`apply_delta`
+        (which recompiles the source graph) raises until a graph is
+        supplied.  When a graph is passed, its generation counter must
+        line up with the snapshot's — ``to_table`` restamps the thawed
+        hierarchy to guarantee exactly that."""
+        table = cls.__new__(cls)
+        table._graph = graph
+        table._ch = snapshot.ch
+        table._track_witnesses = snapshot.track_witnesses
+        table._max_workers = snapshot.max_workers
+        table._shards = snapshot.shards
+        table.semantics = snapshot.semantics
+        table.fastpath = snapshot.flat is not None
+        table.unsafe_inplace = False
+        table.columnar = snapshot.columnar_enabled
+        table._head = snapshot
+        table._flat = None
+        table._columns = {}
+        table._rows = None
+        table._public = {}
+        table.stats = LookupStats()
+        table.delta_stats = DeltaStats()
+        table.mode = snapshot.mode
+        table._entry_total = snapshot.entry_total
+        return table
+
     # ------------------------------------------------------------------
     # Public interface
     # ------------------------------------------------------------------
@@ -373,6 +413,10 @@ class MemberLookupTable:
             ch = head.ch
             cid = ch.class_ids.get(class_name)
             if cid is None:
+                if self._graph is None:
+                    # Detached table (seeded from a pack): the snapshot
+                    # is the only universe of classes.
+                    raise UnknownClassError(class_name)
                 # Unknown to the head snapshot: defer to the live graph
                 # so the error behaviour matches the mutable API.
                 self._graph.direct_bases(class_name)
@@ -384,6 +428,8 @@ class MemberLookupTable:
         ch = self._ch
         cid = ch.class_ids.get(class_name)
         if cid is None:
+            if self._graph is None:
+                raise UnknownClassError(class_name)
             # Unknown to the snapshot: defer to the live graph so the
             # error behaviour matches the mutable API exactly.
             self._graph.direct_bases(class_name)

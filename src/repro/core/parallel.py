@@ -107,6 +107,19 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_CH = pickle.loads(payload)
 
 
+def _init_worker_pack(path: str) -> None:
+    """Pool initializer that boots the worker's snapshot from a
+    flatpack file instead of an unpickled payload: the hierarchy CSR
+    arrays thaw straight out of the page cache, which every sibling
+    worker shares — the parent ships one short path string per worker
+    rather than one pickled hierarchy each."""
+    global _WORKER_CH
+    from repro.core.flatpack import mmap_table
+
+    with mmap_table(path) as packed:
+        _WORKER_CH = packed.thaw_hierarchy()
+
+
 def _sweep_shard(
     member_mask: int, track_witnesses: bool, build_columnar: bool = False
 ):
@@ -183,9 +196,17 @@ def build_sharded_rows(
     shards: Optional[int] = None,
     certificate: Optional[AmbiguityCertificate] = None,
     columnar_slabs: Optional[list] = None,
+    pack_path=None,
 ) -> list:
     """Build the full per-class rows (``rows[cid]: member id -> kernel
     entry``) by sharding the member space across a process pool.
+
+    ``pack_path`` names a flatpack file (:mod:`repro.core.flatpack`)
+    holding the same hierarchy: workers then mmap it read-only and thaw
+    their snapshot from the shared page cache instead of receiving a
+    pickled copy each — the caller must guarantee the pack matches
+    ``ch`` (same generation), since workers sweep whatever the file
+    holds.
 
     ``certificate`` merges each worker's per-shard ambiguity record —
     shards partition the member-id space, so the union is exactly what
@@ -216,12 +237,16 @@ def build_sharded_rows(
             certificate=certificate,
         )
 
-    payload = pickle.dumps(ch, protocol=pickle.HIGHEST_PROTOCOL)
+    if pack_path is not None:
+        initializer, initargs = _init_worker_pack, (str(pack_path),)
+    else:
+        payload = pickle.dumps(ch, protocol=pickle.HIGHEST_PROTOCOL)
+        initializer, initargs = _init_worker, (payload,)
     try:
         executor = ProcessPoolExecutor(
             max_workers=min(workers, len(masks)),
-            initializer=_init_worker,
-            initargs=(payload,),
+            initializer=initializer,
+            initargs=initargs,
         )
     except (OSError, ValueError):  # no fork/semaphores available here
         return batched_sweep(

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.core.fastpath import FlatColumn, FlatTable
-from repro.core.kernel import OMEGA_ID, AmbiguityCertificate
+from repro.core.kernel import NONE_ID, OMEGA_ID, AmbiguityCertificate
 from repro.core.lookup import BlueEntry, MemberLookupTable, RedEntry, TableEntry
 from repro.core.paths import OMEGA, Abstraction, Path
 from repro.core.results import (
@@ -35,6 +35,7 @@ from repro.core.results import (
     not_found_result,
     unique_result,
 )
+from repro.core.semantics import Semantics, get_semantics
 from repro.errors import ReproError
 
 TABLE_FORMAT_VERSION = 2
@@ -89,6 +90,7 @@ def table_to_dict(table: MemberLookupTable) -> dict[str, Any]:
             if (certificate.ambiguous_columns >> mid) & 1
         ),
         "blue_cells": certificate.blue_cells,
+        "semantics": table.semantics.name,
         "entries": entries,
     }
 
@@ -161,7 +163,12 @@ def _rebuild_flat(
             for node, virtual in zip(nodes[1:], virtuals):
                 cell = (class_ids[node], virtual, cell)
         lv = entry.least_virtual
-        lv_id = OMEGA_ID if lv is OMEGA else class_ids[lv]
+        if lv is OMEGA:
+            lv_id = OMEGA_ID
+        elif lv is None:  # rules without a leastVirtual notion (e.g. C3)
+            lv_id = NONE_ID
+        else:
+            lv_id = class_ids[lv]
         column.set_cell(
             class_ids[class_name], (class_ids[entry.ldc], lv_id, cell)
         )
@@ -178,6 +185,17 @@ def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
     version = data.get("version")
     if version not in (1, TABLE_FORMAT_VERSION):
         raise TableSerializationError(f"unsupported version {version!r}")
+    # Documents written before the rule was persisted (and all v1
+    # documents) are C++-dominance tables by construction; anything
+    # explicitly recorded must name a registered rule.
+    semantics_name = data.get("semantics")
+    try:
+        semantics = get_semantics(semantics_name)
+    except ValueError as exc:
+        raise TableSerializationError(
+            f"table document built under unknown semantics rule "
+            f"{semantics_name!r}"
+        ) from exc
     entries: dict[tuple[str, str], TableEntry] = {}
     try:
         for record in data["entries"]:
@@ -206,7 +224,7 @@ def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
                     candidate_ldcs=frozenset(blue["candidates"]),
                 )
         if version == 1:
-            return FrozenLookupTable(entries)
+            return FrozenLookupTable(entries, semantics=semantics)
         flat, interner, class_ids, member_ids = _rebuild_flat(
             data["classes"],
             data["members"],
@@ -226,6 +244,7 @@ def table_from_dict(data: Mapping[str, Any]) -> "FrozenLookupTable":
         interner=interner,
         class_ids=class_ids,
         member_ids=member_ids,
+        semantics=semantics,
     )
 
 
@@ -257,6 +276,7 @@ class FrozenLookupTable:
     interner: Optional[_FrozenInterner] = None
     class_ids: Optional[Mapping[str, int]] = field(default=None, repr=False)
     member_ids: Optional[Mapping[str, int]] = field(default=None, repr=False)
+    semantics: Optional[Semantics] = None
 
     def lookup(self, class_name: str, member: str) -> LookupResult:
         if self.flat is not None:
@@ -285,6 +305,15 @@ class FrozenLookupTable:
             blue_abstractions=entry.abstractions,
             candidates=tuple(sorted(entry.candidate_ldcs)),
         )
+
+    def lookup_many(self, queries) -> list[LookupResult]:
+        """Answer a batch — parity with every other serving surface.
+
+        Each query routes through :meth:`lookup` and therefore through
+        the rebuilt flat overlay where the column is certified; the
+        result list is positionally aligned with ``queries``."""
+        lookup = self.lookup
+        return [lookup(class_name, member) for class_name, member in queries]
 
     def entry(self, class_name: str, member: str) -> Optional[TableEntry]:
         return self.entries.get((class_name, member))

@@ -113,6 +113,7 @@ class LookupService:
         shards: Optional[int] = None,
         columnar: bool = True,
         semantics: Optional[str] = None,
+        preload: Optional[dict] = None,
     ) -> None:
         self._tenants: dict[str, Tenant] = {}
         self._cache = LookupCache(cache_size)
@@ -121,6 +122,11 @@ class LookupService:
         self._shards = shards
         self._columnar = bool(columnar)
         self._semantics = get_semantics(semantics)
+        # ``preload`` maps tenant name -> flatpack path: each tenant
+        # boots straight off the mmapped file (O(mmap) cold start, no
+        # table build) and is immediately writable via apply_delta.
+        for tenant_name, pack_path in (preload or {}).items():
+            self.add_tenant(tenant_name, pack=pack_path)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle
@@ -139,23 +145,54 @@ class LookupService:
         return tenant
 
     def add_tenant(
-        self, name: str, hierarchy=None, *, semantics: Optional[str] = None
+        self,
+        name: str,
+        hierarchy=None,
+        *,
+        semantics: Optional[str] = None,
+        pack=None,
     ) -> Tenant:
         """Host a new tenant and build its root snapshot.
 
         ``hierarchy`` is a :class:`~repro.hierarchy.graph
         .ClassHierarchyGraph`, a ``repro-chg`` dict, or ``None`` (an
-        empty hierarchy).  ``semantics`` overrides the service-wide
-        dispatch rule for this tenant (:mod:`repro.core.semantics`) —
-        tenants under different semantics share the service and its
-        LRU, since cache keys carry the tenant name.  Non-default
-        semantics need the ``"batched"`` table mode (the service
-        default); the rule may also reject the hierarchy outright with
+        empty hierarchy).  ``pack`` instead boots the tenant from a
+        flatpack file (:mod:`repro.core.flatpack`): the root snapshot
+        is served off the mmapped buffer with no table build, the
+        mutable source graph is rebuilt from the packed arrays, and the
+        tenant's dispatch rule comes from the pack header (``semantics``
+        must be omitted or agree).  ``semantics`` overrides the
+        service-wide dispatch rule for this tenant
+        (:mod:`repro.core.semantics`) — tenants under different
+        semantics share the service and its LRU, since cache keys carry
+        the tenant name.  Non-default semantics need the ``"batched"``
+        table mode (the service default); the rule may also reject the
+        hierarchy outright with
         :class:`~repro.core.semantics.SemanticsRejection`, in which
         case the tenant is not added.  Raises
         :class:`DuplicateTenantError` when the name is taken."""
         if name in self._tenants:
             raise DuplicateTenantError(name)
+        if pack is not None:
+            if hierarchy is not None:
+                raise ValueError(
+                    "add_tenant takes a hierarchy or a pack, not both"
+                )
+            from repro.core.flatpack import mmap_table
+
+            packed = mmap_table(pack)
+            if (
+                semantics is not None
+                and get_semantics(semantics) is not packed.semantics
+            ):
+                raise ValueError(
+                    f"pack {str(pack)!r} was built under semantics "
+                    f"{packed.semantics.name!r}, not {semantics!r}"
+                )
+            table = packed.to_table()
+            tenant = Tenant(name=name, graph=table.graph, table=table)
+            self._tenants[name] = tenant
+            return tenant
         if hierarchy is None:
             graph = ClassHierarchyGraph()
         elif isinstance(hierarchy, dict):

@@ -10,10 +10,15 @@ a batch is answered against exactly one captured generation, never
 split by a concurrent publish.
 """
 
+import os
+import tempfile
+
 import pytest
 
 import repro.core.columnar as columnar_mod
+from repro.core import table_io
 from repro.core.cache import CachedMemberLookup
+from repro.core.flatpack import mmap_table, pack
 from repro.core.lookup import MemberLookupTable, build_lookup_table
 from repro.core.snapshot import TableSnapshot
 from repro.serve.service import LookupService
@@ -50,6 +55,8 @@ TABLE_KINDS = (
     "sharded",
     "per-member",
     "no-columnar",
+    "frozen",
+    "packed",
 )
 
 
@@ -65,6 +72,22 @@ def build_table(kind, graph):
         return build_lookup_table(graph, mode="per-member")
     if kind == "no-columnar":
         return build_lookup_table(graph, mode="batched", columnar=False)
+    if kind == "frozen":
+        # The JSON round trip: batch routes through the rebuilt flat
+        # overlay per query.
+        live = build_lookup_table(graph, mode="batched", fastpath=True)
+        return table_io.loads(table_io.dumps(live))
+    if kind == "packed":
+        # The mmapped flatpack: batch gathers straight off the buffer.
+        live = build_lookup_table(graph, mode="batched", fastpath=True)
+        with tempfile.NamedTemporaryFile(
+            suffix=".pack", delete=False
+        ) as handle:
+            path = handle.name
+        pack(live, path)
+        packed = mmap_table(path)
+        os.unlink(path)  # the open mapping keeps the inode alive
+        return packed
     raise AssertionError(kind)
 
 
