@@ -1,0 +1,175 @@
+"""Streaming ingestion vs parse-all-then-rebuild-per-file.
+
+The paper's motivating consumer is a compiler front end: headers
+arrive one after another, and the lookup structures must stay current
+the whole way through.  The pre-delta shape of that job rebuilds the
+complete ``|N| × |M|`` table after every file — the k-th of F files
+pays O(k·N/F·M), so the run sums to O(F·N·M/2) table work.  The
+streaming pipeline (:mod:`repro.ingest`) lowers classes as they parse
+and publishes one ``apply_delta`` per batch, so its table work tracks
+the invalidation cone of each batch instead of the accumulated
+hierarchy.
+
+Measured on the GUI-toolkit corpus (``repro.workloads.corpus``):
+2000+ classes with a realistic widget-member vocabulary, split over
+16 decorated headers with cross-file base references.  Legs: the
+streaming ingest end-to-end (default batch plus a small- and
+large-batch variant), the rebuild-per-file baseline, and parse-only
+(the floor both paths share).  A non-benchmark guard pins answer
+equality between the streamed and rebuilt tables; the ≥ 2× end-to-end
+floor is a separate guard excluded from the CI ``--quick`` smoke.
+Recorded medians land in ``BENCH_ingest.json`` via
+``scripts/collect_bench_numbers.py``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.frontend.parser import Parser
+from repro.ingest import ingest_paths, rebuild_baseline
+from repro.workloads.corpus import gui_corpus, write_corpus
+
+LAYERS = 42
+WIDTH = 48
+FILES = 16
+BATCH = 128
+SPOT_QUERIES = 200
+
+
+@pytest.fixture(scope="session")
+def corpus_paths(tmp_path_factory):
+    """The 2000+-class corpus, written to disk once per session."""
+    files = gui_corpus(layers=LAYERS, width=WIDTH, files=FILES, seed=0)
+    return write_corpus(files, tmp_path_factory.mktemp("ingest_corpus"))
+
+
+def _annotate(benchmark, classes: int) -> None:
+    benchmark.extra_info["workload"] = f"gui_corpus_{LAYERS}x{WIDTH}"
+    benchmark.extra_info["classes"] = classes
+    benchmark.extra_info["files"] = FILES
+
+
+def test_ingest_streaming(benchmark, corpus_paths):
+    """End-to-end streaming ingest: parse-as-you-go, one apply_delta
+    publish per 128 classes."""
+    out = {}
+
+    def run():
+        table, report = ingest_paths(corpus_paths, batch_size=BATCH)
+        out["report"] = report
+        return table
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    report = out["report"]
+    assert not report.parse_errors
+    _annotate(benchmark, report.classes)
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["batches"] = len(report.batches)
+
+
+@pytest.mark.parametrize("batch", [32, 512])
+def test_ingest_streaming_batch(benchmark, corpus_paths, batch):
+    """Batch-size sensitivity: smaller batches publish fresher
+    generations at more cone re-sweeps; larger batches amortise."""
+    out = {}
+
+    def run():
+        table, report = ingest_paths(corpus_paths, batch_size=batch)
+        out["classes"] = report.classes
+        return table
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _annotate(benchmark, out["classes"])
+    benchmark.extra_info["batch"] = batch
+
+
+def test_ingest_rebuild_per_file(benchmark, corpus_paths):
+    """Baseline: parse each whole file, then rebuild the complete
+    table from scratch — per file."""
+    out = {}
+
+    def run():
+        table, classes = rebuild_baseline(corpus_paths)
+        out["classes"] = classes
+        return table
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _annotate(benchmark, out["classes"])
+    benchmark.extra_info["baseline"] = True
+
+
+def test_ingest_parse_only(benchmark, corpus_paths):
+    """The frontend floor both paths share: tokenize + parse every
+    file, no lowering, no tables."""
+    sources = [(str(p), p.read_text()) for p in corpus_paths]
+    out = {}
+
+    def run():
+        known: set = set()
+        classes = 0
+        for filename, text in sources:
+            unit = Parser(
+                text, filename=filename, known_classes=known
+            ).parse()
+            classes += len(unit.classes())
+        out["classes"] = classes
+        return classes
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _annotate(benchmark, out["classes"])
+
+
+def test_ingest_answers_match_rebuild(corpus_paths):
+    """The streamed table and the from-scratch rebuild answer
+    identically over a spot mix (status, declaring class, candidate
+    sets) — batching is invisible in the final generation."""
+    # A 4-file slice keeps this guard fast; equality over the slice
+    # plus the batch-invariance tests in tests/ingest cover the rest.
+    paths = corpus_paths[:4]
+    table, report = ingest_paths(paths, batch_size=BATCH)
+    baseline, baseline_classes = rebuild_baseline(paths)
+    assert report.classes == baseline_classes
+    rng = random.Random(17)
+    names = table.graph.classes
+    members = sorted(
+        {m for n in names for m in table.graph.declared_members(n)}
+    ) + ["does_not_exist"]
+    for _ in range(SPOT_QUERIES):
+        class_name = rng.choice(names)
+        member = rng.choice(members)
+        streamed = table.snapshot.lookup(class_name, member)
+        rebuilt = baseline.snapshot.lookup(class_name, member)
+        assert streamed.status == rebuilt.status
+        assert streamed.declaring_class == rebuilt.declaring_class
+        assert streamed.candidates == rebuilt.candidates
+
+
+def test_ingest_speedup_floor(corpus_paths):
+    """The acceptance floor: streaming ingest of the 2000+-class
+    corpus ≥ 2× faster end-to-end than parse-all-then-rebuild-per-file.
+
+    Excluded from the CI ``--quick`` smoke run (no timing assertions
+    there); GC is paused so a collection pause cannot flip the verdict
+    on a busy machine.
+    """
+    import gc
+
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        _table, report = ingest_paths(corpus_paths, batch_size=BATCH)
+        streaming_time = time.perf_counter() - start
+        start = time.perf_counter()
+        _baseline, classes = rebuild_baseline(corpus_paths)
+        rebuild_time = time.perf_counter() - start
+    finally:
+        gc.enable()
+    assert report.classes == classes >= 2000
+    speedup = rebuild_time / streaming_time
+    assert speedup >= 2.0, (
+        f"streaming ingest only {speedup:.1f}x over rebuild-per-file "
+        f"({streaming_time:.2f}s vs {rebuild_time:.2f}s; floor 2x)"
+    )

@@ -207,6 +207,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"dispatch rule to tabulate under (default: {DEFAULT_SEMANTICS})",
     )
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream-ingest C++ source files into one live lookup "
+        "table, publishing a snapshot every N classes",
+    )
+    ingest.add_argument(
+        "files", nargs="+", help="C++ source files, ingested in order"
+    )
+    ingest.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="classes per apply_delta publish (default 128)",
+    )
+    ingest.add_argument(
+        "--semantics",
+        choices=SEMANTICS_NAMES,
+        default=DEFAULT_SEMANTICS,
+        help=f"dispatch rule to tabulate under (default: {DEFAULT_SEMANTICS})",
+    )
+    ingest.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on a syntax error, skip to the next file instead of "
+        "aborting the run",
+    )
+    ingest.add_argument(
+        "--save-pack",
+        metavar="PATH",
+        help="write the ingested table as a mmap-servable flatpack file",
+    )
+    ingest.add_argument(
+        "--serve-tenant",
+        metavar="NAME",
+        help="after ingesting, host the table as this tenant of the "
+        "multi-tenant service (newline-JSON over TCP, like 'serve')",
+    )
+    ingest.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --serve-tenant"
+    )
+    ingest.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port for --serve-tenant (default 0 = ephemeral)",
+    )
+
     build = commands.add_parser(
         "build",
         help="build the lookup table and report build + cache statistics",
@@ -684,6 +732,66 @@ def _run_table_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    """``repro ingest``: stream files into one live table, publishing a
+    snapshot generation every ``--batch`` classes."""
+    from repro.ingest.pipeline import DEFAULT_BATCH_SIZE, StreamingIngest
+
+    batch_size = args.batch if args.batch is not None else DEFAULT_BATCH_SIZE
+
+    def on_batch(record) -> None:
+        print(
+            f"[batch {record.index}] +{record.classes} classes -> "
+            f"generation {record.generation} "
+            f"(cone={record.cone_classes}, "
+            f"recomputed={record.entries_recomputed}, "
+            f"{record.elapsed_s * 1e3:.1f} ms)"
+        )
+
+    pipeline = StreamingIngest(
+        batch_size=batch_size,
+        semantics=args.semantics,
+        keep_going=args.keep_going,
+        on_batch=on_batch,
+    )
+    report = pipeline.ingest(args.files)
+    for message in report.parse_errors:
+        print(f"error: {message}", file=sys.stderr)
+    for diagnostic in pipeline.diagnostics:
+        print(diagnostic, file=sys.stderr)
+    table = pipeline.table
+    snapshot = table.snapshot
+    print(
+        f"ingested {report.classes} classes from {len(report.files)} "
+        f"file(s) in {len(report.batches)} batch(es), "
+        f"{report.elapsed_s:.2f} s; generation {snapshot.generation}, "
+        f"{snapshot.ch.n_members} distinct members"
+    )
+    if args.save_pack:
+        from repro.core.flatpack import pack as write_pack
+
+        written = write_pack(table, args.save_pack)
+        print(f"pack written to {args.save_pack} ({written} bytes)")
+    if args.serve_tenant:
+        import asyncio
+
+        from repro.serve.server import ServeFront
+        from repro.serve.service import LookupService
+
+        service = LookupService(semantics=args.semantics)
+        tenant = service.add_tenant(args.serve_tenant, table.graph)
+        print(
+            f"serving tenant {args.serve_tenant!r} "
+            f"({len(tenant.graph)} classes)"
+        )
+        front = ServeFront(service, host=args.host, port=args.port)
+        try:
+            asyncio.run(front.serve())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -747,6 +855,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if args.command == "ingest":
+        return _run_ingest(args)
 
     if args.command == "serve":
         return _run_serve(args)

@@ -20,6 +20,7 @@ from repro.frontend.errors import (
 from repro.frontend.lexer import Token, TokenKind, tokenize
 from repro.frontend.parser import Parser, parse
 from repro.frontend.sema import (
+    IncrementalSema,
     Program,
     ResolvedAccess,
     analyze,
@@ -34,6 +35,7 @@ __all__ = [
     "Diagnostic",
     "DiagnosticBag",
     "FunctionDef",
+    "IncrementalSema",
     "MemberAccess",
     "MemberDecl",
     "ParseError",

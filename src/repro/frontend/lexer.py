@@ -1,16 +1,20 @@
 """A lexer for the class-hierarchy subset of C++.
 
-Covers everything the paper's example programs use: class/struct
+Covers everything the paper's example programs use — class/struct
 declarations with virtual and access-qualified bases, member
 declarations (data, functions, statics, typedefs, enums, nested
-classes), and simple function bodies with member-access expressions.
+classes), and simple function bodies with member-access expressions —
+plus the surface real headers need: namespaces, template keywords,
+string/character literals (tokenized, never interpreted), preprocessor
+lines (skipped whole), and the compound operators that appear inside
+skipped method bodies.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.frontend.errors import ParseError
 from repro.frontend.source import SourceLocation
@@ -22,6 +26,7 @@ class TokenKind(enum.Enum):
     IDENT = "identifier"
     KEYWORD = "keyword"
     NUMBER = "number"
+    STRING = "string"
     PUNCT = "punctuation"
     EOF = "end of file"
 
@@ -50,13 +55,37 @@ KEYWORDS = frozenset(
         "unsigned",
         "using",
         "return",
+        "namespace",
+        "template",
+        "typename",
+        "inline",
     }
 )
 
 # Multi-character punctuators must be listed longest-first.
 PUNCTUATORS = (
-    "::",
+    "<<=",
+    ">>=",
     "->",
+    "::",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
     "{",
     "}",
     "(",
@@ -75,6 +104,10 @@ PUNCTUATORS = (
     "+",
     "-",
     "/",
+    "%",
+    "|",
+    "^",
+    "?",
     "~",
     "!",
 )
@@ -98,20 +131,26 @@ class Token:
         return self.text
 
 
-def tokenize(source: str) -> list[Token]:
+def tokenize(source: str, filename: Optional[str] = None) -> list[Token]:
     """Tokenize a whole source buffer; raises :class:`ParseError` on an
-    unrecognised character or an unterminated block comment."""
-    return list(iter_tokens(source))
+    unrecognised character, an unterminated block comment, or an
+    unterminated string/character literal.  ``filename`` (if given) is
+    stamped into every token's location for multi-file diagnostics."""
+    return list(iter_tokens(source, filename))
 
 
-def iter_tokens(source: str) -> Iterator[Token]:
+def iter_tokens(
+    source: str, filename: Optional[str] = None
+) -> Iterator[Token]:
     offset = 0
     line = 1
     column = 1
     length = len(source)
 
     def location() -> SourceLocation:
-        return SourceLocation(line=line, column=column, offset=offset)
+        return SourceLocation(
+            line=line, column=column, offset=offset, filename=filename
+        )
 
     def advance(count: int) -> None:
         nonlocal offset, line, column
@@ -123,10 +162,31 @@ def iter_tokens(source: str) -> Iterator[Token]:
                 column += 1
             offset += 1
 
+    at_line_start = True
     while offset < length:
         char = source[offset]
-        if char in " \t\r\n":
+        if char in " \t\r":
             advance(1)
+            continue
+        if char == "\n":
+            advance(1)
+            at_line_start = True
+            continue
+        if char == "#" and at_line_start:
+            # Preprocessor line (#pragma once, include guards, ...):
+            # skipped whole, honouring backslash continuations.
+            end = offset
+            while True:
+                newline = source.find("\n", end)
+                if newline == -1:
+                    end = length
+                    break
+                if source[newline - 1] == "\\":
+                    end = newline + 1
+                    continue
+                end = newline
+                break
+            advance(end - offset)
             continue
         if source.startswith("//", offset):
             end = source.find("\n", offset)
@@ -137,6 +197,24 @@ def iter_tokens(source: str) -> Iterator[Token]:
             if end == -1:
                 raise ParseError("unterminated block comment", location())
             advance(end + 2 - offset)
+            continue
+        at_line_start = False
+        if char in "\"'":
+            quote = char
+            start = offset
+            start_loc = location()
+            advance(1)
+            while offset < length and source[offset] != quote:
+                if source[offset] == "\\" and offset + 1 < length:
+                    advance(2)
+                else:
+                    advance(1)
+            if offset >= length:
+                raise ParseError(
+                    f"unterminated {quote}...{quote} literal", start_loc
+                )
+            advance(1)  # the closing quote
+            yield Token(TokenKind.STRING, source[start:offset], start_loc)
             continue
         if char.isalpha() or char == "_":
             start = offset

@@ -6,9 +6,31 @@ data members, member functions (bodies skipped), static members,
 typedefs, in-class enums, nested classes, constructors/destructors; and
 free functions whose bodies are scanned for variable declarations and
 member-access expressions (``e.m``, ``p->m()``, ``T::m``).
+
+Real-header growth for the streaming ingestion pipeline:
+
+* ``namespace N { ... }`` blocks are lowered to qualified class names
+  (``N::C``), with base names resolved innermost-scope-first against
+  the classes declared so far — including classes from *earlier files*
+  of a multi-file translation unit (pass one shared ``known_classes``
+  set to every :class:`Parser` of the unit).
+* ``template`` declarations (class and function templates, at file or
+  member scope) are skipped opaquely without desyncing the token
+  stream.
+* Type texts may be qualified (``ns::Base``) and carry template
+  argument lists (``Vec<int>``), which are skipped.
+* :meth:`Parser.iter_declarations` streams top-level declarations as
+  they complete, so a consumer can lower each class into a live
+  hierarchy without waiting for the whole unit.
+
+Every skip loop is EOF-guarded: truncated input raises
+:class:`ParseError` (with file/line) rather than hanging or silently
+dropping declarations.
 """
 
 from __future__ import annotations
+
+from typing import Iterator, Optional
 
 from repro.frontend.cpp_ast import (
     AccessOp,
@@ -17,6 +39,7 @@ from repro.frontend.cpp_ast import (
     FunctionDef,
     MemberAccess,
     MemberDecl,
+    TopLevel,
     TranslationUnit,
     VarDecl,
 )
@@ -48,11 +71,26 @@ _ACCESS_KEYWORDS = {
 
 
 class Parser:
-    """Single-use recursive-descent parser over a token buffer."""
+    """Single-use recursive-descent parser over a token buffer.
 
-    def __init__(self, source: str) -> None:
-        self._tokens = tokenize(source)
+    ``filename`` stamps every diagnostic location.  ``known_classes``
+    is the set of (qualified) class names visible to base-name
+    resolution; the parser adds every class it defines, so sharing one
+    set across the parsers of a multi-file unit gives cross-file base
+    resolution.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        filename: Optional[str] = None,
+        known_classes: Optional[set] = None,
+    ) -> None:
+        self._tokens = tokenize(source, filename)
         self._index = 0
+        self._namespaces: list[str] = []
+        self._known = known_classes if known_classes is not None else set()
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -88,6 +126,15 @@ class Parser:
             )
         return self._advance()
 
+    def _check_eof(self, what: str) -> None:
+        """Uniform EOF guard for every skip loop: truncated input must
+        raise, never livelock (``_advance`` refuses to move past EOF)."""
+        token = self._current
+        if token.kind is TokenKind.EOF:
+            raise ParseError(
+                f"unexpected end of file {what}", token.location
+            )
+
     def _skip_balanced(self, open_text: str, close_text: str) -> None:
         """Skip past a balanced pair whose opener is the current token."""
         self._expect_punct(open_text)
@@ -103,10 +150,30 @@ class Parser:
             elif token.is_punct(close_text):
                 depth -= 1
 
+    def _skip_angles(self) -> None:
+        """Skip a balanced ``<...>`` template argument/parameter list
+        whose ``<`` is the current token (``>>`` closes two levels, as
+        in ``Vec<Vec<int>>``)."""
+        opener = self._expect_punct("<")
+        depth = 1
+        while depth > 0:
+            token = self._current
+            if token.kind is TokenKind.EOF:
+                raise ParseError("unbalanced '<'", opener.location)
+            if token.is_punct("("):
+                self._skip_balanced("(", ")")
+                continue
+            self._advance()
+            if token.is_punct("<"):
+                depth += 1
+            elif token.is_punct(">"):
+                depth -= 1
+            elif token.is_punct(">>"):
+                depth -= 2
+
     def _skip_to_semicolon(self) -> None:
         while not self._current.is_punct(";"):
-            if self._current.kind is TokenKind.EOF:
-                return
+            self._check_eof("in declaration (expected ';')")
             if self._current.is_punct("{"):
                 self._skip_balanced("{", "}")
                 continue
@@ -119,26 +186,166 @@ class Parser:
 
     def parse(self) -> TranslationUnit:
         unit = TranslationUnit()
-        while self._current.kind is not TokenKind.EOF:
-            declaration = self._parse_top_level()
-            if declaration is not None:
-                unit.declarations.append(declaration)
+        unit.declarations.extend(self.iter_declarations())
         return unit
 
-    def _parse_top_level(self):
+    def iter_declarations(self) -> Iterator[TopLevel]:
+        """Stream top-level declarations as each one completes.
+
+        Namespace blocks are dissolved here: their classes are yielded
+        individually under qualified names, as soon as each class body
+        closes — this is what lets the ingestion pipeline bring a live
+        table current *while* a large file is still being parsed.
+        """
+        while True:
+            token = self._current
+            if token.kind is TokenKind.EOF:
+                if self._namespaces:
+                    raise ParseError(
+                        "unterminated namespace "
+                        f"{'::'.join(self._namespaces)!r}",
+                        token.location,
+                    )
+                return
+            if token.is_keyword("namespace"):
+                self._parse_namespace_head()
+                continue
+            if token.is_punct("}") and self._namespaces:
+                self._advance()
+                self._namespaces.pop()
+                if self._current.is_punct(";"):
+                    self._advance()  # tolerate 'namespace N { ... };'
+                continue
+            declaration = self._parse_top_level()
+            if declaration is not None:
+                yield declaration
+
+    def _parse_namespace_head(self) -> None:
+        self._advance()  # 'namespace'
+        token = self._current
+        if token.is_punct("{"):
+            raise ParseError(
+                "anonymous namespaces are outside the subset "
+                "(name the namespace)",
+                token.location,
+            )
+        name = self._expect_ident("namespace name")
+        parts = [name.text]
+        while self._current.is_punct("::"):
+            # C++17 nested namespace definition: namespace a::b { ... }
+            self._advance()
+            parts.append(self._expect_ident("namespace name").text)
+        self._expect_punct("{")
+        self._namespaces.extend(parts)
+        # One popper per opened scope: a::b pushes two, but only one '}'
+        # closes the definition, so fold the parts into a single entry.
+        if len(parts) > 1:
+            for _ in parts:
+                self._namespaces.pop()
+            self._namespaces.append("::".join(parts))
+
+    @property
+    def _prefix(self) -> str:
+        return "::".join(self._namespaces) + "::" if self._namespaces else ""
+
+    def _resolve_class_name(self, name: str) -> str:
+        """Resolve a (possibly qualified) class reference against the
+        enclosing namespace scopes, innermost first, falling back to
+        the name as written (sema diagnoses unknown bases)."""
+        scopes = self._namespaces
+        for depth in range(len(scopes), 0, -1):
+            candidate = "::".join(scopes[:depth]) + "::" + name
+            if candidate in self._known:
+                return candidate
+        return name
+
+    def _register_class(self, decl: ClassDecl, prefix: str) -> None:
+        qualified = prefix + decl.name if prefix else decl.name
+        self._known.add(qualified)
+        for nested in decl.nested:
+            self._register_class(nested, qualified + "::")
+
+    def _parse_top_level(self) -> Optional[TopLevel]:
         token = self._current
         if token.is_keyword("class", "struct"):
             if self._peek(2).is_punct(";"):
-                # Forward declaration: class A;  -- no definition, skip.
+                # Forward declaration: class A; / struct A; — no
+                # definition; the later definition (if any) declares it.
                 self._advance()
                 self._expect_ident("class name")
                 self._expect_punct(";")
                 return None
-            return self._parse_class()
+            decl = self._parse_class()
+            prefix = self._prefix
+            self._register_class(decl, prefix)
+            if prefix:
+                decl.name = prefix + decl.name
+            return decl
+        if token.is_keyword("template"):
+            self._skip_template()
+            return None
+        if token.is_keyword("typedef"):
+            self._skip_to_semicolon()
+            return None
+        if token.is_keyword("using"):
+            # using namespace N; / using alias = T; — no effect on the
+            # hierarchy subset, skipped whole.
+            self._skip_to_semicolon()
+            return None
+        if token.is_keyword("enum"):
+            self._skip_to_semicolon()
+            return None
+        if token.is_keyword("inline"):
+            self._advance()
+            return self._parse_top_level()
         if token.is_punct(";"):
             self._advance()
             return None
+        if token.is_keyword(
+            "virtual", "public", "protected", "private", "typename"
+        ) or token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            raise ParseError(
+                f"unsupported top-level construct starting at '{token}'",
+                token.location,
+            )
+        if token.is_punct("}"):
+            raise ParseError(
+                "stray '}' at top level (unbalanced braces?)",
+                token.location,
+            )
         return self._parse_function_or_variable()
+
+    def _skip_template(self) -> None:
+        """Skip an entire template declaration — parameter list plus
+        the templated entity — without desyncing.  Class templates end
+        at the ``;`` after the body; function templates end at the
+        body's closing ``}``."""
+        keyword = self._advance()  # 'template'
+        if self._current.is_punct("<"):
+            self._skip_angles()
+        while True:
+            token = self._current
+            if token.kind is TokenKind.EOF:
+                raise ParseError(
+                    "unexpected end of file in template declaration "
+                    f"(started at {keyword.location})",
+                    token.location,
+                )
+            if token.is_punct(";"):
+                self._advance()
+                return
+            if token.is_punct("{"):
+                self._skip_balanced("{", "}")
+                if self._current.is_punct(";"):
+                    self._advance()
+                return
+            if token.is_punct("("):
+                self._skip_balanced("(", ")")
+                continue
+            if token.is_punct("<"):
+                self._skip_angles()
+                continue
+            self._advance()
 
     # ------------------------------------------------------------------
     # Classes
@@ -181,10 +388,24 @@ class Parser:
                 access = _ACCESS_KEYWORDS[self._advance().text]
             else:
                 break
-        name = self._expect_ident("base class name")
+        name = self._parse_qualified_name("base class name")
+        if self._current.is_punct("<"):
+            self._skip_angles()  # Base<T> — opaque, like templates
         return BaseSpecifier(
-            name=name.text, virtual=virtual, access=access, location=location
+            name=self._resolve_class_name(name),
+            virtual=virtual,
+            access=access,
+            location=location,
         )
+
+    def _parse_qualified_name(self, what: str) -> str:
+        parts = [self._expect_ident(what).text]
+        while self._current.is_punct("::") and (
+            self._peek().kind is TokenKind.IDENT
+        ):
+            self._advance()
+            parts.append(self._advance().text)
+        return "::".join(parts)
 
     def _parse_member_sequence(self, decl: ClassDecl) -> None:
         access = decl.default_access
@@ -209,7 +430,16 @@ class Parser:
             if token.is_keyword("enum"):
                 decl.members.extend(self._parse_enum(access))
                 continue
+            if token.is_keyword("template"):
+                self._skip_template()  # opaque member template
+                continue
             if token.is_keyword("class", "struct"):
+                if self._peek(2).is_punct(";"):
+                    # Nested forward declaration: class Inner;
+                    self._advance()
+                    self._expect_ident("class name")
+                    self._expect_punct(";")
+                    continue
                 nested = self._parse_class()
                 decl.nested.append(nested)
                 decl.members.append(
@@ -248,22 +478,28 @@ class Parser:
 
     def _parse_using(self, access: Access) -> MemberDecl:
         keyword = self._advance()
-        base = self._expect_ident("base class name")
-        self._expect_punct("::")
-        name = self._expect_ident("member name")
+        qualified = self._parse_qualified_name("base class name")
+        if "::" not in qualified:
+            raise ParseError(
+                "expected a qualified member name "
+                f"(Base::member) after 'using', found {qualified!r}",
+                keyword.location,
+            )
+        base, _, name = qualified.rpartition("::")
         self._skip_to_semicolon()
         return MemberDecl(
-            name=name.text,
+            name=name,
             kind=MemberKind.DATA,  # refined by sema from the base's decl
             is_static=False,
             access=access,
             type_text="",
             location=keyword.location,
-            using_from=base.text,
+            using_from=self._resolve_class_name(base),
         )
 
     def _parse_enum(self, access: Access) -> list[MemberDecl]:
         keyword = self._advance()
+        del keyword
         members: list[MemberDecl] = []
         enum_name = None
         if self._current.kind is TokenKind.IDENT:
@@ -294,6 +530,10 @@ class Parser:
             if self._current.is_punct("="):
                 self._advance()
                 while not self._current.is_punct(",", "}"):
+                    self._check_eof("in enumerator initializer")
+                    if self._current.is_punct("("):
+                        self._skip_balanced("(", ")")
+                        continue
                     self._advance()
             if self._current.is_punct(","):
                 self._advance()
@@ -302,13 +542,34 @@ class Parser:
         return members
 
     def _skip_special_member(self) -> None:
-        """Skip a constructor or destructor declaration/definition."""
+        """Skip a constructor or destructor declaration/definition.
+
+        Shapes: ``A();``, ``A() {}``, ``~A() {}``, ``A() : x(1), B() {}``
+        (initializer list), ``A(int v = 0);`` (default arguments).  The
+        initializer list is skipped only up to the body's ``{``; the
+        balanced body ends the member — earlier code fell into
+        ``_skip_to_semicolon`` here, which swallowed the body *and kept
+        consuming until the next ';'*, silently deleting the member
+        declaration that followed the constructor."""
         if self._current.is_punct("~"):
             self._advance()
             self._expect_ident("destructor name")
         else:
             self._advance()  # the class-name token
         self._skip_balanced("(", ")")
+        if self._current.is_punct(":"):
+            self._advance()
+            while not self._current.is_punct("{"):
+                self._check_eof("in constructor initializer list")
+                if self._current.is_punct("("):
+                    self._skip_balanced("(", ")")
+                    continue
+                if self._current.is_punct(";", "}"):
+                    raise ParseError(
+                        "constructor initializer list without a body",
+                        self._current.location,
+                    )
+                self._advance()
         if self._current.is_punct("{"):
             self._skip_balanced("{", "}")
             if self._current.is_punct(";"):
@@ -320,8 +581,8 @@ class Parser:
         location = self._current.location
         is_static = False
         # 'virtual' on a member function is irrelevant to lookup (paper,
-        # Section 2); it is consumed and dropped.
-        while self._current.is_keyword("static", "virtual"):
+        # Section 2); 'inline' likewise.  Both are consumed and dropped.
+        while self._current.is_keyword("static", "virtual", "inline"):
             if self._current.text == "static":
                 is_static = True
             self._advance()
@@ -337,6 +598,7 @@ class Parser:
                     self._advance()
                 kind = MemberKind.FUNCTION
                 if self._current.is_punct("{"):
+                    # Inline method body: balanced skip ends the member.
                     self._skip_balanced("{", "}")
                     members.append(
                         MemberDecl(
@@ -372,11 +634,15 @@ class Parser:
                     f"expected a type, found '{self._current}'",
                     self._current.location,
                 )
-            parts.append(self._advance().text)
+            parts.append(self._parse_qualified_name("type name"))
+            if self._current.is_punct("<"):
+                self._skip_angles()  # template arguments are opaque
         elif (
             parts == ["const"] and self._current.kind is TokenKind.IDENT
         ):
-            parts.append(self._advance().text)
+            parts.append(self._parse_qualified_name("type name"))
+            if self._current.is_punct("<"):
+                self._skip_angles()
         return " ".join(parts)
 
     # ------------------------------------------------------------------
@@ -393,7 +659,7 @@ class Parser:
             self._current.kind is TokenKind.IDENT
             and not self._peek().is_punct("(")
         ):
-            type_text = self._advance().text
+            type_text = self._parse_type_text()
         is_pointer = False
         while self._current.is_punct("*", "&"):
             is_pointer = True
@@ -414,7 +680,7 @@ class Parser:
         self._skip_to_semicolon()
         return VarDecl(
             name=name.text,
-            type_name=type_text,
+            type_name=self._resolve_class_name(type_text),
             is_pointer=is_pointer,
             location=location,
         )
@@ -458,9 +724,12 @@ class Parser:
                 self._advance()
                 qualifier = member.text
                 member = self._expect_ident("member name")
+            object_name = first.text
+            if op is AccessOp.SCOPE:
+                object_name = self._resolve_class_name(object_name)
             function.accesses.append(
                 MemberAccess(
-                    object_name=first.text,
+                    object_name=object_name,
                     member=member.text,
                     op=op,
                     location=first.location,
@@ -478,7 +747,7 @@ class Parser:
             function.variables.append(
                 VarDecl(
                     name=name.text,
-                    type_name=first.text,
+                    type_name=self._resolve_class_name(first.text),
                     is_pointer=is_pointer,
                     location=first.location,
                 )
@@ -490,6 +759,8 @@ class Parser:
     def _skip_statement_rest(self) -> None:
         while not self._current.is_punct(";", "}"):
             if self._current.kind is TokenKind.EOF:
+                # The enclosing _parse_function_body loop raises the
+                # better "unterminated function body" diagnostic.
                 return
             if self._current.is_punct("{"):
                 self._skip_balanced("{", "}")
@@ -499,6 +770,13 @@ class Parser:
             self._advance()
 
 
-def parse(source: str) -> TranslationUnit:
+def parse(
+    source: str,
+    *,
+    filename: Optional[str] = None,
+    known_classes: Optional[set] = None,
+) -> TranslationUnit:
     """Parse a translation unit from source text."""
-    return Parser(source).parse()
+    return Parser(
+        source, filename=filename, known_classes=known_classes
+    ).parse()

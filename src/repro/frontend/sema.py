@@ -103,6 +103,39 @@ def analyze_unit(unit: TranslationUnit, source: str = "") -> Program:
     return program
 
 
+class IncrementalSema:
+    """Streaming semantic analysis: lower :class:`ClassDecl`\\ s one at
+    a time into a *live* :class:`ClassHierarchyGraph`.
+
+    This is the batch-oriented face of :func:`analyze_unit` for the
+    ingestion pipeline — the same declaration discipline (bases must be
+    previously defined, no duplicate members, using-declarations
+    validated against the base), but the graph persists across calls,
+    across files, and across the ``apply_delta`` batches that bring a
+    served table current while parsing continues.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[ClassHierarchyGraph] = None,
+        diagnostics: Optional[DiagnosticBag] = None,
+    ) -> None:
+        self.graph = graph if graph is not None else ClassHierarchyGraph()
+        self.diagnostics = (
+            diagnostics if diagnostics is not None else DiagnosticBag()
+        )
+        self.classes_declared = 0
+
+    def declare(self, decl: ClassDecl) -> None:
+        """Lower one completed class declaration (and its nested
+        classes) into the live graph.  Errors are collected on
+        :attr:`diagnostics`, never raised — one bad class must not
+        stall the stream."""
+        before = len(self.graph)
+        _declare_class(self.graph, decl, self.diagnostics)
+        self.classes_declared += len(self.graph) - before
+
+
 # ----------------------------------------------------------------------
 # Declarations
 # ----------------------------------------------------------------------

@@ -2,18 +2,27 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, order=True)
 class SourceLocation:
-    """A 1-based (line, column) position with its absolute offset."""
+    """A 1-based (line, column) position with its absolute offset.
+
+    ``filename`` is carried for multi-file translation units (the
+    streaming ingestion pipeline parses many files into one hierarchy)
+    and excluded from ordering so positions within one buffer still
+    compare by position alone.
+    """
 
     line: int
     column: int
     offset: int = 0
+    filename: "str | None" = field(default=None, compare=False)
 
     def __str__(self) -> str:
+        if self.filename:
+            return f"{self.filename}:{self.line}:{self.column}"
         return f"{self.line}:{self.column}"
 
 

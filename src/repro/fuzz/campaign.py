@@ -540,6 +540,103 @@ def _snapshot_chain_check(
     return publishes, divergences, checked
 
 
+def _roundtrip_eligible(graph: ClassHierarchyGraph) -> bool:
+    """Only hierarchies whose every class and member name is a plain,
+    non-keyword identifier can be rendered as parseable C++ — corpus
+    graphs with qualified (``ns::C``) or generated exotic names are
+    skipped, not failed."""
+    from repro.frontend.lexer import KEYWORDS
+
+    for name in graph.classes:
+        if not name.isidentifier() or name in KEYWORDS:
+            return False
+        for member in graph.declared_members(name).values():
+            if not member.name.isidentifier() or member.name in KEYWORDS:
+                return False
+    return True
+
+
+def _roundtrip_check(
+    graph: ClassHierarchyGraph,
+) -> tuple[bool, list[Divergence]]:
+    """The frontend-fidelity leg: emit the hierarchy as C++ source,
+    push it back through :func:`repro.frontend.sema.analyze`, and
+    require the identical graph — same classes in order, same edges
+    (base/derived/virtuality/access), same per-class member sets with
+    kind, staticness and access, same struct-ness — with no frontend
+    diagnostics.  Returns ``(ran, divergences)``."""
+    from repro.frontend.errors import FrontendError
+    from repro.frontend.sema import analyze
+    from repro.workloads.emit_cpp import emit_cpp
+
+    if not _roundtrip_eligible(graph):
+        return False, []
+
+    def shape(g: ClassHierarchyGraph, order):
+        # Edges compare per derived class (base order is what lookup
+        # depends on); global edge-addition order is not observable.
+        edges = {
+            name: tuple(
+                (e.base, e.virtual, str(e.access))
+                for e in g.direct_bases(name)
+            )
+            for name in order
+        }
+        members = {
+            name: {
+                m.name: (m.kind, m.is_static, str(m.access))
+                for m in g.declared_members(name).values()
+            }
+            for name in order
+        }
+        structness = {name: g.is_struct(name) for name in order}
+        return tuple(order), edges, members, structness
+
+    source = emit_cpp(graph)
+    try:
+        program = analyze(source)
+    except FrontendError as exc:
+        return True, [
+            Divergence(
+                engine="frontend",
+                kind="roundtrip",
+                detail=f"emitted source failed to parse: {exc}",
+            )
+        ]
+    if program.diagnostics.has_errors():
+        first = program.diagnostics.errors[0]
+        return True, [
+            Divergence(
+                engine="frontend",
+                kind="roundtrip",
+                detail=(
+                    "emitted source produced "
+                    f"{len(program.diagnostics.errors)} frontend "
+                    f"error(s), first: {first}"
+                ),
+            )
+        ]
+    from repro.workloads.emit_cpp import emission_order
+
+    want = shape(graph, emission_order(graph))
+    got = shape(program.hierarchy, list(program.hierarchy.classes))
+    divergences: list[Divergence] = []
+    labels = ("classes", "edges", "members", "struct-ness")
+    for label, lhs, rhs in zip(labels, want, got):
+        if lhs != rhs:
+            divergences.append(
+                Divergence(
+                    engine="frontend",
+                    kind="roundtrip",
+                    detail=(
+                        f"{label} changed across emit_cpp→analyze: "
+                        f"expected {lhs!r:.200}, got {rhs!r:.200}"
+                    ),
+                )
+            )
+    return True, divergences
+
+
 def run_campaign(
     *,
     seed: int = 0,
@@ -632,6 +729,22 @@ def run_campaign(
                     shrink=shrink,
                 )
             )
+
+        if iteration % 5 == 0:
+            ran, roundtrip_divergences = _roundtrip_check(graph)
+            if ran:
+                report.roundtrips += 1
+            for divergence in roundtrip_divergences:
+                report.findings.append(
+                    Finding(
+                        iteration=iteration,
+                        engine=divergence.engine,
+                        kind=divergence.kind,
+                        family=family,
+                        detail=divergence.detail,
+                        mutations=tuple(mutation_names),
+                    )
+                )
 
         if iteration % 5 == 1:
             storm_mutations, storm_divergences, checked = _delta_storm_check(

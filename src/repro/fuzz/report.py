@@ -37,7 +37,10 @@ class Finding:
     * ``"cross-semantics"`` — two dispatch semantics disagreed in a way
       the divergence catalog (:mod:`repro.fuzz.cross_semantics`) does
       not document (``engine`` carries the pair as ``"left|right"``);
-    * ``"replay"`` — a persisted corpus entry no longer replays clean.
+    * ``"replay"`` — a persisted corpus entry no longer replays clean;
+    * ``"roundtrip"`` — a hierarchy emitted as C++ source
+      (:func:`repro.workloads.emit_cpp`) did not analyse back to the
+      identical graph (or the frontend diagnosed errors on it).
     """
 
     iteration: int
@@ -99,6 +102,7 @@ class CampaignReport:
     snapshot_chains: int = 0
     cross_semantics_checks: int = 0
     catalogued_divergences: int = 0
+    roundtrips: int = 0
     corpus_replayed: int = 0
     families: dict[str, int] = field(default_factory=dict)
     mutations: dict[str, int] = field(default_factory=dict)
@@ -132,6 +136,7 @@ class CampaignReport:
             "snapshot_chains": self.snapshot_chains,
             "cross_semantics_checks": self.cross_semantics_checks,
             "catalogued_divergences": self.catalogued_divergences,
+            "roundtrips": self.roundtrips,
             "corpus_replayed": self.corpus_replayed,
             "families": dict(sorted(self.families.items())),
             "mutations": dict(sorted(self.mutations.items())),
@@ -171,6 +176,10 @@ class CampaignReport:
                 f"{self.cross_semantics_checks} "
                 f"({', '.join(self.semantics)}); "
                 f"catalogued divergences: {self.catalogued_divergences}"
+            )
+        if self.roundtrips:
+            lines.append(
+                f"  emit_cpp round-trips verified: {self.roundtrips}"
             )
         if self.corpus_replayed:
             lines.append(f"  corpus entries replayed: {self.corpus_replayed}")

@@ -1,0 +1,26 @@
+"""Streaming ingestion: many C++ translation units in, one live
+served lookup table out.
+
+This is the compiler-facing pipeline the paper was written for —
+parse large multi-class translation units and bring the member lookup
+structures current *as classes arrive*, batch by batch, instead of
+parse-everything-then-rebuild.  See :mod:`repro.ingest.pipeline`.
+"""
+
+from repro.ingest.pipeline import (
+    DEFAULT_BATCH_SIZE,
+    BatchRecord,
+    IngestReport,
+    StreamingIngest,
+    ingest_paths,
+    rebuild_baseline,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchRecord",
+    "IngestReport",
+    "StreamingIngest",
+    "ingest_paths",
+    "rebuild_baseline",
+]

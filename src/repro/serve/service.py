@@ -331,6 +331,50 @@ class LookupService:
             "full_rebuilds": stats.full_rebuilds,
         }
 
+    def ingest(
+        self,
+        tenant_name: str,
+        paths: Iterable,
+        *,
+        batch_size: Optional[int] = None,
+        keep_going: bool = False,
+    ) -> dict:
+        """Stream-ingest C++ source files into a tenant's live table.
+
+        The tenant is created empty if it does not exist yet.  Classes
+        are lowered as they parse and published every ``batch_size``
+        classes through the tenant's normal ``apply_delta`` path —
+        readers can query the tenant between batches and see each
+        published generation, exactly as with :meth:`apply_delta`.
+        Like all writes, ingests must be serialized per tenant by the
+        caller.  Returns the ingest report dict (files, classes,
+        per-batch delta stats, parse errors when ``keep_going``)."""
+        from repro.ingest.pipeline import DEFAULT_BATCH_SIZE, StreamingIngest
+
+        if tenant_name in self._tenants:
+            tenant = self._tenants[tenant_name]
+        else:
+            tenant = self.add_tenant(tenant_name)
+
+        def on_batch(record) -> None:
+            tenant.stats.deltas_applied += 1
+
+        pipeline = StreamingIngest(
+            table=tenant.table,
+            batch_size=(
+                DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+            ),
+            keep_going=keep_going,
+            on_batch=on_batch,
+        )
+        report = pipeline.ingest(paths)
+        out = report.to_dict()
+        out["generation"] = tenant.table.snapshot.generation
+        out["semantic_errors"] = [
+            str(d) for d in pipeline.diagnostics.errors
+        ]
+        return out
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

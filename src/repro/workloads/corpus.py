@@ -1,0 +1,304 @@
+"""Generated-source corpora for the streaming ingestion pipeline.
+
+Where :mod:`repro.workloads.generators` builds hierarchies as *graphs*,
+this module renders hierarchies as *source files* — multi-thousand-class
+translation units split across many ``#include``-free headers with
+cross-file base references, the input shape
+:class:`~repro.ingest.pipeline.StreamingIngest` exists for.
+
+Three families, echoing the paper's "real headers" motivation:
+
+* :func:`iostream_corpus` — many iostream-style modules: virtual
+  diamonds (``ios`` → ``istream``/``ostream`` → ``iostream``) with
+  format/buffer helpers, each module in its own namespace.
+* :func:`gui_corpus` — a GUI-toolkit-scale layered DAG (the
+  ``layered_hierarchy`` generator rendered by ``emit_cpp``), decorated
+  with constructors, initializer lists and inline method bodies the
+  way real widget headers are.
+* :func:`template_corpus` — template-expansion style: opaque template
+  definitions the parser must skip without desync, followed by their
+  "expanded" concrete instantiation classes.
+
+Every file is deterministic in the seed, carries include guards and
+banner comments (exercising the preprocessor-line and comment paths),
+and lowers to the identical hierarchy whether ingested streaming or
+parsed whole.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.hierarchy.graph import ClassHierarchyGraph
+from repro.workloads.emit_cpp import emission_order, emit_class
+from repro.workloads.generators import layered_hierarchy
+
+__all__ = [
+    "CorpusFile",
+    "emit_corpus",
+    "gui_corpus",
+    "iostream_corpus",
+    "make_corpus",
+    "template_corpus",
+    "write_corpus",
+]
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One generated header: a relative file name plus its text."""
+
+    name: str
+    text: str
+
+
+def _guard(name: str) -> str:
+    return name.upper().replace(".", "_").replace("/", "_") + "_"
+
+
+def _banner(lines: list[str], name: str, index: int, total: int) -> None:
+    guard = _guard(name)
+    lines.append(f"// {name} — generated corpus file {index + 1}/{total}.")
+    lines.append("// Derives from classes defined in earlier files;")
+    lines.append("// no #include needed (shared known-classes set).")
+    lines.append(f"#ifndef {guard}")
+    lines.append(f"#define {guard}")
+
+
+def _footer(lines: list[str]) -> None:
+    lines.append("#endif")
+    lines.append("")
+
+
+def emit_corpus(
+    graph: ClassHierarchyGraph,
+    *,
+    files: int = 16,
+    prefix: str = "tu",
+    namespace: Optional[str] = None,
+    decorate: bool = True,
+) -> list[CorpusFile]:
+    """Split a hierarchy into ``files`` consecutive headers.
+
+    Classes are emitted in declaration order, so every base lives in
+    the same file or an earlier one — exactly the multi-file unit shape
+    the ingestion pipeline resolves through its shared known-classes
+    set.  With ``namespace`` the classes of every file live in that
+    (reopened) namespace and lower to qualified names."""
+    if files < 1:
+        raise ValueError("need at least one file")
+    names = emission_order(graph)
+    files = min(files, max(1, len(names)))
+    chunk = (len(names) + files - 1) // files
+    out: list[CorpusFile] = []
+    for index in range(files):
+        slice_names = names[index * chunk : (index + 1) * chunk]
+        if not slice_names:
+            break
+        file_name = f"{prefix}_{index:03d}.h"
+        lines: list[str] = []
+        _banner(lines, file_name, index, files)
+        indent = ""
+        if namespace is not None:
+            lines.append(f"namespace {namespace} {{")
+            indent = "  "
+        for class_name in slice_names:
+            lines.extend(
+                indent + line
+                for line in emit_class(graph, class_name, decorate=decorate)
+            )
+        if namespace is not None:
+            lines.append("}")
+        _footer(lines)
+        out.append(CorpusFile(name=file_name, text="\n".join(lines)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+
+
+def iostream_corpus(
+    *, modules: int = 32, files: int = 8, seed: int = 0
+) -> list[CorpusFile]:
+    """Iostream-style modules: each is the classic virtual diamond
+    (``ios`` → ``istream``/``ostream`` → ``iostream``) plus buffer and
+    format helpers, wrapped in its own namespace (``io0``, ``io1``,
+    ...) — 7 classes per module."""
+    if modules < 1:
+        raise ValueError("need at least one module")
+    rng = random.Random(seed)
+    per_file = (modules + files - 1) // files
+    out: list[CorpusFile] = []
+    total = (modules + per_file - 1) // per_file
+    for index in range(total):
+        file_name = f"iostream_{index:03d}.h"
+        lines: list[str] = []
+        _banner(lines, file_name, index, total)
+        for module in range(
+            index * per_file, min((index + 1) * per_file, modules)
+        ):
+            extra = rng.choice(("flags", "width", "precision"))
+            lines.append(f"namespace io{module} {{")
+            lines.append("  class streambuf { public: int sputc; };")
+            lines.append(
+                "  class ios { public: "
+                f"streambuf* rdbuf; int state; int {extra}; "
+                "ios() : state(0) {} };"
+            )
+            lines.append(
+                "  class istream : public virtual ios "
+                "{ public: int get() { return 0; } int gcount; };"
+            )
+            lines.append(
+                "  class ostream : public virtual ios "
+                "{ public: int put() { return 0; } };"
+            )
+            lines.append(
+                "  class iostream : public istream, public ostream "
+                "{ public: iostream() {} };"
+            )
+            lines.append(
+                "  class fstream : public iostream "
+                "{ public: int open() { return 0; } };"
+            )
+            lines.append(
+                "  class stringstream : public iostream "
+                "{ public: int str; };"
+            )
+            lines.append("}")
+        _footer(lines)
+        out.append(CorpusFile(name=file_name, text="\n".join(lines)))
+    return out
+
+
+# Widget-API member vocabulary: real toolkits declare *many distinct*
+# member names across the hierarchy, and the lookup table's cost is
+# |classes| × |distinct members| — a 3-name vocabulary would make table
+# maintenance look artificially cheap next to parsing.
+_GUI_MEMBERS = (
+    "paint", "resize", "show", "hide", "focus", "blur", "enable",
+    "disable", "x", "y", "w", "h", "parent_", "child_count", "style",
+    "on_click", "on_key", "on_scroll", "layout", "invalidate", "text",
+    "icon", "tooltip", "cursor", "z_order", "opacity", "visible",
+    "measure", "arrange", "hit_test", "accept", "state_flags",
+)
+
+
+def gui_corpus(
+    *,
+    layers: int = 40,
+    width: int = 50,
+    files: int = 16,
+    seed: int = 0,
+    decorate: bool = True,
+) -> list[CorpusFile]:
+    """A GUI-toolkit-scale layered DAG (roughly ``layers × width``
+    classes with multiple, occasionally virtual, bases and a realistic
+    widget-API member vocabulary) rendered as decorated headers — the
+    multi-thousand-class corpus behind ``BENCH_ingest.json``."""
+    graph = layered_hierarchy(
+        layers,
+        width,
+        seed=seed,
+        member_names=_GUI_MEMBERS,
+        member_probability=0.18,
+    )
+    return emit_corpus(graph, files=files, prefix="gui", decorate=decorate)
+
+
+_TEMPLATE_PREAMBLE = (
+    "template <typename T> class Vec {\n"
+    " public:\n"
+    "  Vec() : data_(0), size_(0) {}\n"
+    "  T* data_; int size_;\n"
+    "  T& at(int i) { return data_[i]; }\n"
+    "};\n"
+    "template <typename K, typename V> struct Pair { K first; V second; };\n"
+    "template <class T> T max_of(T a, T b) { return a < b ? b : a; }\n"
+)
+
+_SCALAR_TYPES = ("int", "char", "double", "long", "unsigned")
+
+
+def template_corpus(
+    *, instantiations: int = 64, files: int = 8, seed: int = 0
+) -> list[CorpusFile]:
+    """Template-expansion style: every file restates opaque template
+    definitions (the parser must skip them without desync), then
+    defines the "expanded" concrete classes a pre-instantiation build
+    step would emit — ``Vec_int_007 : public Container``-shaped, with
+    template-argument types in member declarations."""
+    rng = random.Random(seed)
+    total = min(files, max(1, instantiations))
+    per_file = (instantiations + total - 1) // total
+    out: list[CorpusFile] = []
+    for index in range(total):
+        file_name = f"expand_{index:03d}.h"
+        lines: list[str] = []
+        _banner(lines, file_name, index, total)
+        lines.append(_TEMPLATE_PREAMBLE)
+        if index == 0:
+            lines.append(
+                "class Container { public: int size_of; "
+                "Container() : size_of(0) {} };"
+            )
+        for instance in range(
+            index * per_file, min((index + 1) * per_file, instantiations)
+        ):
+            scalar = rng.choice(_SCALAR_TYPES)
+            tag = scalar.replace(" ", "_")
+            name = f"Vec_{tag}_{instance:04d}"
+            lines.append(f"class {name} : public Container {{")
+            lines.append(" public:")
+            lines.append(f"  {scalar} item_{instance};")
+            lines.append(f"  Vec<{scalar}> backing_{instance};")
+            lines.append(
+                f"  {scalar} get_{instance}() {{ return item_{instance}; }}"
+            )
+            lines.append("};")
+        _footer(lines)
+        out.append(CorpusFile(name=file_name, text="\n".join(lines)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dispatch + disk
+# ----------------------------------------------------------------------
+
+_FAMILIES = {
+    "iostream": iostream_corpus,
+    "gui": gui_corpus,
+    "template": template_corpus,
+}
+
+
+def make_corpus(family: str, **kwargs) -> list[CorpusFile]:
+    """Build a named corpus family (``iostream``, ``gui`` or
+    ``template``) with its keyword parameters."""
+    try:
+        builder = _FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown corpus family {family!r} "
+            f"(have: {', '.join(sorted(_FAMILIES))})"
+        ) from None
+    return builder(**kwargs)
+
+
+def write_corpus(
+    corpus: list[CorpusFile], out_dir: Union[str, Path]
+) -> list[Path]:
+    """Write a corpus to disk; returns the paths in ingest order."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for file in corpus:
+        path = out_dir / file.name
+        path.write_text(file.text)
+        paths.append(path)
+    return paths

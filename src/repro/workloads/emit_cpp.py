@@ -10,6 +10,8 @@ compilation time" motivation) and for fuzz-style round-trip tests.
 
 from __future__ import annotations
 
+import heapq
+
 from repro.hierarchy.graph import ClassHierarchyGraph
 from repro.hierarchy.members import Access, Member, MemberKind
 
@@ -33,34 +35,118 @@ def _member_line(member: Member) -> str:
     return " ".join(parts)
 
 
+def emit_class(
+    graph: ClassHierarchyGraph, name: str, *, decorate: bool = False
+) -> list[str]:
+    """Render one class definition as source lines.
+
+    With ``decorate=True`` the definition is dressed up the way real
+    headers are — a constructor with an initializer list over the first
+    data member and an inline body on the last member function — *
+    without changing the declared member set* (constructors and bodies
+    are skipped by the parser), so decorated corpus files still lower
+    to the identical hierarchy.
+    """
+    keyword = "struct" if graph.is_struct(name) else "class"
+    bases = graph.direct_bases(name)
+    base_text = ""
+    if bases:
+        specs = []
+        for edge in bases:
+            virtual = "virtual " if edge.virtual else ""
+            specs.append(f"{virtual}{edge.access} {edge.base}")
+        base_text = " : " + ", ".join(specs)
+    members = list(graph.declared_members(name).values())
+    if not members and not decorate:
+        return [f"{keyword} {name}{base_text} {{}};"]
+    lines = [f"{keyword} {name}{base_text} {{"]
+    current_access: Access | None = None
+    first_data = next(
+        (
+            m
+            for m in members
+            if m.kind is MemberKind.DATA
+            and not m.is_static
+            and m.using_from is None
+        ),
+        None,
+    )
+    last_function = next(
+        (
+            m
+            for m in reversed(members)
+            if m.kind is MemberKind.FUNCTION
+            and not m.is_static
+            and m.using_from is None
+        ),
+        None,
+    )
+    for member in members:
+        if member.access is not current_access:
+            lines.append(f"{member.access}:")
+            current_access = member.access
+        if decorate and member is last_function:
+            type_text = member.type_text or "void"
+            body = "return;" if type_text == "void" else "return 0;"
+            static = "static " if member.is_static else ""
+            lines.append(
+                f"  {static}{type_text} {member.name}() {{ {body} }}"
+            )
+            continue
+        lines.append(f"  {_member_line(member)}")
+    if decorate:
+        if current_access is not Access.PUBLIC:
+            lines.append("public:")
+        init = f" : {first_data.name}(0)" if first_data is not None else ""
+        lines.append(f"  {name}(){init} {{}}")
+        lines.append(f"  ~{name}() {{}}")
+    lines.append("};")
+    return lines
+
+
+def emission_order(graph: ClassHierarchyGraph) -> list[str]:
+    """Class names in an emission-valid order: every base precedes its
+    derived classes, ties broken by declaration order.
+
+    When declaration order already satisfies the C++ bases-first
+    discipline (every graph built through the frontend or the builder
+    does) this *is* declaration order; graphs mutated out of it — the
+    fuzz mutators may append a class and then edge it under earlier
+    ones — get the minimal stable reordering instead of emitting
+    un-analysable forward base references."""
+    names = list(graph.classes)
+    index = {name: i for i, name in enumerate(names)}
+    remaining: dict[str, int] = {}
+    dependants: dict[str, list[str]] = {name: [] for name in names}
+    for name in names:
+        bases = {edge.base for edge in graph.direct_bases(name)}
+        remaining[name] = len(bases)
+        for base in bases:
+            dependants[base].append(name)
+    ready = [index[n] for n in names if remaining[n] == 0]
+    heapq.heapify(ready)
+    order: list[str] = []
+    while ready:
+        name = names[heapq.heappop(ready)]
+        order.append(name)
+        for dependant in dependants[name]:
+            remaining[dependant] -= 1
+            if remaining[dependant] == 0:
+                heapq.heappush(ready, index[dependant])
+    if len(order) != len(names):  # inheritance cycle: unreachable via
+        order.extend(n for n in names if remaining[n] > 0)  # the graph API
+    return order
+
+
 def emit_cpp(graph: ClassHierarchyGraph) -> str:
     """Render the hierarchy as C++ class definitions, in declaration
-    order, preserving struct-ness, base order/virtuality/access, and
-    member access sections."""
+    order (bases hoisted first if a mutation broke that invariant — see
+    :func:`emission_order`), preserving struct-ness, base
+    order/virtuality/access, and member access sections."""
     graph.validate()
     lines: list[str] = []
-    for name in graph.classes:
-        keyword = "struct" if graph.is_struct(name) else "class"
-        bases = graph.direct_bases(name)
-        base_text = ""
-        if bases:
-            specs = []
-            for edge in bases:
-                virtual = "virtual " if edge.virtual else ""
-                specs.append(f"{virtual}{edge.access} {edge.base}")
-            base_text = " : " + ", ".join(specs)
-        members = list(graph.declared_members(name).values())
-        if not members:
-            lines.append(f"{keyword} {name}{base_text} {{}};")
-            continue
-        lines.append(f"{keyword} {name}{base_text} {{")
-        current_access: Access | None = None
-        for member in members:
-            if member.access is not current_access:
-                lines.append(f"{member.access}:")
-                current_access = member.access
-            lines.append(f"  {_member_line(member)}")
-        lines.append("};")
+    for name in emission_order(graph):
+        lines.extend(emit_class(graph, name))
     return "\n".join(lines) + "\n"
 
 

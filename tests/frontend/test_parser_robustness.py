@@ -1,0 +1,318 @@
+"""Parser robustness: adversarial and truncated inputs must terminate
+promptly — with a :class:`ParseError` or a valid unit — and never hang
+or silently drop declarations.
+
+Regression anchors for two verified bugs:
+
+* ``_skip_special_member`` used to skip a constructor's initializer
+  list *and body* with ``_skip_to_semicolon``, then keep consuming to
+  the next ``;`` — silently deleting the member declared right after
+  the constructor.
+* the enumerator-initializer skip loop in ``_parse_enum`` never checked
+  EOF while ``_advance()`` refuses to move past it, so a truncated
+  ``enum { A = 1`` spun forever.
+"""
+
+import random
+
+import pytest
+
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import Parser, parse
+from repro.workloads.corpus import iostream_corpus, template_corpus
+
+
+def member_names(source):
+    classes = parse(source).classes()
+    assert len(classes) == 1
+    return [m.name for m in classes[0].members]
+
+
+class TestConstructorInitListRegression:
+    """The verified init-list member-loss bug and its neighbours."""
+
+    def test_issue_shape_keeps_all_members(self):
+        source = "class Foo { int x; Foo() : x(1) {} int y; int z; };"
+        assert member_names(source) == ["x", "y", "z"]
+
+    def test_multi_entry_init_list(self):
+        source = (
+            "class P { int a; int b; P() : a(1), b(2) {} int c; };"
+        )
+        assert member_names(source) == ["a", "b", "c"]
+
+    def test_init_list_calling_base_constructor(self):
+        source = (
+            "class B { public: int m; };"
+            "class D : public B { D() : B(), n(0) {} int n; int o; };"
+        )
+        classes = parse(source).classes()
+        assert [m.name for m in classes[1].members] == ["n", "o"]
+
+    def test_constructor_body_with_statements(self):
+        source = "class A { A() { x = 1; } int x; int y; };"
+        assert member_names(source) == ["x", "y"]
+
+    def test_destructor_body(self):
+        source = "class A { int x; ~A() { x = 0; } int y; };"
+        assert member_names(source) == ["x", "y"]
+
+    def test_default_arguments(self):
+        source = "class A { A(int v = 0); int x; };"
+        assert member_names(source) == ["x"]
+
+    def test_default_arguments_with_init_list_and_body(self):
+        source = "class A { int v; A(int k = 3) : v(k) {} int w; };"
+        assert member_names(source) == ["v", "w"]
+
+    def test_declaration_only_constructor_still_works(self):
+        assert member_names("class A { A(); int m; };") == ["m"]
+
+    def test_init_list_without_body_raises(self):
+        with pytest.raises(ParseError):
+            parse("class A { int x; A() : x(1); };")
+
+
+class TestTruncatedEnumRegression:
+    """The verified enumerator-initializer EOF livelock."""
+
+    def test_truncated_enumerator_initializer_raises(self):
+        with pytest.raises(ParseError):
+            parse("class E { enum X { A = 1")
+
+    def test_truncated_enumerator_list_raises(self):
+        with pytest.raises(ParseError):
+            parse("class E { enum X { A, B")
+
+    def test_truncated_enum_keyword_raises(self):
+        with pytest.raises(ParseError):
+            parse("class E { enum X {")
+
+    def test_parenthesised_initializer_ok(self):
+        classes = parse("class E { enum X { A = (1), B }; };").classes()
+        assert [m.name for m in classes[0].members] == ["X", "A", "B"]
+
+
+# A representative TU exercising every construct the subset knows:
+# namespaces, templates, enums with initializers, constructors with
+# initializer lists, inline bodies, strings, preprocessor lines,
+# using-declarations, nested classes and free functions.
+REPRESENTATIVE_TU = """\
+#ifndef DEMO_H
+#define DEMO_H
+// toolkit demo
+namespace ui {
+  template <typename T> class Vec { T* data; int n; };
+  class Widget {
+   public:
+    enum Flags { VISIBLE = 1, ENABLED = 2 };
+    Widget() : x(0), y(0) {}
+    ~Widget() {}
+    virtual void paint();
+    int x, y;
+    const char* name() { return "widget"; }
+   private:
+    class Impl { public: int refs; };
+    Impl* impl;
+  };
+  class Button : public virtual Widget {
+   public:
+    using Widget::paint;
+    Vec<int> clicks;
+    static int count;
+  };
+}
+class Dialog : public ui::Button { public: int modal; };
+void run() {
+  Dialog d;
+  d.paint;
+  d.modal = 1;
+}
+#endif
+"""
+
+
+class TestEveryPrefixTerminates:
+    def test_full_unit_parses(self):
+        unit = parse(REPRESENTATIVE_TU)
+        names = [c.name for c in unit.classes()]
+        assert names == [
+            "ui::Widget",
+            "ui::Button",
+            "Dialog",
+        ]
+
+    def test_every_prefix_terminates(self):
+        # ~1400 prefixes; each must either parse or raise ParseError —
+        # a hang here trips the suite's overall timeout long before any
+        # human notices, which is exactly the point.
+        for end in range(len(REPRESENTATIVE_TU) + 1):
+            prefix = REPRESENTATIVE_TU[:end]
+            try:
+                parse(prefix)
+            except ParseError:
+                pass
+
+
+class TestTruncatedCorpusFiles:
+    def test_mutation_truncated_corpus_terminates(self):
+        rng = random.Random(7)
+        files = iostream_corpus(modules=2, files=1) + template_corpus(
+            instantiations=6, files=1
+        )
+        for file in files:
+            cuts = sorted(
+                rng.sample(range(len(file.text)), k=min(60, len(file.text)))
+            )
+            for cut in cuts:
+                try:
+                    parse(file.text[:cut], filename=file.name)
+                except ParseError:
+                    pass
+
+
+class TestForwardDeclarations:
+    def test_struct_forward_decl_after_definition(self):
+        unit = parse("struct A { int m; };\nstruct A;")
+        assert len(unit.classes()) == 1
+        assert unit.classes()[0].members[0].name == "m"
+
+    def test_class_forward_decl_before_and_after(self):
+        unit = parse("class A;\nclass A { int m; };\nclass A;")
+        assert len(unit.classes()) == 1
+
+    def test_mixed_keyword_forward_decl(self):
+        unit = parse("class A { int m; };\nstruct A;")
+        assert len(unit.classes()) == 1
+
+    def test_nested_forward_decl(self):
+        classes = parse("class A { class Inner; int m; };").classes()
+        assert [m.name for m in classes[0].members] == ["m"]
+
+
+class TestDiagnosedTopLevel:
+    """Rejected constructs must be diagnosed with file/line, never
+    crash or hang."""
+
+    def test_stray_access_specifier(self):
+        with pytest.raises(ParseError) as info:
+            parse("public: int x;", filename="w.h")
+        assert "w.h:1:1" in str(info.value)
+
+    def test_stray_close_brace(self):
+        with pytest.raises(ParseError) as info:
+            parse("}")
+        assert "stray '}'" in str(info.value)
+
+    def test_number_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("42;")
+
+    def test_anonymous_namespace_diagnosed(self):
+        with pytest.raises(ParseError) as info:
+            parse("namespace { class A {}; }", filename="anon.h")
+        assert "anon.h" in str(info.value)
+
+    def test_unterminated_namespace(self):
+        with pytest.raises(ParseError) as info:
+            parse("namespace ui { class A {};")
+        assert "namespace" in str(info.value)
+
+
+class TestTemplateTolerance:
+    def test_class_template_skipped_without_desync(self):
+        unit = parse(
+            "template <typename T> class Box { T v; void f() {} };\n"
+            "class After { int m; };"
+        )
+        assert [c.name for c in unit.classes()] == ["After"]
+
+    def test_function_template_skipped(self):
+        unit = parse(
+            "template <class T> T pick(T a, T b) { return a < b ? a : b; }\n"
+            "class After {};"
+        )
+        assert [c.name for c in unit.classes()] == ["After"]
+
+    def test_nested_template_arguments(self):
+        unit = parse(
+            "template <typename T> class Outer { Vec<Vec<int>> vv; };\n"
+            "class After {};"
+        )
+        assert [c.name for c in unit.classes()] == ["After"]
+
+    def test_member_template_skipped(self):
+        classes = parse(
+            "class A { template <class T> T get() { return T(); } "
+            "int m; };"
+        ).classes()
+        assert [m.name for m in classes[0].members] == ["m"]
+
+    def test_truncated_template_raises(self):
+        with pytest.raises(ParseError):
+            parse("template <typename T")
+        with pytest.raises(ParseError):
+            parse("template <typename T> class Box { T v;")
+
+
+class TestNamespaces:
+    def test_classes_lowered_to_qualified_names(self):
+        unit = parse("namespace a { namespace b { class C {}; } }")
+        assert [c.name for c in unit.classes()] == ["a::b::C"]
+
+    def test_cpp17_nested_namespace_definition(self):
+        unit = parse("namespace a::b { class C {}; }")
+        assert [c.name for c in unit.classes()] == ["a::b::C"]
+
+    def test_base_resolution_innermost_first(self):
+        unit = parse(
+            "class W { public: int g; };\n"
+            "namespace ui { class W { public: int m; };\n"
+            "  class B : public W {}; }"
+        )
+        button = unit.classes()[-1]
+        assert button.bases[0].name == "ui::W"
+
+    def test_base_resolution_falls_back_to_global(self):
+        unit = parse(
+            "class W { public: int g; };\n"
+            "namespace ui { class B : public W {}; }"
+        )
+        assert unit.classes()[-1].bases[0].name == "W"
+
+    def test_cross_file_base_resolution(self):
+        known = set()
+        parse(
+            "namespace ui { class W {}; }",
+            filename="a.h",
+            known_classes=known,
+        )
+        unit = parse(
+            "namespace ui { class B : public W {}; }",
+            filename="b.h",
+            known_classes=known,
+        )
+        assert unit.classes()[0].bases[0].name == "ui::W"
+
+    def test_namespace_closing_semicolon_tolerated(self):
+        unit = parse("namespace ui { class A {}; };")
+        assert [c.name for c in unit.classes()] == ["ui::A"]
+
+
+class TestStreamingIteration:
+    def test_declarations_stream_in_order(self):
+        parser = Parser(
+            "namespace n { class A {}; class B : public A {}; }\n"
+            "class C {};"
+        )
+        names = []
+        for decl in parser.iter_declarations():
+            names.append(decl.name)
+        assert names == ["n::A", "n::B", "C"]
+
+    def test_truncation_raises_mid_stream(self):
+        parser = Parser("class A {}; class B { int x;")
+        iterator = parser.iter_declarations()
+        assert next(iterator).name == "A"
+        with pytest.raises(ParseError):
+            next(iterator)

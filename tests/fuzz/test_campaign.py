@@ -138,3 +138,55 @@ def test_time_budget_cuts_campaign_short():
     assert report.stopped_by == "time"
     assert report.iterations < 10_000
     assert report.exit_code == 0
+
+
+def test_roundtrip_leg_runs_and_agrees():
+    report = run_campaign(seed=11, budget=30)
+    assert report.roundtrips > 0
+    assert [f for f in report.findings if f.kind == "roundtrip"] == []
+    assert report.to_dict()["roundtrips"] == report.roundtrips
+
+
+def test_roundtrip_check_verifies_healthy_graph():
+    from repro.fuzz.campaign import _roundtrip_check
+
+    ran, divergences = _roundtrip_check(figure9())
+    assert ran
+    assert divergences == []
+
+
+def test_roundtrip_check_skips_unemittable_names():
+    from repro.fuzz.campaign import _roundtrip_check
+    from repro.hierarchy.graph import ClassHierarchyGraph
+
+    graph = ClassHierarchyGraph()
+    graph.add_class("ns::Qualified", ["m"])
+    ran, divergences = _roundtrip_check(graph)
+    assert not ran
+    assert divergences == []
+
+
+def test_roundtrip_check_reports_infidelity(monkeypatch):
+    import sys
+
+    from repro.fuzz.campaign import _roundtrip_check
+
+    # Simulate a lossy emitter: drop the last class definition.
+    # (The package __init__ rebinds the ``emit_cpp`` attribute to the
+    # function, so fetch the module through sys.modules.)
+    emit_module = sys.modules["repro.workloads.emit_cpp"]
+    real = emit_module.emit_cpp
+
+    def lossy(graph):
+        lines = real(graph).splitlines()
+        for index in range(len(lines) - 1, -1, -1):
+            if lines[index].startswith(("class", "struct")):
+                del lines[index : index + 100]
+                break
+        return "\n".join(lines) + "\n"
+
+    monkeypatch.setattr(emit_module, "emit_cpp", lossy)
+    ran, divergences = _roundtrip_check(figure1())
+    assert ran
+    assert divergences
+    assert all(d.kind == "roundtrip" for d in divergences)

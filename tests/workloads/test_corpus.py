@@ -1,0 +1,136 @@
+"""Corpus generators: deterministic, parseable, faithful to their
+source hierarchies."""
+
+import pytest
+
+from repro.frontend.parser import Parser
+from repro.frontend.sema import IncrementalSema
+from repro.workloads.corpus import (
+    emit_corpus,
+    gui_corpus,
+    iostream_corpus,
+    make_corpus,
+    template_corpus,
+    write_corpus,
+)
+from repro.workloads.emit_cpp import emission_order
+from repro.workloads.generators import layered_hierarchy
+from repro.workloads.realworld import gui_toolkit
+
+
+def lower_corpus(files):
+    """Parse a corpus with the shared known-classes set and lower it,
+    asserting zero frontend errors."""
+    sema = IncrementalSema()
+    known = set()
+    for file in files:
+        unit = Parser(
+            file.text, filename=file.name, known_classes=known
+        ).parse()
+        for decl in unit.classes():
+            sema.declare(decl)
+    assert not sema.diagnostics.has_errors(), sema.diagnostics.errors[0]
+    return sema.graph
+
+
+class TestEmitCorpus:
+    def test_split_preserves_hierarchy(self):
+        graph = gui_toolkit()
+        files = emit_corpus(graph, files=5, decorate=False)
+        assert len(files) == 5
+        lowered = lower_corpus(files)
+        assert lowered.classes == tuple(emission_order(graph))
+        for name in graph.classes:
+            assert set(lowered.declared_members(name)) == set(
+                graph.declared_members(name)
+            )
+
+    def test_decoration_changes_no_members(self):
+        graph = gui_toolkit()
+        plain = lower_corpus(emit_corpus(graph, files=3, decorate=False))
+        decorated = lower_corpus(emit_corpus(graph, files=3, decorate=True))
+        for name in plain.classes:
+            assert set(plain.declared_members(name)) == set(
+                decorated.declared_members(name)
+            )
+
+    def test_namespace_mode_qualifies_names(self):
+        graph = layered_hierarchy(2, 3, seed=1)
+        files = emit_corpus(graph, files=2, namespace="gen")
+        lowered = lower_corpus(files)
+        assert all(name.startswith("gen::") for name in lowered.classes)
+        assert len(lowered) == len(graph)
+
+    def test_file_count_clamps_to_class_count(self):
+        graph = layered_hierarchy(1, 2, seed=0)
+        files = emit_corpus(graph, files=64)
+        assert 1 <= len(files) <= 2
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "family, kwargs, min_classes",
+        [
+            ("iostream", dict(modules=4, files=2), 28),
+            ("gui", dict(layers=4, width=5, files=3), 20),
+            ("template", dict(instantiations=10, files=2), 11),
+        ],
+    )
+    def test_family_generates_and_lowers_clean(
+        self, family, kwargs, min_classes
+    ):
+        files = make_corpus(family, **kwargs)
+        graph = lower_corpus(files)
+        assert len(graph) >= min_classes
+
+    def test_deterministic_in_seed(self):
+        first = template_corpus(instantiations=8, files=2, seed=5)
+        second = template_corpus(instantiations=8, files=2, seed=5)
+        assert [(f.name, f.text) for f in first] == [
+            (f.name, f.text) for f in second
+        ]
+        other = template_corpus(instantiations=8, files=2, seed=6)
+        assert [f.text for f in first] != [f.text for f in other]
+
+    def test_iostream_modules_are_namespaced_diamonds(self):
+        graph = lower_corpus(iostream_corpus(modules=2, files=1))
+        result_classes = set(graph.classes)
+        assert "io0::iostream" in result_classes
+        assert "io1::fstream" in result_classes
+
+    def test_gui_corpus_has_rich_member_vocabulary(self):
+        graph = lower_corpus(gui_corpus(layers=5, width=8, files=2))
+        members = {
+            member
+            for name in graph.classes
+            for member in graph.declared_members(name)
+        }
+        assert len(members) >= 15
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_corpus("nope")
+
+
+class TestEmissionOrder:
+    def test_valid_declaration_order_is_preserved(self):
+        graph = gui_toolkit()
+        assert emission_order(graph) == list(graph.classes)
+
+    def test_late_declared_base_is_hoisted(self):
+        graph = layered_hierarchy(2, 2, seed=0)
+        # splice a class declared last but used as a base of nothing —
+        # then wire it under an early class to break declaration order
+        graph.add_class("Late", ["extra"])
+        graph.add_edge("Late", "L1_0")
+        order = emission_order(graph)
+        assert order.index("Late") < order.index("L1_0")
+
+
+class TestWriteCorpus:
+    def test_write_returns_paths_in_order(self, tmp_path):
+        files = iostream_corpus(modules=2, files=2)
+        paths = write_corpus(files, tmp_path)
+        assert [p.name for p in paths] == [f.name for f in files]
+        for path, file in zip(paths, files):
+            assert path.read_text() == file.text
