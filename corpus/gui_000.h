@@ -1,0 +1,399 @@
+// gui_000.h — generated corpus file 1/6.
+// Derives from classes defined in earlier files;
+// no #include needed (shared known-classes set).
+#ifndef GUI_000_H_
+#define GUI_000_H_
+class L0_0 {
+public:
+  int opacity;
+  L0_0() : opacity(0) {}
+  ~L0_0() {}
+};
+class L0_1 {
+public:
+  int hide;
+  int x;
+  int text;
+  int z_order;
+  L0_1() : hide(0) {}
+  ~L0_1() {}
+};
+class L0_2 {
+public:
+  int h;
+  L0_2() : h(0) {}
+  ~L0_2() {}
+};
+class L0_3 {
+public:
+  int resize;
+  int x;
+  int child_count;
+  int style;
+  int on_key;
+  int icon;
+  int arrange;
+  int hit_test;
+  L0_3() : resize(0) {}
+  ~L0_3() {}
+};
+class L0_4 {
+public:
+  int paint;
+  int focus;
+  int enable;
+  int child_count;
+  int style;
+  int icon;
+  int z_order;
+  int state_flags;
+  L0_4() : paint(0) {}
+  ~L0_4() {}
+};
+class L0_5 {
+public:
+  int y;
+  int parent_;
+  int visible;
+  L0_5() : y(0) {}
+  ~L0_5() {}
+};
+class L0_6 {
+public:
+  int disable;
+  int w;
+  int opacity;
+  L0_6() : disable(0) {}
+  ~L0_6() {}
+};
+class L0_7 {
+public:
+  int resize;
+  int focus;
+  int blur;
+  int w;
+  int child_count;
+  int layout;
+  int z_order;
+  int opacity;
+  int state_flags;
+  L0_7() : resize(0) {}
+  ~L0_7() {}
+};
+class L0_8 {
+public:
+  int w;
+  int h;
+  int on_scroll;
+  int layout;
+  int visible;
+  int measure;
+  int hit_test;
+  L0_8() : w(0) {}
+  ~L0_8() {}
+};
+class L0_9 {
+public:
+  int resize;
+  int layout;
+  int invalidate;
+  int icon;
+  int tooltip;
+  L0_9() : resize(0) {}
+  ~L0_9() {}
+};
+class L0_10 {
+public:
+  int focus;
+  int w;
+  int child_count;
+  int on_key;
+  int text;
+  int cursor;
+  L0_10() : focus(0) {}
+  ~L0_10() {}
+};
+class L0_11 {
+public:
+  int x;
+  int y;
+  int on_key;
+  int on_scroll;
+  int invalidate;
+  int icon;
+  int tooltip;
+  int opacity;
+  int visible;
+  L0_11() : x(0) {}
+  ~L0_11() {}
+};
+class L0_12 {
+public:
+  int layout;
+  int tooltip;
+  int arrange;
+  int accept;
+  L0_12() : layout(0) {}
+  ~L0_12() {}
+};
+class L0_13 {
+public:
+  int resize;
+  int show;
+  int x;
+  int child_count;
+  int on_click;
+  int on_key;
+  int invalidate;
+  int accept;
+  L0_13() : resize(0) {}
+  ~L0_13() {}
+};
+class L0_14 {
+public:
+  int show;
+  int on_scroll;
+  int layout;
+  int visible;
+  L0_14() : show(0) {}
+  ~L0_14() {}
+};
+class L0_15 {
+public:
+  int resize;
+  int disable;
+  int w;
+  int child_count;
+  int on_scroll;
+  int layout;
+  int text;
+  int tooltip;
+  int opacity;
+  int state_flags;
+  L0_15() : resize(0) {}
+  ~L0_15() {}
+};
+class L0_16 {
+public:
+  int paint;
+  int show;
+  int enable;
+  int y;
+  int invalidate;
+  int icon;
+  int accept;
+  int state_flags;
+  L0_16() : paint(0) {}
+  ~L0_16() {}
+};
+class L0_17 {
+public:
+  int paint;
+  int resize;
+  int show;
+  int enable;
+  int y;
+  int child_count;
+  L0_17() : paint(0) {}
+  ~L0_17() {}
+};
+class L0_18 {
+public:
+  int show;
+  int disable;
+  int w;
+  int on_click;
+  int z_order;
+  int visible;
+  int state_flags;
+  L0_18() : show(0) {}
+  ~L0_18() {}
+};
+class L0_19 {
+public:
+  int blur;
+  int parent_;
+  int measure;
+  int state_flags;
+  L0_19() : blur(0) {}
+  ~L0_19() {}
+};
+class L0_20 {
+public:
+  int x;
+  int h;
+  int child_count;
+  int on_key;
+  int layout;
+  int cursor;
+  int z_order;
+  L0_20() : x(0) {}
+  ~L0_20() {}
+};
+class L0_21 {
+public:
+  int resize;
+  int focus;
+  int h;
+  int tooltip;
+  int opacity;
+  int measure;
+  int hit_test;
+  L0_21() : resize(0) {}
+  ~L0_21() {}
+};
+class L0_22 {
+public:
+  int on_scroll;
+  int layout;
+  int invalidate;
+  int icon;
+  int hit_test;
+  L0_22() : on_scroll(0) {}
+  ~L0_22() {}
+};
+class L0_23 {
+public:
+  int hide;
+  int focus;
+  int on_scroll;
+  int invalidate;
+  int tooltip;
+  int visible;
+  int measure;
+  int arrange;
+  L0_23() : hide(0) {}
+  ~L0_23() {}
+};
+class L1_0 : public L0_13, public L0_3, virtual public L0_8 {
+public:
+  int resize;
+  int blur;
+  int x;
+  int cursor;
+  int opacity;
+  L1_0() : resize(0) {}
+  ~L1_0() {}
+};
+class L1_1 : public L0_11, public L0_4 {
+public:
+  int child_count;
+  int layout;
+  int invalidate;
+  int cursor;
+  L1_1() : child_count(0) {}
+  ~L1_1() {}
+};
+class L1_2 : public L0_18, public L0_23 {
+public:
+  int resize;
+  int enable;
+  int icon;
+  int tooltip;
+  L1_2() : resize(0) {}
+  ~L1_2() {}
+};
+class L1_3 : public L0_16, virtual public L0_22, virtual public L0_10 {
+public:
+  int show;
+  int focus;
+  int w;
+  int child_count;
+  int invalidate;
+  int measure;
+  int hit_test;
+  L1_3() : show(0) {}
+  ~L1_3() {}
+};
+class L1_4 : public L0_9, public L0_1, public L0_18 {
+public:
+  int resize;
+  int h;
+  int on_click;
+  int visible;
+  int state_flags;
+  L1_4() : resize(0) {}
+  ~L1_4() {}
+};
+class L1_5 : public L0_1, public L0_11, virtual public L0_20 {
+public:
+  int resize;
+  int hide;
+  int blur;
+  int invalidate;
+  int measure;
+  int hit_test;
+  L1_5() : resize(0) {}
+  ~L1_5() {}
+};
+class L1_6 : public L0_8, public L0_17 {
+public:
+  int hide;
+  int x;
+  int on_click;
+  int text;
+  int hit_test;
+  L1_6() : hide(0) {}
+  ~L1_6() {}
+};
+class L1_7 : public L0_14, virtual public L0_22, virtual public L0_6 {
+public:
+  int hide;
+  int focus;
+  int h;
+  int invalidate;
+  int cursor;
+  L1_7() : hide(0) {}
+  ~L1_7() {}
+};
+class L1_8 : public L0_21 {
+public:
+  int x;
+  int y;
+  int w;
+  int layout;
+  int icon;
+  int z_order;
+  int measure;
+  int accept;
+  L1_8() : x(0) {}
+  ~L1_8() {}
+};
+class L1_9 : public L0_10, public L0_8 {
+public:
+  int paint;
+  int child_count;
+  int style;
+  int on_click;
+  int invalidate;
+  int icon;
+  int arrange;
+  L1_9() : paint(0) {}
+  ~L1_9() {}
+};
+class L1_10 : virtual public L0_3, virtual public L0_0, virtual public L0_4 {
+public:
+  int blur;
+  int disable;
+  int invalidate;
+  int icon;
+  int tooltip;
+  int z_order;
+  int visible;
+  L1_10() : blur(0) {}
+  ~L1_10() {}
+};
+class L1_11 : public L0_23, public L0_15, public L0_1 {
+public:
+  int hide;
+  int enable;
+  int h;
+  int parent_;
+  int text;
+  int opacity;
+  int measure;
+  int accept;
+  L1_11() : hide(0) {}
+  ~L1_11() {}
+};
+#endif

@@ -1,0 +1,396 @@
+// gui_001.h — generated corpus file 2/6.
+// Derives from classes defined in earlier files;
+// no #include needed (shared known-classes set).
+#ifndef GUI_001_H_
+#define GUI_001_H_
+class L1_12 : virtual public L0_11 {
+public:
+  int hide;
+  int enable;
+  int x;
+  int w;
+  int style;
+  int layout;
+  int text;
+  int opacity;
+  L1_12() : hide(0) {}
+  ~L1_12() {}
+};
+class L1_13 : public L0_13 {
+public:
+  int hide;
+  int blur;
+  int disable;
+  int h;
+  int style;
+  int on_key;
+  int icon;
+  int visible;
+  int hit_test;
+  L1_13() : hide(0) {}
+  ~L1_13() {}
+};
+class L1_14 : public L0_18 {
+public:
+  int enable;
+  int icon;
+  int measure;
+  int accept;
+  L1_14() : enable(0) {}
+  ~L1_14() {}
+};
+class L1_15 : virtual public L0_6 {
+public:
+  int show;
+  int focus;
+  int x;
+  int style;
+  int on_key;
+  int text;
+  int icon;
+  int cursor;
+  int arrange;
+  int state_flags;
+  L1_15() : show(0) {}
+  ~L1_15() {}
+};
+class L1_16 : public L0_19, public L0_20, virtual public L0_16 {
+public:
+  int paint;
+  int resize;
+  int child_count;
+  int on_scroll;
+  int hit_test;
+  int state_flags;
+  L1_16() : paint(0) {}
+  ~L1_16() {}
+};
+class L1_17 : public L0_0, virtual public L0_12 {
+public:
+  int blur;
+  int enable;
+  int disable;
+  int x;
+  int layout;
+  int z_order;
+  int visible;
+  L1_17() : blur(0) {}
+  ~L1_17() {}
+};
+class L1_18 : virtual public L0_21 {
+public:
+  int resize;
+  int x;
+  int opacity;
+  int accept;
+  L1_18() : resize(0) {}
+  ~L1_18() {}
+};
+class L1_19 : public L0_9, public L0_4 {
+public:
+  int resize;
+  int h;
+  int parent_;
+  int icon;
+  L1_19() : resize(0) {}
+  ~L1_19() {}
+};
+class L1_20 : public L0_15, public L0_7, virtual public L0_21 {
+public:
+  int paint;
+  int parent_;
+  int style;
+  int on_click;
+  L1_20() : paint(0) {}
+  ~L1_20() {}
+};
+class L1_21 : public L0_0, public L0_22 {
+public:
+  int resize;
+  int enable;
+  int y;
+  int h;
+  int child_count;
+  int on_scroll;
+  int arrange;
+  int state_flags;
+  L1_21() : resize(0) {}
+  ~L1_21() {}
+};
+class L1_22 : public L0_0 {
+public:
+  int show;
+  int blur;
+  int enable;
+  int disable;
+  int x;
+  int w;
+  int icon;
+  int cursor;
+  int opacity;
+  L1_22() : show(0) {}
+  ~L1_22() {}
+};
+class L1_23 : public L0_17, virtual public L0_16, virtual public L0_10 {
+public:
+  int enable;
+  int h;
+  int on_scroll;
+  int layout;
+  int tooltip;
+  int measure;
+  int arrange;
+  L1_23() : enable(0) {}
+  ~L1_23() {}
+};
+class L2_0 : public L1_3, public L1_12, virtual public L1_14 {
+public:
+  int child_count;
+  int style;
+  int measure;
+  L2_0() : child_count(0) {}
+  ~L2_0() {}
+};
+class L2_1 : public L1_18, public L1_7 {
+public:
+  int hide;
+  int blur;
+  int on_scroll;
+  int z_order;
+  int opacity;
+  L2_1() : hide(0) {}
+  ~L2_1() {}
+};
+class L2_2 : public L1_15 {
+public:
+  int blur;
+  int style;
+  int on_scroll;
+  int layout;
+  int invalidate;
+  int z_order;
+  int accept;
+  L2_2() : blur(0) {}
+  ~L2_2() {}
+};
+class L2_3 : public L1_8, virtual public L1_0 {
+public:
+  int show;
+  int focus;
+  int y;
+  int w;
+  int parent_;
+  int child_count;
+  int on_key;
+  int invalidate;
+  int opacity;
+  L2_3() : show(0) {}
+  ~L2_3() {}
+};
+class L2_4 : public L1_7 {
+public:
+  int focus;
+  int disable;
+  int on_key;
+  int invalidate;
+  int cursor;
+  L2_4() : focus(0) {}
+  ~L2_4() {}
+};
+class L2_5 : public L1_16, public L1_7, public L1_5 {
+public:
+  int resize;
+  int h;
+  int tooltip;
+  int opacity;
+  int state_flags;
+  L2_5() : resize(0) {}
+  ~L2_5() {}
+};
+class L2_6 : public L1_23, public L1_13, public L1_8 {
+public:
+  int resize;
+  int h;
+  int icon;
+  int tooltip;
+  int measure;
+  int arrange;
+  int hit_test;
+  int state_flags;
+  L2_6() : resize(0) {}
+  ~L2_6() {}
+};
+class L2_7 : public L1_11, public L1_12, virtual public L1_16 {
+public:
+  int resize;
+  int focus;
+  int disable;
+  int parent_;
+  int on_click;
+  int on_key;
+  int tooltip;
+  L2_7() : resize(0) {}
+  ~L2_7() {}
+};
+class L2_8 : public L1_5, virtual public L1_8, virtual public L1_0 {
+public:
+  int blur;
+  int enable;
+  int tooltip;
+  L2_8() : blur(0) {}
+  ~L2_8() {}
+};
+class L2_9 : public L1_20, virtual public L1_22 {
+public:
+  int w;
+  int on_scroll;
+  int opacity;
+  int measure;
+  L2_9() : w(0) {}
+  ~L2_9() {}
+};
+class L2_10 : public L1_16 {
+public:
+  int invalidate;
+  int z_order;
+  L2_10() : invalidate(0) {}
+  ~L2_10() {}
+};
+class L2_11 : public L1_18 {
+public:
+  int resize;
+  int y;
+  int h;
+  int invalidate;
+  int icon;
+  L2_11() : resize(0) {}
+  ~L2_11() {}
+};
+class L2_12 : public L1_20, virtual public L1_16 {
+public:
+  int blur;
+  int disable;
+  int y;
+  int w;
+  int on_key;
+  int text;
+  int tooltip;
+  int arrange;
+  L2_12() : blur(0) {}
+  ~L2_12() {}
+};
+class L2_13 : public L1_1 {
+public:
+  int hide;
+  int focus;
+  int enable;
+  int disable;
+  int z_order;
+  int accept;
+  L2_13() : hide(0) {}
+  ~L2_13() {}
+};
+class L2_14 : public L1_7, virtual public L1_20 {
+public:
+  int paint;
+  int blur;
+  int style;
+  int on_click;
+  int invalidate;
+  int hit_test;
+  L2_14() : paint(0) {}
+  ~L2_14() {}
+};
+class L2_15 : public L1_5 {
+public:
+  int h;
+  int on_key;
+  int cursor;
+  int state_flags;
+  L2_15() : h(0) {}
+  ~L2_15() {}
+};
+class L2_16 : virtual public L1_7 {
+public:
+  int y;
+  int child_count;
+  int tooltip;
+  int cursor;
+  int measure;
+  L2_16() : y(0) {}
+  ~L2_16() {}
+};
+class L2_17 : virtual public L1_23 {
+public:
+  int hide;
+  int enable;
+  int on_scroll;
+  int cursor;
+  int hit_test;
+  L2_17() : hide(0) {}
+  ~L2_17() {}
+};
+class L2_18 : public L1_3, public L0_4, virtual public L1_17 {
+public:
+  int enable;
+  int disable;
+  int w;
+  int h;
+  int child_count;
+  int on_key;
+  int accept;
+  L2_18() : enable(0) {}
+  ~L2_18() {}
+};
+class L2_19 : public L1_6 {
+public:
+  int blur;
+  int icon;
+  int visible;
+  int arrange;
+  int accept;
+  L2_19() : blur(0) {}
+  ~L2_19() {}
+};
+class L2_20 : public L1_2, public L1_11 {
+public:
+  int layout;
+  int cursor;
+  int opacity;
+  L2_20() : layout(0) {}
+  ~L2_20() {}
+};
+class L2_21 : public L1_3, public L0_5 {
+public:
+  int show;
+  int blur;
+  int w;
+  int tooltip;
+  int hit_test;
+  int accept;
+  L2_21() : show(0) {}
+  ~L2_21() {}
+};
+class L2_22 : public L0_18, public L1_1, virtual public L1_2 {
+public:
+  int show;
+  int blur;
+  int disable;
+  int on_key;
+  int opacity;
+  int visible;
+  int hit_test;
+  int state_flags;
+  L2_22() : show(0) {}
+  ~L2_22() {}
+};
+class L2_23 : public L0_12, public L1_20 {
+public:
+  int paint;
+  int show;
+  int enable;
+  int h;
+  L2_23() : paint(0) {}
+  ~L2_23() {}
+};
+#endif

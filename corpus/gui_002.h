@@ -1,0 +1,400 @@
+// gui_002.h — generated corpus file 3/6.
+// Derives from classes defined in earlier files;
+// no #include needed (shared known-classes set).
+#ifndef GUI_002_H_
+#define GUI_002_H_
+class L3_0 : public L2_13, virtual public L2_14, virtual public L2_18 {
+public:
+  int enable;
+  int disable;
+  int x;
+  int style;
+  int on_scroll;
+  int layout;
+  int tooltip;
+  int cursor;
+  int hit_test;
+  L3_0() : enable(0) {}
+  ~L3_0() {}
+};
+class L3_1 : public L2_3 {
+public:
+  int paint;
+  int show;
+  int hide;
+  int child_count;
+  int on_click;
+  int invalidate;
+  int measure;
+  int hit_test;
+  int accept;
+  L3_1() : paint(0) {}
+  ~L3_1() {}
+};
+class L3_2 : public L2_15, public L2_14 {
+public:
+  int resize;
+  int focus;
+  int enable;
+  int disable;
+  int x;
+  int style;
+  int on_scroll;
+  int layout;
+  int arrange;
+  L3_2() : resize(0) {}
+  ~L3_2() {}
+};
+class L3_3 : public L2_17, public L2_2, public L2_22 {
+public:
+  int hide;
+  int disable;
+  int parent_;
+  int child_count;
+  int icon;
+  int visible;
+  int arrange;
+  L3_3() : hide(0) {}
+  ~L3_3() {}
+};
+class L3_4 : public L2_17, public L2_18, public L2_1 {
+public:
+  int resize;
+  int y;
+  int w;
+  int cursor;
+  L3_4() : resize(0) {}
+  ~L3_4() {}
+};
+class L3_5 : public L1_10, public L1_7 {
+public:
+  int blur;
+  int h;
+  int on_click;
+  int text;
+  int z_order;
+  int opacity;
+  L3_5() : blur(0) {}
+  ~L3_5() {}
+};
+class L3_6 : public L2_4 {
+public:
+  int focus;
+  int blur;
+  int disable;
+  int x;
+  int w;
+  int parent_;
+  int style;
+  int on_scroll;
+  int invalidate;
+  int text;
+  int opacity;
+  int measure;
+  L3_6() : focus(0) {}
+  ~L3_6() {}
+};
+class L3_7 : public L2_5, virtual public L2_4 {
+public:
+  int show;
+  int disable;
+  int on_scroll;
+  int z_order;
+  int opacity;
+  L3_7() : show(0) {}
+  ~L3_7() {}
+};
+class L3_8 : public L2_16, virtual public L2_22 {
+public:
+  int child_count;
+  int text;
+  int z_order;
+  int arrange;
+  L3_8() : child_count(0) {}
+  ~L3_8() {}
+};
+class L3_9 : public L2_23, public L2_12, public L0_19 {
+public:
+  int paint;
+  int x;
+  int measure;
+  L3_9() : paint(0) {}
+  ~L3_9() {}
+};
+class L3_10 : public L2_8, public L0_8, virtual public L2_23 {
+public:
+  int show;
+  int y;
+  int parent_;
+  int on_click;
+  int on_key;
+  int on_scroll;
+  int hit_test;
+  L3_10() : show(0) {}
+  ~L3_10() {}
+};
+class L3_11 : public L2_8, virtual public L2_19 {
+public:
+  int paint;
+  int parent_;
+  int on_click;
+  int on_key;
+  int invalidate;
+  int z_order;
+  L3_11() : paint(0) {}
+  ~L3_11() {}
+};
+class L3_12 : public L2_13, public L2_2, virtual public L2_12 {
+public:
+  int show;
+  int blur;
+  int x;
+  int parent_;
+  int style;
+  int text;
+  L3_12() : show(0) {}
+  ~L3_12() {}
+};
+class L3_13 : public L2_2, public L2_4, virtual public L2_22 {
+public:
+  int enable;
+  int y;
+  int child_count;
+  int on_click;
+  int invalidate;
+  int z_order;
+  int hit_test;
+  int state_flags;
+  L3_13() : enable(0) {}
+  ~L3_13() {}
+};
+class L3_14 : public L2_7, virtual public L2_1 {
+public:
+  int paint;
+  int resize;
+  int blur;
+  int enable;
+  int text;
+  int icon;
+  int accept;
+  L3_14() : paint(0) {}
+  ~L3_14() {}
+};
+class L3_15 : virtual public L2_10, virtual public L2_15 {
+public:
+  int paint;
+  int hide;
+  int blur;
+  int enable;
+  int opacity;
+  int visible;
+  L3_15() : paint(0) {}
+  ~L3_15() {}
+};
+class L3_16 : public L0_10 {
+public:
+  int focus;
+  int blur;
+  int y;
+  int child_count;
+  int style;
+  int on_key;
+  int arrange;
+  int accept;
+  int state_flags;
+  L3_16() : focus(0) {}
+  ~L3_16() {}
+};
+class L3_17 : public L2_5, public L2_13, virtual public L2_15 {
+public:
+  int on_click;
+  int opacity;
+  int accept;
+  L3_17() : on_click(0) {}
+  ~L3_17() {}
+};
+class L3_18 : public L2_3, public L2_7, virtual public L2_1 {
+public:
+  int paint;
+  int y;
+  int parent_;
+  int style;
+  int icon;
+  int measure;
+  int state_flags;
+  L3_18() : paint(0) {}
+  ~L3_18() {}
+};
+class L3_19 : public L2_4, public L2_19 {
+public:
+  int disable;
+  int parent_;
+  int measure;
+  int accept;
+  L3_19() : disable(0) {}
+  ~L3_19() {}
+};
+class L3_20 : public L2_1, public L2_7, virtual public L2_15 {
+public:
+  int paint;
+  int hide;
+  int enable;
+  int invalidate;
+  int text;
+  int measure;
+  L3_20() : paint(0) {}
+  ~L3_20() {}
+};
+class L3_21 : public L2_3, public L2_5, public L2_1 {
+public:
+  int y;
+  int child_count;
+  int on_click;
+  int invalidate;
+  int cursor;
+  int visible;
+  int hit_test;
+  L3_21() : y(0) {}
+  ~L3_21() {}
+};
+class L3_22 : public L2_13, virtual public L2_12, virtual public L2_0 {
+public:
+  int focus;
+  int blur;
+  int parent_;
+  int tooltip;
+  int z_order;
+  int arrange;
+  L3_22() : focus(0) {}
+  ~L3_22() {}
+};
+class L3_23 : public L2_10 {
+public:
+  int hide;
+  int focus;
+  int blur;
+  int w;
+  int style;
+  int state_flags;
+  L3_23() : hide(0) {}
+  ~L3_23() {}
+};
+class L4_0 : public L3_19, virtual public L3_8, virtual public L3_4 {
+public:
+  int resize;
+  int focus;
+  int measure;
+  int arrange;
+  int hit_test;
+  int accept;
+  L4_0() : resize(0) {}
+  ~L4_0() {}
+};
+class L4_1 : virtual public L3_22 {
+public:
+  int opacity;
+  int arrange;
+  int accept;
+  L4_1() : opacity(0) {}
+  ~L4_1() {}
+};
+class L4_2 : public L3_19, public L0_13 {
+public:
+  int resize;
+  int enable;
+  int layout;
+  int z_order;
+  int hit_test;
+  L4_2() : resize(0) {}
+  ~L4_2() {}
+};
+class L4_3 : public L3_3 {
+public:
+  int paint;
+  int show;
+  int hide;
+  int enable;
+  int layout;
+  int tooltip;
+  int visible;
+  L4_3() : paint(0) {}
+  ~L4_3() {}
+};
+class L4_4 : public L3_11, virtual public L3_20 {
+public:
+  int blur;
+  int parent_;
+  int child_count;
+  int opacity;
+  L4_4() : blur(0) {}
+  ~L4_4() {}
+};
+class L4_5 : public L3_5 {
+public:
+  int parent_;
+  int child_count;
+  int text;
+  int visible;
+  L4_5() : parent_(0) {}
+  ~L4_5() {}
+};
+class L4_6 : public L3_9, virtual public L3_6 {
+public:
+  int resize;
+  int hide;
+  int text;
+  int icon;
+  int cursor;
+  L4_6() : resize(0) {}
+  ~L4_6() {}
+};
+class L4_7 : public L2_0, public L3_16 {
+public:
+  int style;
+  int accept;
+  L4_7() : style(0) {}
+  ~L4_7() {}
+};
+class L4_8 : public L3_5, public L3_1 {
+public:
+  int enable;
+  int h;
+  int child_count;
+  int z_order;
+  L4_8() : enable(0) {}
+  ~L4_8() {}
+};
+class L4_9 : virtual public L0_0, virtual public L3_18 {
+public:
+  int focus;
+  int y;
+  int child_count;
+  int style;
+  int layout;
+  L4_9() : focus(0) {}
+  ~L4_9() {}
+};
+class L4_10 : public L3_4, public L2_5, virtual public L3_18 {
+public:
+  int paint;
+  int focus;
+  int w;
+  int on_click;
+  int layout;
+  int z_order;
+  int state_flags;
+  L4_10() : paint(0) {}
+  ~L4_10() {}
+};
+class L4_11 : public L3_3, virtual public L3_14 {
+public:
+  int paint;
+  int resize;
+  int focus;
+  int on_key;
+  int accept;
+  int state_flags;
+  L4_11() : paint(0) {}
+  ~L4_11() {}
+};
+#endif

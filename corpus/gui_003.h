@@ -1,0 +1,374 @@
+// gui_003.h — generated corpus file 4/6.
+// Derives from classes defined in earlier files;
+// no #include needed (shared known-classes set).
+#ifndef GUI_003_H_
+#define GUI_003_H_
+class L4_12 : public L3_12, public L0_5 {
+public:
+  int x;
+  int layout;
+  int tooltip;
+  int cursor;
+  int measure;
+  L4_12() : x(0) {}
+  ~L4_12() {}
+};
+class L4_13 : public L3_21, public L3_15 {
+public:
+  int on_key;
+  int layout;
+  int state_flags;
+  L4_13() : on_key(0) {}
+  ~L4_13() {}
+};
+class L4_14 : public L3_18 {
+public:
+  int focus;
+  int y;
+  int arrange;
+  int state_flags;
+  L4_14() : focus(0) {}
+  ~L4_14() {}
+};
+class L4_15 : public L0_12 {
+public:
+  int paint;
+  int resize;
+  int blur;
+  int x;
+  int on_scroll;
+  int visible;
+  L4_15() : paint(0) {}
+  ~L4_15() {}
+};
+class L4_16 : public L3_13, virtual public L3_6 {
+public:
+  int y;
+  int style;
+  int on_key;
+  int on_scroll;
+  int z_order;
+  int accept;
+  L4_16() : y(0) {}
+  ~L4_16() {}
+};
+class L4_17 : public L3_13, public L3_3 {
+public:
+  int on_key;
+  int text;
+  int z_order;
+  int hit_test;
+  L4_17() : on_key(0) {}
+  ~L4_17() {}
+};
+class L4_18 : public L3_19, public L3_0, virtual public L3_23 {
+public:
+  int parent_;
+  int visible;
+  int accept;
+  L4_18() : parent_(0) {}
+  ~L4_18() {}
+};
+class L4_19 : public L3_21, virtual public L3_3 {
+public:
+  int hide;
+  int blur;
+  int h;
+  int on_key;
+  int text;
+  int icon;
+  int tooltip;
+  int accept;
+  L4_19() : hide(0) {}
+  ~L4_19() {}
+};
+class L4_20 : virtual public L3_9 {
+public:
+  int h;
+  L4_20() : h(0) {}
+  ~L4_20() {}
+};
+class L4_21 : public L3_19 {
+public:
+  int paint;
+  int w;
+  int child_count;
+  int style;
+  int on_click;
+  int layout;
+  int text;
+  int icon;
+  int tooltip;
+  L4_21() : paint(0) {}
+  ~L4_21() {}
+};
+class L4_22 : public L3_14 {
+public:
+  int x;
+  int y;
+  int h;
+  int child_count;
+  int on_key;
+  int text;
+  int icon;
+  L4_22() : x(0) {}
+  ~L4_22() {}
+};
+class L4_23 : public L3_19, public L3_21, virtual public L3_1 {
+public:
+  int paint;
+  int show;
+  int focus;
+  int on_key;
+  int icon;
+  int visible;
+  L4_23() : paint(0) {}
+  ~L4_23() {}
+};
+class L5_0 : public L1_13, public L4_11, public L4_2 {
+public:
+  int disable;
+  int h;
+  int parent_;
+  int tooltip;
+  int hit_test;
+  int accept;
+  L5_0() : disable(0) {}
+  ~L5_0() {}
+};
+class L5_1 : public L4_8, virtual public L4_18 {
+public:
+  int parent_;
+  int icon;
+  int visible;
+  int hit_test;
+  int accept;
+  int state_flags;
+  L5_1() : parent_(0) {}
+  ~L5_1() {}
+};
+class L5_2 : public L4_7, public L0_11, virtual public L4_9 {
+public:
+  int paint;
+  int show;
+  int style;
+  int on_scroll;
+  int icon;
+  L5_2() : paint(0) {}
+  ~L5_2() {}
+};
+class L5_3 : virtual public L4_15 {
+public:
+  int paint;
+  int resize;
+  int h;
+  int parent_;
+  int layout;
+  int visible;
+  L5_3() : paint(0) {}
+  ~L5_3() {}
+};
+class L5_4 : virtual public L4_13, virtual public L4_1 {
+public:
+  int text;
+  int icon;
+  L5_4() : text(0) {}
+  ~L5_4() {}
+};
+class L5_5 : public L4_3, public L2_20 {
+public:
+  int show;
+  int blur;
+  int disable;
+  int y;
+  int h;
+  int invalidate;
+  int cursor;
+  int opacity;
+  int visible;
+  int state_flags;
+  L5_5() : show(0) {}
+  ~L5_5() {}
+};
+class L5_6 : virtual public L0_9, virtual public L0_13 {
+public:
+  int y;
+  int h;
+  int on_click;
+  int hit_test;
+  int state_flags;
+  L5_6() : y(0) {}
+  ~L5_6() {}
+};
+class L5_7 : public L4_14, public L4_6, public L4_10 {
+public:
+  int h;
+  int on_key;
+  int invalidate;
+  int tooltip;
+  L5_7() : h(0) {}
+  ~L5_7() {}
+};
+class L5_8 : public L4_11, public L4_9 {
+public:
+  int focus;
+  int x;
+  int h;
+  int z_order;
+  int hit_test;
+  L5_8() : focus(0) {}
+  ~L5_8() {}
+};
+class L5_9 : public L3_17, virtual public L4_21, virtual public L4_11 {
+public:
+  int resize;
+  int hide;
+  int x;
+  int on_scroll;
+  int z_order;
+  int opacity;
+  int state_flags;
+  L5_9() : resize(0) {}
+  ~L5_9() {}
+};
+class L5_10 : public L4_14, public L4_20, public L4_18 {
+public:
+  int paint;
+  int enable;
+  int x;
+  int w;
+  int h;
+  int layout;
+  int text;
+  int tooltip;
+  int cursor;
+  int visible;
+  L5_10() : paint(0) {}
+  ~L5_10() {}
+};
+class L5_11 : public L4_13, public L4_11, virtual public L4_3 {
+public:
+  int resize;
+  int disable;
+  L5_11() : resize(0) {}
+  ~L5_11() {}
+};
+class L5_12 : public L4_4, public L4_0, virtual public L4_8 {
+public:
+  int invalidate;
+  int icon;
+  int cursor;
+  int z_order;
+  L5_12() : invalidate(0) {}
+  ~L5_12() {}
+};
+class L5_13 : public L4_20, public L4_11 {
+public:
+  int parent_;
+  int layout;
+  int tooltip;
+  int visible;
+  int measure;
+  L5_13() : parent_(0) {}
+  ~L5_13() {}
+};
+class L5_14 : public L4_6, public L4_7, virtual public L4_21 {
+public:
+  int show;
+  int parent_;
+  int layout;
+  int opacity;
+  L5_14() : show(0) {}
+  ~L5_14() {}
+};
+class L5_15 : public L4_19 {
+public:
+  int focus;
+  int h;
+  int on_click;
+  int layout;
+  int measure;
+  L5_15() : focus(0) {}
+  ~L5_15() {}
+};
+class L5_16 : public L4_21, public L4_17, virtual public L4_14 {
+public:
+  int enable;
+  int disable;
+  int x;
+  int on_key;
+  L5_16() : enable(0) {}
+  ~L5_16() {}
+};
+class L5_17 : public L4_18, public L4_10, public L2_3 {
+public:
+  int resize;
+  int hide;
+  int disable;
+  int style;
+  int invalidate;
+  int text;
+  L5_17() : resize(0) {}
+  ~L5_17() {}
+};
+class L5_18 : public L4_13, virtual public L4_0 {
+public:
+  int tooltip;
+  int cursor;
+  int visible;
+  int measure;
+  int accept;
+  int state_flags;
+  L5_18() : tooltip(0) {}
+  ~L5_18() {}
+};
+class L5_19 : virtual public L4_0 {
+public:
+  int hide;
+  int blur;
+  int x;
+  int y;
+  int h;
+  int on_click;
+  int z_order;
+  int state_flags;
+  L5_19() : hide(0) {}
+  ~L5_19() {}
+};
+class L5_20 : public L4_7, public L4_0 {
+public:
+  int show;
+  int enable;
+  int z_order;
+  L5_20() : show(0) {}
+  ~L5_20() {}
+};
+class L5_21 : public L4_8, public L1_19 {
+public:
+  int paint;
+  int resize;
+  int focus;
+  L5_21() : paint(0) {}
+  ~L5_21() {}
+};
+class L5_22 : public L4_17, public L4_19 {
+public:
+  int disable;
+  int cursor;
+  int measure;
+  int accept;
+  L5_22() : disable(0) {}
+  ~L5_22() {}
+};
+class L5_23 : public L3_23, virtual public L4_19 {
+public:
+  int focus;
+  int blur;
+  int w;
+  int child_count;
+  int layout;
+  int invalidate;
+  L5_23() : focus(0) {}
+  ~L5_23() {}
+};
+#endif

@@ -1,0 +1,400 @@
+// gui_004.h — generated corpus file 5/6.
+// Derives from classes defined in earlier files;
+// no #include needed (shared known-classes set).
+#ifndef GUI_004_H_
+#define GUI_004_H_
+class L6_0 : public L5_22, public L5_3, virtual public L5_9 {
+public:
+  int show;
+  int focus;
+  int blur;
+  int w;
+  int on_click;
+  int invalidate;
+  int visible;
+  int hit_test;
+  L6_0() : show(0) {}
+  ~L6_0() {}
+};
+class L6_1 : public L5_1, public L5_15, public L5_21 {
+public:
+  int show;
+  int on_key;
+  int tooltip;
+  int accept;
+  L6_1() : show(0) {}
+  ~L6_1() {}
+};
+class L6_2 : public L1_11 {
+public:
+  int resize;
+  int enable;
+  int disable;
+  int w;
+  int parent_;
+  int child_count;
+  int style;
+  int on_scroll;
+  int visible;
+  int measure;
+  L6_2() : resize(0) {}
+  ~L6_2() {}
+};
+class L6_3 : public L5_6, public L5_8, virtual public L5_9 {
+public:
+  int w;
+  int h;
+  int layout;
+  int tooltip;
+  L6_3() : w(0) {}
+  ~L6_3() {}
+};
+class L6_4 : public L5_10, virtual public L5_7 {
+public:
+  int hide;
+  int w;
+  int on_click;
+  int text;
+  int cursor;
+  int visible;
+  int measure;
+  int hit_test;
+  L6_4() : hide(0) {}
+  ~L6_4() {}
+};
+class L6_5 : public L5_6, virtual public L4_21, virtual public L5_11 {
+public:
+  int disable;
+  int h;
+  int invalidate;
+  int icon;
+  int tooltip;
+  int opacity;
+  int measure;
+  L6_5() : disable(0) {}
+  ~L6_5() {}
+};
+class L6_6 : public L5_11, virtual public L5_13, virtual public L5_21 {
+public:
+  int hide;
+  int y;
+  int w;
+  int child_count;
+  int on_scroll;
+  int arrange;
+  L6_6() : hide(0) {}
+  ~L6_6() {}
+};
+class L6_7 : public L5_23, virtual public L5_22 {
+public:
+  int resize;
+  int show;
+  int child_count;
+  int style;
+  int on_click;
+  L6_7() : resize(0) {}
+  ~L6_7() {}
+};
+class L6_8 : public L5_12 {
+public:
+  int y;
+  int on_key;
+  int layout;
+  int icon;
+  L6_8() : y(0) {}
+  ~L6_8() {}
+};
+class L6_9 : virtual public L5_5 {
+public:
+  int x;
+  int y;
+  int w;
+  int child_count;
+  int on_key;
+  int on_scroll;
+  int layout;
+  int cursor;
+  int measure;
+  int hit_test;
+  int accept;
+  L6_9() : x(0) {}
+  ~L6_9() {}
+};
+class L6_10 : public L5_10, public L5_1 {
+public:
+  int disable;
+  int x;
+  int on_scroll;
+  int icon;
+  int z_order;
+  int visible;
+  L6_10() : disable(0) {}
+  ~L6_10() {}
+};
+class L6_11 : public L5_19, public L5_6, virtual public L0_3 {
+public:
+  int resize;
+  int layout;
+  int arrange;
+  int accept;
+  L6_11() : resize(0) {}
+  ~L6_11() {}
+};
+class L6_12 : public L5_23, public L5_20 {
+public:
+  int hide;
+  int child_count;
+  int style;
+  int on_click;
+  int on_key;
+  int invalidate;
+  int state_flags;
+  L6_12() : hide(0) {}
+  ~L6_12() {}
+};
+class L6_13 : virtual public L5_18, virtual public L1_9 {
+public:
+  int show;
+  int focus;
+  int y;
+  int on_scroll;
+  int layout;
+  int invalidate;
+  int text;
+  L6_13() : show(0) {}
+  ~L6_13() {}
+};
+class L6_14 : public L5_10, virtual public L5_11 {
+public:
+  int focus;
+  int visible;
+  int measure;
+  int state_flags;
+  L6_14() : focus(0) {}
+  ~L6_14() {}
+};
+class L6_15 : public L5_18, public L0_4, public L4_18 {
+public:
+  int disable;
+  int w;
+  int style;
+  int on_key;
+  int layout;
+  int z_order;
+  int opacity;
+  int arrange;
+  L6_15() : disable(0) {}
+  ~L6_15() {}
+};
+class L6_16 : public L5_0, public L5_14 {
+public:
+  int hide;
+  int child_count;
+  int on_scroll;
+  int layout;
+  int icon;
+  int opacity;
+  int visible;
+  L6_16() : hide(0) {}
+  ~L6_16() {}
+};
+class L6_17 : public L5_17, public L5_22, virtual public L5_12 {
+public:
+  int blur;
+  int y;
+  int icon;
+  int accept;
+  L6_17() : blur(0) {}
+  ~L6_17() {}
+};
+class L6_18 : public L5_14 {
+public:
+  int hide;
+  int enable;
+  int y;
+  int layout;
+  int tooltip;
+  int opacity;
+  int measure;
+  int hit_test;
+  int state_flags;
+  L6_18() : hide(0) {}
+  ~L6_18() {}
+};
+class L6_19 : virtual public L5_1 {
+public:
+  int w;
+  int parent_;
+  int style;
+  int invalidate;
+  int measure;
+  L6_19() : w(0) {}
+  ~L6_19() {}
+};
+class L6_20 : public L5_13, public L5_20, virtual public L5_9 {
+public:
+  int show;
+  int focus;
+  int arrange;
+  L6_20() : show(0) {}
+  ~L6_20() {}
+};
+class L6_21 : virtual public L5_21 {
+public:
+  int blur;
+  int x;
+  int invalidate;
+  int text;
+  int opacity;
+  L6_21() : blur(0) {}
+  ~L6_21() {}
+};
+class L6_22 : public L1_2, public L5_22 {
+public:
+  int blur;
+  int on_scroll;
+  int icon;
+  int arrange;
+  L6_22() : blur(0) {}
+  ~L6_22() {}
+};
+class L6_23 : public L5_11, virtual public L0_22 {
+public:
+  int z_order;
+  int opacity;
+  int accept;
+  L6_23() : z_order(0) {}
+  ~L6_23() {}
+};
+class L7_0 : public L6_10, virtual public L6_0, virtual public L6_8 {
+public:
+  int w;
+  int on_click;
+  int invalidate;
+  int tooltip;
+  int cursor;
+  int accept;
+  L7_0() : w(0) {}
+  ~L7_0() {}
+};
+class L7_1 : public L0_21, public L6_0 {
+public:
+  int disable;
+  int w;
+  int style;
+  int on_click;
+  int layout;
+  int icon;
+  int accept;
+  L7_1() : disable(0) {}
+  ~L7_1() {}
+};
+class L7_2 : public L6_12, public L6_16 {
+public:
+  int disable;
+  int on_click;
+  int invalidate;
+  int hit_test;
+  L7_2() : disable(0) {}
+  ~L7_2() {}
+};
+class L7_3 : virtual public L6_16 {
+public:
+  int focus;
+  int layout;
+  int cursor;
+  L7_3() : focus(0) {}
+  ~L7_3() {}
+};
+class L7_4 : public L1_12, public L6_0 {
+public:
+  int paint;
+  int resize;
+  int on_key;
+  int layout;
+  int icon;
+  int visible;
+  int state_flags;
+  L7_4() : paint(0) {}
+  ~L7_4() {}
+};
+class L7_5 : public L6_19, virtual public L6_22, virtual public L6_2 {
+public:
+  int style;
+  int on_click;
+  int layout;
+  int invalidate;
+  int z_order;
+  int opacity;
+  int accept;
+  L7_5() : style(0) {}
+  ~L7_5() {}
+};
+class L7_6 : virtual public L6_1 {
+public:
+  int show;
+  int disable;
+  int invalidate;
+  int arrange;
+  L7_6() : show(0) {}
+  ~L7_6() {}
+};
+class L7_7 : virtual public L6_14 {
+public:
+  int x;
+  int w;
+  int on_click;
+  int on_key;
+  int layout;
+  int icon;
+  int cursor;
+  int arrange;
+  int hit_test;
+  int state_flags;
+  L7_7() : x(0) {}
+  ~L7_7() {}
+};
+class L7_8 : public L6_12, public L6_19, public L3_9 {
+public:
+  int parent_;
+  int child_count;
+  int icon;
+  int cursor;
+  int z_order;
+  int measure;
+  L7_8() : parent_(0) {}
+  ~L7_8() {}
+};
+class L7_9 : public L6_17, public L6_15 {
+public:
+  int enable;
+  int x;
+  int w;
+  int h;
+  int cursor;
+  int z_order;
+  L7_9() : enable(0) {}
+  ~L7_9() {}
+};
+class L7_10 : public L6_10, public L6_13, virtual public L6_5 {
+public:
+  int enable;
+  int child_count;
+  int on_key;
+  int layout;
+  int icon;
+  L7_10() : enable(0) {}
+  ~L7_10() {}
+};
+class L7_11 : public L6_2, public L6_4, virtual public L6_20 {
+public:
+  int focus;
+  int style;
+  int on_scroll;
+  int layout;
+  int hit_test;
+  int accept;
+  L7_11() : focus(0) {}
+  ~L7_11() {}
+};
+#endif

@@ -1,0 +1,393 @@
+// gui_005.h — generated corpus file 6/6.
+// Derives from classes defined in earlier files;
+// no #include needed (shared known-classes set).
+#ifndef GUI_005_H_
+#define GUI_005_H_
+class L7_12 : public L6_22 {
+public:
+  int paint;
+  int style;
+  int on_key;
+  int icon;
+  int state_flags;
+  L7_12() : paint(0) {}
+  ~L7_12() {}
+};
+class L7_13 : public L6_23, public L6_17 {
+public:
+  int show;
+  int w;
+  int arrange;
+  int accept;
+  L7_13() : show(0) {}
+  ~L7_13() {}
+};
+class L7_14 : public L6_21, public L6_4 {
+public:
+  int blur;
+  int enable;
+  int y;
+  int h;
+  int on_click;
+  int measure;
+  L7_14() : blur(0) {}
+  ~L7_14() {}
+};
+class L7_15 : public L6_6 {
+public:
+  int resize;
+  int enable;
+  int w;
+  int invalidate;
+  int tooltip;
+  int opacity;
+  int accept;
+  L7_15() : resize(0) {}
+  ~L7_15() {}
+};
+class L7_16 : public L6_22, public L6_12, public L6_20 {
+public:
+  int hide;
+  int blur;
+  int disable;
+  int h;
+  int on_key;
+  int on_scroll;
+  int tooltip;
+  int visible;
+  L7_16() : hide(0) {}
+  ~L7_16() {}
+};
+class L7_17 : public L6_14, public L6_18, public L6_21 {
+public:
+  int blur;
+  int disable;
+  int w;
+  int on_scroll;
+  int arrange;
+  L7_17() : blur(0) {}
+  ~L7_17() {}
+};
+class L7_18 : public L6_21, public L6_22, public L6_16 {
+public:
+  int h;
+  int style;
+  int on_click;
+  int on_scroll;
+  int invalidate;
+  int measure;
+  int arrange;
+  L7_18() : h(0) {}
+  ~L7_18() {}
+};
+class L7_19 : public L6_11, virtual public L6_16 {
+public:
+  int focus;
+  int enable;
+  int h;
+  int visible;
+  int arrange;
+  L7_19() : focus(0) {}
+  ~L7_19() {}
+};
+class L7_20 : public L6_18, virtual public L6_21, virtual public L6_13 {
+public:
+  int disable;
+  int x;
+  int layout;
+  int text;
+  int z_order;
+  int hit_test;
+  L7_20() : disable(0) {}
+  ~L7_20() {}
+};
+class L7_21 : public L6_15, public L6_7, virtual public L6_4 {
+public:
+  int resize;
+  int visible;
+  int hit_test;
+  L7_21() : resize(0) {}
+  ~L7_21() {}
+};
+class L7_22 : public L1_15, virtual public L6_16, virtual public L6_1 {
+public:
+  int resize;
+  int x;
+  int y;
+  int tooltip;
+  int cursor;
+  L7_22() : resize(0) {}
+  ~L7_22() {}
+};
+class L7_23 : public L0_5, virtual public L6_1, virtual public L6_15 {
+public:
+  int paint;
+  int resize;
+  int focus;
+  int blur;
+  int disable;
+  int h;
+  int text;
+  int opacity;
+  L7_23() : paint(0) {}
+  ~L7_23() {}
+};
+class L8_0 : public L7_3, public L7_16 {
+public:
+  int invalidate;
+  int tooltip;
+  int cursor;
+  int visible;
+  int hit_test;
+  L8_0() : invalidate(0) {}
+  ~L8_0() {}
+};
+class L8_1 : public L7_6 {
+public:
+  int w;
+  int h;
+  int hit_test;
+  L8_1() : w(0) {}
+  ~L8_1() {}
+};
+class L8_2 : public L2_12 {
+public:
+  int h;
+  int child_count;
+  int on_scroll;
+  L8_2() : h(0) {}
+  ~L8_2() {}
+};
+class L8_3 : public L6_3 {
+public:
+  int child_count;
+  int style;
+  int tooltip;
+  int arrange;
+  L8_3() : child_count(0) {}
+  ~L8_3() {}
+};
+class L8_4 : public L7_9 {
+public:
+  int paint;
+  int focus;
+  int enable;
+  int text;
+  int measure;
+  int state_flags;
+  L8_4() : paint(0) {}
+  ~L8_4() {}
+};
+class L8_5 : public L7_22 {
+public:
+  int paint;
+  int show;
+  int focus;
+  int h;
+  int on_key;
+  int measure;
+  int accept;
+  L8_5() : paint(0) {}
+  ~L8_5() {}
+};
+class L8_6 : public L7_10, public L7_3 {
+public:
+  int paint;
+  int resize;
+  int enable;
+  int disable;
+  int child_count;
+  int layout;
+  int invalidate;
+  int opacity;
+  L8_6() : paint(0) {}
+  ~L8_6() {}
+};
+class L8_7 : virtual public L5_23 {
+public:
+  int blur;
+  int parent_;
+  int on_scroll;
+  int layout;
+  int invalidate;
+  int text;
+  int opacity;
+  int visible;
+  L8_7() : blur(0) {}
+  ~L8_7() {}
+};
+class L8_8 : public L7_7, virtual public L7_10 {
+public:
+  int style;
+  int layout;
+  int hit_test;
+  L8_8() : style(0) {}
+  ~L8_8() {}
+};
+class L8_9 : public L7_9, virtual public L7_19 {
+public:
+  int paint;
+  int hit_test;
+  L8_9() : paint(0) {}
+  ~L8_9() {}
+};
+class L8_10 : virtual public L7_19 {
+public:
+  int focus;
+  int disable;
+  int opacity;
+  int accept;
+  int state_flags;
+  L8_10() : focus(0) {}
+  ~L8_10() {}
+};
+class L8_11 : public L7_9 {
+public:
+  int show;
+  int focus;
+  int blur;
+  int y;
+  int on_scroll;
+  int icon;
+  int visible;
+  int arrange;
+  L8_11() : show(0) {}
+  ~L8_11() {}
+};
+class L8_12 : public L3_6 {
+public:
+  int show;
+  int on_click;
+  int on_scroll;
+  int icon;
+  int visible;
+  int arrange;
+  L8_12() : show(0) {}
+  ~L8_12() {}
+};
+class L8_13 : public L2_9, public L7_9, public L7_17 {
+public:
+  int hide;
+  int blur;
+  int child_count;
+  int text;
+  int icon;
+  int cursor;
+  int z_order;
+  int arrange;
+  L8_13() : hide(0) {}
+  ~L8_13() {}
+};
+class L8_14 : public L7_1 {
+public:
+  int blur;
+  int invalidate;
+  int icon;
+  int hit_test;
+  L8_14() : blur(0) {}
+  ~L8_14() {}
+};
+class L8_15 : public L7_13, public L7_16 {
+public:
+  int x;
+  int invalidate;
+  int cursor;
+  int z_order;
+  int state_flags;
+  L8_15() : x(0) {}
+  ~L8_15() {}
+};
+class L8_16 : public L7_1, public L7_13, virtual public L7_15 {
+public:
+  int resize;
+  int show;
+  int x;
+  int y;
+  int parent_;
+  int on_click;
+  int hit_test;
+  int state_flags;
+  L8_16() : resize(0) {}
+  ~L8_16() {}
+};
+class L8_17 : public L7_15, public L7_22 {
+public:
+  int hide;
+  int focus;
+  int cursor;
+  int arrange;
+  L8_17() : hide(0) {}
+  ~L8_17() {}
+};
+class L8_18 : virtual public L7_22 {
+public:
+  int paint;
+  int focus;
+  int h;
+  int on_key;
+  int invalidate;
+  int z_order;
+  int hit_test;
+  int state_flags;
+  L8_18() : paint(0) {}
+  ~L8_18() {}
+};
+class L8_19 : virtual public L7_7 {
+public:
+  int paint;
+  int resize;
+  int focus;
+  int disable;
+  int w;
+  int on_key;
+  int on_scroll;
+  int tooltip;
+  int visible;
+  L8_19() : paint(0) {}
+  ~L8_19() {}
+};
+class L8_20 : public L7_17, public L7_23 {
+public:
+  int hide;
+  int y;
+  int w;
+  int h;
+  int parent_;
+  int icon;
+  int tooltip;
+  L8_20() : hide(0) {}
+  ~L8_20() {}
+};
+class L8_21 : public L7_11, virtual public L7_0 {
+public:
+  int focus;
+  int y;
+  int layout;
+  int cursor;
+  int measure;
+  int hit_test;
+  int accept;
+  int state_flags;
+  L8_21() : focus(0) {}
+  ~L8_21() {}
+};
+class L8_22 : public L7_1, public L7_21, public L7_20 {
+public:
+  int hide;
+  int on_click;
+  int z_order;
+  L8_22() : hide(0) {}
+  ~L8_22() {}
+};
+class L8_23 : public L7_15, virtual public L7_23, virtual public L7_5 {
+public:
+  int paint;
+  int show;
+  int x;
+  int y;
+  int hit_test;
+  int state_flags;
+  L8_23() : paint(0) {}
+  ~L8_23() {}
+};
+#endif
